@@ -1,0 +1,243 @@
+//! The attribute-space client: one connection from a daemon to a LASS
+//! or the CASS.
+//!
+//! The client is deliberately single-threaded (`&mut self` on every
+//! operation), matching the paper's daemon model: a blocking `tdp_get`
+//! blocks the daemon, and asynchronous work is done with subscriptions
+//! whose notifications queue up until the daemon drains them from its
+//! central polling loop (`tdp_service_event`, §3.3).
+
+use std::collections::VecDeque;
+use std::time::Duration;
+use tdp_netsim::{Conn, Network};
+use tdp_proto::{Addr, ContextId, HostId, Message, Reply, TdpError, TdpResult};
+
+/// A pending asynchronous notification, delivered by
+/// [`AttrClient::poll_notify`] / [`AttrClient::wait_notify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Notification {
+    pub token: u64,
+    pub key: String,
+    pub value: String,
+}
+
+/// Client session with one attribute-space server.
+pub struct AttrClient {
+    conn: Conn,
+    /// Notifications received while waiting for a direct reply.
+    pending: VecDeque<Notification>,
+    /// Replies we abandoned (timed-out blocking gets): the next this
+    /// many non-notify replies are discarded to stay in sync.
+    orphans: usize,
+}
+
+impl AttrClient {
+    /// Connect to a server directly.
+    pub fn connect(net: &Network, from: HostId, server: Addr) -> TdpResult<AttrClient> {
+        let conn = net.connect(from, server)?;
+        Ok(AttrClient::over(conn))
+    }
+
+    /// Connect through an RM proxy (for a CASS on the far side of a
+    /// firewall, §2.4).
+    pub fn connect_via_proxy(
+        net: &Network,
+        from: HostId,
+        proxy: Addr,
+        server: Addr,
+    ) -> TdpResult<AttrClient> {
+        let conn = tdp_netsim::proxy::connect_via(net, from, proxy, server)?;
+        Ok(AttrClient::over(conn))
+    }
+
+    /// Wrap an already-established connection.
+    pub fn over(conn: Conn) -> AttrClient {
+        AttrClient { conn, pending: VecDeque::new(), orphans: 0 }
+    }
+
+    /// Join a context (`tdp_init`'s server half).
+    pub fn join(&mut self, ctx: ContextId) -> TdpResult<()> {
+        self.expect_ok(Message::Join { ctx })
+    }
+
+    /// Leave a context (`tdp_exit`'s server half).
+    pub fn leave(&mut self, ctx: ContextId) -> TdpResult<()> {
+        self.expect_ok(Message::Leave { ctx })
+    }
+
+    /// Blocking `tdp_put`.
+    pub fn put(&mut self, ctx: ContextId, key: &str, value: &str) -> TdpResult<()> {
+        self.expect_ok(Message::Put { ctx, key: key.to_string(), value: value.to_string() })
+    }
+
+    /// Blocking `tdp_get`: parks until the attribute exists.
+    pub fn get(&mut self, ctx: ContextId, key: &str) -> TdpResult<String> {
+        self.get_inner(ctx, key, true, None)
+    }
+
+    /// Blocking get with a deadline. On timeout the eventual reply is
+    /// discarded internally; the session stays usable.
+    pub fn get_timeout(&mut self, ctx: ContextId, key: &str, timeout: Duration) -> TdpResult<String> {
+        self.get_inner(ctx, key, true, Some(timeout))
+    }
+
+    /// Non-blocking get: `AttributeNotFound` if absent (§3.2's error
+    /// case).
+    pub fn try_get(&mut self, ctx: ContextId, key: &str) -> TdpResult<String> {
+        self.get_inner(ctx, key, false, None)
+    }
+
+    fn get_inner(
+        &mut self,
+        ctx: ContextId,
+        key: &str,
+        blocking: bool,
+        timeout: Option<Duration>,
+    ) -> TdpResult<String> {
+        self.conn.send_msg(&Message::Get { ctx, key: key.to_string(), blocking })?;
+        match self.read_reply(timeout) {
+            Ok(Reply::Value { value, .. }) => Ok(value),
+            Ok(Reply::Err(e)) => Err(e),
+            Ok(other) => Err(TdpError::Protocol(format!("unexpected reply: {other:?}"))),
+            Err(TdpError::Timeout) => {
+                self.orphans += 1;
+                Err(TdpError::Timeout)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Remove an attribute.
+    pub fn remove(&mut self, ctx: ContextId, key: &str) -> TdpResult<()> {
+        self.expect_ok(Message::Remove { ctx, key: key.to_string() })
+    }
+
+    /// Register a one-shot subscription (`tdp_async_get`'s server half):
+    /// the notification arrives via [`AttrClient::poll_notify`]. With
+    /// `only_future`, an existing value does not fire — only the next
+    /// put does.
+    pub fn subscribe(&mut self, ctx: ContextId, key: &str, token: u64, only_future: bool) -> TdpResult<()> {
+        self.expect_ok(Message::Subscribe { ctx, key: key.to_string(), token, only_future })
+    }
+
+    /// Cancel a subscription.
+    pub fn unsubscribe(&mut self, ctx: ContextId, token: u64) -> TdpResult<()> {
+        self.expect_ok(Message::Unsubscribe { ctx, token })
+    }
+
+    /// Keys with a prefix.
+    pub fn list_keys(&mut self, ctx: ContextId, prefix: &str) -> TdpResult<Vec<String>> {
+        self.conn.send_msg(&Message::ListKeys { ctx, prefix: prefix.to_string() })?;
+        match self.read_reply(None)? {
+            Reply::Keys(keys) => Ok(keys),
+            Reply::Err(e) => Err(e),
+            other => Err(TdpError::Protocol(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// Drain one queued notification without blocking.
+    pub fn poll_notify(&mut self) -> Option<Notification> {
+        if let Some(n) = self.pending.pop_front() {
+            return Some(n);
+        }
+        // Pull in anything already on the wire.
+        loop {
+            match self.conn.try_recv() {
+                Some(Ok(chunk)) => {
+                    self.conn.unread(&chunk);
+                    match self.conn.recv_msg_timeout(Duration::from_millis(50)) {
+                        Ok(Message::Reply(Reply::Notify { token, key, value })) => {
+                            return Some(Notification { token, key, value });
+                        }
+                        Ok(Message::Reply(r)) if self.orphans > 0 => {
+                            self.orphans -= 1;
+                            let _ = r;
+                        }
+                        _ => return None,
+                    }
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// Block until a notification arrives (or timeout).
+    pub fn wait_notify(&mut self, timeout: Duration) -> TdpResult<Notification> {
+        if let Some(n) = self.pending.pop_front() {
+            return Ok(n);
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remaining = deadline
+                .checked_duration_since(std::time::Instant::now())
+                .ok_or(TdpError::Timeout)?;
+            match self.conn.recv_msg_timeout(remaining)? {
+                Message::Reply(Reply::Notify { token, key, value }) => {
+                    return Ok(Notification { token, key, value });
+                }
+                Message::Reply(r) if self.orphans > 0 => {
+                    self.orphans -= 1;
+                    let _ = r;
+                }
+                other => {
+                    return Err(TdpError::Protocol(format!("unexpected message: {other:?}")))
+                }
+            }
+        }
+    }
+
+    /// True when a notification is queued (a "descriptor active" check
+    /// for the daemon's poll loop).
+    pub fn has_notify(&mut self) -> bool {
+        if !self.pending.is_empty() {
+            return true;
+        }
+        if let Some(n) = self.poll_notify() {
+            self.pending.push_front(n);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ok(&mut self, msg: Message) -> TdpResult<()> {
+        self.conn.send_msg(&msg)?;
+        match self.read_reply(None)? {
+            Reply::Ok => Ok(()),
+            Reply::Err(e) => Err(e),
+            other => Err(TdpError::Protocol(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// Read the next direct (non-notify) reply, queueing notifications
+    /// and discarding orphaned replies from abandoned gets.
+    fn read_reply(&mut self, timeout: Option<Duration>) -> TdpResult<Reply> {
+        let deadline = timeout.map(|t| std::time::Instant::now() + t);
+        loop {
+            let msg = match deadline {
+                Some(d) => {
+                    let remaining = d
+                        .checked_duration_since(std::time::Instant::now())
+                        .ok_or(TdpError::Timeout)?;
+                    self.conn.recv_msg_timeout(remaining)?
+                }
+                None => self.conn.recv_msg()?,
+            };
+            match msg {
+                Message::Reply(Reply::Notify { token, key, value }) => {
+                    self.pending.push_back(Notification { token, key, value });
+                }
+                Message::Reply(r) => {
+                    if self.orphans > 0 {
+                        self.orphans -= 1;
+                        continue;
+                    }
+                    return Ok(r);
+                }
+                other => {
+                    return Err(TdpError::Protocol(format!("unexpected message: {other:?}")))
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests on the pure attribute-space state machine: random
+//! operation sequences must preserve the protocol invariants.
+
+use proptest::prelude::*;
+use tdp_proto::{ContextId, Reply};
+use tdp_attrspace::Space;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Join(u64, u64),
+    Leave(u64, u64),
+    Put(u64, u64, String, String),
+    GetB(u64, u64, String),
+    GetNb(u64, u64, String),
+    Remove(u64, u64, String),
+    Sub(u64, u64, String, u64),
+    Unsub(u64, u64, u64),
+    Disconnect(u64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let client = 0u64..4;
+    let ctx = 0u64..3;
+    let key = proptest::sample::select(vec!["pid", "args", "status", "x"]);
+    let val = proptest::sample::select(vec!["1", "2", "running", ""]);
+    prop_oneof![
+        (client.clone(), ctx.clone()).prop_map(|(c, x)| Op::Join(c, x)),
+        (client.clone(), ctx.clone()).prop_map(|(c, x)| Op::Leave(c, x)),
+        (client.clone(), ctx.clone(), key.clone(), val)
+            .prop_map(|(c, x, k, v)| Op::Put(c, x, k.to_string(), v.to_string())),
+        (client.clone(), ctx.clone(), key.clone()).prop_map(|(c, x, k)| Op::GetB(c, x, k.to_string())),
+        (client.clone(), ctx.clone(), key.clone()).prop_map(|(c, x, k)| Op::GetNb(c, x, k.to_string())),
+        (client.clone(), ctx.clone(), key.clone()).prop_map(|(c, x, k)| Op::Remove(c, x, k.to_string())),
+        (client.clone(), ctx.clone(), key, 0u64..5).prop_map(|(c, x, k, t)| Op::Sub(c, x, k.to_string(), t)),
+        (client.clone(), ctx.clone(), 0u64..5).prop_map(|(c, x, t)| Op::Unsub(c, x, t)),
+        client.prop_map(Op::Disconnect),
+    ]
+}
+
+proptest! {
+    /// Replies are only ever addressed to clients that initiated an
+    /// operation or were parked/subscribed — never to strangers — and a
+    /// caller's own operation always yields at most one direct reply to
+    /// itself per call.
+    #[test]
+    fn replies_routed_sanely(ops in proptest::collection::vec(arb_op(), 1..80)) {
+        let mut s = Space::new();
+        let mut ever_seen = std::collections::HashSet::new();
+        for op in ops {
+            let outs = match &op {
+                Op::Join(c, x) => { ever_seen.insert(*c); s.join(*c, ContextId(*x)) }
+                Op::Leave(c, x) => { ever_seen.insert(*c); s.leave(*c, ContextId(*x)) }
+                Op::Put(c, x, k, v) => { ever_seen.insert(*c); s.put(*c, ContextId(*x), k, v) }
+                Op::GetB(c, x, k) => { ever_seen.insert(*c); s.get(*c, ContextId(*x), k, true) }
+                Op::GetNb(c, x, k) => { ever_seen.insert(*c); s.get(*c, ContextId(*x), k, false) }
+                Op::Remove(c, x, k) => { ever_seen.insert(*c); s.remove(*c, ContextId(*x), k) }
+                Op::Sub(c, x, k, t) => { ever_seen.insert(*c); s.subscribe(*c, ContextId(*x), k, *t, false) }
+                Op::Unsub(c, x, t) => { ever_seen.insert(*c); s.unsubscribe(*c, ContextId(*x), *t) }
+                Op::Disconnect(c) => { ever_seen.insert(*c); s.disconnect(*c) }
+            };
+            for (dst, _) in &outs {
+                prop_assert!(ever_seen.contains(dst), "reply to never-seen client {dst}");
+            }
+        }
+    }
+
+    /// After disconnecting every client, no contexts survive.
+    #[test]
+    fn full_disconnect_empties_space(ops in proptest::collection::vec(arb_op(), 1..80)) {
+        let mut s = Space::new();
+        for op in ops {
+            match op {
+                Op::Join(c, x) => { s.join(c, ContextId(x)); }
+                Op::Leave(c, x) => { s.leave(c, ContextId(x)); }
+                Op::Put(c, x, k, v) => { s.put(c, ContextId(x), &k, &v); }
+                Op::GetB(c, x, k) => { s.get(c, ContextId(x), &k, true); }
+                Op::GetNb(c, x, k) => { s.get(c, ContextId(x), &k, false); }
+                Op::Remove(c, x, k) => { s.remove(c, ContextId(x), &k); }
+                Op::Sub(c, x, k, t) => { s.subscribe(c, ContextId(x), &k, t, false); }
+                Op::Unsub(c, x, t) => { s.unsubscribe(c, ContextId(x), t); }
+                Op::Disconnect(c) => { s.disconnect(c); }
+            }
+        }
+        for c in 0..4 {
+            s.disconnect(c);
+        }
+        prop_assert_eq!(s.context_count(), 0);
+    }
+
+    /// A non-blocking get immediately after a put by a co-member always
+    /// sees the value, regardless of interleaved history on other keys.
+    #[test]
+    fn put_visible_to_comember(
+        ops in proptest::collection::vec(arb_op(), 0..40),
+        key in proptest::sample::select(vec!["pid", "args"]),
+    ) {
+        let mut s = Space::new();
+        for op in ops {
+            match op {
+                Op::Join(c, x) => { s.join(c, ContextId(x)); }
+                Op::Put(c, x, k, v) => { s.put(c, ContextId(x), &k, &v); }
+                Op::Remove(c, x, k) => { s.remove(c, ContextId(x), &k); }
+                Op::Disconnect(c) => { s.disconnect(c); }
+                _ => {}
+            }
+        }
+        // Use fresh client ids outside the 0..4 range so prior ops can't
+        // have disconnected them.
+        let (rm, rt) = (100, 101);
+        let ctx = ContextId(9);
+        s.join(rm, ctx);
+        s.join(rt, ctx);
+        s.put(rm, ctx, key, "fresh");
+        let out = s.get(rt, ctx, key, false);
+        prop_assert_eq!(out, vec![(rt, Reply::Value { key: key.to_string(), value: "fresh".to_string() })]);
+    }
+}

@@ -1,0 +1,116 @@
+//! **B1 — Attribute-space microbenchmarks** (§2.1 / §3.2).
+//!
+//! The paper's design argues a general-purpose (attribute, value) space
+//! is cheap enough to carry all RM↔RT coordination. These benches put
+//! numbers on that claim for our implementation: put/get latency, the
+//! blocking-get wake-up path, async subscription dispatch, and scaling
+//! with space size and context count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use tdp_core::{Role, TdpHandle, World};
+use tdp_proto::ContextId;
+
+const CTX: ContextId = ContextId(1);
+
+fn pair(world: &World) -> (TdpHandle, TdpHandle) {
+    let host = world.add_host();
+    let rm = TdpHandle::init(world, host, CTX, "rm", Role::ResourceManager).unwrap();
+    let rt = TdpHandle::init(world, host, CTX, "rt", Role::Tool).unwrap();
+    (rm, rt)
+}
+
+fn bench_put_get(c: &mut Criterion) {
+    let mut g = c.benchmark_group("attrspace");
+    g.measurement_time(Duration::from_secs(2)).sample_size(30);
+
+    let world = World::new();
+    let (mut rm, mut rt) = pair(&world);
+    rm.put("warm", "1").unwrap();
+
+    g.bench_function("put", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            rm.put("bench_key", &i.to_string()).unwrap();
+        });
+    });
+
+    g.bench_function("get_hit", |b| {
+        b.iter(|| black_box(rt.get("bench_key").unwrap()));
+    });
+
+    g.bench_function("try_get_miss", |b| {
+        b.iter(|| black_box(rt.try_get("never_put").is_err()));
+    });
+
+    // The Figure 6 path: a parked getter woken by a put, measured as
+    // the full round trip (put on one handle, wake on the other thread).
+    g.bench_function("blocking_get_wakeup", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for i in 0..iters {
+                let key = format!("wake{i}");
+                let world2 = world.clone();
+                let key2 = key.clone();
+                let waiter = std::thread::spawn(move || {
+                    let host = world2.lass_addr(tdp_proto::HostId(0)).unwrap().host;
+                    let mut rt2 =
+                        TdpHandle::init(&world2, host, CTX, "waiter", Role::Tool).unwrap();
+                    rt2.get(&key2).unwrap()
+                });
+                std::thread::sleep(Duration::from_micros(300));
+                let t0 = std::time::Instant::now();
+                rm.put(&key, "v").unwrap();
+                waiter.join().unwrap();
+                total += t0.elapsed();
+            }
+            total
+        });
+    });
+    g.finish();
+}
+
+fn bench_space_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("attrspace_scaling");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for n in [10usize, 100, 1000] {
+        let world = World::new();
+        let (mut rm, mut rt) = pair(&world);
+        for i in 0..n {
+            rm.put(&format!("attr{i}"), "x").unwrap();
+        }
+        g.bench_with_input(BenchmarkId::new("get_among", n), &n, |b, &n| {
+            b.iter(|| black_box(rt.get(&format!("attr{}", n / 2)).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_context_scaling(c: &mut Criterion) {
+    // An RM managing many RTs keeps one context per tool (§3.2); put
+    // latency must not degrade with context count.
+    let mut g = c.benchmark_group("attrspace_contexts");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for n in [1u64, 16, 128] {
+        let world = World::new();
+        let host = world.add_host();
+        let mut handles: Vec<TdpHandle> = (0..n)
+            .map(|i| {
+                let mut h =
+                    TdpHandle::init(&world, host, ContextId(i), "rm", Role::ResourceManager)
+                        .unwrap();
+                h.put("seed", "1").unwrap();
+                h
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::new("put_with_contexts", n), &n, |b, _| {
+            b.iter(|| handles[0].put("k", "v").unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_put_get, bench_space_scaling, bench_context_scaling);
+criterion_main!(benches);

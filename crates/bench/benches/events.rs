@@ -1,0 +1,103 @@
+//! **B5 — Event notification** (§3.3).
+//!
+//! `tdp_service_event` drains pending callbacks at the daemon's safe
+//! point. The design requires this to be cheap enough for a central
+//! polling loop: these benches measure empty polls, single-callback
+//! dispatch, and bulk drains.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tdp_core::{Role, TdpHandle, World};
+use tdp_proto::ContextId;
+
+const CTX: ContextId = ContextId(1);
+
+fn pair() -> (World, TdpHandle, TdpHandle) {
+    let world = World::new();
+    let host = world.add_host();
+    let rm = TdpHandle::init(&world, host, CTX, "rm", Role::ResourceManager).unwrap();
+    let rt = TdpHandle::init(&world, host, CTX, "rt", Role::Tool).unwrap();
+    (world, rm, rt)
+}
+
+fn bench_events(c: &mut Criterion) {
+    let mut g = c.benchmark_group("events");
+    g.measurement_time(Duration::from_secs(2)).sample_size(30);
+
+    // The idle poll: the cost a daemon pays every loop iteration when
+    // nothing is pending.
+    {
+        let (_w, _rm, mut rt) = pair();
+        g.bench_function("service_events_empty", |b| {
+            b.iter(|| black_box(rt.service_events().unwrap()));
+        });
+    }
+
+    // One async_get satisfied per iteration: register + put + drain.
+    {
+        let (_w, mut rm, mut rt) = pair();
+        let hits = Arc::new(AtomicUsize::new(0));
+        g.bench_function("async_get_roundtrip", |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let key = format!("k{i}");
+                let h = hits.clone();
+                rt.async_get(&key, move |_, _| {
+                    h.fetch_add(1, Ordering::Relaxed);
+                })
+                .unwrap();
+                rm.put(&key, "v").unwrap();
+                while rt.service_events().unwrap() == 0 {
+                    std::hint::spin_loop();
+                }
+            });
+        });
+    }
+
+    // async_put's deferred completion.
+    {
+        let (_w, mut rm, _rt) = pair();
+        g.bench_function("async_put_with_completion", |b| {
+            b.iter(|| {
+                rm.async_put("k", "v", |_, _| {}).unwrap();
+                while rm.service_events().unwrap() == 0 {
+                    std::hint::spin_loop();
+                }
+            });
+        });
+    }
+
+    // Bulk drain: n pending notifications serviced in one call.
+    for n in [8usize, 64] {
+        let (_w, mut rm, mut rt) = pair();
+        g.bench_with_input(BenchmarkId::new("drain_pending", n), &n, |b, &n| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for round in 0..iters {
+                    for i in 0..n {
+                        rt.async_get(&format!("r{round}k{i}"), |_, _| {}).unwrap();
+                    }
+                    for i in 0..n {
+                        rm.put(&format!("r{round}k{i}"), "v").unwrap();
+                    }
+                    // Let the notifications land.
+                    let mut drained = 0;
+                    let t0 = std::time::Instant::now();
+                    while drained < n {
+                        drained += rt.service_events().unwrap();
+                    }
+                    total += t0.elapsed();
+                }
+                total
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_events);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! **Auxiliary-service benchmarks**: the multicast/reduction tree the
+//! paper calls "crucial to scalable tool use" (§2, citing MRNet). The
+//! interesting shape: reduction latency grows logarithmically with the
+//! leaf count when fan-out is fixed, and fan-out trades tree depth for
+//! per-node work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tdp_mrnet::{BackEnd, FrontEnd, ReduceOp, TreeSpec};
+use tdp_netsim::Network;
+use tdp_proto::HostId;
+
+struct Tree {
+    fe: FrontEnd,
+    backends: Vec<BackEnd>,
+}
+
+fn build(n_leaves: usize, fanout: usize) -> Tree {
+    let net = Network::new();
+    let root = net.add_host();
+    let hosts: Vec<HostId> = (0..8).map(|_| net.add_host()).collect();
+    let (fe, attach) =
+        FrontEnd::build(&net, root, &hosts, n_leaves, TreeSpec { fanout, op: ReduceOp::Sum })
+            .unwrap();
+    let backends = attach
+        .iter()
+        .enumerate()
+        .map(|(i, a)| BackEnd::connect(&net, hosts[i % hosts.len()], *a).unwrap())
+        .collect();
+    Tree { fe, backends }
+}
+
+fn bench_reduction_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mrnet_reduce");
+    g.measurement_time(Duration::from_secs(3)).sample_size(20);
+    for n in [4usize, 16, 64] {
+        let tree = build(n, 4);
+        let mut wave = 0u64;
+        g.bench_with_input(BenchmarkId::new("leaves", n), &n, |b, _| {
+            b.iter(|| {
+                wave += 1;
+                for be in &tree.backends {
+                    be.contribute(wave, 1).unwrap();
+                }
+                assert_eq!(
+                    tree.fe.recv_reduce(wave, Duration::from_secs(10)).unwrap(),
+                    tree.backends.len() as u64
+                );
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_fanout_tradeoff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mrnet_fanout");
+    g.measurement_time(Duration::from_secs(3)).sample_size(20);
+    for fanout in [2usize, 4, 16] {
+        let tree = build(32, fanout);
+        let mut wave = 0u64;
+        g.bench_with_input(BenchmarkId::new("fanout32leaves", fanout), &fanout, |b, _| {
+            b.iter(|| {
+                wave += 1;
+                for be in &tree.backends {
+                    be.contribute(wave, 2).unwrap();
+                }
+                assert_eq!(
+                    tree.fe.recv_reduce(wave, Duration::from_secs(10)).unwrap(),
+                    64
+                );
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_multicast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mrnet_multicast");
+    g.measurement_time(Duration::from_secs(3)).sample_size(20);
+    for n in [4usize, 32] {
+        let mut tree = build(n, 4);
+        g.bench_with_input(BenchmarkId::new("leaves", n), &n, |b, _| {
+            b.iter(|| {
+                tree.fe.multicast(b"sample-now").unwrap();
+                for be in tree.backends.iter_mut() {
+                    assert_eq!(
+                        be.recv_multicast(Duration::from_secs(10)).unwrap(),
+                        b"sample-now"
+                    );
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_reduction_scaling, bench_fanout_tradeoff, bench_multicast);
+criterion_main!(benches);

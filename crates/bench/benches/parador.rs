@@ -1,0 +1,105 @@
+//! **B4 — Parador end-to-end** (§4.3).
+//!
+//! The system-level numbers: how long a Condor job takes unmonitored vs
+//! with the full TDP + paradynd choreography (the "cost of
+//! monitorability"), and how MPI-universe startup scales with rank
+//! count. Absolute times are simulator times; the *ratios* are the
+//! reproducible result.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+use tdp_condor::{CondorPool, JobState};
+use tdp_core::World;
+use tdp_mpi::{apps, MpiComm};
+use tdp_paradyn::{paradynd_image, ParadynFrontend};
+use tdp_simos::{fn_program, ExecImage};
+
+const T: Duration = Duration::from_secs(60);
+
+fn app_image() -> ExecImage {
+    ExecImage::new(["main", "work"], Arc::new(|_| {
+        fn_program(|ctx| {
+            ctx.call("main", |ctx| {
+                for _ in 0..10 {
+                    ctx.call("work", |ctx| ctx.compute(10));
+                }
+            });
+            0
+        })
+    }))
+}
+
+fn bench_vanilla(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parador_vanilla");
+    g.measurement_time(Duration::from_secs(10)).sample_size(10);
+
+    // Baseline: the same job, no tool.
+    {
+        let world = World::new();
+        let pool = CondorPool::build(&world, 1).unwrap();
+        pool.install_everywhere("/bin/app", app_image());
+        g.bench_function("job_without_tool", |b| {
+            b.iter(|| {
+                let job = pool.submit_str("executable = /bin/app\nqueue\n").unwrap();
+                assert!(matches!(pool.wait_job(job, T).unwrap(), JobState::Completed(_)));
+            });
+        });
+    }
+
+    // Monitored: +SuspendJobAtExec + paradynd, front-end auto-runs.
+    {
+        let world = World::new();
+        let pool = CondorPool::build(&world, 1).unwrap();
+        pool.install_everywhere("/bin/app", app_image());
+        for h in pool.exec_hosts() {
+            world.os().fs().install_exec(*h, "paradynd", paradynd_image(world.clone()));
+        }
+        let fe = ParadynFrontend::start(world.net(), pool.submit_host(), 2090, 2091).unwrap();
+        let submit = format!(
+            "executable = /bin/app\n+SuspendJobAtExec = True\n+ToolDaemonCmd = \"paradynd\"\n+ToolDaemonArgs = \"-m{} -p{} -P{} -a%pid -A\"\nqueue\n",
+            fe.host().0,
+            fe.control_addr().port.0,
+            fe.data_addr().port.0
+        );
+        g.bench_function("job_with_paradynd", |b| {
+            b.iter(|| {
+                let job = pool.submit_str(&submit).unwrap();
+                assert!(matches!(pool.wait_job(job, T).unwrap(), JobState::Completed(_)));
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_mpi_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parador_mpi_startup");
+    g.measurement_time(Duration::from_secs(10)).sample_size(10);
+    for n in [2u32, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("ranks", n), &n, |b, &n| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    // Fresh world per run: MPI comm is per-job.
+                    let world = World::new();
+                    let pool = CondorPool::build(&world, n as usize).unwrap();
+                    let comm = MpiComm::new(n);
+                    pool.install_everywhere("ring", apps::ring(comm, 1, 1));
+                    let t0 = std::time::Instant::now();
+                    let job = pool
+                        .submit_str(&format!(
+                            "universe = MPI\nexecutable = ring\nmachine_count = {n}\nqueue\n"
+                        ))
+                        .unwrap();
+                    assert!(matches!(pool.wait_job(job, T).unwrap(), JobState::Completed(_)));
+                    total += t0.elapsed();
+                }
+                total
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_vanilla, bench_mpi_scaling);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! **B2 — Process-management microbenchmarks** (§3.1).
+//!
+//! What does TDP's create-paused/attach/continue choreography cost
+//! compared to a plain create-and-run? The paper's design bets the
+//! overhead is negligible next to job runtimes; these benches measure
+//! the absolute numbers on our substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+use tdp_core::{Role, TdpCreate, TdpHandle, World};
+use tdp_proto::{ContextId, HostId};
+use tdp_simos::{fn_program, ExecImage};
+
+const CTX: ContextId = ContextId(1);
+const T: Duration = Duration::from_secs(5);
+
+fn world_with_app() -> (World, HostId, TdpHandle) {
+    let world = World::new();
+    let host = world.add_host();
+    world.os().fs().install_exec(
+        host,
+        "/bin/noop",
+        ExecImage::new(["main", "work"], Arc::new(|_| {
+            fn_program(|ctx| {
+                ctx.call("main", |ctx| ctx.call("work", |ctx| ctx.compute(1)));
+                0
+            })
+        })),
+    );
+    let rm = TdpHandle::init(&world, host, CTX, "rm", Role::ResourceManager).unwrap();
+    (world, host, rm)
+}
+
+fn bench_lifecycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("process");
+    g.measurement_time(Duration::from_secs(3)).sample_size(25);
+
+    // Case 1 (§2.2): create and start immediately, wait for exit.
+    {
+        let (_world, _host, mut rm) = world_with_app();
+        g.bench_function("create_run_to_exit", |b| {
+            b.iter(|| {
+                let pid = rm.create_process(TdpCreate::new("/bin/noop")).unwrap();
+                black_box(rm.wait_terminal(pid, T).unwrap());
+            });
+        });
+    }
+
+    // Case 2 (§2.2): create paused, attach, instrument, continue, exit —
+    // the full TDP tool choreography.
+    {
+        let (_world, _host, mut rm) = world_with_app();
+        g.bench_function("create_paused_attach_continue_to_exit", |b| {
+            b.iter(|| {
+                let pid = rm.create_process(TdpCreate::new("/bin/noop").paused()).unwrap();
+                rm.attach(pid).unwrap();
+                rm.arm_probe(pid, "work").unwrap();
+                rm.continue_process(pid).unwrap();
+                black_box(rm.wait_terminal(pid, T).unwrap());
+                rm.detach(pid).unwrap_or(());
+            });
+        });
+    }
+
+    // Attach alone (case 3's acquisition step).
+    {
+        let (_world, _host, mut rm) = world_with_app();
+        g.bench_function("attach_detach", |b| {
+            let pid = rm.create_process(TdpCreate::new("/bin/noop").paused()).unwrap();
+            b.iter(|| {
+                rm.attach(pid).unwrap();
+                rm.detach(pid).unwrap();
+            });
+            rm.kill_process(pid, 9).unwrap();
+        });
+    }
+
+    // Pause/continue round trip on a paused-at-exec process.
+    {
+        let (world, _host, mut rm) = world_with_app();
+        g.bench_function("pause_continue_roundtrip", |b| {
+            let pid = rm.create_process(TdpCreate::new("/bin/noop").paused()).unwrap();
+            // Move it out of Created into Running/Stopped cycling: the
+            // body is done instantly, so use a long-running app instead.
+            world.os().fs().install_exec(
+                rm.host(),
+                "/bin/long",
+                ExecImage::from_fn(|_| fn_program(|ctx| {
+                    ctx.sleep(Duration::from_secs(600));
+                    0
+                })),
+            );
+            let lp = rm.create_process(TdpCreate::new("/bin/long")).unwrap();
+            b.iter(|| {
+                rm.pause_process(lp).unwrap();
+                rm.continue_process(lp).unwrap();
+            });
+            rm.kill_process(lp, 9).unwrap();
+            rm.kill_process(pid, 9).unwrap();
+        });
+    }
+
+    // Probe read while the target runs.
+    {
+        let (world, host, mut rm) = world_with_app();
+        world.os().fs().install_exec(
+            host,
+            "/bin/churn",
+            ExecImage::new(["main", "spin"], Arc::new(|_| {
+                fn_program(|ctx| {
+                    ctx.call("main", |ctx| {
+                        for _ in 0..u64::MAX {
+                            ctx.call("spin", |ctx| ctx.compute(1));
+                        }
+                    });
+                    0
+                })
+            })),
+        );
+        let pid = rm.create_process(TdpCreate::new("/bin/churn").paused()).unwrap();
+        rm.attach(pid).unwrap();
+        rm.arm_probe(pid, "spin").unwrap();
+        rm.continue_process(pid).unwrap();
+        g.bench_function("read_probes_live", |b| {
+            b.iter(|| black_box(rm.read_probes(pid).unwrap()));
+        });
+        rm.kill_process(pid, 9).unwrap();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lifecycle);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! **B3 — Tool communication: direct vs proxied channels** (§2.4).
+//!
+//! TDP routes a tool daemon's front-end connection through the RM's
+//! proxy when a firewall blocks the direct path. The design claim is
+//! that the relay is a transparent drop-in; these benches measure the
+//! cost of the transparency: connection setup and message round-trip
+//! time, direct vs via-proxy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use tdp_netsim::{proxy, FirewallPolicy, Network};
+use tdp_proto::{Addr, HostId};
+
+struct Rig {
+    net: Network,
+    fe: HostId,
+    exec: HostId,
+    fe_addr: Addr,
+    proxy_addr: Addr,
+    _proxy: proxy::ProxyServer,
+    _echo: std::thread::JoinHandle<()>,
+}
+
+/// Front-end echo server on the public side; exec host in a strict
+/// zone; proxy on an authorized gateway.
+fn rig() -> Rig {
+    let net = Network::new();
+    let fe = net.add_host();
+    let zone = net.add_private_zone(FirewallPolicy::NAT); // direct outbound allowed too
+    let exec = net.add_host_in(zone);
+    let gw = net.add_host_in(zone);
+    let listener = net.listen(fe, 2090).unwrap();
+    let fe_addr = listener.local_addr();
+    net.authorize_route(gw, fe_addr);
+    let p = proxy::spawn(&net, gw, 9618).unwrap();
+    let proxy_addr = p.addr();
+    let echo = std::thread::spawn(move || {
+        while let Ok(conn) = listener.accept() {
+            std::thread::spawn(move || {
+                let (tx, mut rx) = conn.split();
+                while let Ok(chunk) = rx.recv() {
+                    if tx.send_bytes(chunk).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    Rig { net, fe, exec, fe_addr, proxy_addr, _proxy: p, _echo: echo }
+}
+
+fn bench_proxy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tool_channel");
+    g.measurement_time(Duration::from_secs(3)).sample_size(30);
+    let r = rig();
+    let _ = r.fe;
+
+    g.bench_function("connect_direct", |b| {
+        b.iter(|| black_box(r.net.connect(r.exec, r.fe_addr).unwrap()));
+    });
+    g.bench_function("connect_via_proxy", |b| {
+        b.iter(|| {
+            black_box(proxy::connect_via(&r.net, r.exec, r.proxy_addr, r.fe_addr).unwrap())
+        });
+    });
+
+    let payload = vec![0u8; 256];
+    {
+        let mut direct = r.net.connect(r.exec, r.fe_addr).unwrap();
+        g.bench_function("roundtrip_direct_256B", |b| {
+            b.iter(|| {
+                direct.send(&payload).unwrap();
+                black_box(direct.recv().unwrap());
+            });
+        });
+    }
+    {
+        let mut proxied = proxy::connect_via(&r.net, r.exec, r.proxy_addr, r.fe_addr).unwrap();
+        g.bench_function("roundtrip_proxied_256B", |b| {
+            b.iter(|| {
+                proxied.send(&payload).unwrap();
+                black_box(proxied.recv().unwrap());
+            });
+        });
+    }
+
+    // Bulk throughput: 64 KiB in 1 KiB chunks, echoed back.
+    let chunk = vec![0u8; 1024];
+    {
+        let mut direct = r.net.connect(r.exec, r.fe_addr).unwrap();
+        g.bench_function("bulk64k_direct", |b| {
+            b.iter(|| {
+                for _ in 0..64 {
+                    direct.send(&chunk).unwrap();
+                }
+                let mut got = 0usize;
+                while got < 64 * 1024 {
+                    got += direct.recv().unwrap().len();
+                }
+            });
+        });
+    }
+    {
+        let mut proxied = proxy::connect_via(&r.net, r.exec, r.proxy_addr, r.fe_addr).unwrap();
+        g.bench_function("bulk64k_proxied", |b| {
+            b.iter(|| {
+                for _ in 0..64 {
+                    proxied.send(&chunk).unwrap();
+                }
+                let mut got = 0usize;
+                while got < 64 * 1024 {
+                    got += proxied.recv().unwrap().len();
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_proxy);
+criterion_main!(benches);

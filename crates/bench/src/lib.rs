@@ -1,0 +1,58 @@
+//! Benchmark support: tiny timing helpers shared by the `report` binary
+//! (the one-shot regenerator of `EXPERIMENTS.md`'s tables) and ad-hoc
+//! measurement code. The statistically careful harnesses live in
+//! `benches/` (criterion).
+
+use std::time::{Duration, Instant};
+
+/// Run `f` `n` times and return the median duration of one call.
+pub fn median_time(n: usize, mut f: impl FnMut()) -> Duration {
+    let mut samples: Vec<Duration> = (0..n)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Render a duration in adaptive units.
+pub fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_robust_to_one_outlier() {
+        let mut i = 0;
+        let d = median_time(5, || {
+            i += 1;
+            if i == 1 {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        });
+        assert!(d < Duration::from_millis(10), "{d:?}");
+    }
+
+    #[test]
+    fn fmt_units() {
+        assert!(fmt_dur(Duration::from_nanos(500)).ends_with("ns"));
+        assert!(fmt_dur(Duration::from_micros(50)).ends_with("µs"));
+        assert!(fmt_dur(Duration::from_millis(5)).ends_with("ms"));
+        assert!(fmt_dur(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

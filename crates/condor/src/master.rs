@@ -1,0 +1,86 @@
+//! `condor_master` — "its job is to keep track of the other Condor
+//! daemons" (§4.1): a supervisor that probes a daemon's liveness and
+//! restarts it from a factory when it dies. This implements the
+//! fault-detection-and-recovery extension the paper lists as required
+//! of the RM ("the RM must be able to detect these failures and
+//! respond to them").
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+use tdp_core::World;
+use tdp_proto::{Addr, HostId, TdpResult};
+
+/// Supervises one daemon identified by its listening address.
+pub struct Master {
+    restarts: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    monitor: Option<thread::JoinHandle<()>>,
+}
+
+impl Master {
+    /// Supervise the daemon listening at `probe()`'s address. The
+    /// `restart` closure must bring a replacement up (rebinding the same
+    /// well-known port) and return its address. Probing opens a
+    /// connection from `host` every `interval`; a refused connection
+    /// triggers a restart.
+    pub fn supervise(
+        world: &World,
+        host: HostId,
+        addr: Addr,
+        interval: Duration,
+        restart: impl FnMut() -> TdpResult<Addr> + Send + 'static,
+    ) -> Master {
+        let restarts = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let (r2, s2) = (restarts.clone(), stop.clone());
+        let world = world.clone();
+        let current = Arc::new(Mutex::new(addr));
+        let monitor = thread::Builder::new()
+            .name(format!("condor-master-{host}"))
+            .spawn(move || {
+                let mut restart = restart;
+                while !s2.load(Ordering::SeqCst) {
+                    thread::sleep(interval);
+                    let target = *current.lock();
+                    match world.net().connect(host, target) {
+                        Ok(conn) => drop(conn), // alive; close the probe
+                        Err(_) => {
+                            // Daemon gone: bring up a replacement.
+                            if let Ok(new_addr) = restart() {
+                                *current.lock() = new_addr;
+                                r2.fetch_add(1, Ordering::SeqCst);
+                            }
+                        }
+                    }
+                }
+            })
+            .expect("spawn master monitor");
+        Master { restarts, stop, monitor: Some(monitor) }
+    }
+
+    /// How many times the supervised daemon has been restarted.
+    pub fn restart_count(&self) -> u64 {
+        self.restarts.load(Ordering::SeqCst)
+    }
+
+    /// Stop supervising.
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.monitor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Master {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}

@@ -1,0 +1,258 @@
+//! The matchmaker (Condor's collector + negotiator): machines advertise
+//! themselves; the schedd asks for a compatible machine per job; rank
+//! breaks ties (Figure 4's `match_maker`).
+
+use crate::classad::ClassAd;
+use crate::messages::{recv_json, send_json, MmMsg};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::thread;
+use tdp_netsim::Network;
+use tdp_proto::{Addr, HostId, TdpError, TdpResult};
+
+/// The matchmaker's well-known port on the central-manager host.
+pub const MATCHMAKER_PORT: u16 = 9618;
+
+#[derive(Clone)]
+struct MachineEntry {
+    host: HostId,
+    startd: Addr,
+    ad: ClassAd,
+    available: bool,
+}
+
+/// The running matchmaker.
+pub struct Matchmaker {
+    addr: Addr,
+    net: Network,
+    machines: Arc<Mutex<BTreeMap<String, MachineEntry>>>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl Matchmaker {
+    /// Start on the central-manager host.
+    pub fn start(net: &Network, host: HostId) -> TdpResult<Matchmaker> {
+        let listener = net.listen(host, MATCHMAKER_PORT)?;
+        let addr = listener.local_addr();
+        let machines: Arc<Mutex<BTreeMap<String, MachineEntry>>> =
+            Arc::new(Mutex::new(BTreeMap::new()));
+        let m2 = machines.clone();
+        let accept_thread = thread::Builder::new()
+            .name("condor-matchmaker".into())
+            .spawn(move || {
+                while let Ok(mut conn) = listener.accept() {
+                    let machines = m2.clone();
+                    thread::Builder::new()
+                        .name("matchmaker-session".into())
+                        .spawn(move || {
+                            while let Ok(msg) = recv_json::<MmMsg>(&mut conn) {
+                                let reply = handle(&machines, msg);
+                                if send_json(&conn, &reply).is_err() {
+                                    break;
+                                }
+                            }
+                        })
+                        .expect("spawn matchmaker session");
+                }
+            })
+            .map_err(|e| TdpError::Substrate(format!("spawn matchmaker: {e}")))?;
+        Ok(Matchmaker { addr, net: net.clone(), machines, accept_thread: Some(accept_thread) })
+    }
+
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// Registered machine names with availability (tests/diagnostics).
+    pub fn machines(&self) -> Vec<(String, bool)> {
+        self.machines.lock().iter().map(|(n, e)| (n.clone(), e.available)).collect()
+    }
+
+    /// Stop accepting connections.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.net.unbind(self.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Matchmaker {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// The matchmaking algorithm: among available, mutually-matching
+/// machines, pick the one the job ranks highest (ties: name order, for
+/// determinism).
+fn handle(machines: &Mutex<BTreeMap<String, MachineEntry>>, msg: MmMsg) -> MmMsg {
+    match msg {
+        MmMsg::RegisterMachine { name, host, startd, ad } => {
+            machines
+                .lock()
+                .insert(name, MachineEntry { host, startd, ad, available: true });
+            MmMsg::Ack
+        }
+        MmMsg::UpdateMachine { name, available } => {
+            if let Some(e) = machines.lock().get_mut(&name) {
+                e.available = available;
+            }
+            MmMsg::Ack
+        }
+        MmMsg::UnregisterMachine { name } => {
+            machines.lock().remove(&name);
+            MmMsg::Ack
+        }
+        MmMsg::Negotiate { job_ad, exclude } => {
+            let machines = machines.lock();
+            let best = machines
+                .iter()
+                .filter(|(name, e)| {
+                    e.available && !exclude.contains(name) && job_ad.matches(&e.ad)
+                })
+                .max_by_key(|(name, e)| (job_ad.rank_of(&e.ad), std::cmp::Reverse((*name).clone())));
+            match best {
+                Some((name, e)) => MmMsg::MatchFound {
+                    name: name.clone(),
+                    host: e.host,
+                    startd: e.startd,
+                    ad: e.ad.clone(),
+                },
+                None => MmMsg::NoMatch,
+            }
+        }
+        MmMsg::QueryMachines => {
+            MmMsg::Machines(machines.lock().iter().map(|(n, e)| (n.clone(), e.available)).collect())
+        }
+        other => {
+            // Replies arriving as requests: protocol misuse; answer Ack
+            // so the session stays alive for diagnostics.
+            let _ = other;
+            MmMsg::Ack
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::recv_json_timeout;
+    use std::time::Duration;
+
+    fn ask(net: &Network, from: HostId, mm: Addr, msg: MmMsg) -> MmMsg {
+        let mut conn = net.connect(from, mm).unwrap();
+        send_json(&conn, &msg).unwrap();
+        recv_json_timeout(&mut conn, Duration::from_secs(5)).unwrap()
+    }
+
+    fn reg(name: &str, mem: i64) -> MmMsg {
+        MmMsg::RegisterMachine {
+            name: name.into(),
+            host: HostId(1),
+            startd: Addr::new(HostId(1), 9620),
+            ad: ClassAd::new().with_int("Memory", mem).with_bool("HasTdp", true),
+        }
+    }
+
+    #[test]
+    fn register_and_negotiate() {
+        let net = Network::new();
+        let cm = net.add_host();
+        let client = net.add_host();
+        let mm = Matchmaker::start(&net, cm).unwrap();
+        assert!(matches!(ask(&net, client, mm.addr(), reg("m1", 256)), MmMsg::Ack));
+        assert!(matches!(ask(&net, client, mm.addr(), reg("m2", 2048)), MmMsg::Ack));
+        // Job needing lots of memory matches only m2.
+        let job = ClassAd::new().require("Memory >= 1024");
+        match ask(&net, client, mm.addr(), MmMsg::Negotiate { job_ad: job, exclude: vec![] }) {
+            MmMsg::MatchFound { name, .. } => assert_eq!(name, "m2"),
+            other => panic!("expected match, got {other:?}"),
+        }
+        // Impossible job: no match.
+        let job = ClassAd::new().require("Memory >= 99999");
+        assert!(matches!(
+            ask(&net, client, mm.addr(), MmMsg::Negotiate { job_ad: job, exclude: vec![] }),
+            MmMsg::NoMatch
+        ));
+    }
+
+    #[test]
+    fn rank_prefers_best_machine() {
+        let net = Network::new();
+        let cm = net.add_host();
+        let client = net.add_host();
+        let mm = Matchmaker::start(&net, cm).unwrap();
+        ask(&net, client, mm.addr(), reg("small", 128));
+        ask(&net, client, mm.addr(), reg("big", 4096));
+        let job = ClassAd::new().rank_by("Memory");
+        match ask(&net, client, mm.addr(), MmMsg::Negotiate { job_ad: job, exclude: vec![] }) {
+            MmMsg::MatchFound { name, .. } => assert_eq!(name, "big"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn exclusion_and_availability() {
+        let net = Network::new();
+        let cm = net.add_host();
+        let client = net.add_host();
+        let mm = Matchmaker::start(&net, cm).unwrap();
+        ask(&net, client, mm.addr(), reg("m1", 512));
+        ask(&net, client, mm.addr(), reg("m2", 512));
+        let job = ClassAd::new();
+        // Exclude m1 -> must pick m2.
+        match ask(
+            &net,
+            client,
+            mm.addr(),
+            MmMsg::Negotiate { job_ad: job.clone(), exclude: vec!["m1".into()] },
+        ) {
+            MmMsg::MatchFound { name, .. } => assert_eq!(name, "m2"),
+            other => panic!("{other:?}"),
+        }
+        // Mark both busy -> no match.
+        ask(&net, client, mm.addr(), MmMsg::UpdateMachine { name: "m1".into(), available: false });
+        ask(&net, client, mm.addr(), MmMsg::UpdateMachine { name: "m2".into(), available: false });
+        assert!(matches!(
+            ask(&net, client, mm.addr(), MmMsg::Negotiate { job_ad: job, exclude: vec![] }),
+            MmMsg::NoMatch
+        ));
+    }
+
+    #[test]
+    fn unregister_removes() {
+        let net = Network::new();
+        let cm = net.add_host();
+        let client = net.add_host();
+        let mm = Matchmaker::start(&net, cm).unwrap();
+        ask(&net, client, mm.addr(), reg("m1", 512));
+        assert_eq!(mm.machines().len(), 1);
+        ask(&net, client, mm.addr(), MmMsg::UnregisterMachine { name: "m1".into() });
+        assert_eq!(mm.machines().len(), 0);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let net = Network::new();
+        let cm = net.add_host();
+        let client = net.add_host();
+        let mm = Matchmaker::start(&net, cm).unwrap();
+        ask(&net, client, mm.addr(), reg("zeta", 512));
+        ask(&net, client, mm.addr(), reg("alpha", 512));
+        match ask(
+            &net,
+            client,
+            mm.addr(),
+            MmMsg::Negotiate { job_ad: ClassAd::new(), exclude: vec![] },
+        ) {
+            MmMsg::MatchFound { name, .. } => assert_eq!(name, "alpha"),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Wire messages between Condor daemons (JSON-encoded, one message per
+//! network chunk) and the tiny send/recv helpers.
+
+use crate::classad::ClassAd;
+use crate::submit::SubmitDescription;
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+use tdp_netsim::Conn;
+use tdp_proto::{Addr, HostId, JobId, TdpError, TdpResult};
+
+/// Messages to/from the matchmaker (collector + negotiator).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum MmMsg {
+    /// startd → matchmaker: advertise a machine.
+    RegisterMachine { name: String, host: HostId, startd: Addr, ad: ClassAd },
+    /// startd → matchmaker: update availability.
+    UpdateMachine { name: String, available: bool },
+    /// startd → matchmaker: leaving the pool.
+    UnregisterMachine { name: String },
+    /// schedd → matchmaker: find a machine for this job ad, excluding
+    /// the named machines (already claimed for the same MPI job).
+    Negotiate { job_ad: ClassAd, exclude: Vec<String> },
+    /// matchmaker → schedd.
+    MatchFound { name: String, host: HostId, startd: Addr, ad: ClassAd },
+    /// matchmaker → schedd.
+    NoMatch,
+    /// Acknowledgement for register/update/unregister.
+    Ack,
+    /// schedd/tests → matchmaker: dump the machine table.
+    QueryMachines,
+    /// matchmaker reply: (name, available) pairs.
+    Machines(Vec<(String, bool)>),
+}
+
+/// Everything the starter needs to run one (rank of a) job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobDetails {
+    pub job: JobId,
+    pub submit: SubmitDescription,
+    /// Where the shadow for this job listens (remote syscalls + status).
+    pub shadow: Addr,
+    /// Submit host (source of staged files).
+    pub submit_host: HostId,
+    /// MPI rank this activation runs (0 for Vanilla/Standard).
+    pub rank: u32,
+    /// Tool daemons for non-zero ranks auto-run (§4.3: they
+    /// "immediately issue a run command").
+    pub tool_auto_run: bool,
+}
+
+/// Claiming-protocol and activation messages (schedd ↔ startd).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ClaimMsg {
+    /// schedd → startd: may I claim this machine for `job`?
+    RequestClaim { job: JobId },
+    /// startd → schedd: claim granted.
+    ClaimAccepted { claim_id: u64 },
+    /// startd → schedd: machine busy or gone.
+    ClaimRejected { reason: String },
+    /// schedd → startd: run this job under the claim. (Boxed: the
+    /// details dwarf the other variants.)
+    ActivateClaim { claim_id: u64, details: Box<JobDetails> },
+    /// startd → schedd: starter launched.
+    Activated,
+    /// schedd → startd: give the machine back.
+    ReleaseClaim { claim_id: u64 },
+    /// startd → schedd: released.
+    Released,
+}
+
+/// Remote-syscall and status messages (starter → shadow), plus replies.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ShadowMsg {
+    /// Read a file on the submit machine.
+    FetchFile { path: String },
+    FileData { path: String, data: Vec<u8> },
+    FileError { path: String, error: String },
+    /// Write a file on the submit machine (output staging).
+    StoreFile { path: String, data: Vec<u8> },
+    StoreOk,
+    /// Job status change, as an attribute-style string.
+    StatusUpdate { job: JobId, rank: u32, status: String },
+    /// Terminal report.
+    JobDone { job: JobId, rank: u32, status: String },
+    /// The starter could not run this rank at all (staging failure,
+    /// missing executable, dead tool…). The schedd may requeue.
+    RankFailed { job: JobId, rank: u32, error: String },
+    Ack,
+}
+
+/// Send one JSON message as one chunk.
+pub fn send_json<T: Serialize>(conn: &Conn, msg: &T) -> TdpResult<()> {
+    let data = serde_json::to_vec(msg)
+        .map_err(|e| TdpError::Protocol(format!("json encode: {e}")))?;
+    conn.send(&data)
+}
+
+/// Receive one JSON message (one chunk).
+pub fn recv_json<T: DeserializeOwned>(conn: &mut Conn) -> TdpResult<T> {
+    let chunk = conn.recv()?;
+    serde_json::from_slice(&chunk).map_err(|e| TdpError::Protocol(format!("json decode: {e}")))
+}
+
+/// Receive with a deadline.
+pub fn recv_json_timeout<T: DeserializeOwned>(conn: &mut Conn, t: Duration) -> TdpResult<T> {
+    let chunk = conn.recv_timeout(t)?;
+    serde_json::from_slice(&chunk).map_err(|e| TdpError::Protocol(format!("json decode: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classad::ClassAd;
+
+    #[test]
+    fn json_roundtrip_over_conn() {
+        let (a, mut b) = Conn::pair();
+        let msg = MmMsg::RegisterMachine {
+            name: "slot1@host2".into(),
+            host: HostId(2),
+            startd: Addr::new(HostId(2), 9620),
+            ad: ClassAd::new().with_int("Memory", 512),
+        };
+        send_json(&a, &msg).unwrap();
+        let got: MmMsg = recv_json(&mut b).unwrap();
+        match got {
+            MmMsg::RegisterMachine { name, host, .. } => {
+                assert_eq!(name, "slot1@host2");
+                assert_eq!(host, HostId(2));
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn claim_and_shadow_msgs_roundtrip() {
+        let (a, mut b) = Conn::pair();
+        send_json(&a, &ClaimMsg::RequestClaim { job: JobId(1) }).unwrap();
+        assert!(matches!(recv_json::<ClaimMsg>(&mut b).unwrap(), ClaimMsg::RequestClaim { .. }));
+        send_json(&a, &ShadowMsg::FetchFile { path: "infile".into() }).unwrap();
+        assert!(matches!(recv_json::<ShadowMsg>(&mut b).unwrap(), ShadowMsg::FetchFile { .. }));
+    }
+
+    #[test]
+    fn garbage_decodes_to_error() {
+        let (a, mut b) = Conn::pair();
+        a.send(b"{not json").unwrap();
+        assert!(recv_json::<MmMsg>(&mut b).is_err());
+    }
+}

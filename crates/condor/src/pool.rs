@@ -1,0 +1,120 @@
+//! Pool assembly: one call to stand up a whole Condor pool (central
+//! manager + schedd + startds) inside a [`World`].
+
+use crate::classad::ClassAd;
+use crate::matchmaker::Matchmaker;
+use crate::schedd::{JobState, Schedd};
+use crate::startd::Startd;
+use crate::submit::SubmitDescription;
+use std::time::Duration;
+use tdp_core::World;
+use tdp_proto::{HostId, JobId, TdpResult};
+use tdp_simos::ExecImage;
+
+/// A running pool.
+pub struct CondorPool {
+    world: World,
+    cm_host: HostId,
+    submit_host: HostId,
+    exec_hosts: Vec<HostId>,
+    matchmaker: Matchmaker,
+    schedd: Schedd,
+    startds: Vec<Startd>,
+}
+
+impl CondorPool {
+    /// Build a pool: a central manager and a submit machine on the
+    /// public network plus `n_exec` execution machines (each with a
+    /// default machine ad: 1 GiB memory, `HasTdp = true`).
+    pub fn build(world: &World, n_exec: usize) -> TdpResult<CondorPool> {
+        let cm_host = world.add_host();
+        let submit_host = world.add_host();
+        let exec_hosts: Vec<HostId> = (0..n_exec).map(|_| world.add_host()).collect();
+        Self::assemble(world, cm_host, submit_host, exec_hosts)
+    }
+
+    /// Build with caller-provided hosts (e.g. execution hosts inside a
+    /// firewalled private zone).
+    pub fn assemble(
+        world: &World,
+        cm_host: HostId,
+        submit_host: HostId,
+        exec_hosts: Vec<HostId>,
+    ) -> TdpResult<CondorPool> {
+        let matchmaker = Matchmaker::start(world.net(), cm_host)?;
+        // Startds must reach the matchmaker and the schedd's shadows;
+        // in firewalled setups the caller authorizes routes.
+        let mut startds = Vec::new();
+        for (i, h) in exec_hosts.iter().enumerate() {
+            let ad = ClassAd::new()
+                .with_int("Memory", 1024)
+                .with_int("Cpus", 1)
+                .with_int("MachineId", i as i64)
+                .with_bool("HasTdp", true)
+                .with_str("Arch", "X86_64");
+            startds.push(Startd::start(world, *h, ad, matchmaker.addr())?);
+        }
+        let schedd = Schedd::start(world, submit_host, matchmaker.addr());
+        Ok(CondorPool {
+            world: world.clone(),
+            cm_host,
+            submit_host,
+            exec_hosts,
+            matchmaker,
+            schedd,
+            startds,
+        })
+    }
+
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    pub fn central_manager(&self) -> HostId {
+        self.cm_host
+    }
+
+    pub fn submit_host(&self) -> HostId {
+        self.submit_host
+    }
+
+    pub fn exec_hosts(&self) -> &[HostId] {
+        &self.exec_hosts
+    }
+
+    pub fn matchmaker(&self) -> &Matchmaker {
+        &self.matchmaker
+    }
+
+    pub fn schedd(&self) -> &Schedd {
+        &self.schedd
+    }
+
+    pub fn startds(&self) -> &[Startd] {
+        &self.startds
+    }
+
+    /// Install an executable image on every execution host (how tests
+    /// and examples provision application binaries; jobs with
+    /// `transfer_files = always` instead stage from the submit host).
+    pub fn install_everywhere(&self, path: &str, image: ExecImage) {
+        for h in &self.exec_hosts {
+            self.world.os().fs().install_exec(*h, path, image.clone());
+        }
+    }
+
+    /// Parse and submit a submit file.
+    pub fn submit_str(&self, text: &str) -> TdpResult<JobId> {
+        self.schedd.submit_str(text)
+    }
+
+    /// Submit a parsed description.
+    pub fn submit(&self, d: SubmitDescription) -> JobId {
+        self.schedd.submit(d)
+    }
+
+    /// Wait for a job's terminal state.
+    pub fn wait_job(&self, job: JobId, timeout: Duration) -> TdpResult<JobState> {
+        self.schedd.wait_job(job, timeout)
+    }
+}

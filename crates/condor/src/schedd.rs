@@ -1,0 +1,398 @@
+//! `condor_schedd` — the submit-side queue and claim orchestrator.
+//!
+//! "Any submit machine needs to have a condor_schedd running …
+//! condor_schedd takes care of the job until a suitable and available
+//! resource is found for the job. The condor_schedd spawns a
+//! condor_shadow daemon to serve that particular request." (§4.1)
+//!
+//! For the MPI universe the schedd also implements the staged startup
+//! of §4.3: claim all machines first, activate rank 0 (whose tool waits
+//! for the user's run command), and only once rank 0 is running
+//! activate the remaining ranks with auto-running tool daemons.
+
+use crate::messages::{recv_json_timeout, send_json, ClaimMsg, JobDetails, MmMsg};
+use crate::shadow::Shadow;
+use crate::submit::{SubmitDescription, Universe};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+use tdp_core::World;
+use tdp_proto::{Addr, HostId, JobId, ProcStatus, TdpError, TdpResult};
+
+/// Queue state of a job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobState {
+    /// Waiting for resources.
+    Idle,
+    /// All claims held; starters activated.
+    Running,
+    /// Every rank reported terminal status (rank → status).
+    Completed(HashMap<u32, ProcStatus>),
+    /// Could not be scheduled or run.
+    Failed(String),
+}
+
+struct JobRecord {
+    state: JobState,
+    shadow: Option<Arc<Shadow>>,
+}
+
+struct ScheddInner {
+    world: World,
+    submit_host: HostId,
+    mm: Addr,
+    jobs: Mutex<HashMap<JobId, JobRecord>>,
+    cv: Condvar,
+    next_job: AtomicU64,
+    /// How long to keep renegotiating before failing a job.
+    negotiation_timeout: Duration,
+}
+
+/// The running schedd. One per submit machine.
+#[derive(Clone)]
+pub struct Schedd {
+    inner: Arc<ScheddInner>,
+}
+
+impl Schedd {
+    pub fn start(world: &World, submit_host: HostId, mm: Addr) -> Schedd {
+        Schedd {
+            inner: Arc::new(ScheddInner {
+                world: world.clone(),
+                submit_host,
+                mm,
+                jobs: Mutex::new(HashMap::new()),
+                cv: Condvar::new(),
+                next_job: AtomicU64::new(1),
+                negotiation_timeout: Duration::from_secs(10),
+            }),
+        }
+    }
+
+    /// Submit host (diagnostics).
+    pub fn submit_host(&self) -> HostId {
+        self.inner.submit_host
+    }
+
+    /// Submit a parsed description; returns the job id immediately. A
+    /// per-job scheduling thread negotiates, claims and activates.
+    pub fn submit(&self, submit: SubmitDescription) -> JobId {
+        let job = JobId(self.inner.next_job.fetch_add(1, Ordering::SeqCst));
+        self.inner
+            .jobs
+            .lock()
+            .insert(job, JobRecord { state: JobState::Idle, shadow: None });
+        let inner = self.inner.clone();
+        thread::Builder::new()
+            .name(format!("condor-schedd-{job}"))
+            .spawn(move || {
+                if let Err(e) = schedule_job(&inner, job, submit) {
+                    let mut jobs = inner.jobs.lock();
+                    if let Some(rec) = jobs.get_mut(&job) {
+                        if !matches!(rec.state, JobState::Completed(_)) {
+                            rec.state = JobState::Failed(e.to_string());
+                        }
+                    }
+                    drop(jobs);
+                    inner.cv.notify_all();
+                }
+            })
+            .expect("spawn schedd job thread");
+        job
+    }
+
+    /// Parse and submit a submit-file text.
+    pub fn submit_str(&self, text: &str) -> TdpResult<JobId> {
+        Ok(self.submit(SubmitDescription::parse(text)?))
+    }
+
+    /// Current state of a job.
+    pub fn job_state(&self, job: JobId) -> Option<JobState> {
+        self.inner.jobs.lock().get(&job).map(|r| r.state.clone())
+    }
+
+    /// `condor_q`: every job in the queue with its state, ordered by id.
+    pub fn condor_q(&self) -> Vec<(JobId, JobState)> {
+        let mut v: Vec<(JobId, JobState)> =
+            self.inner.jobs.lock().iter().map(|(j, r)| (*j, r.state.clone())).collect();
+        v.sort_by_key(|(j, _)| *j);
+        v
+    }
+
+    /// The job's shadow (present once scheduling started).
+    pub fn shadow_of(&self, job: JobId) -> Option<Arc<Shadow>> {
+        self.inner.jobs.lock().get(&job).and_then(|r| r.shadow.clone())
+    }
+
+    /// Block until the job completes or fails.
+    pub fn wait_job(&self, job: JobId, timeout: Duration) -> TdpResult<JobState> {
+        let deadline = Instant::now() + timeout;
+        let mut jobs = self.inner.jobs.lock();
+        loop {
+            match jobs.get(&job) {
+                None => return Err(TdpError::Substrate(format!("unknown job {job}"))),
+                Some(rec) => match &rec.state {
+                    JobState::Completed(_) | JobState::Failed(_) => {
+                        return Ok(rec.state.clone())
+                    }
+                    _ => {}
+                },
+            }
+            if self.inner.cv.wait_until(&mut jobs, deadline).timed_out() {
+                return Err(TdpError::Timeout);
+            }
+        }
+    }
+}
+
+struct Claim {
+    machine: String,
+    conn: tdp_netsim::Conn,
+    claim_id: u64,
+}
+
+/// The per-job scheduling flow.
+fn schedule_job(inner: &Arc<ScheddInner>, job: JobId, submit: SubmitDescription) -> TdpResult<()> {
+    let n_ranks = match submit.universe {
+        Universe::Mpi => submit.machine_count.max(1),
+        _ => 1,
+    };
+
+    // Negotiate + claim until we hold machine_count machines. "The
+    // application does not start until a suitable number of machines
+    // are allocated by Condor." (§4.3)
+    let mut claims: Vec<Claim> = Vec::new();
+    let deadline = Instant::now() + inner.negotiation_timeout;
+    while (claims.len() as u32) < n_ranks {
+        if Instant::now() > deadline {
+            let held = claims.len();
+            release_claims(&mut claims);
+            return Err(TdpError::Substrate(format!(
+                "no match for {job}: got {held}/{n_ranks} machines"
+            )));
+        }
+        let exclude: Vec<String> = claims.iter().map(|c| c.machine.clone()).collect();
+        match negotiate(inner, &submit, exclude)? {
+            Some((name, host, startd)) => {
+                // Claiming protocol: "either party may decide not to
+                // complete the allocation" — the startd may reject.
+                let _ = host;
+                match try_claim(inner, job, startd) {
+                    Ok((conn, claim_id)) => {
+                        claims.push(Claim { machine: name, conn, claim_id })
+                    }
+                    Err(_) => thread::sleep(Duration::from_millis(10)),
+                }
+            }
+            None => thread::sleep(Duration::from_millis(15)),
+        }
+    }
+
+    // All machines held: create the shadow and activate.
+    let shadow = Arc::new(Shadow::start(&inner.world, inner.submit_host, job)?);
+    {
+        let mut jobs = inner.jobs.lock();
+        if let Some(rec) = jobs.get_mut(&job) {
+            rec.shadow = Some(shadow.clone());
+            rec.state = JobState::Running;
+        }
+    }
+    inner.cv.notify_all();
+
+    let details = |rank: u32, auto: bool| JobDetails {
+        job,
+        submit: submit.clone(),
+        shadow: shadow.addr(),
+        submit_host: inner.submit_host,
+        rank,
+        tool_auto_run: auto,
+    };
+
+    match submit.universe {
+        Universe::Mpi if n_ranks > 1 => {
+            // Rank 0 (the "master process") first.
+            activate(&mut claims[0], details(0, false))?;
+            // Wait until rank 0 actually runs (the user issued the run
+            // command through the tool front-end, or no tool is
+            // involved and it started straight away).
+            let run_deadline = Instant::now() + Duration::from_secs(30);
+            loop {
+                match shadow.status_of(0) {
+                    Some(ProcStatus::Running) => break,
+                    Some(st) if st.is_terminal() => break, // crashed before others started
+                    _ => {
+                        if Instant::now() > run_deadline {
+                            release_claims(&mut claims);
+                            return Err(TdpError::Substrate(format!(
+                                "{job}: rank 0 never started"
+                            )));
+                        }
+                        thread::sleep(Duration::from_millis(5));
+                    }
+                }
+            }
+            // Remaining ranks: tools auto-run (§4.3: "they immediately
+            // issue a run command").
+            for rank in 1..n_ranks {
+                let d = details(rank, true);
+                activate(&mut claims[rank as usize], d)?;
+            }
+        }
+        _ => {
+            activate(&mut claims[0], details(0, false))?;
+        }
+    }
+
+    // Wait for every rank to finish, requeueing ranks whose starter
+    // failed outright (fault recovery: "the RM must be able to detect
+    // these failures [and] respond to them").
+    let mut retries = 0u32;
+    let mut avoid: Vec<String> = Vec::new();
+    let done = loop {
+        match shadow.wait_outcome(n_ranks, Duration::from_secs(600))? {
+            Ok(done) => {
+                // Checkpointing jobs: a vacate (killed:15) is not a
+                // terminal outcome — requeue the rank; it resumes from
+                // the checkpoint the starter staged back.
+                if submit.checkpointing {
+                    let vacated: Vec<u32> = done
+                        .iter()
+                        .filter(|(_, st)| **st == ProcStatus::Killed(15))
+                        .map(|(r, _)| *r)
+                        .collect();
+                    if !vacated.is_empty() {
+                        retries += vacated.len() as u32;
+                        if retries > MAX_REQUEUES {
+                            return Err(TdpError::Substrate(format!(
+                                "{job}: vacated more than {MAX_REQUEUES} times"
+                            )));
+                        }
+                        for rank in vacated {
+                            shadow.clear_rank(rank);
+                            let redeadline = Instant::now() + inner.negotiation_timeout;
+                            let new_claim = loop {
+                                if Instant::now() > redeadline {
+                                    return Err(TdpError::Substrate(format!(
+                                        "{job} rank {rank}: no machine after vacate"
+                                    )));
+                                }
+                                match negotiate(inner, &submit, avoid.clone())? {
+                                    Some((name, _host, startd)) => {
+                                        match try_claim(inner, job, startd) {
+                                            Ok((conn, claim_id)) => {
+                                                break Claim { machine: name, conn, claim_id }
+                                            }
+                                            Err(_) => thread::sleep(Duration::from_millis(10)),
+                                        }
+                                    }
+                                    None => thread::sleep(Duration::from_millis(15)),
+                                }
+                            };
+                            claims.push(new_claim);
+                            let idx = claims.len() - 1;
+                            let mut d = details(rank, true);
+                            d.tool_auto_run = true;
+                            activate(&mut claims[idx], d)?;
+                        }
+                        continue;
+                    }
+                }
+                break done;
+            }
+            Err((rank, error)) => {
+                retries += 1;
+                if retries > MAX_REQUEUES {
+                    return Err(TdpError::Substrate(format!(
+                        "{job} rank {rank} failed after {MAX_REQUEUES} requeues: {error}"
+                    )));
+                }
+                // Avoid the machine the rank just failed on.
+                if let Some(name) = error.split(' ').next() {
+                    avoid.push(name.to_string());
+                }
+                // Find a replacement machine and re-activate there.
+                let redeadline = Instant::now() + inner.negotiation_timeout;
+                let new_claim = loop {
+                    if Instant::now() > redeadline {
+                        return Err(TdpError::Substrate(format!(
+                            "{job} rank {rank}: no replacement machine ({error})"
+                        )));
+                    }
+                    match negotiate(inner, &submit, avoid.clone())? {
+                        Some((name, _host, startd)) => match try_claim(inner, job, startd) {
+                            Ok((conn, claim_id)) => {
+                                break Claim { machine: name, conn, claim_id }
+                            }
+                            Err(_) => thread::sleep(Duration::from_millis(10)),
+                        },
+                        None => thread::sleep(Duration::from_millis(15)),
+                    }
+                };
+                claims.push(new_claim);
+                let idx = claims.len() - 1;
+                // Re-runs never wait for another front-end run command.
+                let mut d = details(rank, true);
+                d.tool_auto_run = true;
+                activate(&mut claims[idx], d)?;
+            }
+        }
+    };
+    {
+        let mut jobs = inner.jobs.lock();
+        if let Some(rec) = jobs.get_mut(&job) {
+            rec.state = JobState::Completed(done);
+        }
+    }
+    inner.cv.notify_all();
+    shadow.shutdown();
+    Ok(())
+}
+
+/// How many starter-level failures a job may absorb before giving up.
+const MAX_REQUEUES: u32 = 3;
+
+fn negotiate(
+    inner: &ScheddInner,
+    submit: &SubmitDescription,
+    exclude: Vec<String>,
+) -> TdpResult<Option<(String, HostId, Addr)>> {
+    let mut conn = inner.world.net().connect(inner.submit_host, inner.mm)?;
+    send_json(&conn, &MmMsg::Negotiate { job_ad: submit.job_ad(), exclude })?;
+    match recv_json_timeout::<MmMsg>(&mut conn, Duration::from_secs(5))? {
+        MmMsg::MatchFound { name, host, startd, .. } => Ok(Some((name, host, startd))),
+        MmMsg::NoMatch => Ok(None),
+        other => Err(TdpError::Protocol(format!("bad negotiation reply {other:?}"))),
+    }
+}
+
+fn try_claim(
+    inner: &ScheddInner,
+    job: JobId,
+    startd: Addr,
+) -> TdpResult<(tdp_netsim::Conn, u64)> {
+    let mut conn = inner.world.net().connect(inner.submit_host, startd)?;
+    send_json(&conn, &ClaimMsg::RequestClaim { job })?;
+    match recv_json_timeout::<ClaimMsg>(&mut conn, Duration::from_secs(5))? {
+        ClaimMsg::ClaimAccepted { claim_id } => Ok((conn, claim_id)),
+        ClaimMsg::ClaimRejected { reason } => Err(TdpError::Substrate(reason)),
+        other => Err(TdpError::Protocol(format!("bad claim reply {other:?}"))),
+    }
+}
+
+fn activate(claim: &mut Claim, details: JobDetails) -> TdpResult<()> {
+    send_json(&claim.conn, &ClaimMsg::ActivateClaim { claim_id: claim.claim_id, details: Box::new(details) })?;
+    match recv_json_timeout::<ClaimMsg>(&mut claim.conn, Duration::from_secs(5))? {
+        ClaimMsg::Activated => Ok(()),
+        ClaimMsg::ClaimRejected { reason } => Err(TdpError::Substrate(reason)),
+        other => Err(TdpError::Protocol(format!("bad activate reply {other:?}"))),
+    }
+}
+
+fn release_claims(claims: &mut Vec<Claim>) {
+    for c in claims.drain(..) {
+        let _ = send_json(&c.conn, &ClaimMsg::ReleaseClaim { claim_id: c.claim_id });
+    }
+}

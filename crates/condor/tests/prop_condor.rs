@@ -1,0 +1,103 @@
+//! Property tests: submit-file parsing and ClassAd matchmaking.
+
+use proptest::prelude::*;
+use tdp_condor::classad::{ClassAd, Requirement};
+use tdp_condor::{SubmitDescription, Universe};
+
+fn arb_word() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9_./-]{1,12}"
+}
+
+proptest! {
+    /// Any generated description renders to a submit file that parses
+    /// back to the same description (the parser round-trips its own
+    /// surface syntax).
+    #[test]
+    fn submit_roundtrip(
+        exe in arb_word(),
+        args in proptest::collection::vec(arb_word(), 0..4),
+        universe in prop_oneof![Just(Universe::Vanilla), Just(Universe::Mpi), Just(Universe::Standard)],
+        machine_count in 1u32..8,
+        suspend in any::<bool>(),
+        tool in proptest::option::of((arb_word(), proptest::collection::vec(arb_word(), 0..3))),
+        count in 1u32..4,
+    ) {
+        let mut text = String::new();
+        let uni = match universe {
+            Universe::Vanilla => "Vanilla",
+            Universe::Mpi => "MPI",
+            Universe::Standard => "Standard",
+        };
+        text.push_str(&format!("universe = {uni}\n"));
+        text.push_str(&format!("executable = {exe}\n"));
+        if !args.is_empty() {
+            text.push_str(&format!("arguments = {}\n", args.join(" ")));
+        }
+        text.push_str(&format!("machine_count = {machine_count}\n"));
+        if suspend {
+            text.push_str("+SuspendJobAtExec = True\n");
+        }
+        if let Some((cmd, targs)) = &tool {
+            text.push_str(&format!("+ToolDaemonCmd = \"{cmd}\"\n"));
+            if !targs.is_empty() {
+                text.push_str(&format!("+ToolDaemonArgs = \"{}\"\n", targs.join(" ")));
+            }
+        }
+        text.push_str(&format!("queue {count}\n"));
+
+        let d = SubmitDescription::parse(&text).unwrap();
+        prop_assert_eq!(d.universe, universe);
+        prop_assert_eq!(&d.executable, &exe);
+        prop_assert_eq!(&d.arguments, &args);
+        prop_assert_eq!(d.machine_count, machine_count);
+        prop_assert_eq!(d.suspend_job_at_exec, suspend);
+        prop_assert_eq!(d.count, count);
+        match (&d.tool_daemon, &tool) {
+            (Some(td), Some((cmd, targs))) => {
+                prop_assert_eq!(&td.cmd, cmd);
+                prop_assert_eq!(&td.args, targs);
+            }
+            (None, None) => {}
+            other => prop_assert!(false, "tool mismatch: {other:?}"),
+        }
+    }
+
+    /// Parsing never panics on arbitrary text.
+    #[test]
+    fn submit_parse_never_panics(text in ".{0,400}") {
+        let _ = SubmitDescription::parse(&text);
+    }
+
+    /// Matchmaking invariants: matches() is symmetric, an ad with no
+    /// requirements matches anything that doesn't constrain it, and
+    /// tightening a numeric requirement never *adds* matches.
+    #[test]
+    fn classad_matching_invariants(
+        mem in 0i64..4096,
+        need_a in 0i64..4096,
+        need_b in 0i64..4096,
+    ) {
+        let machine = ClassAd::new().with_int("Memory", mem);
+        let (lo, hi) = if need_a <= need_b { (need_a, need_b) } else { (need_b, need_a) };
+        let loose = ClassAd::new().require(&format!("Memory >= {lo}"));
+        let tight = ClassAd::new().require(&format!("Memory >= {hi}"));
+        // Symmetry.
+        prop_assert_eq!(loose.matches(&machine), machine.matches(&loose));
+        // Monotonicity: if the tight ad matches, the loose one must.
+        if tight.matches(&machine) {
+            prop_assert!(loose.matches(&machine));
+        }
+        // Unconstrained ads always match unconstrained counterparts.
+        prop_assert!(ClassAd::new().matches(&machine));
+    }
+
+    /// Requirement parse accepts exactly what it produces.
+    #[test]
+    fn requirement_parse_consistency(attr in "[A-Za-z]{1,8}", v in -1000i64..1000) {
+        for op in ["==", "!=", ">=", "<=", ">", "<"] {
+            let s = format!("{attr} {op} {v}");
+            let r = Requirement::parse(&s);
+            prop_assert!(r.is_some(), "failed to parse {s:?}");
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! The [`World`]: simulated kernel + network + shared TDP state.
+//!
+//! A `World` is what a test, example or benchmark sets up once: it owns
+//! the `tdp-simos` kernel, the `tdp-netsim` fabric, the per-host LASS
+//! servers ("the LASS's are started by the RM", §2.1 — concretely,
+//! [`World::ensure_lass`] is invoked from the RM's `tdp_init`), an
+//! optional CASS, and the global call [`Trace`].
+
+use crate::trace::Trace;
+use crate::{CASS_PORT, LASS_PORT};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tdp_attrspace::{AttrSpaceServer, ServerKind};
+use tdp_netsim::{FirewallPolicy, Network, ZoneId};
+use tdp_proto::{Addr, HostId, TdpResult};
+use tdp_simos::{Os, OsConfig};
+
+struct WorldInner {
+    os: Os,
+    net: Network,
+    trace: Trace,
+    lass: Mutex<HashMap<HostId, AttrSpaceServer>>,
+    cass: Mutex<Option<AttrSpaceServer>>,
+}
+
+/// Shared simulation world. Cheap to clone.
+#[derive(Clone)]
+pub struct World {
+    inner: Arc<WorldInner>,
+}
+
+impl Default for World {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl World {
+    pub fn new() -> World {
+        World::with_config(OsConfig::default())
+    }
+
+    pub fn with_config(cfg: OsConfig) -> World {
+        World {
+            inner: Arc::new(WorldInner {
+                os: Os::with_config(cfg),
+                net: Network::new(),
+                trace: Trace::new(),
+                lass: Mutex::new(HashMap::new()),
+                cass: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// The simulated kernel.
+    pub fn os(&self) -> &Os {
+        &self.inner.os
+    }
+
+    /// The simulated network.
+    pub fn net(&self) -> &Network {
+        &self.inner.net
+    }
+
+    /// The global TDP call trace.
+    pub fn trace(&self) -> &Trace {
+        &self.inner.trace
+    }
+
+    /// Add a host on the public network.
+    pub fn add_host(&self) -> HostId {
+        self.inner.net.add_host()
+    }
+
+    /// Add a host inside a private zone.
+    pub fn add_host_in(&self, zone: ZoneId) -> HostId {
+        self.inner.net.add_host_in(zone)
+    }
+
+    /// Create a private zone.
+    pub fn add_private_zone(&self, policy: FirewallPolicy) -> ZoneId {
+        self.inner.net.add_private_zone(policy)
+    }
+
+    /// Start (or find) the LASS on a host, returning its address. Called
+    /// by the RM's `tdp_init`; idempotent.
+    pub fn ensure_lass(&self, host: HostId) -> TdpResult<Addr> {
+        let mut lass = self.inner.lass.lock();
+        if let Some(s) = lass.get(&host) {
+            return Ok(s.addr());
+        }
+        let s = AttrSpaceServer::spawn(&self.inner.net, host, LASS_PORT, ServerKind::Local)?;
+        let addr = s.addr();
+        lass.insert(host, s);
+        Ok(addr)
+    }
+
+    /// Address of an already-running LASS, if any.
+    pub fn lass_addr(&self, host: HostId) -> Option<Addr> {
+        self.inner.lass.lock().get(&host).map(|s| s.addr())
+    }
+
+    /// Start (or find) the CASS on the front-end host. Called by the RM
+    /// front-end.
+    pub fn ensure_cass(&self, host: HostId) -> TdpResult<Addr> {
+        let mut cass = self.inner.cass.lock();
+        if let Some(s) = cass.as_ref() {
+            return Ok(s.addr());
+        }
+        let s = AttrSpaceServer::spawn(&self.inner.net, host, CASS_PORT, ServerKind::Central)?;
+        let addr = s.addr();
+        *cass = Some(s);
+        Ok(addr)
+    }
+
+    /// Address of the CASS, if started.
+    pub fn cass_addr(&self) -> Option<Addr> {
+        self.inner.cass.lock().as_ref().map(|s| s.addr())
+    }
+
+    /// Tear down the LASS on a host (simulates its crash — fault
+    /// injection for tests).
+    pub fn kill_lass(&self, host: HostId) {
+        if let Some(s) = self.inner.lass.lock().remove(&host) {
+            s.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ensure_lass_is_idempotent() {
+        let w = World::new();
+        let h = w.add_host();
+        let a1 = w.ensure_lass(h).unwrap();
+        let a2 = w.ensure_lass(h).unwrap();
+        assert_eq!(a1, a2);
+        assert_eq!(w.lass_addr(h), Some(a1));
+    }
+
+    #[test]
+    fn lass_per_host() {
+        let w = World::new();
+        let h1 = w.add_host();
+        let h2 = w.add_host();
+        let a1 = w.ensure_lass(h1).unwrap();
+        let a2 = w.ensure_lass(h2).unwrap();
+        assert_ne!(a1.host, a2.host);
+        assert_eq!(a1.port, a2.port, "LASS uses the well-known port on each host");
+    }
+
+    #[test]
+    fn single_cass() {
+        let w = World::new();
+        let fe = w.add_host();
+        assert_eq!(w.cass_addr(), None);
+        let a = w.ensure_cass(fe).unwrap();
+        assert_eq!(w.ensure_cass(fe).unwrap(), a);
+    }
+
+    #[test]
+    fn kill_lass_releases_port() {
+        let w = World::new();
+        let h = w.add_host();
+        let a1 = w.ensure_lass(h).unwrap();
+        w.kill_lass(h);
+        assert_eq!(w.lass_addr(h), None);
+        let a2 = w.ensure_lass(h).unwrap();
+        assert_eq!(a1, a2, "restarted LASS rebinds the well-known port");
+    }
+}

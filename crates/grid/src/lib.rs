@@ -1,0 +1,31 @@
+//! # tdp-grid — the Grid layer above the batch systems
+//!
+//! §1 of the paper: "More recently, attention has focused on Grid
+//! computing, using systems such as Globus or Legion … The presence of
+//! such a Grid system provides additional services for authentication,
+//! data staging, monitoring, and scheduling. While these interfaces are
+//! crucial for running programs in this complex environment, they offer
+//! **additional layers of interfaces and abstractions that must be
+//! negotiated when trying to deploy a run-time tool** in that
+//! environment."
+//!
+//! This crate is that additional layer, Globus-shaped:
+//!
+//! * an [`rsl`] parser for `&(attribute=value)…` job descriptions;
+//! * a [`Gatekeeper`] on a head node that authenticates submissions
+//!   (subject + proxy token) and hands them to whichever **local
+//!   resource manager** sits behind it — the Condor pool or the LSF
+//!   cluster, via the [`LocalRm`] abstraction;
+//! * a [`GramClient`] for remote users, streaming job state
+//!   (`PENDING → ACTIVE → DONE|FAILED`) back over the submission
+//!   connection.
+//!
+//! The TDP payoff: a tool daemon requested in the RSL runs unchanged
+//! through gatekeeper → batch system → starter → TDP — one more layer
+//! negotiated with zero new tool code.
+
+pub mod gatekeeper;
+pub mod rsl;
+
+pub use gatekeeper::{Gatekeeper, GramClient, GramState, GridJobRequest, LocalRm};
+pub use rsl::Rsl;

@@ -1,0 +1,171 @@
+//! RSL — the Globus Resource Specification Language, in the
+//! `&(attribute=value)(attribute="quoted value")` form GRAM clients
+//! spoke in the paper's era.
+
+use std::collections::BTreeMap;
+use tdp_proto::{TdpError, TdpResult};
+
+/// A parsed RSL expression: an ordered attribute map (last assignment
+/// wins, like real RSL relation lists in conjunction).
+///
+/// ```
+/// use tdp_grid::Rsl;
+/// let r = Rsl::parse(r#"&(executable=/bin/a)(arguments="x y")(count=2)"#).unwrap();
+/// assert_eq!(r.get("executable"), Some("/bin/a"));
+/// assert_eq!(r.get_int("count"), Some(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Rsl {
+    attrs: BTreeMap<String, String>,
+}
+
+impl Rsl {
+    /// Parse `&(a=1)(b="two words")…`. The leading `&` (conjunction) is
+    /// optional; attribute names are case-insensitive (stored lowered).
+    pub fn parse(text: &str) -> TdpResult<Rsl> {
+        let mut rsl = Rsl::default();
+        let mut chars = text.chars().peekable();
+        // Skip whitespace and the optional leading '&'.
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+        if chars.peek() == Some(&'&') {
+            chars.next();
+        }
+        loop {
+            while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+                chars.next();
+            }
+            match chars.next() {
+                None => break,
+                Some('(') => {}
+                Some(c) => {
+                    return Err(TdpError::Protocol(format!(
+                        "RSL: expected '(' , found {c:?}"
+                    )))
+                }
+            }
+            // attribute name up to '='
+            let mut name = String::new();
+            for c in chars.by_ref() {
+                if c == '=' {
+                    break;
+                }
+                name.push(c);
+            }
+            let name = name.trim().to_ascii_lowercase();
+            if name.is_empty() {
+                return Err(TdpError::Protocol("RSL: empty attribute name".into()));
+            }
+            // value up to the matching ')', honouring double quotes.
+            let mut value = String::new();
+            let mut in_quotes = false;
+            let mut closed = false;
+            for c in chars.by_ref() {
+                match c {
+                    '"' => in_quotes = !in_quotes,
+                    ')' if !in_quotes => {
+                        closed = true;
+                        break;
+                    }
+                    c => value.push(c),
+                }
+            }
+            if !closed || in_quotes {
+                return Err(TdpError::Protocol(format!(
+                    "RSL: unterminated relation for {name:?}"
+                )));
+            }
+            rsl.attrs.insert(name, value.trim().to_string());
+        }
+        Ok(rsl)
+    }
+
+    /// Fetch an attribute.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.attrs.get(&name.to_ascii_lowercase()).map(String::as_str)
+    }
+
+    /// Fetch and parse an integer attribute.
+    pub fn get_int(&self, name: &str) -> Option<i64> {
+        self.get(name).and_then(|v| v.trim().parse().ok())
+    }
+
+    /// All attributes (sorted by name).
+    pub fn attrs(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.attrs.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Render back to canonical RSL text.
+    pub fn render(&self) -> String {
+        let mut out = String::from("&");
+        for (k, v) in &self.attrs {
+            if v.chars().any(|c| c.is_whitespace() || c == ')' || c == '(') {
+                out.push_str(&format!("({k}=\"{v}\")"));
+            } else {
+                out.push_str(&format!("({k}={v})"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_classic_gram_request() {
+        let r = Rsl::parse(
+            r#"&(executable=/bin/app)(arguments="1 2 3")(count=4)(queue=batch)"#,
+        )
+        .unwrap();
+        assert_eq!(r.get("executable"), Some("/bin/app"));
+        assert_eq!(r.get("arguments"), Some("1 2 3"));
+        assert_eq!(r.get_int("count"), Some(4));
+        assert_eq!(r.get("queue"), Some("batch"));
+        assert_eq!(r.get("missing"), None);
+    }
+
+    #[test]
+    fn names_case_insensitive_leading_amp_optional() {
+        let r = Rsl::parse("(Executable=foo)(COUNT=2)").unwrap();
+        assert_eq!(r.get("executable"), Some("foo"));
+        assert_eq!(r.get_int("CoUnT"), Some(2));
+    }
+
+    #[test]
+    fn quoted_values_keep_parens_and_spaces() {
+        let r = Rsl::parse(r#"&(tool_args="-p2090 -P2091 (quoted)")"#).unwrap();
+        assert_eq!(r.get("tool_args"), Some("-p2090 -P2091 (quoted)"));
+    }
+
+    #[test]
+    fn render_roundtrip() {
+        let r = Rsl::parse(r#"&(a=1)(b="two words")"#).unwrap();
+        let r2 = Rsl::parse(&r.render()).unwrap();
+        assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(Rsl::parse("(noequals)").is_ok_and(|r| r.get("noequals").is_none())
+            || Rsl::parse("(noequals)").is_err());
+        assert!(Rsl::parse("(a=1").is_err(), "unterminated relation");
+        assert!(Rsl::parse(r#"(a="unclosed)"#).is_err(), "unclosed quote");
+        assert!(Rsl::parse("junk(a=1)").is_err(), "garbage before relation");
+        assert!(Rsl::parse("(=v)").is_err(), "empty name");
+    }
+
+    #[test]
+    fn last_assignment_wins() {
+        let r = Rsl::parse("&(a=1)(a=2)").unwrap();
+        assert_eq!(r.get("a"), Some("2"));
+    }
+
+    #[test]
+    fn empty_rsl_is_valid() {
+        let r = Rsl::parse("&").unwrap();
+        assert_eq!(r.attrs().count(), 0);
+    }
+}

@@ -1,0 +1,26 @@
+//! # tdp-lsf — a second resource manager for the m + n matrix
+//!
+//! The paper names LSF, Load Leveler and NQE alongside Condor as the
+//! batch systems tools must interoperate with (§1). This crate is a
+//! *structurally different* scheduler in that family:
+//!
+//! * **FIFO dispatch with slots per host** — no matchmaking, no
+//!   claiming protocol: `mbatchd` on the master host holds the queue
+//!   and pushes tasks to `sbatchd` daemons that advertise a fixed slot
+//!   count (LSF's model, vs Condor's machine-granularity ClassAds);
+//! * **inline file staging** — inputs travel in the dispatch message
+//!   and outputs in the completion report (vs Condor's shadow remote
+//!   syscalls);
+//! * its own independent **TDP integration** in the task runner (LSF's
+//!   `res`): create-paused + tool launch + pid put — implemented from
+//!   scratch against `tdp-core` alone.
+//!
+//! Because both this scheduler and `tdp-condor` speak TDP, every tool
+//! in the workspace (`paradynd`, `tracey`, `vamp`, `tdb`) runs under
+//! both without a line of pairwise code — the m + n effort of §1.
+
+pub mod cluster;
+pub mod messages;
+pub mod sbatchd;
+
+pub use cluster::{LsfCluster, LsfJobState, LsfRequest, LsfToolSpec};

@@ -1,0 +1,59 @@
+//! mbatchd ↔ sbatchd wire messages.
+
+use serde::{Deserialize, Serialize};
+use tdp_proto::JobId;
+
+/// A tool daemon request attached to a job (`bsub -tool`), the LSF-side
+/// equivalent of Condor's `+ToolDaemon*` directives.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ToolSpecWire {
+    pub cmd: String,
+    pub args: Vec<String>,
+}
+
+/// One task dispatch (mbatchd → sbatchd).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dispatch {
+    pub job: JobId,
+    pub task: u32,
+    pub executable: String,
+    pub args: Vec<String>,
+    /// Staged stdin contents (inline staging — LSF copies files with
+    /// the job, unlike Condor's remote syscalls).
+    pub stdin: Vec<u8>,
+    /// Create the task stopped at exec.
+    pub suspend_at_exec: bool,
+    pub tool: Option<ToolSpecWire>,
+}
+
+/// sbatchd → mbatchd messages.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum SbdMsg {
+    /// Registration: host with `slots` execution slots.
+    Register { name: String, slots: u32 },
+    /// A task's application process started (pid known) — lets mbatchd
+    /// route `bkill`s.
+    TaskStarted { job: JobId, task: u32, pid: u64 },
+    /// A task finished; stdout/stderr travel inline.
+    TaskDone {
+        job: JobId,
+        task: u32,
+        status: String,
+        stdout: Vec<u8>,
+        stderr: Vec<u8>,
+        /// Files the tool produced on the execution host, staged back
+        /// inline: (name, contents).
+        tool_files: Vec<(String, Vec<u8>)>,
+    },
+    /// A task could not be started.
+    TaskFailed { job: JobId, task: u32, error: String },
+}
+
+/// mbatchd → sbatchd messages.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum MbdMsg {
+    Dispatch(Dispatch),
+    /// `bkill`: terminate every task of `job` running on this host.
+    Kill { job: JobId },
+    Ack,
+}

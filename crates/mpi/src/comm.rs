@@ -1,0 +1,205 @@
+//! The communicator: tagged point-to-point messaging and collectives.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+use tdp_proto::{Rank, TdpError, TdpResult};
+use tdp_simos::ProcCtx;
+
+/// A message in flight between ranks.
+struct Envelope {
+    from: u32,
+    tag: u32,
+    data: Vec<u8>,
+}
+
+struct Mailbox {
+    queue: Mutex<VecDeque<Envelope>>,
+    cv: Condvar,
+}
+
+struct CommInner {
+    n: u32,
+    mailboxes: Vec<Mailbox>,
+    barrier: Mutex<(u64, u32)>, // (generation, arrived)
+    barrier_cv: Condvar,
+}
+
+/// The communicator shared by all ranks of one MPI job — the moral
+/// equivalent of `MPI_COMM_WORLD` plus the ch_p4 transport underneath
+/// it. Clone one handle per rank.
+#[derive(Clone)]
+pub struct MpiComm {
+    inner: Arc<CommInner>,
+}
+
+impl MpiComm {
+    /// A communicator for `n` ranks.
+    pub fn new(n: u32) -> MpiComm {
+        MpiComm {
+            inner: Arc::new(CommInner {
+                n,
+                mailboxes: (0..n)
+                    .map(|_| Mailbox { queue: Mutex::new(VecDeque::new()), cv: Condvar::new() })
+                    .collect(),
+                barrier: Mutex::new((0, 0)),
+                barrier_cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// World size.
+    pub fn size(&self) -> u32 {
+        self.inner.n
+    }
+
+    /// Bind this communicator to a rank, yielding the per-rank API.
+    pub fn rank(&self, rank: u32) -> RankCtx {
+        assert!(rank < self.inner.n, "rank {rank} out of range (size {})", self.inner.n);
+        RankCtx { comm: self.clone(), rank }
+    }
+}
+
+/// The API one rank's program uses. All blocking operations take the
+/// process's [`ProcCtx`] so stops and kills from an attached tool take
+/// effect even while the rank waits "inside MPI".
+pub struct RankCtx {
+    comm: MpiComm,
+    rank: u32,
+}
+
+/// How long a blocked MPI operation sleeps between pause-gate checks.
+const POLL: Duration = Duration::from_millis(2);
+
+impl RankCtx {
+    pub fn rank(&self) -> Rank {
+        Rank(self.rank)
+    }
+
+    pub fn size(&self) -> u32 {
+        self.comm.inner.n
+    }
+
+    /// Non-blocking tagged send.
+    pub fn send(&self, to: u32, tag: u32, data: &[u8]) -> TdpResult<()> {
+        let inner = &self.comm.inner;
+        if to >= inner.n {
+            return Err(TdpError::Substrate(format!("send to rank {to} of {}", inner.n)));
+        }
+        let mb = &inner.mailboxes[to as usize];
+        mb.queue.lock().push_back(Envelope { from: self.rank, tag, data: data.to_vec() });
+        mb.cv.notify_all();
+        Ok(())
+    }
+
+    /// Blocking tagged receive from a specific rank. Passes the pause
+    /// gate while waiting.
+    pub fn recv(&self, ctx: &mut ProcCtx, from: u32, tag: u32) -> TdpResult<Vec<u8>> {
+        Ok(self.recv_match(ctx, Some(from), tag)?.1)
+    }
+
+    /// Blocking receive from any rank; returns `(from, data)`.
+    pub fn recv_any(&self, ctx: &mut ProcCtx, tag: u32) -> TdpResult<(u32, Vec<u8>)> {
+        self.recv_match(ctx, None, tag)
+    }
+
+    fn recv_match(
+        &self,
+        ctx: &mut ProcCtx,
+        from: Option<u32>,
+        tag: u32,
+    ) -> TdpResult<(u32, Vec<u8>)> {
+        let mb = &self.comm.inner.mailboxes[self.rank as usize];
+        loop {
+            ctx.checkpoint();
+            {
+                let mut q = mb.queue.lock();
+                if let Some(pos) = q
+                    .iter()
+                    .position(|e| e.tag == tag && from.is_none_or(|f| e.from == f))
+                {
+                    let e = q.remove(pos).expect("pos valid");
+                    return Ok((e.from, e.data));
+                }
+                // Short wait; re-gate afterwards so an attached tool can
+                // pause a rank blocked in MPI_Recv.
+                mb.cv.wait_for(&mut q, POLL);
+            }
+        }
+    }
+
+    /// Barrier across all ranks.
+    pub fn barrier(&self, ctx: &mut ProcCtx) -> TdpResult<()> {
+        let inner = &self.comm.inner;
+        let my_gen;
+        {
+            let mut b = inner.barrier.lock();
+            my_gen = b.0;
+            b.1 += 1;
+            if b.1 == inner.n {
+                b.0 += 1;
+                b.1 = 0;
+                drop(b);
+                inner.barrier_cv.notify_all();
+                return Ok(());
+            }
+        }
+        loop {
+            ctx.checkpoint();
+            let mut b = inner.barrier.lock();
+            if b.0 != my_gen {
+                return Ok(());
+            }
+            inner.barrier_cv.wait_for(&mut b, POLL);
+        }
+    }
+
+    /// Broadcast from `root`: root sends, others receive. Returns the
+    /// payload on every rank.
+    pub fn bcast(&self, ctx: &mut ProcCtx, root: u32, data: &[u8]) -> TdpResult<Vec<u8>> {
+        const BCAST_TAG: u32 = u32::MAX - 1;
+        if self.rank == root {
+            for r in 0..self.comm.inner.n {
+                if r != root {
+                    self.send(r, BCAST_TAG, data)?;
+                }
+            }
+            Ok(data.to_vec())
+        } else {
+            self.recv(ctx, root, BCAST_TAG)
+        }
+    }
+
+    /// Sum-reduce a u64 to `root`. Non-roots get `None`.
+    pub fn reduce_sum(&self, ctx: &mut ProcCtx, root: u32, value: u64) -> TdpResult<Option<u64>> {
+        const REDUCE_TAG: u32 = u32::MAX - 2;
+        if self.rank == root {
+            let mut acc = value;
+            for _ in 0..self.comm.inner.n - 1 {
+                let (_, data) = self.recv_any(ctx, REDUCE_TAG)?;
+                let bytes: [u8; 8] = data
+                    .try_into()
+                    .map_err(|_| TdpError::Protocol("bad reduce payload".into()))?;
+                acc += u64::from_be_bytes(bytes);
+            }
+            Ok(Some(acc))
+        } else {
+            self.send(root, REDUCE_TAG, &value.to_be_bytes())?;
+            Ok(None)
+        }
+    }
+
+    /// Allreduce = reduce to rank 0 + broadcast.
+    pub fn allreduce_sum(&self, ctx: &mut ProcCtx, value: u64) -> TdpResult<u64> {
+        let total = self.reduce_sum(ctx, 0, value)?;
+        let bytes = if self.rank == 0 {
+            self.bcast(ctx, 0, &total.expect("root has total").to_be_bytes())?
+        } else {
+            self.bcast(ctx, 0, &[])?
+        };
+        let arr: [u8; 8] =
+            bytes.try_into().map_err(|_| TdpError::Protocol("bad allreduce payload".into()))?;
+        Ok(u64::from_be_bytes(arr))
+    }
+}

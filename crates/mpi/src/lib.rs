@@ -1,0 +1,24 @@
+//! # tdp-mpi — a simulated MPICH-style message-passing runtime
+//!
+//! The paper's MPI-universe experiment (§4.3) profiles "parallel
+//! programs written with MPI … compiled with the MPICH ch_p4 version",
+//! with a staged startup: the rank-0 "master process" starts first, a
+//! tool daemon attaches, and only on the user's *run* command are the
+//! remaining ranks created — each paused, attached by its own paradynd,
+//! and continued.
+//!
+//! This crate provides the application half of that experiment:
+//!
+//! * [`MpiComm`] — the communicator linked into every rank: point-to-
+//!   point `send`/`recv` with tags, and the collectives (barrier,
+//!   broadcast, reduce) built on top. Blocking operations cooperate with
+//!   the `tdp-simos` pause gate, so an attached tool can stop a rank
+//!   that is waiting inside "MPI".
+//! * [`apps`] — ready-made MPI programs (`ring`, `stencil`) as
+//!   [`tdp_simos::ExecImage`]s with instrumented symbols, used by the
+//!   Condor MPI universe, the examples and the benchmarks.
+
+pub mod apps;
+pub mod comm;
+
+pub use comm::{MpiComm, RankCtx};

@@ -1,0 +1,165 @@
+//! Tests of the MPI runtime on top of the simulated kernel.
+
+use std::time::Duration;
+use tdp_mpi::{apps, MpiComm};
+use tdp_proto::{HostId, ProcStatus};
+use tdp_simos::kernel::ProcSpec;
+use tdp_simos::{fn_program, ExecImage, Os};
+
+const T: Duration = Duration::from_secs(10);
+
+/// Launch one process per rank on round-robin hosts; returns pids.
+fn launch_all(os: &Os, hosts: &[HostId], image: ExecImage, n: u32) -> Vec<tdp_proto::Pid> {
+    for h in hosts {
+        os.fs().install_exec(*h, "/bin/mpi_app", image.clone());
+    }
+    (0..n)
+        .map(|r| {
+            let h = hosts[r as usize % hosts.len()];
+            os.spawn(ProcSpec::new(h, "/bin/mpi_app").args([r.to_string()])).unwrap()
+        })
+        .collect()
+}
+
+fn hosts(n: usize) -> Vec<HostId> {
+    (1..=n as u32).map(HostId).collect()
+}
+
+#[test]
+fn ring_completes_on_four_ranks() {
+    let os = Os::new();
+    let comm = MpiComm::new(4);
+    let pids = launch_all(&os, &hosts(2), apps::ring(comm, 3, 10), 4);
+    for pid in pids {
+        assert_eq!(os.wait_terminal(pid, T).unwrap(), ProcStatus::Exited(0));
+    }
+}
+
+#[test]
+fn ring_single_round_two_ranks() {
+    let os = Os::new();
+    let comm = MpiComm::new(2);
+    let pids = launch_all(&os, &hosts(1), apps::ring(comm, 1, 1), 2);
+    for pid in pids {
+        assert_eq!(os.wait_terminal(pid, T).unwrap(), ProcStatus::Exited(0));
+    }
+}
+
+#[test]
+fn stencil_completes_and_reduces() {
+    let os = Os::new();
+    let comm = MpiComm::new(3);
+    let pids = launch_all(&os, &hosts(3), apps::stencil(comm, 5, 20), 3);
+    for pid in pids {
+        assert_eq!(os.wait_terminal(pid, T).unwrap(), ProcStatus::Exited(0));
+    }
+}
+
+#[test]
+fn stencil_single_rank() {
+    let os = Os::new();
+    let comm = MpiComm::new(1);
+    let pids = launch_all(&os, &hosts(1), apps::stencil(comm, 3, 5), 1);
+    assert_eq!(os.wait_terminal(pids[0], T).unwrap(), ProcStatus::Exited(0));
+}
+
+#[test]
+fn point_to_point_and_collectives() {
+    // Drive the comm API directly from two bespoke rank programs.
+    let os = Os::new();
+    let comm = MpiComm::new(2);
+    let h = HostId(1);
+    let c0 = comm.clone();
+    os.fs().install_exec(
+        h,
+        "/bin/pair",
+        ExecImage::from_fn(move |args| {
+            let comm = c0.clone();
+            let rank: u32 = args[0].parse().expect("rank arg");
+            fn_program(move |ctx| {
+                let me = comm.rank(rank);
+                if rank == 0 {
+                    me.send(1, 5, b"ping").unwrap();
+                    let (from, data) = me.recv_any(ctx, 6).unwrap();
+                    assert_eq!((from, data.as_slice()), (1, &b"pong"[..]));
+                } else {
+                    let data = me.recv(ctx, 0, 5).unwrap();
+                    assert_eq!(data, b"ping");
+                    me.send(0, 6, b"pong").unwrap();
+                }
+                me.barrier(ctx).unwrap();
+                let v = me.bcast(ctx, 0, &[rank as u8 + 1]).unwrap();
+                assert_eq!(v, vec![1]); // root's payload wins
+                let total = me.allreduce_sum(ctx, (rank + 1) as u64).unwrap();
+                assert_eq!(total, 3);
+                0
+            })
+        }),
+    );
+    let p0 = os.spawn(ProcSpec::new(h, "/bin/pair").args(["0"])).unwrap();
+    let p1 = os.spawn(ProcSpec::new(h, "/bin/pair").args(["1"])).unwrap();
+    assert_eq!(os.wait_terminal(p0, T).unwrap(), ProcStatus::Exited(0));
+    assert_eq!(os.wait_terminal(p1, T).unwrap(), ProcStatus::Exited(0));
+}
+
+#[test]
+fn rank_blocked_in_recv_can_be_paused_and_killed() {
+    // An attached tool must be able to stop a rank waiting in MPI_Recv
+    // (the pause gate inside recv), and a kill must terminate it.
+    let os = Os::new();
+    let comm = MpiComm::new(2);
+    let h = HostId(1);
+    let c0 = comm.clone();
+    os.fs().install_exec(
+        h,
+        "/bin/waiter",
+        ExecImage::from_fn(move |_| {
+            let comm = c0.clone();
+            fn_program(move |ctx| {
+                // Rank 1 never sends: blocks forever.
+                let me = comm.rank(0);
+                let _ = me.recv(ctx, 1, 0);
+                0
+            })
+        }),
+    );
+    let pid = os.spawn(ProcSpec::new(h, "/bin/waiter")).unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    os.stop_process(pid).unwrap();
+    assert_eq!(os.status(pid).unwrap(), ProcStatus::Stopped);
+    os.continue_process(pid).unwrap();
+    os.kill(pid, 9).unwrap();
+    assert_eq!(os.wait_terminal(pid, T).unwrap(), ProcStatus::Killed(9));
+}
+
+#[test]
+fn ring_ranks_are_instrumentable() {
+    // Attach to rank 0, instrument `compute`, verify counts — the MPI
+    // universe's per-rank paradynd capability at the simos level.
+    let os = Os::new();
+    let comm = MpiComm::new(2);
+    let h = HostId(1);
+    let image = apps::ring(comm, 4, 7);
+    os.fs().install_exec(h, "/bin/mpi_app", image);
+    let p0 = os.spawn(ProcSpec::new(h, "/bin/mpi_app").args(["0"]).paused()).unwrap();
+    let t0 = os.attach(p0).unwrap();
+    t0.arm_probe("compute").unwrap();
+    let p1 = os.spawn(ProcSpec::new(h, "/bin/mpi_app").args(["1"])).unwrap();
+    os.continue_process(p0).unwrap();
+    assert_eq!(os.wait_terminal(p0, T).unwrap(), ProcStatus::Exited(0));
+    assert_eq!(os.wait_terminal(p1, T).unwrap(), ProcStatus::Exited(0));
+    let snap = t0.read_probes().unwrap();
+    assert_eq!(snap.counts["compute"], 4);
+    assert_eq!(snap.time["compute"], 28);
+}
+
+#[test]
+fn comm_size_and_rank_bounds() {
+    let comm = MpiComm::new(3);
+    assert_eq!(comm.size(), 3);
+    let r = comm.rank(2);
+    assert_eq!(r.rank().0, 2);
+    assert!(r.send(3, 0, b"x").is_err(), "out-of-range destination");
+    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| comm.rank(3)));
+    assert!(res.is_err(), "rank out of range must panic");
+}

@@ -1,0 +1,28 @@
+//! # tdp-mrnet — a software multicast/reduction network
+//!
+//! The paper's *auxiliary services* requirement: "There are entities in
+//! addition to the RM and RT that may be required for the proper
+//! execution of a RT in a distributed environment. For example, software
+//! multicast/reduction networks are crucial to scalable tool use. The RM
+//! must be aware of and willing to launch this second kind of
+//! non-application entity." (§2, citing MRNet — reference 16 of the paper.)
+//!
+//! This crate is that entity: a tree of relay nodes between a tool
+//! front-end and its per-host daemons.
+//!
+//! * **Downstream** the front-end [`FrontEnd::multicast`]s byte packets;
+//!   every back-end receives each packet once, in order.
+//! * **Upstream** back-ends contribute `u64` values to numbered
+//!   reduction *waves*; interior nodes combine contributions with the
+//!   tree's [`ReduceOp`] so the front-end receives one value per wave
+//!   regardless of how many daemons participate.
+//!
+//! The tree is built with a configurable fan-out; interior nodes are
+//! placed round-robin over the provided hosts, exactly how an RM would
+//! launch them as auxiliary processes next to the tool daemons.
+
+mod packet;
+mod tree;
+
+pub use packet::{Packet, ReduceOp};
+pub use tree::{BackEnd, FrontEnd, TreeSpec};

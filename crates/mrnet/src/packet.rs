@@ -1,0 +1,157 @@
+//! MRNet wire packets and reduction operators.
+
+use tdp_proto::{TdpError, TdpResult};
+
+/// Combine operator applied at every interior node of the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    Sum,
+    Max,
+    Min,
+}
+
+impl ReduceOp {
+    /// Apply the operator.
+    pub fn combine(self, a: u64, b: u64) -> u64 {
+        match self {
+            ReduceOp::Sum => a.wrapping_add(b),
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Min => a.min(b),
+        }
+    }
+
+    /// Identity element (the accumulator seed).
+    pub fn identity(self) -> u64 {
+        match self {
+            ReduceOp::Sum => 0,
+            ReduceOp::Max => u64::MIN,
+            ReduceOp::Min => u64::MAX,
+        }
+    }
+}
+
+/// A packet on a tree link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Packet {
+    /// Downstream broadcast payload.
+    Multicast(Vec<u8>),
+    /// Upstream reduction contribution: `(wave, value, count)` where
+    /// `count` is how many back-end contributions are folded into
+    /// `value` (interior nodes sum counts so the root knows when a wave
+    /// is complete).
+    Reduce { wave: u64, value: u64, count: u32 },
+}
+
+const T_MCAST: u8 = b'M';
+const T_REDUCE: u8 = b'R';
+
+impl Packet {
+    /// Encode with a 1-byte tag + fixed/length-prefixed body.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Packet::Multicast(data) => {
+                let mut v = Vec::with_capacity(5 + data.len());
+                v.push(T_MCAST);
+                v.extend_from_slice(&(data.len() as u32).to_be_bytes());
+                v.extend_from_slice(data);
+                v
+            }
+            Packet::Reduce { wave, value, count } => {
+                let mut v = Vec::with_capacity(21);
+                v.push(T_REDUCE);
+                v.extend_from_slice(&wave.to_be_bytes());
+                v.extend_from_slice(&value.to_be_bytes());
+                v.extend_from_slice(&count.to_be_bytes());
+                v
+            }
+        }
+    }
+
+    /// Decode one packet from the front of `buf`, consuming it. Returns
+    /// `Ok(None)` when more bytes are needed.
+    pub fn decode(buf: &mut Vec<u8>) -> TdpResult<Option<Packet>> {
+        if buf.is_empty() {
+            return Ok(None);
+        }
+        match buf[0] {
+            T_MCAST => {
+                if buf.len() < 5 {
+                    return Ok(None);
+                }
+                let len = u32::from_be_bytes([buf[1], buf[2], buf[3], buf[4]]) as usize;
+                if buf.len() < 5 + len {
+                    return Ok(None);
+                }
+                let data = buf[5..5 + len].to_vec();
+                buf.drain(..5 + len);
+                Ok(Some(Packet::Multicast(data)))
+            }
+            T_REDUCE => {
+                if buf.len() < 21 {
+                    return Ok(None);
+                }
+                let wave = u64::from_be_bytes(buf[1..9].try_into().expect("8 bytes"));
+                let value = u64::from_be_bytes(buf[9..17].try_into().expect("8 bytes"));
+                let count = u32::from_be_bytes(buf[17..21].try_into().expect("4 bytes"));
+                buf.drain(..21);
+                Ok(Some(Packet::Reduce { wave, value, count }))
+            }
+            t => Err(TdpError::Protocol(format!("bad mrnet tag 0x{t:02x}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_ops() {
+        assert_eq!(ReduceOp::Sum.combine(2, 3), 5);
+        assert_eq!(ReduceOp::Max.combine(2, 3), 3);
+        assert_eq!(ReduceOp::Min.combine(2, 3), 2);
+        assert_eq!(ReduceOp::Sum.identity(), 0);
+        assert_eq!(ReduceOp::Max.combine(ReduceOp::Max.identity(), 7), 7);
+        assert_eq!(ReduceOp::Min.combine(ReduceOp::Min.identity(), 7), 7);
+    }
+
+    #[test]
+    fn packet_roundtrip() {
+        for p in [
+            Packet::Multicast(b"hello".to_vec()),
+            Packet::Multicast(Vec::new()),
+            Packet::Reduce { wave: 3, value: 999, count: 4 },
+        ] {
+            let mut buf = p.encode();
+            let got = Packet::decode(&mut buf).unwrap().unwrap();
+            assert_eq!(got, p);
+            assert!(buf.is_empty());
+        }
+    }
+
+    #[test]
+    fn partial_packets_wait() {
+        let enc = Packet::Multicast(b"abcdef".to_vec()).encode();
+        for cut in 0..enc.len() {
+            let mut buf = enc[..cut].to_vec();
+            assert_eq!(Packet::decode(&mut buf).unwrap(), None, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn pipelined_packets() {
+        let mut buf = Packet::Multicast(b"a".to_vec()).encode();
+        buf.extend(Packet::Reduce { wave: 1, value: 2, count: 1 }.encode());
+        assert_eq!(Packet::decode(&mut buf).unwrap().unwrap(), Packet::Multicast(b"a".to_vec()));
+        assert_eq!(
+            Packet::decode(&mut buf).unwrap().unwrap(),
+            Packet::Reduce { wave: 1, value: 2, count: 1 }
+        );
+    }
+
+    #[test]
+    fn bad_tag_errors() {
+        let mut buf = vec![0x42];
+        assert!(Packet::decode(&mut buf).is_err());
+    }
+}

@@ -1,0 +1,153 @@
+//! End-to-end tests of the multicast/reduction tree.
+
+use std::time::Duration;
+use tdp_mrnet::{BackEnd, FrontEnd, ReduceOp, TreeSpec};
+use tdp_netsim::Network;
+use tdp_proto::HostId;
+
+const T: Duration = Duration::from_secs(5);
+
+fn world(n_hosts: usize) -> (Network, HostId, Vec<HostId>) {
+    let net = Network::new();
+    let root = net.add_host();
+    let hosts: Vec<HostId> = (0..n_hosts).map(|_| net.add_host()).collect();
+    (net, root, hosts)
+}
+
+fn attach_all(net: &Network, hosts: &[HostId], attach: &[tdp_proto::Addr]) -> Vec<BackEnd> {
+    attach
+        .iter()
+        .enumerate()
+        .map(|(i, a)| BackEnd::connect(net, hosts[i % hosts.len()], *a).unwrap())
+        .collect()
+}
+
+#[test]
+fn flat_tree_multicast_and_reduce() {
+    let (net, root, hosts) = world(3);
+    let (fe, attach) =
+        FrontEnd::build(&net, root, &hosts, 3, TreeSpec { fanout: 4, op: ReduceOp::Sum }).unwrap();
+    assert_eq!(attach.len(), 3);
+    let mut backends = attach_all(&net, &hosts, &attach);
+    fe.multicast(b"start wave 0").unwrap();
+    for (i, be) in backends.iter_mut().enumerate() {
+        assert_eq!(be.recv_multicast(T).unwrap(), b"start wave 0");
+        be.contribute(0, (i + 1) as u64).unwrap();
+    }
+    assert_eq!(fe.recv_reduce(0, T).unwrap(), 1 + 2 + 3);
+}
+
+#[test]
+fn deep_tree_with_small_fanout() {
+    // 16 leaves, fanout 2: several interior layers.
+    let (net, root, hosts) = world(4);
+    let (fe, attach) =
+        FrontEnd::build(&net, root, &hosts, 16, TreeSpec { fanout: 2, op: ReduceOp::Sum }).unwrap();
+    assert_eq!(attach.len(), 16);
+    let mut backends = attach_all(&net, &hosts, &attach);
+    fe.multicast(b"go").unwrap();
+    for be in backends.iter_mut() {
+        assert_eq!(be.recv_multicast(T).unwrap(), b"go");
+        be.contribute(7, 10).unwrap();
+    }
+    assert_eq!(fe.recv_reduce(7, T).unwrap(), 160);
+}
+
+#[test]
+fn max_reduction() {
+    let (net, root, hosts) = world(2);
+    let (fe, attach) =
+        FrontEnd::build(&net, root, &hosts, 5, TreeSpec { fanout: 2, op: ReduceOp::Max }).unwrap();
+    let backends = attach_all(&net, &hosts, &attach);
+    for (i, be) in backends.iter().enumerate() {
+        be.contribute(0, 100 + i as u64).unwrap();
+    }
+    assert_eq!(fe.recv_reduce(0, T).unwrap(), 104);
+}
+
+#[test]
+fn min_reduction() {
+    let (net, root, hosts) = world(2);
+    let (fe, attach) =
+        FrontEnd::build(&net, root, &hosts, 4, TreeSpec { fanout: 3, op: ReduceOp::Min }).unwrap();
+    let backends = attach_all(&net, &hosts, &attach);
+    for (i, be) in backends.iter().enumerate() {
+        be.contribute(3, 50 - i as u64).unwrap();
+    }
+    assert_eq!(fe.recv_reduce(3, T).unwrap(), 47);
+}
+
+#[test]
+fn multiple_waves_interleaved() {
+    let (net, root, hosts) = world(2);
+    let (fe, attach) =
+        FrontEnd::build(&net, root, &hosts, 4, TreeSpec { fanout: 2, op: ReduceOp::Sum }).unwrap();
+    let backends = attach_all(&net, &hosts, &attach);
+    // Contribute to waves out of order.
+    for be in &backends {
+        be.contribute(2, 1).unwrap();
+    }
+    for be in &backends {
+        be.contribute(1, 2).unwrap();
+    }
+    assert_eq!(fe.recv_reduce(1, T).unwrap(), 8);
+    assert_eq!(fe.recv_reduce(2, T).unwrap(), 4);
+}
+
+#[test]
+fn sequential_multicasts_stay_ordered() {
+    let (net, root, hosts) = world(2);
+    let (fe, attach) =
+        FrontEnd::build(&net, root, &hosts, 4, TreeSpec { fanout: 2, op: ReduceOp::Sum }).unwrap();
+    let mut backends = attach_all(&net, &hosts, &attach);
+    for i in 0..10u8 {
+        fe.multicast(&[i]).unwrap();
+    }
+    for be in backends.iter_mut() {
+        for i in 0..10u8 {
+            assert_eq!(be.recv_multicast(T).unwrap(), vec![i]);
+        }
+    }
+}
+
+#[test]
+fn single_leaf_tree() {
+    let (net, root, hosts) = world(1);
+    let (fe, attach) = FrontEnd::build(&net, root, &hosts, 1, TreeSpec::default()).unwrap();
+    let mut backends = attach_all(&net, &hosts, &attach);
+    fe.multicast(b"solo").unwrap();
+    assert_eq!(backends[0].recv_multicast(T).unwrap(), b"solo");
+    backends[0].contribute(0, 42).unwrap();
+    assert_eq!(fe.recv_reduce(0, T).unwrap(), 42);
+}
+
+#[test]
+fn zero_leaves_rejected() {
+    let (net, root, hosts) = world(1);
+    assert!(FrontEnd::build(&net, root, &hosts, 0, TreeSpec::default()).is_err());
+}
+
+#[test]
+fn incomplete_wave_times_out() {
+    let (net, root, hosts) = world(2);
+    let (fe, attach) =
+        FrontEnd::build(&net, root, &hosts, 3, TreeSpec { fanout: 2, op: ReduceOp::Sum }).unwrap();
+    let backends = attach_all(&net, &hosts, &attach);
+    backends[0].contribute(0, 1).unwrap();
+    backends[1].contribute(0, 1).unwrap();
+    // Third leaf never contributes.
+    assert!(fe.recv_reduce(0, Duration::from_millis(80)).is_err());
+}
+
+#[test]
+fn reduction_scales_to_many_leaves() {
+    let (net, root, hosts) = world(8);
+    let n = 64;
+    let (fe, attach) =
+        FrontEnd::build(&net, root, &hosts, n, TreeSpec { fanout: 4, op: ReduceOp::Sum }).unwrap();
+    let backends = attach_all(&net, &hosts, &attach);
+    for be in &backends {
+        be.contribute(0, 1).unwrap();
+    }
+    assert_eq!(fe.recv_reduce(0, T).unwrap(), n as u64);
+}

@@ -1,0 +1,226 @@
+//! The Performance Consultant — Paradyn's automated bottleneck search
+//! (§4.2: "the ability to automatically search for performance
+//! bottlenecks"), in miniature.
+//!
+//! The real Consultant refines hypotheses down a resource hierarchy;
+//! ours searches the aggregated sample table for the symbol with the
+//! largest **exclusive (self) CPU** share and classifies the
+//! application:
+//!
+//! * **CpuBound** — one symbol holds more than the threshold share of
+//!   measured CPU in its own frames;
+//! * **SyncBound** — no symbol dominates the CPU, but one symbol is
+//!   called very frequently with near-zero self CPU per call — the
+//!   shape of ranks spinning in communication/waiting;
+//! * **Balanced** — neither pattern.
+
+use crate::frontend::Sample;
+use std::collections::HashMap;
+
+/// Search verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Hypothesis {
+    CpuBound,
+    SyncBound,
+    Balanced,
+}
+
+/// The dominant symbol found by the search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bottleneck {
+    pub symbol: String,
+    /// Share of total measured CPU in the symbol's own frames (0..=1).
+    pub fraction: f64,
+    pub hypothesis: Hypothesis,
+    /// Total calls across daemons.
+    pub calls: u64,
+    /// Exclusive CPU units across daemons.
+    pub cpu: u64,
+}
+
+/// Configuration of the search.
+#[derive(Debug, Clone, Copy)]
+pub struct PerformanceConsultant {
+    /// Minimum self-CPU share to declare a CPU bottleneck (default 0.5,
+    /// like Paradyn's default hypothesis thresholds).
+    pub threshold: f64,
+    /// Calls-per-CPU-unit ratio above which a hot-called, CPU-light
+    /// symbol is reported as synchronization waiting.
+    pub sync_calls_per_cpu: f64,
+}
+
+impl Default for PerformanceConsultant {
+    fn default() -> Self {
+        PerformanceConsultant { threshold: 0.5, sync_calls_per_cpu: 10.0 }
+    }
+}
+
+impl PerformanceConsultant {
+    /// Run the search over the front-end's aggregated samples.
+    pub fn search(&self, samples: &[Sample]) -> Option<Bottleneck> {
+        if samples.is_empty() {
+            return None;
+        }
+        // Aggregate across daemons: sym -> (calls, self_cpu).
+        let mut per_symbol: HashMap<&str, (u64, u64)> = HashMap::new();
+        for s in samples {
+            let e = per_symbol.entry(&s.symbol).or_insert((0, 0));
+            e.0 += s.count;
+            e.1 += s.self_time;
+        }
+        // Total measured CPU: each daemon's final total, summed.
+        let mut per_daemon_total: HashMap<&str, u64> = HashMap::new();
+        for s in samples {
+            let e = per_daemon_total.entry(&s.daemon).or_insert(0);
+            *e = (*e).max(s.total_cpu);
+        }
+        let measured_total: u64 = per_daemon_total.values().sum::<u64>().max(1);
+
+        // Largest self-CPU holder (ties: name order, deterministic).
+        let mut by_cpu: Vec<(&str, u64, u64)> =
+            per_symbol.iter().map(|(sym, &(calls, cpu))| (*sym, calls, cpu)).collect();
+        by_cpu.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(b.0)));
+        let (symbol, calls, cpu) = by_cpu.first().copied()?;
+        let fraction = cpu as f64 / measured_total as f64;
+        if fraction >= self.threshold {
+            return Some(Bottleneck {
+                symbol: symbol.to_string(),
+                fraction,
+                hypothesis: Hypothesis::CpuBound,
+                calls,
+                cpu,
+            });
+        }
+
+        // No CPU dominator: look for the spin-wait shape — the most
+        // *called* symbol, if its calls dwarf its self CPU.
+        let mut by_calls: Vec<(&str, u64, u64)> =
+            per_symbol.iter().map(|(sym, &(calls, cpu))| (*sym, calls, cpu)).collect();
+        by_calls.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        if let Some(&(sync_sym, sync_calls, sync_cpu)) = by_calls.first() {
+            if sync_calls > 0
+                && (sync_calls as f64) >= self.sync_calls_per_cpu * (sync_cpu.max(1) as f64)
+            {
+                return Some(Bottleneck {
+                    symbol: sync_sym.to_string(),
+                    fraction: sync_cpu as f64 / measured_total as f64,
+                    hypothesis: Hypothesis::SyncBound,
+                    calls: sync_calls,
+                    cpu: sync_cpu,
+                });
+            }
+        }
+
+        Some(Bottleneck {
+            symbol: symbol.to_string(),
+            fraction,
+            hypothesis: Hypothesis::Balanced,
+            calls,
+            cpu,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdp_proto::Pid;
+
+    fn sample(daemon: &str, sym: &str, count: u64, self_time: u64, total: u64) -> Sample {
+        Sample {
+            daemon: daemon.into(),
+            pid: Pid(1),
+            symbol: sym.into(),
+            count,
+            time: self_time, // inclusive ≥ self; equal is fine for tests
+            self_time,
+            total_cpu: total,
+        }
+    }
+
+    #[test]
+    fn finds_cpu_bound_symbol() {
+        let samples = vec![
+            sample("d1", "main", 1, 0, 1000),
+            sample("d1", "compute", 10, 900, 1000),
+            sample("d1", "exchange", 10, 50, 1000),
+        ];
+        let b = PerformanceConsultant::default().search(&samples).unwrap();
+        assert_eq!(b.symbol, "compute");
+        assert!(b.fraction > 0.8);
+        assert_eq!(b.hypothesis, Hypothesis::CpuBound);
+    }
+
+    #[test]
+    fn aggregates_across_daemons() {
+        let samples = vec![
+            sample("d1", "compute", 5, 450, 500),
+            sample("d2", "compute", 5, 450, 500),
+            sample("d1", "io", 5, 30, 500),
+            sample("d2", "io", 5, 30, 500),
+        ];
+        let b = PerformanceConsultant::default().search(&samples).unwrap();
+        assert_eq!(b.symbol, "compute");
+        assert_eq!(b.cpu, 900);
+        assert_eq!(b.calls, 10);
+    }
+
+    #[test]
+    fn root_symbol_with_no_self_time_never_wins() {
+        // "main" wraps everything (inclusive ≈ 100%) but owns no work.
+        let samples = vec![
+            Sample {
+                daemon: "d1".into(),
+                pid: Pid(1),
+                symbol: "main".into(),
+                count: 1,
+                time: 1000,
+                self_time: 5,
+                total_cpu: 1000,
+            },
+            sample("d1", "phase_a", 3, 600, 1000),
+            sample("d1", "phase_b", 3, 395, 1000),
+        ];
+        let b = PerformanceConsultant::default().search(&samples).unwrap();
+        assert_eq!(b.symbol, "phase_a");
+        assert_eq!(b.hypothesis, Hypothesis::CpuBound);
+    }
+
+    #[test]
+    fn sync_bound_spin_wait_shape() {
+        // Thousands of calls burning nothing: waiting in communication.
+        let samples = vec![
+            sample("d1", "mpi_recv_wait", 5000, 10, 1000),
+            sample("d1", "compute", 5, 300, 1000),
+        ];
+        let b = PerformanceConsultant::default().search(&samples).unwrap();
+        assert_eq!(b.symbol, "mpi_recv_wait");
+        assert_eq!(b.hypothesis, Hypothesis::SyncBound);
+    }
+
+    #[test]
+    fn balanced_when_nothing_dominates() {
+        let samples = vec![
+            sample("d1", "a", 2, 300, 1000),
+            sample("d1", "b", 2, 300, 1000),
+            sample("d1", "c", 2, 300, 1000),
+        ];
+        let b = PerformanceConsultant::default().search(&samples).unwrap();
+        assert_eq!(b.hypothesis, Hypothesis::Balanced);
+    }
+
+    #[test]
+    fn empty_samples_no_verdict() {
+        assert_eq!(PerformanceConsultant::default().search(&[]), None);
+    }
+
+    #[test]
+    fn deterministic_tie_break_by_name() {
+        let samples = vec![
+            sample("d1", "zeta", 1, 600, 1200),
+            sample("d1", "alpha", 1, 600, 1200),
+        ];
+        let b = PerformanceConsultant::default().search(&samples).unwrap();
+        assert_eq!(b.symbol, "alpha");
+    }
+}

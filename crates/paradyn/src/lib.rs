@@ -1,0 +1,34 @@
+//! # tdp-paradyn — the run-time tool substrate
+//!
+//! A Paradyn-shaped profiling tool (§4.2 of the paper): a **front-end**
+//! (`paradyn`) on the user's machine and per-host **daemons**
+//! (`paradynd`) that attach to application processes, parse their
+//! symbol tables, insert dynamic instrumentation, and stream metric
+//! samples back to the front-end — which aggregates them and runs a
+//! Performance-Consultant-style bottleneck search.
+//!
+//! Faithful to the paper's structure:
+//!
+//! * the front-end publishes **two listener ports** (the `-p2090
+//!   -P2091` of Figure 5B): control and data;
+//! * `paradynd` is an executable image launched *by the resource
+//!   manager* (`tdp_create_process`) whose argv follows Figure 5B
+//!   (`-zunix -l3 -m<host> -p<port> -P<port> -a%pid`);
+//! * when its argv carries no usable process reference (`-a%pid`
+//!   unsubstituted), paradynd "assumes it is working under a TDP
+//!   framework" (§4.3 Step 2) and obtains the pid with a blocking
+//!   `tdp_get("pid")`, attaches, initializes, and continues the
+//!   application — exactly the Figure 6 sequence;
+//! * in **create mode** (standalone use, no batch system) paradynd
+//!   launches the application itself; in **attach mode** it attaches to
+//!   a running pid from its argv.
+
+pub mod consultant;
+pub mod daemon;
+pub mod frontend;
+pub mod msg;
+
+pub use consultant::{Bottleneck, Hypothesis, PerformanceConsultant};
+pub use daemon::{paradynd_image, DaemonMode, PARADYND_EXE};
+pub use frontend::{DaemonInfo, ParadynFrontend, Sample};
+pub use msg::{parse_line, render_line, ToolMsg};

@@ -1,0 +1,164 @@
+//! The paradyn↔paradynd wire protocol: newline-delimited text messages
+//! with `key=value` fields, as a 2003-era tool would speak.
+
+use tdp_proto::{Pid, ProcStatus};
+
+/// Messages on the control and data channels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ToolMsg {
+    /// daemon → FE (control): attached and initialized; the application
+    /// is stopped at (or before) `main`.
+    Ready { daemon: String, pid: Pid, symbols: Vec<String> },
+    /// FE → daemon (control): start/resume the application.
+    Run,
+    /// FE → daemon (control): pause the application.
+    Pause,
+    /// FE → daemon (control): kill the application.
+    Kill,
+    /// daemon → FE (data): one metric sample for one symbol
+    /// (`time` inclusive, `self_time` exclusive CPU units).
+    Sample {
+        daemon: String,
+        pid: Pid,
+        symbol: String,
+        count: u64,
+        time: u64,
+        self_time: u64,
+        total_cpu: u64,
+    },
+    /// daemon → FE (data): the application terminated.
+    Done { daemon: String, pid: Pid, status: ProcStatus },
+}
+
+/// Render as one line (no trailing newline).
+pub fn render_line(msg: &ToolMsg) -> String {
+    match msg {
+        ToolMsg::Ready { daemon, pid, symbols } => {
+            format!("READY daemon={daemon} pid={pid} symbols={}", symbols.join(","))
+        }
+        ToolMsg::Run => "RUN".to_string(),
+        ToolMsg::Pause => "PAUSE".to_string(),
+        ToolMsg::Kill => "KILL".to_string(),
+        ToolMsg::Sample { daemon, pid, symbol, count, time, self_time, total_cpu } => format!(
+            "SAMPLE daemon={daemon} pid={pid} symbol={symbol} count={count} time={time} self={self_time} total={total_cpu}"
+        ),
+        ToolMsg::Done { daemon, pid, status } => {
+            format!("DONE daemon={daemon} pid={pid} status={}", status.to_attr_value())
+        }
+    }
+}
+
+fn field<'a>(parts: &'a [&str], key: &str) -> Option<&'a str> {
+    parts.iter().find_map(|p| p.strip_prefix(key).and_then(|r| r.strip_prefix('=')))
+}
+
+/// Parse one line. `None` for malformed input (a robust daemon skips
+/// junk rather than dying).
+pub fn parse_line(line: &str) -> Option<ToolMsg> {
+    let parts: Vec<&str> = line.split_whitespace().collect();
+    match parts.first().copied()? {
+        "READY" => Some(ToolMsg::Ready {
+            daemon: field(&parts, "daemon")?.to_string(),
+            pid: Pid::parse(field(&parts, "pid")?)?,
+            symbols: {
+                let s = field(&parts, "symbols").unwrap_or("");
+                if s.is_empty() {
+                    Vec::new()
+                } else {
+                    s.split(',').map(str::to_string).collect()
+                }
+            },
+        }),
+        "RUN" => Some(ToolMsg::Run),
+        "PAUSE" => Some(ToolMsg::Pause),
+        "KILL" => Some(ToolMsg::Kill),
+        "SAMPLE" => Some(ToolMsg::Sample {
+            daemon: field(&parts, "daemon")?.to_string(),
+            pid: Pid::parse(field(&parts, "pid")?)?,
+            symbol: field(&parts, "symbol")?.to_string(),
+            count: field(&parts, "count")?.parse().ok()?,
+            time: field(&parts, "time")?.parse().ok()?,
+            self_time: field(&parts, "self").unwrap_or("0").parse().ok()?,
+            total_cpu: field(&parts, "total")?.parse().ok()?,
+        }),
+        "DONE" => Some(ToolMsg::Done {
+            daemon: field(&parts, "daemon")?.to_string(),
+            pid: Pid::parse(field(&parts, "pid")?)?,
+            status: ProcStatus::parse(field(&parts, "status")?)?,
+        }),
+        _ => None,
+    }
+}
+
+/// Incremental line splitter over a byte stream.
+#[derive(Default)]
+pub struct LineBuf {
+    buf: Vec<u8>,
+}
+
+impl LineBuf {
+    pub fn push(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Take the next complete line, if any.
+    pub fn next_line(&mut self) -> Option<String> {
+        let pos = self.buf.iter().position(|&b| b == b'\n')?;
+        let line: Vec<u8> = self.buf.drain(..=pos).collect();
+        Some(String::from_utf8_lossy(&line[..line.len() - 1]).into_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_messages() {
+        let msgs = vec![
+            ToolMsg::Ready {
+                daemon: "paradynd7".into(),
+                pid: Pid(7),
+                symbols: vec!["main".into(), "work".into()],
+            },
+            ToolMsg::Ready { daemon: "d".into(), pid: Pid(1), symbols: Vec::new() },
+            ToolMsg::Run,
+            ToolMsg::Pause,
+            ToolMsg::Kill,
+            ToolMsg::Sample {
+                daemon: "d".into(),
+                pid: Pid(9),
+                symbol: "compute".into(),
+                count: 10,
+                time: 500,
+                self_time: 450,
+                total_cpu: 700,
+            },
+            ToolMsg::Done { daemon: "d".into(), pid: Pid(9), status: ProcStatus::Exited(0) },
+        ];
+        for m in msgs {
+            assert_eq!(parse_line(&render_line(&m)), Some(m));
+        }
+    }
+
+    #[test]
+    fn junk_is_none() {
+        assert_eq!(parse_line(""), None);
+        assert_eq!(parse_line("HELLO world"), None);
+        assert_eq!(parse_line("SAMPLE daemon=d"), None);
+        assert_eq!(parse_line("READY pid=x daemon=d symbols="), None);
+    }
+
+    #[test]
+    fn linebuf_reassembles() {
+        let mut lb = LineBuf::default();
+        lb.push(b"RU");
+        assert_eq!(lb.next_line(), None);
+        lb.push(b"N\nPAUSE\nKI");
+        assert_eq!(lb.next_line(), Some("RUN".into()));
+        assert_eq!(lb.next_line(), Some("PAUSE".into()));
+        assert_eq!(lb.next_line(), None);
+        lb.push(b"LL\n");
+        assert_eq!(lb.next_line(), Some("KILL".into()));
+    }
+}

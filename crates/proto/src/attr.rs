@@ -1,0 +1,235 @@
+//! Attribute keys, values and the standard attribute vocabulary.
+//!
+//! Section 3.2 of the paper: "Information in the shared environment space
+//! is kept in the form of (attribute, value) pairs, where both the
+//! attribute and value are constrained only to be null-terminated
+//! strings. … While there is a standard list of attribute names for the
+//! set of data commonly exchanged between the different daemons (every RT
+//! and RM must understand this set), different tools and resource
+//! managers can extend this set with their own situation specific
+//! attributes."
+//!
+//! This module defines that standard list ([`names`]) plus validation and
+//! the client-side multi-value parsing the paper prescribes for values
+//! like `"-p1500 -P2000"`.
+
+use crate::error::{TdpError, TdpResult};
+
+/// An attribute name. Must be non-empty and NUL-free (C-string safe).
+pub type AttrKey = String;
+
+/// An attribute value. Must be NUL-free (C-string safe); may be empty.
+pub type AttrValue = String;
+
+/// The standard attribute vocabulary every TDP-speaking RM and RT must
+/// understand. Tools extend the space with their own names freely.
+pub mod names {
+    /// Pid of the application process, written by the RM after
+    /// `tdp_create_process(AP, paused)` — the attribute `paradynd` blocks
+    /// on in Figure 6, Step 3.
+    pub const PID: &str = "pid";
+    /// Path of the application executable on the execution host.
+    pub const EXECUTABLE_NAME: &str = "executable_name";
+    /// Command-line arguments of the application, space-separated.
+    pub const ARGS: &str = "args";
+    /// Working directory of the application on the execution host.
+    pub const WORKING_DIR: &str = "working_dir";
+    /// `host:port` of the run-time tool's front-end (the two Paradyn
+    /// listener ports travel as [`TOOL_FRONTEND_ADDR`] and
+    /// [`TOOL_FRONTEND_ADDR2`]).
+    pub const TOOL_FRONTEND_ADDR: &str = "tool_frontend_addr";
+    /// Second front-end listener (Paradyn publishes two: -p and -P).
+    pub const TOOL_FRONTEND_ADDR2: &str = "tool_frontend_addr2";
+    /// `host:port` the application should connect its standard I/O to.
+    pub const STDIO_ADDR: &str = "stdio_addr";
+    /// `host:port` of the RM proxy usable to cross the firewall (§2.4).
+    pub const PROXY_ADDR: &str = "proxy_addr";
+    /// `host:port` of the Central Attribute Space Server, published by
+    /// the RM so daemons can reach the global space (§2.1).
+    pub const CASS_ADDR: &str = "cass_addr";
+    /// Current status of the application process, written by the RM
+    /// (§2.3): one of `created`, `running`, `stopped`, `exited:<code>`,
+    /// `killed:<sig>`.
+    pub const AP_STATUS: &str = "ap_status";
+    /// Request attribute an RT writes to ask the RM to perform a process
+    /// management operation (§2.3 single-point control): `continue`,
+    /// `pause`, `kill`.
+    pub const PROC_REQUEST: &str = "proc_request";
+    /// Written by the RT when its initialization is complete and the RM
+    /// may start the application (create-mode handshake, §2.2 step 5).
+    pub const TOOL_READY: &str = "tool_ready";
+    /// Heartbeat counter for the fault-detection extension.
+    pub const HEARTBEAT: &str = "heartbeat";
+    /// Number of ranks in an MPI-universe job.
+    pub const MPI_NRANKS: &str = "mpi_nranks";
+    /// Pid of MPI rank *i*, as `mpi_rank_pid.<i>`.
+    pub const MPI_RANK_PID_PREFIX: &str = "mpi_rank_pid.";
+
+    /// Attribute name carrying the pid of MPI rank `i`.
+    pub fn mpi_rank_pid(i: u32) -> String {
+        format!("{MPI_RANK_PID_PREFIX}{i}")
+    }
+}
+
+/// Validate an attribute key: non-empty, no NUL bytes.
+pub fn validate_key(key: &str) -> TdpResult<()> {
+    if key.is_empty() || key.contains('\0') {
+        return Err(TdpError::InvalidAttribute(key.to_string()));
+    }
+    Ok(())
+}
+
+/// Validate an attribute value: no NUL bytes (empty is allowed).
+pub fn validate_value(value: &str) -> TdpResult<()> {
+    if value.contains('\0') {
+        return Err(TdpError::InvalidValue(value.to_string()));
+    }
+    Ok(())
+}
+
+/// Client-side parsing of multi-valued attributes.
+///
+/// §3.2: "If we consider, for example, the arguments passed to an
+/// application, we would like to pass information that may be something
+/// like `-p1500 -P2000`. This kind of attribute could be stored into the
+/// shared environment space using the simple put operation, and let the
+/// TDP client handle the parsing."
+///
+/// Splits on whitespace, honouring single and double quotes so an
+/// argument may itself contain spaces (`'a b'` or `"a b"`), and `\`
+/// escapes inside double quotes.
+///
+/// ```
+/// use tdp_proto::attr::split_multi_value;
+/// assert_eq!(split_multi_value("-p1500 -P2000"), vec!["-p1500", "-P2000"]);
+/// assert_eq!(split_multi_value(r#"a "b c""#), vec!["a", "b c"]);
+/// ```
+pub fn split_multi_value(value: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut chars = value.chars().peekable();
+    let mut in_single = false;
+    let mut in_double = false;
+    let mut any = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '\'' if !in_double => {
+                in_single = !in_single;
+                any = true;
+            }
+            '"' if !in_single => {
+                in_double = !in_double;
+                any = true;
+            }
+            '\\' if in_double => {
+                if let Some(&n) = chars.peek() {
+                    cur.push(n);
+                    chars.next();
+                    any = true;
+                }
+            }
+            c if c.is_whitespace() && !in_single && !in_double => {
+                if any || !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                    any = false;
+                }
+            }
+            c => {
+                cur.push(c);
+                any = true;
+            }
+        }
+    }
+    if any || !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Join arguments back into a single attribute value, quoting any
+/// argument containing whitespace. `split_multi_value(join_multi_value(v))
+/// == v` for NUL-free inputs without embedded quotes.
+pub fn join_multi_value<S: AsRef<str>>(parts: &[S]) -> String {
+    let mut out = String::new();
+    for (i, p) in parts.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        let p = p.as_ref();
+        if p.is_empty() || p.chars().any(|c| c.is_whitespace()) {
+            out.push('"');
+            for c in p.chars() {
+                if c == '"' || c == '\\' {
+                    out.push('\\');
+                }
+                out.push(c);
+            }
+            out.push('"');
+        } else {
+            out.push_str(p);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_rejects_bad_keys() {
+        assert!(validate_key("pid").is_ok());
+        assert!(validate_key("").is_err());
+        assert!(validate_key("a\0b").is_err());
+    }
+
+    #[test]
+    fn validate_values() {
+        assert!(validate_value("").is_ok());
+        assert!(validate_value("-p1500 -P2000").is_ok());
+        assert!(validate_value("x\0").is_err());
+    }
+
+    #[test]
+    fn split_paper_example() {
+        // The exact example from §3.2 of the paper.
+        assert_eq!(split_multi_value("-p1500 -P2000"), vec!["-p1500", "-P2000"]);
+    }
+
+    #[test]
+    fn split_paradynd_args_from_fig5() {
+        // The ToolDaemonArgs line from Figure 5B.
+        let v = split_multi_value("-zunix -l3 -mpinguino.cs.wisc.edu -p2090 -P2091 -a%pid");
+        assert_eq!(
+            v,
+            vec!["-zunix", "-l3", "-mpinguino.cs.wisc.edu", "-p2090", "-P2091", "-a%pid"]
+        );
+    }
+
+    #[test]
+    fn split_handles_quotes() {
+        assert_eq!(split_multi_value(r#"a "b c" d"#), vec!["a", "b c", "d"]);
+        assert_eq!(split_multi_value("a 'b  c'"), vec!["a", "b  c"]);
+        assert_eq!(split_multi_value(r#""" x"#), vec!["", "x"]);
+        assert_eq!(split_multi_value(r#""a\"b""#), vec![r#"a"b"#]);
+    }
+
+    #[test]
+    fn split_empty_and_spaces() {
+        assert!(split_multi_value("").is_empty());
+        assert!(split_multi_value("   ").is_empty());
+    }
+
+    #[test]
+    fn join_then_split_roundtrip() {
+        let args = vec!["simple", "has space", "", "tab\there"];
+        let joined = join_multi_value(&args);
+        assert_eq!(split_multi_value(&joined), args);
+    }
+
+    #[test]
+    fn mpi_rank_attr_name() {
+        assert_eq!(names::mpi_rank_pid(3), "mpi_rank_pid.3");
+        assert!(names::mpi_rank_pid(0).starts_with(names::MPI_RANK_PID_PREFIX));
+    }
+}

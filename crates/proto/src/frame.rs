@@ -1,0 +1,444 @@
+//! Binary framing of [`Message`]s.
+//!
+//! The simulated network transports byte buffers, so attribute-space
+//! traffic is framed exactly as it would be on a real TCP socket: a
+//! 4-byte big-endian length prefix followed by a hand-rolled tag-based
+//! binary encoding. The codec is deliberately simple (one tag byte per
+//! variant, `u32`-length-prefixed UTF-8 strings, fixed-width integers)
+//! so the encoded form is stable and property-testable.
+
+use crate::error::TdpError;
+use crate::ids::ContextId;
+use crate::message::{Message, Reply};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Errors from the frame codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes than the header or declared payload length.
+    Incomplete,
+    /// Unknown message/reply tag byte.
+    BadTag(u8),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// Declared length exceeds [`MAX_FRAME`].
+    TooLarge(usize),
+    /// Trailing bytes after a well-formed message.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Incomplete => write!(f, "incomplete frame"),
+            FrameError::BadTag(t) => write!(f, "unknown tag byte 0x{t:02x}"),
+            FrameError::BadUtf8 => write!(f, "invalid utf-8 in string field"),
+            FrameError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
+            FrameError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Upper bound on a single frame; a put of a pathological value cannot
+/// wedge a server with an unbounded allocation.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+// Message tags.
+const T_PUT: u8 = 1;
+const T_GET: u8 = 2;
+const T_REMOVE: u8 = 3;
+const T_SUBSCRIBE: u8 = 4;
+const T_UNSUBSCRIBE: u8 = 5;
+const T_LISTKEYS: u8 = 6;
+const T_JOIN: u8 = 7;
+const T_LEAVE: u8 = 8;
+const T_REPLY: u8 = 9;
+
+// Reply tags.
+const R_OK: u8 = 1;
+const R_VALUE: u8 = 2;
+const R_KEYS: u8 = 3;
+const R_NOTIFY: u8 = 4;
+const R_ERR: u8 = 5;
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, FrameError> {
+    if buf.remaining() < 4 {
+        return Err(FrameError::Incomplete);
+    }
+    let len = buf.get_u32() as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::TooLarge(len));
+    }
+    if buf.remaining() < len {
+        return Err(FrameError::Incomplete);
+    }
+    let raw = buf.split_to(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| FrameError::BadUtf8)
+}
+
+fn get_ctx(buf: &mut Bytes) -> Result<ContextId, FrameError> {
+    if buf.remaining() < 8 {
+        return Err(FrameError::Incomplete);
+    }
+    Ok(ContextId(buf.get_u64()))
+}
+
+/// Encode a message as a length-prefixed frame.
+pub fn encode_frame(msg: &Message) -> Bytes {
+    let mut body = BytesMut::with_capacity(64);
+    encode_body(msg, &mut body);
+    let mut framed = BytesMut::with_capacity(body.len() + 4);
+    framed.put_u32(body.len() as u32);
+    framed.extend_from_slice(&body);
+    framed.freeze()
+}
+
+fn encode_body(msg: &Message, buf: &mut BytesMut) {
+    match msg {
+        Message::Put { ctx, key, value } => {
+            buf.put_u8(T_PUT);
+            buf.put_u64(ctx.0);
+            put_str(buf, key);
+            put_str(buf, value);
+        }
+        Message::Get { ctx, key, blocking } => {
+            buf.put_u8(T_GET);
+            buf.put_u64(ctx.0);
+            put_str(buf, key);
+            buf.put_u8(u8::from(*blocking));
+        }
+        Message::Remove { ctx, key } => {
+            buf.put_u8(T_REMOVE);
+            buf.put_u64(ctx.0);
+            put_str(buf, key);
+        }
+        Message::Subscribe { ctx, key, token, only_future } => {
+            buf.put_u8(T_SUBSCRIBE);
+            buf.put_u64(ctx.0);
+            put_str(buf, key);
+            buf.put_u64(*token);
+            buf.put_u8(u8::from(*only_future));
+        }
+        Message::Unsubscribe { ctx, token } => {
+            buf.put_u8(T_UNSUBSCRIBE);
+            buf.put_u64(ctx.0);
+            buf.put_u64(*token);
+        }
+        Message::ListKeys { ctx, prefix } => {
+            buf.put_u8(T_LISTKEYS);
+            buf.put_u64(ctx.0);
+            put_str(buf, prefix);
+        }
+        Message::Join { ctx } => {
+            buf.put_u8(T_JOIN);
+            buf.put_u64(ctx.0);
+        }
+        Message::Leave { ctx } => {
+            buf.put_u8(T_LEAVE);
+            buf.put_u64(ctx.0);
+        }
+        Message::Reply(r) => {
+            buf.put_u8(T_REPLY);
+            encode_reply(r, buf);
+        }
+    }
+}
+
+fn encode_reply(r: &Reply, buf: &mut BytesMut) {
+    match r {
+        Reply::Ok => buf.put_u8(R_OK),
+        Reply::Value { key, value } => {
+            buf.put_u8(R_VALUE);
+            put_str(buf, key);
+            put_str(buf, value);
+        }
+        Reply::Keys(keys) => {
+            buf.put_u8(R_KEYS);
+            buf.put_u32(keys.len() as u32);
+            for k in keys {
+                put_str(buf, k);
+            }
+        }
+        Reply::Notify { token, key, value } => {
+            buf.put_u8(R_NOTIFY);
+            buf.put_u64(*token);
+            put_str(buf, key);
+            put_str(buf, value);
+        }
+        Reply::Err(e) => {
+            buf.put_u8(R_ERR);
+            // Errors cross the wire in display form; clients that need to
+            // match re-parse the canonical variants below.
+            put_str(buf, &error_code(e));
+            put_str(buf, &e.to_string());
+        }
+    }
+}
+
+/// Stable short code for each error variant, so the wire form survives
+/// message-text edits.
+fn error_code(e: &TdpError) -> String {
+    match e {
+        TdpError::AttributeNotFound(a) => format!("ENOATTR:{a}"),
+        TdpError::NoSuchContext(c) => format!("ENOCTX:{}", c.0),
+        TdpError::HandleClosed => "ECLOSED".to_string(),
+        TdpError::Timeout => "ETIMEOUT".to_string(),
+        other => format!("EOTHER:{other}"),
+    }
+}
+
+fn parse_error_code(code: &str, text: &str) -> TdpError {
+    if let Some(a) = code.strip_prefix("ENOATTR:") {
+        TdpError::AttributeNotFound(a.to_string())
+    } else if let Some(c) = code.strip_prefix("ENOCTX:") {
+        c.parse().map(|n| TdpError::NoSuchContext(ContextId(n))).unwrap_or_else(|_| TdpError::Protocol(text.to_string()))
+    } else if code == "ECLOSED" {
+        TdpError::HandleClosed
+    } else if code == "ETIMEOUT" {
+        TdpError::Timeout
+    } else {
+        TdpError::Protocol(text.to_string())
+    }
+}
+
+/// Decode one frame from the front of `buf`. On success the frame's bytes
+/// are consumed from `buf`. Returns `Err(FrameError::Incomplete)` without
+/// consuming anything when a full frame has not yet arrived.
+pub fn decode_frame(buf: &mut BytesMut) -> Result<Message, FrameError> {
+    if buf.len() < 4 {
+        return Err(FrameError::Incomplete);
+    }
+    let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::TooLarge(len));
+    }
+    if buf.len() < 4 + len {
+        return Err(FrameError::Incomplete);
+    }
+    buf.advance(4);
+    let mut body = buf.split_to(len).freeze();
+    let msg = decode_body(&mut body)?;
+    if body.has_remaining() {
+        return Err(FrameError::TrailingBytes(body.remaining()));
+    }
+    Ok(msg)
+}
+
+fn decode_body(buf: &mut Bytes) -> Result<Message, FrameError> {
+    if !buf.has_remaining() {
+        return Err(FrameError::Incomplete);
+    }
+    let tag = buf.get_u8();
+    match tag {
+        T_PUT => {
+            let ctx = get_ctx(buf)?;
+            let key = get_str(buf)?;
+            let value = get_str(buf)?;
+            Ok(Message::Put { ctx, key, value })
+        }
+        T_GET => {
+            let ctx = get_ctx(buf)?;
+            let key = get_str(buf)?;
+            if !buf.has_remaining() {
+                return Err(FrameError::Incomplete);
+            }
+            let blocking = buf.get_u8() != 0;
+            Ok(Message::Get { ctx, key, blocking })
+        }
+        T_REMOVE => {
+            let ctx = get_ctx(buf)?;
+            let key = get_str(buf)?;
+            Ok(Message::Remove { ctx, key })
+        }
+        T_SUBSCRIBE => {
+            let ctx = get_ctx(buf)?;
+            let key = get_str(buf)?;
+            if buf.remaining() < 9 {
+                return Err(FrameError::Incomplete);
+            }
+            let token = buf.get_u64();
+            let only_future = buf.get_u8() != 0;
+            Ok(Message::Subscribe { ctx, key, token, only_future })
+        }
+        T_UNSUBSCRIBE => {
+            let ctx = get_ctx(buf)?;
+            if buf.remaining() < 8 {
+                return Err(FrameError::Incomplete);
+            }
+            let token = buf.get_u64();
+            Ok(Message::Unsubscribe { ctx, token })
+        }
+        T_LISTKEYS => {
+            let ctx = get_ctx(buf)?;
+            let prefix = get_str(buf)?;
+            Ok(Message::ListKeys { ctx, prefix })
+        }
+        T_JOIN => Ok(Message::Join { ctx: get_ctx(buf)? }),
+        T_LEAVE => Ok(Message::Leave { ctx: get_ctx(buf)? }),
+        T_REPLY => Ok(Message::Reply(decode_reply(buf)?)),
+        t => Err(FrameError::BadTag(t)),
+    }
+}
+
+fn decode_reply(buf: &mut Bytes) -> Result<Reply, FrameError> {
+    if !buf.has_remaining() {
+        return Err(FrameError::Incomplete);
+    }
+    let tag = buf.get_u8();
+    match tag {
+        R_OK => Ok(Reply::Ok),
+        R_VALUE => {
+            let key = get_str(buf)?;
+            let value = get_str(buf)?;
+            Ok(Reply::Value { key, value })
+        }
+        R_KEYS => {
+            if buf.remaining() < 4 {
+                return Err(FrameError::Incomplete);
+            }
+            let n = buf.get_u32() as usize;
+            if n > MAX_FRAME / 4 {
+                return Err(FrameError::TooLarge(n));
+            }
+            let mut keys = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                keys.push(get_str(buf)?);
+            }
+            Ok(Reply::Keys(keys))
+        }
+        R_NOTIFY => {
+            if buf.remaining() < 8 {
+                return Err(FrameError::Incomplete);
+            }
+            let token = buf.get_u64();
+            let key = get_str(buf)?;
+            let value = get_str(buf)?;
+            Ok(Reply::Notify { token, key, value })
+        }
+        R_ERR => {
+            let code = get_str(buf)?;
+            let text = get_str(buf)?;
+            Ok(Reply::Err(parse_error_code(&code, &text)))
+        }
+        t => Err(FrameError::BadTag(t)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) {
+        let frame = encode_frame(&msg);
+        let mut buf = BytesMut::from(&frame[..]);
+        let decoded = decode_frame(&mut buf).expect("decode");
+        assert_eq!(decoded, msg);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let ctx = ContextId(7);
+        roundtrip(Message::Put { ctx, key: "pid".into(), value: "42".into() });
+        roundtrip(Message::Get { ctx, key: "pid".into(), blocking: true });
+        roundtrip(Message::Get { ctx, key: "pid".into(), blocking: false });
+        roundtrip(Message::Remove { ctx, key: "pid".into() });
+        roundtrip(Message::Subscribe { ctx, key: "ap_status".into(), token: 99, only_future: false });
+        roundtrip(Message::Subscribe { ctx, key: "ap_status".into(), token: 100, only_future: true });
+        roundtrip(Message::Unsubscribe { ctx, token: 99 });
+        roundtrip(Message::ListKeys { ctx, prefix: "mpi_".into() });
+        roundtrip(Message::Join { ctx });
+        roundtrip(Message::Leave { ctx });
+        roundtrip(Message::Reply(Reply::Ok));
+        roundtrip(Message::Reply(Reply::Value { key: "k".into(), value: "v".into() }));
+        roundtrip(Message::Reply(Reply::Keys(vec!["a".into(), "b".into()])));
+        roundtrip(Message::Reply(Reply::Notify { token: 3, key: "k".into(), value: "v".into() }));
+        roundtrip(Message::Reply(Reply::Err(TdpError::AttributeNotFound("x".into()))));
+        roundtrip(Message::Reply(Reply::Err(TdpError::Timeout)));
+        roundtrip(Message::Reply(Reply::Err(TdpError::HandleClosed)));
+        roundtrip(Message::Reply(Reply::Err(TdpError::NoSuchContext(ContextId(3)))));
+    }
+
+    #[test]
+    fn incomplete_frames_do_not_consume() {
+        let msg = Message::Put { ctx: ContextId(1), key: "a".into(), value: "b".into() };
+        let frame = encode_frame(&msg);
+        for cut in 0..frame.len() {
+            let mut buf = BytesMut::from(&frame[..cut]);
+            let before = buf.len();
+            assert_eq!(decode_frame(&mut buf), Err(FrameError::Incomplete), "cut={cut}");
+            assert_eq!(buf.len(), before, "cut={cut} consumed bytes on Incomplete");
+        }
+    }
+
+    #[test]
+    fn two_frames_back_to_back() {
+        let m1 = Message::Join { ctx: ContextId(1) };
+        let m2 = Message::Put { ctx: ContextId(1), key: "k".into(), value: "v".into() };
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&encode_frame(&m1));
+        buf.extend_from_slice(&encode_frame(&m2));
+        assert_eq!(decode_frame(&mut buf).unwrap(), m1);
+        assert_eq!(decode_frame(&mut buf).unwrap(), m2);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_tag() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(1);
+        buf.put_u8(0xEE);
+        assert_eq!(decode_frame(&mut buf), Err(FrameError::BadTag(0xEE)));
+    }
+
+    #[test]
+    fn rejects_oversized_declared_length() {
+        let mut buf = BytesMut::new();
+        buf.put_u32((MAX_FRAME + 1) as u32);
+        assert!(matches!(decode_frame(&mut buf), Err(FrameError::TooLarge(_))));
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let msg = Message::Join { ctx: ContextId(1) };
+        let inner = encode_frame(&msg);
+        // Re-frame with one junk byte appended inside the declared body.
+        let mut buf = BytesMut::new();
+        let body_len = inner.len() - 4;
+        buf.put_u32((body_len + 1) as u32);
+        buf.extend_from_slice(&inner[4..]);
+        buf.put_u8(0);
+        assert_eq!(decode_frame(&mut buf), Err(FrameError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn rejects_invalid_utf8() {
+        // Hand-build a Put whose key bytes are invalid UTF-8.
+        let mut body = BytesMut::new();
+        body.put_u8(1); // T_PUT
+        body.put_u64(0);
+        body.put_u32(2);
+        body.put_slice(&[0xFF, 0xFE]);
+        body.put_u32(0);
+        let mut buf = BytesMut::new();
+        buf.put_u32(body.len() as u32);
+        buf.extend_from_slice(&body);
+        assert_eq!(decode_frame(&mut buf), Err(FrameError::BadUtf8));
+    }
+
+    #[test]
+    fn unicode_values_roundtrip() {
+        roundtrip(Message::Put {
+            ctx: ContextId(0),
+            key: "dæmon".into(),
+            value: "プロセス:\u{1F680}".into(),
+        });
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests for the wire codec and attribute parsing.
+
+use bytes::BytesMut;
+use proptest::prelude::*;
+use tdp_proto::ids::ContextId;
+use tdp_proto::message::{Message, Reply};
+use tdp_proto::{attr, decode_frame, encode_frame, FrameError};
+
+fn arb_string() -> impl Strategy<Value = String> {
+    // Any unicode, bounded length; includes empty.
+    proptest::string::string_regex(".{0,64}").unwrap()
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    let ctx = any::<u64>().prop_map(ContextId);
+    prop_oneof![
+        (ctx.clone(), arb_string(), arb_string())
+            .prop_map(|(ctx, key, value)| Message::Put { ctx, key, value }),
+        (ctx.clone(), arb_string(), any::<bool>())
+            .prop_map(|(ctx, key, blocking)| Message::Get { ctx, key, blocking }),
+        (ctx.clone(), arb_string()).prop_map(|(ctx, key)| Message::Remove { ctx, key }),
+        (ctx.clone(), arb_string(), any::<u64>(), any::<bool>())
+            .prop_map(|(ctx, key, token, only_future)| Message::Subscribe { ctx, key, token, only_future }),
+        (ctx.clone(), any::<u64>()).prop_map(|(ctx, token)| Message::Unsubscribe { ctx, token }),
+        (ctx.clone(), arb_string()).prop_map(|(ctx, prefix)| Message::ListKeys { ctx, prefix }),
+        ctx.clone().prop_map(|ctx| Message::Join { ctx }),
+        ctx.prop_map(|ctx| Message::Leave { ctx }),
+        Just(Message::Reply(Reply::Ok)),
+        (arb_string(), arb_string())
+            .prop_map(|(key, value)| Message::Reply(Reply::Value { key, value })),
+        proptest::collection::vec(arb_string(), 0..8)
+            .prop_map(|keys| Message::Reply(Reply::Keys(keys))),
+        (any::<u64>(), arb_string(), arb_string())
+            .prop_map(|(token, key, value)| Message::Reply(Reply::Notify { token, key, value })),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(msg in arb_message()) {
+        let frame = encode_frame(&msg);
+        let mut buf = BytesMut::from(&frame[..]);
+        let back = decode_frame(&mut buf).expect("decode");
+        prop_assert_eq!(back, msg);
+        prop_assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn truncation_never_panics_and_never_decodes(msg in arb_message(), cut in 0usize..64) {
+        let frame = encode_frame(&msg);
+        if cut < frame.len() {
+            let mut buf = BytesMut::from(&frame[..cut]);
+            prop_assert_eq!(decode_frame(&mut buf), Err(FrameError::Incomplete));
+        }
+    }
+
+    #[test]
+    fn pipelined_frames_decode_in_order(msgs in proptest::collection::vec(arb_message(), 1..10)) {
+        let mut buf = BytesMut::new();
+        for m in &msgs {
+            buf.extend_from_slice(&encode_frame(m));
+        }
+        for m in &msgs {
+            let got = decode_frame(&mut buf).expect("decode");
+            prop_assert_eq!(&got, m);
+        }
+        prop_assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn random_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut buf = BytesMut::from(&data[..]);
+        let _ = decode_frame(&mut buf); // any result is fine; must not panic
+    }
+
+    #[test]
+    fn multi_value_join_split_roundtrip(
+        parts in proptest::collection::vec("[a-zA-Z0-9 _./-]{0,16}", 0..8)
+    ) {
+        let joined = attr::join_multi_value(&parts);
+        prop_assert_eq!(attr::split_multi_value(&joined), parts);
+    }
+}

@@ -1,0 +1,245 @@
+//! Per-host filesystems with file staging.
+//!
+//! Backs two TDP requirements: executables must exist on the host that
+//! execs them, and "the RT may need configuration files transferred to
+//! the execution nodes … trace files must be transferred from the
+//! execution nodes after the application completes" (§2).
+
+use crate::program::ExecImage;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tdp_proto::{HostId, TdpError, TdpResult};
+
+/// A filesystem entry.
+#[derive(Clone)]
+pub enum FileKind {
+    /// Plain data file.
+    Data(Arc<Vec<u8>>),
+    /// Executable image (program factory + symbol table).
+    Exec(ExecImage),
+}
+
+impl std::fmt::Debug for FileKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FileKind::Data(d) => write!(f, "Data({} bytes)", d.len()),
+            FileKind::Exec(e) => write!(f, "Exec({} symbols)", e.symbols.len()),
+        }
+    }
+}
+
+/// All hosts' filesystems. Hosts spring into existence on first write
+/// (the simulation adds hosts dynamically).
+#[derive(Default)]
+pub struct HostFs {
+    inner: RwLock<HashMap<HostId, HashMap<String, FileKind>>>,
+}
+
+impl HostFs {
+    pub fn new() -> HostFs {
+        HostFs::default()
+    }
+
+    /// Create or overwrite a data file.
+    pub fn write_file(&self, host: HostId, path: &str, data: &[u8]) {
+        self.inner
+            .write()
+            .entry(host)
+            .or_default()
+            .insert(path.to_string(), FileKind::Data(Arc::new(data.to_vec())));
+    }
+
+    /// Append to a data file, creating it if absent. Appending to an
+    /// executable replaces it with a data file (like `cat >> binary`).
+    pub fn append_file(&self, host: HostId, path: &str, data: &[u8]) {
+        let mut fs = self.inner.write();
+        let files = fs.entry(host).or_default();
+        match files.get_mut(path) {
+            Some(FileKind::Data(existing)) => {
+                let mut v = existing.as_ref().clone();
+                v.extend_from_slice(data);
+                *existing = Arc::new(v);
+            }
+            _ => {
+                files.insert(path.to_string(), FileKind::Data(Arc::new(data.to_vec())));
+            }
+        }
+    }
+
+    /// Read a data file.
+    pub fn read_file(&self, host: HostId, path: &str) -> TdpResult<Vec<u8>> {
+        match self.inner.read().get(&host).and_then(|f| f.get(path)) {
+            Some(FileKind::Data(d)) => Ok(d.as_ref().clone()),
+            Some(FileKind::Exec(_)) => {
+                Err(TdpError::Substrate(format!("{path} is an executable")))
+            }
+            None => Err(TdpError::NoSuchFile(path.to_string())),
+        }
+    }
+
+    /// Install an executable image.
+    pub fn install_exec(&self, host: HostId, path: &str, image: ExecImage) {
+        self.inner
+            .write()
+            .entry(host)
+            .or_default()
+            .insert(path.to_string(), FileKind::Exec(image));
+    }
+
+    /// Look up an executable for exec.
+    pub fn lookup_exec(&self, host: HostId, path: &str) -> TdpResult<ExecImage> {
+        match self.inner.read().get(&host).and_then(|f| f.get(path)) {
+            Some(FileKind::Exec(img)) => Ok(img.clone()),
+            Some(FileKind::Data(_)) => {
+                Err(TdpError::Substrate(format!("{path} is not executable")))
+            }
+            None => Err(TdpError::NoSuchFile(path.to_string())),
+        }
+    }
+
+    /// Does the path exist (data or executable)?
+    pub fn exists(&self, host: HostId, path: &str) -> bool {
+        self.inner.read().get(&host).is_some_and(|f| f.contains_key(path))
+    }
+
+    /// Delete a file. Ok even if absent.
+    pub fn remove(&self, host: HostId, path: &str) {
+        if let Some(f) = self.inner.write().get_mut(&host) {
+            f.remove(path);
+        }
+    }
+
+    /// List paths on a host with the given prefix, sorted.
+    pub fn list(&self, host: HostId, prefix: &str) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .inner
+            .read()
+            .get(&host)
+            .map(|f| f.keys().filter(|k| k.starts_with(prefix)).cloned().collect())
+            .unwrap_or_default();
+        v.sort();
+        v
+    }
+
+    /// Stage (copy) a file between hosts — the TDP file-transfer
+    /// primitive. Works for data files and executables (Condor's
+    /// `transfer_input_files = paradynd` ships the tool daemon binary).
+    pub fn stage(
+        &self,
+        from: HostId,
+        src: &str,
+        to: HostId,
+        dst: &str,
+    ) -> TdpResult<()> {
+        let kind = self
+            .inner
+            .read()
+            .get(&from)
+            .and_then(|f| f.get(src).cloned())
+            .ok_or_else(|| TdpError::NoSuchFile(src.to_string()))?;
+        self.inner.write().entry(to).or_default().insert(dst.to_string(), kind);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::fn_program;
+
+    fn img() -> ExecImage {
+        ExecImage::new(["main"], Arc::new(|_| fn_program(|_| 0)))
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let fs = HostFs::new();
+        fs.write_file(HostId(1), "/etc/conf", b"key=val");
+        assert_eq!(fs.read_file(HostId(1), "/etc/conf").unwrap(), b"key=val");
+    }
+
+    #[test]
+    fn files_are_per_host() {
+        let fs = HostFs::new();
+        fs.write_file(HostId(1), "/f", b"one");
+        assert!(fs.read_file(HostId(2), "/f").is_err());
+    }
+
+    #[test]
+    fn append_creates_and_extends() {
+        let fs = HostFs::new();
+        fs.append_file(HostId(1), "/log", b"a");
+        fs.append_file(HostId(1), "/log", b"b");
+        assert_eq!(fs.read_file(HostId(1), "/log").unwrap(), b"ab");
+    }
+
+    #[test]
+    fn exec_install_and_lookup() {
+        let fs = HostFs::new();
+        fs.install_exec(HostId(1), "/bin/foo", img());
+        let got = fs.lookup_exec(HostId(1), "/bin/foo").unwrap();
+        assert_eq!(got.symbols.as_slice(), &["main"]);
+        assert!(fs.lookup_exec(HostId(1), "/bin/bar").is_err());
+    }
+
+    #[test]
+    fn reading_exec_as_data_fails() {
+        let fs = HostFs::new();
+        fs.install_exec(HostId(1), "/bin/foo", img());
+        assert!(fs.read_file(HostId(1), "/bin/foo").is_err());
+        assert!(fs.lookup_exec(HostId(1), "/bin/foo").is_ok());
+    }
+
+    #[test]
+    fn exec_of_data_file_fails() {
+        let fs = HostFs::new();
+        fs.write_file(HostId(1), "/notes.txt", b"hello");
+        assert!(fs.lookup_exec(HostId(1), "/notes.txt").is_err());
+    }
+
+    #[test]
+    fn stage_data_between_hosts() {
+        let fs = HostFs::new();
+        fs.write_file(HostId(0), "paradyn.conf", b"cfg");
+        fs.stage(HostId(0), "paradyn.conf", HostId(3), "/work/paradyn.conf").unwrap();
+        assert_eq!(fs.read_file(HostId(3), "/work/paradyn.conf").unwrap(), b"cfg");
+        // Source untouched.
+        assert_eq!(fs.read_file(HostId(0), "paradyn.conf").unwrap(), b"cfg");
+    }
+
+    #[test]
+    fn stage_executable_ships_tool_daemon() {
+        let fs = HostFs::new();
+        fs.install_exec(HostId(0), "paradynd", img());
+        fs.stage(HostId(0), "paradynd", HostId(3), "/work/paradynd").unwrap();
+        assert!(fs.lookup_exec(HostId(3), "/work/paradynd").is_ok());
+    }
+
+    #[test]
+    fn stage_missing_file_errors() {
+        let fs = HostFs::new();
+        assert!(matches!(
+            fs.stage(HostId(0), "ghost", HostId(1), "g"),
+            Err(TdpError::NoSuchFile(_))
+        ));
+    }
+
+    #[test]
+    fn list_with_prefix_sorted() {
+        let fs = HostFs::new();
+        fs.write_file(HostId(1), "/out/trace.2", b"");
+        fs.write_file(HostId(1), "/out/trace.1", b"");
+        fs.write_file(HostId(1), "/other", b"");
+        assert_eq!(fs.list(HostId(1), "/out/"), vec!["/out/trace.1", "/out/trace.2"]);
+    }
+
+    #[test]
+    fn remove_is_idempotent() {
+        let fs = HostFs::new();
+        fs.write_file(HostId(1), "/f", b"x");
+        fs.remove(HostId(1), "/f");
+        fs.remove(HostId(1), "/f");
+        assert!(!fs.exists(HostId(1), "/f"));
+    }
+}

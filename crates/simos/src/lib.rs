@@ -1,0 +1,47 @@
+//! # tdp-simos — the simulated multi-host operating system
+//!
+//! TDP's process-management interfaces (`tdp_create_process`,
+//! `tdp_attach`, `tdp_continue_process`, status monitoring) were designed
+//! against Unix `fork`/`exec`/`ptrace` and Windows `CreateProcess`. This
+//! crate provides the substrate those interfaces run on in our
+//! reproduction: a cooperative "kernel" managing **simulated processes on
+//! simulated hosts**, with exactly the semantics the paper's protocol
+//! depends on:
+//!
+//! * **create-paused**: a process can be created and left *stopped at
+//!   exec* — the thread exists, `fork`+`exec` have "succeeded", but not
+//!   one instruction of the program body (not even library
+//!   initialization) has run (§4.3, Step 1);
+//! * **attach / detach**: a single tracer may attach to a process
+//!   (second attach ⇒ [`tdp_proto::TdpError::AlreadyTraced`]), pause and
+//!   continue it, and install/remove **instrumentation probes** on the
+//!   executable's symbols — the Dyninst-shaped capability Paradyn needs;
+//! * **status routing**: when a process terminates, the wait-status is
+//!   delivered to its *parent*, its *tracer*, or both, under a
+//!   configurable [`Routing`] policy. This models the OS-specific
+//!   behaviour §2.3 complains about ("under Linux, the parent process may
+//!   or may not be the recipient of the child process' termination code
+//!   … in one unusual case, the return code might go to both") and is
+//!   the reason TDP centralizes process control in the RM;
+//! * **per-host filesystems** with file staging (tool configuration
+//!   files out, trace files back — §2's "tool daemon configuration and
+//!   data files").
+//!
+//! ## Execution model
+//!
+//! A simulated process is an OS thread running a [`Program`] against a
+//! [`ProcCtx`] — the process's private "syscall interface". Every
+//! `ProcCtx` operation passes through a *pause gate*: a pending stop
+//! takes effect there, and a pending kill unwinds the program. This is
+//! cooperative preemption at syscall granularity, which is precisely the
+//! granularity at which TDP ever observes a process.
+
+pub mod fs;
+pub mod kernel;
+pub mod process;
+pub mod program;
+
+pub use fs::{FileKind, HostFs};
+pub use kernel::{Os, OsConfig, ProcEvent, ProcSpec, Role, Routing, TraceHandle};
+pub use process::{ProbeSnapshot, ProcCtx, ProcState, Sink, StartMode};
+pub use program::{fn_program, ExecImage, Program, ProgramFactory};

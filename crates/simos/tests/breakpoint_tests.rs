@@ -1,0 +1,153 @@
+//! Breakpoint and stack-tracking tests: the debugger-grade capabilities
+//! of the tracing substrate.
+
+use std::sync::Arc;
+use std::time::Duration;
+use tdp_simos::kernel::ProcSpec;
+use tdp_simos::{fn_program, ExecImage, Os};
+use tdp_proto::{HostId, ProcStatus};
+
+const H: HostId = HostId(1);
+const T: Duration = Duration::from_secs(5);
+
+fn os_with_phases() -> Os {
+    let os = Os::new();
+    os.fs().install_exec(
+        H,
+        "/bin/phased",
+        ExecImage::new(
+            ["main", "phase_a", "phase_b", "inner"],
+            Arc::new(|_| {
+                fn_program(|ctx| {
+                    ctx.call("main", |ctx| {
+                        for _ in 0..3 {
+                            ctx.call("phase_a", |ctx| {
+                                ctx.call("inner", |ctx| ctx.compute(5));
+                            });
+                            ctx.call("phase_b", |ctx| ctx.compute(2));
+                        }
+                    });
+                    0
+                })
+            }),
+        ),
+    );
+    os
+}
+
+#[test]
+fn breakpoint_stops_before_body() {
+    let os = os_with_phases();
+    let pid = os.spawn(ProcSpec::new(H, "/bin/phased").paused()).unwrap();
+    let h = os.attach(pid).unwrap();
+    h.arm_probe("phase_a").unwrap();
+    h.arm_breakpoint("phase_a").unwrap();
+    let hits = h.breakpoint_events().unwrap();
+    h.cont().unwrap();
+
+    // First hit: stopped at entry, body not yet counted.
+    assert_eq!(hits.recv_timeout(T).unwrap(), "phase_a");
+    assert_eq!(os.status(pid).unwrap(), ProcStatus::Stopped);
+    let snap = h.read_probes().unwrap();
+    assert_eq!(snap.counts.get("phase_a"), None, "stopped before the body ran");
+    assert_eq!(h.last_breakpoint().unwrap().as_deref(), Some("phase_a"));
+
+    // Continue: loop hits the breakpoint twice more.
+    h.cont().unwrap();
+    assert_eq!(hits.recv_timeout(T).unwrap(), "phase_a");
+    h.cont().unwrap();
+    assert_eq!(hits.recv_timeout(T).unwrap(), "phase_a");
+    h.cont().unwrap();
+    assert_eq!(os.wait_terminal(pid, T).unwrap(), ProcStatus::Exited(0));
+    // All three iterations completed once the debugger let them.
+    assert_eq!(h.read_probes().unwrap().counts["phase_a"], 3);
+}
+
+#[test]
+fn disarm_breakpoint_lets_program_run_free() {
+    let os = os_with_phases();
+    let pid = os.spawn(ProcSpec::new(H, "/bin/phased").paused()).unwrap();
+    let h = os.attach(pid).unwrap();
+    h.arm_breakpoint("phase_b").unwrap();
+    let hits = h.breakpoint_events().unwrap();
+    h.cont().unwrap();
+    assert_eq!(hits.recv_timeout(T).unwrap(), "phase_b");
+    h.disarm_breakpoint("phase_b").unwrap();
+    h.cont().unwrap();
+    assert_eq!(os.wait_terminal(pid, T).unwrap(), ProcStatus::Exited(0));
+    assert!(hits.try_recv().is_err(), "no further hits after disarm");
+}
+
+#[test]
+fn arm_breakpoint_on_unknown_symbol_fails() {
+    let os = os_with_phases();
+    let pid = os.spawn(ProcSpec::new(H, "/bin/phased").paused()).unwrap();
+    let h = os.attach(pid).unwrap();
+    assert!(h.arm_breakpoint("no_such").is_err());
+    os.kill(pid, 9).unwrap();
+}
+
+#[test]
+fn stack_snapshot_at_breakpoint() {
+    let os = os_with_phases();
+    let pid = os.spawn(ProcSpec::new(H, "/bin/phased").paused()).unwrap();
+    let h = os.attach(pid).unwrap();
+    h.set_stack_tracking(true).unwrap();
+    h.arm_breakpoint("inner").unwrap();
+    let hits = h.breakpoint_events().unwrap();
+    h.cont().unwrap();
+    hits.recv_timeout(T).unwrap();
+    // Stopped at `inner`'s entry: the stack shows main -> phase_a.
+    // (`inner` itself is pushed only once its body starts.)
+    assert_eq!(h.read_stack().unwrap(), vec!["main", "phase_a"]);
+    // Remove the breakpoint before resuming, or the remaining loop
+    // iterations would park again with no debugger to continue them.
+    h.disarm_breakpoint("inner").unwrap();
+    h.cont().unwrap();
+    os.wait_terminal(pid, T).unwrap();
+}
+
+#[test]
+fn stack_tracking_off_by_default() {
+    let os = os_with_phases();
+    let pid = os.spawn(ProcSpec::new(H, "/bin/phased").paused()).unwrap();
+    let h = os.attach(pid).unwrap();
+    h.cont().unwrap();
+    os.wait_terminal(pid, T).unwrap();
+    assert!(h.read_stack().unwrap().is_empty());
+}
+
+#[test]
+fn kill_releases_process_stopped_at_breakpoint() {
+    let os = os_with_phases();
+    let pid = os.spawn(ProcSpec::new(H, "/bin/phased").paused()).unwrap();
+    let h = os.attach(pid).unwrap();
+    h.arm_breakpoint("phase_a").unwrap();
+    let hits = h.breakpoint_events().unwrap();
+    h.cont().unwrap();
+    hits.recv_timeout(T).unwrap();
+    os.kill(pid, 9).unwrap();
+    assert_eq!(os.wait_terminal(pid, T).unwrap(), ProcStatus::Killed(9));
+}
+
+#[test]
+fn multiple_breakpoints_report_their_symbol() {
+    let os = os_with_phases();
+    let pid = os.spawn(ProcSpec::new(H, "/bin/phased").paused()).unwrap();
+    let h = os.attach(pid).unwrap();
+    h.arm_breakpoint("phase_a").unwrap();
+    h.arm_breakpoint("phase_b").unwrap();
+    let hits = h.breakpoint_events().unwrap();
+    h.cont().unwrap();
+    // Alternating stops in program order.
+    let mut seen = Vec::new();
+    for _ in 0..6 {
+        seen.push(hits.recv_timeout(T).unwrap());
+        h.cont().unwrap();
+    }
+    assert_eq!(
+        seen,
+        vec!["phase_a", "phase_b", "phase_a", "phase_b", "phase_a", "phase_b"]
+    );
+    os.wait_terminal(pid, T).unwrap();
+}

@@ -1,0 +1,135 @@
+//! Property test: random sequences of process-control operations never
+//! panic, never deadlock, and always leave the kernel in a coherent
+//! state (every process is eventually reapable after a kill).
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+use tdp_simos::kernel::ProcSpec;
+use tdp_simos::{fn_program, ExecImage, Os};
+use tdp_proto::HostId;
+
+const H: HostId = HostId(1);
+
+#[derive(Debug, Clone)]
+enum Op {
+    Spawn { paused: bool },
+    Stop(usize),
+    Cont(usize),
+    Kill(usize),
+    Attach(usize),
+    Detach(usize),
+    ArmProbe(usize),
+    ReadProbes(usize),
+    Status(usize),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let idx = 0usize..6;
+    prop_oneof![
+        any::<bool>().prop_map(|paused| Op::Spawn { paused }),
+        idx.clone().prop_map(Op::Stop),
+        idx.clone().prop_map(Op::Cont),
+        idx.clone().prop_map(Op::Kill),
+        idx.clone().prop_map(Op::Attach),
+        idx.clone().prop_map(Op::Detach),
+        idx.clone().prop_map(Op::ArmProbe),
+        idx.clone().prop_map(Op::ReadProbes),
+        idx.prop_map(Op::Status),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+    #[test]
+    fn random_control_sequences_stay_coherent(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        let os = Os::new();
+        os.fs().install_exec(
+            H,
+            "/bin/worker",
+            ExecImage::new(["main", "work"], Arc::new(|_| {
+                fn_program(|ctx| {
+                    ctx.call("main", |ctx| {
+                        for _ in 0..50 {
+                            ctx.call("work", |ctx| {
+                                ctx.compute(1);
+                                ctx.sleep(Duration::from_micros(200));
+                            });
+                        }
+                    });
+                    0
+                })
+            })),
+        );
+        let mut pids = Vec::new();
+        let mut handles = std::collections::HashMap::new();
+        for op in &ops {
+            match op {
+                Op::Spawn { paused } => {
+                    let mut spec = ProcSpec::new(H, "/bin/worker");
+                    if *paused {
+                        spec = spec.paused();
+                    }
+                    pids.push(os.spawn(spec).unwrap());
+                }
+                Op::Stop(i) => {
+                    if let Some(pid) = pids.get(*i) {
+                        let _ = os.stop_process(*pid); // may be terminal: Err ok
+                    }
+                }
+                Op::Cont(i) => {
+                    if let Some(pid) = pids.get(*i) {
+                        let _ = os.continue_process(*pid);
+                    }
+                }
+                Op::Kill(i) => {
+                    if let Some(pid) = pids.get(*i) {
+                        let _ = os.kill(*pid, 9);
+                    }
+                }
+                Op::Attach(i) => {
+                    if let Some(pid) = pids.get(*i) {
+                        if let Ok(h) = os.attach(*pid) {
+                            handles.insert(*pid, h);
+                        }
+                    }
+                }
+                Op::Detach(i) => {
+                    if let Some(pid) = pids.get(*i) {
+                        handles.remove(pid);
+                    }
+                }
+                Op::ArmProbe(i) => {
+                    if let Some(pid) = pids.get(*i) {
+                        if let Some(h) = handles.get(pid) {
+                            let _ = h.arm_probe("work");
+                        }
+                    }
+                }
+                Op::ReadProbes(i) => {
+                    if let Some(pid) = pids.get(*i) {
+                        if let Some(h) = handles.get(pid) {
+                            let _ = h.read_probes();
+                        }
+                    }
+                }
+                Op::Status(i) => {
+                    if let Some(pid) = pids.get(*i) {
+                        prop_assert!(os.status(*pid).is_ok(), "spawned pid must have status");
+                    }
+                }
+            }
+        }
+        // Cleanup invariant: every process can be killed and reaped.
+        drop(handles); // detach resumes anything stopped
+        for pid in &pids {
+            let _ = os.kill(*pid, 9);
+        }
+        for pid in &pids {
+            let st = os.wait_terminal(*pid, Duration::from_secs(10)).unwrap();
+            prop_assert!(st.is_terminal());
+            prop_assert!(os.reap(*pid).is_ok());
+            prop_assert!(os.status(*pid).is_err(), "reaped pid must be gone");
+        }
+    }
+}

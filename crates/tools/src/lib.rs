@@ -1,0 +1,27 @@
+//! # tdp-tools — more run-time tools for the m + n matrix
+//!
+//! §1 of the paper: "for m tools and n environments, the problem becomes
+//! an m × n effort, rather than the hoped-for m + n effort." TDP's
+//! answer is a common protocol; this crate is the *m* side of the
+//! demonstration — three additional tools, each a different point in the
+//! paper's §2.2 taxonomy, all speaking only TDP and therefore running
+//! unmodified under every TDP resource manager in the workspace (the
+//! Condor pool, the LSF-style cluster, or a bare `minirm`):
+//!
+//! * [`tracey`] — a **coverage tool** (create-paused/attach scheme):
+//!   counts every symbol's calls and writes a coverage report;
+//! * [`tdb`] — an interactive **debugger** front-end: breakpoints,
+//!   stack inspection, stepping between symbols, probe reads — the gdb
+//!   of the taxonomy;
+//! * [`vamp`] — a Vampir-style **event tracer**: "requires the tracing
+//!   to be started before the application starts execution" (§2.2),
+//!   so it refuses attach-mode targets and emits a time-ordered event
+//!   log.
+
+pub mod tdb;
+pub mod tracey;
+pub mod vamp;
+
+pub use tdb::{Tdb, TdbEvent};
+pub use tracey::tracey_image;
+pub use vamp::vamp_image;

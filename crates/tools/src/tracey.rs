@@ -1,0 +1,127 @@
+//! `tracey` — a coverage tool daemon.
+//!
+//! The simplest useful RT: attach (under the TDP framework, getting the
+//! pid from the Local Attribute Space), instrument every symbol, run the
+//! application to completion, and write a `<daemon>.coverage` report of
+//! call counts on its execution host. It has no front-end at all: the
+//! report file is its output, staged back by the RM like any other tool
+//! data file (§2).
+
+use tdp_core::{Role, TdpHandle, World};
+use tdp_proto::{names, ContextId, Pid, TdpError, TdpResult};
+use tdp_simos::{fn_program, ExecImage, ProcCtx};
+
+/// Build the tracey executable image.
+///
+/// argv: `-c<ctx>` selects the TDP context (default 0); everything else
+/// is ignored. The pid always comes from the attribute space — tracey
+/// only supports the TDP framework mode.
+pub fn tracey_image(world: World) -> ExecImage {
+    ExecImage::from_fn(move |argv| {
+        let world = world.clone();
+        let ctx = argv
+            .iter()
+            .find_map(|a| a.strip_prefix("-c").and_then(|v| v.parse().ok()))
+            .map(ContextId)
+            .unwrap_or(ContextId::DEFAULT);
+        fn_program(move |pctx| match tracey_main(&world, pctx, ctx) {
+            Ok(()) => 0,
+            Err(e) => {
+                pctx.write_stderr(format!("tracey: {e}\n").as_bytes());
+                1
+            }
+        })
+    })
+}
+
+fn tracey_main(world: &World, pctx: &mut ProcCtx, ctx: ContextId) -> TdpResult<()> {
+    let name = format!("tracey{}", pctx.pid());
+    let mut tdp = TdpHandle::init(world, pctx.host(), ctx, &name, Role::Tool)?;
+    let pid = Pid::parse(&tdp.get(names::PID)?)
+        .ok_or_else(|| TdpError::Protocol("bad pid attribute".into()))?;
+    tdp.attach(pid)?;
+    for sym in tdp.symbols(pid)? {
+        tdp.arm_probe(pid, &sym)?;
+    }
+    tdp.put(names::TOOL_READY, "1")?;
+    tdp.continue_process(pid)?;
+    let status = tdp.wait_terminal(pid, std::time::Duration::from_secs(600))?;
+    let snap = tdp.read_probes(pid)?;
+    let mut lines: Vec<String> =
+        snap.counts.iter().map(|(sym, count)| format!("{sym} {count}")).collect();
+    lines.sort();
+    lines.push(format!("# exit {}", status.to_attr_value()));
+    world.os().fs().write_file(
+        pctx.host(),
+        &format!("{name}.coverage"),
+        (lines.join("\n") + "\n").as_bytes(),
+    );
+    tdp.publish_status(status)?;
+    tdp.exit()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+    use tdp_core::TdpCreate;
+    use tdp_proto::ProcStatus;
+
+    #[test]
+    fn coverage_report_written() {
+        let world = World::new();
+        let host = world.add_host();
+        world.os().fs().install_exec(
+            host,
+            "/bin/app",
+            ExecImage::new(["main", "alpha", "beta"], Arc::new(|_| {
+                fn_program(|ctx| {
+                    ctx.call("main", |ctx| {
+                        for _ in 0..3 {
+                            ctx.call("alpha", |ctx| ctx.compute(1));
+                        }
+                        ctx.call("beta", |ctx| ctx.compute(1));
+                    });
+                    0
+                })
+            })),
+        );
+        world.os().fs().install_exec(host, "tracey", tracey_image(world.clone()));
+        let mut rm =
+            TdpHandle::init(&world, host, ContextId(3), "rm", Role::ResourceManager).unwrap();
+        let app = rm.create_process(TdpCreate::new("/bin/app").paused()).unwrap();
+        let tool = rm.create_process(TdpCreate::new("tracey").args(["-c3"])).unwrap();
+        rm.put(names::PID, &app.to_string()).unwrap();
+        assert_eq!(
+            world.os().wait_terminal(tool, Duration::from_secs(10)).unwrap(),
+            ProcStatus::Exited(0)
+        );
+        let report = world
+            .os()
+            .fs()
+            .read_file(host, &format!("tracey{tool}.coverage"))
+            .map(|d| String::from_utf8(d).unwrap())
+            .unwrap();
+        assert!(report.contains("alpha 3"), "{report}");
+        assert!(report.contains("beta 1"), "{report}");
+        assert!(report.contains("main 1"), "{report}");
+        assert!(report.contains("# exit exited:0"), "{report}");
+    }
+
+    #[test]
+    fn missing_pid_blocks_until_put_never_guesses() {
+        let world = World::new();
+        let host = world.add_host();
+        world.os().fs().install_exec(host, "tracey", tracey_image(world.clone()));
+        let mut rm =
+            TdpHandle::init(&world, host, ContextId::DEFAULT, "rm", Role::ResourceManager)
+                .unwrap();
+        let tool = rm.create_process(TdpCreate::new("tracey")).unwrap();
+        // Without a pid put, tracey stays blocked in tdp_get.
+        std::thread::sleep(Duration::from_millis(80));
+        assert_eq!(world.os().status(tool).unwrap(), ProcStatus::Running);
+        world.os().kill(tool, 9).unwrap();
+    }
+}

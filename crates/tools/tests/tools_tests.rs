@@ -1,0 +1,210 @@
+//! Integration tests for the extra tools: the debugger end-to-end, and
+//! all tools running under the Condor RM — widening the m × n matrix.
+
+use std::sync::Arc;
+use std::time::Duration;
+use tdp_condor::{CondorPool, JobState};
+use tdp_core::{Role, TdpCreate, TdpHandle, World};
+use tdp_proto::{names, ContextId, HostId, ProcStatus};
+use tdp_simos::{fn_program, ExecImage};
+use tdp_tools::{tracey_image, vamp_image, Tdb, TdbEvent};
+
+const T: Duration = Duration::from_secs(15);
+
+fn app_image() -> ExecImage {
+    ExecImage::new(
+        ["main", "load", "solve", "report"],
+        Arc::new(|_| {
+            fn_program(|ctx| {
+                ctx.call("main", |ctx| {
+                    ctx.call("load", |ctx| ctx.compute(10));
+                    for _ in 0..3 {
+                        ctx.call("solve", |ctx| ctx.compute(50));
+                    }
+                    ctx.call("report", |ctx| ctx.write_stdout(b"answer=42\n"));
+                });
+                0
+            })
+        }),
+    )
+}
+
+fn desktop() -> (World, HostId) {
+    let world = World::new();
+    let host = world.add_host();
+    world.os().fs().install_exec(host, "/bin/app", app_image());
+    (world, host)
+}
+
+#[test]
+fn tdb_breakpoint_session() {
+    let (world, host) = desktop();
+    let mut dbg = Tdb::launch(&world, host, ContextId(1), "/bin/app", &[]).unwrap();
+    assert_eq!(dbg.symbols().unwrap(), vec!["main", "load", "solve", "report"]);
+    dbg.breakpoint("solve").unwrap();
+    dbg.watch_calls("solve").unwrap();
+    dbg.run().unwrap();
+
+    // Three stops at solve; backtrace shows main above it.
+    for i in 0..3 {
+        match dbg.wait_stop(T).unwrap() {
+            TdbEvent::Breakpoint(sym) => assert_eq!(sym, "solve", "stop {i}"),
+            other => panic!("stop {i}: {other:?}"),
+        }
+        assert_eq!(dbg.backtrace().unwrap(), vec!["main"]);
+        assert_eq!(dbg.where_stopped().unwrap().as_deref(), Some("solve"));
+        assert_eq!(dbg.info().unwrap().counts.get("solve").copied().unwrap_or(0), i);
+        dbg.run().unwrap();
+    }
+    match dbg.wait_stop(T).unwrap() {
+        TdbEvent::Terminated(st) => assert_eq!(st, ProcStatus::Exited(0)),
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(dbg.info().unwrap().counts["solve"], 3);
+}
+
+#[test]
+fn tdb_step_walks_symbol_entries() {
+    let (world, host) = desktop();
+    let mut dbg = Tdb::launch(&world, host, ContextId(2), "/bin/app", &[]).unwrap();
+    // Stepping from paused-at-exec enters main, then load, then solve.
+    let mut visited = Vec::new();
+    for _ in 0..3 {
+        match dbg.step(T).unwrap() {
+            TdbEvent::Breakpoint(sym) => visited.push(sym),
+            TdbEvent::Terminated(_) => break,
+        }
+    }
+    assert_eq!(visited, vec!["main", "load", "solve"]);
+    // Let it finish unencumbered.
+    dbg.run().unwrap();
+    assert_eq!(dbg.wait_exit(T).unwrap(), ProcStatus::Exited(0));
+}
+
+#[test]
+fn tdb_detach_leaves_program_running() {
+    let (world, host) = desktop();
+    world.os().fs().install_exec(
+        host,
+        "/bin/slow",
+        ExecImage::new(["main", "tick"], Arc::new(|_| {
+            fn_program(|ctx| {
+                ctx.call("main", |ctx| {
+                    for _ in 0..200 {
+                        ctx.call("tick", |ctx| ctx.sleep(Duration::from_millis(2)));
+                    }
+                });
+                0
+            })
+        })),
+    );
+    let mut dbg = Tdb::launch(&world, host, ContextId(3), "/bin/slow", &[]).unwrap();
+    dbg.breakpoint("tick").unwrap();
+    dbg.run().unwrap();
+    assert!(matches!(dbg.wait_stop(T).unwrap(), TdbEvent::Breakpoint(_)));
+    dbg.clear("tick").unwrap();
+    let pid = dbg.pid();
+    dbg.detach().unwrap();
+    // Detach resumed it; it runs to completion on its own.
+    assert_eq!(world.os().wait_terminal(pid, T).unwrap(), ProcStatus::Exited(0));
+}
+
+#[test]
+fn tdb_under_tdp_framework() {
+    // The debugger as the RT of Figure 3A: pid arrives via the space.
+    let (world, host) = desktop();
+    let ctx = ContextId(4);
+    let mut rm = TdpHandle::init(&world, host, ctx, "rm", Role::ResourceManager).unwrap();
+    let app = rm.create_process(TdpCreate::new("/bin/app").paused()).unwrap();
+    rm.put(names::PID, &app.to_string()).unwrap();
+    let mut dbg = Tdb::from_tdp(&world, host, ctx).unwrap();
+    assert_eq!(dbg.pid(), app);
+    assert_eq!(rm.get(names::TOOL_READY).unwrap(), "1");
+    dbg.breakpoint("report").unwrap();
+    dbg.run().unwrap();
+    assert!(matches!(dbg.wait_stop(T).unwrap(), TdbEvent::Breakpoint(s) if s == "report"));
+    dbg.clear("report").unwrap();
+    dbg.run().unwrap();
+    assert_eq!(dbg.wait_exit(T).unwrap(), ProcStatus::Exited(0));
+}
+
+/// Each extra tool under Condor — three more cells of the m × n matrix,
+/// with zero pairwise code.
+fn condor_with_tool(tool_name: &str, image_for: impl Fn(World) -> ExecImage) -> (World, CondorPool) {
+    let world = World::new();
+    let pool = CondorPool::build(&world, 1).unwrap();
+    pool.install_everywhere("/bin/app", app_image());
+    for h in pool.exec_hosts() {
+        world.os().fs().install_exec(*h, tool_name, image_for(world.clone()));
+    }
+    (world, pool)
+}
+
+#[test]
+fn condor_runs_tracey_from_tools_crate() {
+    let (world, pool) = condor_with_tool("tracey", tracey_image);
+    let job = pool
+        .submit_str(
+            "executable = /bin/app\n+SuspendJobAtExec = True\n+ToolDaemonCmd = \"tracey\"\nqueue\n",
+        )
+        .unwrap();
+    assert!(matches!(pool.wait_job(job, T).unwrap(), JobState::Completed(_)));
+    let reports: Vec<String> = world
+        .os()
+        .fs()
+        .list(pool.exec_hosts()[0], "tracey")
+        .into_iter()
+        .filter(|f| f.ends_with(".coverage"))
+        .collect();
+    assert_eq!(reports.len(), 1);
+    let text =
+        String::from_utf8(world.os().fs().read_file(pool.exec_hosts()[0], &reports[0]).unwrap())
+            .unwrap();
+    assert!(text.contains("solve 3"), "{text}");
+}
+
+#[test]
+fn condor_runs_vamp_from_tools_crate() {
+    let (world, pool) = condor_with_tool("vamp", vamp_image);
+    let job = pool
+        .submit_str(
+            "executable = /bin/app\n+SuspendJobAtExec = True\n+ToolDaemonCmd = \"vamp\"\n+ToolDaemonArgs = \"-i2\"\nqueue\n",
+        )
+        .unwrap();
+    assert!(matches!(pool.wait_job(job, T).unwrap(), JobState::Completed(_)));
+    let traces: Vec<String> = world
+        .os()
+        .fs()
+        .list(pool.exec_hosts()[0], "vamp")
+        .into_iter()
+        .filter(|f| f.ends_with(".vamp"))
+        .collect();
+    assert_eq!(traces.len(), 1, "{traces:?}");
+    let text =
+        String::from_utf8(world.os().fs().read_file(pool.exec_hosts()[0], &traces[0]).unwrap())
+            .unwrap();
+    assert!(text.contains("END exited:0"), "{text}");
+}
+
+#[test]
+fn vamp_requires_suspend_at_exec_under_condor() {
+    // Without +SuspendJobAtExec the app is already running when vamp
+    // attaches — vamp refuses (its Vampir-faithful limitation), the job
+    // itself still completes.
+    let (world, pool) = condor_with_tool("vamp", vamp_image);
+    let job = pool
+        .submit_str("executable = /bin/app\n+ToolDaemonCmd = \"vamp\"\nqueue\n")
+        .unwrap();
+    match pool.wait_job(job, T).unwrap() {
+        JobState::Completed(done) => assert_eq!(done[&0], ProcStatus::Exited(0)),
+        other => panic!("{other:?}"),
+    }
+    let traces: Vec<String> = world
+        .os()
+        .fs()
+        .list(pool.exec_hosts()[0], "vamp")
+        .into_iter()
+        .filter(|f| f.ends_with(".vamp"))
+        .collect();
+    assert!(traces.is_empty(), "vamp must not have traced: {traces:?}");
+}

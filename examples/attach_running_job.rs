@@ -1,0 +1,69 @@
+//! Attach mode (§2.2 case 3 / Figure 3B): a server-style application is
+//! already running; a tool attaches mid-flight, pauses it "at some
+//! unknown point in its execution", instruments it, resumes it, samples
+//! for a while, then detaches — leaving the application running.
+//!
+//! ```text
+//! cargo run --example attach_running_job
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+use tdp::core::{Role, TdpCreate, TdpHandle, World};
+use tdp::proto::{names, ContextId, Pid, ProcStatus};
+use tdp::simos::{fn_program, ExecImage};
+
+fn main() {
+    let world = World::new();
+    let host = world.add_host();
+    world.os().fs().install_exec(
+        host,
+        "/bin/server",
+        ExecImage::new(["main", "handle_request", "idle"], Arc::new(|_| {
+            fn_program(|ctx| {
+                ctx.call("main", |ctx| {
+                    for _ in 0..10_000 {
+                        ctx.call("handle_request", |ctx| ctx.compute(3));
+                        ctx.call("idle", |ctx| ctx.sleep(Duration::from_millis(1)));
+                    }
+                });
+                0
+            })
+        })),
+    );
+
+    let ctx = ContextId::DEFAULT;
+    let mut rm = TdpHandle::init(&world, host, ctx, "rm", Role::ResourceManager).unwrap();
+    let server = rm.create_process(TdpCreate::new("/bin/server")).unwrap();
+    println!("server {server} running…");
+    std::thread::sleep(Duration::from_millis(100));
+    rm.put(names::PID, &server.to_string()).unwrap();
+
+    // The tool arrives later.
+    let mut tool = TdpHandle::init(&world, host, ctx, "profiler", Role::Tool).unwrap();
+    let pid = Pid::parse(&tool.get(names::PID).unwrap()).unwrap();
+    tool.attach(pid).unwrap();
+    tool.pause_process(pid).unwrap();
+    println!("attached and paused at an unknown point: {:?}", tool.process_status(pid).unwrap());
+    tool.arm_probe(pid, "handle_request").unwrap();
+    tool.continue_process(pid).unwrap();
+
+    // Sample for a little while.
+    for i in 1..=5 {
+        std::thread::sleep(Duration::from_millis(60));
+        let snap = tool.read_probes(pid).unwrap();
+        println!(
+            "sample {i}: handle_request calls={} cpu={}",
+            snap.counts.get("handle_request").unwrap_or(&0),
+            snap.time.get("handle_request").unwrap_or(&0),
+        );
+    }
+
+    // Detach: the server keeps running, uninstrumented.
+    tool.detach(pid).unwrap();
+    assert_eq!(world.os().status(pid).unwrap(), ProcStatus::Running);
+    println!("detached; server still running. Shutting it down.");
+    rm.kill_process(pid, 15).unwrap();
+    let st = rm.wait_terminal(pid, Duration::from_secs(5)).unwrap();
+    println!("server terminated: {st:?}");
+}

@@ -1,0 +1,89 @@
+//! A debugging session with `tdb`, the gdb-shaped tool of the taxonomy:
+//! launch paused, set breakpoints, inspect the stack, step, watch call
+//! counters, continue to exit.
+//!
+//! ```text
+//! cargo run --example debugger_session
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+use tdp::core::World;
+use tdp::proto::ContextId;
+use tdp::simos::{fn_program, ExecImage};
+use tdp::tools::{Tdb, TdbEvent};
+
+const T: Duration = Duration::from_secs(10);
+
+fn main() {
+    let world = World::new();
+    let host = world.add_host();
+    world.os().fs().install_exec(
+        host,
+        "/bin/payroll",
+        ExecImage::new(
+            ["main", "load_employees", "compute_pay", "audit", "emit"],
+            Arc::new(|_| {
+                fn_program(|ctx| {
+                    ctx.call("main", |ctx| {
+                        ctx.call("load_employees", |ctx| ctx.compute(5));
+                        for _ in 0..4 {
+                            ctx.call("compute_pay", |ctx| {
+                                ctx.compute(20);
+                                ctx.call("audit", |ctx| ctx.compute(3));
+                            });
+                        }
+                        ctx.call("emit", |ctx| ctx.write_stdout(b"payroll done\n"));
+                    });
+                    0
+                })
+            }),
+        ),
+    );
+
+    let mut dbg = Tdb::launch(&world, host, ContextId(1), "/bin/payroll", &[]).unwrap();
+    println!("(tdb) file /bin/payroll   # symbols: {:?}", dbg.symbols().unwrap());
+
+    println!("(tdb) break audit");
+    dbg.breakpoint("audit").unwrap();
+    dbg.watch_calls("compute_pay").unwrap();
+
+    println!("(tdb) run");
+    dbg.run().unwrap();
+    let mut stop = 0;
+    loop {
+        match dbg.wait_stop(T).unwrap() {
+            TdbEvent::Breakpoint(sym) => {
+                stop += 1;
+                println!(
+                    "\nBreakpoint {stop}, {sym} ()\n(tdb) backtrace\n{}",
+                    dbg.backtrace()
+                        .unwrap()
+                        .iter()
+                        .rev()
+                        .enumerate()
+                        .map(|(i, f)| format!("#{i}  {f} ()"))
+                        .collect::<Vec<_>>()
+                        .join("\n")
+                );
+                let info = dbg.info().unwrap();
+                println!(
+                    "(tdb) info counters   # compute_pay called {} times so far",
+                    info.counts.get("compute_pay").copied().unwrap_or(0)
+                );
+                if stop == 2 {
+                    println!("(tdb) delete breakpoints");
+                    dbg.clear("audit").unwrap();
+                }
+                println!("(tdb) continue");
+                dbg.run().unwrap();
+            }
+            TdbEvent::Terminated(st) => {
+                println!("\n[process exited: {st:?}]");
+                break;
+            }
+        }
+    }
+    let info = dbg.info().unwrap();
+    println!("final: compute_pay ran {} times", info.counts["compute_pay"]);
+}

@@ -1,0 +1,77 @@
+//! Figure 1/2 in action: execution machines inside a firewalled private
+//! network. The tool daemon cannot reach its front-end directly; TDP's
+//! channel helper falls back to the resource manager's proxy, and the
+//! attribute space disseminates all the addresses.
+//!
+//! ```text
+//! cargo run --example firewalled_pool
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+use tdp::core::{Role, TdpCreate, TdpHandle, World};
+use tdp::netsim::FirewallPolicy;
+use tdp::proto::{names, Addr, ContextId, Pid, TdpError};
+use tdp::simos::{fn_program, ExecImage};
+
+fn main() {
+    let world = World::new();
+    // Public side: the user's desktop with the tool front-end.
+    let desktop = world.add_host();
+    // Private side: execution host + the RM's gateway.
+    let zone = world.add_private_zone(FirewallPolicy::STRICT);
+    let exec = world.add_host_in(zone);
+    let gateway = world.add_host_in(zone);
+
+    let fe_listener = world.net().listen(desktop, 2090).unwrap();
+    let fe_addr = Addr::new(desktop, 2090);
+
+    // The RM's pre-existing authorized route (Condor-style connection
+    // brokering); TDP adds no new permissions.
+    world.net().authorize_route(gateway, fe_addr);
+    let proxy = tdp::netsim::proxy::spawn(world.net(), gateway, 9618).unwrap();
+    println!("firewalled zone up; RM proxy at {}", proxy.addr());
+
+    world.os().fs().install_exec(
+        exec,
+        "/bin/app",
+        ExecImage::new(["main"], Arc::new(|_| fn_program(|ctx| {
+            ctx.call("main", |ctx| ctx.compute(100));
+            0
+        }))),
+    );
+
+    let ctx = ContextId::DEFAULT;
+    let mut rm = TdpHandle::init(&world, exec, ctx, "rm", Role::ResourceManager).unwrap();
+    rm.advertise_frontend(fe_addr).unwrap();
+    rm.advertise_proxy(proxy.addr()).unwrap();
+    let app = rm.create_process(TdpCreate::new("/bin/app").paused()).unwrap();
+    rm.put(names::PID, &app.to_string()).unwrap();
+
+    let mut tool = TdpHandle::init(&world, exec, ctx, "tool", Role::Tool).unwrap();
+    match world.net().connect(exec, fe_addr) {
+        Err(TdpError::BlockedByFirewall { .. }) => {
+            println!("direct connection exec -> front-end: BLOCKED by firewall (as designed)")
+        }
+        other => panic!("expected a firewall block, got {other:?}"),
+    }
+    let chan = tool.open_tool_channel().unwrap();
+    println!("open_tool_channel: connected via the RM proxy");
+    chan.send(b"hello from behind the firewall").unwrap();
+    let mut fe_session = fe_listener.accept().unwrap();
+    println!(
+        "front-end received: {:?}",
+        String::from_utf8_lossy(&fe_session.recv().unwrap())
+    );
+
+    let pid = Pid::parse(&tool.get(names::PID).unwrap()).unwrap();
+    tool.attach(pid).unwrap();
+    tool.continue_process(pid).unwrap();
+    let st = tool.wait_terminal(pid, Duration::from_secs(10)).unwrap();
+    println!("application finished: {st:?}");
+    println!(
+        "network stats: {} connections opened, {} blocked by firewalls",
+        world.net().stats().connections_opened,
+        world.net().stats().connections_blocked
+    );
+}

@@ -1,0 +1,93 @@
+//! The paper's full motivating stack (§1): a remote user submits
+//! through a Globus-style gatekeeper (authentication + RSL) to a Condor
+//! pool whose starter speaks TDP, and a Paradyn daemon profiles the job
+//! — every layer of middleware negotiated, zero tool changes.
+//!
+//! ```text
+//! cargo run --example grid_submission
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+use tdp::condor::CondorPool;
+use tdp::core::World;
+use tdp::grid::{Gatekeeper, GramClient, GramState};
+use tdp::paradyn::{paradynd_image, ParadynFrontend, PerformanceConsultant};
+use tdp::simos::{fn_program, ExecImage};
+
+const T: Duration = Duration::from_secs(60);
+
+fn main() {
+    let world = World::new();
+
+    // The site: a Condor pool plus a gatekeeper on the head node.
+    let pool = Arc::new(CondorPool::build(&world, 2).unwrap());
+    pool.install_everywhere(
+        "/bin/climate",
+        ExecImage::new(["main", "advect", "radiate"], Arc::new(|_| {
+            fn_program(|ctx| {
+                ctx.call("main", |ctx| {
+                    for _ in 0..8 {
+                        ctx.call("advect", |ctx| ctx.compute(70));
+                        ctx.call("radiate", |ctx| ctx.compute(30));
+                    }
+                });
+                0
+            })
+        })),
+    );
+    for h in pool.exec_hosts() {
+        world.os().fs().install_exec(*h, "paradynd", paradynd_image(world.clone()));
+    }
+    let head = world.add_host();
+    let gk = Gatekeeper::start(&world, head, pool.clone()).unwrap();
+    gk.authorize("/O=Grid/OU=UW/CN=alice", "proxy-7f3a");
+    println!("gatekeeper up at {} (backend: condor pool)", gk.addr());
+
+    // The user's side: a Paradyn front-end and an RSL submission.
+    let fe = ParadynFrontend::start(world.net(), pool.submit_host(), 2090, 2091).unwrap();
+    let user_host = world.add_host();
+    let rsl = format!(
+        r#"&(executable=/bin/climate)(tool=paradynd)(tool_args="-m{} -p{} -P{} -a%pid -A")"#,
+        fe.host().0,
+        fe.control_addr().port.0,
+        fe.data_addr().port.0,
+    );
+    println!("\nsubmitting RSL:\n  {rsl}");
+
+    // Authentication matters: a bad proxy is refused.
+    match GramClient::submit(&world, user_host, gk.addr(), "/O=Grid/OU=UW/CN=alice", "stolen", &rsl)
+    {
+        Err(e) => println!("\nwith a bad proxy token: {e}"),
+        Ok(_) => unreachable!(),
+    }
+
+    let mut client = GramClient::submit(
+        &world,
+        user_host,
+        gk.addr(),
+        "/O=Grid/OU=UW/CN=alice",
+        "proxy-7f3a",
+        &rsl,
+    )
+    .unwrap();
+    println!("with the right proxy: accepted as {} on backend {}", client.job, client.backend);
+
+    match client.wait(T).unwrap() {
+        GramState::Done(done) => println!("job state: DONE {done:?}"),
+        other => {
+            println!("job state: {other:?}");
+            std::process::exit(1);
+        }
+    }
+
+    fe.wait_done(1, T).unwrap();
+    if let Some(b) = PerformanceConsultant::default().search(&fe.samples()) {
+        println!(
+            "\nProfiled through all three layers — Consultant: {:?}, `{}` holds {:.0}% of CPU",
+            b.hypothesis,
+            b.symbol,
+            b.fraction * 100.0
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Parador, MPI universe — §4.3's staged parallel startup: rank 0 (the
+//! "master process") is created paused and handed to its paradynd; once
+//! the user issues *run*, the remaining ranks are created, each with an
+//! auto-running paradynd attached.
+//!
+//! ```text
+//! cargo run --example parador_mpi
+//! ```
+
+use std::time::Duration;
+use tdp::condor::{CondorPool, JobState};
+use tdp::core::World;
+use tdp::mpi::{apps, MpiComm};
+use tdp::paradyn::{paradynd_image, ParadynFrontend, PerformanceConsultant};
+
+const T: Duration = Duration::from_secs(60);
+const NRANKS: u32 = 4;
+
+fn main() {
+    let world = World::new();
+    let pool = CondorPool::build(&world, NRANKS as usize).unwrap();
+    let comm = MpiComm::new(NRANKS);
+    // A stencil solver: compute-heavy with halo exchanges and a global
+    // residual reduction per iteration.
+    pool.install_everywhere("stencil", apps::stencil(comm, 5, 60));
+    for h in pool.exec_hosts() {
+        world.os().fs().install_exec(*h, "paradynd", paradynd_image(world.clone()));
+    }
+    let fe = ParadynFrontend::start(world.net(), pool.submit_host(), 2090, 2091).unwrap();
+
+    let submit = format!(
+        "universe = MPI\nexecutable = stencil\nmachine_count = {NRANKS}\n\
+         +SuspendJobAtExec = True\n+ToolDaemonCmd = \"paradynd\"\n\
+         +ToolDaemonArgs = \"-m{} -p{} -P{} -a%pid\"\nqueue\n",
+        fe.host().0,
+        fe.control_addr().port.0,
+        fe.data_addr().port.0
+    );
+    println!("submitting {NRANKS}-rank MPI job:\n{submit}");
+    let job = pool.submit_str(&submit).unwrap();
+
+    // Stage 1: only the master process exists.
+    let d0 = fe.wait_for_daemons(1, T).unwrap();
+    println!("rank 0 master created (pid {}), its paradynd is ready", d0[0].pid);
+    std::thread::sleep(Duration::from_millis(100));
+    println!("daemons before run command: {}", fe.daemons().len());
+
+    // Stage 2: the run command fans the job out.
+    println!("issuing run…");
+    fe.run_all().unwrap();
+    let all = fe.wait_for_daemons(NRANKS as usize, T).unwrap();
+    println!("daemons after run command:  {} (one per rank)", all.len());
+    for d in &all {
+        println!("  {} -> pid {}", d.daemon, d.pid);
+    }
+
+    match pool.wait_job(job, T).unwrap() {
+        JobState::Completed(done) => {
+            let mut ranks: Vec<_> = done.iter().collect();
+            ranks.sort_by_key(|(rank, _)| **rank);
+            println!("\nall ranks done:");
+            for (rank, st) in ranks {
+                println!("  rank {rank}: {st:?}");
+            }
+        }
+        other => {
+            println!("job failed: {other:?}");
+            std::process::exit(1);
+        }
+    }
+    fe.wait_done(NRANKS as usize, T).unwrap();
+
+    // Aggregate per-symbol across ranks.
+    println!("\naggregated profile:");
+    let mut by_symbol: std::collections::BTreeMap<&str, (u64, u64)> = Default::default();
+    let samples = fe.samples();
+    for s in &samples {
+        let e = by_symbol.entry(s.symbol.as_str()).or_insert((0, 0));
+        e.0 += s.count;
+        e.1 += s.self_time;
+    }
+    for (sym, (calls, cpu)) in &by_symbol {
+        println!("  {sym:<16} calls={calls:<5} self-cpu={cpu}");
+    }
+    if let Some(b) = PerformanceConsultant::default().search(&samples) {
+        println!(
+            "\nPerformance Consultant: {:?} — `{}` ({:.0}% of measured CPU)",
+            b.hypothesis,
+            b.symbol,
+            b.fraction * 100.0
+        );
+    }
+}

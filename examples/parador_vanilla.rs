@@ -1,0 +1,126 @@
+//! Parador, vanilla universe — the paper's §4.3 pilot, end to end:
+//! a Condor pool runs a submit file with `+SuspendJobAtExec` and
+//! `+ToolDaemon*` directives (Figure 5B); the starter speaks TDP to
+//! launch the application paused and hand it to `paradynd`; the Paradyn
+//! front-end steers the run and the Performance Consultant names the
+//! bottleneck.
+//!
+//! ```text
+//! cargo run --example parador_vanilla
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+use tdp::condor::{CondorPool, JobState};
+use tdp::core::World;
+use tdp::paradyn::{paradynd_image, ParadynFrontend, PerformanceConsultant};
+use tdp::simos::{fn_program, ExecImage};
+
+const T: Duration = Duration::from_secs(30);
+
+fn main() {
+    let world = World::new();
+    let pool = CondorPool::build(&world, 2).unwrap();
+    println!(
+        "pool up: central manager {}, submit {}, {} execution machines",
+        pool.central_manager(),
+        pool.submit_host(),
+        pool.exec_hosts().len()
+    );
+
+    // The application: a solver whose `relax` phase dominates.
+    pool.install_everywhere(
+        "/bin/solver",
+        ExecImage::new(["main", "setup", "relax", "checkpoint"], Arc::new(|_| {
+            fn_program(|ctx| {
+                let _ = ctx.read_stdin();
+                ctx.call("main", |ctx| {
+                    ctx.call("setup", |ctx| ctx.compute(40));
+                    for _ in 0..30 {
+                        ctx.call("relax", |ctx| ctx.compute(85));
+                        ctx.call("checkpoint", |ctx| ctx.compute(5));
+                    }
+                });
+                ctx.write_stdout(b"converged\n");
+                0
+            })
+        })),
+    );
+    for h in pool.exec_hosts() {
+        world.os().fs().install_exec(*h, "paradynd", paradynd_image(world.clone()));
+    }
+    world.os().fs().write_file(pool.submit_host(), "infile", b"grid 64x64\n");
+
+    // "In our tests, the Paradyn Front-end was started first. This step
+    // was required because the front-end publishes two port numbers that
+    // paradynds must use to connect to it."
+    let fe = ParadynFrontend::start(world.net(), pool.submit_host(), 2090, 2091).unwrap();
+    let submit = format!(
+        r#"universe = Vanilla
+executable = /bin/solver
+input = infile
+output = outfile
+transfer_files = never
++SuspendJobAtExec = True
++ToolDaemonCmd = "paradynd"
++ToolDaemonArgs = "-zunix -l3 -m{} -p{} -P{} -a%pid"
++ToolDaemonOutput = "daemon.out"
++ToolDaemonError = "daemon.err"
+queue
+"#,
+        fe.host().0,
+        fe.control_addr().port.0,
+        fe.data_addr().port.0
+    );
+    println!("\nsubmit file:\n{submit}");
+    let job = pool.submit_str(&submit).unwrap();
+
+    let daemons = fe.wait_for_daemons(1, T).unwrap();
+    println!(
+        "paradynd ready: {} monitoring pid {} (symbols {:?})",
+        daemons[0].daemon, daemons[0].pid, daemons[0].symbols
+    );
+    println!("application is suspended; issuing the run command…");
+    fe.run_all().unwrap();
+
+    match pool.wait_job(job, T).unwrap() {
+        JobState::Completed(done) => println!("job {job} completed: {done:?}"),
+        other => {
+            println!("job did not complete: {other:?}");
+            std::process::exit(1);
+        }
+    }
+    fe.wait_done(1, T).unwrap();
+
+    println!("\nprofile (latest samples):");
+    for s in fe.samples() {
+        println!(
+            "  {:<12} calls={:<4} cpu={:<6} self={:<6} (daemon {})",
+            s.symbol, s.count, s.time, s.self_time, s.daemon
+        );
+    }
+    if let Some(b) = PerformanceConsultant::default().search(&fe.samples()) {
+        println!(
+            "\nPerformance Consultant: {:?} — `{}` holds {:.0}% of measured CPU ({} calls)",
+            b.hypothesis,
+            b.symbol,
+            b.fraction * 100.0,
+            b.calls
+        );
+    }
+
+    let out = world.os().fs().read_file(pool.submit_host(), "outfile").unwrap();
+    println!("\nstaged back to submit machine:");
+    println!("  outfile    = {:?}", String::from_utf8_lossy(&out));
+    for f in ["daemon.out", "daemon.err"] {
+        println!("  {f:10} = {} bytes", world.os().fs().read_file(pool.submit_host(), f).map(|d| d.len()).unwrap_or(0));
+    }
+    for f in world.os().fs().list(pool.submit_host(), "paradynd") {
+        let data = world.os().fs().read_file(pool.submit_host(), &f).unwrap();
+        println!("  {f} =\n{}", textwrap(&String::from_utf8_lossy(&data)));
+    }
+}
+
+fn textwrap(s: &str) -> String {
+    s.lines().map(|l| format!("      {l}")).collect::<Vec<_>>().join("\n")
+}

@@ -1,0 +1,74 @@
+//! Quickstart: the smallest complete TDP session.
+//!
+//! A resource manager creates an application *paused at exec*, a tool
+//! attaches and instruments it before a single instruction has run, the
+//! application executes, and the tool reports what it measured.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+use tdp::core::{Role, TdpCreate, TdpHandle, World};
+use tdp::proto::{names, ContextId, Pid};
+use tdp::simos::{fn_program, ExecImage};
+
+fn main() {
+    // A world: simulated kernel + network. One execution host.
+    let world = World::new();
+    let host = world.add_host();
+
+    // Install an "executable": a program with a symbol table.
+    world.os().fs().install_exec(
+        host,
+        "/bin/fibber",
+        ExecImage::new(["main", "fib", "print"], Arc::new(|_| {
+            fn_program(|ctx| {
+                ctx.call("main", |ctx| {
+                    for n in 0..15u64 {
+                        ctx.call("fib", |ctx| ctx.compute(1 << (n / 3)));
+                    }
+                    ctx.call("print", |ctx| ctx.write_stdout(b"done\n"));
+                });
+                0
+            })
+        })),
+    );
+
+    // The resource manager side: tdp_init (starts the LASS), create the
+    // application paused, publish its pid.
+    let ctx = ContextId::DEFAULT;
+    let mut rm = TdpHandle::init(&world, host, ctx, "rm", Role::ResourceManager).unwrap();
+    let app = rm.create_process(TdpCreate::new("/bin/fibber").paused()).unwrap();
+    println!("[rm]   created {app} paused at exec: status = {:?}", rm.process_status(app).unwrap());
+    rm.put(names::PID, &app.to_string()).unwrap();
+
+    // The tool side: tdp_init, blocking tdp_get of the pid, attach,
+    // instrument, continue.
+    let mut tool = TdpHandle::init(&world, host, ctx, "tool", Role::Tool).unwrap();
+    let pid = Pid::parse(&tool.get(names::PID).unwrap()).unwrap();
+    tool.attach(pid).unwrap();
+    println!("[tool] attached to {pid}; symbols = {:?}", tool.symbols(pid).unwrap());
+    tool.arm_probe(pid, "fib").unwrap();
+    tool.arm_probe(pid, "print").unwrap();
+    tool.continue_process(pid).unwrap();
+
+    // Wait and report.
+    let status = tool.wait_terminal(pid, Duration::from_secs(10)).unwrap();
+    let probes = tool.read_probes(pid).unwrap();
+    println!("[tool] application finished: {status:?}");
+    let mut syms: Vec<_> = probes.counts.keys().collect();
+    syms.sort();
+    for sym in syms {
+        println!(
+            "[tool]   {sym:8} calls={:<4} cpu={:<6} self={}",
+            probes.counts[sym],
+            probes.time.get(sym).unwrap_or(&0),
+            probes.self_time.get(sym).unwrap_or(&0),
+        );
+    }
+
+    // Everything that happened, as the TDP call trace.
+    println!("\nTDP call trace:\n{}", world.trace().render());
+}

@@ -1,0 +1,23 @@
+//! # tdp — The Tool Dæmon Protocol in Rust
+//!
+//! Umbrella crate re-exporting the whole TDP workspace: the protocol
+//! library itself ([`core`]), the simulated substrates it runs on
+//! ([`netsim`], [`simos`], [`attrspace`]) and the two systems joined in
+//! the paper's Parador prototype — a Condor-like batch scheduler
+//! ([`condor`]) and a Paradyn-like profiling tool ([`paradyn`]).
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! per-figure reproduction record.
+
+pub use tdp_attrspace as attrspace;
+pub use tdp_condor as condor;
+pub use tdp_core as core;
+pub use tdp_grid as grid;
+pub use tdp_lsf as lsf;
+pub use tdp_mpi as mpi;
+pub use tdp_mrnet as mrnet;
+pub use tdp_netsim as netsim;
+pub use tdp_paradyn as paradyn;
+pub use tdp_proto as proto;
+pub use tdp_simos as simos;
+pub use tdp_tools as tools;

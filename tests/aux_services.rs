@@ -1,0 +1,106 @@
+//! Auxiliary services (§2): "software multicast/reduction networks are
+//! crucial to scalable tool use. The RM must be aware of and willing to
+//! launch this second kind of non-application entity."
+//!
+//! Here the RM launches an MRNet-style reduction tree alongside the tool
+//! daemons; the daemons attach to it as back-ends, the tool front-end
+//! multicasts control and receives reduced metric values.
+
+use std::sync::Arc;
+use std::time::Duration;
+use tdp::core::{Role, TdpCreate, TdpHandle, World};
+use tdp::mrnet::{BackEnd, FrontEnd, ReduceOp, TreeSpec};
+use tdp::proto::{names, ContextId, Pid, ProcStatus};
+use tdp::simos::{fn_program, ExecImage};
+
+const T: Duration = Duration::from_secs(15);
+
+#[test]
+fn rm_launches_reduction_network_for_tool_daemons() {
+    let world = World::new();
+    let fe_host = world.add_host();
+    let n_hosts = 4usize;
+    let hosts: Vec<_> = (0..n_hosts).map(|_| world.add_host()).collect();
+
+    // The RM (front-end side) launches the auxiliary service: an MRNet
+    // tree with one attachment point per execution host.
+    let (mr_fe, attach) = FrontEnd::build(
+        &world.net().clone(),
+        fe_host,
+        &hosts,
+        n_hosts,
+        TreeSpec { fanout: 2, op: ReduceOp::Sum },
+    )
+    .unwrap();
+
+    // Per-host: an application + a miniature tool daemon that reports
+    // its probe totals through the reduction network instead of a
+    // point-to-point channel.
+    let app = ExecImage::new(["main", "work"], Arc::new(|_| {
+        fn_program(|ctx| {
+            ctx.call("main", |ctx| {
+                for _ in 0..10 {
+                    ctx.call("work", |ctx| ctx.compute(7));
+                }
+            });
+            0
+        })
+    }));
+    for (i, h) in hosts.iter().enumerate() {
+        world.os().fs().install_exec(*h, "/bin/app", app.clone());
+        let world2 = world.clone();
+        let attach_addr = attach[i];
+        world.os().fs().install_exec(
+            *h,
+            "mrtool",
+            ExecImage::from_fn(move |_| {
+                let world = world2.clone();
+                fn_program(move |pctx| {
+                    let ctx_id = ContextId(100 + pctx.host().0 as u64);
+                    let mut tdp =
+                        TdpHandle::init(&world, pctx.host(), ctx_id, "mrtool", Role::Tool)
+                            .expect("init");
+                    let pid = Pid::parse(&tdp.get(names::PID).expect("pid")).expect("parse");
+                    tdp.attach(pid).expect("attach");
+                    tdp.arm_probe(pid, "work").expect("arm");
+                    // Join the reduction tree launched by the RM.
+                    let mut be =
+                        BackEnd::connect(world.net(), pctx.host(), attach_addr).expect("attach mrnet");
+                    // Wait for the collective start command.
+                    let cmd = be.recv_multicast(T).expect("start cmd");
+                    assert_eq!(cmd, b"start");
+                    tdp.continue_process(pid).expect("continue");
+                    tdp.wait_terminal(pid, T).expect("app done");
+                    let snap = tdp.read_probes(pid).expect("probes");
+                    // Contribute this host's total to wave 0.
+                    be.contribute(0, snap.time.get("work").copied().unwrap_or(0))
+                        .expect("reduce");
+                    0
+                })
+            }),
+        );
+    }
+
+    // The RM on each host: create app paused, launch the tool, put pid.
+    let mut rms = Vec::new();
+    for h in &hosts {
+        let ctx_id = ContextId(100 + h.0 as u64);
+        let mut rm = TdpHandle::init(&world, *h, ctx_id, "rm", Role::ResourceManager).unwrap();
+        let app_pid = rm.create_process(TdpCreate::new("/bin/app").paused()).unwrap();
+        let tool_pid = rm.create_process(TdpCreate::new("mrtool")).unwrap();
+        rm.put(names::PID, &app_pid.to_string()).unwrap();
+        rms.push((rm, app_pid, tool_pid));
+    }
+
+    // Collective start through the tree; collective result back.
+    mr_fe.multicast(b"start").unwrap();
+    let total = mr_fe.recv_reduce(0, T).unwrap();
+    // Each host: 10 calls × 7 units = 70; 4 hosts = 280.
+    assert_eq!(total, 280);
+
+    for (rm, app_pid, tool_pid) in &rms {
+        let _ = rm;
+        assert_eq!(world.os().wait_terminal(*app_pid, T).unwrap(), ProcStatus::Exited(0));
+        assert_eq!(world.os().wait_terminal(*tool_pid, T).unwrap(), ProcStatus::Exited(0));
+    }
+}

@@ -1,0 +1,168 @@
+//! Checkpointing and migration — the paper's intro names checkpointing
+//! among the tool capabilities distributed environments lack, and
+//! Condor provides it ("including checkpointing and remote file
+//! access", §4.1). Here a running job is **vacated** (killed with
+//! signal 15), its checkpoint is staged back by the starter, the schedd
+//! requeues it, and it **resumes on another machine** from where it
+//! left off.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tdp::condor::{CondorPool, JobState};
+use tdp::core::World;
+use tdp::proto::ProcStatus;
+use tdp::simos::{fn_program, ExecImage};
+
+const T: Duration = Duration::from_secs(30);
+const UNITS: u64 = 10;
+
+/// A resumable solver: reads its progress from the checkpoint file,
+/// works one unit at a time (20 ms each), updates the checkpoint after
+/// every unit. `work_counter` counts units actually executed across
+/// all incarnations.
+fn resumable_app(work_counter: Arc<AtomicU64>) -> ExecImage {
+    ExecImage::new(["main", "unit"], Arc::new(move |_| {
+        let counter = work_counter.clone();
+        fn_program(move |ctx| {
+            let start: u64 = ctx
+                .fs()
+                .read("ckpt")
+                .ok()
+                .and_then(|d| String::from_utf8(d).ok())
+                .and_then(|s| s.trim().parse().ok())
+                .unwrap_or(0);
+            ctx.call("main", |ctx| {
+                for i in start..UNITS {
+                    ctx.call("unit", |ctx| {
+                        ctx.sleep(Duration::from_millis(20));
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                    ctx.fs().write("ckpt", format!("{}", i + 1).as_bytes());
+                }
+            });
+            ctx.write_stdout(format!("finished at {UNITS}").as_bytes());
+            0
+        })
+    }))
+}
+
+#[test]
+fn vacated_job_resumes_from_checkpoint_on_another_machine() {
+    let world = World::new();
+    let pool = CondorPool::build(&world, 2).unwrap();
+    let work = Arc::new(AtomicU64::new(0));
+    pool.install_everywhere("/bin/solver", resumable_app(work.clone()));
+
+    let job = pool
+        .submit_str(
+            "executable = /bin/solver\noutput = out\n+Checkpointing = True\ncheckpoint_file = ckpt\nqueue\n",
+        )
+        .unwrap();
+
+    // Let it make some progress (at least 3 units), then vacate the
+    // machine it runs on and take that machine out of the pool.
+    let deadline = std::time::Instant::now() + T;
+    while work.load(Ordering::SeqCst) < 3 {
+        assert!(std::time::Instant::now() < deadline, "job never made progress");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let victim = pool
+        .startds()
+        .iter()
+        .find(|s| s.is_busy())
+        .expect("some machine is running the job");
+    victim.vacate().unwrap();
+    victim.simulate_crash(); // force the re-run onto the other machine
+
+    match pool.wait_job(job, T).unwrap() {
+        JobState::Completed(done) => assert_eq!(done[&0], ProcStatus::Exited(0)),
+        other => panic!("{other:?}"),
+    }
+
+    // The job finished…
+    assert_eq!(
+        world.os().fs().read_file(pool.submit_host(), "out").unwrap(),
+        format!("finished at {UNITS}").as_bytes()
+    );
+    // …the final checkpoint was staged back…
+    assert_eq!(
+        world.os().fs().read_file(pool.submit_host(), "ckpt").unwrap(),
+        format!("{UNITS}").as_bytes()
+    );
+    // …and the resume actually skipped completed work: total units
+    // executed across both incarnations is less than 2×UNITS but may
+    // exceed UNITS by at most the one unit in flight at vacate time.
+    let total = work.load(Ordering::SeqCst);
+    assert!(total >= UNITS, "all units must be covered: {total}");
+    assert!(
+        total <= UNITS + 1,
+        "resume must not redo finished units (did {total} of {UNITS})"
+    );
+}
+
+#[test]
+fn non_checkpointing_job_stays_killed_when_vacated() {
+    // Without +Checkpointing, a vacate is a plain kill: the job
+    // completes with killed:15 and is NOT requeued.
+    let world = World::new();
+    let pool = CondorPool::build(&world, 2).unwrap();
+    let work = Arc::new(AtomicU64::new(0));
+    pool.install_everywhere("/bin/solver", resumable_app(work.clone()));
+    let job = pool.submit_str("executable = /bin/solver\nqueue\n").unwrap();
+    let deadline = std::time::Instant::now() + T;
+    while work.load(Ordering::SeqCst) < 2 {
+        assert!(std::time::Instant::now() < deadline);
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    pool.startds()
+        .iter()
+        .find(|s| s.is_busy())
+        .expect("running somewhere")
+        .vacate()
+        .unwrap();
+    match pool.wait_job(job, T).unwrap() {
+        JobState::Completed(done) => assert_eq!(done[&0], ProcStatus::Killed(15)),
+        other => panic!("{other:?}"),
+    }
+    assert!(work.load(Ordering::SeqCst) < UNITS, "must not have been re-run");
+}
+
+#[test]
+fn vacate_with_nothing_running_errors() {
+    let world = World::new();
+    let pool = CondorPool::build(&world, 1).unwrap();
+    assert!(pool.startds()[0].vacate().is_err());
+}
+
+#[test]
+fn checkpointing_survives_repeated_vacates() {
+    let world = World::new();
+    let pool = CondorPool::build(&world, 2).unwrap();
+    let work = Arc::new(AtomicU64::new(0));
+    pool.install_everywhere("/bin/solver", resumable_app(work.clone()));
+    let job = pool
+        .submit_str(
+            "executable = /bin/solver\n+Checkpointing = True\ncheckpoint_file = ckpt\nqueue\n",
+        )
+        .unwrap();
+    // Vacate twice (within the requeue budget of 3), from whichever
+    // machine currently runs it; do not crash machines so it can bounce.
+    for round in 0..2 {
+        let deadline = std::time::Instant::now() + T;
+        let target = work.load(Ordering::SeqCst) + 2;
+        while work.load(Ordering::SeqCst) < target.min(UNITS - 1) {
+            assert!(std::time::Instant::now() < deadline, "round {round}: no progress");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        if let Some(s) = pool.startds().iter().find(|s| s.is_busy()) {
+            let _ = s.vacate();
+        }
+    }
+    match pool.wait_job(job, T).unwrap() {
+        JobState::Completed(done) => assert_eq!(done[&0], ProcStatus::Exited(0)),
+        other => panic!("{other:?}"),
+    }
+    let total = work.load(Ordering::SeqCst);
+    assert!((UNITS..=UNITS + 2).contains(&total), "units executed: {total}");
+}

@@ -1,0 +1,115 @@
+//! The "complete TDP framework" of §4.3: "In a complete TDP framework,
+//! port arguments should be published by Paradyn front-end and
+//! disseminated to remote sites as attribute values." — the paper's
+//! prototype hard-coded `-p2090 -P2091` in the submit file; here the
+//! front-end publishes its ports into the CASS and the submit file
+//! carries **no address arguments at all**.
+
+use std::sync::Arc;
+use std::time::Duration;
+use tdp::condor::{CondorPool, JobState};
+use tdp::core::World;
+use tdp::lsf::{LsfCluster, LsfJobState, LsfRequest};
+use tdp::paradyn::{paradynd_image, ParadynFrontend, PerformanceConsultant};
+use tdp::proto::ProcStatus;
+use tdp::simos::{fn_program, ExecImage};
+
+const T: Duration = Duration::from_secs(30);
+
+fn app_image() -> ExecImage {
+    ExecImage::new(["main", "kernel"], Arc::new(|_| {
+        fn_program(|ctx| {
+            let _ = ctx.read_stdin();
+            ctx.call("main", |ctx| {
+                for _ in 0..12 {
+                    ctx.call("kernel", |ctx| ctx.compute(10));
+                }
+            });
+            0
+        })
+    }))
+}
+
+#[test]
+fn condor_without_port_arguments() {
+    let world = World::new();
+    let pool = CondorPool::build(&world, 2).unwrap();
+    pool.install_everywhere("/bin/app", app_image());
+    for h in pool.exec_hosts() {
+        world.os().fs().install_exec(*h, "paradynd", paradynd_image(world.clone()));
+    }
+    // The front-end publishes its ports into the global space instead
+    // of the submit file.
+    let fe = ParadynFrontend::start(world.net(), pool.submit_host(), 0, 0).unwrap();
+    fe.advertise_via_cass(&world).unwrap();
+
+    // NOTE: no -m / -p / -P anywhere.
+    let job = pool
+        .submit_str(
+            "executable = /bin/app\n+SuspendJobAtExec = True\n+ToolDaemonCmd = \"paradynd\"\n+ToolDaemonArgs = \"-zunix -a%pid\"\nqueue\n",
+        )
+        .unwrap();
+    let daemons = fe.wait_for_daemons(1, T).unwrap();
+    assert_eq!(daemons.len(), 1);
+    fe.run_all().unwrap();
+    match pool.wait_job(job, T).unwrap() {
+        JobState::Completed(done) => assert_eq!(done[&0], ProcStatus::Exited(0)),
+        other => panic!("{other:?}"),
+    }
+    fe.wait_done(1, T).unwrap();
+    let b = PerformanceConsultant::default().search(&fe.samples()).unwrap();
+    assert_eq!(b.symbol, "kernel");
+}
+
+#[test]
+fn lsf_without_port_arguments() {
+    // The same complete-framework dissemination under the *other*
+    // scheduler: nothing tool- or address-specific in the request.
+    let world = World::new();
+    let master = world.add_host();
+    let exec = world.add_host();
+    world.os().fs().install_exec(exec, "/bin/app", app_image());
+    world.os().fs().install_exec(exec, "paradynd", paradynd_image(world.clone()));
+    let cluster = LsfCluster::start(&world, master).unwrap();
+    let _sbd = cluster.add_host(exec, 1).unwrap();
+
+    let fe = ParadynFrontend::start(world.net(), master, 0, 0).unwrap();
+    fe.advertise_via_cass(&world).unwrap();
+
+    let job = cluster
+        .bsub(
+            LsfRequest::new("/bin/app")
+                .suspended()
+                .tool("paradynd", vec!["-a%pid".into(), "-A".into()]),
+        )
+        .unwrap();
+    assert!(matches!(cluster.wait_job(job, T).unwrap(), LsfJobState::Done(_)));
+    fe.wait_done(1, T).unwrap();
+    assert!(fe.samples().iter().any(|s| s.symbol == "kernel" && s.count == 12));
+}
+
+#[test]
+fn daemon_fails_cleanly_without_any_dissemination() {
+    // No argv ports, no local attrs, no CASS: the daemon must error
+    // out (and say why), not hang.
+    let world = World::new();
+    let host = world.add_host();
+    world.os().fs().install_exec(host, "/bin/app", app_image());
+    world.os().fs().install_exec(host, "paradynd", paradynd_image(world.clone()));
+    use tdp::core::{Role, TdpCreate, TdpHandle};
+    use tdp::proto::{names, ContextId};
+    let mut rm =
+        TdpHandle::init(&world, host, ContextId(1), "rm", Role::ResourceManager).unwrap();
+    let app = rm.create_process(TdpCreate::new("/bin/app").paused()).unwrap();
+    let tool = rm
+        .create_process(TdpCreate::new("paradynd").args(["-c1", "-a%pid"]))
+        .unwrap();
+    rm.put(names::PID, &app.to_string()).unwrap();
+    // The daemon blocks in tdp_get(cass_addr) — the RM never published
+    // one. Kill it after confirming it did not crash-loop or hang the
+    // application.
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(world.os().status(tool).unwrap(), ProcStatus::Running);
+    world.os().kill(tool, 9).unwrap();
+    rm.kill_process(app, 9).unwrap();
+}

@@ -1,0 +1,120 @@
+//! **E1 — Figure 1**: "Remote Execution with Resource Manager and
+//! Run-Time Tool".
+//!
+//! The figure shows the RM front-end and RT front-end on the user's side
+//! of a firewall; the RM, RT and AP together on a remote host behind it.
+//! The executable property of the figure is the communication
+//! reachability it implies: the RT on the remote host cannot reach its
+//! front-end directly and must go through the RM's proxy (§2.4).
+
+use std::time::Duration;
+use tdp::core::{Role, TdpCreate, TdpHandle, World};
+use tdp::netsim::FirewallPolicy;
+use tdp::proto::{Addr, ContextId, ProcStatus, TdpError};
+use tdp::simos::{fn_program, ExecImage};
+
+const CTX: ContextId = ContextId(1);
+const T: Duration = Duration::from_secs(10);
+
+#[test]
+fn fig1_remote_execution_behind_firewall() {
+    let world = World::new();
+    // User's side: RM front-end and RT front-end hosts (public).
+    let rm_fe_host = world.add_host();
+    let rt_fe_host = world.add_host();
+    // Remote host behind a strict firewall; the RM's gateway machine
+    // (where its proxy lives) sits in the same private zone and holds
+    // the only authorized route out.
+    let zone = world.add_private_zone(FirewallPolicy::STRICT);
+    let remote = world.add_host_in(zone);
+    let gateway = world.add_host_in(zone);
+
+    // The RT front-end listens for its daemon.
+    let rt_fe_listener = world.net().listen(rt_fe_host, 2090).unwrap();
+    let rt_fe_addr = Addr::new(rt_fe_host, 2090);
+
+    // The application binary on the remote host.
+    world.os().fs().install_exec(
+        remote,
+        "/bin/app",
+        ExecImage::new(["main"], std::sync::Arc::new(|_| fn_program(|ctx| {
+            ctx.call("main", |ctx| ctx.compute(10));
+            0
+        }))),
+    );
+
+    // The RM daemon on the remote host: owns process creation (Fig 1
+    // arrows RM→AP) and provides the proxy (RM→firewall→front-ends).
+    let mut rm = TdpHandle::init(&world, remote, CTX, "rm", Role::ResourceManager).unwrap();
+    let app = rm.create_process(TdpCreate::new("/bin/app").paused()).unwrap();
+
+    // The RM's pre-existing authorized route + proxy (its own channel to
+    // its front-end in the figure) runs on the gateway.
+    world.net().authorize_route(gateway, rt_fe_addr);
+    let proxy = tdp::netsim::proxy::spawn(world.net(), gateway, 9618).unwrap();
+    rm.advertise_frontend(rt_fe_addr).unwrap();
+    rm.advertise_proxy(proxy.addr()).unwrap();
+
+    // The RT daemon on the remote host (Fig 1 arrows RT→AP, RT→RT-FE).
+    let mut rt = TdpHandle::init(&world, remote, CTX, "rt", Role::Tool).unwrap();
+    // Direct connection is blocked by the firewall — the defining
+    // property of the topology…
+    let direct = world.net().connect(remote, rt_fe_addr);
+    assert!(
+        matches!(direct, Err(TdpError::BlockedByFirewall { .. })),
+        "the firewall must separate the remote host from the front-ends"
+    );
+    // …but the TDP channel helper transparently uses the RM proxy.
+    let chan = rt.open_tool_channel().unwrap();
+    chan.send(b"rt->frontend through RM proxy").unwrap();
+    let mut fe_session = rt_fe_listener.accept().unwrap();
+    assert_eq!(&fe_session.recv().unwrap()[..], b"rt->frontend through RM proxy");
+
+    // RT operates on the AP (attach/continue) while the RM keeps
+    // ownership of creation — the figure's separation of arrows.
+    rt.attach(app).unwrap();
+    rt.continue_process(app).unwrap();
+    assert_eq!(rt.wait_terminal(app, T).unwrap(), ProcStatus::Exited(0));
+
+    // The RM front-end host never needed to reach into the private
+    // zone directly.
+    let _ = rm_fe_host;
+}
+
+#[test]
+fn fig1_stdio_forwarding_through_proxy() {
+    // The same topology, exercising the second §2.4 case: "the standard
+    // input/output of the application program needs to be connected to
+    // the desktop machine of the user".
+    let world = World::new();
+    let user_host = world.add_host();
+    let zone = world.add_private_zone(FirewallPolicy::STRICT);
+    let remote = world.add_host_in(zone);
+
+    let stdio_listener = world.net().listen(user_host, 5000).unwrap();
+    let stdio_addr = Addr::new(user_host, 5000);
+    world.net().authorize_route(remote, stdio_addr);
+    let proxy = tdp::netsim::proxy::spawn(world.net(), remote, 9618).unwrap();
+
+    world.os().fs().install_exec(
+        remote,
+        "/bin/chatty",
+        ExecImage::from_fn(|_| fn_program(|ctx| {
+            ctx.write_stdout(b"output line\n");
+            0
+        })),
+    );
+    let mut rm = TdpHandle::init(&world, remote, CTX, "rm", Role::ResourceManager).unwrap();
+    rm.advertise_proxy(proxy.addr()).unwrap();
+    let app = rm.create_process(TdpCreate::new("/bin/chatty")).unwrap();
+    rm.wait_terminal(app, T).unwrap();
+
+    // The RM forwards the captured stdio across the firewall via its
+    // proxy to the user's desktop.
+    let out = world.os().read_stdout(app).unwrap();
+    let conn =
+        tdp::netsim::proxy::connect_via(world.net(), remote, proxy.addr(), stdio_addr).unwrap();
+    conn.send(&out).unwrap();
+    let mut s = stdio_listener.accept().unwrap();
+    assert_eq!(&s.recv().unwrap()[..], b"output line\n");
+}

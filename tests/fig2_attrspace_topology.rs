@@ -1,0 +1,91 @@
+//! **E2 — Figure 2**: Figure 1 with the attribute-space servers added —
+//! a LASS on the remote host and a CASS beside the front-ends.
+//!
+//! The executable properties (§2.1): each daemon reaches *its own*
+//! host's LASS and the CASS, but **cannot** access the LASS of another
+//! node; LASSes are started by the RM, the CASS by the RM front-end.
+
+use tdp::attrspace::AttrClient;
+use tdp::core::{Role, TdpHandle, World};
+use tdp::netsim::FirewallPolicy;
+use tdp::proto::{names, Addr, ContextId, TdpError};
+
+const CTX: ContextId = ContextId(1);
+
+#[test]
+fn fig2_lass_per_host_cass_central() {
+    let world = World::new();
+    let fe_host = world.add_host(); // front-end side
+    let remote_a = world.add_host();
+    let remote_b = world.add_host();
+
+    // The RM front-end starts the CASS; the RM daemons start each LASS
+    // via tdp_init.
+    let cass = world.ensure_cass(fe_host).unwrap();
+    let mut rm_a = TdpHandle::init(&world, remote_a, CTX, "rm_a", Role::ResourceManager).unwrap();
+    let mut rm_b = TdpHandle::init(&world, remote_b, CTX, "rm_b", Role::ResourceManager).unwrap();
+
+    // Local values stay local.
+    rm_a.put(names::PID, "111").unwrap();
+    rm_b.put(names::PID, "222").unwrap();
+    let mut rt_a = TdpHandle::init(&world, remote_a, CTX, "rt_a", Role::Tool).unwrap();
+    let mut rt_b = TdpHandle::init(&world, remote_b, CTX, "rt_b", Role::Tool).unwrap();
+    assert_eq!(rt_a.get(names::PID).unwrap(), "111");
+    assert_eq!(rt_b.get(names::PID).unwrap(), "222");
+
+    // Cross-host LASS access is rejected by the server itself.
+    let lass_a = world.lass_addr(remote_a).unwrap();
+    let mut intruder = AttrClient::connect(world.net(), remote_b, lass_a).unwrap();
+    assert!(
+        intruder.join(CTX).is_err(),
+        "a process cannot access the LASS of another node (§2.1)"
+    );
+
+    // Global values travel through the CASS, visible from both hosts.
+    rm_a.connect_cass(cass).unwrap();
+    rm_b.connect_cass(cass).unwrap();
+    rm_a.put_central(names::TOOL_FRONTEND_ADDR, &Addr::new(fe_host, 2090).to_attr_value())
+        .unwrap();
+    assert_eq!(
+        rm_b.get_central(names::TOOL_FRONTEND_ADDR).unwrap(),
+        Addr::new(fe_host, 2090).to_attr_value()
+    );
+}
+
+#[test]
+fn fig2_cass_reachable_from_private_zone_via_proxy() {
+    // Figure 2 with the firewall: daemons on the remote (private) host
+    // still reach the CASS, via the RM proxy.
+    let world = World::new();
+    let fe_host = world.add_host();
+    let zone = world.add_private_zone(FirewallPolicy::STRICT);
+    let remote = world.add_host_in(zone);
+    let cass = world.ensure_cass(fe_host).unwrap();
+
+    world.net().authorize_route(remote, cass);
+    let proxy = tdp::netsim::proxy::spawn(world.net(), remote, 9618).unwrap();
+
+    let mut rm = TdpHandle::init(&world, remote, CTX, "rm", Role::ResourceManager).unwrap();
+    rm.advertise_proxy(proxy.addr()).unwrap();
+    // Handle-level connect_cass falls back to the advertised proxy when
+    // the direct path is firewalled.
+    let mut rt = TdpHandle::init(&world, remote, CTX, "rt", Role::Tool).unwrap();
+    rt.connect_cass(cass).unwrap();
+    rt.put_central("announce", "rt alive").unwrap();
+    rm.connect_cass(cass).unwrap();
+    assert_eq!(rm.get_central("announce").unwrap(), "rt alive");
+}
+
+#[test]
+fn fig2_tool_init_fails_without_rm_started_lass() {
+    // "The LASS's are started by the RM": a tool daemon arriving first
+    // has no space to join.
+    let world = World::new();
+    let host = world.add_host();
+    let err = match TdpHandle::init(&world, host, CTX, "rt", Role::Tool) {
+        Err(e) => e,
+        Ok(_) => panic!("tool init must fail before the RM starts the LASS"),
+    };
+    assert!(matches!(err, TdpError::Substrate(_)));
+    assert!(err.to_string().contains("resource manager"), "{err}");
+}

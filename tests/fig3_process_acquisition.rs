@@ -1,0 +1,182 @@
+//! **E3/E4 — Figure 3**: the two TDP scenarios for a run-time tool to
+//! operate on an application process.
+//!
+//! * 3A (create): RM `tdp_init` → `tdp_create_process(AP, paused)` and
+//!   `tdp_create_process(RT, run)` *in either order* (the figure's
+//!   caption makes the order explicitly free); RT `tdp_init` →
+//!   `tdp_attach(pid)` → `tdp_continue_process()`.
+//! * 3B (attach): the application is already running; the RM launches
+//!   the RT, which attaches, initializes, and continues it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tdp::core::{Role, TdpCreate, TdpHandle, World};
+use tdp::proto::{names, ContextId, Pid, ProcStatus};
+use tdp::simos::{fn_program, ExecImage};
+
+const CTX: ContextId = ContextId(1);
+const T: Duration = Duration::from_secs(10);
+
+/// The RT daemon as an executable the RM launches: the Figure 3 RT
+/// column, written against the public TDP API.
+fn rt_image(world: World) -> ExecImage {
+    ExecImage::from_fn(move |_args| {
+        let world = world.clone();
+        fn_program(move |ctx| {
+            let mut tdp =
+                TdpHandle::init(&world, ctx.host(), CTX, "rt", Role::Tool).expect("rt init");
+            let pid = Pid::parse(&tdp.get(names::PID).expect("get pid")).expect("parse pid");
+            tdp.attach(pid).expect("attach");
+            // "performs its initialization" — instrument everything.
+            for sym in tdp.symbols(pid).expect("symbols") {
+                tdp.arm_probe(pid, &sym).expect("arm");
+            }
+            tdp.continue_process(pid).expect("continue");
+            tdp.wait_terminal(pid, T).expect("app exits");
+            let snap = tdp.read_probes(pid).expect("probes");
+            // Return the instrumented call count as the exit code so
+            // the test can see the tool really observed the run.
+            snap.counts.get("work").copied().unwrap_or(0) as i32
+        })
+    })
+}
+
+fn app_image(touched: Arc<AtomicBool>) -> ExecImage {
+    ExecImage::new(["main", "work"], Arc::new(move |_| {
+        let touched = touched.clone();
+        fn_program(move |ctx| {
+            touched.store(true, Ordering::SeqCst);
+            ctx.call("main", |ctx| {
+                for _ in 0..4 {
+                    ctx.call("work", |ctx| ctx.compute(5));
+                }
+            });
+            0
+        })
+    }))
+}
+
+fn run_create_scenario(rt_first: bool) {
+    let world = World::new();
+    let host = world.add_host();
+    let touched = Arc::new(AtomicBool::new(false));
+    world.os().fs().install_exec(host, "/bin/app", app_image(touched.clone()));
+    world.os().fs().install_exec(host, "/bin/rt", rt_image(world.clone()));
+
+    // RM column of Figure 3A.
+    let mut rm = TdpHandle::init(&world, host, CTX, "rm", Role::ResourceManager).unwrap();
+    let (app, rt);
+    if rt_first {
+        rt = rm.create_process(TdpCreate::new("/bin/rt")).unwrap();
+        app = rm.create_process(TdpCreate::new("/bin/app").paused()).unwrap();
+    } else {
+        app = rm.create_process(TdpCreate::new("/bin/app").paused()).unwrap();
+        rt = rm.create_process(TdpCreate::new("/bin/rt")).unwrap();
+    }
+    // Not one instruction of the AP has run yet.
+    std::thread::sleep(Duration::from_millis(50));
+    assert_eq!(world.os().status(app).unwrap(), ProcStatus::Created);
+    assert!(!touched.load(Ordering::SeqCst), "paused AP must not have executed");
+
+    // RM → RT: the pid, via the attribute space.
+    rm.put(names::PID, &app.to_string()).unwrap();
+
+    // The RT attaches, initializes, continues; both processes finish.
+    assert_eq!(world.os().wait_terminal(app, T).unwrap(), ProcStatus::Exited(0));
+    assert!(touched.load(Ordering::SeqCst));
+    // RT saw all 4 instrumented calls: it attached *before* main ran.
+    assert_eq!(world.os().wait_terminal(rt, T).unwrap(), ProcStatus::Exited(4));
+
+    // The Figure 3A sequence, as recorded by the trace.
+    let tr = world.trace();
+    tr.assert_order((Some("rm"), "tdp_init"), (Some("rm"), "tdp_create_process(/bin/app, paused)"));
+    tr.assert_order((Some("rm"), "tdp_init"), (Some("rm"), "tdp_create_process(/bin/rt, run)"));
+    tr.assert_order((Some("rt"), "tdp_init"), (Some("rt"), "tdp_attach"));
+    tr.assert_order((Some("rt"), "tdp_attach"), (Some("rt"), "tdp_continue_process"));
+    // The attach can only follow the RM's put of the pid.
+    tr.assert_order((Some("rm"), "tdp_put(pid)"), (Some("rt"), "tdp_attach"));
+}
+
+#[test]
+fn fig3a_create_ap_then_rt() {
+    run_create_scenario(false);
+}
+
+#[test]
+fn fig3a_create_rt_then_ap() {
+    // "Note that for the create case, the creation of the application
+    // process and RT can occur in either order" — Figure 3 caption.
+    run_create_scenario(true);
+}
+
+#[test]
+fn fig3b_attach_to_running_process() {
+    let world = World::new();
+    let host = world.add_host();
+    // A long-running application, started normally (Figure 3B's AP is
+    // already executing when the RT arrives).
+    world.os().fs().install_exec(
+        host,
+        "/bin/server",
+        ExecImage::new(["main", "serve"], Arc::new(|_| {
+            fn_program(|ctx| {
+                ctx.call("main", |ctx| {
+                    for _ in 0..500 {
+                        ctx.call("serve", |ctx| ctx.sleep(Duration::from_millis(2)));
+                    }
+                });
+                0
+            })
+        })),
+    );
+    let mut rm = TdpHandle::init(&world, host, CTX, "rm", Role::ResourceManager).unwrap();
+    let app = rm.create_process(TdpCreate::new("/bin/server")).unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    assert_eq!(world.os().status(app).unwrap(), ProcStatus::Running);
+
+    // "At a later time, a RT tool would like to attach": the RM
+    // launches the RT and passes the pid through the space.
+    world.os().fs().install_exec(
+        host,
+        "/bin/rt_attach",
+        ExecImage::from_fn({
+            let world = world.clone();
+            move |_| {
+                let world = world.clone();
+                fn_program(move |ctx| {
+                    let mut tdp =
+                        TdpHandle::init(&world, ctx.host(), CTX, "rt", Role::Tool).unwrap();
+                    let pid = Pid::parse(&tdp.get(names::PID).unwrap()).unwrap();
+                    tdp.attach(pid).unwrap();
+                    // 3B: attach then *pause* — "the application process
+                    // will be stopped at some unknown point in its
+                    // execution".
+                    tdp.pause_process(pid).unwrap();
+                    let paused_ok =
+                        tdp.process_status(pid).unwrap() == ProcStatus::Stopped;
+                    tdp.arm_probe(pid, "serve").unwrap();
+                    tdp.continue_process(pid).unwrap();
+                    // Observe a little, then let the RM clean up.
+                    ctx.sleep(Duration::from_millis(50));
+                    let snap = tdp.read_probes(pid).unwrap();
+                    i32::from(!(paused_ok && snap.counts.get("serve").copied().unwrap_or(0) > 0))
+                })
+            }
+        }),
+    );
+    let rt = rm.create_process(TdpCreate::new("/bin/rt_attach")).unwrap();
+    rm.put(names::PID, &app.to_string()).unwrap();
+    assert_eq!(world.os().wait_terminal(rt, T).unwrap(), ProcStatus::Exited(0));
+    rm.kill_process(app, 15).unwrap();
+    assert_eq!(world.os().wait_terminal(app, T).unwrap(), ProcStatus::Killed(15));
+
+    let tr = world.trace();
+    // In 3B the AP is created (run) before the RT exists at all.
+    tr.assert_order(
+        (Some("rm"), "tdp_create_process(/bin/server, run)"),
+        (Some("rm"), "tdp_create_process(/bin/rt_attach, run)"),
+    );
+    tr.assert_order((Some("rt"), "tdp_attach"), (Some("rt"), "tdp_pause_process"));
+    tr.assert_order((Some("rt"), "tdp_pause_process"), (Some("rt"), "tdp_continue_process"));
+}

@@ -1,0 +1,127 @@
+//! **E5 — Figure 4**: the Condor daemon structure and submission flow.
+//!
+//! "The submission of a job and the interaction between different
+//! Condor daemons": schedd holds the job → matchmaker locates a
+//! compatible machine → claiming protocol with the startd → startd
+//! spawns a starter → starter runs the job → shadow performs remote
+//! syscalls on the submit machine → results return. The condor_master
+//! keeps daemons alive on both sides.
+
+use std::sync::Arc;
+use std::time::Duration;
+use tdp::condor::{CondorPool, JobState};
+use tdp::core::World;
+use tdp::proto::ProcStatus;
+use tdp::simos::{fn_program, ExecImage};
+
+const T: Duration = Duration::from_secs(30);
+
+fn app() -> ExecImage {
+    ExecImage::new(["main"], Arc::new(|_| {
+        fn_program(|ctx| {
+            // Remote-syscall shape: read stdin (staged via the shadow),
+            // transform, write stdout (staged back via the shadow).
+            let mut data = Vec::new();
+            while let Ok(Some(chunk)) = ctx.read_stdin() {
+                data.extend_from_slice(&chunk);
+            }
+            ctx.call("main", |ctx| ctx.compute(10));
+            data.reverse();
+            ctx.write_stdout(&data);
+            0
+        })
+    }))
+}
+
+#[test]
+fn fig4_submission_flow_end_to_end() {
+    let world = World::new();
+    let pool = CondorPool::build(&world, 2).unwrap();
+    pool.install_everywhere("/bin/rev", app());
+
+    // Before submission the matchmaker knows both machines, available.
+    let machines = pool.matchmaker().machines();
+    assert_eq!(machines.len(), 2);
+    assert!(machines.iter().all(|(_, a)| *a));
+
+    world.os().fs().write_file(pool.submit_host(), "infile", b"abcdef");
+    let job = pool
+        .submit_str("executable = /bin/rev\ninput = infile\noutput = outfile\nqueue\n")
+        .unwrap();
+
+    // schedd → matchmaker → claim → startd → starter → shadow → done.
+    match pool.wait_job(job, T).unwrap() {
+        JobState::Completed(done) => assert_eq!(done[&0], ProcStatus::Exited(0)),
+        other => panic!("{other:?}"),
+    }
+    // The shadow performed the remote I/O on the submit machine.
+    assert_eq!(world.os().fs().read_file(pool.submit_host(), "outfile").unwrap(), b"fedcba");
+
+    // The claimed machine was freed after completion (claiming protocol
+    // completes its cycle).
+    let deadline = std::time::Instant::now() + T;
+    loop {
+        let machines = pool.matchmaker().machines();
+        if machines.iter().all(|(_, a)| *a) {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "machines never freed: {machines:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn fig4_claiming_protocol_either_party_may_refuse() {
+    // "This is known as a claiming protocol, and either party may
+    // decide not to complete the allocation": a busy startd rejects.
+    use tdp::condor::classad::ClassAd;
+    use tdp_condor::messages::{recv_json_timeout, send_json, ClaimMsg};
+    use tdp_condor::startd::Startd;
+
+    let world = World::new();
+    let cm = world.add_host();
+    let exec = world.add_host();
+    let client = world.add_host();
+    let mm = tdp::condor::Matchmaker::start(world.net(), cm).unwrap();
+    let startd = Startd::start(&world, exec, ClassAd::new(), mm.addr()).unwrap();
+
+    // First claim wins.
+    let mut c1 = world.net().connect(client, startd.addr()).unwrap();
+    send_json(&c1, &ClaimMsg::RequestClaim { job: tdp::proto::JobId(1) }).unwrap();
+    let r1: ClaimMsg = recv_json_timeout(&mut c1, T).unwrap();
+    assert!(matches!(r1, ClaimMsg::ClaimAccepted { .. }));
+    assert!(startd.is_busy());
+
+    // Second claim refused.
+    let mut c2 = world.net().connect(client, startd.addr()).unwrap();
+    send_json(&c2, &ClaimMsg::RequestClaim { job: tdp::proto::JobId(2) }).unwrap();
+    let r2: ClaimMsg = recv_json_timeout(&mut c2, T).unwrap();
+    assert!(matches!(r2, ClaimMsg::ClaimRejected { .. }));
+
+    // Schedd-side refusal: release instead of activate.
+    if let ClaimMsg::ClaimAccepted { claim_id } = r1 {
+        send_json(&c1, &ClaimMsg::ReleaseClaim { claim_id }).unwrap();
+        let r: ClaimMsg = recv_json_timeout(&mut c1, T).unwrap();
+        assert!(matches!(r, ClaimMsg::Released));
+    }
+    assert!(!startd.is_busy());
+}
+
+#[test]
+fn fig4_schedd_queue_holds_jobs_until_resources_free() {
+    let world = World::new();
+    let pool = CondorPool::build(&world, 1).unwrap();
+    pool.install_everywhere("/bin/rev", app());
+    // Three jobs, one machine: all must eventually complete, one at a
+    // time ("condor_schedd takes care of the job until a suitable and
+    // available resource is found").
+    let jobs: Vec<_> = (0..3)
+        .map(|_| pool.submit_str("executable = /bin/rev\nqueue\n").unwrap())
+        .collect();
+    for j in jobs {
+        assert!(
+            matches!(pool.wait_job(j, T).unwrap(), JobState::Completed(_)),
+            "job {j} did not complete"
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! **E6 — Figure 5**: "Paradyn Running with Condor using TDP" — the
+//! submit file with the new `+SuspendJobAtExec` / `+ToolDaemon*` entries
+//! (5B) driving the daemon structure of 5A.
+
+use std::sync::Arc;
+use std::time::Duration;
+use tdp::condor::{CondorPool, JobState, SubmitDescription, Universe};
+use tdp::core::World;
+use tdp::paradyn::{paradynd_image, ParadynFrontend};
+use tdp::proto::ProcStatus;
+use tdp::simos::{fn_program, ExecImage};
+
+const T: Duration = Duration::from_secs(30);
+
+/// Figure 5B verbatim, with the 2003 hostname/ports replaced by
+/// placeholders filled per-test (our hosts are numeric).
+fn figure_5b(fe_host: u32, p: u16, pp: u16) -> String {
+    format!(
+        r#"universe = Vanilla
+executable = foo
+input = infile
+output = outfile
+arguments = 1 2 3
+transfer_files = always
++SuspendJobAtExec = True
++ToolDaemonCmd = "paradynd"
++ToolDaemonArgs = "-zunix -l3 -m{fe_host} -p{p} -P{pp} -a%pid"
++ToolDaemonOutput = "daemon.out"
++ToolDaemonError = "daemon.err"
+tranfer_input_files = paradynd
+queue
+"#
+    )
+}
+
+#[test]
+fn fig5b_parses_to_the_expected_description() {
+    let d = SubmitDescription::parse(&figure_5b(0, 2090, 2091)).unwrap();
+    assert_eq!(d.universe, Universe::Vanilla);
+    assert_eq!(d.executable, "foo");
+    assert_eq!(d.arguments, vec!["1", "2", "3"]);
+    assert!(d.suspend_job_at_exec, "+SuspendJobAtExec directive (line 7 of the figure)");
+    let tool = d.tool_daemon.as_ref().unwrap();
+    assert_eq!(tool.cmd, "paradynd");
+    assert!(tool.args.contains(&"-a%pid".to_string()), "the %pid marker stays literal");
+    assert_eq!(tool.output.as_deref(), Some("daemon.out"));
+    assert_eq!(tool.error.as_deref(), Some("daemon.err"));
+    assert_eq!(d.transfer_input_files, vec!["paradynd"], "the daemon binary is shipped too");
+}
+
+#[test]
+fn fig5a_daemon_structure_from_the_submit_file() {
+    // Running the Figure 5B file produces the 5A structure: from
+    // Condor's point of view the job is *two* entities — the
+    // application process (created paused) and paradynd.
+    let world = World::new();
+    let pool = CondorPool::build(&world, 1).unwrap();
+    let exec_host = pool.exec_hosts()[0];
+
+    // Everything staged from the submit machine, per the figure:
+    // executable `foo` (transfer_files = always) and the paradynd
+    // binary (tranfer_input_files = paradynd).
+    world.os().fs().install_exec(
+        pool.submit_host(),
+        "foo",
+        ExecImage::new(["main", "work"], Arc::new(|_| {
+            fn_program(|ctx| {
+                let _ = ctx.read_stdin();
+                ctx.call("main", |ctx| {
+                    for _ in 0..6 {
+                        ctx.call("work", |ctx| ctx.compute(10));
+                    }
+                });
+                ctx.write_stdout(b"done");
+                0
+            })
+        })),
+    );
+    world.os().fs().install_exec(pool.submit_host(), "paradynd", paradynd_image(world.clone()));
+    world.os().fs().write_file(pool.submit_host(), "infile", b"in");
+
+    let fe = ParadynFrontend::start(world.net(), pool.submit_host(), 2090, 2091).unwrap();
+    let job = pool
+        .submit_str(&figure_5b(fe.host().0, fe.control_addr().port.0, fe.data_addr().port.0))
+        .unwrap();
+
+    // The 5A structure materializes on the execution host: the paused
+    // application and the tool daemon.
+    let daemons = fe.wait_for_daemons(1, T).unwrap();
+    let app_pid = daemons[0].pid;
+    assert_eq!(world.os().status(app_pid).unwrap(), ProcStatus::Created);
+    let (host, exe, _, _) = world.os().proc_info(app_pid).unwrap();
+    assert_eq!(host, exec_host);
+    assert_eq!(exe, "foo");
+    // Both binaries were staged onto the execution host.
+    assert!(world.os().fs().exists(exec_host, "foo"));
+    assert!(world.os().fs().exists(exec_host, "paradynd"));
+
+    fe.run_all().unwrap();
+    match pool.wait_job(job, T).unwrap() {
+        JobState::Completed(done) => assert_eq!(done[&0], ProcStatus::Exited(0)),
+        other => panic!("{other:?}"),
+    }
+    // Figure 5's ToolDaemonOutput / ToolDaemonError files landed on the
+    // submit machine, along with the job output.
+    assert_eq!(world.os().fs().read_file(pool.submit_host(), "outfile").unwrap(), b"done");
+    assert!(world.os().fs().exists(pool.submit_host(), "daemon.out"));
+    assert!(world.os().fs().exists(pool.submit_host(), "daemon.err"));
+}
+
+#[test]
+fn fig5_without_suspend_runs_unmonitored() {
+    // Dropping the +SuspendJobAtExec/+ToolDaemon lines yields a plain
+    // vanilla job: no pause, no daemon, same pipeline.
+    let world = World::new();
+    let pool = CondorPool::build(&world, 1).unwrap();
+    world.os().fs().install_exec(
+        pool.submit_host(),
+        "foo",
+        ExecImage::from_fn(|_| fn_program(|ctx| {
+            let _ = ctx.read_stdin();
+            ctx.write_stdout(b"plain");
+            0
+        })),
+    );
+    world.os().fs().write_file(pool.submit_host(), "infile", b"");
+    let job = pool
+        .submit_str(
+            "executable = foo\ninput = infile\noutput = outfile\ntransfer_files = always\nqueue\n",
+        )
+        .unwrap();
+    assert!(matches!(pool.wait_job(job, T).unwrap(), JobState::Completed(_)));
+    assert_eq!(world.os().fs().read_file(pool.submit_host(), "outfile").unwrap(), b"plain");
+}

@@ -1,0 +1,107 @@
+//! **E8 — §4.3, MPI universe**: the staged startup — "a first process
+//! (called 'master process') is started … a paradynd is created
+//! afterwards … Once the user issues the run command, the rest of the
+//! processes from the application are created with a paradynd attached
+//! to each one of them … after reporting to the front-end, they
+//! immediately issue a run command."
+
+use std::time::Duration;
+use tdp::condor::{CondorPool, JobState};
+use tdp::core::World;
+use tdp::mpi::{apps, MpiComm};
+use tdp::paradyn::{paradynd_image, ParadynFrontend, PerformanceConsultant};
+use tdp::proto::ProcStatus;
+
+const T: Duration = Duration::from_secs(60);
+
+fn submit_mpi(fe: &ParadynFrontend, n: u32) -> String {
+    format!(
+        "universe = MPI\nexecutable = stencil\nmachine_count = {n}\n+SuspendJobAtExec = True\n+ToolDaemonCmd = \"paradynd\"\n+ToolDaemonArgs = \"-m{} -p{} -P{} -a%pid\"\nqueue\n",
+        fe.host().0,
+        fe.control_addr().port.0,
+        fe.data_addr().port.0,
+    )
+}
+
+#[test]
+fn mpi_universe_staged_startup_with_tools() {
+    let n = 4u32;
+    let world = World::new();
+    let pool = CondorPool::build(&world, n as usize).unwrap();
+    let comm = MpiComm::new(n);
+    pool.install_everywhere("stencil", apps::stencil(comm, 3, 50));
+    for h in pool.exec_hosts() {
+        world.os().fs().install_exec(*h, "paradynd", paradynd_image(world.clone()));
+    }
+    let fe = ParadynFrontend::start(world.net(), pool.submit_host(), 2090, 2091).unwrap();
+    let job = pool.submit_str(&submit_mpi(&fe, n)).unwrap();
+
+    // Phase 1: only the rank-0 master and its daemon.
+    let d0 = fe.wait_for_daemons(1, T).unwrap();
+    assert_eq!(d0.len(), 1);
+    assert_eq!(world.os().status(d0[0].pid).unwrap(), ProcStatus::Created);
+    std::thread::sleep(Duration::from_millis(150));
+    assert_eq!(
+        fe.daemons().len(),
+        1,
+        "no other rank may exist before the run command"
+    );
+
+    // Phase 2: the user's run command triggers the remaining ranks,
+    // each with its own attached daemon.
+    fe.run_all().unwrap();
+    let all = fe.wait_for_daemons(n as usize, T).unwrap();
+    assert_eq!(all.len(), n as usize);
+    // Every daemon monitors a different pid (one per rank).
+    let mut pids: Vec<_> = all.iter().map(|d| d.pid).collect();
+    pids.sort();
+    pids.dedup();
+    assert_eq!(pids.len(), n as usize);
+
+    // Phase 3: all ranks complete; per-rank status recorded.
+    match pool.wait_job(job, T).unwrap() {
+        JobState::Completed(done) => {
+            assert_eq!(done.len(), n as usize);
+            assert!(done.values().all(|st| *st == ProcStatus::Exited(0)), "{done:?}");
+        }
+        other => panic!("{other:?}"),
+    }
+
+    // The aggregated profile identifies the compute phase as dominant —
+    // every rank contributed samples.
+    fe.wait_done(n as usize, T).unwrap();
+    let samples = fe.samples();
+    let b = PerformanceConsultant::default().search(&samples).unwrap();
+    assert_eq!(b.symbol, "compute");
+    let daemons_sampled: std::collections::HashSet<&str> =
+        samples.iter().map(|s| s.daemon.as_str()).collect();
+    assert_eq!(daemons_sampled.len(), n as usize);
+}
+
+#[test]
+fn mpi_universe_ranks_spread_across_machines() {
+    let n = 3u32;
+    let world = World::new();
+    let pool = CondorPool::build(&world, 3).unwrap();
+    let comm = MpiComm::new(n);
+    pool.install_everywhere("stencil", apps::stencil(comm, 2, 10));
+    let job = pool
+        .submit_str(&format!(
+            "universe = MPI\nexecutable = stencil\nmachine_count = {n}\nqueue\n"
+        ))
+        .unwrap();
+    match pool.wait_job(job, T).unwrap() {
+        JobState::Completed(done) => assert_eq!(done.len(), 3),
+        other => panic!("{other:?}"),
+    }
+    // Each machine hosted exactly one rank: all were claimed, all freed.
+    let deadline = std::time::Instant::now() + T;
+    loop {
+        let m = pool.matchmaker().machines();
+        if m.iter().all(|(_, a)| *a) {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline);
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}

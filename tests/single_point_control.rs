@@ -1,0 +1,135 @@
+//! §2.3 single-point process control, end to end: "Under TDP, the
+//! responsibility for controlling an application process and for
+//! monitoring its status belongs to the RM … When the RT needs to
+//! perform a process management operation, it contacts the RM."
+//!
+//! With paradynd's `-S` flag, the daemon never calls a process-control
+//! primitive itself: pause/continue/kill are filed as `proc_request`
+//! attributes, serviced by the starter, whose actions are visible in
+//! the TDP call trace.
+
+use std::sync::Arc;
+use std::time::Duration;
+use tdp::condor::{CondorPool, JobState};
+use tdp::core::World;
+use tdp::paradyn::{paradynd_image, ParadynFrontend};
+use tdp::proto::ProcStatus;
+use tdp::simos::{fn_program, ExecImage};
+
+const T: Duration = Duration::from_secs(30);
+
+fn slow_app() -> ExecImage {
+    ExecImage::new(["main", "tick"], Arc::new(|_| {
+        fn_program(|ctx| {
+            ctx.call("main", |ctx| {
+                for _ in 0..400 {
+                    ctx.call("tick", |ctx| ctx.sleep(Duration::from_millis(2)));
+                }
+            });
+            0
+        })
+    }))
+}
+
+fn setup() -> (World, CondorPool, ParadynFrontend) {
+    let world = World::new();
+    let pool = CondorPool::build(&world, 1).unwrap();
+    pool.install_everywhere("/bin/app", slow_app());
+    for h in pool.exec_hosts() {
+        world.os().fs().install_exec(*h, "paradynd", paradynd_image(world.clone()));
+    }
+    let fe = ParadynFrontend::start(world.net(), pool.submit_host(), 2090, 2091).unwrap();
+    (world, pool, fe)
+}
+
+fn submit_with(fe: &ParadynFrontend, extra: &str) -> String {
+    format!(
+        "executable = /bin/app\n+SuspendJobAtExec = True\n+ToolDaemonCmd = \"paradynd\"\n+ToolDaemonArgs = \"-m{} -p{} -P{} -a%pid{extra}\"\nqueue\n",
+        fe.host().0,
+        fe.control_addr().port.0,
+        fe.data_addr().port.0,
+    )
+}
+
+#[test]
+fn strict_mode_routes_all_control_through_the_rm() {
+    let (world, pool, fe) = setup();
+    let job = pool.submit_str(&submit_with(&fe, " -S")).unwrap();
+    let daemons = fe.wait_for_daemons(1, T).unwrap();
+    let app_pid = daemons[0].pid;
+
+    // Run command: daemon files Continue; the starter executes it.
+    fe.run_all().unwrap();
+    let deadline = std::time::Instant::now() + T;
+    while world.os().status(app_pid).unwrap() == ProcStatus::Created {
+        assert!(std::time::Instant::now() < deadline, "starter never serviced Continue");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Pause through the same path.
+    fe.pause_all().unwrap();
+    let deadline = std::time::Instant::now() + T;
+    while world.os().status(app_pid).unwrap() != ProcStatus::Stopped {
+        assert!(std::time::Instant::now() < deadline, "starter never serviced Pause");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Resume and kill through it too.
+    fe.run_all().unwrap();
+    fe.kill_all().unwrap();
+    match pool.wait_job(job, T).unwrap() {
+        JobState::Completed(done) => assert_eq!(done[&0], ProcStatus::Killed(9)),
+        other => panic!("{other:?}"),
+    }
+
+    // The trace proves the division of labour: the *starter* performed
+    // every state-changing operation; the daemon's only control-flavour
+    // calls are tdp_request(...).
+    let tr = world.trace();
+    let daemon_actor = tr
+        .events()
+        .iter()
+        .find(|e| e.actor.starts_with("paradynd"))
+        .map(|e| e.actor.clone())
+        .expect("daemon events");
+    for ev in tr.events() {
+        if ev.actor == daemon_actor {
+            assert!(
+                !ev.call.starts_with("tdp_continue_process")
+                    && !ev.call.starts_with("tdp_pause_process")
+                    && !ev.call.starts_with("tdp_kill"),
+                "daemon touched the process directly in strict mode: {}",
+                ev.call
+            );
+        }
+    }
+    assert!(tr.seq_of(Some(&daemon_actor), "tdp_request(continue)").is_some());
+    assert!(tr.seq_of(Some(&daemon_actor), "tdp_request(pause)").is_some());
+    assert!(tr.seq_of(Some(&daemon_actor), "tdp_request(kill:9)").is_some());
+    assert!(tr.seq_of(Some("starter"), "tdp_continue_process").is_some());
+    assert!(tr.seq_of(Some("starter"), "tdp_pause_process").is_some());
+    assert!(tr.seq_of(Some("starter"), "tdp_kill").is_some());
+}
+
+#[test]
+fn default_mode_daemon_acts_directly() {
+    // Without -S the pilot-faithful fast path applies: the daemon (as
+    // the attached tracer) continues the process itself.
+    let (world, pool, fe) = setup();
+    let job = pool.submit_str(&submit_with(&fe, "")).unwrap();
+    fe.wait_for_daemons(1, T).unwrap();
+    fe.run_all().unwrap();
+    fe.kill_all().unwrap();
+    assert!(matches!(pool.wait_job(job, T).unwrap(), JobState::Completed(_)));
+    let tr = world.trace();
+    let daemon_actor = tr
+        .events()
+        .iter()
+        .find(|e| e.actor.starts_with("paradynd"))
+        .map(|e| e.actor.clone())
+        .unwrap();
+    assert!(
+        tr.seq_of(Some(&daemon_actor), "tdp_continue_process").is_some(),
+        "default mode: the daemon continues the process directly"
+    );
+}
