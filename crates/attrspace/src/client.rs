@@ -11,6 +11,7 @@ use std::collections::VecDeque;
 use std::time::Duration;
 use tdp_netsim::{Conn, Network};
 use tdp_proto::{Addr, ContextId, HostId, Message, Reply, TdpError, TdpResult};
+use tdp_wire::WireConn;
 
 /// A pending asynchronous notification, delivered by
 /// [`AttrClient::poll_notify`] / [`AttrClient::wait_notify`].
@@ -23,7 +24,7 @@ pub struct Notification {
 
 /// Client session with one attribute-space server.
 pub struct AttrClient {
-    conn: Conn,
+    conn: WireConn,
     /// Notifications received while waiting for a direct reply.
     pending: VecDeque<Notification>,
     /// Replies we abandoned (timed-out blocking gets): the next this
@@ -32,14 +33,14 @@ pub struct AttrClient {
 }
 
 impl AttrClient {
-    /// Connect to a server directly.
+    /// Connect to a server directly over the simulated fabric.
     pub fn connect(net: &Network, from: HostId, server: Addr) -> TdpResult<AttrClient> {
         let conn = net.connect(from, server)?;
         Ok(AttrClient::over(conn))
     }
 
-    /// Connect through an RM proxy (for a CASS on the far side of a
-    /// firewall, §2.4).
+    /// Connect through an RM proxy on the simulated fabric (for a CASS
+    /// on the far side of a firewall, §2.4).
     pub fn connect_via_proxy(
         net: &Network,
         from: HostId,
@@ -50,9 +51,19 @@ impl AttrClient {
         Ok(AttrClient::over(conn))
     }
 
-    /// Wrap an already-established connection.
+    /// Wrap an already-established netsim connection.
     pub fn over(conn: Conn) -> AttrClient {
-        AttrClient { conn, pending: VecDeque::new(), orphans: 0 }
+        AttrClient::over_wire(tdp_wire::sim::wrap_conn(conn))
+    }
+
+    /// Wrap an already-established transport connection (either
+    /// backend).
+    pub fn over_wire(conn: WireConn) -> AttrClient {
+        AttrClient {
+            conn,
+            pending: VecDeque::new(),
+            orphans: 0,
+        }
     }
 
     /// Join a context (`tdp_init`'s server half).
@@ -67,7 +78,11 @@ impl AttrClient {
 
     /// Blocking `tdp_put`.
     pub fn put(&mut self, ctx: ContextId, key: &str, value: &str) -> TdpResult<()> {
-        self.expect_ok(Message::Put { ctx, key: key.to_string(), value: value.to_string() })
+        self.expect_ok(Message::Put {
+            ctx,
+            key: key.to_string(),
+            value: value.to_string(),
+        })
     }
 
     /// Blocking `tdp_get`: parks until the attribute exists.
@@ -77,7 +92,12 @@ impl AttrClient {
 
     /// Blocking get with a deadline. On timeout the eventual reply is
     /// discarded internally; the session stays usable.
-    pub fn get_timeout(&mut self, ctx: ContextId, key: &str, timeout: Duration) -> TdpResult<String> {
+    pub fn get_timeout(
+        &mut self,
+        ctx: ContextId,
+        key: &str,
+        timeout: Duration,
+    ) -> TdpResult<String> {
         self.get_inner(ctx, key, true, Some(timeout))
     }
 
@@ -94,7 +114,11 @@ impl AttrClient {
         blocking: bool,
         timeout: Option<Duration>,
     ) -> TdpResult<String> {
-        self.conn.send_msg(&Message::Get { ctx, key: key.to_string(), blocking })?;
+        self.conn.send_msg(&Message::Get {
+            ctx,
+            key: key.to_string(),
+            blocking,
+        })?;
         match self.read_reply(timeout) {
             Ok(Reply::Value { value, .. }) => Ok(value),
             Ok(Reply::Err(e)) => Err(e),
@@ -109,15 +133,29 @@ impl AttrClient {
 
     /// Remove an attribute.
     pub fn remove(&mut self, ctx: ContextId, key: &str) -> TdpResult<()> {
-        self.expect_ok(Message::Remove { ctx, key: key.to_string() })
+        self.expect_ok(Message::Remove {
+            ctx,
+            key: key.to_string(),
+        })
     }
 
     /// Register a one-shot subscription (`tdp_async_get`'s server half):
     /// the notification arrives via [`AttrClient::poll_notify`]. With
     /// `only_future`, an existing value does not fire — only the next
     /// put does.
-    pub fn subscribe(&mut self, ctx: ContextId, key: &str, token: u64, only_future: bool) -> TdpResult<()> {
-        self.expect_ok(Message::Subscribe { ctx, key: key.to_string(), token, only_future })
+    pub fn subscribe(
+        &mut self,
+        ctx: ContextId,
+        key: &str,
+        token: u64,
+        only_future: bool,
+    ) -> TdpResult<()> {
+        self.expect_ok(Message::Subscribe {
+            ctx,
+            key: key.to_string(),
+            token,
+            only_future,
+        })
     }
 
     /// Cancel a subscription.
@@ -127,7 +165,10 @@ impl AttrClient {
 
     /// Keys with a prefix.
     pub fn list_keys(&mut self, ctx: ContextId, prefix: &str) -> TdpResult<Vec<String>> {
-        self.conn.send_msg(&Message::ListKeys { ctx, prefix: prefix.to_string() })?;
+        self.conn.send_msg(&Message::ListKeys {
+            ctx,
+            prefix: prefix.to_string(),
+        })?;
         match self.read_reply(None)? {
             Reply::Keys(keys) => Ok(keys),
             Reply::Err(e) => Err(e),
@@ -142,19 +183,13 @@ impl AttrClient {
         }
         // Pull in anything already on the wire.
         loop {
-            match self.conn.try_recv() {
-                Some(Ok(chunk)) => {
-                    self.conn.unread(&chunk);
-                    match self.conn.recv_msg_timeout(Duration::from_millis(50)) {
-                        Ok(Message::Reply(Reply::Notify { token, key, value })) => {
-                            return Some(Notification { token, key, value });
-                        }
-                        Ok(Message::Reply(r)) if self.orphans > 0 => {
-                            self.orphans -= 1;
-                            let _ = r;
-                        }
-                        _ => return None,
-                    }
+            match self.conn.try_recv_msg() {
+                Ok(Some(Message::Reply(Reply::Notify { token, key, value }))) => {
+                    return Some(Notification { token, key, value });
+                }
+                Ok(Some(Message::Reply(r))) if self.orphans > 0 => {
+                    self.orphans -= 1;
+                    let _ = r;
                 }
                 _ => return None,
             }
@@ -179,9 +214,7 @@ impl AttrClient {
                     self.orphans -= 1;
                     let _ = r;
                 }
-                other => {
-                    return Err(TdpError::Protocol(format!("unexpected message: {other:?}")))
-                }
+                other => return Err(TdpError::Protocol(format!("unexpected message: {other:?}"))),
             }
         }
     }
@@ -234,9 +267,7 @@ impl AttrClient {
                     }
                     return Ok(r);
                 }
-                other => {
-                    return Err(TdpError::Protocol(format!("unexpected message: {other:?}")))
-                }
+                other => return Err(TdpError::Protocol(format!("unexpected message: {other:?}"))),
             }
         }
     }

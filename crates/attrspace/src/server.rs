@@ -1,5 +1,9 @@
 //! The networked attribute-space server: LASS (one per execution host)
 //! and CASS (one on the front-end host).
+//!
+//! The server speaks to clients through `tdp-wire`'s transport
+//! abstraction, so the same code serves simulated-fabric connections
+//! and real TCP sockets.
 
 use crate::space::Space;
 use parking_lot::Mutex;
@@ -7,8 +11,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
-use tdp_netsim::{Conn, ConnTx, Network};
+use tdp_netsim::Network;
 use tdp_proto::{Addr, HostId, Message, Reply, TdpError, TdpResult};
+use tdp_wire::{WireConn, WireListener, WireTx};
 
 /// Which flavour of attribute-space server this is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,7 +29,7 @@ pub enum ServerKind {
 
 struct Shared {
     space: Mutex<Space>,
-    clients: Mutex<HashMap<u64, Arc<ConnTx>>>,
+    clients: Mutex<HashMap<u64, WireTx>>,
     next_client: AtomicU64,
 }
 
@@ -32,31 +37,52 @@ struct Shared {
 pub struct AttrSpaceServer {
     addr: Addr,
     kind: ServerKind,
-    net: Network,
+    listener: WireListener,
     shared: Arc<Shared>,
     accept_thread: Option<thread::JoinHandle<()>>,
 }
 
 impl AttrSpaceServer {
-    /// Start a server on `(host, port)` (0 = ephemeral).
+    /// Start a server on the simulated fabric at `(host, port)` (0 =
+    /// ephemeral).
     pub fn spawn(net: &Network, host: HostId, port: u16, kind: ServerKind) -> TdpResult<Self> {
         let listener = net.listen(host, port)?;
         let addr = listener.local_addr();
+        Self::spawn_wire(
+            tdp_wire::sim::wrap_listener(net.clone(), listener),
+            kind,
+            addr,
+        )
+    }
+
+    /// Start a server on an already-bound transport listener. `addr` is
+    /// the *logical* address the server identifies as — for the netsim
+    /// backend it equals the bind address; for the TCP backend the
+    /// caller owns the logical→real mapping (see `tdp-core`).
+    pub fn spawn_wire(listener: WireListener, kind: ServerKind, addr: Addr) -> TdpResult<Self> {
         let shared = Arc::new(Shared {
             space: Mutex::new(Space::new()),
             clients: Mutex::new(HashMap::new()),
             next_client: AtomicU64::new(1),
         });
         let sh = shared.clone();
+        let lis = listener.clone();
         let accept_thread = thread::Builder::new()
             .name(format!("{kind:?}-{addr}"))
             .spawn(move || {
-                while let Ok(conn) = listener.accept() {
-                    // LASS locality rule.
-                    if kind == ServerKind::Local && conn.peer_addr().host != addr.host {
+                while let Ok(conn) = lis.accept() {
+                    // LASS locality rule. Host identity comes from the
+                    // connection (netsim: the source address; TCP: the
+                    // Hello handshake).
+                    if kind == ServerKind::Local && conn.peer_host() != Some(addr.host) {
                         let _ = conn.send_msg(&Message::Reply(Reply::Err(TdpError::Substrate(
-                            format!("LASS on {} rejects remote client {}", addr.host, conn.peer_addr()),
+                            format!(
+                                "LASS on {} rejects remote client {}",
+                                addr.host,
+                                conn.peer_endpoint()
+                            ),
                         ))));
+                        conn.close();
                         continue; // drop: peer sees error then EOF
                     }
                     let sh = sh.clone();
@@ -71,15 +97,21 @@ impl AttrSpaceServer {
         Ok(AttrSpaceServer {
             addr,
             kind,
-            net: net.clone(),
+            listener,
             shared,
             accept_thread: Some(accept_thread),
         })
     }
 
-    /// Address clients connect to.
+    /// Logical address clients connect to.
     pub fn addr(&self) -> Addr {
         self.addr
+    }
+
+    /// Transport endpoint the server is actually bound on (differs from
+    /// [`Self::addr`] for the TCP backend).
+    pub fn endpoint(&self) -> tdp_wire::Endpoint {
+        self.listener.local_endpoint()
     }
 
     /// Server flavour.
@@ -98,7 +130,7 @@ impl AttrSpaceServer {
     }
 
     fn stop(&mut self) {
-        self.net.unbind(self.addr);
+        self.listener.close();
         // Sever live sessions too: a crashed server leaves no half-open
         // clients behind (their next operation fails fast instead of
         // hanging).
@@ -118,9 +150,9 @@ impl Drop for AttrSpaceServer {
 }
 
 /// Per-connection request loop.
-fn serve_client(shared: Arc<Shared>, client: u64, conn: Conn) {
+fn serve_client(shared: Arc<Shared>, client: u64, conn: WireConn) {
     let (tx, mut rx) = conn.split();
-    shared.clients.lock().insert(client, Arc::new(tx));
+    shared.clients.lock().insert(client, tx);
     // Serve until disconnect or protocol failure.
     while let Ok(msg) = rx.recv_msg() {
         let outs = {
@@ -129,15 +161,28 @@ fn serve_client(shared: Arc<Shared>, client: u64, conn: Conn) {
                 Message::Put { ctx, key, value } => space.put(client, ctx, &key, &value),
                 Message::Get { ctx, key, blocking } => space.get(client, ctx, &key, blocking),
                 Message::Remove { ctx, key } => space.remove(client, ctx, &key),
-                Message::Subscribe { ctx, key, token, only_future } => {
-                    space.subscribe(client, ctx, &key, token, only_future)
-                }
+                Message::Subscribe {
+                    ctx,
+                    key,
+                    token,
+                    only_future,
+                } => space.subscribe(client, ctx, &key, token, only_future),
                 Message::Unsubscribe { ctx, token } => space.unsubscribe(client, ctx, token),
                 Message::ListKeys { ctx, prefix } => space.list_keys(client, ctx, &prefix),
                 Message::Join { ctx } => space.join(client, ctx),
                 Message::Leave { ctx } => space.leave(client, ctx),
+                Message::Hello { .. } => {
+                    // Transport-level frame; never legal mid-session.
+                    vec![(
+                        client,
+                        Reply::Err(TdpError::Protocol("unexpected hello".into())),
+                    )]
+                }
                 Message::Reply(_) => {
-                    vec![(client, Reply::Err(TdpError::Protocol("unexpected reply".into())))]
+                    vec![(
+                        client,
+                        Reply::Err(TdpError::Protocol("unexpected reply".into())),
+                    )]
                 }
             }
         };
@@ -150,10 +195,17 @@ fn serve_client(shared: Arc<Shared>, client: u64, conn: Conn) {
 }
 
 fn route(shared: &Shared, outs: Vec<(u64, Reply)>) {
-    let clients = shared.clients.lock();
-    for (dst, reply) in outs {
-        if let Some(tx) = clients.get(&dst) {
-            let _ = tx.send_msg(&Message::Reply(reply));
-        }
+    // Snapshot the send handles first: `send_msg` may block (TCP
+    // backpressure), and holding the clients mutex across it would stall
+    // every other session's delivery — and deadlock against a handler
+    // trying to register/remove itself.
+    let routed: Vec<(WireTx, Reply)> = {
+        let clients = shared.clients.lock();
+        outs.into_iter()
+            .filter_map(|(dst, reply)| clients.get(&dst).map(|tx| (tx.clone(), reply)))
+            .collect()
+    };
+    for (tx, reply) in routed {
+        let _ = tx.send_msg(&Message::Reply(reply));
     }
 }

@@ -93,13 +93,7 @@ impl Space {
 
     /// `tdp_put`: validate and store, waking blocked getters and firing
     /// (and consuming) subscriptions on the key.
-    pub fn put(
-        &mut self,
-        client: ClientId,
-        ctx: ContextId,
-        key: &str,
-        value: &str,
-    ) -> Vec<Out> {
+    pub fn put(&mut self, client: ClientId, ctx: ContextId, key: &str, value: &str) -> Vec<Out> {
         if let Err(e) = validate_key(key) {
             return vec![(client, Reply::Err(e))];
         }
@@ -114,14 +108,24 @@ impl Space {
         let mut out = vec![(client, Reply::Ok)];
         if let Some(waiters) = c.waiters.remove(key) {
             for w in waiters {
-                out.push((w, Reply::Value { key: key.to_string(), value: value.to_string() }));
+                out.push((
+                    w,
+                    Reply::Value {
+                        key: key.to_string(),
+                        value: value.to_string(),
+                    },
+                ));
             }
         }
         if let Some(subs) = c.subs.remove(key) {
             for (s, token) in subs {
                 out.push((
                     s,
-                    Reply::Notify { token, key: key.to_string(), value: value.to_string() },
+                    Reply::Notify {
+                        token,
+                        key: key.to_string(),
+                        value: value.to_string(),
+                    },
                 ));
             }
         }
@@ -130,25 +134,28 @@ impl Space {
 
     /// `tdp_get`: return the value; when `blocking` and absent, park the
     /// caller (no reply now — a future put answers).
-    pub fn get(
-        &mut self,
-        client: ClientId,
-        ctx: ContextId,
-        key: &str,
-        blocking: bool,
-    ) -> Vec<Out> {
+    pub fn get(&mut self, client: ClientId, ctx: ContextId, key: &str, blocking: bool) -> Vec<Out> {
         let c = match self.member_mut(client, ctx) {
             Ok(c) => c,
             Err(e) => return vec![(client, Reply::Err(e))],
         };
         if let Some(v) = c.attrs.get(key) {
-            return vec![(client, Reply::Value { key: key.to_string(), value: v.clone() })];
+            return vec![(
+                client,
+                Reply::Value {
+                    key: key.to_string(),
+                    value: v.clone(),
+                },
+            )];
         }
         if blocking {
             c.waiters.entry(key.to_string()).or_default().push(client);
             Vec::new()
         } else {
-            vec![(client, Reply::Err(TdpError::AttributeNotFound(key.to_string())))]
+            vec![(
+                client,
+                Reply::Err(TdpError::AttributeNotFound(key.to_string())),
+            )]
         }
     }
 
@@ -185,10 +192,20 @@ impl Space {
         let mut out = vec![(client, Reply::Ok)];
         match c.attrs.get(key) {
             Some(v) if !only_future => {
-                out.push((client, Reply::Notify { token, key: key.to_string(), value: v.clone() }));
+                out.push((
+                    client,
+                    Reply::Notify {
+                        token,
+                        key: key.to_string(),
+                        value: v.clone(),
+                    },
+                ));
             }
             _ => {
-                c.subs.entry(key.to_string()).or_default().push((client, token));
+                c.subs
+                    .entry(key.to_string())
+                    .or_default()
+                    .push((client, token));
             }
         }
         out
@@ -212,8 +229,12 @@ impl Space {
     pub fn list_keys(&mut self, client: ClientId, ctx: ContextId, prefix: &str) -> Vec<Out> {
         match self.member(client, ctx) {
             Ok(c) => {
-                let mut keys: Vec<String> =
-                    c.attrs.keys().filter(|k| k.starts_with(prefix)).cloned().collect();
+                let mut keys: Vec<String> = c
+                    .attrs
+                    .keys()
+                    .filter(|k| k.starts_with(prefix))
+                    .cloned()
+                    .collect();
                 keys.sort();
                 vec![(client, Reply::Keys(keys))]
             }
@@ -277,7 +298,13 @@ mod tests {
         assert_eq!(s.put(RM, CTX, "pid", "42"), vec![(RM, Reply::Ok)]);
         assert_eq!(
             s.get(RT, CTX, "pid", false),
-            vec![(RT, Reply::Value { key: "pid".into(), value: "42".into() })]
+            vec![(
+                RT,
+                Reply::Value {
+                    key: "pid".into(),
+                    value: "42".into()
+                }
+            )]
         );
     }
 
@@ -295,10 +322,19 @@ mod tests {
         // The Figure 6 Step 3 interaction: paradynd blocks on "pid"
         // until the starter puts it.
         let mut s = joined();
-        assert!(s.get(RT, CTX, "pid", true).is_empty(), "must park, not reply");
+        assert!(
+            s.get(RT, CTX, "pid", true).is_empty(),
+            "must park, not reply"
+        );
         let out = s.put(RM, CTX, "pid", "42");
         assert!(out.contains(&(RM, Reply::Ok)));
-        assert!(out.contains(&(RT, Reply::Value { key: "pid".into(), value: "42".into() })));
+        assert!(out.contains(&(
+            RT,
+            Reply::Value {
+                key: "pid".into(),
+                value: "42".into()
+            }
+        )));
     }
 
     #[test]
@@ -324,7 +360,13 @@ mod tests {
         s.put(RM, CTX, "k", "v2");
         assert_eq!(
             s.get(RT, CTX, "k", false),
-            vec![(RT, Reply::Value { key: "k".into(), value: "v2".into() })]
+            vec![(
+                RT,
+                Reply::Value {
+                    key: "k".into(),
+                    value: "v2".into()
+                }
+            )]
         );
     }
 
@@ -343,9 +385,15 @@ mod tests {
         let mut s = Space::new();
         s.join(RM, CTX);
         // RT never joined.
-        assert!(matches!(s.put(RT, CTX, "k", "v")[0].1, Reply::Err(TdpError::NoSuchContext(_))));
+        assert!(matches!(
+            s.put(RT, CTX, "k", "v")[0].1,
+            Reply::Err(TdpError::NoSuchContext(_))
+        ));
         assert!(matches!(s.get(RT, CTX, "k", false)[0].1, Reply::Err(_)));
-        assert!(matches!(s.subscribe(RT, CTX, "k", 1, false)[0].1, Reply::Err(_)));
+        assert!(matches!(
+            s.subscribe(RT, CTX, "k", 1, false)[0].1,
+            Reply::Err(_)
+        ));
     }
 
     #[test]
@@ -405,7 +453,14 @@ mod tests {
         let out = s.subscribe(RT, CTX, "status", 7, false);
         assert_eq!(out, vec![(RT, Reply::Ok)]);
         let out = s.put(RM, CTX, "status", "running");
-        assert!(out.contains(&(RT, Reply::Notify { token: 7, key: "status".into(), value: "running".into() })));
+        assert!(out.contains(&(
+            RT,
+            Reply::Notify {
+                token: 7,
+                key: "status".into(),
+                value: "running".into()
+            }
+        )));
         // One-shot: second put does not notify.
         let out = s.put(RM, CTX, "status", "stopped");
         assert!(!out.iter().any(|(_, r)| matches!(r, Reply::Notify { .. })));
@@ -417,7 +472,17 @@ mod tests {
         s.put(RM, CTX, "pid", "42");
         let out = s.subscribe(RT, CTX, "pid", 9, false);
         assert_eq!(out[0], (RT, Reply::Ok));
-        assert_eq!(out[1], (RT, Reply::Notify { token: 9, key: "pid".into(), value: "42".into() }));
+        assert_eq!(
+            out[1],
+            (
+                RT,
+                Reply::Notify {
+                    token: 9,
+                    key: "pid".into(),
+                    value: "42".into()
+                }
+            )
+        );
     }
 
     #[test]
@@ -437,16 +502,28 @@ mod tests {
         s.put(RM, CTX, "other", "x");
         assert_eq!(
             s.list_keys(RT, CTX, "mpi_rank_pid."),
-            vec![(RT, Reply::Keys(vec!["mpi_rank_pid.0".into(), "mpi_rank_pid.1".into()]))]
+            vec![(
+                RT,
+                Reply::Keys(vec!["mpi_rank_pid.0".into(), "mpi_rank_pid.1".into()])
+            )]
         );
     }
 
     #[test]
     fn put_validates_key_and_value() {
         let mut s = joined();
-        assert!(matches!(s.put(RM, CTX, "", "v")[0].1, Reply::Err(TdpError::InvalidAttribute(_))));
-        assert!(matches!(s.put(RM, CTX, "k\0", "v")[0].1, Reply::Err(TdpError::InvalidAttribute(_))));
-        assert!(matches!(s.put(RM, CTX, "k", "v\0")[0].1, Reply::Err(TdpError::InvalidValue(_))));
+        assert!(matches!(
+            s.put(RM, CTX, "", "v")[0].1,
+            Reply::Err(TdpError::InvalidAttribute(_))
+        ));
+        assert!(matches!(
+            s.put(RM, CTX, "k\0", "v")[0].1,
+            Reply::Err(TdpError::InvalidAttribute(_))
+        ));
+        assert!(matches!(
+            s.put(RM, CTX, "k", "v\0")[0].1,
+            Reply::Err(TdpError::InvalidValue(_))
+        ));
         // Empty value is legal.
         assert_eq!(s.put(RM, CTX, "k", ""), vec![(RM, Reply::Ok)]);
     }

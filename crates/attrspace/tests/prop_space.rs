@@ -2,8 +2,8 @@
 //! operation sequences must preserve the protocol invariants.
 
 use proptest::prelude::*;
-use tdp_proto::{ContextId, Reply};
 use tdp_attrspace::Space;
+use tdp_proto::{ContextId, Reply};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -26,12 +26,33 @@ fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
         (client.clone(), ctx.clone()).prop_map(|(c, x)| Op::Join(c, x)),
         (client.clone(), ctx.clone()).prop_map(|(c, x)| Op::Leave(c, x)),
-        (client.clone(), ctx.clone(), key.clone(), val)
-            .prop_map(|(c, x, k, v)| Op::Put(c, x, k.to_string(), v.to_string())),
-        (client.clone(), ctx.clone(), key.clone()).prop_map(|(c, x, k)| Op::GetB(c, x, k.to_string())),
-        (client.clone(), ctx.clone(), key.clone()).prop_map(|(c, x, k)| Op::GetNb(c, x, k.to_string())),
-        (client.clone(), ctx.clone(), key.clone()).prop_map(|(c, x, k)| Op::Remove(c, x, k.to_string())),
-        (client.clone(), ctx.clone(), key, 0u64..5).prop_map(|(c, x, k, t)| Op::Sub(c, x, k.to_string(), t)),
+        (client.clone(), ctx.clone(), key.clone(), val).prop_map(|(c, x, k, v)| Op::Put(
+            c,
+            x,
+            k.to_string(),
+            v.to_string()
+        )),
+        (client.clone(), ctx.clone(), key.clone()).prop_map(|(c, x, k)| Op::GetB(
+            c,
+            x,
+            k.to_string()
+        )),
+        (client.clone(), ctx.clone(), key.clone()).prop_map(|(c, x, k)| Op::GetNb(
+            c,
+            x,
+            k.to_string()
+        )),
+        (client.clone(), ctx.clone(), key.clone()).prop_map(|(c, x, k)| Op::Remove(
+            c,
+            x,
+            k.to_string()
+        )),
+        (client.clone(), ctx.clone(), key, 0u64..5).prop_map(|(c, x, k, t)| Op::Sub(
+            c,
+            x,
+            k.to_string(),
+            t
+        )),
         (client.clone(), ctx.clone(), 0u64..5).prop_map(|(c, x, t)| Op::Unsub(c, x, t)),
         client.prop_map(Op::Disconnect),
     ]

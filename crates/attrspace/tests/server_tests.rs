@@ -46,7 +46,10 @@ fn try_get_absent_errors_without_blocking() {
     let (net, host, srv) = world();
     let mut c = AttrClient::connect(&net, host, srv.addr()).unwrap();
     c.join(CTX).unwrap();
-    assert!(matches!(c.try_get(CTX, "nope"), Err(TdpError::AttributeNotFound(_))));
+    assert!(matches!(
+        c.try_get(CTX, "nope"),
+        Err(TdpError::AttributeNotFound(_))
+    ));
 }
 
 #[test]
@@ -56,7 +59,10 @@ fn get_timeout_leaves_session_usable() {
     let mut rt = AttrClient::connect(&net, host, srv.addr()).unwrap();
     rm.join(CTX).unwrap();
     rt.join(CTX).unwrap();
-    assert_eq!(rt.get_timeout(CTX, "slow", Duration::from_millis(40)), Err(TdpError::Timeout));
+    assert_eq!(
+        rt.get_timeout(CTX, "slow", Duration::from_millis(40)),
+        Err(TdpError::Timeout)
+    );
     // The session must survive: the orphaned reply (when the put finally
     // happens) is discarded, and new operations work.
     rm.put(CTX, "slow", "eventually").unwrap();
@@ -75,7 +81,10 @@ fn subscribe_notify_via_service_loop() {
     assert!(!rt.has_notify());
     rm.put(CTX, names::AP_STATUS, "running").unwrap();
     let n = rt.wait_notify(T).unwrap();
-    assert_eq!((n.token, n.key.as_str(), n.value.as_str()), (77, names::AP_STATUS, "running"));
+    assert_eq!(
+        (n.token, n.key.as_str(), n.value.as_str()),
+        (77, names::AP_STATUS, "running")
+    );
     // One-shot.
     rm.put(CTX, names::AP_STATUS, "stopped").unwrap();
     assert!(rt.wait_notify(Duration::from_millis(60)).is_err());
@@ -125,7 +134,12 @@ fn cass_accepts_remote_clients() {
     let srv = AttrSpaceServer::spawn(&net, fe, 7001, ServerKind::Central).unwrap();
     let mut c = AttrClient::connect(&net, exec, srv.addr()).unwrap();
     c.join(CTX).unwrap();
-    c.put(CTX, names::TOOL_FRONTEND_ADDR, &Addr::new(fe, 2090).to_attr_value()).unwrap();
+    c.put(
+        CTX,
+        names::TOOL_FRONTEND_ADDR,
+        &Addr::new(fe, 2090).to_attr_value(),
+    )
+    .unwrap();
 }
 
 #[test]
@@ -172,7 +186,7 @@ fn context_destruction_fails_parked_remote_getter() {
     let mut rt = AttrClient::connect(&net, host, srv.addr()).unwrap();
     rm.join(CTX).unwrap();
     rt.join(CTX).unwrap();
-    let getter = std::thread::spawn(move || rt.get(CTX, "never") );
+    let getter = std::thread::spawn(move || rt.get(CTX, "never"));
     std::thread::sleep(Duration::from_millis(50));
     // RM is the only other member; when it leaves twice... actually RT
     // is parked and still a member, so RM's leave alone does not destroy
@@ -212,12 +226,17 @@ fn many_contexts_isolated_over_network() {
     let mut rm = AttrClient::connect(&net, host, srv.addr()).unwrap();
     for i in 0..10u64 {
         rm.join(ContextId(i)).unwrap();
-        rm.put(ContextId(i), "pid", &format!("{}", 1000 + i)).unwrap();
+        rm.put(ContextId(i), "pid", &format!("{}", 1000 + i))
+            .unwrap();
     }
     for i in 0..10u64 {
         let mut rt = AttrClient::connect(&net, host, srv.addr()).unwrap();
         rt.join(ContextId(i)).unwrap();
-        assert_eq!(rt.get(CTX.min(ContextId(i)).max(ContextId(i)), "pid").unwrap(), format!("{}", 1000 + i));
+        assert_eq!(
+            rt.get(CTX.min(ContextId(i)).max(ContextId(i)), "pid")
+                .unwrap(),
+            format!("{}", 1000 + i)
+        );
         rt.leave(ContextId(i)).unwrap();
     }
     assert_eq!(srv.context_count(), 10);

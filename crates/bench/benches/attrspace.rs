@@ -112,5 +112,10 @@ fn bench_context_scaling(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_put_get, bench_space_scaling, bench_context_scaling);
+criterion_group!(
+    benches,
+    bench_put_get,
+    bench_space_scaling,
+    bench_context_scaling
+);
 criterion_main!(benches);

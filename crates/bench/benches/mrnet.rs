@@ -19,9 +19,17 @@ fn build(n_leaves: usize, fanout: usize) -> Tree {
     let net = Network::new();
     let root = net.add_host();
     let hosts: Vec<HostId> = (0..8).map(|_| net.add_host()).collect();
-    let (fe, attach) =
-        FrontEnd::build(&net, root, &hosts, n_leaves, TreeSpec { fanout, op: ReduceOp::Sum })
-            .unwrap();
+    let (fe, attach) = FrontEnd::build(
+        &net,
+        root,
+        &hosts,
+        n_leaves,
+        TreeSpec {
+            fanout,
+            op: ReduceOp::Sum,
+        },
+    )
+    .unwrap();
     let backends = attach
         .iter()
         .enumerate()
@@ -58,18 +66,22 @@ fn bench_fanout_tradeoff(c: &mut Criterion) {
     for fanout in [2usize, 4, 16] {
         let tree = build(32, fanout);
         let mut wave = 0u64;
-        g.bench_with_input(BenchmarkId::new("fanout32leaves", fanout), &fanout, |b, _| {
-            b.iter(|| {
-                wave += 1;
-                for be in &tree.backends {
-                    be.contribute(wave, 2).unwrap();
-                }
-                assert_eq!(
-                    tree.fe.recv_reduce(wave, Duration::from_secs(10)).unwrap(),
-                    64
-                );
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("fanout32leaves", fanout),
+            &fanout,
+            |b, _| {
+                b.iter(|| {
+                    wave += 1;
+                    for be in &tree.backends {
+                        be.contribute(wave, 2).unwrap();
+                    }
+                    assert_eq!(
+                        tree.fe.recv_reduce(wave, Duration::from_secs(10)).unwrap(),
+                        64
+                    );
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -94,5 +106,10 @@ fn bench_multicast(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_reduction_scaling, bench_fanout_tradeoff, bench_multicast);
+criterion_group!(
+    benches,
+    bench_reduction_scaling,
+    bench_fanout_tradeoff,
+    bench_multicast
+);
 criterion_main!(benches);

@@ -18,16 +18,19 @@ use tdp_simos::{fn_program, ExecImage};
 const T: Duration = Duration::from_secs(60);
 
 fn app_image() -> ExecImage {
-    ExecImage::new(["main", "work"], Arc::new(|_| {
-        fn_program(|ctx| {
-            ctx.call("main", |ctx| {
-                for _ in 0..10 {
-                    ctx.call("work", |ctx| ctx.compute(10));
-                }
-            });
-            0
-        })
-    }))
+    ExecImage::new(
+        ["main", "work"],
+        Arc::new(|_| {
+            fn_program(|ctx| {
+                ctx.call("main", |ctx| {
+                    for _ in 0..10 {
+                        ctx.call("work", |ctx| ctx.compute(10));
+                    }
+                });
+                0
+            })
+        }),
+    )
 }
 
 fn bench_vanilla(c: &mut Criterion) {
@@ -42,7 +45,10 @@ fn bench_vanilla(c: &mut Criterion) {
         g.bench_function("job_without_tool", |b| {
             b.iter(|| {
                 let job = pool.submit_str("executable = /bin/app\nqueue\n").unwrap();
-                assert!(matches!(pool.wait_job(job, T).unwrap(), JobState::Completed(_)));
+                assert!(matches!(
+                    pool.wait_job(job, T).unwrap(),
+                    JobState::Completed(_)
+                ));
             });
         });
     }
@@ -53,7 +59,10 @@ fn bench_vanilla(c: &mut Criterion) {
         let pool = CondorPool::build(&world, 1).unwrap();
         pool.install_everywhere("/bin/app", app_image());
         for h in pool.exec_hosts() {
-            world.os().fs().install_exec(*h, "paradynd", paradynd_image(world.clone()));
+            world
+                .os()
+                .fs()
+                .install_exec(*h, "paradynd", paradynd_image(world.clone()));
         }
         let fe = ParadynFrontend::start(world.net(), pool.submit_host(), 2090, 2091).unwrap();
         let submit = format!(
@@ -65,7 +74,10 @@ fn bench_vanilla(c: &mut Criterion) {
         g.bench_function("job_with_paradynd", |b| {
             b.iter(|| {
                 let job = pool.submit_str(&submit).unwrap();
-                assert!(matches!(pool.wait_job(job, T).unwrap(), JobState::Completed(_)));
+                assert!(matches!(
+                    pool.wait_job(job, T).unwrap(),
+                    JobState::Completed(_)
+                ));
             });
         });
     }
@@ -91,7 +103,10 @@ fn bench_mpi_scaling(c: &mut Criterion) {
                             "universe = MPI\nexecutable = ring\nmachine_count = {n}\nqueue\n"
                         ))
                         .unwrap();
-                    assert!(matches!(pool.wait_job(job, T).unwrap(), JobState::Completed(_)));
+                    assert!(matches!(
+                        pool.wait_job(job, T).unwrap(),
+                        JobState::Completed(_)
+                    ));
                     total += t0.elapsed();
                 }
                 total

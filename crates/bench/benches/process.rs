@@ -22,12 +22,15 @@ fn world_with_app() -> (World, HostId, TdpHandle) {
     world.os().fs().install_exec(
         host,
         "/bin/noop",
-        ExecImage::new(["main", "work"], Arc::new(|_| {
-            fn_program(|ctx| {
-                ctx.call("main", |ctx| ctx.call("work", |ctx| ctx.compute(1)));
-                0
-            })
-        })),
+        ExecImage::new(
+            ["main", "work"],
+            Arc::new(|_| {
+                fn_program(|ctx| {
+                    ctx.call("main", |ctx| ctx.call("work", |ctx| ctx.compute(1)));
+                    0
+                })
+            }),
+        ),
     );
     let rm = TdpHandle::init(&world, host, CTX, "rm", Role::ResourceManager).unwrap();
     (world, host, rm)
@@ -54,7 +57,9 @@ fn bench_lifecycle(c: &mut Criterion) {
         let (_world, _host, mut rm) = world_with_app();
         g.bench_function("create_paused_attach_continue_to_exit", |b| {
             b.iter(|| {
-                let pid = rm.create_process(TdpCreate::new("/bin/noop").paused()).unwrap();
+                let pid = rm
+                    .create_process(TdpCreate::new("/bin/noop").paused())
+                    .unwrap();
                 rm.attach(pid).unwrap();
                 rm.arm_probe(pid, "work").unwrap();
                 rm.continue_process(pid).unwrap();
@@ -68,7 +73,9 @@ fn bench_lifecycle(c: &mut Criterion) {
     {
         let (_world, _host, mut rm) = world_with_app();
         g.bench_function("attach_detach", |b| {
-            let pid = rm.create_process(TdpCreate::new("/bin/noop").paused()).unwrap();
+            let pid = rm
+                .create_process(TdpCreate::new("/bin/noop").paused())
+                .unwrap();
             b.iter(|| {
                 rm.attach(pid).unwrap();
                 rm.detach(pid).unwrap();
@@ -81,16 +88,20 @@ fn bench_lifecycle(c: &mut Criterion) {
     {
         let (world, _host, mut rm) = world_with_app();
         g.bench_function("pause_continue_roundtrip", |b| {
-            let pid = rm.create_process(TdpCreate::new("/bin/noop").paused()).unwrap();
+            let pid = rm
+                .create_process(TdpCreate::new("/bin/noop").paused())
+                .unwrap();
             // Move it out of Created into Running/Stopped cycling: the
             // body is done instantly, so use a long-running app instead.
             world.os().fs().install_exec(
                 rm.host(),
                 "/bin/long",
-                ExecImage::from_fn(|_| fn_program(|ctx| {
-                    ctx.sleep(Duration::from_secs(600));
-                    0
-                })),
+                ExecImage::from_fn(|_| {
+                    fn_program(|ctx| {
+                        ctx.sleep(Duration::from_secs(600));
+                        0
+                    })
+                }),
             );
             let lp = rm.create_process(TdpCreate::new("/bin/long")).unwrap();
             b.iter(|| {
@@ -108,18 +119,23 @@ fn bench_lifecycle(c: &mut Criterion) {
         world.os().fs().install_exec(
             host,
             "/bin/churn",
-            ExecImage::new(["main", "spin"], Arc::new(|_| {
-                fn_program(|ctx| {
-                    ctx.call("main", |ctx| {
-                        for _ in 0..u64::MAX {
-                            ctx.call("spin", |ctx| ctx.compute(1));
-                        }
-                    });
-                    0
-                })
-            })),
+            ExecImage::new(
+                ["main", "spin"],
+                Arc::new(|_| {
+                    fn_program(|ctx| {
+                        ctx.call("main", |ctx| {
+                            for _ in 0..u64::MAX {
+                                ctx.call("spin", |ctx| ctx.compute(1));
+                            }
+                        });
+                        0
+                    })
+                }),
+            ),
         );
-        let pid = rm.create_process(TdpCreate::new("/bin/churn").paused()).unwrap();
+        let pid = rm
+            .create_process(TdpCreate::new("/bin/churn").paused())
+            .unwrap();
         rm.attach(pid).unwrap();
         rm.arm_probe(pid, "spin").unwrap();
         rm.continue_process(pid).unwrap();

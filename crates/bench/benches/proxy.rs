@@ -47,7 +47,15 @@ fn rig() -> Rig {
             });
         }
     });
-    Rig { net, fe, exec, fe_addr, proxy_addr, _proxy: p, _echo: echo }
+    Rig {
+        net,
+        fe,
+        exec,
+        fe_addr,
+        proxy_addr,
+        _proxy: p,
+        _echo: echo,
+    }
 }
 
 fn bench_proxy(c: &mut Criterion) {
@@ -60,9 +68,7 @@ fn bench_proxy(c: &mut Criterion) {
         b.iter(|| black_box(r.net.connect(r.exec, r.fe_addr).unwrap()));
     });
     g.bench_function("connect_via_proxy", |b| {
-        b.iter(|| {
-            black_box(proxy::connect_via(&r.net, r.exec, r.proxy_addr, r.fe_addr).unwrap())
-        });
+        b.iter(|| black_box(proxy::connect_via(&r.net, r.exec, r.proxy_addr, r.fe_addr).unwrap()));
     });
 
     let payload = vec![0u8; 256];

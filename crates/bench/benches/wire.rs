@@ -1,0 +1,71 @@
+//! **B7 — Transport microbenchmarks**: the same attribute-space
+//! operations over `tdp-wire`'s two backends, head to head.
+//!
+//! The netsim numbers bound what the protocol logic itself costs; the
+//! TCP-loopback numbers add real syscalls, the streaming frame decoder
+//! and the coalescing writer thread. Both run the identical client and
+//! server code — only the `Transport` differs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+use tdp_core::{Role, TdpHandle, World};
+use tdp_proto::ContextId;
+
+const CTX: ContextId = ContextId(1);
+
+fn pair(world: &World) -> (TdpHandle, TdpHandle) {
+    let host = world.add_host();
+    let rm = TdpHandle::init(world, host, CTX, "rm", Role::ResourceManager).unwrap();
+    let rt = TdpHandle::init(world, host, CTX, "rt", Role::Tool).unwrap();
+    (rm, rt)
+}
+
+fn bench_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_latency");
+    g.measurement_time(Duration::from_secs(2)).sample_size(30);
+
+    for (name, world) in [("netsim", World::new()), ("tcp", World::new_tcp())] {
+        let (mut rm, mut rt) = pair(&world);
+        rm.put("warm", "1").unwrap();
+
+        g.bench_function(format!("{name}/put"), |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                rm.put("bench_key", &i.to_string()).unwrap();
+            });
+        });
+
+        g.bench_function(format!("{name}/get_hit"), |b| {
+            b.iter(|| black_box(rt.get("bench_key").unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    // Streamed puts: the TCP path exercises the bounded-queue writer
+    // and its coalescing; each put still waits for its Ok, so this is a
+    // pipelined request/reply rate, not raw socket bandwidth.
+    const BATCH: u64 = 256;
+    let mut g = c.benchmark_group("wire_throughput");
+    g.measurement_time(Duration::from_secs(2))
+        .sample_size(20)
+        .throughput(Throughput::Elements(BATCH));
+
+    for (name, world) in [("netsim", World::new()), ("tcp", World::new_tcp())] {
+        let (mut rm, _rt) = pair(&world);
+        g.bench_function(format!("{name}/put_stream_{BATCH}"), |b| {
+            b.iter(|| {
+                for i in 0..BATCH {
+                    rm.put("stream_key", &i.to_string()).unwrap();
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_latency, bench_throughput);
+criterion_main!(benches);

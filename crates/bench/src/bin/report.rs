@@ -31,16 +31,19 @@ fn row(label: &str, value: impl std::fmt::Display) {
 }
 
 fn app_image() -> ExecImage {
-    ExecImage::new(["main", "work"], Arc::new(|_| {
-        fn_program(|ctx| {
-            ctx.call("main", |ctx| {
-                for _ in 0..10 {
-                    ctx.call("work", |ctx| ctx.compute(10));
-                }
-            });
-            0
-        })
-    }))
+    ExecImage::new(
+        ["main", "work"],
+        Arc::new(|_| {
+            fn_program(|ctx| {
+                ctx.call("main", |ctx| {
+                    for _ in 0..10 {
+                        ctx.call("work", |ctx| ctx.compute(10));
+                    }
+                });
+                0
+            })
+        }),
+    )
 }
 
 fn b1_attrspace() {
@@ -51,16 +54,25 @@ fn b1_attrspace() {
     let mut rt = TdpHandle::init(&world, host, ContextId(1), "rt", Role::Tool).unwrap();
     rm.put("warm", "1").unwrap();
     let mut i = 0u64;
-    row("tdp_put (median)", fmt_dur(median_time(2000, || {
-        i += 1;
-        rm.put("k", &i.to_string()).unwrap();
-    })));
-    row("tdp_get hit (median)", fmt_dur(median_time(2000, || {
-        rt.get("k").unwrap();
-    })));
-    row("tdp_get miss, non-blocking (median)", fmt_dur(median_time(2000, || {
-        let _ = rt.try_get("never");
-    })));
+    row(
+        "tdp_put (median)",
+        fmt_dur(median_time(2000, || {
+            i += 1;
+            rm.put("k", &i.to_string()).unwrap();
+        })),
+    );
+    row(
+        "tdp_get hit (median)",
+        fmt_dur(median_time(2000, || {
+            rt.get("k").unwrap();
+        })),
+    );
+    row(
+        "tdp_get miss, non-blocking (median)",
+        fmt_dur(median_time(2000, || {
+            let _ = rt.try_get("never");
+        })),
+    );
     // Blocking wake-up round trip.
     let mut n = 0u64;
     let wake = median_time(50, || {
@@ -79,24 +91,57 @@ fn b1_attrspace() {
     row("blocking get wake-up (incl. thread join)", fmt_dur(wake));
 }
 
+fn b7_wire() {
+    header("B7 — Transport backends: netsim vs real TCP loopback");
+    for (name, world) in [("netsim", World::new()), ("tcp", World::new_tcp())] {
+        let host = world.add_host();
+        let mut rm =
+            TdpHandle::init(&world, host, ContextId(1), "rm", Role::ResourceManager).unwrap();
+        let mut rt = TdpHandle::init(&world, host, ContextId(1), "rt", Role::Tool).unwrap();
+        rm.put("warm", "1").unwrap();
+        let mut i = 0u64;
+        row(
+            &format!("tdp_put over {name} (median)"),
+            fmt_dur(median_time(2000, || {
+                i += 1;
+                rm.put("k", &i.to_string()).unwrap();
+            })),
+        );
+        row(
+            &format!("tdp_get hit over {name} (median)"),
+            fmt_dur(median_time(2000, || {
+                rt.get("k").unwrap();
+            })),
+        );
+    }
+}
+
 fn b2_process() {
     header("B2 — Process management (§3.1)");
     let world = World::new();
     let host = world.add_host();
     world.os().fs().install_exec(host, "/bin/noop", app_image());
     let mut rm = TdpHandle::init(&world, host, ContextId(1), "rm", Role::ResourceManager).unwrap();
-    row("create(run) → exit (median)", fmt_dur(median_time(200, || {
-        let pid = rm.create_process(TdpCreate::new("/bin/noop")).unwrap();
-        rm.wait_terminal(pid, T).unwrap();
-    })));
-    row("create(paused)+attach+probe+continue → exit", fmt_dur(median_time(200, || {
-        let pid = rm.create_process(TdpCreate::new("/bin/noop").paused()).unwrap();
-        rm.attach(pid).unwrap();
-        rm.arm_probe(pid, "work").unwrap();
-        rm.continue_process(pid).unwrap();
-        rm.wait_terminal(pid, T).unwrap();
-        let _ = rm.detach(pid);
-    })));
+    row(
+        "create(run) → exit (median)",
+        fmt_dur(median_time(200, || {
+            let pid = rm.create_process(TdpCreate::new("/bin/noop")).unwrap();
+            rm.wait_terminal(pid, T).unwrap();
+        })),
+    );
+    row(
+        "create(paused)+attach+probe+continue → exit",
+        fmt_dur(median_time(200, || {
+            let pid = rm
+                .create_process(TdpCreate::new("/bin/noop").paused())
+                .unwrap();
+            rm.attach(pid).unwrap();
+            rm.arm_probe(pid, "work").unwrap();
+            rm.continue_process(pid).unwrap();
+            rm.wait_terminal(pid, T).unwrap();
+            let _ = rm.detach(pid);
+        })),
+    );
 }
 
 fn b3_proxy() {
@@ -135,7 +180,10 @@ fn b3_proxy() {
     });
     row("round trip 256 B, direct", fmt_dur(d));
     row("round trip 256 B, via RM proxy", fmt_dur(pr));
-    row("proxy cost factor", format!("{:.1}x", pr.as_nanos() as f64 / d.as_nanos().max(1) as f64));
+    row(
+        "proxy cost factor",
+        format!("{:.1}x", pr.as_nanos() as f64 / d.as_nanos().max(1) as f64),
+    );
 }
 
 fn b4_parador() {
@@ -146,14 +194,20 @@ fn b4_parador() {
     pool.install_everywhere("/bin/app", app_image());
     let plain = median_time(7, || {
         let job = pool.submit_str("executable = /bin/app\nqueue\n").unwrap();
-        assert!(matches!(pool.wait_job(job, T).unwrap(), JobState::Completed(_)));
+        assert!(matches!(
+            pool.wait_job(job, T).unwrap(),
+            JobState::Completed(_)
+        ));
     });
     // With paradynd (auto-run).
     let world = World::new();
     let pool = CondorPool::build(&world, 1).unwrap();
     pool.install_everywhere("/bin/app", app_image());
     for h in pool.exec_hosts() {
-        world.os().fs().install_exec(*h, "paradynd", paradynd_image(world.clone()));
+        world
+            .os()
+            .fs()
+            .install_exec(*h, "paradynd", paradynd_image(world.clone()));
     }
     let fe = ParadynFrontend::start(world.net(), pool.submit_host(), 2090, 2091).unwrap();
     let submit = format!(
@@ -162,7 +216,10 @@ fn b4_parador() {
     );
     let with_tool = median_time(7, || {
         let job = pool.submit_str(&submit).unwrap();
-        assert!(matches!(pool.wait_job(job, T).unwrap(), JobState::Completed(_)));
+        assert!(matches!(
+            pool.wait_job(job, T).unwrap(),
+            JobState::Completed(_)
+        ));
     });
     // The other scheduler, same job: FIFO dispatch vs matchmaking.
     let world = World::new();
@@ -176,14 +233,20 @@ fn b4_parador() {
     }
     let lsf_plain = median_time(7, || {
         let job = cluster.bsub(LsfRequest::new("/bin/app")).unwrap();
-        assert!(matches!(cluster.wait_job(job, T).unwrap(), LsfJobState::Done(_)));
+        assert!(matches!(
+            cluster.wait_job(job, T).unwrap(),
+            LsfJobState::Done(_)
+        ));
     });
     row("condor job, no tool (median)", fmt_dur(plain));
     row("lsf job, no tool (median)", fmt_dur(lsf_plain));
     row("condor job + paradynd via TDP (median)", fmt_dur(with_tool));
     row(
         "monitoring overhead factor",
-        format!("{:.1}x", with_tool.as_nanos() as f64 / plain.as_nanos().max(1) as f64),
+        format!(
+            "{:.1}x",
+            with_tool.as_nanos() as f64 / plain.as_nanos().max(1) as f64
+        ),
     );
 
     // MPI startup scaling.
@@ -198,7 +261,10 @@ fn b4_parador() {
                     "universe = MPI\nexecutable = ring\nmachine_count = {n}\nqueue\n"
                 ))
                 .unwrap();
-            assert!(matches!(pool.wait_job(job, T).unwrap(), JobState::Completed(_)));
+            assert!(matches!(
+                pool.wait_job(job, T).unwrap(),
+                JobState::Completed(_)
+            ));
         });
         row(&format!("MPI universe startup+run, {n} ranks"), fmt_dur(t));
     }
@@ -210,9 +276,17 @@ fn b5_mrnet() {
         let net = Network::new();
         let root = net.add_host();
         let hosts: Vec<HostId> = (0..8).map(|_| net.add_host()).collect();
-        let (fe, attach) =
-            FrontEnd::build(&net, root, &hosts, n, TreeSpec { fanout: 4, op: ReduceOp::Sum })
-                .unwrap();
+        let (fe, attach) = FrontEnd::build(
+            &net,
+            root,
+            &hosts,
+            n,
+            TreeSpec {
+                fanout: 4,
+                op: ReduceOp::Sum,
+            },
+        )
+        .unwrap();
         let backends: Vec<BackEnd> = attach
             .iter()
             .enumerate()
@@ -226,7 +300,10 @@ fn b5_mrnet() {
             }
             assert_eq!(fe.recv_reduce(wave, T).unwrap(), n as u64);
         });
-        row(&format!("reduction wave, {n} leaves (fanout 4)"), fmt_dur(t));
+        row(
+            &format!("reduction wave, {n} leaves (fanout 4)"),
+            fmt_dur(t),
+        );
     }
 }
 
@@ -258,7 +335,10 @@ fn e10_matrix() {
             let master = world.add_host();
             let exec = world.add_host();
             world.os().fs().install_exec(exec, "/bin/app", app_image());
-            world.os().fs().install_exec(exec, tool, ctor(world.clone()));
+            world
+                .os()
+                .fs()
+                .install_exec(exec, tool, ctor(world.clone()));
             let cluster = LsfCluster::start(&world, master).unwrap();
             let _sbd = cluster.add_host(exec, 1).unwrap();
             let job = cluster
@@ -273,8 +353,16 @@ fn e10_matrix() {
 
 fn main() {
     println!("# TDP experiment report (regenerates EXPERIMENTS.md quantitative rows)");
-    println!("# build: {} | medians of quick in-process runs", if cfg!(debug_assertions) { "debug" } else { "release" });
+    println!(
+        "# build: {} | medians of quick in-process runs",
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        }
+    );
     b1_attrspace();
+    b7_wire();
     b2_process();
     b3_proxy();
     b4_parador();

@@ -77,7 +77,9 @@ impl Requirement {
     /// Does `ad` satisfy this requirement? Missing attributes never
     /// satisfy anything (undefined semantics).
     pub fn satisfied_by(&self, ad: &ClassAd) -> bool {
-        let Some(actual) = ad.get(&self.attr) else { return false };
+        let Some(actual) = ad.get(&self.attr) else {
+            return false;
+        };
         match (actual, &self.value) {
             (AdValue::Int(a), AdValue::Int(b)) => cmp_ord(self.op, a.cmp(b)),
             (AdValue::Str(a), AdValue::Str(b)) => cmp_ord(self.op, a.cmp(b)),
@@ -188,7 +190,10 @@ impl ClassAd {
     /// Rank of `other` from this ad's point of view (missing/non-int
     /// rank attribute = 0).
     pub fn rank_of(&self, other: &ClassAd) -> i64 {
-        self.rank_attr.as_deref().and_then(|a| other.get_int(a)).unwrap_or(0)
+        self.rank_attr
+            .as_deref()
+            .and_then(|a| other.get_int(a))
+            .unwrap_or(0)
     }
 }
 
@@ -220,21 +225,37 @@ mod tests {
     #[test]
     fn requirement_satisfaction() {
         let m = machine(1024, "X86_64");
-        assert!(Requirement::parse("Memory >= 512").unwrap().satisfied_by(&m));
-        assert!(Requirement::parse("Memory >= 1024").unwrap().satisfied_by(&m));
-        assert!(!Requirement::parse("Memory > 1024").unwrap().satisfied_by(&m));
-        assert!(Requirement::parse("Arch == X86_64").unwrap().satisfied_by(&m));
-        assert!(Requirement::parse("Arch != SPARC").unwrap().satisfied_by(&m));
-        assert!(Requirement::parse("HasTdp == true").unwrap().satisfied_by(&m));
+        assert!(Requirement::parse("Memory >= 512")
+            .unwrap()
+            .satisfied_by(&m));
+        assert!(Requirement::parse("Memory >= 1024")
+            .unwrap()
+            .satisfied_by(&m));
+        assert!(!Requirement::parse("Memory > 1024")
+            .unwrap()
+            .satisfied_by(&m));
+        assert!(Requirement::parse("Arch == X86_64")
+            .unwrap()
+            .satisfied_by(&m));
+        assert!(Requirement::parse("Arch != SPARC")
+            .unwrap()
+            .satisfied_by(&m));
+        assert!(Requirement::parse("HasTdp == true")
+            .unwrap()
+            .satisfied_by(&m));
         // Missing attribute never satisfies.
         assert!(!Requirement::parse("Disk >= 1").unwrap().satisfied_by(&m));
         // Type mismatch never satisfies.
-        assert!(!Requirement::parse("Memory == big").unwrap().satisfied_by(&m));
+        assert!(!Requirement::parse("Memory == big")
+            .unwrap()
+            .satisfied_by(&m));
     }
 
     #[test]
     fn symmetric_match() {
-        let job = ClassAd::new().with_int("ImageSize", 100).require("Memory >= 512");
+        let job = ClassAd::new()
+            .with_int("ImageSize", 100)
+            .require("Memory >= 512");
         let m_ok = machine(1024, "X86_64");
         let m_small = machine(256, "X86_64");
         assert!(job.matches(&m_ok));
@@ -255,7 +276,9 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let ad = machine(512, "X86_64").require("ImageSize <= 50").rank_by("Prio");
+        let ad = machine(512, "X86_64")
+            .require("ImageSize <= 50")
+            .rank_by("Prio");
         let json = serde_json::to_string(&ad).unwrap();
         let back: ClassAd = serde_json::from_str(&json).unwrap();
         assert_eq!(back, ad);

@@ -58,7 +58,11 @@ impl Master {
                 }
             })
             .expect("spawn master monitor");
-        Master { restarts, stop, monitor: Some(monitor) }
+        Master {
+            restarts,
+            stop,
+            monitor: Some(monitor),
+        }
     }
 
     /// How many times the supervised daemon has been restarted.

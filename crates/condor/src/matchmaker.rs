@@ -57,7 +57,12 @@ impl Matchmaker {
                 }
             })
             .map_err(|e| TdpError::Substrate(format!("spawn matchmaker: {e}")))?;
-        Ok(Matchmaker { addr, net: net.clone(), machines, accept_thread: Some(accept_thread) })
+        Ok(Matchmaker {
+            addr,
+            net: net.clone(),
+            machines,
+            accept_thread: Some(accept_thread),
+        })
     }
 
     pub fn addr(&self) -> Addr {
@@ -66,7 +71,11 @@ impl Matchmaker {
 
     /// Registered machine names with availability (tests/diagnostics).
     pub fn machines(&self) -> Vec<(String, bool)> {
-        self.machines.lock().iter().map(|(n, e)| (n.clone(), e.available)).collect()
+        self.machines
+            .lock()
+            .iter()
+            .map(|(n, e)| (n.clone(), e.available))
+            .collect()
     }
 
     /// Stop accepting connections.
@@ -93,10 +102,21 @@ impl Drop for Matchmaker {
 /// determinism).
 fn handle(machines: &Mutex<BTreeMap<String, MachineEntry>>, msg: MmMsg) -> MmMsg {
     match msg {
-        MmMsg::RegisterMachine { name, host, startd, ad } => {
-            machines
-                .lock()
-                .insert(name, MachineEntry { host, startd, ad, available: true });
+        MmMsg::RegisterMachine {
+            name,
+            host,
+            startd,
+            ad,
+        } => {
+            machines.lock().insert(
+                name,
+                MachineEntry {
+                    host,
+                    startd,
+                    ad,
+                    available: true,
+                },
+            );
             MmMsg::Ack
         }
         MmMsg::UpdateMachine { name, available } => {
@@ -113,10 +133,10 @@ fn handle(machines: &Mutex<BTreeMap<String, MachineEntry>>, msg: MmMsg) -> MmMsg
             let machines = machines.lock();
             let best = machines
                 .iter()
-                .filter(|(name, e)| {
-                    e.available && !exclude.contains(name) && job_ad.matches(&e.ad)
-                })
-                .max_by_key(|(name, e)| (job_ad.rank_of(&e.ad), std::cmp::Reverse((*name).clone())));
+                .filter(|(name, e)| e.available && !exclude.contains(name) && job_ad.matches(&e.ad))
+                .max_by_key(|(name, e)| {
+                    (job_ad.rank_of(&e.ad), std::cmp::Reverse((*name).clone()))
+                });
             match best {
                 Some((name, e)) => MmMsg::MatchFound {
                     name: name.clone(),
@@ -127,9 +147,13 @@ fn handle(machines: &Mutex<BTreeMap<String, MachineEntry>>, msg: MmMsg) -> MmMsg
                 None => MmMsg::NoMatch,
             }
         }
-        MmMsg::QueryMachines => {
-            MmMsg::Machines(machines.lock().iter().map(|(n, e)| (n.clone(), e.available)).collect())
-        }
+        MmMsg::QueryMachines => MmMsg::Machines(
+            machines
+                .lock()
+                .iter()
+                .map(|(n, e)| (n.clone(), e.available))
+                .collect(),
+        ),
         other => {
             // Replies arriving as requests: protocol misuse; answer Ack
             // so the session stays alive for diagnostics.
@@ -156,7 +180,9 @@ mod tests {
             name: name.into(),
             host: HostId(1),
             startd: Addr::new(HostId(1), 9620),
-            ad: ClassAd::new().with_int("Memory", mem).with_bool("HasTdp", true),
+            ad: ClassAd::new()
+                .with_int("Memory", mem)
+                .with_bool("HasTdp", true),
         }
     }
 
@@ -166,18 +192,40 @@ mod tests {
         let cm = net.add_host();
         let client = net.add_host();
         let mm = Matchmaker::start(&net, cm).unwrap();
-        assert!(matches!(ask(&net, client, mm.addr(), reg("m1", 256)), MmMsg::Ack));
-        assert!(matches!(ask(&net, client, mm.addr(), reg("m2", 2048)), MmMsg::Ack));
+        assert!(matches!(
+            ask(&net, client, mm.addr(), reg("m1", 256)),
+            MmMsg::Ack
+        ));
+        assert!(matches!(
+            ask(&net, client, mm.addr(), reg("m2", 2048)),
+            MmMsg::Ack
+        ));
         // Job needing lots of memory matches only m2.
         let job = ClassAd::new().require("Memory >= 1024");
-        match ask(&net, client, mm.addr(), MmMsg::Negotiate { job_ad: job, exclude: vec![] }) {
+        match ask(
+            &net,
+            client,
+            mm.addr(),
+            MmMsg::Negotiate {
+                job_ad: job,
+                exclude: vec![],
+            },
+        ) {
             MmMsg::MatchFound { name, .. } => assert_eq!(name, "m2"),
             other => panic!("expected match, got {other:?}"),
         }
         // Impossible job: no match.
         let job = ClassAd::new().require("Memory >= 99999");
         assert!(matches!(
-            ask(&net, client, mm.addr(), MmMsg::Negotiate { job_ad: job, exclude: vec![] }),
+            ask(
+                &net,
+                client,
+                mm.addr(),
+                MmMsg::Negotiate {
+                    job_ad: job,
+                    exclude: vec![]
+                }
+            ),
             MmMsg::NoMatch
         ));
     }
@@ -191,7 +239,15 @@ mod tests {
         ask(&net, client, mm.addr(), reg("small", 128));
         ask(&net, client, mm.addr(), reg("big", 4096));
         let job = ClassAd::new().rank_by("Memory");
-        match ask(&net, client, mm.addr(), MmMsg::Negotiate { job_ad: job, exclude: vec![] }) {
+        match ask(
+            &net,
+            client,
+            mm.addr(),
+            MmMsg::Negotiate {
+                job_ad: job,
+                exclude: vec![],
+            },
+        ) {
             MmMsg::MatchFound { name, .. } => assert_eq!(name, "big"),
             other => panic!("{other:?}"),
         }
@@ -211,16 +267,43 @@ mod tests {
             &net,
             client,
             mm.addr(),
-            MmMsg::Negotiate { job_ad: job.clone(), exclude: vec!["m1".into()] },
+            MmMsg::Negotiate {
+                job_ad: job.clone(),
+                exclude: vec!["m1".into()],
+            },
         ) {
             MmMsg::MatchFound { name, .. } => assert_eq!(name, "m2"),
             other => panic!("{other:?}"),
         }
         // Mark both busy -> no match.
-        ask(&net, client, mm.addr(), MmMsg::UpdateMachine { name: "m1".into(), available: false });
-        ask(&net, client, mm.addr(), MmMsg::UpdateMachine { name: "m2".into(), available: false });
+        ask(
+            &net,
+            client,
+            mm.addr(),
+            MmMsg::UpdateMachine {
+                name: "m1".into(),
+                available: false,
+            },
+        );
+        ask(
+            &net,
+            client,
+            mm.addr(),
+            MmMsg::UpdateMachine {
+                name: "m2".into(),
+                available: false,
+            },
+        );
         assert!(matches!(
-            ask(&net, client, mm.addr(), MmMsg::Negotiate { job_ad: job, exclude: vec![] }),
+            ask(
+                &net,
+                client,
+                mm.addr(),
+                MmMsg::Negotiate {
+                    job_ad: job,
+                    exclude: vec![]
+                }
+            ),
             MmMsg::NoMatch
         ));
     }
@@ -233,7 +316,12 @@ mod tests {
         let mm = Matchmaker::start(&net, cm).unwrap();
         ask(&net, client, mm.addr(), reg("m1", 512));
         assert_eq!(mm.machines().len(), 1);
-        ask(&net, client, mm.addr(), MmMsg::UnregisterMachine { name: "m1".into() });
+        ask(
+            &net,
+            client,
+            mm.addr(),
+            MmMsg::UnregisterMachine { name: "m1".into() },
+        );
         assert_eq!(mm.machines().len(), 0);
     }
 
@@ -249,7 +337,10 @@ mod tests {
             &net,
             client,
             mm.addr(),
-            MmMsg::Negotiate { job_ad: ClassAd::new(), exclude: vec![] },
+            MmMsg::Negotiate {
+                job_ad: ClassAd::new(),
+                exclude: vec![],
+            },
         ) {
             MmMsg::MatchFound { name, .. } => assert_eq!(name, "alpha"),
             other => panic!("{other:?}"),

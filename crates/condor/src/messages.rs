@@ -13,16 +13,29 @@ use tdp_proto::{Addr, HostId, JobId, TdpError, TdpResult};
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum MmMsg {
     /// startd → matchmaker: advertise a machine.
-    RegisterMachine { name: String, host: HostId, startd: Addr, ad: ClassAd },
+    RegisterMachine {
+        name: String,
+        host: HostId,
+        startd: Addr,
+        ad: ClassAd,
+    },
     /// startd → matchmaker: update availability.
     UpdateMachine { name: String, available: bool },
     /// startd → matchmaker: leaving the pool.
     UnregisterMachine { name: String },
     /// schedd → matchmaker: find a machine for this job ad, excluding
     /// the named machines (already claimed for the same MPI job).
-    Negotiate { job_ad: ClassAd, exclude: Vec<String> },
+    Negotiate {
+        job_ad: ClassAd,
+        exclude: Vec<String>,
+    },
     /// matchmaker → schedd.
-    MatchFound { name: String, host: HostId, startd: Addr, ad: ClassAd },
+    MatchFound {
+        name: String,
+        host: HostId,
+        startd: Addr,
+        ad: ClassAd,
+    },
     /// matchmaker → schedd.
     NoMatch,
     /// Acknowledgement for register/update/unregister.
@@ -60,7 +73,10 @@ pub enum ClaimMsg {
     ClaimRejected { reason: String },
     /// schedd → startd: run this job under the claim. (Boxed: the
     /// details dwarf the other variants.)
-    ActivateClaim { claim_id: u64, details: Box<JobDetails> },
+    ActivateClaim {
+        claim_id: u64,
+        details: Box<JobDetails>,
+    },
     /// startd → schedd: starter launched.
     Activated,
     /// schedd → startd: give the machine back.
@@ -73,26 +89,49 @@ pub enum ClaimMsg {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum ShadowMsg {
     /// Read a file on the submit machine.
-    FetchFile { path: String },
-    FileData { path: String, data: Vec<u8> },
-    FileError { path: String, error: String },
+    FetchFile {
+        path: String,
+    },
+    FileData {
+        path: String,
+        data: Vec<u8>,
+    },
+    FileError {
+        path: String,
+        error: String,
+    },
     /// Write a file on the submit machine (output staging).
-    StoreFile { path: String, data: Vec<u8> },
+    StoreFile {
+        path: String,
+        data: Vec<u8>,
+    },
     StoreOk,
     /// Job status change, as an attribute-style string.
-    StatusUpdate { job: JobId, rank: u32, status: String },
+    StatusUpdate {
+        job: JobId,
+        rank: u32,
+        status: String,
+    },
     /// Terminal report.
-    JobDone { job: JobId, rank: u32, status: String },
+    JobDone {
+        job: JobId,
+        rank: u32,
+        status: String,
+    },
     /// The starter could not run this rank at all (staging failure,
     /// missing executable, dead tool…). The schedd may requeue.
-    RankFailed { job: JobId, rank: u32, error: String },
+    RankFailed {
+        job: JobId,
+        rank: u32,
+        error: String,
+    },
     Ack,
 }
 
 /// Send one JSON message as one chunk.
 pub fn send_json<T: Serialize>(conn: &Conn, msg: &T) -> TdpResult<()> {
-    let data = serde_json::to_vec(msg)
-        .map_err(|e| TdpError::Protocol(format!("json encode: {e}")))?;
+    let data =
+        serde_json::to_vec(msg).map_err(|e| TdpError::Protocol(format!("json encode: {e}")))?;
     conn.send(&data)
 }
 
@@ -137,9 +176,21 @@ mod tests {
     fn claim_and_shadow_msgs_roundtrip() {
         let (a, mut b) = Conn::pair();
         send_json(&a, &ClaimMsg::RequestClaim { job: JobId(1) }).unwrap();
-        assert!(matches!(recv_json::<ClaimMsg>(&mut b).unwrap(), ClaimMsg::RequestClaim { .. }));
-        send_json(&a, &ShadowMsg::FetchFile { path: "infile".into() }).unwrap();
-        assert!(matches!(recv_json::<ShadowMsg>(&mut b).unwrap(), ShadowMsg::FetchFile { .. }));
+        assert!(matches!(
+            recv_json::<ClaimMsg>(&mut b).unwrap(),
+            ClaimMsg::RequestClaim { .. }
+        ));
+        send_json(
+            &a,
+            &ShadowMsg::FetchFile {
+                path: "infile".into(),
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            recv_json::<ShadowMsg>(&mut b).unwrap(),
+            ShadowMsg::FetchFile { .. }
+        ));
     }
 
     #[test]

@@ -81,10 +81,13 @@ impl Schedd {
     /// per-job scheduling thread negotiates, claims and activates.
     pub fn submit(&self, submit: SubmitDescription) -> JobId {
         let job = JobId(self.inner.next_job.fetch_add(1, Ordering::SeqCst));
-        self.inner
-            .jobs
-            .lock()
-            .insert(job, JobRecord { state: JobState::Idle, shadow: None });
+        self.inner.jobs.lock().insert(
+            job,
+            JobRecord {
+                state: JobState::Idle,
+                shadow: None,
+            },
+        );
         let inner = self.inner.clone();
         thread::Builder::new()
             .name(format!("condor-schedd-{job}"))
@@ -116,15 +119,24 @@ impl Schedd {
 
     /// `condor_q`: every job in the queue with its state, ordered by id.
     pub fn condor_q(&self) -> Vec<(JobId, JobState)> {
-        let mut v: Vec<(JobId, JobState)> =
-            self.inner.jobs.lock().iter().map(|(j, r)| (*j, r.state.clone())).collect();
+        let mut v: Vec<(JobId, JobState)> = self
+            .inner
+            .jobs
+            .lock()
+            .iter()
+            .map(|(j, r)| (*j, r.state.clone()))
+            .collect();
         v.sort_by_key(|(j, _)| *j);
         v
     }
 
     /// The job's shadow (present once scheduling started).
     pub fn shadow_of(&self, job: JobId) -> Option<Arc<Shadow>> {
-        self.inner.jobs.lock().get(&job).and_then(|r| r.shadow.clone())
+        self.inner
+            .jobs
+            .lock()
+            .get(&job)
+            .and_then(|r| r.shadow.clone())
     }
 
     /// Block until the job completes or fails.
@@ -135,9 +147,7 @@ impl Schedd {
             match jobs.get(&job) {
                 None => return Err(TdpError::Substrate(format!("unknown job {job}"))),
                 Some(rec) => match &rec.state {
-                    JobState::Completed(_) | JobState::Failed(_) => {
-                        return Ok(rec.state.clone())
-                    }
+                    JobState::Completed(_) | JobState::Failed(_) => return Ok(rec.state.clone()),
                     _ => {}
                 },
             }
@@ -181,9 +191,11 @@ fn schedule_job(inner: &Arc<ScheddInner>, job: JobId, submit: SubmitDescription)
                 // complete the allocation" — the startd may reject.
                 let _ = host;
                 match try_claim(inner, job, startd) {
-                    Ok((conn, claim_id)) => {
-                        claims.push(Claim { machine: name, conn, claim_id })
-                    }
+                    Ok((conn, claim_id)) => claims.push(Claim {
+                        machine: name,
+                        conn,
+                        claim_id,
+                    }),
                     Err(_) => thread::sleep(Duration::from_millis(10)),
                 }
             }
@@ -283,7 +295,11 @@ fn schedule_job(inner: &Arc<ScheddInner>, job: JobId, submit: SubmitDescription)
                                     Some((name, _host, startd)) => {
                                         match try_claim(inner, job, startd) {
                                             Ok((conn, claim_id)) => {
-                                                break Claim { machine: name, conn, claim_id }
+                                                break Claim {
+                                                    machine: name,
+                                                    conn,
+                                                    claim_id,
+                                                }
                                             }
                                             Err(_) => thread::sleep(Duration::from_millis(10)),
                                         }
@@ -324,7 +340,11 @@ fn schedule_job(inner: &Arc<ScheddInner>, job: JobId, submit: SubmitDescription)
                     match negotiate(inner, &submit, avoid.clone())? {
                         Some((name, _host, startd)) => match try_claim(inner, job, startd) {
                             Ok((conn, claim_id)) => {
-                                break Claim { machine: name, conn, claim_id }
+                                break Claim {
+                                    machine: name,
+                                    conn,
+                                    claim_id,
+                                }
                             }
                             Err(_) => thread::sleep(Duration::from_millis(10)),
                         },
@@ -360,19 +380,25 @@ fn negotiate(
     exclude: Vec<String>,
 ) -> TdpResult<Option<(String, HostId, Addr)>> {
     let mut conn = inner.world.net().connect(inner.submit_host, inner.mm)?;
-    send_json(&conn, &MmMsg::Negotiate { job_ad: submit.job_ad(), exclude })?;
+    send_json(
+        &conn,
+        &MmMsg::Negotiate {
+            job_ad: submit.job_ad(),
+            exclude,
+        },
+    )?;
     match recv_json_timeout::<MmMsg>(&mut conn, Duration::from_secs(5))? {
-        MmMsg::MatchFound { name, host, startd, .. } => Ok(Some((name, host, startd))),
+        MmMsg::MatchFound {
+            name, host, startd, ..
+        } => Ok(Some((name, host, startd))),
         MmMsg::NoMatch => Ok(None),
-        other => Err(TdpError::Protocol(format!("bad negotiation reply {other:?}"))),
+        other => Err(TdpError::Protocol(format!(
+            "bad negotiation reply {other:?}"
+        ))),
     }
 }
 
-fn try_claim(
-    inner: &ScheddInner,
-    job: JobId,
-    startd: Addr,
-) -> TdpResult<(tdp_netsim::Conn, u64)> {
+fn try_claim(inner: &ScheddInner, job: JobId, startd: Addr) -> TdpResult<(tdp_netsim::Conn, u64)> {
     let mut conn = inner.world.net().connect(inner.submit_host, startd)?;
     send_json(&conn, &ClaimMsg::RequestClaim { job })?;
     match recv_json_timeout::<ClaimMsg>(&mut conn, Duration::from_secs(5))? {
@@ -383,7 +409,13 @@ fn try_claim(
 }
 
 fn activate(claim: &mut Claim, details: JobDetails) -> TdpResult<()> {
-    send_json(&claim.conn, &ClaimMsg::ActivateClaim { claim_id: claim.claim_id, details: Box::new(details) })?;
+    send_json(
+        &claim.conn,
+        &ClaimMsg::ActivateClaim {
+            claim_id: claim.claim_id,
+            details: Box::new(details),
+        },
+    )?;
     match recv_json_timeout::<ClaimMsg>(&mut claim.conn, Duration::from_secs(5))? {
         ClaimMsg::Activated => Ok(()),
         ClaimMsg::ClaimRejected { reason } => Err(TdpError::Substrate(reason)),
@@ -393,6 +425,11 @@ fn activate(claim: &mut Claim, details: JobDetails) -> TdpResult<()> {
 
 fn release_claims(claims: &mut Vec<Claim>) {
     for c in claims.drain(..) {
-        let _ = send_json(&c.conn, &ClaimMsg::ReleaseClaim { claim_id: c.claim_id });
+        let _ = send_json(
+            &c.conn,
+            &ClaimMsg::ReleaseClaim {
+                claim_id: c.claim_id,
+            },
+        );
     }
 }

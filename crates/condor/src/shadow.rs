@@ -68,7 +68,12 @@ impl Shadow {
                 }
             })
             .map_err(|e| TdpError::Substrate(format!("spawn shadow: {e}")))?;
-        Ok(Shadow { job, addr, world: world.clone(), state })
+        Ok(Shadow {
+            job,
+            addr,
+            world: world.clone(),
+            state,
+        })
     }
 
     pub fn job(&self) -> JobId {
@@ -87,11 +92,7 @@ impl Shadow {
 
     /// Block until `ranks` ranks have reported terminal status; returns
     /// rank → status.
-    pub fn wait_done(
-        &self,
-        ranks: u32,
-        timeout: Duration,
-    ) -> TdpResult<HashMap<u32, ProcStatus>> {
+    pub fn wait_done(&self, ranks: u32, timeout: Duration) -> TdpResult<HashMap<u32, ProcStatus>> {
         let deadline = Instant::now() + timeout;
         let (lock, cv) = &*self.state;
         let mut s = lock.lock();
@@ -151,7 +152,10 @@ fn serve(
     match msg {
         ShadowMsg::FetchFile { path } => match world.os().fs().read_file(submit_host, &path) {
             Ok(data) => ShadowMsg::FileData { path, data },
-            Err(e) => ShadowMsg::FileError { path, error: e.to_string() },
+            Err(e) => ShadowMsg::FileError {
+                path,
+                error: e.to_string(),
+            },
         },
         ShadowMsg::StoreFile { path, data } => {
             world.os().fs().write_file(submit_host, &path, &data);
@@ -210,12 +214,26 @@ mod tests {
         world.os().fs().write_file(submit, "infile", b"input data");
         let shadow = Shadow::start(&world, submit, JobId(1)).unwrap();
         // Fetch.
-        match ask(&world, exec, shadow.addr(), ShadowMsg::FetchFile { path: "infile".into() }) {
+        match ask(
+            &world,
+            exec,
+            shadow.addr(),
+            ShadowMsg::FetchFile {
+                path: "infile".into(),
+            },
+        ) {
             ShadowMsg::FileData { data, .. } => assert_eq!(data, b"input data"),
             other => panic!("{other:?}"),
         }
         // Missing file.
-        match ask(&world, exec, shadow.addr(), ShadowMsg::FetchFile { path: "ghost".into() }) {
+        match ask(
+            &world,
+            exec,
+            shadow.addr(),
+            ShadowMsg::FetchFile {
+                path: "ghost".into(),
+            },
+        ) {
             ShadowMsg::FileError { .. } => {}
             other => panic!("{other:?}"),
         }
@@ -224,9 +242,15 @@ mod tests {
             &world,
             exec,
             shadow.addr(),
-            ShadowMsg::StoreFile { path: "outfile".into(), data: b"results".to_vec() },
+            ShadowMsg::StoreFile {
+                path: "outfile".into(),
+                data: b"results".to_vec(),
+            },
         );
-        assert_eq!(world.os().fs().read_file(submit, "outfile").unwrap(), b"results");
+        assert_eq!(
+            world.os().fs().read_file(submit, "outfile").unwrap(),
+            b"results"
+        );
     }
 
     #[test]
@@ -239,7 +263,11 @@ mod tests {
             &world,
             exec,
             shadow.addr(),
-            ShadowMsg::StatusUpdate { job: JobId(2), rank: 0, status: "running".into() },
+            ShadowMsg::StatusUpdate {
+                job: JobId(2),
+                rank: 0,
+                status: "running".into(),
+            },
         );
         assert_eq!(shadow.status_of(0), Some(ProcStatus::Running));
         assert_eq!(shadow.status_of(1), None);
@@ -248,7 +276,11 @@ mod tests {
             &world,
             exec,
             shadow.addr(),
-            ShadowMsg::JobDone { job: JobId(2), rank: 0, status: "exited:0".into() },
+            ShadowMsg::JobDone {
+                job: JobId(2),
+                rank: 0,
+                status: "exited:0".into(),
+            },
         );
         let done = shadow.wait_done(1, T).unwrap();
         assert_eq!(done[&0], ProcStatus::Exited(0));

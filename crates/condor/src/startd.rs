@@ -56,7 +56,15 @@ impl Startd {
 
         // Register with the matchmaker.
         let mut conn = world.net().connect(host, mm)?;
-        send_json(&conn, &MmMsg::RegisterMachine { name, host, startd: addr, ad })?;
+        send_json(
+            &conn,
+            &MmMsg::RegisterMachine {
+                name,
+                host,
+                startd: addr,
+                ad,
+            },
+        )?;
         let _: MmMsg = recv_json_timeout(&mut conn, Duration::from_secs(5))?;
 
         let inner2 = inner.clone();
@@ -105,10 +113,17 @@ impl Startd {
         self.inner.world.net().unbind(self.addr);
         // Tell the matchmaker the machine is gone, as its ad would time
         // out in real Condor.
-        if let Ok(conn) = self.inner.world.net().connect(self.inner.host, self.inner.mm) {
+        if let Ok(conn) = self
+            .inner
+            .world
+            .net()
+            .connect(self.inner.host, self.inner.mm)
+        {
             let _ = send_json(
                 &conn,
-                &MmMsg::UnregisterMachine { name: self.inner.name.clone() },
+                &MmMsg::UnregisterMachine {
+                    name: self.inner.name.clone(),
+                },
             );
         }
     }
@@ -159,7 +174,9 @@ impl StartdInner {
         match msg {
             ClaimMsg::RequestClaim { .. } => {
                 if self.busy.swap(true, Ordering::SeqCst) {
-                    ClaimMsg::ClaimRejected { reason: "machine busy".into() }
+                    ClaimMsg::ClaimRejected {
+                        reason: "machine busy".into(),
+                    }
                 } else {
                     let id = self.next_claim.fetch_add(1, Ordering::SeqCst);
                     *self.claim.lock() = Some(id);
@@ -170,7 +187,9 @@ impl StartdInner {
             ClaimMsg::ActivateClaim { claim_id, details } => {
                 let details = *details;
                 if *self.claim.lock() != Some(claim_id) {
-                    return ClaimMsg::ClaimRejected { reason: "unknown claim".into() };
+                    return ClaimMsg::ClaimRejected {
+                        reason: "unknown claim".into(),
+                    };
                 }
                 // Spawn the starter; when it finishes, free the machine.
                 let me = self.clone();
@@ -210,7 +229,9 @@ impl StartdInner {
             }
             other => {
                 let _ = other;
-                ClaimMsg::ClaimRejected { reason: "unexpected message".into() }
+                ClaimMsg::ClaimRejected {
+                    reason: "unexpected message".into(),
+                }
             }
         }
     }
@@ -219,7 +240,10 @@ impl StartdInner {
         if let Ok(mut conn) = self.world.net().connect(self.host, self.mm) {
             let _ = send_json(
                 &conn,
-                &MmMsg::UpdateMachine { name: self.name.clone(), available },
+                &MmMsg::UpdateMachine {
+                    name: self.name.clone(),
+                    available,
+                },
             );
             let _ = recv_json_timeout::<MmMsg>(&mut conn, Duration::from_secs(2));
         }

@@ -41,14 +41,24 @@ pub fn run_starter_observed(
     // filesystem layer; plain data files take the faithful
     // remote-syscall path through the shadow.
     if submit.transfer_files && !world.os().fs().exists(host, &submit.executable) {
-        world.os().fs().stage(details.submit_host, &submit.executable, host, &submit.executable)?;
+        world.os().fs().stage(
+            details.submit_host,
+            &submit.executable,
+            host,
+            &submit.executable,
+        )?;
     }
     for f in &submit.transfer_input_files {
         if world.os().fs().exists(host, f) {
             continue;
         }
         // Prefer the executable-capable path; fall back to shadow I/O.
-        if world.os().fs().stage(details.submit_host, f, host, f).is_err() {
+        if world
+            .os()
+            .fs()
+            .stage(details.submit_host, f, host, f)
+            .is_err()
+        {
             let data = fetch_file(&mut shadow, f)?;
             world.os().fs().write_file(host, f, &data);
         }
@@ -90,7 +100,10 @@ pub fn run_starter_observed(
     if submit.universe == Universe::Standard {
         // Standard universe: the job links condor_syscall_lib and finds
         // its shadow through the environment (§4.1 remote syscalls).
-        app = app.env_var(crate::syscall_lib::SHADOW_ENV, details.shadow.to_attr_value());
+        app = app.env_var(
+            crate::syscall_lib::SHADOW_ENV,
+            details.shadow.to_attr_value(),
+        );
     }
     if submit.suspend_job_at_exec {
         app = app.paused();
@@ -217,7 +230,12 @@ fn report_status(conn: &Conn, details: &JobDetails, status: ProcStatus) -> TdpRe
 }
 
 fn fetch_file(shadow: &mut Conn, path: &str) -> TdpResult<Vec<u8>> {
-    send_json(shadow, &ShadowMsg::FetchFile { path: path.to_string() })?;
+    send_json(
+        shadow,
+        &ShadowMsg::FetchFile {
+            path: path.to_string(),
+        },
+    )?;
     loop {
         match recv_json_timeout::<ShadowMsg>(shadow, Duration::from_secs(10))? {
             ShadowMsg::FileData { data, .. } => return Ok(data),
@@ -225,18 +243,32 @@ fn fetch_file(shadow: &mut Conn, path: &str) -> TdpResult<Vec<u8>> {
                 return Err(TdpError::Substrate(format!("fetch {path}: {error}")))
             }
             ShadowMsg::Ack => continue, // stale status ack
-            other => return Err(TdpError::Protocol(format!("unexpected shadow reply {other:?}"))),
+            other => {
+                return Err(TdpError::Protocol(format!(
+                    "unexpected shadow reply {other:?}"
+                )))
+            }
         }
     }
 }
 
 fn store_file(shadow: &mut Conn, path: &str, data: &[u8]) -> TdpResult<()> {
-    send_json(shadow, &ShadowMsg::StoreFile { path: path.to_string(), data: data.to_vec() })?;
+    send_json(
+        shadow,
+        &ShadowMsg::StoreFile {
+            path: path.to_string(),
+            data: data.to_vec(),
+        },
+    )?;
     loop {
         match recv_json_timeout::<ShadowMsg>(shadow, Duration::from_secs(10))? {
             ShadowMsg::StoreOk => return Ok(()),
             ShadowMsg::Ack => continue,
-            other => return Err(TdpError::Protocol(format!("unexpected shadow reply {other:?}"))),
+            other => {
+                return Err(TdpError::Protocol(format!(
+                    "unexpected shadow reply {other:?}"
+                )))
+            }
         }
     }
 }

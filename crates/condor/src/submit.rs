@@ -183,8 +183,7 @@ impl SubmitDescription {
                 "transfer_input_files" | "tranfer_input_files" => {
                     // The paper's Figure 5B itself contains the typo
                     // "tranfer_input_files"; accept both spellings.
-                    d.transfer_input_files =
-                        value.split(',').map(|s| unquote(s.trim())).collect();
+                    d.transfer_input_files = value.split(',').map(|s| unquote(s.trim())).collect();
                 }
                 "machine_count" => {
                     d.machine_count = value.parse().map_err(|_| {
@@ -192,8 +191,7 @@ impl SubmitDescription {
                     })?;
                 }
                 "requirements" => {
-                    d.requirements =
-                        value.split("&&").map(|s| s.trim().to_string()).collect();
+                    d.requirements = value.split("&&").map(|s| s.trim().to_string()).collect();
                 }
                 "rank" => d.rank = Some(unquote(value)),
                 "+suspendjobatexec" => {
@@ -225,11 +223,17 @@ impl SubmitDescription {
             return Err(TdpError::Substrate("submit file has no executable".into()));
         }
         if !queued {
-            return Err(TdpError::Substrate("submit file has no queue statement".into()));
+            return Err(TdpError::Substrate(
+                "submit file has no queue statement".into(),
+            ));
         }
         if let Some(cmd) = tool_cmd {
-            d.tool_daemon =
-                Some(ToolDaemonSpec { cmd, args: tool_args, output: tool_out, error: tool_err });
+            d.tool_daemon = Some(ToolDaemonSpec {
+                cmd,
+                args: tool_args,
+                output: tool_out,
+                error: tool_err,
+            });
         }
         Ok(d)
     }
@@ -358,9 +362,8 @@ queue
 
     #[test]
     fn comments_and_blank_lines_ignored() {
-        let d =
-            SubmitDescription::parse("# job\n\nexecutable = x\n  # indented comment\nqueue\n")
-                .unwrap();
+        let d = SubmitDescription::parse("# job\n\nexecutable = x\n  # indented comment\nqueue\n")
+            .unwrap();
         assert_eq!(d.executable, "x");
     }
 }

@@ -36,26 +36,32 @@ impl RemoteFs {
     /// process environment and connect. Errors when the job was not
     /// started in the Standard universe (no `CONDOR_SHADOW`).
     pub fn from_env(net: &Network, ctx: &ProcCtx) -> TdpResult<RemoteFs> {
-        let addr = ctx
-            .env(SHADOW_ENV)
-            .and_then(Addr::parse)
-            .ok_or_else(|| {
-                TdpError::Substrate(format!(
-                    "no {SHADOW_ENV} in the environment: not a standard-universe job"
-                ))
-            })?;
-        Ok(RemoteFs { conn: net.connect(ctx.host(), addr)? })
+        let addr = ctx.env(SHADOW_ENV).and_then(Addr::parse).ok_or_else(|| {
+            TdpError::Substrate(format!(
+                "no {SHADOW_ENV} in the environment: not a standard-universe job"
+            ))
+        })?;
+        Ok(RemoteFs {
+            conn: net.connect(ctx.host(), addr)?,
+        })
     }
 
     /// Remote `read(2)`-ish: fetch a whole file from the submit machine.
     pub fn read(&mut self, path: &str) -> TdpResult<Vec<u8>> {
-        send_json(&self.conn, &ShadowMsg::FetchFile { path: path.to_string() })?;
+        send_json(
+            &self.conn,
+            &ShadowMsg::FetchFile {
+                path: path.to_string(),
+            },
+        )?;
         match recv_json_timeout::<ShadowMsg>(&mut self.conn, Duration::from_secs(10))? {
             ShadowMsg::FileData { data, .. } => Ok(data),
             ShadowMsg::FileError { path, error } => {
                 Err(TdpError::Substrate(format!("remote read {path}: {error}")))
             }
-            other => Err(TdpError::Protocol(format!("unexpected shadow reply {other:?}"))),
+            other => Err(TdpError::Protocol(format!(
+                "unexpected shadow reply {other:?}"
+            ))),
         }
     }
 
@@ -63,11 +69,16 @@ impl RemoteFs {
     pub fn write(&mut self, path: &str, data: &[u8]) -> TdpResult<()> {
         send_json(
             &self.conn,
-            &ShadowMsg::StoreFile { path: path.to_string(), data: data.to_vec() },
+            &ShadowMsg::StoreFile {
+                path: path.to_string(),
+                data: data.to_vec(),
+            },
         )?;
         match recv_json_timeout::<ShadowMsg>(&mut self.conn, Duration::from_secs(10))? {
             ShadowMsg::StoreOk => Ok(()),
-            other => Err(TdpError::Protocol(format!("unexpected shadow reply {other:?}"))),
+            other => Err(TdpError::Protocol(format!(
+                "unexpected shadow reply {other:?}"
+            ))),
         }
     }
 
@@ -76,11 +87,17 @@ impl RemoteFs {
     pub fn report(&mut self, job: JobId, status: &str) -> TdpResult<()> {
         send_json(
             &self.conn,
-            &ShadowMsg::StatusUpdate { job, rank: 0, status: status.to_string() },
+            &ShadowMsg::StatusUpdate {
+                job,
+                rank: 0,
+                status: status.to_string(),
+            },
         )?;
         match recv_json_timeout::<ShadowMsg>(&mut self.conn, Duration::from_secs(10))? {
             ShadowMsg::Ack => Ok(()),
-            other => Err(TdpError::Protocol(format!("unexpected shadow reply {other:?}"))),
+            other => Err(TdpError::Protocol(format!(
+                "unexpected shadow reply {other:?}"
+            ))),
         }
     }
 }

@@ -45,7 +45,10 @@ fn vanilla_job_without_tool() {
     let world = World::new();
     let pool = CondorPool::build(&world, 2).unwrap();
     pool.install_everywhere("/bin/app", app_image());
-    world.os().fs().write_file(pool.submit_host(), "infile", b"hello condor");
+    world
+        .os()
+        .fs()
+        .write_file(pool.submit_host(), "infile", b"hello condor");
     let job = pool
         .submit_str(
             "universe = Vanilla\nexecutable = /bin/app\narguments = 3\ninput = infile\noutput = outfile\nqueue\n",
@@ -57,7 +60,11 @@ fn vanilla_job_without_tool() {
         other => panic!("job not completed: {other:?}"),
     }
     // Output staged back to the submit machine by the shadow.
-    let out = world.os().fs().read_file(pool.submit_host(), "outfile").unwrap();
+    let out = world
+        .os()
+        .fs()
+        .read_file(pool.submit_host(), "outfile")
+        .unwrap();
     assert_eq!(out, b"processed: hello condor");
 }
 
@@ -67,12 +74,18 @@ fn executable_staged_from_submit_host() {
     // machine before the run.
     let world = World::new();
     let pool = CondorPool::build(&world, 1).unwrap();
-    world.os().fs().install_exec(pool.submit_host(), "foo", app_image());
+    world
+        .os()
+        .fs()
+        .install_exec(pool.submit_host(), "foo", app_image());
     assert!(!world.os().fs().exists(pool.exec_hosts()[0], "foo"));
     let job = pool
         .submit_str("executable = foo\narguments = 1\ntransfer_files = always\nqueue\n")
         .unwrap();
-    assert!(matches!(pool.wait_job(job, T).unwrap(), JobState::Completed(_)));
+    assert!(matches!(
+        pool.wait_job(job, T).unwrap(),
+        JobState::Completed(_)
+    ));
     assert!(world.os().fs().exists(pool.exec_hosts()[0], "foo"));
 }
 
@@ -96,10 +109,20 @@ fn two_jobs_one_machine_run_sequentially() {
     let world = World::new();
     let pool = CondorPool::build(&world, 1).unwrap();
     pool.install_everywhere("/bin/app", app_image());
-    let j1 = pool.submit_str("executable = /bin/app\narguments = 5\nqueue\n").unwrap();
-    let j2 = pool.submit_str("executable = /bin/app\narguments = 5\nqueue\n").unwrap();
-    assert!(matches!(pool.wait_job(j1, T).unwrap(), JobState::Completed(_)));
-    assert!(matches!(pool.wait_job(j2, T).unwrap(), JobState::Completed(_)));
+    let j1 = pool
+        .submit_str("executable = /bin/app\narguments = 5\nqueue\n")
+        .unwrap();
+    let j2 = pool
+        .submit_str("executable = /bin/app\narguments = 5\nqueue\n")
+        .unwrap();
+    assert!(matches!(
+        pool.wait_job(j1, T).unwrap(),
+        JobState::Completed(_)
+    ));
+    assert!(matches!(
+        pool.wait_job(j2, T).unwrap(),
+        JobState::Completed(_)
+    ));
 }
 
 #[test]
@@ -111,7 +134,10 @@ fn jobs_spread_over_machines_by_rank() {
     let job = pool
         .submit_str("executable = /bin/app\nrank = MachineId\nqueue\n")
         .unwrap();
-    assert!(matches!(pool.wait_job(job, T).unwrap(), JobState::Completed(_)));
+    assert!(matches!(
+        pool.wait_job(job, T).unwrap(),
+        JobState::Completed(_)
+    ));
     // All machines available again afterwards.
     std::thread::sleep(Duration::from_millis(100));
     let machines = pool.matchmaker().machines();
@@ -127,9 +153,15 @@ fn parador_vanilla_universe() {
     let pool = CondorPool::build(&world, 2).unwrap();
     pool.install_everywhere("/bin/app", app_image());
     for h in pool.exec_hosts() {
-        world.os().fs().install_exec(*h, "paradynd", paradynd_image(world.clone()));
+        world
+            .os()
+            .fs()
+            .install_exec(*h, "paradynd", paradynd_image(world.clone()));
     }
-    world.os().fs().write_file(pool.submit_host(), "infile", b"tool run");
+    world
+        .os()
+        .fs()
+        .write_file(pool.submit_host(), "infile", b"tool run");
     // The Paradyn front-end is started first and its ports are written
     // into the submit file, exactly as in §4.3.
     let fe = ParadynFrontend::start(world.net(), pool.submit_host(), 2090, 2091).unwrap();
@@ -158,7 +190,10 @@ queue
     let daemons = fe.wait_for_daemons(1, T).unwrap();
     assert_eq!(daemons[0].symbols, vec!["main", "hot_loop", "io_wait"]);
     // The application is still suspended until the user hits run.
-    assert_eq!(world.os().status(daemons[0].pid).unwrap(), ProcStatus::Created);
+    assert_eq!(
+        world.os().status(daemons[0].pid).unwrap(),
+        ProcStatus::Created
+    );
     fe.run_all().unwrap();
 
     match pool.wait_job(job, T).unwrap() {
@@ -168,29 +203,50 @@ queue
 
     // Profiling data reached the front-end; the Consultant finds the
     // hotspot.
-    let b = PerformanceConsultant::default().search(&fe.samples()).unwrap();
+    let b = PerformanceConsultant::default()
+        .search(&fe.samples())
+        .unwrap();
     assert_eq!(b.symbol, "hot_loop");
 
     // Figure 6 ordering, captured by the TDP trace.
     let tr = world.trace();
-    tr.assert_order((Some("starter"), "tdp_init"), (Some("starter"), "tdp_create_process(/bin/app, paused)"));
-    tr.assert_order((Some("starter"), "tdp_create_process(/bin/app, paused)"), (Some("starter"), "tdp_create_process(paradynd, run)"));
-    tr.assert_order((Some("starter"), "tdp_create_process(paradynd, run)"), (Some("starter"), "tdp_put(pid)"));
+    tr.assert_order(
+        (Some("starter"), "tdp_init"),
+        (Some("starter"), "tdp_create_process(/bin/app, paused)"),
+    );
+    tr.assert_order(
+        (Some("starter"), "tdp_create_process(/bin/app, paused)"),
+        (Some("starter"), "tdp_create_process(paradynd, run)"),
+    );
+    tr.assert_order(
+        (Some("starter"), "tdp_create_process(paradynd, run)"),
+        (Some("starter"), "tdp_put(pid)"),
+    );
     tr.assert_order((None, "tdp_get(pid)"), (None, "tdp_attach"));
     tr.assert_order((None, "tdp_attach"), (None, "tdp_continue_process"));
 
     // Staged artifacts on the submit machine: job output, daemon output
     // files and the daemon's trace file.
     assert_eq!(
-        world.os().fs().read_file(pool.submit_host(), "outfile").unwrap(),
+        world
+            .os()
+            .fs()
+            .read_file(pool.submit_host(), "outfile")
+            .unwrap(),
         b"processed: tool run"
     );
     assert!(world.os().fs().exists(pool.submit_host(), "daemon.out"));
     assert!(world.os().fs().exists(pool.submit_host(), "daemon.err"));
     let traces = world.os().fs().list(pool.submit_host(), "paradynd");
     assert_eq!(traces.len(), 1, "daemon trace staged back: {traces:?}");
-    let trace_data = world.os().fs().read_file(pool.submit_host(), &traces[0]).unwrap();
-    assert!(String::from_utf8(trace_data).unwrap().contains("hot_loop count=20"));
+    let trace_data = world
+        .os()
+        .fs()
+        .read_file(pool.submit_host(), &traces[0])
+        .unwrap();
+    assert!(String::from_utf8(trace_data)
+        .unwrap()
+        .contains("hot_loop count=20"));
 }
 
 /// Parador, MPI universe: rank 0 first, paradynd per rank, staged
@@ -202,7 +258,10 @@ fn parador_mpi_universe() {
     let comm = MpiComm::new(3);
     pool.install_everywhere("ring", apps::ring(comm, 2, 25));
     for h in pool.exec_hosts() {
-        world.os().fs().install_exec(*h, "paradynd", paradynd_image(world.clone()));
+        world
+            .os()
+            .fs()
+            .install_exec(*h, "paradynd", paradynd_image(world.clone()));
     }
     let fe = ParadynFrontend::start(world.net(), pool.submit_host(), 2090, 2091).unwrap();
     let submit = format!(
@@ -225,7 +284,11 @@ queue
     let daemons = fe.wait_for_daemons(1, T).unwrap();
     assert_eq!(daemons.len(), 1);
     std::thread::sleep(Duration::from_millis(100));
-    assert_eq!(fe.daemons().len(), 1, "other ranks must wait for the run command");
+    assert_eq!(
+        fe.daemons().len(),
+        1,
+        "other ranks must wait for the run command"
+    );
 
     // The user issues run: remaining ranks are created, each with its
     // own auto-running paradynd.
@@ -236,7 +299,10 @@ queue
     match pool.wait_job(job, T).unwrap() {
         JobState::Completed(done) => {
             assert_eq!(done.len(), 3);
-            assert!(done.values().all(|st| *st == ProcStatus::Exited(0)), "{done:?}");
+            assert!(
+                done.values().all(|st| *st == ProcStatus::Exited(0)),
+                "{done:?}"
+            );
         }
         other => panic!("{other:?}"),
     }
@@ -313,17 +379,26 @@ fn master_restarts_crashed_startd() {
     startd.simulate_crash();
     let deadline = std::time::Instant::now() + T;
     while master.restart_count() == 0 {
-        assert!(std::time::Instant::now() < deadline, "master never restarted the startd");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "master never restarted the startd"
+        );
         std::thread::sleep(Duration::from_millis(10));
     }
     // The replacement re-registered with the matchmaker.
     let deadline = std::time::Instant::now() + T;
     loop {
         let machines = mm.machines();
-        if machines.iter().any(|(name, _)| name.contains(&format!("host{}", exec.0))) {
+        if machines
+            .iter()
+            .any(|(name, _)| name.contains(&format!("host{}", exec.0)))
+        {
             break;
         }
-        assert!(std::time::Instant::now() < deadline, "machine never re-registered");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "machine never re-registered"
+        );
         std::thread::sleep(Duration::from_millis(10));
     }
     master.shutdown();
@@ -334,7 +409,9 @@ fn condor_q_lists_queue_states() {
     let world = World::new();
     let pool = CondorPool::build(&world, 1).unwrap();
     pool.install_everywhere("/bin/app", app_image());
-    let j1 = pool.submit_str("executable = /bin/app\narguments = 1\nqueue\n").unwrap();
+    let j1 = pool
+        .submit_str("executable = /bin/app\narguments = 1\nqueue\n")
+        .unwrap();
     let j2 = pool
         .submit_str("executable = /bin/app\nrequirements = Memory >= 999999\nqueue\n")
         .unwrap();

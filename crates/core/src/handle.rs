@@ -151,7 +151,7 @@ impl TdpHandle {
                 ))
             })?,
         };
-        let mut lass = AttrClient::connect(world.net(), host, lass_addr)?;
+        let mut lass = world.attr_connect(host, lass_addr)?;
         lass.join(ctx)?;
         world.trace().record(actor, format!("tdp_init({ctx})"));
         Ok(TdpHandle {
@@ -210,21 +210,27 @@ impl TdpHandle {
     /// Blocking `tdp_put`.
     pub fn put(&mut self, key: &str, value: &str) -> TdpResult<()> {
         self.check_open()?;
-        self.world.trace().record(&self.actor, format!("tdp_put({key})"));
+        self.world
+            .trace()
+            .record(&self.actor, format!("tdp_put({key})"));
         self.lass.put(self.ctx, key, value)
     }
 
     /// Blocking `tdp_get`: parks this daemon until the attribute exists.
     pub fn get(&mut self, key: &str) -> TdpResult<String> {
         self.check_open()?;
-        self.world.trace().record(&self.actor, format!("tdp_get({key})"));
+        self.world
+            .trace()
+            .record(&self.actor, format!("tdp_get({key})"));
         self.lass.get(self.ctx, key)
     }
 
     /// Blocking get with a deadline.
     pub fn get_timeout(&mut self, key: &str, timeout: Duration) -> TdpResult<String> {
         self.check_open()?;
-        self.world.trace().record(&self.actor, format!("tdp_get({key})"));
+        self.world
+            .trace()
+            .record(&self.actor, format!("tdp_get({key})"));
         self.lass.get_timeout(self.ctx, key, timeout)
     }
 
@@ -257,11 +263,17 @@ impl TdpHandle {
         self.check_open()?;
         let token = self.next_token;
         self.next_token += 1;
-        self.world.trace().record(&self.actor, format!("tdp_async_get({key})"));
+        self.world
+            .trace()
+            .record(&self.actor, format!("tdp_async_get({key})"));
         self.lass.subscribe(self.ctx, key, token, false)?;
         self.callbacks.insert(
             token,
-            CallbackEntry { f: Box::new(callback), persistent: false, key: key.to_string() },
+            CallbackEntry {
+                f: Box::new(callback),
+                persistent: false,
+                key: key.to_string(),
+            },
         );
         Ok(token)
     }
@@ -278,11 +290,17 @@ impl TdpHandle {
         self.check_open()?;
         let token = self.next_token;
         self.next_token += 1;
-        self.world.trace().record(&self.actor, format!("tdp_async_put({key})"));
+        self.world
+            .trace()
+            .record(&self.actor, format!("tdp_async_put({key})"));
         self.lass.put(self.ctx, key, value)?;
         self.callbacks.insert(
             token,
-            CallbackEntry { f: Box::new(callback), persistent: false, key: key.to_string() },
+            CallbackEntry {
+                f: Box::new(callback),
+                persistent: false,
+                key: key.to_string(),
+            },
         );
         self.completions.push(PendingCompletion {
             token,
@@ -305,7 +323,11 @@ impl TdpHandle {
         self.lass.subscribe(self.ctx, key, token, false)?;
         self.callbacks.insert(
             token,
-            CallbackEntry { f: Box::new(callback), persistent: true, key: key.to_string() },
+            CallbackEntry {
+                f: Box::new(callback),
+                persistent: true,
+                key: key.to_string(),
+            },
         );
         Ok(token)
     }
@@ -346,7 +368,9 @@ impl TdpHandle {
             }
         }
         if ran > 0 {
-            self.world.trace().record(&self.actor, format!("tdp_service_event[{ran}]"));
+            self.world
+                .trace()
+                .record(&self.actor, format!("tdp_service_event[{ran}]"));
         }
         Ok(ran)
     }
@@ -408,12 +432,12 @@ impl TdpHandle {
     /// firewall blocks it, the RM's advertised proxy is used.
     pub fn connect_cass(&mut self, cass: Addr) -> TdpResult<()> {
         self.check_open()?;
-        let mut client = match AttrClient::connect(self.world.net(), self.host, cass) {
+        let mut client = match self.world.attr_connect(self.host, cass) {
             Ok(c) => c,
             Err(TdpError::BlockedByFirewall { .. }) => {
                 let proxy = Addr::parse(&self.get(names::PROXY_ADDR)?)
                     .ok_or_else(|| TdpError::Protocol("bad proxy_addr".into()))?;
-                AttrClient::connect_via_proxy(self.world.net(), self.host, proxy, cass)?
+                self.world.attr_connect_via_proxy(self.host, proxy, cass)?
             }
             Err(e) => return Err(e),
         };
@@ -421,7 +445,9 @@ impl TdpHandle {
         // Also join the framework-global context: cross-job data such
         // as tool front-end addresses lives there.
         client.join(ContextId::DEFAULT)?;
-        self.world.trace().record(&self.actor, format!("tdp_connect_cass({cass})"));
+        self.world
+            .trace()
+            .record(&self.actor, format!("tdp_connect_cass({cass})"));
         self.cass = Some(client);
         Ok(())
     }
@@ -435,7 +461,9 @@ impl TdpHandle {
     /// Put into the *central* space (visible to daemons on all hosts).
     pub fn put_central(&mut self, key: &str, value: &str) -> TdpResult<()> {
         self.check_open()?;
-        self.world.trace().record(&self.actor, format!("tdp_put_central({key})"));
+        self.world
+            .trace()
+            .record(&self.actor, format!("tdp_put_central({key})"));
         let ctx = self.ctx;
         self.cass_client()?.put(ctx, key, value)
     }
@@ -443,7 +471,9 @@ impl TdpHandle {
     /// Blocking get from the central space.
     pub fn get_central(&mut self, key: &str) -> TdpResult<String> {
         self.check_open()?;
-        self.world.trace().record(&self.actor, format!("tdp_get_central({key})"));
+        self.world
+            .trace()
+            .record(&self.actor, format!("tdp_get_central({key})"));
         let ctx = self.ctx;
         self.cass_client()?.get(ctx, key)
     }
@@ -460,14 +490,18 @@ impl TdpHandle {
     /// tool front-end's listener addresses.
     pub fn put_global(&mut self, key: &str, value: &str) -> TdpResult<()> {
         self.check_open()?;
-        self.world.trace().record(&self.actor, format!("tdp_put_global({key})"));
+        self.world
+            .trace()
+            .record(&self.actor, format!("tdp_put_global({key})"));
         self.cass_client()?.put(ContextId::DEFAULT, key, value)
     }
 
     /// Blocking get from the framework-global context of the CASS.
     pub fn get_global(&mut self, key: &str) -> TdpResult<String> {
         self.check_open()?;
-        self.world.trace().record(&self.actor, format!("tdp_get_global({key})"));
+        self.world
+            .trace()
+            .record(&self.actor, format!("tdp_get_global({key})"));
         self.cass_client()?.get(ContextId::DEFAULT, key)
     }
 
@@ -480,9 +514,10 @@ impl TdpHandle {
         self.check_open()?;
         let host = spec.host.unwrap_or(self.host);
         let mode = if spec.paused { "paused" } else { "run" };
-        self.world
-            .trace()
-            .record(&self.actor, format!("tdp_create_process({}, {mode})", spec.executable));
+        self.world.trace().record(
+            &self.actor,
+            format!("tdp_create_process({}, {mode})", spec.executable),
+        );
         let mut ps = ProcSpec::new(host, spec.executable)
             .args(spec.args)
             .stdin_bytes(spec.stdin)
@@ -491,14 +526,20 @@ impl TdpHandle {
         for (k, v) in spec.env {
             ps = ps.env_var(k, v);
         }
-        ps.start = if spec.paused { StartMode::Paused } else { StartMode::Run };
+        ps.start = if spec.paused {
+            StartMode::Paused
+        } else {
+            StartMode::Run
+        };
         self.world.os().spawn(ps)
     }
 
     /// `tdp_attach`: attach to a process for monitoring/instrumentation.
     pub fn attach(&mut self, pid: Pid) -> TdpResult<()> {
         self.check_open()?;
-        self.world.trace().record(&self.actor, format!("tdp_attach({pid})"));
+        self.world
+            .trace()
+            .record(&self.actor, format!("tdp_attach({pid})"));
         let h = self.world.os().attach(pid)?;
         self.traces.insert(pid, h);
         Ok(())
@@ -508,7 +549,9 @@ impl TdpHandle {
     pub fn detach(&mut self, pid: Pid) -> TdpResult<()> {
         self.check_open()?;
         self.traces.remove(&pid).ok_or(TdpError::NotTracer(pid))?;
-        self.world.trace().record(&self.actor, format!("tdp_detach({pid})"));
+        self.world
+            .trace()
+            .record(&self.actor, format!("tdp_detach({pid})"));
         Ok(())
     }
 
@@ -516,7 +559,9 @@ impl TdpHandle {
     /// a stopped one.
     pub fn continue_process(&mut self, pid: Pid) -> TdpResult<()> {
         self.check_open()?;
-        self.world.trace().record(&self.actor, format!("tdp_continue_process({pid})"));
+        self.world
+            .trace()
+            .record(&self.actor, format!("tdp_continue_process({pid})"));
         match self.traces.get(&pid) {
             Some(h) => h.cont(),
             None => self.world.os().continue_process(pid),
@@ -526,7 +571,9 @@ impl TdpHandle {
     /// Pause a running process.
     pub fn pause_process(&mut self, pid: Pid) -> TdpResult<()> {
         self.check_open()?;
-        self.world.trace().record(&self.actor, format!("tdp_pause_process({pid})"));
+        self.world
+            .trace()
+            .record(&self.actor, format!("tdp_pause_process({pid})"));
         match self.traces.get(&pid) {
             Some(h) => h.stop(),
             None => self.world.os().stop_process(pid),
@@ -536,7 +583,9 @@ impl TdpHandle {
     /// Kill a process.
     pub fn kill_process(&mut self, pid: Pid, sig: i32) -> TdpResult<()> {
         self.check_open()?;
-        self.world.trace().record(&self.actor, format!("tdp_kill({pid}, {sig})"));
+        self.world
+            .trace()
+            .record(&self.actor, format!("tdp_kill({pid}, {sig})"));
         self.world.os().kill(pid, sig)
     }
 
@@ -590,10 +639,7 @@ impl TdpHandle {
     }
 
     /// Subscribe to breakpoint hits (one symbol name per stop).
-    pub fn breakpoint_events(
-        &self,
-        pid: Pid,
-    ) -> TdpResult<crossbeam::channel::Receiver<String>> {
+    pub fn breakpoint_events(&self, pid: Pid) -> TdpResult<crossbeam::channel::Receiver<String>> {
         self.trace_of(pid)?.breakpoint_events()
     }
 
@@ -625,7 +671,8 @@ impl TdpHandle {
         self.world
             .trace()
             .record(&self.actor, format!("tdp_request({})", op.to_attr_value()));
-        self.lass.put(self.ctx, names::PROC_REQUEST, &op.to_attr_value())
+        self.lass
+            .put(self.ctx, names::PROC_REQUEST, &op.to_attr_value())
     }
 
     /// RM side: take (and clear) a pending RT request, if any.
@@ -661,7 +708,8 @@ impl TdpHandle {
     /// "places a value in the Attribute Space").
     pub fn publish_status(&mut self, status: ProcStatus) -> TdpResult<()> {
         self.check_open()?;
-        self.lass.put(self.ctx, names::AP_STATUS, &status.to_attr_value())
+        self.lass
+            .put(self.ctx, names::AP_STATUS, &status.to_attr_value())
     }
 
     /// Last published application status, if any.
@@ -687,7 +735,8 @@ impl TdpHandle {
             Err(TdpError::AttributeNotFound(_)) => 1,
             Err(e) => return Err(e),
         };
-        self.lass.put(self.ctx, names::HEARTBEAT, &next.to_string())?;
+        self.lass
+            .put(self.ctx, names::HEARTBEAT, &next.to_string())?;
         Ok(next)
     }
 
@@ -727,7 +776,9 @@ impl TdpHandle {
         self.check_open()?;
         let fe = Addr::parse(&self.get(names::TOOL_FRONTEND_ADDR)?)
             .ok_or_else(|| TdpError::Protocol("bad tool_frontend_addr".into()))?;
-        self.world.trace().record(&self.actor, format!("tdp_open_channel({fe})"));
+        self.world
+            .trace()
+            .record(&self.actor, format!("tdp_open_channel({fe})"));
         match self.world.net().connect(self.host, fe) {
             Ok(c) => Ok(c),
             Err(TdpError::BlockedByFirewall { .. }) => {
@@ -745,17 +796,12 @@ impl TdpHandle {
 
     /// Copy a file between hosts (tool configuration out to execution
     /// nodes; trace/summary files back after completion).
-    pub fn stage_file(
-        &mut self,
-        from: HostId,
-        src: &str,
-        to: HostId,
-        dst: &str,
-    ) -> TdpResult<()> {
+    pub fn stage_file(&mut self, from: HostId, src: &str, to: HostId, dst: &str) -> TdpResult<()> {
         self.check_open()?;
-        self.world
-            .trace()
-            .record(&self.actor, format!("tdp_stage({from}:{src} -> {to}:{dst})"));
+        self.world.trace().record(
+            &self.actor,
+            format!("tdp_stage({from}:{src} -> {to}:{dst})"),
+        );
         self.world.os().fs().stage(from, src, to, dst)
     }
 }

@@ -78,7 +78,7 @@ pub mod world;
 
 pub use handle::{Role, TdpCreate, TdpHandle, Token};
 pub use trace::{Trace, TraceEvent};
-pub use world::World;
+pub use world::{TransportMode, World};
 
 /// The well-known port each host's LASS listens on.
 pub const LASS_PORT: u16 = 7777;

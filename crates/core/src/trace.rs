@@ -37,7 +37,11 @@ impl Trace {
     pub fn record(&self, actor: &str, call: impl Into<String>) {
         let mut log = self.inner.lock();
         let seq = log.len();
-        log.push(TraceEvent { seq, actor: actor.to_string(), call: call.into() });
+        log.push(TraceEvent {
+            seq,
+            actor: actor.to_string(),
+            call: call.into(),
+        });
     }
 
     /// Snapshot of all events so far.
@@ -47,7 +51,12 @@ impl Trace {
 
     /// Events made by one actor, in order.
     pub fn by_actor(&self, actor: &str) -> Vec<TraceEvent> {
-        self.inner.lock().iter().filter(|e| e.actor == actor).cloned().collect()
+        self.inner
+            .lock()
+            .iter()
+            .filter(|e| e.actor == actor)
+            .cloned()
+            .collect()
     }
 
     /// Sequence number of the first event whose rendered call contains
@@ -102,7 +111,8 @@ impl Trace {
     pub fn render_sequence(&self, actors: &[&str]) -> String {
         let events = self.inner.lock().clone();
         let matches = |actor: &str, pat: &str| {
-            pat.strip_suffix('*').map_or(actor == pat, |p| actor.starts_with(p))
+            pat.strip_suffix('*')
+                .map_or(actor == pat, |p| actor.starts_with(p))
         };
         let widest_call = events
             .iter()
@@ -110,8 +120,14 @@ impl Trace {
             .map(|e| e.call.len())
             .max()
             .unwrap_or(0);
-        let col_width =
-            actors.iter().map(|a| a.len()).max().unwrap_or(8).max(widest_call).max(16) + 4;
+        let col_width = actors
+            .iter()
+            .map(|a| a.len())
+            .max()
+            .unwrap_or(8)
+            .max(widest_call)
+            .max(16)
+            + 4;
         let mut out = String::new();
         // Header lifelines.
         for a in actors {
@@ -162,7 +178,10 @@ mod tests {
         t.record("rt", "b");
         t.record("rm", "c");
         let rm = t.by_actor("rm");
-        assert_eq!(rm.iter().map(|e| e.call.as_str()).collect::<Vec<_>>(), vec!["a", "c"]);
+        assert_eq!(
+            rm.iter().map(|e| e.call.as_str()).collect::<Vec<_>>(),
+            vec!["a", "c"]
+        );
     }
 
     #[test]

@@ -5,23 +5,67 @@
 //! servers ("the LASS's are started by the RM", §2.1 — concretely,
 //! [`World::ensure_lass`] is invoked from the RM's `tdp_init`), an
 //! optional CASS, and the global call [`Trace`].
+//!
+//! # Transport modes
+//!
+//! A world runs its attribute-space traffic over one of two transports
+//! (see `tdp-wire`):
+//!
+//! * [`TransportMode::Netsim`] (the default): connections ride the
+//!   in-memory simulated fabric, with its latency model and firewall
+//!   enforcement on the connect path.
+//! * [`TransportMode::Tcp`] ([`World::new_tcp`]): connections are real
+//!   loopback TCP sockets. The netsim fabric is **kept** as the
+//!   topology/policy source of truth — every logical address stays a
+//!   `host:port` [`Addr`], and the world maintains a private map from
+//!   those virtual addresses to the ephemeral real sockets the servers
+//!   actually bound. Firewall rules are enforced by consulting
+//!   `Network::route_permitted` before dialling, so a blocked route
+//!   fails with the same `BlockedByFirewall` error — and the proxy
+//!   fallback engages identically. Traces are therefore byte-identical
+//!   across modes.
 
 use crate::trace::Trace;
 use crate::{CASS_PORT, LASS_PORT};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::net::SocketAddr;
 use std::sync::Arc;
-use tdp_attrspace::{AttrSpaceServer, ServerKind};
+use tdp_attrspace::{AttrClient, AttrSpaceServer, ServerKind};
 use tdp_netsim::{FirewallPolicy, Network, ZoneId};
-use tdp_proto::{Addr, HostId, TdpResult};
+use tdp_proto::{Addr, HostId, TdpError, TdpResult};
 use tdp_simos::{Os, OsConfig};
+use tdp_wire::tcp::ProxyResolver;
+use tdp_wire::{TcpTransport, Transport};
+
+/// Which transport carries attribute-space traffic in this world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportMode {
+    /// In-memory simulated fabric (default).
+    Netsim,
+    /// Real loopback TCP sockets; netsim keeps the topology/firewall
+    /// bookkeeping.
+    Tcp,
+}
+
+/// A live relay proxy, either backend (held so shutdown is tied to the
+/// world's lifetime).
+enum ProxyHandle {
+    Sim(#[allow(dead_code)] tdp_netsim::proxy::ProxyServer),
+    Tcp(#[allow(dead_code)] tdp_wire::TcpProxy),
+}
 
 struct WorldInner {
     os: Os,
     net: Network,
     trace: Trace,
+    mode: TransportMode,
+    tcp: TcpTransport,
+    /// Virtual (logical) address → real bound socket, TCP mode only.
+    tcp_addrs: Arc<Mutex<HashMap<Addr, SocketAddr>>>,
     lass: Mutex<HashMap<HostId, AttrSpaceServer>>,
     cass: Mutex<Option<AttrSpaceServer>>,
+    proxies: Mutex<Vec<ProxyHandle>>,
 }
 
 /// Shared simulation world. Cheap to clone.
@@ -41,14 +85,27 @@ impl World {
         World::with_config(OsConfig::default())
     }
 
+    /// A world whose attribute-space traffic rides real loopback TCP.
+    pub fn new_tcp() -> World {
+        World::with_mode(OsConfig::default(), TransportMode::Tcp)
+    }
+
     pub fn with_config(cfg: OsConfig) -> World {
+        World::with_mode(cfg, TransportMode::Netsim)
+    }
+
+    pub fn with_mode(cfg: OsConfig, mode: TransportMode) -> World {
         World {
             inner: Arc::new(WorldInner {
                 os: Os::with_config(cfg),
                 net: Network::new(),
                 trace: Trace::new(),
+                mode,
+                tcp: TcpTransport::new(),
+                tcp_addrs: Arc::new(Mutex::new(HashMap::new())),
                 lass: Mutex::new(HashMap::new()),
                 cass: Mutex::new(None),
+                proxies: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -58,7 +115,7 @@ impl World {
         &self.inner.os
     }
 
-    /// The simulated network.
+    /// The simulated network (in TCP mode: the topology/firewall model).
     pub fn net(&self) -> &Network {
         &self.inner.net
     }
@@ -66,6 +123,11 @@ impl World {
     /// The global TDP call trace.
     pub fn trace(&self) -> &Trace {
         &self.inner.trace
+    }
+
+    /// Which transport this world's attribute-space traffic uses.
+    pub fn transport_mode(&self) -> TransportMode {
+        self.inner.mode
     }
 
     /// Add a host on the public network.
@@ -83,6 +145,118 @@ impl World {
         self.inner.net.add_private_zone(policy)
     }
 
+    /// Spawn an attribute-space server at the *logical* `(host, port)`
+    /// over this world's transport.
+    fn spawn_attr_server(
+        &self,
+        host: HostId,
+        port: u16,
+        kind: ServerKind,
+    ) -> TdpResult<AttrSpaceServer> {
+        match self.inner.mode {
+            TransportMode::Netsim => AttrSpaceServer::spawn(&self.inner.net, host, port, kind),
+            TransportMode::Tcp => {
+                // The host must exist on the topology even though the
+                // bytes flow elsewhere.
+                if !self.inner.net.host_alive(host) {
+                    return Err(TdpError::NoSuchHost(host));
+                }
+                let vaddr = Addr::new(host, port);
+                let listener = self.inner.tcp.listen(host, port)?;
+                let real = listener
+                    .local_endpoint()
+                    .as_tcp()
+                    .expect("tcp transport binds tcp endpoints");
+                let server = AttrSpaceServer::spawn_wire(listener, kind, vaddr)?;
+                self.inner.tcp_addrs.lock().insert(vaddr, real);
+                Ok(server)
+            }
+        }
+    }
+
+    /// Open an attribute-space client from logical host `from` to the
+    /// logical `server` address, over this world's transport. Firewall
+    /// rules apply in both modes.
+    pub fn attr_connect(&self, from: HostId, server: Addr) -> TdpResult<AttrClient> {
+        match self.inner.mode {
+            TransportMode::Netsim => AttrClient::connect(&self.inner.net, from, server),
+            TransportMode::Tcp => {
+                self.inner.net.route_permitted(from, server)?;
+                let real = self.resolve_tcp(server)?;
+                let conn = self.inner.tcp.connect(from, &real.into())?;
+                Ok(AttrClient::over_wire(conn))
+            }
+        }
+    }
+
+    /// Open an attribute-space client to `server` through the relay
+    /// proxy at the logical `proxy` address (§2.4).
+    pub fn attr_connect_via_proxy(
+        &self,
+        from: HostId,
+        proxy: Addr,
+        server: Addr,
+    ) -> TdpResult<AttrClient> {
+        match self.inner.mode {
+            TransportMode::Netsim => {
+                AttrClient::connect_via_proxy(&self.inner.net, from, proxy, server)
+            }
+            TransportMode::Tcp => {
+                self.inner.net.route_permitted(from, proxy)?;
+                let real_proxy = self.resolve_tcp(proxy)?;
+                let conn =
+                    tdp_wire::tcp_connect_via(real_proxy, server, from, self.inner.tcp.config())?;
+                Ok(AttrClient::over_wire(conn))
+            }
+        }
+    }
+
+    /// Start a relay proxy on `(host, port)` over this world's
+    /// transport, returning its logical address. The proxy applies the
+    /// topology's firewall rules from its own host's point of view, in
+    /// both modes.
+    pub fn spawn_proxy(&self, host: HostId, port: u16) -> TdpResult<Addr> {
+        match self.inner.mode {
+            TransportMode::Netsim => {
+                let p = tdp_netsim::proxy::spawn(&self.inner.net, host, port)?;
+                let addr = p.addr();
+                self.inner.proxies.lock().push(ProxyHandle::Sim(p));
+                Ok(addr)
+            }
+            TransportMode::Tcp => {
+                if !self.inner.net.host_alive(host) {
+                    return Err(TdpError::NoSuchHost(host));
+                }
+                let net = self.inner.net.clone();
+                let map = self.inner.tcp_addrs.clone();
+                let resolver: ProxyResolver = Arc::new(move |target: Addr| {
+                    // The relay dials outward from its own host, so its
+                    // host's routes — not the original client's — decide.
+                    net.route_permitted(host, target)?;
+                    map.lock()
+                        .get(&target)
+                        .copied()
+                        .ok_or(TdpError::ConnectionRefused(target))
+                });
+                let p = tdp_wire::tcp::spawn_proxy(resolver)?;
+                let vaddr = Addr::new(host, port);
+                self.inner.tcp_addrs.lock().insert(vaddr, p.local_addr());
+                self.inner.proxies.lock().push(ProxyHandle::Tcp(p));
+                Ok(vaddr)
+            }
+        }
+    }
+
+    /// Resolve a virtual address to the real bound socket (TCP mode).
+    fn resolve_tcp(&self, addr: Addr) -> TdpResult<SocketAddr> {
+        self.inner
+            .tcp_addrs
+            .lock()
+            .get(&addr)
+            .copied()
+            .ok_or(TdpError::ConnectionRefused(addr))
+    }
+
     /// Start (or find) the LASS on a host, returning its address. Called
     /// by the RM's `tdp_init`; idempotent.
     pub fn ensure_lass(&self, host: HostId) -> TdpResult<Addr> {
@@ -90,7 +264,7 @@ impl World {
         if let Some(s) = lass.get(&host) {
             return Ok(s.addr());
         }
-        let s = AttrSpaceServer::spawn(&self.inner.net, host, LASS_PORT, ServerKind::Local)?;
+        let s = self.spawn_attr_server(host, LASS_PORT, ServerKind::Local)?;
         let addr = s.addr();
         lass.insert(host, s);
         Ok(addr)
@@ -108,7 +282,7 @@ impl World {
         if let Some(s) = cass.as_ref() {
             return Ok(s.addr());
         }
-        let s = AttrSpaceServer::spawn(&self.inner.net, host, CASS_PORT, ServerKind::Central)?;
+        let s = self.spawn_attr_server(host, CASS_PORT, ServerKind::Central)?;
         let addr = s.addr();
         *cass = Some(s);
         Ok(addr)
@@ -123,6 +297,10 @@ impl World {
     /// injection for tests).
     pub fn kill_lass(&self, host: HostId) {
         if let Some(s) = self.inner.lass.lock().remove(&host) {
+            self.inner
+                .tcp_addrs
+                .lock()
+                .remove(&Addr::new(host, LASS_PORT));
             s.shutdown();
         }
     }
@@ -150,7 +328,10 @@ mod tests {
         let a1 = w.ensure_lass(h1).unwrap();
         let a2 = w.ensure_lass(h2).unwrap();
         assert_ne!(a1.host, a2.host);
-        assert_eq!(a1.port, a2.port, "LASS uses the well-known port on each host");
+        assert_eq!(
+            a1.port, a2.port,
+            "LASS uses the well-known port on each host"
+        );
     }
 
     #[test]
@@ -171,5 +352,30 @@ mod tests {
         assert_eq!(w.lass_addr(h), None);
         let a2 = w.ensure_lass(h).unwrap();
         assert_eq!(a1, a2, "restarted LASS rebinds the well-known port");
+    }
+
+    #[test]
+    fn tcp_world_uses_virtual_addrs() {
+        let w = World::new_tcp();
+        assert_eq!(w.transport_mode(), TransportMode::Tcp);
+        let h = w.add_host();
+        let a = w.ensure_lass(h).unwrap();
+        assert_eq!(a, Addr::new(h, LASS_PORT), "logical address is stable");
+        // The virtual address resolves to a real loopback socket.
+        assert!(w.resolve_tcp(a).unwrap().ip().is_loopback());
+        // Connecting through the logical address works end to end.
+        let mut c = w.attr_connect(h, a).unwrap();
+        c.join(tdp_proto::ContextId(7)).unwrap();
+        c.put(tdp_proto::ContextId(7), "k", "v").unwrap();
+        assert_eq!(c.get(tdp_proto::ContextId(7), "k").unwrap(), "v");
+    }
+
+    #[test]
+    fn tcp_kill_lass_unregisters_virtual_addr() {
+        let w = World::new_tcp();
+        let h = w.add_host();
+        let a = w.ensure_lass(h).unwrap();
+        w.kill_lass(h);
+        assert!(w.attr_connect(h, a).is_err(), "dead LASS must refuse");
     }
 }

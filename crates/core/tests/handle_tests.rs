@@ -56,7 +56,10 @@ fn put_get_between_daemons() {
     let mut rt = TdpHandle::init(&w, h, CTX, "rt", Role::Tool).unwrap();
     rm.put(names::PID, "1234").unwrap();
     assert_eq!(rt.get(names::PID).unwrap(), "1234");
-    assert!(matches!(rt.try_get("absent"), Err(TdpError::AttributeNotFound(_))));
+    assert!(matches!(
+        rt.try_get("absent"),
+        Err(TdpError::AttributeNotFound(_))
+    ));
 }
 
 #[test]
@@ -86,15 +89,20 @@ fn async_get_callback_runs_at_service_point() {
     let mut rt = TdpHandle::init(&w, h, CTX, "rt", Role::Tool).unwrap();
     let got: Arc<Mutex<Vec<(String, String)>>> = Arc::new(Mutex::new(Vec::new()));
     let g2 = got.clone();
-    rt.async_get(names::PID, move |k, v| g2.lock().unwrap().push((k.into(), v.into())))
-        .unwrap();
+    rt.async_get(names::PID, move |k, v| {
+        g2.lock().unwrap().push((k.into(), v.into()))
+    })
+    .unwrap();
     // Nothing yet: callback must not run before the put.
     assert_eq!(rt.service_events().unwrap(), 0);
     rm.put(names::PID, "55").unwrap();
     std::thread::sleep(Duration::from_millis(40));
     assert!(rt.has_events());
     assert_eq!(rt.service_events().unwrap(), 1);
-    assert_eq!(got.lock().unwrap().as_slice(), &[("pid".to_string(), "55".to_string())]);
+    assert_eq!(
+        got.lock().unwrap().as_slice(),
+        &[("pid".to_string(), "55".to_string())]
+    );
     // One-shot: a second put does not re-fire.
     rm.put(names::PID, "56").unwrap();
     std::thread::sleep(Duration::from_millis(40));
@@ -143,7 +151,10 @@ fn watch_is_persistent_across_puts() {
     let mut rt = TdpHandle::init(&w, h, CTX, "rt", Role::Tool).unwrap();
     let seen: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
     let s2 = seen.clone();
-    rt.watch(names::AP_STATUS, move |_, v| s2.lock().unwrap().push(v.to_string())).unwrap();
+    rt.watch(names::AP_STATUS, move |_, v| {
+        s2.lock().unwrap().push(v.to_string())
+    })
+    .unwrap();
     for st in ["running", "stopped", "exited:0"] {
         rm.put(names::AP_STATUS, st).unwrap();
         // Drain between puts: one-shot server subscriptions are
@@ -151,7 +162,10 @@ fn watch_is_persistent_across_puts() {
         // drain could coalesce.
         rt.wait_and_service(T).unwrap();
     }
-    assert_eq!(seen.lock().unwrap().as_slice(), &["running", "stopped", "exited:0"]);
+    assert_eq!(
+        seen.lock().unwrap().as_slice(),
+        &["running", "stopped", "exited:0"]
+    );
 }
 
 #[test]
@@ -178,7 +192,9 @@ fn create_paused_attach_continue_lifecycle() {
     let (w, h) = world_with_app();
     let mut rm = TdpHandle::init(&w, h, CTX, "rm", Role::ResourceManager).unwrap();
     let mut rt = TdpHandle::init(&w, h, CTX, "rt", Role::Tool).unwrap();
-    let pid = rm.create_process(TdpCreate::new("/bin/app").paused()).unwrap();
+    let pid = rm
+        .create_process(TdpCreate::new("/bin/app").paused())
+        .unwrap();
     assert_eq!(rm.process_status(pid).unwrap(), ProcStatus::Created);
     rt.attach(pid).unwrap();
     assert_eq!(rt.symbols(pid).unwrap(), vec!["main", "work"]);
@@ -194,9 +210,14 @@ fn create_paused_attach_continue_lifecycle() {
 fn instrumentation_requires_attach() {
     let (w, h) = world_with_app();
     let mut rm = TdpHandle::init(&w, h, CTX, "rm", Role::ResourceManager).unwrap();
-    let pid = rm.create_process(TdpCreate::new("/bin/app").paused()).unwrap();
+    let pid = rm
+        .create_process(TdpCreate::new("/bin/app").paused())
+        .unwrap();
     assert!(matches!(rm.symbols(pid), Err(TdpError::NotTracer(_))));
-    assert!(matches!(rm.arm_probe(pid, "work"), Err(TdpError::NotTracer(_))));
+    assert!(matches!(
+        rm.arm_probe(pid, "work"),
+        Err(TdpError::NotTracer(_))
+    ));
 }
 
 #[test]
@@ -204,7 +225,9 @@ fn detach_releases_tracer_slot() {
     let (w, h) = world_with_app();
     let mut rm = TdpHandle::init(&w, h, CTX, "rm", Role::ResourceManager).unwrap();
     let mut rt = TdpHandle::init(&w, h, CTX, "rt", Role::Tool).unwrap();
-    let pid = rm.create_process(TdpCreate::new("/bin/app").paused()).unwrap();
+    let pid = rm
+        .create_process(TdpCreate::new("/bin/app").paused())
+        .unwrap();
     rt.attach(pid).unwrap();
     rt.detach(pid).unwrap();
     rm.attach(pid).unwrap(); // now free for another tracer
@@ -218,11 +241,16 @@ fn single_point_control_rt_requests_rm_services() {
     let (w, h) = world_with_app();
     let mut rm = TdpHandle::init(&w, h, CTX, "rm", Role::ResourceManager).unwrap();
     let mut rt = TdpHandle::init(&w, h, CTX, "rt", Role::Tool).unwrap();
-    let pid = rm.create_process(TdpCreate::new("/bin/app").paused()).unwrap();
+    let pid = rm
+        .create_process(TdpCreate::new("/bin/app").paused())
+        .unwrap();
     rm.publish_status(ProcStatus::Created).unwrap();
 
     rt.request_proc_op(ProcRequest::Continue).unwrap();
-    assert_eq!(rm.service_proc_requests(pid).unwrap(), Some(ProcRequest::Continue));
+    assert_eq!(
+        rm.service_proc_requests(pid).unwrap(),
+        Some(ProcRequest::Continue)
+    );
     rm.wait_terminal(pid, T).unwrap();
     // No pending request now.
     assert_eq!(rm.service_proc_requests(pid).unwrap(), None);
@@ -236,9 +264,14 @@ fn kill_request_via_attribute_space() {
     let (w, h) = world_with_app();
     let mut rm = TdpHandle::init(&w, h, CTX, "rm", Role::ResourceManager).unwrap();
     let mut rt = TdpHandle::init(&w, h, CTX, "rt", Role::Tool).unwrap();
-    let pid = rm.create_process(TdpCreate::new("/bin/app").paused()).unwrap();
+    let pid = rm
+        .create_process(TdpCreate::new("/bin/app").paused())
+        .unwrap();
     rt.request_proc_op(ProcRequest::Kill(9)).unwrap();
-    assert_eq!(rm.service_proc_requests(pid).unwrap(), Some(ProcRequest::Kill(9)));
+    assert_eq!(
+        rm.service_proc_requests(pid).unwrap(),
+        Some(ProcRequest::Kill(9))
+    );
     assert_eq!(rm.wait_terminal(pid, T).unwrap(), ProcStatus::Killed(9));
 }
 
@@ -295,29 +328,44 @@ fn cass_shared_across_hosts() {
     assert_eq!(b.get_central("global").unwrap(), "42");
     // Local spaces remain isolated.
     a.put("local", "x").unwrap();
-    assert!(matches!(b.try_get("local"), Err(TdpError::AttributeNotFound(_))));
+    assert!(matches!(
+        b.try_get("local"),
+        Err(TdpError::AttributeNotFound(_))
+    ));
 }
 
 #[test]
 fn stage_tool_config_and_trace_files() {
     let (w, h) = world_with_app();
     let submit = w.add_host();
-    w.os().fs().write_file(submit, "paradyn.conf", b"metric cpu\n");
+    w.os()
+        .fs()
+        .write_file(submit, "paradyn.conf", b"metric cpu\n");
     let mut rm = TdpHandle::init(&w, h, CTX, "rm", Role::ResourceManager).unwrap();
     // Config out to the execution node…
-    rm.stage_file(submit, "paradyn.conf", h, "/work/paradyn.conf").unwrap();
-    assert_eq!(w.os().fs().read_file(h, "/work/paradyn.conf").unwrap(), b"metric cpu\n");
+    rm.stage_file(submit, "paradyn.conf", h, "/work/paradyn.conf")
+        .unwrap();
+    assert_eq!(
+        w.os().fs().read_file(h, "/work/paradyn.conf").unwrap(),
+        b"metric cpu\n"
+    );
     // …trace data back after the run.
     w.os().fs().write_file(h, "/work/trace.out", b"samples");
-    rm.stage_file(h, "/work/trace.out", submit, "results/trace.out").unwrap();
-    assert_eq!(w.os().fs().read_file(submit, "results/trace.out").unwrap(), b"samples");
+    rm.stage_file(h, "/work/trace.out", submit, "results/trace.out")
+        .unwrap();
+    assert_eq!(
+        w.os().fs().read_file(submit, "results/trace.out").unwrap(),
+        b"samples"
+    );
 }
 
 #[test]
 fn trace_records_call_sequence() {
     let (w, h) = world_with_app();
     let mut rm = TdpHandle::init(&w, h, CTX, "rm", Role::ResourceManager).unwrap();
-    let pid = rm.create_process(TdpCreate::new("/bin/app").paused()).unwrap();
+    let pid = rm
+        .create_process(TdpCreate::new("/bin/app").paused())
+        .unwrap();
     rm.put(names::PID, &pid.to_string()).unwrap();
     let mut rt = TdpHandle::init(&w, h, CTX, "rt", Role::Tool).unwrap();
     let got = rt.get(names::PID).unwrap();
@@ -327,9 +375,15 @@ fn trace_records_call_sequence() {
 
     let trace = w.trace();
     trace.assert_order((Some("rm"), "tdp_init"), (Some("rm"), "tdp_create_process"));
-    trace.assert_order((Some("rm"), "tdp_create_process"), (Some("rt"), "tdp_attach"));
+    trace.assert_order(
+        (Some("rm"), "tdp_create_process"),
+        (Some("rt"), "tdp_attach"),
+    );
     trace.assert_order((Some("rm"), "tdp_put(pid)"), (Some("rt"), "tdp_attach"));
-    trace.assert_order((Some("rt"), "tdp_attach"), (Some("rt"), "tdp_continue_process"));
+    trace.assert_order(
+        (Some("rt"), "tdp_attach"),
+        (Some("rt"), "tdp_continue_process"),
+    );
 }
 
 #[test]

@@ -37,12 +37,17 @@ impl GridJobRequest {
             .get("executable")
             .ok_or_else(|| TdpError::Protocol("RSL: missing (executable=…)".into()))?
             .to_string();
-        let arguments = rsl.get("arguments").map(split_multi_value).unwrap_or_default();
+        let arguments = rsl
+            .get("arguments")
+            .map(split_multi_value)
+            .unwrap_or_default();
         let count = rsl.get_int("count").unwrap_or(1).max(1) as u32;
         let tool = rsl.get("tool").map(|cmd| {
             (
                 cmd.to_string(),
-                rsl.get("tool_args").map(split_multi_value).unwrap_or_default(),
+                rsl.get("tool_args")
+                    .map(split_multi_value)
+                    .unwrap_or_default(),
             )
         });
         Ok(GridJobRequest {
@@ -150,10 +155,22 @@ impl LocalRm for LsfCluster {
 /// Wire messages.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 enum GramMsg {
-    Submit { subject: String, token: String, rsl: String },
-    Accepted { job: JobId, backend: String },
-    Denied { reason: String },
-    Status { state: String, detail: String },
+    Submit {
+        subject: String,
+        token: String,
+        rsl: String,
+    },
+    Accepted {
+        job: JobId,
+        backend: String,
+    },
+    Denied {
+        reason: String,
+    },
+    Status {
+        state: String,
+        detail: String,
+    },
 }
 
 /// Job state as observed by the client.
@@ -173,11 +190,7 @@ pub struct Gatekeeper {
 
 impl Gatekeeper {
     /// Start on the site's head node, forwarding to `backend`.
-    pub fn start(
-        world: &World,
-        head: HostId,
-        backend: Arc<dyn LocalRm>,
-    ) -> TdpResult<Gatekeeper> {
+    pub fn start(world: &World, head: HostId, backend: Arc<dyn LocalRm>) -> TdpResult<Gatekeeper> {
         let listener = world.net().listen(head, GATEKEEPER_PORT)?;
         let addr = listener.local_addr();
         let grid_map: Arc<Mutex<HashMap<String, String>>> = Arc::new(Mutex::new(HashMap::new()));
@@ -217,57 +230,113 @@ impl Gatekeeper {
 
 fn serve(conn: &mut Conn, backend: &Arc<dyn LocalRm>, grid_map: &Mutex<HashMap<String, String>>) {
     let Ok(chunk) = conn.recv() else { return };
-    let Ok(GramMsg::Submit { subject, token, rsl }) = serde_json::from_slice(&chunk) else {
-        let _ = send(conn, &GramMsg::Denied { reason: "malformed submission".into() });
+    let Ok(GramMsg::Submit {
+        subject,
+        token,
+        rsl,
+    }) = serde_json::from_slice(&chunk)
+    else {
+        let _ = send(
+            conn,
+            &GramMsg::Denied {
+                reason: "malformed submission".into(),
+            },
+        );
         return;
     };
     // Authentication: subject must be in the grid-map with this token.
     if grid_map.lock().get(&subject) != Some(&token) {
-        let _ = send(conn, &GramMsg::Denied { reason: format!("subject {subject:?} not authorized") });
+        let _ = send(
+            conn,
+            &GramMsg::Denied {
+                reason: format!("subject {subject:?} not authorized"),
+            },
+        );
         return;
     }
     // Parse + translate + submit.
     let req = match Rsl::parse(&rsl).and_then(|r| GridJobRequest::from_rsl(&r)) {
         Ok(r) => r,
         Err(e) => {
-            let _ = send(conn, &GramMsg::Denied { reason: e.to_string() });
+            let _ = send(
+                conn,
+                &GramMsg::Denied {
+                    reason: e.to_string(),
+                },
+            );
             return;
         }
     };
     let job = match backend.submit(&req) {
         Ok(j) => j,
         Err(e) => {
-            let _ = send(conn, &GramMsg::Denied { reason: e.to_string() });
+            let _ = send(
+                conn,
+                &GramMsg::Denied {
+                    reason: e.to_string(),
+                },
+            );
             return;
         }
     };
-    if send(conn, &GramMsg::Accepted { job, backend: backend.name().into() }).is_err() {
+    if send(
+        conn,
+        &GramMsg::Accepted {
+            job,
+            backend: backend.name().into(),
+        },
+    )
+    .is_err()
+    {
         return;
     }
-    let _ = send(conn, &GramMsg::Status { state: "ACTIVE".into(), detail: String::new() });
+    let _ = send(
+        conn,
+        &GramMsg::Status {
+            state: "ACTIVE".into(),
+            detail: String::new(),
+        },
+    );
     match backend.wait(job, Duration::from_secs(600)) {
         Ok(Ok(done)) => {
             let detail = serde_json::to_string(
-                &done.iter().map(|(k, v)| (*k, v.to_attr_value())).collect::<HashMap<_, _>>(),
+                &done
+                    .iter()
+                    .map(|(k, v)| (*k, v.to_attr_value()))
+                    .collect::<HashMap<_, _>>(),
             )
             .unwrap_or_default();
-            let _ = send(conn, &GramMsg::Status { state: "DONE".into(), detail });
+            let _ = send(
+                conn,
+                &GramMsg::Status {
+                    state: "DONE".into(),
+                    detail,
+                },
+            );
         }
         Ok(Err(e)) => {
-            let _ = send(conn, &GramMsg::Status { state: "FAILED".into(), detail: e });
+            let _ = send(
+                conn,
+                &GramMsg::Status {
+                    state: "FAILED".into(),
+                    detail: e,
+                },
+            );
         }
         Err(e) => {
             let _ = send(
                 conn,
-                &GramMsg::Status { state: "FAILED".into(), detail: e.to_string() },
+                &GramMsg::Status {
+                    state: "FAILED".into(),
+                    detail: e.to_string(),
+                },
             );
         }
     }
 }
 
 fn send(conn: &Conn, msg: &GramMsg) -> TdpResult<()> {
-    let data =
-        serde_json::to_vec(msg).map_err(|e| TdpError::Protocol(format!("encode: {e}")))?;
+    let data = serde_json::to_vec(msg).map_err(|e| TdpError::Protocol(format!("encode: {e}")))?;
     conn.send(&data)
 }
 

@@ -83,7 +83,9 @@ impl Rsl {
 
     /// Fetch an attribute.
     pub fn get(&self, name: &str) -> Option<&str> {
-        self.attrs.get(&name.to_ascii_lowercase()).map(String::as_str)
+        self.attrs
+            .get(&name.to_ascii_lowercase())
+            .map(String::as_str)
     }
 
     /// Fetch and parse an integer attribute.
@@ -116,10 +118,8 @@ mod tests {
 
     #[test]
     fn parses_classic_gram_request() {
-        let r = Rsl::parse(
-            r#"&(executable=/bin/app)(arguments="1 2 3")(count=4)(queue=batch)"#,
-        )
-        .unwrap();
+        let r = Rsl::parse(r#"&(executable=/bin/app)(arguments="1 2 3")(count=4)(queue=batch)"#)
+            .unwrap();
         assert_eq!(r.get("executable"), Some("/bin/app"));
         assert_eq!(r.get("arguments"), Some("1 2 3"));
         assert_eq!(r.get_int("count"), Some(4));
@@ -149,8 +149,10 @@ mod tests {
 
     #[test]
     fn errors_are_reported() {
-        assert!(Rsl::parse("(noequals)").is_ok_and(|r| r.get("noequals").is_none())
-            || Rsl::parse("(noequals)").is_err());
+        assert!(
+            Rsl::parse("(noequals)").is_ok_and(|r| r.get("noequals").is_none())
+                || Rsl::parse("(noequals)").is_err()
+        );
         assert!(Rsl::parse("(a=1").is_err(), "unterminated relation");
         assert!(Rsl::parse(r#"(a="unclosed)"#).is_err(), "unclosed quote");
         assert!(Rsl::parse("junk(a=1)").is_err(), "garbage before relation");

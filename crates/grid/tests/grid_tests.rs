@@ -3,8 +3,8 @@
 
 use std::sync::Arc;
 use std::time::Duration;
-use tdp_core::World;
 use tdp_condor::CondorPool;
+use tdp_core::World;
 use tdp_grid::{Gatekeeper, GramClient, GramState, GridJobRequest, Rsl};
 use tdp_lsf::LsfCluster;
 use tdp_paradyn::{paradynd_image, ParadynFrontend};
@@ -15,17 +15,20 @@ use tdp_tools::tracey_image;
 const T: Duration = Duration::from_secs(60);
 
 fn app_image() -> ExecImage {
-    ExecImage::new(["main", "work"], Arc::new(|_| {
-        fn_program(|ctx| {
-            ctx.call("main", |ctx| {
-                for _ in 0..6 {
-                    ctx.call("work", |ctx| ctx.compute(10));
-                }
-            });
-            ctx.write_stdout(b"grid job output");
-            0
-        })
-    }))
+    ExecImage::new(
+        ["main", "work"],
+        Arc::new(|_| {
+            fn_program(|ctx| {
+                ctx.call("main", |ctx| {
+                    for _ in 0..6 {
+                        ctx.call("work", |ctx| ctx.compute(10));
+                    }
+                });
+                ctx.write_stdout(b"grid job output");
+                0
+            })
+        }),
+    )
 }
 
 #[test]
@@ -135,7 +138,10 @@ fn grid_to_condor_with_paradyn() {
     let pool = Arc::new(CondorPool::build(&world, 1).unwrap());
     pool.install_everywhere("/bin/app", app_image());
     for h in pool.exec_hosts() {
-        world.os().fs().install_exec(*h, "paradynd", paradynd_image(world.clone()));
+        world
+            .os()
+            .fs()
+            .install_exec(*h, "paradynd", paradynd_image(world.clone()));
     }
     let fe = ParadynFrontend::start(world.net(), pool.submit_host(), 2090, 2091).unwrap();
     let head = world.add_host();
@@ -155,7 +161,10 @@ fn grid_to_condor_with_paradyn() {
         other => panic!("{other:?}"),
     }
     fe.wait_done(1, T).unwrap();
-    assert!(fe.samples().iter().any(|s| s.symbol == "work" && s.count == 6));
+    assert!(fe
+        .samples()
+        .iter()
+        .any(|s| s.symbol == "work" && s.count == 6));
 }
 
 #[test]
@@ -165,7 +174,10 @@ fn grid_to_lsf_with_tracey() {
     let master = world.add_host();
     let exec = world.add_host();
     world.os().fs().install_exec(exec, "/bin/app", app_image());
-    world.os().fs().install_exec(exec, "tracey", tracey_image(world.clone()));
+    world
+        .os()
+        .fs()
+        .install_exec(exec, "tracey", tracey_image(world.clone()));
     let cluster = Arc::new(LsfCluster::start(&world, master).unwrap());
     let _sbd = cluster.add_host(exec, 1).unwrap();
     let head = world.add_host();
@@ -188,7 +200,10 @@ fn grid_to_lsf_with_tracey() {
         other => panic!("{other:?}"),
     }
     // Output + coverage report staged to the LSF master.
-    assert_eq!(world.os().fs().read_file(master, "result").unwrap(), b"grid job output");
+    assert_eq!(
+        world.os().fs().read_file(master, "result").unwrap(),
+        b"grid job output"
+    );
     assert!(world
         .os()
         .fs()

@@ -84,7 +84,10 @@ impl LsfRequest {
     }
 
     pub fn tool(mut self, cmd: impl Into<String>, args: Vec<String>) -> Self {
-        self.tool = Some(LsfToolSpec { cmd: cmd.into(), args });
+        self.tool = Some(LsfToolSpec {
+            cmd: cmd.into(),
+            args,
+        });
         self
     }
 
@@ -201,13 +204,23 @@ impl LsfCluster {
         let priority = req.priority;
         self.inner.jobs.lock().insert(
             job,
-            JobRec { req, done: HashMap::new(), dispatched: 0, state: LsfJobState::Pending },
+            JobRec {
+                req,
+                done: HashMap::new(),
+                dispatched: 0,
+                state: LsfJobState::Pending,
+            },
         );
         {
             let mut q = self.inner.queue.lock();
             for task in 0..ntasks {
                 let seq = job.0 * 10_000 + u64::from(task);
-                q.push_back(PendingTask { job, task, priority, seq });
+                q.push_back(PendingTask {
+                    job,
+                    task,
+                    priority,
+                    seq,
+                });
             }
             // Highest priority first; FIFO (submission order) inside a
             // priority level.
@@ -272,11 +285,7 @@ impl Mbd {
         let (tx, mut rx) = conn.split();
         let tx = Arc::new(tx);
         let mut my_index: Option<usize> = None;
-        loop {
-            let chunk = match rx.recv() {
-                Ok(c) => c,
-                Err(_) => break,
-            };
+        while let Ok(chunk) = rx.recv() {
             let msg: SbdMsg = match serde_json::from_slice(&chunk) {
                 Ok(m) => m,
                 Err(_) => continue,
@@ -285,11 +294,23 @@ impl Mbd {
                 SbdMsg::Register { name, slots } => {
                     let mut hosts = self.hosts.lock();
                     my_index = Some(hosts.len());
-                    hosts.push(HostEntry { name, slots, in_use: 0, tx: tx.clone() });
+                    hosts.push(HostEntry {
+                        name,
+                        slots,
+                        in_use: 0,
+                        tx: tx.clone(),
+                    });
                     drop(hosts);
                     self.pump();
                 }
-                SbdMsg::TaskDone { job, task, status, stdout, stderr, tool_files } => {
+                SbdMsg::TaskDone {
+                    job,
+                    task,
+                    status,
+                    stdout,
+                    stderr,
+                    tool_files,
+                } => {
                     self.finish_task(my_index, job, task, &status, stdout, stderr, tool_files);
                 }
                 SbdMsg::TaskStarted { .. } => {}
@@ -342,15 +363,17 @@ impl Mbd {
             r.done.insert(task, st);
             // Inline output staging onto the master host.
             if let Some(stem) = &r.req.output {
-                let name =
-                    if task == 0 { stem.clone() } else { format!("{stem}.{task}") };
+                let name = if task == 0 {
+                    stem.clone()
+                } else {
+                    format!("{stem}.{task}")
+                };
                 self.world.os().fs().write_file(self.master, &name, &stdout);
                 if !stderr.is_empty() {
-                    self.world.os().fs().write_file(
-                        self.master,
-                        &format!("{name}.err"),
-                        &stderr,
-                    );
+                    self.world
+                        .os()
+                        .fs()
+                        .write_file(self.master, &format!("{name}.err"), &stderr);
                 }
             }
             for (name, data) in tool_files {
@@ -378,7 +401,9 @@ impl Mbd {
             };
             let dispatch = {
                 let jobs = self.jobs.lock();
-                let Some(r) = jobs.get(&next.job) else { continue };
+                let Some(r) = jobs.get(&next.job) else {
+                    continue;
+                };
                 let mut args: Vec<String> = Vec::new();
                 if r.req.ntasks > 1 {
                     args.push(next.task.to_string());

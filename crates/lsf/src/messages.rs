@@ -46,7 +46,11 @@ pub enum SbdMsg {
         tool_files: Vec<(String, Vec<u8>)>,
     },
     /// A task could not be started.
-    TaskFailed { job: JobId, task: u32, error: String },
+    TaskFailed {
+        job: JobId,
+        task: u32,
+        error: String,
+    },
 }
 
 /// mbatchd → sbatchd messages.
@@ -54,6 +58,8 @@ pub enum SbdMsg {
 pub enum MbdMsg {
     Dispatch(Dispatch),
     /// `bkill`: terminate every task of `job` running on this host.
-    Kill { job: JobId },
+    Kill {
+        job: JobId,
+    },
     Ack,
 }

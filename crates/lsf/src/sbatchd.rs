@@ -5,12 +5,12 @@ use crate::messages::{Dispatch, MbdMsg, SbdMsg};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-use tdp_proto::{JobId, Pid};
 use std::thread;
 use std::time::Duration;
 use tdp_core::{Role, TdpCreate, TdpHandle, World};
 use tdp_netsim::ConnTx;
 use tdp_proto::{names, Addr, ContextId, HostId, TdpError, TdpResult};
+use tdp_proto::{JobId, Pid};
 use tdp_simos::Sink;
 
 /// A running sbatchd. Dropping it does not stop in-flight tasks (they
@@ -29,7 +29,13 @@ pub fn start(world: &World, host: HostId, slots: u32, mbd: Addr) -> TdpResult<Sb
     let name = format!("sbatchd@host{}", host.0);
     let (tx, mut rx) = conn.split();
     let tx = Arc::new(tx);
-    send(&tx, &SbdMsg::Register { name: name.clone(), slots })?;
+    send(
+        &tx,
+        &SbdMsg::Register {
+            name: name.clone(),
+            slots,
+        },
+    )?;
     let world2 = world.clone();
     let running: Arc<Mutex<HashMap<JobId, Vec<Pid>>>> = Arc::new(Mutex::new(HashMap::new()));
     let reader = thread::Builder::new()
@@ -63,7 +69,11 @@ pub fn start(world: &World, host: HostId, slots: u32, mbd: Addr) -> TdpResult<Sb
                                 if let Err(e) = run_task(&world, host, d, &tx, &running) {
                                     let _ = send(
                                         &tx,
-                                        &SbdMsg::TaskFailed { job, task, error: e.to_string() },
+                                        &SbdMsg::TaskFailed {
+                                            job,
+                                            task,
+                                            error: e.to_string(),
+                                        },
                                     );
                                 }
                             })
@@ -81,12 +91,15 @@ pub fn start(world: &World, host: HostId, slots: u32, mbd: Addr) -> TdpResult<Sb
             }
         })
         .map_err(|e| TdpError::Substrate(format!("spawn sbatchd reader: {e}")))?;
-    Ok(Sbatchd { host, name, _reader: reader })
+    Ok(Sbatchd {
+        host,
+        name,
+        _reader: reader,
+    })
 }
 
 fn send(tx: &ConnTx, msg: &SbdMsg) -> TdpResult<()> {
-    let data =
-        serde_json::to_vec(msg).map_err(|e| TdpError::Protocol(format!("encode: {e}")))?;
+    let data = serde_json::to_vec(msg).map_err(|e| TdpError::Protocol(format!("encode: {e}")))?;
     tx.send(&data)
 }
 
@@ -119,7 +132,14 @@ fn run_task(
     let app_pid = tdp.create_process(app)?;
     world.os().close_stdin(app_pid)?;
     running.lock().entry(d.job).or_default().push(app_pid);
-    let _ = send(tx, &SbdMsg::TaskStarted { job: d.job, task: d.task, pid: app_pid.0 });
+    let _ = send(
+        tx,
+        &SbdMsg::TaskStarted {
+            job: d.job,
+            task: d.task,
+            pid: app_pid.0,
+        },
+    );
 
     let tool_pid = match &d.tool {
         Some(tool) => {
@@ -165,7 +185,11 @@ fn run_task(
             }
         }
     }
-    running.lock().entry(d.job).or_default().retain(|p| *p != app_pid);
+    running
+        .lock()
+        .entry(d.job)
+        .or_default()
+        .retain(|p| *p != app_pid);
     tdp.exit()?;
     send(
         tx,

@@ -13,23 +13,26 @@ use tdp_tools::{tracey_image, vamp_image};
 const T: Duration = Duration::from_secs(30);
 
 fn app_image() -> ExecImage {
-    ExecImage::new(["main", "crunch"], Arc::new(|args| {
-        let reps: u64 = args.last().and_then(|a| a.parse().ok()).unwrap_or(5);
-        fn_program(move |ctx| {
-            let mut stdin = Vec::new();
-            while let Ok(Some(chunk)) = ctx.read_stdin() {
-                stdin.extend_from_slice(&chunk);
-            }
-            ctx.call("main", |ctx| {
-                for _ in 0..reps {
-                    ctx.call("crunch", |ctx| ctx.compute(10));
+    ExecImage::new(
+        ["main", "crunch"],
+        Arc::new(|args| {
+            let reps: u64 = args.last().and_then(|a| a.parse().ok()).unwrap_or(5);
+            fn_program(move |ctx| {
+                let mut stdin = Vec::new();
+                while let Ok(Some(chunk)) = ctx.read_stdin() {
+                    stdin.extend_from_slice(&chunk);
                 }
-            });
-            ctx.write_stdout(b"crunched ");
-            ctx.write_stdout(&stdin);
-            0
-        })
-    }))
+                ctx.call("main", |ctx| {
+                    for _ in 0..reps {
+                        ctx.call("crunch", |ctx| ctx.compute(10));
+                    }
+                });
+                ctx.write_stdout(b"crunched ");
+                ctx.write_stdout(&stdin);
+                0
+            })
+        }),
+    )
 }
 
 struct Rig {
@@ -56,7 +59,13 @@ fn rig(n_hosts: usize, slots: u32) -> Rig {
         assert!(std::time::Instant::now() < deadline);
         std::thread::sleep(Duration::from_millis(5));
     }
-    Rig { world, master, exec, cluster, _sbds: sbds }
+    Rig {
+        world,
+        master,
+        exec,
+        cluster,
+        _sbds: sbds,
+    }
 }
 
 #[test]
@@ -65,7 +74,12 @@ fn single_task_job_with_io() {
     r.world.os().fs().write_file(r.master, "in.txt", b"numbers");
     let job = r
         .cluster
-        .bsub(LsfRequest::new("/bin/app").args(["3"]).input("in.txt").output("out.txt"))
+        .bsub(
+            LsfRequest::new("/bin/app")
+                .args(["3"])
+                .input("in.txt")
+                .output("out.txt"),
+        )
         .unwrap();
     match r.cluster.wait_job(job, T).unwrap() {
         LsfJobState::Done(done) => assert_eq!(done[&0], ProcStatus::Exited(0)),
@@ -81,10 +95,17 @@ fn single_task_job_with_io() {
 fn fifo_queueing_over_limited_slots() {
     let r = rig(1, 2);
     let jobs: Vec<_> = (0..5)
-        .map(|_| r.cluster.bsub(LsfRequest::new("/bin/app").args(["2"])).unwrap())
+        .map(|_| {
+            r.cluster
+                .bsub(LsfRequest::new("/bin/app").args(["2"]))
+                .unwrap()
+        })
         .collect();
     for j in jobs {
-        assert!(matches!(r.cluster.wait_job(j, T).unwrap(), LsfJobState::Done(_)));
+        assert!(matches!(
+            r.cluster.wait_job(j, T).unwrap(),
+            LsfJobState::Done(_)
+        ));
     }
     // All slots freed at the end.
     let deadline = std::time::Instant::now() + T;
@@ -130,7 +151,10 @@ fn job_pends_until_host_registers() {
     let exec = world.add_host();
     world.os().fs().install_exec(exec, "/bin/app", app_image());
     let _sbd = cluster.add_host(exec, 1).unwrap();
-    assert!(matches!(cluster.wait_job(job, T).unwrap(), LsfJobState::Done(_)));
+    assert!(matches!(
+        cluster.wait_job(job, T).unwrap(),
+        LsfJobState::Done(_)
+    ));
 }
 
 #[test]
@@ -147,11 +171,19 @@ fn missing_executable_fails_job() {
 fn lsf_runs_tracey() {
     let r = rig(1, 1);
     for h in &r.exec {
-        r.world.os().fs().install_exec(*h, "tracey", tracey_image(r.world.clone()));
+        r.world
+            .os()
+            .fs()
+            .install_exec(*h, "tracey", tracey_image(r.world.clone()));
     }
     let job = r
         .cluster
-        .bsub(LsfRequest::new("/bin/app").args(["4"]).suspended().tool("tracey", vec![]))
+        .bsub(
+            LsfRequest::new("/bin/app")
+                .args(["4"])
+                .suspended()
+                .tool("tracey", vec![]),
+        )
         .unwrap();
     match r.cluster.wait_job(job, T).unwrap() {
         LsfJobState::Done(done) => assert_eq!(done[&0], ProcStatus::Exited(0)),
@@ -176,7 +208,10 @@ fn lsf_runs_tracey() {
 fn lsf_runs_vamp() {
     let r = rig(1, 1);
     for h in &r.exec {
-        r.world.os().fs().install_exec(*h, "vamp", vamp_image(r.world.clone()));
+        r.world
+            .os()
+            .fs()
+            .install_exec(*h, "vamp", vamp_image(r.world.clone()));
     }
     let job = r
         .cluster
@@ -187,7 +222,10 @@ fn lsf_runs_vamp() {
                 .tool("vamp", vec!["-i2".into()]),
         )
         .unwrap();
-    assert!(matches!(r.cluster.wait_job(job, T).unwrap(), LsfJobState::Done(_)));
+    assert!(matches!(
+        r.cluster.wait_job(job, T).unwrap(),
+        LsfJobState::Done(_)
+    ));
     let traces: Vec<String> = r
         .world
         .os()
@@ -205,7 +243,10 @@ fn lsf_runs_paradynd() {
     // prototype never touched — pure m + n.
     let r = rig(1, 1);
     for h in &r.exec {
-        r.world.os().fs().install_exec(*h, "paradynd", paradynd_image(r.world.clone()));
+        r.world
+            .os()
+            .fs()
+            .install_exec(*h, "paradynd", paradynd_image(r.world.clone()));
     }
     let fe = ParadynFrontend::start(r.world.net(), r.master, 2090, 2091).unwrap();
     let args = vec![
@@ -217,22 +258,41 @@ fn lsf_runs_paradynd() {
     ];
     let job = r
         .cluster
-        .bsub(LsfRequest::new("/bin/app").args(["8"]).suspended().tool("paradynd", args))
+        .bsub(
+            LsfRequest::new("/bin/app")
+                .args(["8"])
+                .suspended()
+                .tool("paradynd", args),
+        )
         .unwrap();
-    assert!(matches!(r.cluster.wait_job(job, T).unwrap(), LsfJobState::Done(_)));
+    assert!(matches!(
+        r.cluster.wait_job(job, T).unwrap(),
+        LsfJobState::Done(_)
+    ));
     fe.wait_done(1, T).unwrap();
-    assert!(fe.samples().iter().any(|s| s.symbol == "crunch" && s.count == 8));
+    assert!(fe
+        .samples()
+        .iter()
+        .any(|s| s.symbol == "crunch" && s.count == 8));
 }
 
 #[test]
 fn lsf_multi_task_with_tools_per_task() {
     let r = rig(2, 1);
     for h in &r.exec {
-        r.world.os().fs().install_exec(*h, "tracey", tracey_image(r.world.clone()));
+        r.world
+            .os()
+            .fs()
+            .install_exec(*h, "tracey", tracey_image(r.world.clone()));
     }
     let job = r
         .cluster
-        .bsub(LsfRequest::new("/bin/app").ntasks(2).suspended().tool("tracey", vec![]))
+        .bsub(
+            LsfRequest::new("/bin/app")
+                .ntasks(2)
+                .suspended()
+                .tool("tracey", vec![]),
+        )
         .unwrap();
     match r.cluster.wait_job(job, T).unwrap() {
         LsfJobState::Done(done) => assert_eq!(done.len(), 2),
@@ -246,7 +306,11 @@ fn lsf_multi_task_with_tools_per_task() {
         .into_iter()
         .filter(|f| f.ends_with(".coverage"))
         .collect();
-    assert_eq!(reports.len(), 2, "one coverage report per task: {reports:?}");
+    assert_eq!(
+        reports.len(),
+        2,
+        "one coverage report per task: {reports:?}"
+    );
 }
 
 #[test]
@@ -305,27 +369,45 @@ fn priorities_jump_the_queue() {
         ExecImage::from_fn(|args| {
             let tag = args.first().cloned().unwrap_or_default();
             fn_program(move |ctx| {
-                ctx.fs().append("/start_order", format!("{tag}\n").as_bytes());
+                ctx.fs()
+                    .append("/start_order", format!("{tag}\n").as_bytes());
                 ctx.sleep(Duration::from_millis(30));
                 0
             })
         }),
     );
-    let blocker = r.cluster.bsub(LsfRequest::new("/bin/tagger").args(["blocker"])).unwrap();
+    let blocker = r
+        .cluster
+        .bsub(LsfRequest::new("/bin/tagger").args(["blocker"]))
+        .unwrap();
     // Give the blocker the slot before queueing the contenders.
     let deadline = std::time::Instant::now() + T;
     while !r.world.os().fs().exists(r.exec[0], "/start_order") {
         assert!(std::time::Instant::now() < deadline);
         std::thread::sleep(Duration::from_millis(2));
     }
-    let low = r.cluster.bsub(LsfRequest::new("/bin/tagger").args(["low"]).priority(0)).unwrap();
-    let high = r.cluster.bsub(LsfRequest::new("/bin/tagger").args(["high"]).priority(10)).unwrap();
+    let low = r
+        .cluster
+        .bsub(LsfRequest::new("/bin/tagger").args(["low"]).priority(0))
+        .unwrap();
+    let high = r
+        .cluster
+        .bsub(LsfRequest::new("/bin/tagger").args(["high"]).priority(10))
+        .unwrap();
     for j in [blocker, low, high] {
-        assert!(matches!(r.cluster.wait_job(j, T).unwrap(), LsfJobState::Done(_)));
+        assert!(matches!(
+            r.cluster.wait_job(j, T).unwrap(),
+            LsfJobState::Done(_)
+        ));
     }
-    let order =
-        String::from_utf8(r.world.os().fs().read_file(r.exec[0], "/start_order").unwrap())
-            .unwrap();
+    let order = String::from_utf8(
+        r.world
+            .os()
+            .fs()
+            .read_file(r.exec[0], "/start_order")
+            .unwrap(),
+    )
+    .unwrap();
     assert_eq!(
         order.lines().collect::<Vec<_>>(),
         vec!["blocker", "high", "low"],
@@ -342,7 +424,10 @@ fn dead_sbatchd_host_does_not_wedge_the_cluster() {
     std::thread::sleep(Duration::from_millis(50));
     // Submit a couple of jobs; they must all land on the survivor.
     for _ in 0..2 {
-        let job = r.cluster.bsub(LsfRequest::new("/bin/app").args(["2"])).unwrap();
+        let job = r
+            .cluster
+            .bsub(LsfRequest::new("/bin/app").args(["2"]))
+            .unwrap();
         match r.cluster.wait_job(job, T).unwrap() {
             LsfJobState::Done(done) => assert_eq!(done[&0], ProcStatus::Exited(0)),
             other => panic!("{other:?}"),
@@ -350,6 +435,8 @@ fn dead_sbatchd_host_does_not_wedge_the_cluster() {
     }
     // The dead host advertises zero capacity.
     let hosts = r.cluster.bhosts();
-    let dead = hosts.iter().find(|(n, _, _)| n.contains(&format!("host{}", r.exec[0].0)));
+    let dead = hosts
+        .iter()
+        .find(|(n, _, _)| n.contains(&format!("host{}", r.exec[0].0)));
     assert_eq!(dead.map(|(_, slots, _)| *slots), Some(0), "{hosts:?}");
 }

@@ -17,44 +17,47 @@ fn rank_from_args(args: &[String]) -> u32 {
 /// compute phase between hops. Symbols: `main`, `compute`,
 /// `communicate`. Exit code = 0 when the token arrives back intact.
 pub fn ring(comm: MpiComm, rounds: u32, work_per_hop: u64) -> ExecImage {
-    ExecImage::new(["main", "compute", "communicate"], Arc::new(move |args| {
-        let comm = comm.clone();
-        let rank = rank_from_args(args);
-        fn_program(move |ctx| {
-            let me = comm.rank(rank);
-            let n = me.size();
-            let mut ok = true;
-            ctx.call("main", |ctx| {
-                for round in 0..rounds {
-                    ctx.call("compute", |ctx| ctx.compute(work_per_hop));
-                    let r = ctx.call("communicate", |ctx| -> Result<(), tdp_proto::TdpError> {
-                        if rank == 0 {
-                            // Rank 0 injects the token, then waits for it
-                            // to come back around.
-                            let token = (round as u64) * 1000;
-                            me.send(1 % n, round, &token.to_be_bytes())?;
-                            let data = me.recv(ctx, n - 1, round)?;
-                            let got = u64::from_be_bytes(data.try_into().unwrap_or_default());
-                            if got != token + (n as u64 - 1) {
-                                ok = false;
+    ExecImage::new(
+        ["main", "compute", "communicate"],
+        Arc::new(move |args| {
+            let comm = comm.clone();
+            let rank = rank_from_args(args);
+            fn_program(move |ctx| {
+                let me = comm.rank(rank);
+                let n = me.size();
+                let mut ok = true;
+                ctx.call("main", |ctx| {
+                    for round in 0..rounds {
+                        ctx.call("compute", |ctx| ctx.compute(work_per_hop));
+                        let r = ctx.call("communicate", |ctx| -> Result<(), tdp_proto::TdpError> {
+                            if rank == 0 {
+                                // Rank 0 injects the token, then waits for it
+                                // to come back around.
+                                let token = (round as u64) * 1000;
+                                me.send(1 % n, round, &token.to_be_bytes())?;
+                                let data = me.recv(ctx, n - 1, round)?;
+                                let got = u64::from_be_bytes(data.try_into().unwrap_or_default());
+                                if got != token + (n as u64 - 1) {
+                                    ok = false;
+                                }
+                            } else {
+                                let data = me.recv(ctx, rank - 1, round)?;
+                                let mut v = u64::from_be_bytes(data.try_into().unwrap_or_default());
+                                v += 1;
+                                me.send((rank + 1) % n, round, &v.to_be_bytes())?;
                             }
-                        } else {
-                            let data = me.recv(ctx, rank - 1, round)?;
-                            let mut v = u64::from_be_bytes(data.try_into().unwrap_or_default());
-                            v += 1;
-                            me.send((rank + 1) % n, round, &v.to_be_bytes())?;
+                            Ok(())
+                        });
+                        if r.is_err() {
+                            ok = false;
+                            break;
                         }
-                        Ok(())
-                    });
-                    if r.is_err() {
-                        ok = false;
-                        break;
                     }
-                }
-            });
-            i32::from(!ok)
-        })
-    }))
+                });
+                i32::from(!ok)
+            })
+        }),
+    )
 }
 
 /// 1-D stencil-style program: alternating compute and halo-exchange
@@ -76,18 +79,20 @@ pub fn stencil(comm: MpiComm, iterations: u32, work: u64) -> ExecImage {
                     for it in 0..iterations {
                         ctx.call("compute", |ctx| ctx.compute(work));
                         if n > 1 {
-                            let _ = ctx.call("exchange", |ctx| -> Result<(), tdp_proto::TdpError> {
-                                let left = (rank + n - 1) % n;
-                                let right = (rank + 1) % n;
-                                me.send(right, it, &[rank as u8])?;
-                                me.send(left, it + 1_000_000, &[rank as u8])?;
-                                me.recv(ctx, left, it)?;
-                                me.recv(ctx, right, it + 1_000_000)?;
-                                Ok(())
-                            });
+                            let _ =
+                                ctx.call("exchange", |ctx| -> Result<(), tdp_proto::TdpError> {
+                                    let left = (rank + n - 1) % n;
+                                    let right = (rank + 1) % n;
+                                    me.send(right, it, &[rank as u8])?;
+                                    me.send(left, it + 1_000_000, &[rank as u8])?;
+                                    me.recv(ctx, left, it)?;
+                                    me.recv(ctx, right, it + 1_000_000)?;
+                                    Ok(())
+                                });
                         }
-                        residual = ctx
-                            .call("reduce_residual", |ctx| me.allreduce_sum(ctx, 1).unwrap_or(0));
+                        residual = ctx.call("reduce_residual", |ctx| {
+                            me.allreduce_sum(ctx, 1).unwrap_or(0)
+                        });
                     }
                 });
                 // Every rank contributed 1 per iteration.
@@ -104,7 +109,10 @@ mod tests {
     #[test]
     fn images_expose_symbols() {
         let comm = MpiComm::new(2);
-        assert_eq!(ring(comm.clone(), 1, 1).symbols.as_slice(), &["main", "compute", "communicate"]);
+        assert_eq!(
+            ring(comm.clone(), 1, 1).symbols.as_slice(),
+            &["main", "compute", "communicate"]
+        );
         assert_eq!(
             stencil(comm, 1, 1).symbols.as_slice(),
             &["main", "compute", "exchange", "reduce_residual"]

@@ -41,7 +41,10 @@ impl MpiComm {
             inner: Arc::new(CommInner {
                 n,
                 mailboxes: (0..n)
-                    .map(|_| Mailbox { queue: Mutex::new(VecDeque::new()), cv: Condvar::new() })
+                    .map(|_| Mailbox {
+                        queue: Mutex::new(VecDeque::new()),
+                        cv: Condvar::new(),
+                    })
                     .collect(),
                 barrier: Mutex::new((0, 0)),
                 barrier_cv: Condvar::new(),
@@ -56,8 +59,15 @@ impl MpiComm {
 
     /// Bind this communicator to a rank, yielding the per-rank API.
     pub fn rank(&self, rank: u32) -> RankCtx {
-        assert!(rank < self.inner.n, "rank {rank} out of range (size {})", self.inner.n);
-        RankCtx { comm: self.clone(), rank }
+        assert!(
+            rank < self.inner.n,
+            "rank {rank} out of range (size {})",
+            self.inner.n
+        );
+        RankCtx {
+            comm: self.clone(),
+            rank,
+        }
     }
 }
 
@@ -85,10 +95,17 @@ impl RankCtx {
     pub fn send(&self, to: u32, tag: u32, data: &[u8]) -> TdpResult<()> {
         let inner = &self.comm.inner;
         if to >= inner.n {
-            return Err(TdpError::Substrate(format!("send to rank {to} of {}", inner.n)));
+            return Err(TdpError::Substrate(format!(
+                "send to rank {to} of {}",
+                inner.n
+            )));
         }
         let mb = &inner.mailboxes[to as usize];
-        mb.queue.lock().push_back(Envelope { from: self.rank, tag, data: data.to_vec() });
+        mb.queue.lock().push_back(Envelope {
+            from: self.rank,
+            tag,
+            data: data.to_vec(),
+        });
         mb.cv.notify_all();
         Ok(())
     }
@@ -198,8 +215,9 @@ impl RankCtx {
         } else {
             self.bcast(ctx, 0, &[])?
         };
-        let arr: [u8; 8] =
-            bytes.try_into().map_err(|_| TdpError::Protocol("bad allreduce payload".into()))?;
+        let arr: [u8; 8] = bytes
+            .try_into()
+            .map_err(|_| TdpError::Protocol("bad allreduce payload".into()))?;
         Ok(u64::from_be_bytes(arr))
     }
 }

@@ -16,7 +16,8 @@ fn launch_all(os: &Os, hosts: &[HostId], image: ExecImage, n: u32) -> Vec<tdp_pr
     (0..n)
         .map(|r| {
             let h = hosts[r as usize % hosts.len()];
-            os.spawn(ProcSpec::new(h, "/bin/mpi_app").args([r.to_string()])).unwrap()
+            os.spawn(ProcSpec::new(h, "/bin/mpi_app").args([r.to_string()]))
+                .unwrap()
         })
         .collect()
 }
@@ -141,10 +142,14 @@ fn ring_ranks_are_instrumentable() {
     let h = HostId(1);
     let image = apps::ring(comm, 4, 7);
     os.fs().install_exec(h, "/bin/mpi_app", image);
-    let p0 = os.spawn(ProcSpec::new(h, "/bin/mpi_app").args(["0"]).paused()).unwrap();
+    let p0 = os
+        .spawn(ProcSpec::new(h, "/bin/mpi_app").args(["0"]).paused())
+        .unwrap();
     let t0 = os.attach(p0).unwrap();
     t0.arm_probe("compute").unwrap();
-    let p1 = os.spawn(ProcSpec::new(h, "/bin/mpi_app").args(["1"])).unwrap();
+    let p1 = os
+        .spawn(ProcSpec::new(h, "/bin/mpi_app").args(["1"]))
+        .unwrap();
     os.continue_process(p0).unwrap();
     assert_eq!(os.wait_terminal(p0, T).unwrap(), ProcStatus::Exited(0));
     assert_eq!(os.wait_terminal(p1, T).unwrap(), ProcStatus::Exited(0));

@@ -120,7 +120,11 @@ mod tests {
         for p in [
             Packet::Multicast(b"hello".to_vec()),
             Packet::Multicast(Vec::new()),
-            Packet::Reduce { wave: 3, value: 999, count: 4 },
+            Packet::Reduce {
+                wave: 3,
+                value: 999,
+                count: 4,
+            },
         ] {
             let mut buf = p.encode();
             let got = Packet::decode(&mut buf).unwrap().unwrap();
@@ -141,11 +145,25 @@ mod tests {
     #[test]
     fn pipelined_packets() {
         let mut buf = Packet::Multicast(b"a".to_vec()).encode();
-        buf.extend(Packet::Reduce { wave: 1, value: 2, count: 1 }.encode());
-        assert_eq!(Packet::decode(&mut buf).unwrap().unwrap(), Packet::Multicast(b"a".to_vec()));
+        buf.extend(
+            Packet::Reduce {
+                wave: 1,
+                value: 2,
+                count: 1,
+            }
+            .encode(),
+        );
         assert_eq!(
             Packet::decode(&mut buf).unwrap().unwrap(),
-            Packet::Reduce { wave: 1, value: 2, count: 1 }
+            Packet::Multicast(b"a".to_vec())
+        );
+        assert_eq!(
+            Packet::decode(&mut buf).unwrap().unwrap(),
+            Packet::Reduce {
+                wave: 1,
+                value: 2,
+                count: 1
+            }
         );
     }
 

@@ -20,7 +20,10 @@ pub struct TreeSpec {
 
 impl Default for TreeSpec {
     fn default() -> Self {
-        TreeSpec { fanout: 4, op: ReduceOp::Sum }
+        TreeSpec {
+            fanout: 4,
+            op: ReduceOp::Sum,
+        }
     }
 }
 
@@ -111,13 +114,18 @@ impl FrontEnd {
         spec: TreeSpec,
     ) -> TdpResult<(FrontEnd, Vec<Addr>)> {
         if n_leaves == 0 {
-            return Err(TdpError::Substrate("mrnet tree needs at least one leaf".into()));
+            return Err(TdpError::Substrate(
+                "mrnet tree needs at least one leaf".into(),
+            ));
         }
         if spec.fanout == 0 {
             return Err(TdpError::Substrate("mrnet fanout must be >= 1".into()));
         }
-        let hosts: Vec<HostId> =
-            if interior_hosts.is_empty() { vec![root_host] } else { interior_hosts.to_vec() };
+        let hosts: Vec<HostId> = if interior_hosts.is_empty() {
+            vec![root_host]
+        } else {
+            interior_hosts.to_vec()
+        };
         let listener = net.listen(root_host, 0)?;
         let addr = listener.local_addr();
         let acc = Accumulator::new(spec.op, n_leaves as u32);
@@ -166,7 +174,13 @@ impl FrontEnd {
             .map_err(|e| TdpError::Substrate(format!("spawn mrnet root: {e}")))?;
 
         Ok((
-            FrontEnd { addr, children, expected_children, acc, n_leaves: n_leaves as u32 },
+            FrontEnd {
+                addr,
+                children,
+                expected_children,
+                acc,
+                n_leaves: n_leaves as u32,
+            },
             attach,
         ))
     }
@@ -225,10 +239,20 @@ fn build_subtree(
     let (expected_children, attach, child_plans) = if n_leaves <= spec.fanout {
         (n_leaves, vec![addr; n_leaves], Vec::new())
     } else {
-        (split_groups(n_leaves, spec.fanout).len(), Vec::new(), split_groups(n_leaves, spec.fanout))
+        (
+            split_groups(n_leaves, spec.fanout).len(),
+            Vec::new(),
+            split_groups(n_leaves, spec.fanout),
+        )
     };
 
-    spawn_node_runtime(listener, upstream, expected_children, n_leaves as u32, spec.op);
+    spawn_node_runtime(
+        listener,
+        upstream,
+        expected_children,
+        n_leaves as u32,
+        spec.op,
+    );
 
     if child_plans.is_empty() {
         Ok(attach)
@@ -274,7 +298,14 @@ fn spawn_node_runtime(
                     .spawn(move || {
                         read_reduces(rx, move |wave, value, count| {
                             if let Some((v, c)) = acc.add(wave, value, count) {
-                                let _ = utx.send(&Packet::Reduce { wave, value: v, count: c }.encode());
+                                let _ = utx.send(
+                                    &Packet::Reduce {
+                                        wave,
+                                        value: v,
+                                        count: c,
+                                    }
+                                    .encode(),
+                                );
                             }
                         })
                     })
@@ -347,7 +378,10 @@ impl BackEnd {
     /// Attach to the tree at the given attach address (as handed out by
     /// [`FrontEnd::build`]).
     pub fn connect(net: &Network, from: HostId, attach: Addr) -> TdpResult<BackEnd> {
-        Ok(BackEnd { conn: net.connect(from, attach)?, buf: Vec::new() })
+        Ok(BackEnd {
+            conn: net.connect(from, attach)?,
+            buf: Vec::new(),
+        })
     }
 
     /// Receive the next multicast payload.
@@ -357,8 +391,9 @@ impl BackEnd {
             if let Some(Packet::Multicast(data)) = Packet::decode(&mut self.buf)? {
                 return Ok(data);
             }
-            let remaining =
-                deadline.checked_duration_since(Instant::now()).ok_or(TdpError::Timeout)?;
+            let remaining = deadline
+                .checked_duration_since(Instant::now())
+                .ok_or(TdpError::Timeout)?;
             let chunk = self.conn.recv_timeout(remaining)?;
             self.buf.extend_from_slice(&chunk);
         }
@@ -366,7 +401,14 @@ impl BackEnd {
 
     /// Contribute this daemon's value to a reduction wave.
     pub fn contribute(&self, wave: u64, value: u64) -> TdpResult<()> {
-        self.conn.send(&Packet::Reduce { wave, value, count: 1 }.encode())
+        self.conn.send(
+            &Packet::Reduce {
+                wave,
+                value,
+                count: 1,
+            }
+            .encode(),
+        )
     }
 }
 

@@ -25,8 +25,17 @@ fn attach_all(net: &Network, hosts: &[HostId], attach: &[tdp_proto::Addr]) -> Ve
 #[test]
 fn flat_tree_multicast_and_reduce() {
     let (net, root, hosts) = world(3);
-    let (fe, attach) =
-        FrontEnd::build(&net, root, &hosts, 3, TreeSpec { fanout: 4, op: ReduceOp::Sum }).unwrap();
+    let (fe, attach) = FrontEnd::build(
+        &net,
+        root,
+        &hosts,
+        3,
+        TreeSpec {
+            fanout: 4,
+            op: ReduceOp::Sum,
+        },
+    )
+    .unwrap();
     assert_eq!(attach.len(), 3);
     let mut backends = attach_all(&net, &hosts, &attach);
     fe.multicast(b"start wave 0").unwrap();
@@ -41,8 +50,17 @@ fn flat_tree_multicast_and_reduce() {
 fn deep_tree_with_small_fanout() {
     // 16 leaves, fanout 2: several interior layers.
     let (net, root, hosts) = world(4);
-    let (fe, attach) =
-        FrontEnd::build(&net, root, &hosts, 16, TreeSpec { fanout: 2, op: ReduceOp::Sum }).unwrap();
+    let (fe, attach) = FrontEnd::build(
+        &net,
+        root,
+        &hosts,
+        16,
+        TreeSpec {
+            fanout: 2,
+            op: ReduceOp::Sum,
+        },
+    )
+    .unwrap();
     assert_eq!(attach.len(), 16);
     let mut backends = attach_all(&net, &hosts, &attach);
     fe.multicast(b"go").unwrap();
@@ -56,8 +74,17 @@ fn deep_tree_with_small_fanout() {
 #[test]
 fn max_reduction() {
     let (net, root, hosts) = world(2);
-    let (fe, attach) =
-        FrontEnd::build(&net, root, &hosts, 5, TreeSpec { fanout: 2, op: ReduceOp::Max }).unwrap();
+    let (fe, attach) = FrontEnd::build(
+        &net,
+        root,
+        &hosts,
+        5,
+        TreeSpec {
+            fanout: 2,
+            op: ReduceOp::Max,
+        },
+    )
+    .unwrap();
     let backends = attach_all(&net, &hosts, &attach);
     for (i, be) in backends.iter().enumerate() {
         be.contribute(0, 100 + i as u64).unwrap();
@@ -68,8 +95,17 @@ fn max_reduction() {
 #[test]
 fn min_reduction() {
     let (net, root, hosts) = world(2);
-    let (fe, attach) =
-        FrontEnd::build(&net, root, &hosts, 4, TreeSpec { fanout: 3, op: ReduceOp::Min }).unwrap();
+    let (fe, attach) = FrontEnd::build(
+        &net,
+        root,
+        &hosts,
+        4,
+        TreeSpec {
+            fanout: 3,
+            op: ReduceOp::Min,
+        },
+    )
+    .unwrap();
     let backends = attach_all(&net, &hosts, &attach);
     for (i, be) in backends.iter().enumerate() {
         be.contribute(3, 50 - i as u64).unwrap();
@@ -80,8 +116,17 @@ fn min_reduction() {
 #[test]
 fn multiple_waves_interleaved() {
     let (net, root, hosts) = world(2);
-    let (fe, attach) =
-        FrontEnd::build(&net, root, &hosts, 4, TreeSpec { fanout: 2, op: ReduceOp::Sum }).unwrap();
+    let (fe, attach) = FrontEnd::build(
+        &net,
+        root,
+        &hosts,
+        4,
+        TreeSpec {
+            fanout: 2,
+            op: ReduceOp::Sum,
+        },
+    )
+    .unwrap();
     let backends = attach_all(&net, &hosts, &attach);
     // Contribute to waves out of order.
     for be in &backends {
@@ -97,8 +142,17 @@ fn multiple_waves_interleaved() {
 #[test]
 fn sequential_multicasts_stay_ordered() {
     let (net, root, hosts) = world(2);
-    let (fe, attach) =
-        FrontEnd::build(&net, root, &hosts, 4, TreeSpec { fanout: 2, op: ReduceOp::Sum }).unwrap();
+    let (fe, attach) = FrontEnd::build(
+        &net,
+        root,
+        &hosts,
+        4,
+        TreeSpec {
+            fanout: 2,
+            op: ReduceOp::Sum,
+        },
+    )
+    .unwrap();
     let mut backends = attach_all(&net, &hosts, &attach);
     for i in 0..10u8 {
         fe.multicast(&[i]).unwrap();
@@ -130,8 +184,17 @@ fn zero_leaves_rejected() {
 #[test]
 fn incomplete_wave_times_out() {
     let (net, root, hosts) = world(2);
-    let (fe, attach) =
-        FrontEnd::build(&net, root, &hosts, 3, TreeSpec { fanout: 2, op: ReduceOp::Sum }).unwrap();
+    let (fe, attach) = FrontEnd::build(
+        &net,
+        root,
+        &hosts,
+        3,
+        TreeSpec {
+            fanout: 2,
+            op: ReduceOp::Sum,
+        },
+    )
+    .unwrap();
     let backends = attach_all(&net, &hosts, &attach);
     backends[0].contribute(0, 1).unwrap();
     backends[1].contribute(0, 1).unwrap();
@@ -143,8 +206,17 @@ fn incomplete_wave_times_out() {
 fn reduction_scales_to_many_leaves() {
     let (net, root, hosts) = world(8);
     let n = 64;
-    let (fe, attach) =
-        FrontEnd::build(&net, root, &hosts, n, TreeSpec { fanout: 4, op: ReduceOp::Sum }).unwrap();
+    let (fe, attach) = FrontEnd::build(
+        &net,
+        root,
+        &hosts,
+        n,
+        TreeSpec {
+            fanout: 4,
+            op: ReduceOp::Sum,
+        },
+    )
+    .unwrap();
     let backends = attach_all(&net, &hosts, &attach);
     for be in &backends {
         be.contribute(0, 1).unwrap();

@@ -26,7 +26,10 @@ struct PipeState {
 impl Pipe {
     pub(crate) fn new() -> Arc<Pipe> {
         Arc::new(Pipe {
-            state: Mutex::new(PipeState { queue: VecDeque::new(), closed: false }),
+            state: Mutex::new(PipeState {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
             cv: Condvar::new(),
             bytes: AtomicU64::new(0),
         })
@@ -110,7 +113,10 @@ impl Pipe {
     /// Is there a deliverable chunk queued right now?
     fn readable(&self) -> bool {
         let st = self.state.lock();
-        st.queue.front().is_some_and(|&(at, _)| at <= Instant::now()) || st.closed
+        st.queue
+            .front()
+            .is_some_and(|&(at, _)| at <= Instant::now())
+            || st.closed
     }
 }
 
@@ -139,7 +145,11 @@ impl Conn {
     /// Create a connected pair directly, outside any [`crate::Network`].
     /// Useful for unit tests of protocol layers.
     pub fn pair() -> (Conn, Conn) {
-        Self::pair_with(Addr::new(tdp_proto::HostId(0), 0), Addr::new(tdp_proto::HostId(0), 0), Duration::ZERO)
+        Self::pair_with(
+            Addr::new(tdp_proto::HostId(0), 0),
+            Addr::new(tdp_proto::HostId(0), 0),
+            Duration::ZERO,
+        )
     }
 
     pub(crate) fn pair_with(a: Addr, b: Addr, latency: Duration) -> (Conn, Conn) {
@@ -154,7 +164,14 @@ impl Conn {
                 latency,
                 read_buf: BytesMut::new(),
             },
-            Conn { tx: ba, rx: ab, local: b, peer: a, latency, read_buf: BytesMut::new() },
+            Conn {
+                tx: ba,
+                rx: ab,
+                local: b,
+                peer: a,
+                latency,
+                read_buf: BytesMut::new(),
+            },
         )
     }
 
@@ -171,7 +188,8 @@ impl Conn {
     /// Send a chunk of bytes. Ordered, reliable, never blocks (pipes are
     /// unbounded, as justified by TDP's small control-plane messages).
     pub fn send(&self, data: &[u8]) -> TdpResult<()> {
-        self.tx.push(Instant::now() + self.latency, Bytes::copy_from_slice(data))
+        self.tx
+            .push(Instant::now() + self.latency, Bytes::copy_from_slice(data))
     }
 
     /// Send an owned chunk without copying.
@@ -205,7 +223,8 @@ impl Conn {
 
     /// Send one framed [`Message`].
     pub fn send_msg(&self, msg: &Message) -> TdpResult<()> {
-        self.tx.push(Instant::now() + self.latency, encode_frame(msg))
+        self.tx
+            .push(Instant::now() + self.latency, encode_frame(msg))
     }
 
     /// Blocking receive of one framed [`Message`], reassembling partial
@@ -228,6 +247,23 @@ impl Conn {
             }
             let chunk = self.rx.pop(deadline)?;
             self.read_buf.extend_from_slice(&chunk);
+        }
+    }
+
+    /// Non-blocking framed receive: `Ok(None)` when no complete message
+    /// is deliverable yet.
+    pub fn try_recv_msg(&mut self) -> TdpResult<Option<Message>> {
+        loop {
+            match decode_frame(&mut self.read_buf) {
+                Ok(msg) => return Ok(Some(msg)),
+                Err(FrameError::Incomplete) => {}
+                Err(e) => return Err(TdpError::Protocol(e.to_string())),
+            }
+            match self.rx.try_pop() {
+                Some(Ok(chunk)) => self.read_buf.extend_from_slice(&chunk),
+                Some(Err(e)) => return Err(e),
+                None => return Ok(None),
+            }
         }
     }
 
@@ -260,7 +296,10 @@ impl Conn {
     /// Split into independently owned send and receive halves, so two
     /// threads can pump opposite directions (as the proxy relay does).
     pub fn split(mut self) -> (ConnTx, ConnRx) {
-        let tx = ConnTx { tx: self.tx.clone(), latency: self.latency };
+        let tx = ConnTx {
+            tx: self.tx.clone(),
+            latency: self.latency,
+        };
         let rx = ConnRx {
             rx: self.rx.clone(),
             read_buf: std::mem::take(&mut self.read_buf),
@@ -280,7 +319,8 @@ pub struct ConnTx {
 
 impl ConnTx {
     pub fn send(&self, data: &[u8]) -> TdpResult<()> {
-        self.tx.push(Instant::now() + self.latency, Bytes::copy_from_slice(data))
+        self.tx
+            .push(Instant::now() + self.latency, Bytes::copy_from_slice(data))
     }
 
     pub fn send_bytes(&self, data: Bytes) -> TdpResult<()> {
@@ -288,7 +328,8 @@ impl ConnTx {
     }
 
     pub fn send_msg(&self, msg: &Message) -> TdpResult<()> {
-        self.tx.push(Instant::now() + self.latency, encode_frame(msg))
+        self.tx
+            .push(Instant::now() + self.latency, encode_frame(msg))
     }
 
     /// Signal EOF to the peer.
@@ -325,14 +366,40 @@ impl ConnRx {
     }
 
     pub fn recv_msg(&mut self) -> TdpResult<Message> {
+        self.recv_msg_deadline(None)
+    }
+
+    /// Framed receive with a timeout.
+    pub fn recv_msg_timeout(&mut self, timeout: Duration) -> TdpResult<Message> {
+        self.recv_msg_deadline(Some(Instant::now() + timeout))
+    }
+
+    fn recv_msg_deadline(&mut self, deadline: Option<Instant>) -> TdpResult<Message> {
         loop {
             match decode_frame(&mut self.read_buf) {
                 Ok(msg) => return Ok(msg),
                 Err(FrameError::Incomplete) => {}
                 Err(e) => return Err(TdpError::Protocol(e.to_string())),
             }
-            let chunk = self.rx.pop(None)?;
+            let chunk = self.rx.pop(deadline)?;
             self.read_buf.extend_from_slice(&chunk);
+        }
+    }
+
+    /// Non-blocking framed receive: `Ok(None)` when no complete message
+    /// is deliverable yet.
+    pub fn try_recv_msg(&mut self) -> TdpResult<Option<Message>> {
+        loop {
+            match decode_frame(&mut self.read_buf) {
+                Ok(msg) => return Ok(Some(msg)),
+                Err(FrameError::Incomplete) => {}
+                Err(e) => return Err(TdpError::Protocol(e.to_string())),
+            }
+            match self.rx.try_pop() {
+                Some(Ok(chunk)) => self.read_buf.extend_from_slice(&chunk),
+                Some(Err(e)) => return Err(e),
+                None => return Ok(None),
+            }
         }
     }
 }
@@ -430,7 +497,10 @@ mod tests {
     fn recv_timeout_fires() {
         let (_a, mut b) = Conn::pair();
         let t0 = Instant::now();
-        assert_eq!(b.recv_timeout(Duration::from_millis(30)), Err(TdpError::Timeout));
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(30)),
+            Err(TdpError::Timeout)
+        );
         assert!(t0.elapsed() >= Duration::from_millis(25));
     }
 
@@ -445,7 +515,11 @@ mod tests {
     #[test]
     fn framed_messages_cross_chunk_boundaries() {
         let (a, mut b) = Conn::pair();
-        let msg = Message::Put { ctx: ContextId(1), key: "pid".into(), value: "42".into() };
+        let msg = Message::Put {
+            ctx: ContextId(1),
+            key: "pid".into(),
+            value: "42".into(),
+        };
         let frame = encode_frame(&msg);
         // Send the frame one byte at a time.
         for byte in frame.iter() {
@@ -478,8 +552,11 @@ mod tests {
 
     #[test]
     fn latency_delays_delivery() {
-        let (a, mut b) =
-            Conn::pair_with(Addr::new(tdp_proto::HostId(0), 1), Addr::new(tdp_proto::HostId(1), 2), Duration::from_millis(40));
+        let (a, mut b) = Conn::pair_with(
+            Addr::new(tdp_proto::HostId(0), 1),
+            Addr::new(tdp_proto::HostId(1), 2),
+            Duration::from_millis(40),
+        );
         let t0 = Instant::now();
         a.send(b"slow").unwrap();
         assert!(b.try_recv().is_none(), "chunk must still be in flight");

@@ -36,12 +36,20 @@ pub struct FirewallPolicy {
 
 impl FirewallPolicy {
     /// NAT-like: outbound permitted, inbound blocked.
-    pub const NAT: FirewallPolicy = FirewallPolicy { allow_outbound: true, allow_inbound: false };
+    pub const NAT: FirewallPolicy = FirewallPolicy {
+        allow_outbound: true,
+        allow_inbound: false,
+    };
     /// Strict firewall: nothing crosses without an authorized route.
-    pub const STRICT: FirewallPolicy =
-        FirewallPolicy { allow_outbound: false, allow_inbound: false };
+    pub const STRICT: FirewallPolicy = FirewallPolicy {
+        allow_outbound: false,
+        allow_inbound: false,
+    };
     /// No restrictions (useful in tests).
-    pub const OPEN: FirewallPolicy = FirewallPolicy { allow_outbound: true, allow_inbound: true };
+    pub const OPEN: FirewallPolicy = FirewallPolicy {
+        allow_outbound: true,
+        allow_inbound: true,
+    };
 }
 
 /// Latency model applied to every connection at establishment time.
@@ -107,7 +115,10 @@ impl Network {
     pub fn new() -> Network {
         let zones = HashMap::from([(
             ZoneId::PUBLIC,
-            ZoneEntry { policy: FirewallPolicy::OPEN, partitioned: HashSet::new() },
+            ZoneEntry {
+                policy: FirewallPolicy::OPEN,
+                partitioned: HashSet::new(),
+            },
         )]);
         Network {
             inner: Arc::new(NetInner {
@@ -146,13 +157,24 @@ impl Network {
     /// Create a private zone with the given firewall policy.
     pub fn add_private_zone(&self, policy: FirewallPolicy) -> ZoneId {
         let id = ZoneId(self.inner.next_zone.fetch_add(1, Ordering::Relaxed));
-        self.inner.zones.write().insert(id, ZoneEntry { policy, partitioned: HashSet::new() });
+        self.inner.zones.write().insert(
+            id,
+            ZoneEntry {
+                policy,
+                partitioned: HashSet::new(),
+            },
+        );
         id
     }
 
     /// Zone a host lives in.
     pub fn zone_of(&self, host: HostId) -> TdpResult<ZoneId> {
-        self.inner.hosts.read().get(&host).map(|h| h.zone).ok_or(TdpError::NoSuchHost(host))
+        self.inner
+            .hosts
+            .read()
+            .get(&host)
+            .map(|h| h.zone)
+            .ok_or(TdpError::NoSuchHost(host))
     }
 
     /// Grant `from` permission to connect to `to` across any firewall —
@@ -191,11 +213,16 @@ impl Network {
             Port(port)
         };
         if entry.listeners.contains_key(&port) {
-            return Err(TdpError::Substrate(format!("port {port} already bound on {host}")));
+            return Err(TdpError::Substrate(format!(
+                "port {port} already bound on {host}"
+            )));
         }
         let (tx, rx) = crossbeam::channel::unbounded();
         entry.listeners.insert(port, tx);
-        Ok(Listener { addr: Addr { host, port }, incoming: rx })
+        Ok(Listener {
+            addr: Addr { host, port },
+            incoming: rx,
+        })
     }
 
     /// Release a listener's port (listeners dropped without unbind keep
@@ -263,13 +290,25 @@ impl Network {
             Port(p)
         };
         let src_zone = hosts[&from].zone;
-        let dst = hosts.get_mut(&to.host).ok_or(TdpError::NoSuchHost(to.host))?;
+        let dst = hosts
+            .get_mut(&to.host)
+            .ok_or(TdpError::NoSuchHost(to.host))?;
         let dst_zone = dst.zone;
-        let accept_tx =
-            dst.listeners.get(&to.port).cloned().ok_or(TdpError::ConnectionRefused(to))?;
+        let accept_tx = dst
+            .listeners
+            .get(&to.port)
+            .cloned()
+            .ok_or(TdpError::ConnectionRefused(to))?;
         let lat = *self.inner.latency.read();
-        let latency = if src_zone == dst_zone { lat.local } else { lat.cross_zone };
-        let local = Addr { host: from, port: src_port };
+        let latency = if src_zone == dst_zone {
+            lat.local
+        } else {
+            lat.cross_zone
+        };
+        let local = Addr {
+            host: from,
+            port: src_port,
+        };
         let (client, server) = Conn::pair_with(local, to, latency);
         // Register the pipes on both hosts for kill_host.
         let (p1, p2) = (Arc::downgrade(&client.tx), Arc::downgrade(&client.rx));
@@ -280,7 +319,9 @@ impl Network {
             src.pipes.push(p2);
         }
         drop(hosts);
-        accept_tx.send(server).map_err(|_| TdpError::ConnectionRefused(to))?;
+        accept_tx
+            .send(server)
+            .map_err(|_| TdpError::ConnectionRefused(to))?;
         self.inner.stats.write().connections_opened += 1;
         Ok(client)
     }
@@ -489,7 +530,10 @@ mod tests {
     #[test]
     fn cross_zone_latency_applies() {
         let net = Network::new();
-        net.set_latency(Latency { local: Duration::ZERO, cross_zone: Duration::from_millis(30) });
+        net.set_latency(Latency {
+            local: Duration::ZERO,
+            cross_zone: Duration::from_millis(30),
+        });
         let pub_host = net.add_host();
         let zone = net.add_private_zone(FirewallPolicy::NAT);
         let priv_host = net.add_host_in(zone);

@@ -69,7 +69,11 @@ pub fn spawn(net: &Network, host: HostId, port: u16) -> TdpResult<ProxyServer> {
             }
         })
         .expect("spawn proxy accept thread");
-    Ok(ProxyServer { addr, net: net.clone(), accept_thread: Some(accept_thread) })
+    Ok(ProxyServer {
+        addr,
+        net: net.clone(),
+        accept_thread: Some(accept_thread),
+    })
 }
 
 /// Handle one client: read the CONNECT header, dial upstream from the
@@ -124,7 +128,8 @@ fn read_line(conn: &mut Conn) -> TdpResult<String> {
             if !rest.is_empty() {
                 conn.unread(rest);
             }
-            return String::from_utf8(line).map_err(|_| TdpError::Protocol("non-utf8 header".into()));
+            return String::from_utf8(line)
+                .map_err(|_| TdpError::Protocol("non-utf8 header".into()));
         }
         line.extend_from_slice(&chunk);
         if line.len() > 256 {
@@ -246,7 +251,10 @@ mod tests {
         c.send(b"bye").unwrap();
         drop(c);
         assert_eq!(&s.recv().unwrap()[..], b"bye");
-        assert_eq!(s.recv_timeout(Duration::from_secs(2)), Err(TdpError::Disconnected));
+        assert_eq!(
+            s.recv_timeout(Duration::from_secs(2)),
+            Err(TdpError::Disconnected)
+        );
     }
 
     #[test]
@@ -259,11 +267,15 @@ mod tests {
         net.authorize_route(gw, fe_addr);
         let proxy = spawn(&net, gw, 0).unwrap();
         let mut raw = net.connect(exec, proxy.addr()).unwrap();
-        raw.send(format!("CONNECT {}\nEARLY", fe_addr.to_attr_value()).as_bytes()).unwrap();
+        raw.send(format!("CONNECT {}\nEARLY", fe_addr.to_attr_value()).as_bytes())
+            .unwrap();
         let ok = raw.recv().unwrap();
         assert!(ok.starts_with(b"OK\n"));
         let mut s = fe_listener.accept().unwrap();
-        assert_eq!(&s.recv_timeout(Duration::from_secs(2)).unwrap()[..], b"EARLY");
+        assert_eq!(
+            &s.recv_timeout(Duration::from_secs(2)).unwrap()[..],
+            b"EARLY"
+        );
     }
 
     #[test]

@@ -51,7 +51,10 @@ pub struct PerformanceConsultant {
 
 impl Default for PerformanceConsultant {
     fn default() -> Self {
-        PerformanceConsultant { threshold: 0.5, sync_calls_per_cpu: 10.0 }
+        PerformanceConsultant {
+            threshold: 0.5,
+            sync_calls_per_cpu: 10.0,
+        }
     }
 }
 
@@ -77,8 +80,10 @@ impl PerformanceConsultant {
         let measured_total: u64 = per_daemon_total.values().sum::<u64>().max(1);
 
         // Largest self-CPU holder (ties: name order, deterministic).
-        let mut by_cpu: Vec<(&str, u64, u64)> =
-            per_symbol.iter().map(|(sym, &(calls, cpu))| (*sym, calls, cpu)).collect();
+        let mut by_cpu: Vec<(&str, u64, u64)> = per_symbol
+            .iter()
+            .map(|(sym, &(calls, cpu))| (*sym, calls, cpu))
+            .collect();
         by_cpu.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(b.0)));
         let (symbol, calls, cpu) = by_cpu.first().copied()?;
         let fraction = cpu as f64 / measured_total as f64;
@@ -94,8 +99,10 @@ impl PerformanceConsultant {
 
         // No CPU dominator: look for the spin-wait shape — the most
         // *called* symbol, if its calls dwarf its self CPU.
-        let mut by_calls: Vec<(&str, u64, u64)> =
-            per_symbol.iter().map(|(sym, &(calls, cpu))| (*sym, calls, cpu)).collect();
+        let mut by_calls: Vec<(&str, u64, u64)> = per_symbol
+            .iter()
+            .map(|(sym, &(calls, cpu))| (*sym, calls, cpu))
+            .collect();
         by_calls.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
         if let Some(&(sync_sym, sync_calls, sync_cpu)) = by_calls.first() {
             if sync_calls > 0

@@ -98,17 +98,15 @@ fn parse_args(args: &[String]) -> DaemonArgs {
 /// space, and finally the **CASS** — the complete-TDP-framework path of
 /// §4.3 where "port arguments should be published by Paradyn front-end
 /// and disseminated to remote sites as attribute values".
-fn resolve_frontend(
-    tdp: &mut TdpHandle,
-    args: &DaemonArgs,
-) -> TdpResult<(Addr, Addr)> {
+fn resolve_frontend(tdp: &mut TdpHandle, args: &DaemonArgs) -> TdpResult<(Addr, Addr)> {
     if let (Some(h), Some(p), Some(dp)) = (args.fe_host, args.fe_control, args.fe_data) {
         return Ok((Addr::new(HostId(h), p), Addr::new(HostId(h), dp)));
     }
     // Local space (put there by the RM, if it chose to).
-    if let (Ok(c), Ok(d)) =
-        (tdp.try_get(names::TOOL_FRONTEND_ADDR), tdp.try_get(names::TOOL_FRONTEND_ADDR2))
-    {
+    if let (Ok(c), Ok(d)) = (
+        tdp.try_get(names::TOOL_FRONTEND_ADDR),
+        tdp.try_get(names::TOOL_FRONTEND_ADDR2),
+    ) {
         if let (Some(control), Some(data)) = (Addr::parse(&c), Addr::parse(&d)) {
             return Ok((control, data));
         }
@@ -170,7 +168,11 @@ fn select_probes(world: &World, host: HostId, symbols: &[String]) -> Vec<String>
                 .filter(|l| !l.is_empty() && !l.starts_with('#'))
                 .map(str::to_string)
                 .collect();
-            symbols.iter().filter(|s| wanted.iter().any(|w| w == *s)).cloned().collect()
+            symbols
+                .iter()
+                .filter(|s| wanted.iter().any(|w| w == *s))
+                .cloned()
+                .collect()
         }
         Err(_) => symbols.to_vec(),
     }
@@ -229,8 +231,15 @@ fn daemon_main(world: &World, ctx: &mut ProcCtx, args: &DaemonArgs) -> TdpResult
     let mut control = connect_fe(&mut tdp, world, host, control_addr)?;
     let data = connect_fe(&mut tdp, world, host, data_addr)?;
     control.send(
-        format!("{}\n", render_line(&ToolMsg::Ready { daemon: name.clone(), pid, symbols }))
-            .as_bytes(),
+        format!(
+            "{}\n",
+            render_line(&ToolMsg::Ready {
+                daemon: name.clone(),
+                pid,
+                symbols
+            })
+        )
+        .as_bytes(),
     )?;
 
     // Tell the RM the tool is ready (create-mode handshake, §2.2).
@@ -240,7 +249,12 @@ fn daemon_main(world: &World, ctx: &mut ProcCtx, args: &DaemonArgs) -> TdpResult
     // non-master MPI ranks "immediately issue a run command", §4.3).
     let mut run_lines = LineBuf::default();
     if args.auto_run {
-        proc_op(&mut tdp, args.strict_control, pid, tdp_proto::ProcRequest::Continue)?;
+        proc_op(
+            &mut tdp,
+            args.strict_control,
+            pid,
+            tdp_proto::ProcRequest::Continue,
+        )?;
     } else {
         'wait_run: loop {
             ctx.checkpoint();
@@ -277,15 +291,24 @@ fn daemon_main(world: &World, ctx: &mut ProcCtx, args: &DaemonArgs) -> TdpResult
         }
         while let Some(line) = control_lines.next_line() {
             match parse_line(&line) {
-                Some(ToolMsg::Pause) => {
-                    proc_op(&mut tdp, args.strict_control, pid, tdp_proto::ProcRequest::Pause)?
-                }
-                Some(ToolMsg::Run) => {
-                    proc_op(&mut tdp, args.strict_control, pid, tdp_proto::ProcRequest::Continue)?
-                }
-                Some(ToolMsg::Kill) => {
-                    proc_op(&mut tdp, args.strict_control, pid, tdp_proto::ProcRequest::Kill(9))?
-                }
+                Some(ToolMsg::Pause) => proc_op(
+                    &mut tdp,
+                    args.strict_control,
+                    pid,
+                    tdp_proto::ProcRequest::Pause,
+                )?,
+                Some(ToolMsg::Run) => proc_op(
+                    &mut tdp,
+                    args.strict_control,
+                    pid,
+                    tdp_proto::ProcRequest::Continue,
+                )?,
+                Some(ToolMsg::Kill) => proc_op(
+                    &mut tdp,
+                    args.strict_control,
+                    pid,
+                    tdp_proto::ProcRequest::Kill(9),
+                )?,
                 _ => {}
             }
         }
@@ -317,7 +340,9 @@ fn daemon_main(world: &World, ctx: &mut ProcCtx, args: &DaemonArgs) -> TdpResult
             for (sym, &count) in &snap.counts {
                 let time = snap.time.get(sym).copied().unwrap_or(0);
                 let self_time = snap.self_time.get(sym).copied().unwrap_or(0);
-                trace.push_str(&format!("{sym} count={count} time={time} self={self_time}\n"));
+                trace.push_str(&format!(
+                    "{sym} count={count} time={time} self={self_time}\n"
+                ));
                 let msg = ToolMsg::Sample {
                     daemon: name.clone(),
                     pid,
@@ -329,11 +354,21 @@ fn daemon_main(world: &World, ctx: &mut ProcCtx, args: &DaemonArgs) -> TdpResult
                 };
                 data.send(format!("{}\n", render_line(&msg)).as_bytes())?;
             }
-            world.os().fs().write_file(host, &format!("{name}.trace"), trace.as_bytes());
+            world
+                .os()
+                .fs()
+                .write_file(host, &format!("{name}.trace"), trace.as_bytes());
             tdp.publish_status(status)?;
             data.send(
-                format!("{}\n", render_line(&ToolMsg::Done { daemon: name.clone(), pid, status }))
-                    .as_bytes(),
+                format!(
+                    "{}\n",
+                    render_line(&ToolMsg::Done {
+                        daemon: name.clone(),
+                        pid,
+                        status
+                    })
+                )
+                .as_bytes(),
             )?;
             tdp.exit()?;
             return Ok(());
@@ -354,7 +389,11 @@ mod tests {
         // "-zunix -l3 -mpinguino.cs.wisc.edu -p2090 -P2091 -a%pid" with
         // the hostname in our simulated form.
         let a = parse_args(&sv(&["-zunix", "-l3", "-m0", "-p2090", "-P2091", "-a%pid"]));
-        assert_eq!(a.mode, DaemonMode::Tdp, "%pid unsubstituted means TDP framework mode");
+        assert_eq!(
+            a.mode,
+            DaemonMode::Tdp,
+            "%pid unsubstituted means TDP framework mode"
+        );
         assert_eq!(a.fe_host, Some(0));
         assert_eq!(a.fe_control, Some(2090));
         assert_eq!(a.fe_data, Some(2091));
@@ -372,7 +411,10 @@ mod tests {
         let a = parse_args(&sv(&["-r/bin/app", "x", "y"]));
         assert_eq!(
             a.mode,
-            DaemonMode::Create { exe: "/bin/app".into(), app_args: sv(&["x", "y"]) }
+            DaemonMode::Create {
+                exe: "/bin/app".into(),
+                app_args: sv(&["x", "y"])
+            }
         );
     }
 

@@ -7,13 +7,13 @@
 
 use crate::msg::{parse_line, render_line, LineBuf, ToolMsg};
 use parking_lot::{Condvar, Mutex};
-use tdp_attrspace::AttrClient;
-use tdp_proto::{names, ContextId};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
+use tdp_attrspace::AttrClient;
 use tdp_netsim::{ConnTx, Network};
+use tdp_proto::{names, ContextId};
 use tdp_proto::{Addr, HostId, Pid, ProcStatus, TdpError, TdpResult};
 
 /// A daemon registered with the front-end.
@@ -88,13 +88,20 @@ impl ParadynFrontend {
                             while let Ok(chunk) = rx.recv() {
                                 lines.push(&chunk);
                                 while let Some(line) = lines.next_line() {
-                                    if let Some(ToolMsg::Ready { daemon, pid, symbols }) =
-                                        parse_line(&line)
+                                    if let Some(ToolMsg::Ready {
+                                        daemon,
+                                        pid,
+                                        symbols,
+                                    }) = parse_line(&line)
                                     {
                                         let (lock, cv) = &*st;
                                         let mut s = lock.lock();
                                         s.controls.insert(daemon.clone(), tx.clone());
-                                        s.daemons.push(DaemonInfo { daemon, pid, symbols });
+                                        s.daemons.push(DaemonInfo {
+                                            daemon,
+                                            pid,
+                                            symbols,
+                                        });
                                         drop(s);
                                         cv.notify_all();
                                     }
@@ -160,7 +167,13 @@ impl ParadynFrontend {
             })
             .map_err(|e| TdpError::Substrate(format!("spawn fe data: {e}")))?;
 
-        Ok(ParadynFrontend { host, control_addr, data_addr, state, cass_session: Mutex::new(None) })
+        Ok(ParadynFrontend {
+            host,
+            control_addr,
+            data_addr,
+            state,
+            cass_session: Mutex::new(None),
+        })
     }
 
     /// Host the front-end runs on.
@@ -187,7 +200,7 @@ impl ParadynFrontend {
     /// The CASS is started on this front-end's host if not yet running.
     pub fn advertise_via_cass(&self, world: &tdp_core::World) -> TdpResult<()> {
         let cass = world.ensure_cass(self.host)?;
-        let mut client = AttrClient::connect(world.net(), self.host, cass)?;
+        let mut client = world.attr_connect(self.host, cass)?;
         client.join(ContextId::DEFAULT)?;
         client.put(
             ContextId::DEFAULT,

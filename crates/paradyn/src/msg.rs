@@ -8,7 +8,11 @@ use tdp_proto::{Pid, ProcStatus};
 pub enum ToolMsg {
     /// daemon → FE (control): attached and initialized; the application
     /// is stopped at (or before) `main`.
-    Ready { daemon: String, pid: Pid, symbols: Vec<String> },
+    Ready {
+        daemon: String,
+        pid: Pid,
+        symbols: Vec<String>,
+    },
     /// FE → daemon (control): start/resume the application.
     Run,
     /// FE → daemon (control): pause the application.
@@ -27,7 +31,11 @@ pub enum ToolMsg {
         total_cpu: u64,
     },
     /// daemon → FE (data): the application terminated.
-    Done { daemon: String, pid: Pid, status: ProcStatus },
+    Done {
+        daemon: String,
+        pid: Pid,
+        status: ProcStatus,
+    },
 }
 
 /// Render as one line (no trailing newline).
@@ -49,7 +57,9 @@ pub fn render_line(msg: &ToolMsg) -> String {
 }
 
 fn field<'a>(parts: &'a [&str], key: &str) -> Option<&'a str> {
-    parts.iter().find_map(|p| p.strip_prefix(key).and_then(|r| r.strip_prefix('=')))
+    parts
+        .iter()
+        .find_map(|p| p.strip_prefix(key).and_then(|r| r.strip_prefix('=')))
 }
 
 /// Parse one line. `None` for malformed input (a robust daemon skips
@@ -121,7 +131,11 @@ mod tests {
                 pid: Pid(7),
                 symbols: vec!["main".into(), "work".into()],
             },
-            ToolMsg::Ready { daemon: "d".into(), pid: Pid(1), symbols: Vec::new() },
+            ToolMsg::Ready {
+                daemon: "d".into(),
+                pid: Pid(1),
+                symbols: Vec::new(),
+            },
             ToolMsg::Run,
             ToolMsg::Pause,
             ToolMsg::Kill,
@@ -134,7 +148,11 @@ mod tests {
                 self_time: 450,
                 total_cpu: 700,
             },
-            ToolMsg::Done { daemon: "d".into(), pid: Pid(9), status: ProcStatus::Exited(0) },
+            ToolMsg::Done {
+                daemon: "d".into(),
+                pid: Pid(9),
+                status: ProcStatus::Exited(0),
+            },
         ];
         for m in msgs {
             assert_eq!(parse_line(&render_line(&m)), Some(m));

@@ -41,10 +41,20 @@ fn setup() -> Setup {
     let world = World::new();
     let fe_host = world.add_host();
     let exec_host = world.add_host();
-    world.os().fs().install_exec(exec_host, "paradynd", paradynd_image(world.clone()));
-    world.os().fs().install_exec(exec_host, "/bin/app", app_image());
+    world
+        .os()
+        .fs()
+        .install_exec(exec_host, "paradynd", paradynd_image(world.clone()));
+    world
+        .os()
+        .fs()
+        .install_exec(exec_host, "/bin/app", app_image());
     let fe = ParadynFrontend::start(world.net(), fe_host, 2090, 2091).unwrap();
-    Setup { world, exec_host, fe }
+    Setup {
+        world,
+        exec_host,
+        fe,
+    }
 }
 
 /// argv addressing the front-end the Figure-5B way.
@@ -64,8 +74,14 @@ fn fe_args(fe: &ParadynFrontend, extra: &[&str]) -> Vec<String> {
 fn create_mode_end_to_end() {
     // Standalone Paradyn: paradynd launches the app itself, FE steers.
     let s = setup();
-    let mut launcher =
-        TdpHandle::init(&s.world, s.exec_host, CTX, "launcher", Role::ResourceManager).unwrap();
+    let mut launcher = TdpHandle::init(
+        &s.world,
+        s.exec_host,
+        CTX,
+        "launcher",
+        Role::ResourceManager,
+    )
+    .unwrap();
     let args = fe_args(&s.fe, &["-r/bin/app"]);
     let dpid = launcher
         .create_process(TdpCreate::new("paradynd").args(args).stderr(Sink::Capture))
@@ -81,11 +97,16 @@ fn create_mode_end_to_end() {
     let done = s.fe.wait_done(1, T).unwrap();
     assert_eq!(done.values().next().unwrap(), &ProcStatus::Exited(0));
     // Daemon exits cleanly too.
-    assert_eq!(s.world.os().wait_terminal(dpid, T).unwrap(), ProcStatus::Exited(0));
+    assert_eq!(
+        s.world.os().wait_terminal(dpid, T).unwrap(),
+        ProcStatus::Exited(0)
+    );
 
     // Metrics arrived and identify the bottleneck.
     let samples = s.fe.samples();
-    assert!(samples.iter().any(|x| x.symbol == "hot_loop" && x.count == 20));
+    assert!(samples
+        .iter()
+        .any(|x| x.symbol == "hot_loop" && x.count == 20));
     let b = PerformanceConsultant::default().search(&samples).unwrap();
     assert_eq!(b.symbol, "hot_loop");
     assert_eq!(b.hypothesis, Hypothesis::CpuBound);
@@ -94,8 +115,7 @@ fn create_mode_end_to_end() {
 #[test]
 fn attach_mode_on_running_process() {
     let s = setup();
-    let mut rm =
-        TdpHandle::init(&s.world, s.exec_host, CTX, "rm", Role::ResourceManager).unwrap();
+    let mut rm = TdpHandle::init(&s.world, s.exec_host, CTX, "rm", Role::ResourceManager).unwrap();
     // A long-running app, already started.
     s.world.os().fs().install_exec(
         s.exec_host,
@@ -121,7 +141,8 @@ fn attach_mode_on_running_process() {
     std::thread::sleep(Duration::from_millis(30));
     // Launch paradynd in attach mode (-a<pid>).
     let args = fe_args(&s.fe, &[&format!("-a{app_pid}")]);
-    rm.create_process(TdpCreate::new("paradynd").args(args)).unwrap();
+    rm.create_process(TdpCreate::new("paradynd").args(args))
+        .unwrap();
     let daemons = s.fe.wait_for_daemons(1, T).unwrap();
     assert_eq!(daemons[0].pid, app_pid);
     s.fe.run_all().unwrap();
@@ -132,7 +153,10 @@ fn attach_mode_on_running_process() {
         if samples.iter().any(|x| x.symbol == "serve" && x.count > 0) {
             break;
         }
-        assert!(std::time::Instant::now() < deadline, "no serve samples arrived");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no serve samples arrived"
+        );
         std::thread::sleep(Duration::from_millis(20));
     }
     // Cleanup: kill the app through the tool.
@@ -148,12 +172,20 @@ fn tdp_mode_gets_pid_from_attribute_space() {
     let s = setup();
     let mut starter =
         TdpHandle::init(&s.world, s.exec_host, CTX, "starter", Role::ResourceManager).unwrap();
-    let app_pid = starter.create_process(TdpCreate::new("/bin/app").paused()).unwrap();
+    let app_pid = starter
+        .create_process(TdpCreate::new("/bin/app").paused())
+        .unwrap();
     let args = fe_args(&s.fe, &["-a%pid"]);
-    starter.create_process(TdpCreate::new("paradynd").args(args)).unwrap();
+    starter
+        .create_process(TdpCreate::new("paradynd").args(args))
+        .unwrap();
     // paradynd is now blocked in tdp_get("pid").
     std::thread::sleep(Duration::from_millis(50));
-    assert_eq!(s.fe.daemons().len(), 0, "daemon cannot be ready before the pid is put");
+    assert_eq!(
+        s.fe.daemons().len(),
+        0,
+        "daemon cannot be ready before the pid is put"
+    );
     starter.put(names::PID, &app_pid.to_string()).unwrap();
     let daemons = s.fe.wait_for_daemons(1, T).unwrap();
     assert_eq!(daemons[0].pid, app_pid);
@@ -165,8 +197,14 @@ fn tdp_mode_gets_pid_from_attribute_space() {
 
     // The trace reproduces the Figure 6 ordering.
     let trace = s.world.trace();
-    trace.assert_order((Some("starter"), "tdp_init"), (Some("starter"), "tdp_create_process(/bin/app, paused)"));
-    trace.assert_order((Some("starter"), "tdp_create_process(/bin/app, paused)"), (Some("starter"), "tdp_put(pid)"));
+    trace.assert_order(
+        (Some("starter"), "tdp_init"),
+        (Some("starter"), "tdp_create_process(/bin/app, paused)"),
+    );
+    trace.assert_order(
+        (Some("starter"), "tdp_create_process(/bin/app, paused)"),
+        (Some("starter"), "tdp_put(pid)"),
+    );
     trace.assert_order((None, "tdp_get(pid)"), (None, "tdp_attach"));
     trace.assert_order((None, "tdp_attach"), (None, "tdp_continue_process"));
 }
@@ -174,8 +212,14 @@ fn tdp_mode_gets_pid_from_attribute_space() {
 #[test]
 fn pause_and_resume_via_frontend() {
     let s = setup();
-    let mut launcher =
-        TdpHandle::init(&s.world, s.exec_host, CTX, "launcher", Role::ResourceManager).unwrap();
+    let mut launcher = TdpHandle::init(
+        &s.world,
+        s.exec_host,
+        CTX,
+        "launcher",
+        Role::ResourceManager,
+    )
+    .unwrap();
     s.world.os().fs().install_exec(
         s.exec_host,
         "/bin/slow",
@@ -194,7 +238,9 @@ fn pause_and_resume_via_frontend() {
         ),
     );
     let args = fe_args(&s.fe, &["-r/bin/slow"]);
-    launcher.create_process(TdpCreate::new("paradynd").args(args)).unwrap();
+    launcher
+        .create_process(TdpCreate::new("paradynd").args(args))
+        .unwrap();
     let daemons = s.fe.wait_for_daemons(1, T).unwrap();
     let app_pid = daemons[0].pid;
     s.fe.run_all().unwrap();
@@ -215,11 +261,22 @@ fn pause_and_resume_via_frontend() {
 fn config_file_restricts_instrumentation() {
     let s = setup();
     // Stage a config that only instruments io_wait.
-    s.world.os().fs().write_file(s.exec_host, "paradyn.conf", b"# probes\nio_wait\n");
-    let mut launcher =
-        TdpHandle::init(&s.world, s.exec_host, CTX, "launcher", Role::ResourceManager).unwrap();
+    s.world
+        .os()
+        .fs()
+        .write_file(s.exec_host, "paradyn.conf", b"# probes\nio_wait\n");
+    let mut launcher = TdpHandle::init(
+        &s.world,
+        s.exec_host,
+        CTX,
+        "launcher",
+        Role::ResourceManager,
+    )
+    .unwrap();
     let args = fe_args(&s.fe, &["-r/bin/app"]);
-    launcher.create_process(TdpCreate::new("paradynd").args(args)).unwrap();
+    launcher
+        .create_process(TdpCreate::new("paradynd").args(args))
+        .unwrap();
     s.fe.wait_for_daemons(1, T).unwrap();
     s.fe.run_all().unwrap();
     s.fe.wait_done(1, T).unwrap();
@@ -234,32 +291,66 @@ fn config_file_restricts_instrumentation() {
 #[test]
 fn daemon_writes_trace_file_for_staging() {
     let s = setup();
-    let mut launcher =
-        TdpHandle::init(&s.world, s.exec_host, CTX, "launcher", Role::ResourceManager).unwrap();
+    let mut launcher = TdpHandle::init(
+        &s.world,
+        s.exec_host,
+        CTX,
+        "launcher",
+        Role::ResourceManager,
+    )
+    .unwrap();
     let args = fe_args(&s.fe, &["-r/bin/app"]);
-    let dpid = launcher.create_process(TdpCreate::new("paradynd").args(args)).unwrap();
+    let dpid = launcher
+        .create_process(TdpCreate::new("paradynd").args(args))
+        .unwrap();
     s.fe.wait_for_daemons(1, T).unwrap();
     s.fe.run_all().unwrap();
     s.fe.wait_done(1, T).unwrap();
     s.world.os().wait_terminal(dpid, T).unwrap();
     let trace_path = format!("paradynd{dpid}.trace");
-    let data = s.world.os().fs().read_file(s.exec_host, &trace_path).unwrap();
+    let data = s
+        .world
+        .os()
+        .fs()
+        .read_file(s.exec_host, &trace_path)
+        .unwrap();
     let text = String::from_utf8(data).unwrap();
-    assert!(text.contains("hot_loop count=20"), "trace file content: {text}");
+    assert!(
+        text.contains("hot_loop count=20"),
+        "trace file content: {text}"
+    );
     // And it can be staged back to the submit host (§2).
-    launcher.stage_file(s.exec_host, &trace_path, s.fe.host(), "results/trace").unwrap();
+    launcher
+        .stage_file(s.exec_host, &trace_path, s.fe.host(), "results/trace")
+        .unwrap();
     assert!(s.world.os().fs().exists(s.fe.host(), "results/trace"));
 }
 
 #[test]
 fn two_daemons_two_apps_isolated_contexts() {
     let s = setup();
-    let mut rm1 =
-        TdpHandle::init(&s.world, s.exec_host, ContextId(1), "rm1", Role::ResourceManager).unwrap();
-    let mut rm2 =
-        TdpHandle::init(&s.world, s.exec_host, ContextId(2), "rm2", Role::ResourceManager).unwrap();
-    let app1 = rm1.create_process(TdpCreate::new("/bin/app").paused()).unwrap();
-    let app2 = rm2.create_process(TdpCreate::new("/bin/app").paused()).unwrap();
+    let mut rm1 = TdpHandle::init(
+        &s.world,
+        s.exec_host,
+        ContextId(1),
+        "rm1",
+        Role::ResourceManager,
+    )
+    .unwrap();
+    let mut rm2 = TdpHandle::init(
+        &s.world,
+        s.exec_host,
+        ContextId(2),
+        "rm2",
+        Role::ResourceManager,
+    )
+    .unwrap();
+    let app1 = rm1
+        .create_process(TdpCreate::new("/bin/app").paused())
+        .unwrap();
+    let app2 = rm2
+        .create_process(TdpCreate::new("/bin/app").paused())
+        .unwrap();
     rm1.create_process(TdpCreate::new("paradynd").args(fe_args(&s.fe, &["-c1", "-a%pid"])))
         .unwrap();
     rm2.create_process(TdpCreate::new("paradynd").args(fe_args(&s.fe, &["-c2", "-a%pid"])))

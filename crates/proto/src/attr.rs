@@ -202,7 +202,14 @@ mod tests {
         let v = split_multi_value("-zunix -l3 -mpinguino.cs.wisc.edu -p2090 -P2091 -a%pid");
         assert_eq!(
             v,
-            vec!["-zunix", "-l3", "-mpinguino.cs.wisc.edu", "-p2090", "-P2091", "-a%pid"]
+            vec![
+                "-zunix",
+                "-l3",
+                "-mpinguino.cs.wisc.edu",
+                "-p2090",
+                "-P2091",
+                "-a%pid"
+            ]
         );
     }
 

@@ -27,7 +27,11 @@ pub enum TdpError {
     NoSuchProcess(Pid),
     /// Operation required a process state the target is not in
     /// (e.g. `tdp_continue_process` on an already-running process).
-    WrongProcessState { pid: Pid, state: String, wanted: String },
+    WrongProcessState {
+        pid: Pid,
+        state: String,
+        wanted: String,
+    },
     /// `tdp_attach` when another tracer is already attached.
     AlreadyTraced(Pid),
     /// Detach / control operation by a process that is not the tracer.
@@ -69,7 +73,10 @@ impl fmt::Display for TdpError {
             TdpError::NoSuchHost(h) => write!(f, "no such host: {h}"),
             TdpError::ConnectionRefused(a) => write!(f, "connection refused: {a}"),
             TdpError::BlockedByFirewall { from, to } => {
-                write!(f, "firewall blocked connection {from} -> {to} (use the RM proxy)")
+                write!(
+                    f,
+                    "firewall blocked connection {from} -> {to} (use the RM proxy)"
+                )
             }
             TdpError::Disconnected => write!(f, "peer disconnected"),
             TdpError::Timeout => write!(f, "operation timed out"),

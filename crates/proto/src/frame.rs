@@ -25,6 +25,10 @@ pub enum FrameError {
     TooLarge(usize),
     /// Trailing bytes after a well-formed message.
     TrailingBytes(usize),
+    /// A complete frame (per its length prefix) whose body ends
+    /// mid-field. Distinct from [`FrameError::Incomplete`]: more bytes
+    /// from the wire cannot repair it, the stream is corrupt.
+    Malformed,
 }
 
 impl std::fmt::Display for FrameError {
@@ -35,6 +39,7 @@ impl std::fmt::Display for FrameError {
             FrameError::BadUtf8 => write!(f, "invalid utf-8 in string field"),
             FrameError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
             FrameError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            FrameError::Malformed => write!(f, "malformed frame body"),
         }
     }
 }
@@ -55,6 +60,7 @@ const T_LISTKEYS: u8 = 6;
 const T_JOIN: u8 = 7;
 const T_LEAVE: u8 = 8;
 const T_REPLY: u8 = 9;
+const T_HELLO: u8 = 10;
 
 // Reply tags.
 const R_OK: u8 = 1;
@@ -119,7 +125,12 @@ fn encode_body(msg: &Message, buf: &mut BytesMut) {
             buf.put_u64(ctx.0);
             put_str(buf, key);
         }
-        Message::Subscribe { ctx, key, token, only_future } => {
+        Message::Subscribe {
+            ctx,
+            key,
+            token,
+            only_future,
+        } => {
             buf.put_u8(T_SUBSCRIBE);
             buf.put_u64(ctx.0);
             put_str(buf, key);
@@ -147,6 +158,10 @@ fn encode_body(msg: &Message, buf: &mut BytesMut) {
         Message::Reply(r) => {
             buf.put_u8(T_REPLY);
             encode_reply(r, buf);
+        }
+        Message::Hello { host } => {
+            buf.put_u8(T_HELLO);
+            buf.put_u32(host.0);
         }
     }
 }
@@ -198,7 +213,9 @@ fn parse_error_code(code: &str, text: &str) -> TdpError {
     if let Some(a) = code.strip_prefix("ENOATTR:") {
         TdpError::AttributeNotFound(a.to_string())
     } else if let Some(c) = code.strip_prefix("ENOCTX:") {
-        c.parse().map(|n| TdpError::NoSuchContext(ContextId(n))).unwrap_or_else(|_| TdpError::Protocol(text.to_string()))
+        c.parse()
+            .map(|n| TdpError::NoSuchContext(ContextId(n)))
+            .unwrap_or_else(|_| TdpError::Protocol(text.to_string()))
     } else if code == "ECLOSED" {
         TdpError::HandleClosed
     } else if code == "ETIMEOUT" {
@@ -224,11 +241,64 @@ pub fn decode_frame(buf: &mut BytesMut) -> Result<Message, FrameError> {
     }
     buf.advance(4);
     let mut body = buf.split_to(len).freeze();
-    let msg = decode_body(&mut body)?;
+    // The whole declared body is in hand: a field that still runs out of
+    // bytes is corruption, not a torn read. Reporting it as `Incomplete`
+    // would make a streaming caller wait for bytes that can never help
+    // (the frame was already consumed) — a silent desync.
+    let msg = decode_body(&mut body).map_err(|e| match e {
+        FrameError::Incomplete => FrameError::Malformed,
+        other => other,
+    })?;
     if body.has_remaining() {
         return Err(FrameError::TrailingBytes(body.remaining()));
     }
     Ok(msg)
+}
+
+/// Incremental streaming decoder: feed byte chunks as they arrive off a
+/// socket (in any fragmentation), poll complete messages out.
+///
+/// Unlike calling [`decode_frame`] directly, the decoder separates "need
+/// more bytes" (`Ok(None)`) from wire corruption (`Err`), so transport
+/// loops never spin on an unrecoverable stream.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: BytesMut,
+}
+
+impl FrameDecoder {
+    pub fn new() -> FrameDecoder {
+        FrameDecoder {
+            buf: BytesMut::new(),
+        }
+    }
+
+    /// Append raw bytes read from the transport.
+    pub fn feed(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Try to decode the next complete message. `Ok(None)` means more
+    /// bytes are needed; any `Err` means the stream is unrecoverable
+    /// (framing lost).
+    #[allow(clippy::should_implement_trait)] // fallible, not an Iterator
+    pub fn next(&mut self) -> Result<Option<Message>, FrameError> {
+        match decode_frame(&mut self.buf) {
+            Ok(msg) => Ok(Some(msg)),
+            Err(FrameError::Incomplete) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Bytes buffered but not yet decoded.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// No partial frame is pending.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
 }
 
 fn decode_body(buf: &mut Bytes) -> Result<Message, FrameError> {
@@ -265,7 +335,12 @@ fn decode_body(buf: &mut Bytes) -> Result<Message, FrameError> {
             }
             let token = buf.get_u64();
             let only_future = buf.get_u8() != 0;
-            Ok(Message::Subscribe { ctx, key, token, only_future })
+            Ok(Message::Subscribe {
+                ctx,
+                key,
+                token,
+                only_future,
+            })
         }
         T_UNSUBSCRIBE => {
             let ctx = get_ctx(buf)?;
@@ -283,6 +358,14 @@ fn decode_body(buf: &mut Bytes) -> Result<Message, FrameError> {
         T_JOIN => Ok(Message::Join { ctx: get_ctx(buf)? }),
         T_LEAVE => Ok(Message::Leave { ctx: get_ctx(buf)? }),
         T_REPLY => Ok(Message::Reply(decode_reply(buf)?)),
+        T_HELLO => {
+            if buf.remaining() < 4 {
+                return Err(FrameError::Incomplete);
+            }
+            Ok(Message::Hello {
+                host: crate::ids::HostId(buf.get_u32()),
+            })
+        }
         t => Err(FrameError::BadTag(t)),
     }
 }
@@ -346,34 +429,81 @@ mod tests {
     #[test]
     fn roundtrip_all_variants() {
         let ctx = ContextId(7);
-        roundtrip(Message::Put { ctx, key: "pid".into(), value: "42".into() });
-        roundtrip(Message::Get { ctx, key: "pid".into(), blocking: true });
-        roundtrip(Message::Get { ctx, key: "pid".into(), blocking: false });
-        roundtrip(Message::Remove { ctx, key: "pid".into() });
-        roundtrip(Message::Subscribe { ctx, key: "ap_status".into(), token: 99, only_future: false });
-        roundtrip(Message::Subscribe { ctx, key: "ap_status".into(), token: 100, only_future: true });
+        roundtrip(Message::Put {
+            ctx,
+            key: "pid".into(),
+            value: "42".into(),
+        });
+        roundtrip(Message::Get {
+            ctx,
+            key: "pid".into(),
+            blocking: true,
+        });
+        roundtrip(Message::Get {
+            ctx,
+            key: "pid".into(),
+            blocking: false,
+        });
+        roundtrip(Message::Remove {
+            ctx,
+            key: "pid".into(),
+        });
+        roundtrip(Message::Subscribe {
+            ctx,
+            key: "ap_status".into(),
+            token: 99,
+            only_future: false,
+        });
+        roundtrip(Message::Subscribe {
+            ctx,
+            key: "ap_status".into(),
+            token: 100,
+            only_future: true,
+        });
         roundtrip(Message::Unsubscribe { ctx, token: 99 });
-        roundtrip(Message::ListKeys { ctx, prefix: "mpi_".into() });
+        roundtrip(Message::ListKeys {
+            ctx,
+            prefix: "mpi_".into(),
+        });
         roundtrip(Message::Join { ctx });
         roundtrip(Message::Leave { ctx });
         roundtrip(Message::Reply(Reply::Ok));
-        roundtrip(Message::Reply(Reply::Value { key: "k".into(), value: "v".into() }));
+        roundtrip(Message::Reply(Reply::Value {
+            key: "k".into(),
+            value: "v".into(),
+        }));
         roundtrip(Message::Reply(Reply::Keys(vec!["a".into(), "b".into()])));
-        roundtrip(Message::Reply(Reply::Notify { token: 3, key: "k".into(), value: "v".into() }));
-        roundtrip(Message::Reply(Reply::Err(TdpError::AttributeNotFound("x".into()))));
+        roundtrip(Message::Reply(Reply::Notify {
+            token: 3,
+            key: "k".into(),
+            value: "v".into(),
+        }));
+        roundtrip(Message::Reply(Reply::Err(TdpError::AttributeNotFound(
+            "x".into(),
+        ))));
         roundtrip(Message::Reply(Reply::Err(TdpError::Timeout)));
         roundtrip(Message::Reply(Reply::Err(TdpError::HandleClosed)));
-        roundtrip(Message::Reply(Reply::Err(TdpError::NoSuchContext(ContextId(3)))));
+        roundtrip(Message::Reply(Reply::Err(TdpError::NoSuchContext(
+            ContextId(3),
+        ))));
     }
 
     #[test]
     fn incomplete_frames_do_not_consume() {
-        let msg = Message::Put { ctx: ContextId(1), key: "a".into(), value: "b".into() };
+        let msg = Message::Put {
+            ctx: ContextId(1),
+            key: "a".into(),
+            value: "b".into(),
+        };
         let frame = encode_frame(&msg);
         for cut in 0..frame.len() {
             let mut buf = BytesMut::from(&frame[..cut]);
             let before = buf.len();
-            assert_eq!(decode_frame(&mut buf), Err(FrameError::Incomplete), "cut={cut}");
+            assert_eq!(
+                decode_frame(&mut buf),
+                Err(FrameError::Incomplete),
+                "cut={cut}"
+            );
             assert_eq!(buf.len(), before, "cut={cut} consumed bytes on Incomplete");
         }
     }
@@ -381,7 +511,11 @@ mod tests {
     #[test]
     fn two_frames_back_to_back() {
         let m1 = Message::Join { ctx: ContextId(1) };
-        let m2 = Message::Put { ctx: ContextId(1), key: "k".into(), value: "v".into() };
+        let m2 = Message::Put {
+            ctx: ContextId(1),
+            key: "k".into(),
+            value: "v".into(),
+        };
         let mut buf = BytesMut::new();
         buf.extend_from_slice(&encode_frame(&m1));
         buf.extend_from_slice(&encode_frame(&m2));
@@ -402,7 +536,10 @@ mod tests {
     fn rejects_oversized_declared_length() {
         let mut buf = BytesMut::new();
         buf.put_u32((MAX_FRAME + 1) as u32);
-        assert!(matches!(decode_frame(&mut buf), Err(FrameError::TooLarge(_))));
+        assert!(matches!(
+            decode_frame(&mut buf),
+            Err(FrameError::TooLarge(_))
+        ));
     }
 
     #[test]
@@ -431,6 +568,69 @@ mod tests {
         buf.put_u32(body.len() as u32);
         buf.extend_from_slice(&body);
         assert_eq!(decode_frame(&mut buf), Err(FrameError::BadUtf8));
+    }
+
+    #[test]
+    fn hello_roundtrips() {
+        roundtrip(Message::Hello {
+            host: crate::ids::HostId(42),
+        });
+    }
+
+    #[test]
+    fn truncated_body_in_complete_frame_is_malformed() {
+        // A frame whose length prefix is honest but whose body stops
+        // mid-field: T_PUT with only the ctx, no key/value.
+        let mut body = BytesMut::new();
+        body.put_u8(1); // T_PUT
+        body.put_u64(7); // ctx, then nothing
+        let mut buf = BytesMut::new();
+        buf.put_u32(body.len() as u32);
+        buf.extend_from_slice(&body);
+        assert_eq!(decode_frame(&mut buf), Err(FrameError::Malformed));
+    }
+
+    #[test]
+    fn decoder_handles_byte_at_a_time() {
+        let msg = Message::Put {
+            ctx: ContextId(3),
+            key: "k".into(),
+            value: "v".into(),
+        };
+        let frame = encode_frame(&msg);
+        let mut dec = FrameDecoder::new();
+        for (i, b) in frame.iter().enumerate() {
+            dec.feed(&[*b]);
+            let got = dec.next().expect("no error");
+            if i + 1 < frame.len() {
+                assert!(got.is_none(), "decoded early at byte {i}");
+            } else {
+                assert_eq!(got, Some(msg.clone()));
+            }
+        }
+        assert!(dec.is_empty());
+    }
+
+    #[test]
+    fn decoder_drains_multiple_messages_from_one_feed() {
+        let m1 = Message::Join { ctx: ContextId(1) };
+        let m2 = Message::Leave { ctx: ContextId(1) };
+        let mut dec = FrameDecoder::new();
+        dec.feed(&encode_frame(&m1));
+        dec.feed(&encode_frame(&m2));
+        assert_eq!(dec.next().unwrap(), Some(m1));
+        assert_eq!(dec.next().unwrap(), Some(m2));
+        assert_eq!(dec.next().unwrap(), None);
+    }
+
+    #[test]
+    fn decoder_surfaces_corruption_once() {
+        let mut dec = FrameDecoder::new();
+        let mut junk = BytesMut::new();
+        junk.put_u32(1);
+        junk.put_u8(0xEE);
+        dec.feed(&junk);
+        assert_eq!(dec.next(), Err(FrameError::BadTag(0xEE)));
     }
 
     #[test]

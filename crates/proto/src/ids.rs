@@ -63,7 +63,10 @@ pub struct Addr {
 
 impl Addr {
     pub fn new(host: HostId, port: u16) -> Addr {
-        Addr { host, port: Port(port) }
+        Addr {
+            host,
+            port: Port(port),
+        }
     }
 
     /// Render in the `host:port` form used as an attribute value.

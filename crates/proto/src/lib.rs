@@ -21,6 +21,6 @@ pub mod message;
 
 pub use attr::{names, AttrKey, AttrValue};
 pub use error::{TdpError, TdpResult};
-pub use frame::{decode_frame, encode_frame, FrameError};
+pub use frame::{decode_frame, encode_frame, FrameDecoder, FrameError, MAX_FRAME};
 pub use ids::{Addr, ContextId, HostId, JobId, Pid, Port, Rank};
 pub use message::{AsMessage, Message, ProcRequest, ProcStatus, Reply};

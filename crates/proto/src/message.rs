@@ -16,11 +16,19 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Message {
     /// `tdp_put(handle, attribute, value)`.
-    Put { ctx: ContextId, key: String, value: String },
+    Put {
+        ctx: ContextId,
+        key: String,
+        value: String,
+    },
     /// `tdp_get(handle, attribute, &value)`. When `blocking`, the server
     /// parks the request until a matching put arrives; otherwise an
     /// absent attribute yields `AttributeNotFound` (§3.2).
-    Get { ctx: ContextId, key: String, blocking: bool },
+    Get {
+        ctx: ContextId,
+        key: String,
+        blocking: bool,
+    },
     /// Remove an attribute ("attributes and values can be inserted and
     /// removed", §2.1). Succeeds even when absent.
     Remove { ctx: ContextId, key: String },
@@ -29,7 +37,12 @@ pub enum Message {
     /// existing value notifies immediately (the `tdp_async_get` case);
     /// with it true, only a subsequent put fires (persistent watches
     /// re-arming without re-seeing the current value).
-    Subscribe { ctx: ContextId, key: String, token: u64, only_future: bool },
+    Subscribe {
+        ctx: ContextId,
+        key: String,
+        token: u64,
+        only_future: bool,
+    },
     /// Cancel a subscription.
     Unsubscribe { ctx: ContextId, token: u64 },
     /// Enumerate keys in the context with the given prefix (diagnostic /
@@ -42,6 +55,13 @@ pub enum Message {
     Leave { ctx: ContextId },
     /// A server → client reply or notification.
     Reply(Reply),
+    /// Transport-level client introduction: the first frame a client
+    /// sends over a real socket, declaring which logical host it runs
+    /// on. The simulated network carries host identity in its addresses,
+    /// so netsim connections never send this; real TCP connections need
+    /// it for the LASS locality rule ("a process … cannot access the
+    /// LASS's of other nodes", §2.1).
+    Hello { host: crate::ids::HostId },
 }
 
 /// Server → client payloads.
@@ -54,7 +74,11 @@ pub enum Reply {
     /// Result of `ListKeys`.
     Keys(Vec<String>),
     /// Asynchronous notification for a `Subscribe`.
-    Notify { token: u64, key: String, value: String },
+    Notify {
+        token: u64,
+        key: String,
+        value: String,
+    },
     /// Operation failed.
     Err(TdpError),
 }
@@ -144,7 +168,10 @@ impl ProcRequest {
         match s {
             "continue" => Some(ProcRequest::Continue),
             "pause" => Some(ProcRequest::Pause),
-            _ => s.strip_prefix("kill:").and_then(|c| c.parse().ok()).map(ProcRequest::Kill),
+            _ => s
+                .strip_prefix("kill:")
+                .and_then(|c| c.parse().ok())
+                .map(ProcRequest::Kill),
         }
     }
 }
@@ -185,7 +212,11 @@ mod tests {
 
     #[test]
     fn proc_request_roundtrip() {
-        for r in [ProcRequest::Continue, ProcRequest::Pause, ProcRequest::Kill(15)] {
+        for r in [
+            ProcRequest::Continue,
+            ProcRequest::Pause,
+            ProcRequest::Kill(15),
+        ] {
             assert_eq!(ProcRequest::parse(&r.to_attr_value()), Some(r));
         }
         assert_eq!(ProcRequest::parse("dance"), None);

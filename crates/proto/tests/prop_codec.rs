@@ -2,9 +2,9 @@
 
 use bytes::BytesMut;
 use proptest::prelude::*;
-use tdp_proto::ids::ContextId;
+use tdp_proto::ids::{ContextId, HostId};
 use tdp_proto::message::{Message, Reply};
-use tdp_proto::{attr, decode_frame, encode_frame, FrameError};
+use tdp_proto::{attr, decode_frame, encode_frame, FrameDecoder, FrameError};
 
 fn arb_string() -> impl Strategy<Value = String> {
     // Any unicode, bounded length; includes empty.
@@ -14,13 +14,25 @@ fn arb_string() -> impl Strategy<Value = String> {
 fn arb_message() -> impl Strategy<Value = Message> {
     let ctx = any::<u64>().prop_map(ContextId);
     prop_oneof![
-        (ctx.clone(), arb_string(), arb_string())
-            .prop_map(|(ctx, key, value)| Message::Put { ctx, key, value }),
-        (ctx.clone(), arb_string(), any::<bool>())
-            .prop_map(|(ctx, key, blocking)| Message::Get { ctx, key, blocking }),
+        (ctx.clone(), arb_string(), arb_string()).prop_map(|(ctx, key, value)| Message::Put {
+            ctx,
+            key,
+            value
+        }),
+        (ctx.clone(), arb_string(), any::<bool>()).prop_map(|(ctx, key, blocking)| Message::Get {
+            ctx,
+            key,
+            blocking
+        }),
         (ctx.clone(), arb_string()).prop_map(|(ctx, key)| Message::Remove { ctx, key }),
-        (ctx.clone(), arb_string(), any::<u64>(), any::<bool>())
-            .prop_map(|(ctx, key, token, only_future)| Message::Subscribe { ctx, key, token, only_future }),
+        (ctx.clone(), arb_string(), any::<u64>(), any::<bool>()).prop_map(
+            |(ctx, key, token, only_future)| Message::Subscribe {
+                ctx,
+                key,
+                token,
+                only_future
+            }
+        ),
         (ctx.clone(), any::<u64>()).prop_map(|(ctx, token)| Message::Unsubscribe { ctx, token }),
         (ctx.clone(), arb_string()).prop_map(|(ctx, prefix)| Message::ListKeys { ctx, prefix }),
         ctx.clone().prop_map(|ctx| Message::Join { ctx }),
@@ -32,6 +44,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
             .prop_map(|keys| Message::Reply(Reply::Keys(keys))),
         (any::<u64>(), arb_string(), arb_string())
             .prop_map(|(token, key, value)| Message::Reply(Reply::Notify { token, key, value })),
+        any::<u32>().prop_map(|h| Message::Hello { host: HostId(h) }),
     ]
 }
 
@@ -71,6 +84,65 @@ proptest! {
     fn random_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..512)) {
         let mut buf = BytesMut::from(&data[..]);
         let _ = decode_frame(&mut buf); // any result is fine; must not panic
+    }
+
+    #[test]
+    fn decoder_byte_at_a_time(msgs in proptest::collection::vec(arb_message(), 1..8)) {
+        // The worst torn-read case: every TCP segment is one byte.
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for m in &msgs {
+            for b in encode_frame(m).iter() {
+                dec.feed(&[*b]);
+                while let Some(msg) = dec.next().expect("stream is well-formed") {
+                    got.push(msg);
+                }
+            }
+        }
+        prop_assert_eq!(&got, &msgs);
+        prop_assert!(dec.is_empty());
+    }
+
+    #[test]
+    fn decoder_random_chunks(
+        msgs in proptest::collection::vec(arb_message(), 1..8),
+        cuts in proptest::collection::vec(1usize..17, 0..64),
+    ) {
+        // Split the concatenated stream at arbitrary points: chunk
+        // boundaries never align with frame boundaries except by luck.
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&encode_frame(m));
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        let mut off = 0;
+        let mut cuts = cuts.into_iter();
+        while off < stream.len() {
+            let n = cuts.next().unwrap_or(stream.len()).min(stream.len() - off);
+            dec.feed(&stream[off..off + n]);
+            off += n;
+            while let Some(msg) = dec.next().expect("stream is well-formed") {
+                got.push(msg);
+            }
+        }
+        prop_assert_eq!(&got, &msgs);
+        prop_assert!(dec.is_empty());
+    }
+
+    #[test]
+    fn decoder_survives_random_bytes(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Arbitrary garbage must never panic, and after an error the
+        // decoder keeps returning without looping forever.
+        let mut dec = FrameDecoder::new();
+        dec.feed(&data);
+        for _ in 0..(data.len() + 1) {
+            match dec.next() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(_) => break,
+            }
+        }
     }
 
     #[test]

@@ -71,9 +71,7 @@ impl HostFs {
     pub fn read_file(&self, host: HostId, path: &str) -> TdpResult<Vec<u8>> {
         match self.inner.read().get(&host).and_then(|f| f.get(path)) {
             Some(FileKind::Data(d)) => Ok(d.as_ref().clone()),
-            Some(FileKind::Exec(_)) => {
-                Err(TdpError::Substrate(format!("{path} is an executable")))
-            }
+            Some(FileKind::Exec(_)) => Err(TdpError::Substrate(format!("{path} is an executable"))),
             None => Err(TdpError::NoSuchFile(path.to_string())),
         }
     }
@@ -100,7 +98,10 @@ impl HostFs {
 
     /// Does the path exist (data or executable)?
     pub fn exists(&self, host: HostId, path: &str) -> bool {
-        self.inner.read().get(&host).is_some_and(|f| f.contains_key(path))
+        self.inner
+            .read()
+            .get(&host)
+            .is_some_and(|f| f.contains_key(path))
     }
 
     /// Delete a file. Ok even if absent.
@@ -116,7 +117,12 @@ impl HostFs {
             .inner
             .read()
             .get(&host)
-            .map(|f| f.keys().filter(|k| k.starts_with(prefix)).cloned().collect())
+            .map(|f| {
+                f.keys()
+                    .filter(|k| k.starts_with(prefix))
+                    .cloned()
+                    .collect()
+            })
             .unwrap_or_default();
         v.sort();
         v
@@ -125,20 +131,18 @@ impl HostFs {
     /// Stage (copy) a file between hosts — the TDP file-transfer
     /// primitive. Works for data files and executables (Condor's
     /// `transfer_input_files = paradynd` ships the tool daemon binary).
-    pub fn stage(
-        &self,
-        from: HostId,
-        src: &str,
-        to: HostId,
-        dst: &str,
-    ) -> TdpResult<()> {
+    pub fn stage(&self, from: HostId, src: &str, to: HostId, dst: &str) -> TdpResult<()> {
         let kind = self
             .inner
             .read()
             .get(&from)
             .and_then(|f| f.get(src).cloned())
             .ok_or_else(|| TdpError::NoSuchFile(src.to_string()))?;
-        self.inner.write().entry(to).or_default().insert(dst.to_string(), kind);
+        self.inner
+            .write()
+            .entry(to)
+            .or_default()
+            .insert(dst.to_string(), kind);
         Ok(())
     }
 }
@@ -202,8 +206,12 @@ mod tests {
     fn stage_data_between_hosts() {
         let fs = HostFs::new();
         fs.write_file(HostId(0), "paradyn.conf", b"cfg");
-        fs.stage(HostId(0), "paradyn.conf", HostId(3), "/work/paradyn.conf").unwrap();
-        assert_eq!(fs.read_file(HostId(3), "/work/paradyn.conf").unwrap(), b"cfg");
+        fs.stage(HostId(0), "paradyn.conf", HostId(3), "/work/paradyn.conf")
+            .unwrap();
+        assert_eq!(
+            fs.read_file(HostId(3), "/work/paradyn.conf").unwrap(),
+            b"cfg"
+        );
         // Source untouched.
         assert_eq!(fs.read_file(HostId(0), "paradyn.conf").unwrap(), b"cfg");
     }
@@ -212,7 +220,8 @@ mod tests {
     fn stage_executable_ships_tool_daemon() {
         let fs = HostFs::new();
         fs.install_exec(HostId(0), "paradynd", img());
-        fs.stage(HostId(0), "paradynd", HostId(3), "/work/paradynd").unwrap();
+        fs.stage(HostId(0), "paradynd", HostId(3), "/work/paradynd")
+            .unwrap();
         assert!(fs.lookup_exec(HostId(3), "/work/paradynd").is_ok());
     }
 
@@ -231,7 +240,10 @@ mod tests {
         fs.write_file(HostId(1), "/out/trace.2", b"");
         fs.write_file(HostId(1), "/out/trace.1", b"");
         fs.write_file(HostId(1), "/other", b"");
-        assert_eq!(fs.list(HostId(1), "/out/"), vec!["/out/trace.1", "/out/trace.2"]);
+        assert_eq!(
+            fs.list(HostId(1), "/out/"),
+            vec!["/out/trace.1", "/out/trace.2"]
+        );
     }
 
     #[test]

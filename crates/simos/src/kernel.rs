@@ -2,9 +2,7 @@
 //! event routing.
 
 use crate::fs::HostFs;
-use crate::process::{
-    self, KillUnwind, Pcb, ProbeSnapshot, ProcCtx, ProcState, Sink, StartMode,
-};
+use crate::process::{self, KillUnwind, Pcb, ProbeSnapshot, ProcCtx, ProcState, Sink, StartMode};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -199,10 +197,13 @@ impl Os {
             &spec.stderr,
         );
         self.inner.procs.write().insert(pid, pcb.clone());
-        self.emit(pid, match spec.start {
-            StartMode::Run => ProcStatus::Running,
-            StartMode::Paused => ProcStatus::Created,
-        });
+        self.emit(
+            pid,
+            match spec.start {
+                StartMode::Run => ProcStatus::Running,
+                StartMode::Paused => ProcStatus::Created,
+            },
+        );
         let program = (image.factory)(&spec.args);
         let os = self.clone();
         std::thread::Builder::new()
@@ -216,7 +217,11 @@ impl Os {
     fn run_process(&self, pcb: Arc<Pcb>, program: Box<dyn crate::program::Program>) {
         // The initial gate: a paused process parks here, "stopped just
         // after the exec call" with no program code run yet.
-        let mut ctx = ProcCtx::new(pcb.clone(), self.inner.fs.clone(), self.inner.cfg.time_scale_ns);
+        let mut ctx = ProcCtx::new(
+            pcb.clone(),
+            self.inner.fs.clone(),
+            self.inner.cfg.time_scale_ns,
+        );
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             ctx.checkpoint();
             program.run(&mut ctx)
@@ -234,12 +239,15 @@ impl Os {
                 }
             },
         };
+        // Deliver to watcher channels BEFORE flipping the state: a
+        // `wait_terminal` caller that wakes on the notify below must be
+        // able to drain the terminal event immediately.
+        self.emit_terminal(&pcb, status);
         {
             let mut ctl = pcb.ctl.lock();
             ctl.state = status;
         }
         pcb.cv.notify_all();
-        self.emit_terminal(&pcb, status);
     }
 
     /// Current status of a process (zombies included until reaped).
@@ -268,7 +276,11 @@ impl Os {
             }
             ctl.tracer = Some(token);
         }
-        Ok(TraceHandle { os: self.clone(), pcb, token })
+        Ok(TraceHandle {
+            os: self.clone(),
+            pcb,
+            token,
+        })
     }
 
     /// Stop (pause) a process — kernel-side SIGSTOP, usable by the RM
@@ -344,7 +356,12 @@ impl Os {
     pub fn watch(&self, pid: Pid, role: Role) -> TdpResult<Receiver<ProcEvent>> {
         self.pcb(pid)?; // validate existence
         let (tx, rx) = unbounded();
-        self.inner.watchers.lock().entry(pid).or_default().push(Watcher { role, tx });
+        self.inner
+            .watchers
+            .lock()
+            .entry(pid)
+            .or_default()
+            .push(Watcher { role, tx });
         Ok(rx)
     }
 
@@ -435,7 +452,12 @@ impl Os {
     }
 
     fn pcb(&self, pid: Pid) -> TdpResult<Arc<Pcb>> {
-        self.inner.procs.read().get(&pid).cloned().ok_or(TdpError::NoSuchProcess(pid))
+        self.inner
+            .procs
+            .read()
+            .get(&pid)
+            .cloned()
+            .ok_or(TdpError::NoSuchProcess(pid))
     }
 
     /// Deliver a non-terminal transition to every watcher.
@@ -465,7 +487,13 @@ impl Os {
                         Routing::TracerElseParent => tracer_attached,
                     },
                 };
-                !deliver || w.tx.send(ProcEvent { pid: pcb.pid, status }).is_ok()
+                !deliver
+                    || w.tx
+                        .send(ProcEvent {
+                            pid: pcb.pid,
+                            status,
+                        })
+                        .is_ok()
             });
         }
     }

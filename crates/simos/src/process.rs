@@ -161,7 +161,11 @@ impl Pcb {
             env,
             parent,
             symbols,
-            ctl: Mutex::new(Ctl { state, kill: None, tracer: None }),
+            ctl: Mutex::new(Ctl {
+                state,
+                kill: None,
+                tracer: None,
+            }),
             cv: Condvar::new(),
             instr: Mutex::new(Instr::default()),
             io: Mutex::new(Io {
@@ -226,7 +230,12 @@ pub struct ProcCtx {
 
 impl ProcCtx {
     pub(crate) fn new(pcb: Arc<Pcb>, fs: Arc<HostFs>, time_scale_ns: u64) -> ProcCtx {
-        ProcCtx { pcb, fs, time_scale_ns, call_stack: Vec::new() }
+        ProcCtx {
+            pcb,
+            fs,
+            time_scale_ns,
+            call_stack: Vec::new(),
+        }
     }
 
     /// This process's pid.
@@ -270,7 +279,9 @@ impl ProcCtx {
             }
         }
         if self.time_scale_ns > 0 {
-            std::thread::sleep(Duration::from_nanos(self.time_scale_ns.saturating_mul(units)));
+            std::thread::sleep(Duration::from_nanos(
+                self.time_scale_ns.saturating_mul(units),
+            ));
         }
     }
 
@@ -282,7 +293,11 @@ impl ProcCtx {
         self.pcb.gate();
         let (armed, breakpoint, track) = {
             let i = self.pcb.instr.lock();
-            (i.armed.contains(sym), i.breakpoints.contains(sym), i.track_stack)
+            (
+                i.armed.contains(sym),
+                i.breakpoints.contains(sym),
+                i.track_stack,
+            )
         };
         if breakpoint {
             // Stop *before* the body runs, record the hit, notify the
@@ -297,7 +312,10 @@ impl ProcCtx {
                     ctl.state = ProcState::Stopped;
                 }
             }
-            self.pcb.bp_subs.lock().retain(|tx| tx.send(sym.to_string()).is_ok());
+            self.pcb
+                .bp_subs
+                .lock()
+                .retain(|tx| tx.send(sym.to_string()).is_ok());
             self.pcb.gate();
         }
         if track {
@@ -310,12 +328,7 @@ impl ProcCtx {
         r
     }
 
-    fn call_inner<R>(
-        &mut self,
-        sym: &str,
-        armed: bool,
-        body: impl FnOnce(&mut ProcCtx) -> R,
-    ) -> R {
+    fn call_inner<R>(&mut self, sym: &str, armed: bool, body: impl FnOnce(&mut ProcCtx) -> R) -> R {
         if armed {
             let cpu_in = self.pcb.instr.lock().total_cpu;
             self.call_stack.push((sym.to_string(), cpu_in));
@@ -385,7 +398,10 @@ impl ProcCtx {
 
     /// The filesystem of this process's host.
     pub fn fs(&self) -> HostFsView<'_> {
-        HostFsView { fs: &self.fs, host: self.pcb.host }
+        HostFsView {
+            fs: &self.fs,
+            host: self.pcb.host,
+        }
     }
 }
 
@@ -415,7 +431,11 @@ impl HostFsView<'_> {
 
 fn write_sink(pcb: &Pcb, fs: &HostFs, data: &[u8], to_stderr: bool) {
     let mut io = pcb.io.lock();
-    let sink = if to_stderr { &mut io.stderr } else { &mut io.stdout };
+    let sink = if to_stderr {
+        &mut io.stderr
+    } else {
+        &mut io.stdout
+    };
     match sink {
         SinkState::Null => {}
         SinkState::Capture(buf) => buf.extend_from_slice(data),

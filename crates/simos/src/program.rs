@@ -64,13 +64,18 @@ impl ExecImage {
     where
         F: Fn(&[String]) -> Box<dyn Program> + Send + Sync + 'static,
     {
-        ExecImage { symbols: Arc::new(Vec::new()), factory: Arc::new(f) }
+        ExecImage {
+            symbols: Arc::new(Vec::new()),
+            factory: Arc::new(f),
+        }
     }
 }
 
 impl std::fmt::Debug for ExecImage {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ExecImage").field("symbols", &self.symbols).finish_non_exhaustive()
+        f.debug_struct("ExecImage")
+            .field("symbols", &self.symbols)
+            .finish_non_exhaustive()
     }
 }
 

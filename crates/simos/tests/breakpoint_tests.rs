@@ -3,9 +3,9 @@
 
 use std::sync::Arc;
 use std::time::Duration;
+use tdp_proto::{HostId, ProcStatus};
 use tdp_simos::kernel::ProcSpec;
 use tdp_simos::{fn_program, ExecImage, Os};
-use tdp_proto::{HostId, ProcStatus};
 
 const H: HostId = HostId(1);
 const T: Duration = Duration::from_secs(5);
@@ -49,7 +49,11 @@ fn breakpoint_stops_before_body() {
     assert_eq!(hits.recv_timeout(T).unwrap(), "phase_a");
     assert_eq!(os.status(pid).unwrap(), ProcStatus::Stopped);
     let snap = h.read_probes().unwrap();
-    assert_eq!(snap.counts.get("phase_a"), None, "stopped before the body ran");
+    assert_eq!(
+        snap.counts.get("phase_a"),
+        None,
+        "stopped before the body ran"
+    );
     assert_eq!(h.last_breakpoint().unwrap().as_deref(), Some("phase_a"));
 
     // Continue: loop hits the breakpoint twice more.

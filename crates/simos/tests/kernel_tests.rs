@@ -5,9 +5,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use tdp_proto::{HostId, ProcStatus, TdpError};
 use tdp_simos::kernel::{ProcSpec, Role};
 use tdp_simos::{fn_program, ExecImage, Os, OsConfig, Routing, Sink};
-use tdp_proto::{HostId, ProcStatus, TdpError};
 
 const H: HostId = HostId(1);
 const TIMEOUT: Duration = Duration::from_secs(5);
@@ -28,7 +28,10 @@ fn trivial_exit(code: i32) -> ExecImage {
 fn run_to_completion_exit_code() {
     let os = os_with(vec![("/bin/seven", trivial_exit(7))]);
     let pid = os.spawn(ProcSpec::new(H, "/bin/seven")).unwrap();
-    assert_eq!(os.wait_terminal(pid, TIMEOUT).unwrap(), ProcStatus::Exited(7));
+    assert_eq!(
+        os.wait_terminal(pid, TIMEOUT).unwrap(),
+        ProcStatus::Exited(7)
+    );
 }
 
 #[test]
@@ -54,7 +57,11 @@ fn args_and_env_reach_program() {
         }),
     )]);
     let pid = os
-        .spawn(ProcSpec::new(H, "/bin/echoargs").args(["a", "b"]).env_var("TAG", "t1"))
+        .spawn(
+            ProcSpec::new(H, "/bin/echoargs")
+                .args(["a", "b"])
+                .env_var("TAG", "t1"),
+        )
         .unwrap();
     os.wait_terminal(pid, TIMEOUT).unwrap();
     assert_eq!(os.read_stdout(pid).unwrap(), b"a,b|t1");
@@ -82,7 +89,10 @@ fn paused_process_runs_nothing_until_continue() {
     // Stopped at exec: not one instruction of the body has run.
     assert!(!touched.load(Ordering::SeqCst));
     os.continue_process(pid).unwrap();
-    assert_eq!(os.wait_terminal(pid, TIMEOUT).unwrap(), ProcStatus::Exited(0));
+    assert_eq!(
+        os.wait_terminal(pid, TIMEOUT).unwrap(),
+        ProcStatus::Exited(0)
+    );
     assert!(touched.load(Ordering::SeqCst));
 }
 
@@ -107,7 +117,10 @@ fn stop_and_continue_running_process() {
     os.continue_process(pid).unwrap();
     assert_eq!(os.status(pid).unwrap(), ProcStatus::Running);
     os.kill(pid, 9).unwrap();
-    assert_eq!(os.wait_terminal(pid, TIMEOUT).unwrap(), ProcStatus::Killed(9));
+    assert_eq!(
+        os.wait_terminal(pid, TIMEOUT).unwrap(),
+        ProcStatus::Killed(9)
+    );
 }
 
 #[test]
@@ -115,7 +128,10 @@ fn kill_paused_process() {
     let os = os_with(vec![("/bin/x", trivial_exit(0))]);
     let pid = os.spawn(ProcSpec::new(H, "/bin/x").paused()).unwrap();
     os.kill(pid, 15).unwrap();
-    assert_eq!(os.wait_terminal(pid, TIMEOUT).unwrap(), ProcStatus::Killed(15));
+    assert_eq!(
+        os.wait_terminal(pid, TIMEOUT).unwrap(),
+        ProcStatus::Killed(15)
+    );
 }
 
 #[test]
@@ -134,7 +150,10 @@ fn panicking_program_reports_crash() {
         ExecImage::from_fn(|_| fn_program(|_ctx| panic!("segfault simulation"))),
     )]);
     let pid = os.spawn(ProcSpec::new(H, "/bin/crash")).unwrap();
-    assert_eq!(os.wait_terminal(pid, TIMEOUT).unwrap(), ProcStatus::Killed(11));
+    assert_eq!(
+        os.wait_terminal(pid, TIMEOUT).unwrap(),
+        ProcStatus::Killed(11)
+    );
     let err = String::from_utf8(os.read_stderr(pid).unwrap()).unwrap();
     assert!(err.contains("segfault simulation"));
 }
@@ -155,7 +174,10 @@ fn attach_to_dead_process_fails() {
     let os = os_with(vec![("/bin/x", trivial_exit(0))]);
     let pid = os.spawn(ProcSpec::new(H, "/bin/x")).unwrap();
     os.wait_terminal(pid, TIMEOUT).unwrap();
-    assert!(matches!(os.attach(pid), Err(TdpError::WrongProcessState { .. })));
+    assert!(matches!(
+        os.attach(pid),
+        Err(TdpError::WrongProcessState { .. })
+    ));
 }
 
 #[test]
@@ -174,7 +196,10 @@ fn detach_resumes_stopped_tracee() {
     h.stop().unwrap();
     assert_eq!(os.status(pid).unwrap(), ProcStatus::Stopped);
     drop(h); // PTRACE_DETACH semantics: resume
-    assert_eq!(os.wait_terminal(pid, TIMEOUT).unwrap(), ProcStatus::Exited(0));
+    assert_eq!(
+        os.wait_terminal(pid, TIMEOUT).unwrap(),
+        ProcStatus::Exited(0)
+    );
 }
 
 fn worker_image() -> ExecImage {
@@ -279,7 +304,9 @@ fn stdin_stdout_pipeline() {
             })
         }),
     )]);
-    let pid = os.spawn(ProcSpec::new(H, "/bin/upcase").stdin_bytes(&b"hello "[..])).unwrap();
+    let pid = os
+        .spawn(ProcSpec::new(H, "/bin/upcase").stdin_bytes(&b"hello "[..]))
+        .unwrap();
     os.write_stdin(pid, b"world").unwrap();
     os.close_stdin(pid).unwrap();
     os.wait_terminal(pid, TIMEOUT).unwrap();
@@ -300,7 +327,10 @@ fn kill_interrupts_blocked_stdin_read() {
     let pid = os.spawn(ProcSpec::new(H, "/bin/reader")).unwrap();
     std::thread::sleep(Duration::from_millis(30));
     os.kill(pid, 9).unwrap();
-    assert_eq!(os.wait_terminal(pid, TIMEOUT).unwrap(), ProcStatus::Killed(9));
+    assert_eq!(
+        os.wait_terminal(pid, TIMEOUT).unwrap(),
+        ProcStatus::Killed(9)
+    );
 }
 
 #[test]
@@ -319,7 +349,10 @@ fn stdout_to_host_file() {
         .spawn(ProcSpec::new(H, "/bin/logger").stdout(Sink::File("/out/job.out".into())))
         .unwrap();
     os.wait_terminal(pid, TIMEOUT).unwrap();
-    assert_eq!(os.fs().read_file(H, "/out/job.out").unwrap(), b"line1\nline2\n");
+    assert_eq!(
+        os.fs().read_file(H, "/out/job.out").unwrap(),
+        b"line1\nline2\n"
+    );
 }
 
 #[test]
@@ -373,7 +406,10 @@ fn routing_parent_receives_without_tracer() {
 #[test]
 fn routing_both_delivers_twice() {
     // The "unusual case" where the return code goes to both.
-    let os = Os::with_config(OsConfig { time_scale_ns: 0, routing: Routing::Both });
+    let os = Os::with_config(OsConfig {
+        time_scale_ns: 0,
+        routing: Routing::Both,
+    });
     os.fs().install_exec(H, "/bin/x", trivial_exit(0));
     let pid = os.spawn(ProcSpec::new(H, "/bin/x").paused()).unwrap();
     let parent_rx = os.watch(pid, Role::Parent).unwrap();
@@ -387,7 +423,10 @@ fn routing_both_delivers_twice() {
 
 #[test]
 fn routing_parent_only_starves_tracer() {
-    let os = Os::with_config(OsConfig { time_scale_ns: 0, routing: Routing::ParentOnly });
+    let os = Os::with_config(OsConfig {
+        time_scale_ns: 0,
+        routing: Routing::ParentOnly,
+    });
     os.fs().install_exec(H, "/bin/x", trivial_exit(0));
     let pid = os.spawn(ProcSpec::new(H, "/bin/x").paused()).unwrap();
     let tracer_rx = os.watch(pid, Role::Tracer).unwrap();
@@ -433,8 +472,14 @@ fn processes_on_lists_live_only() {
 fn proc_info_reports_metadata() {
     let os = os_with(vec![("/bin/x", trivial_exit(0))]);
     let parent = os.spawn(ProcSpec::new(H, "/bin/x").paused()).unwrap();
-    let child =
-        os.spawn(ProcSpec::new(H, "/bin/x").args(["-v"]).parent(parent).paused()).unwrap();
+    let child = os
+        .spawn(
+            ProcSpec::new(H, "/bin/x")
+                .args(["-v"])
+                .parent(parent)
+                .paused(),
+        )
+        .unwrap();
     let (host, exe, args, par) = os.proc_info(child).unwrap();
     assert_eq!(host, H);
     assert_eq!(exe, "/bin/x");
@@ -446,7 +491,10 @@ fn proc_info_reports_metadata() {
 fn wait_terminal_times_out_on_running_process() {
     let os = os_with(vec![("/bin/x", trivial_exit(0))]);
     let pid = os.spawn(ProcSpec::new(H, "/bin/x").paused()).unwrap();
-    assert_eq!(os.wait_terminal(pid, Duration::from_millis(50)), Err(TdpError::Timeout));
+    assert_eq!(
+        os.wait_terminal(pid, Duration::from_millis(50)),
+        Err(TdpError::Timeout)
+    );
     os.kill(pid, 9).unwrap();
 }
 
@@ -461,10 +509,20 @@ fn factory_builds_fresh_program_per_exec() {
     )]);
     let mut env = HashMap::new();
     env.insert("unused".to_string(), "x".to_string());
-    let p1 = os.spawn(ProcSpec::new(H, "/bin/counter").args(["11"])).unwrap();
-    let p2 = os.spawn(ProcSpec::new(H, "/bin/counter").args(["22"])).unwrap();
-    assert_eq!(os.wait_terminal(p1, TIMEOUT).unwrap(), ProcStatus::Exited(11));
-    assert_eq!(os.wait_terminal(p2, TIMEOUT).unwrap(), ProcStatus::Exited(22));
+    let p1 = os
+        .spawn(ProcSpec::new(H, "/bin/counter").args(["11"]))
+        .unwrap();
+    let p2 = os
+        .spawn(ProcSpec::new(H, "/bin/counter").args(["22"]))
+        .unwrap();
+    assert_eq!(
+        os.wait_terminal(p1, TIMEOUT).unwrap(),
+        ProcStatus::Exited(11)
+    );
+    assert_eq!(
+        os.wait_terminal(p2, TIMEOUT).unwrap(),
+        ProcStatus::Exited(22)
+    );
     drop(env);
 }
 
@@ -487,7 +545,13 @@ fn stop_during_compute_parks_at_gate() {
     std::thread::sleep(Duration::from_millis(50));
     let cpu_b = os.cpu_of(pid).unwrap();
     // Allow one in-flight unit that passed the gate before the stop.
-    assert!(cpu_b - cpu_a <= 1, "stopped process kept computing: {cpu_a} -> {cpu_b}");
+    assert!(
+        cpu_b - cpu_a <= 1,
+        "stopped process kept computing: {cpu_a} -> {cpu_b}"
+    );
     os.continue_process(pid).unwrap();
-    assert_eq!(os.wait_terminal(pid, TIMEOUT).unwrap(), ProcStatus::Exited(0));
+    assert_eq!(
+        os.wait_terminal(pid, TIMEOUT).unwrap(),
+        ProcStatus::Exited(0)
+    );
 }

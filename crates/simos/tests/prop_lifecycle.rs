@@ -5,9 +5,9 @@
 use proptest::prelude::*;
 use std::sync::Arc;
 use std::time::Duration;
+use tdp_proto::HostId;
 use tdp_simos::kernel::ProcSpec;
 use tdp_simos::{fn_program, ExecImage, Os};
-use tdp_proto::HostId;
 
 const H: HostId = HostId(1);
 

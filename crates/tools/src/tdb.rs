@@ -41,7 +41,9 @@ impl Tdb {
     ) -> TdpResult<Tdb> {
         let mut tdp = TdpHandle::init(world, host, ctx, "tdb", Role::ResourceManager)?;
         let pid = tdp.create_process(
-            TdpCreate::new(exe).args(args.iter().map(|s| s.to_string())).paused(),
+            TdpCreate::new(exe)
+                .args(args.iter().map(|s| s.to_string()))
+                .paused(),
         )?;
         Self::finish_setup(tdp, pid)
     }

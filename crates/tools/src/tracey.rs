@@ -47,8 +47,11 @@ fn tracey_main(world: &World, pctx: &mut ProcCtx, ctx: ContextId) -> TdpResult<(
     tdp.continue_process(pid)?;
     let status = tdp.wait_terminal(pid, std::time::Duration::from_secs(600))?;
     let snap = tdp.read_probes(pid)?;
-    let mut lines: Vec<String> =
-        snap.counts.iter().map(|(sym, count)| format!("{sym} {count}")).collect();
+    let mut lines: Vec<String> = snap
+        .counts
+        .iter()
+        .map(|(sym, count)| format!("{sym} {count}"))
+        .collect();
     lines.sort();
     lines.push(format!("# exit {}", status.to_attr_value()));
     world.os().fs().write_file(
@@ -76,26 +79,39 @@ mod tests {
         world.os().fs().install_exec(
             host,
             "/bin/app",
-            ExecImage::new(["main", "alpha", "beta"], Arc::new(|_| {
-                fn_program(|ctx| {
-                    ctx.call("main", |ctx| {
-                        for _ in 0..3 {
-                            ctx.call("alpha", |ctx| ctx.compute(1));
-                        }
-                        ctx.call("beta", |ctx| ctx.compute(1));
-                    });
-                    0
-                })
-            })),
+            ExecImage::new(
+                ["main", "alpha", "beta"],
+                Arc::new(|_| {
+                    fn_program(|ctx| {
+                        ctx.call("main", |ctx| {
+                            for _ in 0..3 {
+                                ctx.call("alpha", |ctx| ctx.compute(1));
+                            }
+                            ctx.call("beta", |ctx| ctx.compute(1));
+                        });
+                        0
+                    })
+                }),
+            ),
         );
-        world.os().fs().install_exec(host, "tracey", tracey_image(world.clone()));
+        world
+            .os()
+            .fs()
+            .install_exec(host, "tracey", tracey_image(world.clone()));
         let mut rm =
             TdpHandle::init(&world, host, ContextId(3), "rm", Role::ResourceManager).unwrap();
-        let app = rm.create_process(TdpCreate::new("/bin/app").paused()).unwrap();
-        let tool = rm.create_process(TdpCreate::new("tracey").args(["-c3"])).unwrap();
+        let app = rm
+            .create_process(TdpCreate::new("/bin/app").paused())
+            .unwrap();
+        let tool = rm
+            .create_process(TdpCreate::new("tracey").args(["-c3"]))
+            .unwrap();
         rm.put(names::PID, &app.to_string()).unwrap();
         assert_eq!(
-            world.os().wait_terminal(tool, Duration::from_secs(10)).unwrap(),
+            world
+                .os()
+                .wait_terminal(tool, Duration::from_secs(10))
+                .unwrap(),
             ProcStatus::Exited(0)
         );
         let report = world
@@ -114,10 +130,18 @@ mod tests {
     fn missing_pid_blocks_until_put_never_guesses() {
         let world = World::new();
         let host = world.add_host();
-        world.os().fs().install_exec(host, "tracey", tracey_image(world.clone()));
-        let mut rm =
-            TdpHandle::init(&world, host, ContextId::DEFAULT, "rm", Role::ResourceManager)
-                .unwrap();
+        world
+            .os()
+            .fs()
+            .install_exec(host, "tracey", tracey_image(world.clone()));
+        let mut rm = TdpHandle::init(
+            &world,
+            host,
+            ContextId::DEFAULT,
+            "rm",
+            Role::ResourceManager,
+        )
+        .unwrap();
         let tool = rm.create_process(TdpCreate::new("tracey")).unwrap();
         // Without a pid put, tracey stays blocked in tdp_get.
         std::thread::sleep(Duration::from_millis(80));

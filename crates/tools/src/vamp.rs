@@ -97,7 +97,10 @@ fn vamp_main(
             break;
         }
     }
-    world.os().fs().write_file(pctx.host(), &format!("{name}.vamp"), log.as_bytes());
+    world
+        .os()
+        .fs()
+        .write_file(pctx.host(), &format!("{name}.vamp"), log.as_bytes());
     tdp.exit()?;
     Ok(())
 }
@@ -109,19 +112,22 @@ mod tests {
     use tdp_core::TdpCreate;
 
     fn slow_app() -> ExecImage {
-        ExecImage::new(["main", "tick"], Arc::new(|_| {
-            fn_program(|ctx| {
-                ctx.call("main", |ctx| {
-                    for _ in 0..10 {
-                        ctx.call("tick", |ctx| {
-                            ctx.compute(1);
-                            ctx.sleep(Duration::from_millis(8));
-                        });
-                    }
-                });
-                0
-            })
-        }))
+        ExecImage::new(
+            ["main", "tick"],
+            Arc::new(|_| {
+                fn_program(|ctx| {
+                    ctx.call("main", |ctx| {
+                        for _ in 0..10 {
+                            ctx.call("tick", |ctx| {
+                                ctx.compute(1);
+                                ctx.sleep(Duration::from_millis(8));
+                            });
+                        }
+                    });
+                    0
+                })
+            }),
+        )
     }
 
     #[test]
@@ -129,18 +135,32 @@ mod tests {
         let world = World::new();
         let host = world.add_host();
         world.os().fs().install_exec(host, "/bin/app", slow_app());
-        world.os().fs().install_exec(host, "vamp", vamp_image(world.clone()));
+        world
+            .os()
+            .fs()
+            .install_exec(host, "vamp", vamp_image(world.clone()));
         let mut rm =
             TdpHandle::init(&world, host, ContextId(1), "rm", Role::ResourceManager).unwrap();
-        let app = rm.create_process(TdpCreate::new("/bin/app").paused()).unwrap();
-        let tool = rm.create_process(TdpCreate::new("vamp").args(["-c1", "-i4"])).unwrap();
+        let app = rm
+            .create_process(TdpCreate::new("/bin/app").paused())
+            .unwrap();
+        let tool = rm
+            .create_process(TdpCreate::new("vamp").args(["-c1", "-i4"]))
+            .unwrap();
         rm.put(names::PID, &app.to_string()).unwrap();
         assert_eq!(
-            world.os().wait_terminal(tool, Duration::from_secs(10)).unwrap(),
+            world
+                .os()
+                .wait_terminal(tool, Duration::from_secs(10))
+                .unwrap(),
             ProcStatus::Exited(0)
         );
         let trace = String::from_utf8(
-            world.os().fs().read_file(host, &format!("vamp{tool}.vamp")).unwrap(),
+            world
+                .os()
+                .fs()
+                .read_file(host, &format!("vamp{tool}.vamp"))
+                .unwrap(),
         )
         .unwrap();
         // Time-ordered tick deltas, ending with the exit marker.
@@ -152,7 +172,10 @@ mod tests {
             .lines()
             .filter_map(|l| l.split_whitespace().next())
             .collect();
-        assert!(ticks.len() > 2, "expected multiple sample intervals: {trace}");
+        assert!(
+            ticks.len() > 2,
+            "expected multiple sample intervals: {trace}"
+        );
     }
 
     #[test]
@@ -161,14 +184,22 @@ mod tests {
         let world = World::new();
         let host = world.add_host();
         world.os().fs().install_exec(host, "/bin/app", slow_app());
-        world.os().fs().install_exec(host, "vamp", vamp_image(world.clone()));
+        world
+            .os()
+            .fs()
+            .install_exec(host, "vamp", vamp_image(world.clone()));
         let mut rm =
             TdpHandle::init(&world, host, ContextId(1), "rm", Role::ResourceManager).unwrap();
         let app = rm.create_process(TdpCreate::new("/bin/app")).unwrap(); // running!
-        let tool = rm.create_process(TdpCreate::new("vamp").args(["-c1"])).unwrap();
+        let tool = rm
+            .create_process(TdpCreate::new("vamp").args(["-c1"]))
+            .unwrap();
         rm.put(names::PID, &app.to_string()).unwrap();
         assert_eq!(
-            world.os().wait_terminal(tool, Duration::from_secs(10)).unwrap(),
+            world
+                .os()
+                .wait_terminal(tool, Duration::from_secs(10))
+                .unwrap(),
             ProcStatus::Exited(1),
             "vamp must refuse an already-running application"
         );

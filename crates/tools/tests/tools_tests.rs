@@ -40,7 +40,10 @@ fn desktop() -> (World, HostId) {
 fn tdb_breakpoint_session() {
     let (world, host) = desktop();
     let mut dbg = Tdb::launch(&world, host, ContextId(1), "/bin/app", &[]).unwrap();
-    assert_eq!(dbg.symbols().unwrap(), vec!["main", "load", "solve", "report"]);
+    assert_eq!(
+        dbg.symbols().unwrap(),
+        vec!["main", "load", "solve", "report"]
+    );
     dbg.breakpoint("solve").unwrap();
     dbg.watch_calls("solve").unwrap();
     dbg.run().unwrap();
@@ -53,7 +56,15 @@ fn tdb_breakpoint_session() {
         }
         assert_eq!(dbg.backtrace().unwrap(), vec!["main"]);
         assert_eq!(dbg.where_stopped().unwrap().as_deref(), Some("solve"));
-        assert_eq!(dbg.info().unwrap().counts.get("solve").copied().unwrap_or(0), i);
+        assert_eq!(
+            dbg.info()
+                .unwrap()
+                .counts
+                .get("solve")
+                .copied()
+                .unwrap_or(0),
+            i
+        );
         dbg.run().unwrap();
     }
     match dbg.wait_stop(T).unwrap() {
@@ -87,16 +98,19 @@ fn tdb_detach_leaves_program_running() {
     world.os().fs().install_exec(
         host,
         "/bin/slow",
-        ExecImage::new(["main", "tick"], Arc::new(|_| {
-            fn_program(|ctx| {
-                ctx.call("main", |ctx| {
-                    for _ in 0..200 {
-                        ctx.call("tick", |ctx| ctx.sleep(Duration::from_millis(2)));
-                    }
-                });
-                0
-            })
-        })),
+        ExecImage::new(
+            ["main", "tick"],
+            Arc::new(|_| {
+                fn_program(|ctx| {
+                    ctx.call("main", |ctx| {
+                        for _ in 0..200 {
+                            ctx.call("tick", |ctx| ctx.sleep(Duration::from_millis(2)));
+                        }
+                    });
+                    0
+                })
+            }),
+        ),
     );
     let mut dbg = Tdb::launch(&world, host, ContextId(3), "/bin/slow", &[]).unwrap();
     dbg.breakpoint("tick").unwrap();
@@ -106,7 +120,10 @@ fn tdb_detach_leaves_program_running() {
     let pid = dbg.pid();
     dbg.detach().unwrap();
     // Detach resumed it; it runs to completion on its own.
-    assert_eq!(world.os().wait_terminal(pid, T).unwrap(), ProcStatus::Exited(0));
+    assert_eq!(
+        world.os().wait_terminal(pid, T).unwrap(),
+        ProcStatus::Exited(0)
+    );
 }
 
 #[test]
@@ -115,7 +132,9 @@ fn tdb_under_tdp_framework() {
     let (world, host) = desktop();
     let ctx = ContextId(4);
     let mut rm = TdpHandle::init(&world, host, ctx, "rm", Role::ResourceManager).unwrap();
-    let app = rm.create_process(TdpCreate::new("/bin/app").paused()).unwrap();
+    let app = rm
+        .create_process(TdpCreate::new("/bin/app").paused())
+        .unwrap();
     rm.put(names::PID, &app.to_string()).unwrap();
     let mut dbg = Tdb::from_tdp(&world, host, ctx).unwrap();
     assert_eq!(dbg.pid(), app);
@@ -130,12 +149,18 @@ fn tdb_under_tdp_framework() {
 
 /// Each extra tool under Condor — three more cells of the m × n matrix,
 /// with zero pairwise code.
-fn condor_with_tool(tool_name: &str, image_for: impl Fn(World) -> ExecImage) -> (World, CondorPool) {
+fn condor_with_tool(
+    tool_name: &str,
+    image_for: impl Fn(World) -> ExecImage,
+) -> (World, CondorPool) {
     let world = World::new();
     let pool = CondorPool::build(&world, 1).unwrap();
     pool.install_everywhere("/bin/app", app_image());
     for h in pool.exec_hosts() {
-        world.os().fs().install_exec(*h, tool_name, image_for(world.clone()));
+        world
+            .os()
+            .fs()
+            .install_exec(*h, tool_name, image_for(world.clone()));
     }
     (world, pool)
 }
@@ -148,7 +173,10 @@ fn condor_runs_tracey_from_tools_crate() {
             "executable = /bin/app\n+SuspendJobAtExec = True\n+ToolDaemonCmd = \"tracey\"\nqueue\n",
         )
         .unwrap();
-    assert!(matches!(pool.wait_job(job, T).unwrap(), JobState::Completed(_)));
+    assert!(matches!(
+        pool.wait_job(job, T).unwrap(),
+        JobState::Completed(_)
+    ));
     let reports: Vec<String> = world
         .os()
         .fs()
@@ -157,9 +185,14 @@ fn condor_runs_tracey_from_tools_crate() {
         .filter(|f| f.ends_with(".coverage"))
         .collect();
     assert_eq!(reports.len(), 1);
-    let text =
-        String::from_utf8(world.os().fs().read_file(pool.exec_hosts()[0], &reports[0]).unwrap())
-            .unwrap();
+    let text = String::from_utf8(
+        world
+            .os()
+            .fs()
+            .read_file(pool.exec_hosts()[0], &reports[0])
+            .unwrap(),
+    )
+    .unwrap();
     assert!(text.contains("solve 3"), "{text}");
 }
 
@@ -171,7 +204,10 @@ fn condor_runs_vamp_from_tools_crate() {
             "executable = /bin/app\n+SuspendJobAtExec = True\n+ToolDaemonCmd = \"vamp\"\n+ToolDaemonArgs = \"-i2\"\nqueue\n",
         )
         .unwrap();
-    assert!(matches!(pool.wait_job(job, T).unwrap(), JobState::Completed(_)));
+    assert!(matches!(
+        pool.wait_job(job, T).unwrap(),
+        JobState::Completed(_)
+    ));
     let traces: Vec<String> = world
         .os()
         .fs()
@@ -180,9 +216,14 @@ fn condor_runs_vamp_from_tools_crate() {
         .filter(|f| f.ends_with(".vamp"))
         .collect();
     assert_eq!(traces.len(), 1, "{traces:?}");
-    let text =
-        String::from_utf8(world.os().fs().read_file(pool.exec_hosts()[0], &traces[0]).unwrap())
-            .unwrap();
+    let text = String::from_utf8(
+        world
+            .os()
+            .fs()
+            .read_file(pool.exec_hosts()[0], &traces[0])
+            .unwrap(),
+    )
+    .unwrap();
     assert!(text.contains("END exited:0"), "{text}");
 }
 

@@ -1,0 +1,58 @@
+//! Transport-independent endpoint naming.
+
+use std::fmt;
+use std::net::SocketAddr;
+use tdp_proto::Addr;
+
+/// Where a connection goes (or came from), in whichever address family
+/// the backing transport speaks.
+///
+/// The rest of TDP keeps thinking in logical [`Addr`]s (`host:port` on
+/// the simulated fabric); only the transport layer and the resolver in
+/// `tdp-core` touch real socket addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// An address on the simulated network.
+    Sim(Addr),
+    /// A real socket address (loopback TCP in this workspace).
+    Tcp(SocketAddr),
+}
+
+impl Endpoint {
+    /// The simulated address, if this endpoint is one.
+    pub fn as_sim(&self) -> Option<Addr> {
+        match self {
+            Endpoint::Sim(a) => Some(*a),
+            Endpoint::Tcp(_) => None,
+        }
+    }
+
+    /// The socket address, if this endpoint is one.
+    pub fn as_tcp(&self) -> Option<SocketAddr> {
+        match self {
+            Endpoint::Tcp(sa) => Some(*sa),
+            Endpoint::Sim(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Sim(a) => write!(f, "sim://{a}"),
+            Endpoint::Tcp(sa) => write!(f, "tcp://{sa}"),
+        }
+    }
+}
+
+impl From<Addr> for Endpoint {
+    fn from(a: Addr) -> Endpoint {
+        Endpoint::Sim(a)
+    }
+}
+
+impl From<SocketAddr> for Endpoint {
+    fn from(sa: SocketAddr) -> Endpoint {
+        Endpoint::Tcp(sa)
+    }
+}

@@ -1,0 +1,229 @@
+//! `tdp-wire`: the message transport layer of the TDP workspace.
+//!
+//! Every protocol component above this crate (the attribute-space
+//! servers and clients, `tdp-core`'s `TdpHandle`) exchanges framed
+//! [`Message`]s over an abstract connection. This crate defines that
+//! abstraction — [`WireConn`] / [`WireTx`] / [`WireRx`] /
+//! [`WireListener`], produced by a [`Transport`] — and ships two
+//! backends:
+//!
+//! * [`sim`] — an adapter over `tdp-netsim`'s in-memory fabric, keeping
+//!   the simulated topology, firewalls and latency models;
+//! * [`tcp`] — real `std::net` TCP sockets on loopback, with an
+//!   incremental streaming decoder ([`tdp_proto::FrameDecoder`]),
+//!   per-connection write coalescing behind a bounded outbound queue
+//!   (backpressure), configurable read/write timeouts, and fail-fast
+//!   close semantics matching netsim's.
+//!
+//! The two backends are observably equivalent to the layers above: the
+//! same scenario driven over either produces the same TDP call trace.
+
+pub mod endpoint;
+pub mod sim;
+pub mod tcp;
+
+pub use endpoint::Endpoint;
+pub use sim::SimTransport;
+pub use tcp::{tcp_connect_via, TcpConfig, TcpProxy, TcpTransport};
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tdp_proto::{HostId, Message, TdpError, TdpResult};
+
+/// Send half of a connection. Object-safe; shared behind [`WireTx`].
+pub trait TxApi: Send + Sync {
+    /// Queue one framed message. May block for backpressure; fails fast
+    /// once the connection is closed.
+    fn send_msg(&self, msg: &Message) -> TdpResult<()>;
+    /// Close the connection. Pending sends are abandoned; the peer sees
+    /// EOF. Idempotent.
+    fn close(&self);
+}
+
+/// Receive half of a connection. Object-safe; owned by [`WireRx`].
+pub trait RxApi: Send {
+    /// Blocking framed receive; `deadline` bounds the wait.
+    fn recv_msg_deadline(&mut self, deadline: Option<Instant>) -> TdpResult<Message>;
+    /// Non-blocking framed receive: `Ok(None)` when no complete message
+    /// has arrived yet.
+    fn try_recv_msg(&mut self) -> TdpResult<Option<Message>>;
+}
+
+/// A passive listener. Object-safe; shared behind [`WireListener`].
+pub trait ListenerApi: Send + Sync {
+    /// Block for the next inbound connection.
+    fn accept(&self) -> TdpResult<WireConn>;
+    /// Where this listener is bound, in transport terms.
+    fn local_endpoint(&self) -> Endpoint;
+    /// Stop accepting; blocked `accept` calls return an error.
+    fn close(&self);
+}
+
+/// Clonable send handle — multiple threads may write to one connection.
+#[derive(Clone)]
+pub struct WireTx {
+    inner: Arc<dyn TxApi>,
+}
+
+impl WireTx {
+    pub fn new(inner: Arc<dyn TxApi>) -> WireTx {
+        WireTx { inner }
+    }
+
+    pub fn send_msg(&self, msg: &Message) -> TdpResult<()> {
+        self.inner.send_msg(msg)
+    }
+
+    pub fn close(&self) {
+        self.inner.close();
+    }
+}
+
+/// Exclusive receive handle (framed reads keep per-connection decoder
+/// state).
+pub struct WireRx {
+    inner: Box<dyn RxApi>,
+}
+
+impl WireRx {
+    pub fn new(inner: Box<dyn RxApi>) -> WireRx {
+        WireRx { inner }
+    }
+
+    pub fn recv_msg(&mut self) -> TdpResult<Message> {
+        self.inner.recv_msg_deadline(None)
+    }
+
+    pub fn recv_msg_timeout(&mut self, timeout: Duration) -> TdpResult<Message> {
+        self.inner.recv_msg_deadline(Some(Instant::now() + timeout))
+    }
+
+    pub fn try_recv_msg(&mut self) -> TdpResult<Option<Message>> {
+        self.inner.try_recv_msg()
+    }
+}
+
+/// An established connection over either backend.
+pub struct WireConn {
+    tx: WireTx,
+    rx: WireRx,
+    local: Endpoint,
+    peer: Endpoint,
+    /// Logical host of the peer: carried by the address on the simulated
+    /// fabric, declared by the `Hello` handshake over TCP. `None` on the
+    /// client side of a TCP connection (the dialled server never
+    /// introduces itself — the client already knows whom it called).
+    peer_host: Option<HostId>,
+}
+
+impl WireConn {
+    pub fn from_parts(
+        tx: WireTx,
+        rx: WireRx,
+        local: Endpoint,
+        peer: Endpoint,
+        peer_host: Option<HostId>,
+    ) -> WireConn {
+        WireConn {
+            tx,
+            rx,
+            local,
+            peer,
+            peer_host,
+        }
+    }
+
+    pub fn local_endpoint(&self) -> Endpoint {
+        self.local
+    }
+
+    pub fn peer_endpoint(&self) -> Endpoint {
+        self.peer
+    }
+
+    /// Logical host of the peer, when known (see field docs).
+    pub fn peer_host(&self) -> Option<HostId> {
+        self.peer_host
+    }
+
+    pub fn send_msg(&self, msg: &Message) -> TdpResult<()> {
+        self.tx.send_msg(msg)
+    }
+
+    pub fn recv_msg(&mut self) -> TdpResult<Message> {
+        self.rx.recv_msg()
+    }
+
+    pub fn recv_msg_timeout(&mut self, timeout: Duration) -> TdpResult<Message> {
+        self.rx.recv_msg_timeout(timeout)
+    }
+
+    pub fn try_recv_msg(&mut self) -> TdpResult<Option<Message>> {
+        self.rx.try_recv_msg()
+    }
+
+    /// A clonable handle onto the send half (the connection itself stays
+    /// intact).
+    pub fn sender(&self) -> WireTx {
+        self.tx.clone()
+    }
+
+    pub fn close(&self) {
+        self.tx.close();
+    }
+
+    /// Split into independently owned halves, so a server can fan
+    /// replies in from other sessions while one thread blocks reading.
+    pub fn split(self) -> (WireTx, WireRx) {
+        (self.tx, self.rx)
+    }
+}
+
+impl std::fmt::Debug for WireConn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WireConn({} <-> {})", self.local, self.peer)
+    }
+}
+
+/// Clonable listener handle.
+#[derive(Clone)]
+pub struct WireListener {
+    inner: Arc<dyn ListenerApi>,
+}
+
+impl WireListener {
+    pub fn new(inner: Arc<dyn ListenerApi>) -> WireListener {
+        WireListener { inner }
+    }
+
+    pub fn accept(&self) -> TdpResult<WireConn> {
+        self.inner.accept()
+    }
+
+    pub fn local_endpoint(&self) -> Endpoint {
+        self.inner.local_endpoint()
+    }
+
+    pub fn close(&self) {
+        self.inner.close();
+    }
+}
+
+/// A connection factory: one per backend.
+///
+/// `from` is the logical host the connection originates on — the
+/// simulated backend uses it to pick the source address (and so the
+/// firewall rules that apply); the TCP backend announces it to the
+/// server in the `Hello` handshake.
+pub trait Transport: Send + Sync {
+    /// Bind a listener. `port` is the logical port (the TCP backend
+    /// always binds an ephemeral loopback port; callers map logical to
+    /// real addresses — see `tdp-core`'s resolver).
+    fn listen(&self, host: HostId, port: u16) -> TdpResult<WireListener>;
+    /// Open a connection from logical host `from` to `to`.
+    fn connect(&self, from: HostId, to: &Endpoint) -> TdpResult<WireConn>;
+}
+
+pub(crate) fn protocol_err(e: tdp_proto::FrameError) -> TdpError {
+    TdpError::Protocol(e.to_string())
+}

@@ -1,0 +1,178 @@
+//! The netsim backend: adapts `tdp-netsim`'s in-memory connections to
+//! the [`crate::Transport`] abstraction.
+
+use crate::{
+    Endpoint, ListenerApi, RxApi, Transport, TxApi, WireConn, WireListener, WireRx, WireTx,
+};
+use std::sync::Arc;
+use std::time::Instant;
+use tdp_netsim::{Conn, ConnRx, ConnTx, Listener, Network};
+use tdp_proto::{HostId, Message, TdpError, TdpResult};
+
+/// Transport over the simulated fabric.
+#[derive(Clone)]
+pub struct SimTransport {
+    net: Network,
+}
+
+impl SimTransport {
+    pub fn new(net: Network) -> SimTransport {
+        SimTransport { net }
+    }
+
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+}
+
+impl Transport for SimTransport {
+    fn listen(&self, host: HostId, port: u16) -> TdpResult<WireListener> {
+        Ok(wrap_listener(
+            self.net.clone(),
+            self.net.listen(host, port)?,
+        ))
+    }
+
+    fn connect(&self, from: HostId, to: &Endpoint) -> TdpResult<WireConn> {
+        let addr = to
+            .as_sim()
+            .ok_or_else(|| TdpError::Substrate(format!("sim transport cannot dial {to}")))?;
+        Ok(wrap_conn(self.net.connect(from, addr)?))
+    }
+}
+
+/// Wrap an established netsim connection (e.g. one returned by the
+/// relay proxy) as a [`WireConn`].
+pub fn wrap_conn(conn: Conn) -> WireConn {
+    let local = Endpoint::Sim(conn.local_addr());
+    let peer = Endpoint::Sim(conn.peer_addr());
+    let peer_host = Some(conn.peer_addr().host);
+    let (tx, rx) = conn.split();
+    WireConn::from_parts(
+        WireTx::new(Arc::new(SimTx { tx })),
+        WireRx::new(Box::new(SimRx { rx })),
+        local,
+        peer,
+        peer_host,
+    )
+}
+
+/// Wrap a bound netsim listener as a [`WireListener`]. The `Network`
+/// handle is kept so `close` can release the port.
+pub fn wrap_listener(net: Network, listener: Listener) -> WireListener {
+    let addr = listener.local_addr();
+    WireListener::new(Arc::new(SimListener {
+        net,
+        listener: parking_lot::Mutex::new(listener),
+        addr: Endpoint::Sim(addr),
+    }))
+}
+
+struct SimTx {
+    tx: ConnTx,
+}
+
+impl TxApi for SimTx {
+    fn send_msg(&self, msg: &Message) -> TdpResult<()> {
+        self.tx.send_msg(msg)
+    }
+
+    fn close(&self) {
+        self.tx.close();
+    }
+}
+
+struct SimRx {
+    rx: ConnRx,
+}
+
+impl RxApi for SimRx {
+    fn recv_msg_deadline(&mut self, deadline: Option<Instant>) -> TdpResult<Message> {
+        match deadline {
+            None => self.rx.recv_msg(),
+            Some(d) => {
+                let remaining = d
+                    .checked_duration_since(Instant::now())
+                    .ok_or(TdpError::Timeout)?;
+                self.rx.recv_msg_timeout(remaining)
+            }
+        }
+    }
+
+    fn try_recv_msg(&mut self) -> TdpResult<Option<Message>> {
+        self.rx.try_recv_msg()
+    }
+}
+
+struct SimListener {
+    net: Network,
+    listener: parking_lot::Mutex<Listener>,
+    addr: Endpoint,
+}
+
+impl ListenerApi for SimListener {
+    fn accept(&self) -> TdpResult<WireConn> {
+        // netsim's accept blocks on a channel; holding the lock for the
+        // duration is fine because wire listeners have a single accept
+        // loop (matching `std::net::TcpListener` usage).
+        let conn = self.listener.lock().accept()?;
+        Ok(wrap_conn(conn))
+    }
+
+    fn local_endpoint(&self) -> Endpoint {
+        self.addr
+    }
+
+    fn close(&self) {
+        if let Endpoint::Sim(addr) = self.addr {
+            // Unbinding drops the fabric-side sender; the blocked accept
+            // wakes with `Disconnected`.
+            self.net.unbind(addr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdp_proto::{Addr, ContextId};
+
+    #[test]
+    fn sim_roundtrip_over_wire_api() {
+        let net = Network::new();
+        let a = net.add_host();
+        let b = net.add_host();
+        let t = SimTransport::new(net);
+        let lis = t.listen(b, 7000).unwrap();
+        let client = t.connect(a, &Endpoint::Sim(Addr::new(b, 7000))).unwrap();
+        let mut server = lis.accept().unwrap();
+        assert_eq!(server.peer_host(), Some(a));
+        let msg = Message::Join { ctx: ContextId(9) };
+        client.send_msg(&msg).unwrap();
+        assert_eq!(server.recv_msg().unwrap(), msg);
+    }
+
+    #[test]
+    fn close_unblocks_accept() {
+        let net = Network::new();
+        let h = net.add_host();
+        let t = SimTransport::new(net);
+        let lis = t.listen(h, 7001).unwrap();
+        let l2 = lis.clone();
+        let th = std::thread::spawn(move || l2.accept());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        lis.close();
+        assert!(th.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn try_recv_msg_nonblocking() {
+        let (a, b) = Conn::pair();
+        let mut wa = wrap_conn(a);
+        let wb = wrap_conn(b);
+        assert_eq!(wa.try_recv_msg().unwrap(), None);
+        let msg = Message::Leave { ctx: ContextId(2) };
+        wb.send_msg(&msg).unwrap();
+        assert_eq!(wa.try_recv_msg().unwrap(), Some(msg));
+    }
+}

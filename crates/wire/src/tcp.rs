@@ -1,0 +1,771 @@
+//! Real-socket backend: framed [`Message`] transport over loopback TCP.
+//!
+//! Design points, mirroring what the simulated backend guarantees:
+//!
+//! * **Streaming decode** — reads go through an incremental
+//!   [`FrameDecoder`], so frames torn across arbitrary TCP segment
+//!   boundaries reassemble correctly and corruption is detected (not
+//!   spun on).
+//! * **Write batching** — each connection owns a writer thread draining
+//!   a *bounded* queue; consecutive queued frames are coalesced into a
+//!   single `write_all` (up to [`TcpConfig::coalesce_bytes`]), cutting
+//!   syscalls under bursty fan-out. A full queue blocks the sender —
+//!   backpressure, not unbounded memory.
+//! * **Fail-fast close** — `close` marks the connection dead (local
+//!   sends fail immediately), lets already-queued frames flush, then
+//!   half-closes the socket so the peer sees EOF; the local read side is
+//!   shut down immediately so a blocked reader wakes. This matches the
+//!   netsim `Conn::close` contract.
+//! * **Hello handshake** — TCP carries no logical host identity, so the
+//!   dialling side's first frame is [`Message::Hello`]; the accept side
+//!   consumes it and records `peer_host` for the LASS locality rule.
+
+use crate::{
+    protocol_err, Endpoint, ListenerApi, RxApi, Transport, TxApi, WireConn, WireListener, WireRx,
+    WireTx,
+};
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+use tdp_proto::{encode_frame, Addr, FrameDecoder, HostId, Message, TdpError, TdpResult};
+
+/// Tunables for the TCP backend.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Default bound on a blocking `recv_msg` (`None` = wait forever).
+    /// Explicit `recv_msg_timeout` deadlines always take precedence.
+    pub read_timeout: Option<Duration>,
+    /// Bound on a single socket write; a peer that stops draining for
+    /// this long kills the connection rather than wedging the writer.
+    pub write_timeout: Duration,
+    /// Dial timeout.
+    pub connect_timeout: Duration,
+    /// How long the accept side waits for the `Hello` frame.
+    pub handshake_timeout: Duration,
+    /// Outbound queue depth, in frames. A full queue blocks `send_msg`
+    /// (backpressure).
+    pub queue_frames: usize,
+    /// Coalesce consecutive queued frames into one write up to this many
+    /// bytes.
+    pub coalesce_bytes: usize,
+}
+
+impl Default for TcpConfig {
+    fn default() -> TcpConfig {
+        TcpConfig {
+            read_timeout: None,
+            write_timeout: Duration::from_secs(5),
+            connect_timeout: Duration::from_secs(2),
+            handshake_timeout: Duration::from_secs(2),
+            queue_frames: 256,
+            coalesce_bytes: 16 * 1024,
+        }
+    }
+}
+
+/// Transport over real loopback TCP sockets.
+#[derive(Clone, Default)]
+pub struct TcpTransport {
+    cfg: TcpConfig,
+}
+
+impl TcpTransport {
+    pub fn new() -> TcpTransport {
+        TcpTransport {
+            cfg: TcpConfig::default(),
+        }
+    }
+
+    pub fn with_config(cfg: TcpConfig) -> TcpTransport {
+        TcpTransport { cfg }
+    }
+
+    pub fn config(&self) -> &TcpConfig {
+        &self.cfg
+    }
+}
+
+impl Transport for TcpTransport {
+    /// Bind a loopback listener. The logical `port` is ignored — real
+    /// port numbers are always ephemeral and the caller maps logical
+    /// addresses to the [`Endpoint`] this returns.
+    fn listen(&self, host: HostId, _port: u16) -> TdpResult<WireListener> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))
+            .map_err(|e| TdpError::Substrate(format!("tcp bind: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| TdpError::Substrate(format!("tcp local_addr: {e}")))?;
+        let (tx, rx) = bounded::<WireConn>(64);
+        let closed = Arc::new(AtomicBool::new(false));
+        let accept_listener = listener
+            .try_clone()
+            .map_err(|e| TdpError::Substrate(format!("tcp listener clone: {e}")))?;
+        let cfg = self.cfg.clone();
+        let closed2 = closed.clone();
+        let thread = thread::Builder::new()
+            .name(format!("wire-accept-{local}"))
+            .spawn(move || accept_loop(accept_listener, cfg, closed2, tx))
+            .map_err(|e| TdpError::Substrate(format!("spawn accept thread: {e}")))?;
+        let _ = host; // identity is per-connection (Hello), not per-listener
+        Ok(WireListener::new(Arc::new(TcpListenerBackend {
+            local,
+            incoming: rx,
+            closed,
+            thread: parking_lot::Mutex::new(Some(thread)),
+        })))
+    }
+
+    fn connect(&self, from: HostId, to: &Endpoint) -> TdpResult<WireConn> {
+        let sa = to
+            .as_tcp()
+            .ok_or_else(|| TdpError::Substrate(format!("tcp transport cannot dial {to}")))?;
+        let stream = TcpStream::connect_timeout(&sa, self.cfg.connect_timeout)
+            .map_err(|e| TdpError::Substrate(format!("tcp connect {sa}: {e}")))?;
+        client_conn_over(stream, from, &self.cfg)
+    }
+}
+
+/// Finish the client side of a connection on an established stream:
+/// introduce ourselves with `Hello`, then wrap.
+fn client_conn_over(mut stream: TcpStream, from: HostId, cfg: &TcpConfig) -> TdpResult<WireConn> {
+    stream
+        .set_write_timeout(Some(cfg.write_timeout))
+        .map_err(|e| TdpError::Substrate(format!("tcp set timeout: {e}")))?;
+    stream
+        .write_all(&encode_frame(&Message::Hello { host: from }))
+        .map_err(|_| TdpError::Disconnected)?;
+    conn_from_stream(stream, cfg, None, FrameDecoder::new())
+}
+
+/// Wrap an established, handshake-complete stream as a [`WireConn`].
+/// `leftover` holds bytes the handshake over-read past its frame.
+fn conn_from_stream(
+    stream: TcpStream,
+    cfg: &TcpConfig,
+    peer_host: Option<HostId>,
+    leftover: FrameDecoder,
+) -> TdpResult<WireConn> {
+    let sub = |e: std::io::Error| TdpError::Substrate(format!("tcp setup: {e}"));
+    stream.set_nodelay(true).map_err(sub)?;
+    stream
+        .set_write_timeout(Some(cfg.write_timeout))
+        .map_err(sub)?;
+    let local = Endpoint::Tcp(stream.local_addr().map_err(sub)?);
+    let peer = Endpoint::Tcp(stream.peer_addr().map_err(sub)?);
+    let write_stream = stream.try_clone().map_err(sub)?;
+    let (q_tx, q_rx) = bounded::<WriteOp>(cfg.queue_frames.max(1));
+    let shared = Arc::new(TcpTxShared {
+        q: q_tx,
+        closed: AtomicBool::new(false),
+        stream: stream.try_clone().map_err(sub)?,
+    });
+    let coalesce = cfg.coalesce_bytes.max(1);
+    thread::Builder::new()
+        .name("wire-writer".into())
+        .spawn(move || writer_loop(write_stream, q_rx, coalesce))
+        .map_err(|e| TdpError::Substrate(format!("spawn writer thread: {e}")))?;
+    let rx = TcpRx {
+        stream,
+        dec: leftover,
+        default_read_timeout: cfg.read_timeout,
+        nonblocking: false,
+    };
+    Ok(WireConn::from_parts(
+        WireTx::new(shared),
+        WireRx::new(Box::new(rx)),
+        local,
+        peer,
+        peer_host,
+    ))
+}
+
+enum WriteOp {
+    Frame(Bytes),
+    Shutdown,
+}
+
+struct TcpTxShared {
+    q: Sender<WriteOp>,
+    closed: AtomicBool,
+    /// Kept only to force-shutdown the socket on fail-fast close.
+    stream: TcpStream,
+}
+
+impl TxApi for TcpTxShared {
+    fn send_msg(&self, msg: &Message) -> TdpResult<()> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(TdpError::Disconnected);
+        }
+        // Blocking send on the bounded queue = backpressure. Errors mean
+        // the writer thread is gone (socket died).
+        self.q
+            .send(WriteOp::Frame(encode_frame(msg)))
+            .map_err(|_| TdpError::Disconnected)
+    }
+
+    fn close(&self) {
+        if self.closed.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Wake a local reader blocked on this connection immediately —
+        // matching netsim, where close severs both directions.
+        let _ = self.stream.shutdown(Shutdown::Read);
+        match self.q.try_send(WriteOp::Shutdown) {
+            Ok(()) => {} // queued frames flush, then the writer half-closes
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                // Queue wedged or writer gone: abandon pending output.
+                let _ = self.stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+/// Drain the outbound queue, coalescing bursts into single writes.
+fn writer_loop(mut stream: TcpStream, q: Receiver<WriteOp>, coalesce: usize) {
+    let mut buf: Vec<u8> = Vec::with_capacity(coalesce);
+    // `recv` erring means every sender dropped: connection released.
+    'outer: while let Ok(first) = q.recv() {
+        let mut shutdown = false;
+        match first {
+            WriteOp::Shutdown => break,
+            WriteOp::Frame(frame) => {
+                buf.clear();
+                buf.extend_from_slice(&frame);
+                while buf.len() < coalesce {
+                    match q.try_recv() {
+                        Ok(WriteOp::Frame(f)) => buf.extend_from_slice(&f),
+                        Ok(WriteOp::Shutdown) => {
+                            shutdown = true;
+                            break;
+                        }
+                        Err(_) => break,
+                    }
+                }
+                if stream.write_all(&buf).is_err() {
+                    break 'outer; // peer gone or write timeout: fail fast
+                }
+            }
+        }
+        if shutdown {
+            break;
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Write);
+}
+
+struct TcpRx {
+    stream: TcpStream,
+    dec: FrameDecoder,
+    default_read_timeout: Option<Duration>,
+    /// Tracks the socket's current non-blocking flag so `try_recv_msg`
+    /// toggles only when needed.
+    nonblocking: bool,
+}
+
+impl TcpRx {
+    fn set_nonblocking(&mut self, on: bool) -> TdpResult<()> {
+        if self.nonblocking != on {
+            self.stream
+                .set_nonblocking(on)
+                .map_err(|e| TdpError::Substrate(format!("tcp set_nonblocking: {e}")))?;
+            self.nonblocking = on;
+        }
+        Ok(())
+    }
+}
+
+impl RxApi for TcpRx {
+    fn recv_msg_deadline(&mut self, deadline: Option<Instant>) -> TdpResult<Message> {
+        self.set_nonblocking(false)?;
+        let mut chunk = [0u8; 8 * 1024];
+        loop {
+            if let Some(msg) = self.dec.next().map_err(protocol_err)? {
+                return Ok(msg);
+            }
+            let timeout = match deadline {
+                Some(d) => Some(
+                    d.checked_duration_since(Instant::now())
+                        .ok_or(TdpError::Timeout)?,
+                ),
+                None => self.default_read_timeout,
+            };
+            // set_read_timeout(Some(0)) is an error; clamp to 1ms.
+            let timeout = timeout.map(|t| t.max(Duration::from_millis(1)));
+            self.stream
+                .set_read_timeout(timeout)
+                .map_err(|e| TdpError::Substrate(format!("tcp set timeout: {e}")))?;
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(TdpError::Disconnected),
+                Ok(n) => self.dec.feed(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Err(TdpError::Timeout)
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return Err(TdpError::Disconnected),
+            }
+        }
+    }
+
+    fn try_recv_msg(&mut self) -> TdpResult<Option<Message>> {
+        if let Some(msg) = self.dec.next().map_err(protocol_err)? {
+            return Ok(Some(msg));
+        }
+        self.set_nonblocking(true)?;
+        let mut chunk = [0u8; 8 * 1024];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(TdpError::Disconnected),
+                Ok(n) => {
+                    self.dec.feed(&chunk[..n]);
+                    if let Some(msg) = self.dec.next().map_err(protocol_err)? {
+                        return Ok(Some(msg));
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(None),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return Err(TdpError::Disconnected),
+            }
+        }
+    }
+}
+
+struct TcpListenerBackend {
+    local: SocketAddr,
+    incoming: Receiver<WireConn>,
+    closed: Arc<AtomicBool>,
+    thread: parking_lot::Mutex<Option<thread::JoinHandle<()>>>,
+}
+
+impl ListenerApi for TcpListenerBackend {
+    fn accept(&self) -> TdpResult<WireConn> {
+        self.incoming.recv().map_err(|_| TdpError::Disconnected)
+    }
+
+    fn local_endpoint(&self) -> Endpoint {
+        Endpoint::Tcp(self.local)
+    }
+
+    fn close(&self) {
+        if self.closed.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // `std::net::TcpListener::accept` cannot be interrupted; wake the
+        // accept thread with a throwaway self-connection.
+        let _ = TcpStream::connect_timeout(&self.local, Duration::from_millis(500));
+        if let Some(h) = self.thread.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    cfg: TcpConfig,
+    closed: Arc<AtomicBool>,
+    out: Sender<WireConn>,
+) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => break,
+        };
+        if closed.load(Ordering::Acquire) {
+            break; // the wake-up self-connection
+        }
+        // Handshake inline: LASS/CASS accept rates are tiny and a serial
+        // handshake keeps connection establishment ordered.
+        match accept_handshake(stream, &cfg) {
+            Ok(conn) => {
+                if out.send(conn).is_err() {
+                    break;
+                }
+            }
+            Err(_) => continue, // bad client; drop it
+        }
+    }
+}
+
+/// Server side of connection establishment: read the `Hello` frame to
+/// learn the peer's logical host.
+fn accept_handshake(stream: TcpStream, cfg: &TcpConfig) -> TdpResult<WireConn> {
+    let sub = |e: std::io::Error| TdpError::Substrate(format!("tcp handshake: {e}"));
+    stream
+        .set_read_timeout(Some(cfg.handshake_timeout))
+        .map_err(sub)?;
+    let mut dec = FrameDecoder::new();
+    let mut chunk = [0u8; 1024];
+    let mut reader = stream.try_clone().map_err(sub)?;
+    let host = loop {
+        if let Some(msg) = dec.next().map_err(protocol_err)? {
+            match msg {
+                Message::Hello { host } => break host,
+                other => return Err(TdpError::Protocol(format!("expected Hello, got {other:?}"))),
+            }
+        }
+        match reader.read(&mut chunk) {
+            Ok(0) => return Err(TdpError::Disconnected),
+            Ok(n) => dec.feed(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(TdpError::Timeout),
+        }
+    };
+    stream.set_read_timeout(None).map_err(sub)?;
+    // Bytes the client pipelined right behind its Hello stay in `dec`.
+    conn_from_stream(stream, cfg, Some(host), dec)
+}
+
+// ---------------------------------------------------------------- proxy
+
+/// Resolves a *logical* target address (as named in a CONNECT header) to
+/// the real socket address to dial — and decides whether the crossing is
+/// permitted at all. `tdp-core` supplies a closure that consults the
+/// simulated topology's firewall rules plus its logical→real map.
+pub type ProxyResolver = Arc<dyn Fn(Addr) -> TdpResult<SocketAddr> + Send + Sync>;
+
+/// A running byte-relay proxy over real TCP — the §2.4 mechanism, same
+/// one-line `CONNECT host:port\n` protocol as the netsim relay, so a
+/// client can reach a logical address its own routes do not permit.
+pub struct TcpProxy {
+    local: SocketAddr,
+    closed: Arc<AtomicBool>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+impl TcpProxy {
+    /// Real loopback address clients dial.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.closed.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let _ = TcpStream::connect_timeout(&self.local, Duration::from_millis(500));
+        if let Some(h) = self.thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TcpProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Spawn a relay proxy on an ephemeral loopback port.
+pub fn spawn_proxy(resolver: ProxyResolver) -> TdpResult<TcpProxy> {
+    let listener = TcpListener::bind(("127.0.0.1", 0))
+        .map_err(|e| TdpError::Substrate(format!("proxy bind: {e}")))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| TdpError::Substrate(format!("proxy local_addr: {e}")))?;
+    let closed = Arc::new(AtomicBool::new(false));
+    let closed2 = closed.clone();
+    let thread = thread::Builder::new()
+        .name(format!("wire-proxy-{local}"))
+        .spawn(move || {
+            while let Ok((client, _)) = listener.accept() {
+                if closed2.load(Ordering::Acquire) {
+                    break;
+                }
+                let resolver = resolver.clone();
+                let _ = thread::Builder::new()
+                    .name("wire-proxy-relay".into())
+                    .spawn(move || relay_session(client, resolver));
+            }
+        })
+        .map_err(|e| TdpError::Substrate(format!("spawn proxy thread: {e}")))?;
+    Ok(TcpProxy {
+        local,
+        closed,
+        thread: Some(thread),
+    })
+}
+
+fn relay_session(mut client: TcpStream, resolver: ProxyResolver) {
+    let _ = client.set_read_timeout(Some(Duration::from_secs(2)));
+    let header = match read_header_line(&mut client) {
+        Ok(h) => h,
+        Err(_) => return,
+    };
+    let target = match header.strip_prefix("CONNECT ").and_then(Addr::parse) {
+        Some(t) => t,
+        None => {
+            let _ = client.write_all(b"ERR bad connect header\n");
+            return;
+        }
+    };
+    let upstream = match resolver(target).and_then(|sa| {
+        TcpStream::connect_timeout(&sa, Duration::from_secs(2))
+            .map_err(|e| TdpError::Substrate(format!("dial {sa}: {e}")))
+    }) {
+        Ok(s) => s,
+        Err(e) => {
+            let _ = client.write_all(format!("ERR {e}\n").as_bytes());
+            return;
+        }
+    };
+    let _ = client.set_read_timeout(None);
+    if client.write_all(b"OK\n").is_err() {
+        return;
+    }
+    let (Ok(c2), Ok(u2)) = (client.try_clone(), upstream.try_clone()) else {
+        return;
+    };
+    let up = thread::spawn(move || pump(client, upstream));
+    pump(u2, c2);
+    let _ = up.join();
+}
+
+/// Copy one direction until EOF or error, then propagate the close.
+fn pump(mut from: TcpStream, mut to: TcpStream) {
+    let _ = std::io::copy(&mut from, &mut to);
+    let _ = to.shutdown(Shutdown::Write);
+    let _ = from.shutdown(Shutdown::Read);
+}
+
+/// Read a `\n`-terminated header, byte at a time (headers are tiny and
+/// this never over-reads into the relayed stream).
+fn read_header_line(stream: &mut TcpStream) -> TdpResult<String> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => return Err(TdpError::Disconnected),
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    return String::from_utf8(line)
+                        .map_err(|_| TdpError::Protocol("non-utf8 header".into()));
+                }
+                line.push(byte[0]);
+                if line.len() > 256 {
+                    return Err(TdpError::Protocol("connect header too long".into()));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(TdpError::Timeout),
+        }
+    }
+}
+
+/// Client side: open a [`WireConn`] to the logical `target` through the
+/// relay proxy at `proxy` (cf. `tdp_netsim::proxy::connect_via`).
+pub fn tcp_connect_via(
+    proxy: SocketAddr,
+    target: Addr,
+    from: HostId,
+    cfg: &TcpConfig,
+) -> TdpResult<WireConn> {
+    let mut stream = TcpStream::connect_timeout(&proxy, cfg.connect_timeout)
+        .map_err(|e| TdpError::Substrate(format!("tcp connect {proxy}: {e}")))?;
+    stream
+        .set_read_timeout(Some(cfg.connect_timeout))
+        .map_err(|e| TdpError::Substrate(format!("tcp set timeout: {e}")))?;
+    stream
+        .write_all(format!("CONNECT {}\n", target.to_attr_value()).as_bytes())
+        .map_err(|_| TdpError::Disconnected)?;
+    let reply = read_header_line(&mut stream)?;
+    if reply == "OK" {
+        stream
+            .set_read_timeout(None)
+            .map_err(|e| TdpError::Substrate(format!("tcp set timeout: {e}")))?;
+        client_conn_over(stream, from, cfg)
+    } else if let Some(e) = reply.strip_prefix("ERR ") {
+        Err(TdpError::Substrate(format!("proxy: {e}")))
+    } else {
+        Err(TdpError::Protocol(format!("bad proxy reply: {reply:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdp_proto::ContextId;
+
+    fn transport() -> TcpTransport {
+        TcpTransport::new()
+    }
+
+    fn pair(t: &TcpTransport) -> (WireConn, WireConn) {
+        let lis = t.listen(HostId(1), 0).unwrap();
+        let client = t.connect(HostId(0), &lis.local_endpoint()).unwrap();
+        let server = lis.accept().unwrap();
+        lis.close();
+        (client, server)
+    }
+
+    #[test]
+    fn hello_establishes_peer_host() {
+        let t = transport();
+        let (_client, server) = pair(&t);
+        assert_eq!(server.peer_host(), Some(HostId(0)));
+    }
+
+    #[test]
+    fn roundtrip_both_directions() {
+        let t = transport();
+        let (mut client, mut server) = pair(&t);
+        let m1 = Message::Join { ctx: ContextId(1) };
+        let m2 = Message::Reply(tdp_proto::Reply::Ok);
+        client.send_msg(&m1).unwrap();
+        assert_eq!(server.recv_msg().unwrap(), m1);
+        server.send_msg(&m2).unwrap();
+        assert_eq!(client.recv_msg().unwrap(), m2);
+    }
+
+    #[test]
+    fn many_messages_survive_coalescing() {
+        let t = transport();
+        let (client, mut server) = pair(&t);
+        for i in 0..500u64 {
+            client
+                .send_msg(&Message::Put {
+                    ctx: ContextId(i),
+                    key: format!("k{i}"),
+                    value: "v".repeat((i % 97) as usize),
+                })
+                .unwrap();
+        }
+        for i in 0..500u64 {
+            match server.recv_msg().unwrap() {
+                Message::Put { ctx, key, .. } => {
+                    assert_eq!(ctx, ContextId(i));
+                    assert_eq!(key, format!("k{i}"));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn recv_timeout_fires() {
+        let t = transport();
+        let (_client, mut server) = pair(&t);
+        let t0 = Instant::now();
+        assert_eq!(
+            server.recv_msg_timeout(Duration::from_millis(50)),
+            Err(TdpError::Timeout)
+        );
+        assert!(t0.elapsed() >= Duration::from_millis(40));
+    }
+
+    #[test]
+    fn try_recv_msg_nonblocking() {
+        let t = transport();
+        let (client, mut server) = pair(&t);
+        assert_eq!(server.try_recv_msg().unwrap(), None);
+        let msg = Message::Leave { ctx: ContextId(5) };
+        client.send_msg(&msg).unwrap();
+        // Loopback delivery is fast but not instant.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            match server.try_recv_msg().unwrap() {
+                Some(m) => {
+                    assert_eq!(m, msg);
+                    break;
+                }
+                None if Instant::now() < deadline => std::thread::yield_now(),
+                None => panic!("message never arrived"),
+            }
+        }
+        // Blocking recv still works after the non-blocking toggle.
+        client.send_msg(&msg).unwrap();
+        assert_eq!(server.recv_msg().unwrap(), msg);
+    }
+
+    #[test]
+    fn close_fails_fast_and_peer_sees_eof() {
+        let t = transport();
+        let (mut client, mut server) = pair(&t);
+        let m = Message::Join { ctx: ContextId(1) };
+        client.send_msg(&m).unwrap();
+        client.close();
+        assert_eq!(client.send_msg(&m), Err(TdpError::Disconnected));
+        // Queued frame flushed before EOF.
+        assert_eq!(server.recv_msg().unwrap(), m);
+        assert_eq!(
+            server.recv_msg_timeout(Duration::from_secs(2)),
+            Err(TdpError::Disconnected)
+        );
+        // The closing side's reader wakes too.
+        assert!(client.recv_msg_timeout(Duration::from_secs(2)).is_err());
+    }
+
+    #[test]
+    fn drop_releases_connection() {
+        let t = transport();
+        let (client, mut server) = pair(&t);
+        drop(client);
+        assert_eq!(
+            server.recv_msg_timeout(Duration::from_secs(2)),
+            Err(TdpError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn listener_close_unblocks_accept() {
+        let t = transport();
+        let lis = t.listen(HostId(0), 0).unwrap();
+        let l2 = lis.clone();
+        let th = std::thread::spawn(move || l2.accept());
+        std::thread::sleep(Duration::from_millis(30));
+        lis.close();
+        assert!(th.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn proxy_relays_and_enforces_resolver() {
+        let t = transport();
+        let lis = t.listen(HostId(9), 0).unwrap();
+        let real = lis.local_endpoint().as_tcp().unwrap();
+        let allowed = Addr::new(HostId(9), 7777);
+        let resolver: ProxyResolver = Arc::new(move |a: Addr| {
+            if a == allowed {
+                Ok(real)
+            } else {
+                Err(TdpError::BlockedByFirewall {
+                    from: HostId(0),
+                    to: a,
+                })
+            }
+        });
+        let proxy = spawn_proxy(resolver).unwrap();
+        // Allowed target relays end to end, Hello intact.
+        let client = tcp_connect_via(
+            proxy.local_addr(),
+            allowed,
+            HostId(3),
+            &TcpConfig::default(),
+        )
+        .unwrap();
+        let mut server = lis.accept().unwrap();
+        assert_eq!(server.peer_host(), Some(HostId(3)));
+        let m = Message::Join { ctx: ContextId(4) };
+        client.send_msg(&m).unwrap();
+        assert_eq!(server.recv_msg().unwrap(), m);
+        // Disallowed target is refused with the resolver's error text.
+        let err = tcp_connect_via(
+            proxy.local_addr(),
+            Addr::new(HostId(1), 1),
+            HostId(3),
+            &TcpConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, TdpError::Substrate(_)), "{err}");
+        proxy.shutdown();
+    }
+}

@@ -19,17 +19,20 @@ fn main() {
     world.os().fs().install_exec(
         host,
         "/bin/server",
-        ExecImage::new(["main", "handle_request", "idle"], Arc::new(|_| {
-            fn_program(|ctx| {
-                ctx.call("main", |ctx| {
-                    for _ in 0..10_000 {
-                        ctx.call("handle_request", |ctx| ctx.compute(3));
-                        ctx.call("idle", |ctx| ctx.sleep(Duration::from_millis(1)));
-                    }
-                });
-                0
-            })
-        })),
+        ExecImage::new(
+            ["main", "handle_request", "idle"],
+            Arc::new(|_| {
+                fn_program(|ctx| {
+                    ctx.call("main", |ctx| {
+                        for _ in 0..10_000 {
+                            ctx.call("handle_request", |ctx| ctx.compute(3));
+                            ctx.call("idle", |ctx| ctx.sleep(Duration::from_millis(1)));
+                        }
+                    });
+                    0
+                })
+            }),
+        ),
     );
 
     let ctx = ContextId::DEFAULT;
@@ -44,7 +47,10 @@ fn main() {
     let pid = Pid::parse(&tool.get(names::PID).unwrap()).unwrap();
     tool.attach(pid).unwrap();
     tool.pause_process(pid).unwrap();
-    println!("attached and paused at an unknown point: {:?}", tool.process_status(pid).unwrap());
+    println!(
+        "attached and paused at an unknown point: {:?}",
+        tool.process_status(pid).unwrap()
+    );
     tool.arm_probe(pid, "handle_request").unwrap();
     tool.continue_process(pid).unwrap();
 

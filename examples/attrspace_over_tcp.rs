@@ -1,0 +1,57 @@
+//! `attrspace_over_tcp` — the Figure-2 attribute-space topology with
+//! every byte on real loopback sockets: `World::new_tcp()` is the only
+//! line that differs from the simulated version.
+//!
+//! ```text
+//! cargo run -q --example attrspace_over_tcp
+//! ```
+
+use tdp::core::{Role, TdpHandle, World};
+use tdp::proto::{names, ContextId, TdpResult};
+
+fn main() -> TdpResult<()> {
+    let world = World::new_tcp();
+    println!("transport mode: {:?}", world.transport_mode());
+
+    let fe_host = world.add_host();
+    let exec_host = world.add_host();
+    let ctx = ContextId(1);
+
+    // RM front-end starts the CASS; the RM daemon's tdp_init starts the
+    // exec host's LASS. Both bind real ephemeral TCP ports behind their
+    // stable logical addresses.
+    let cass = world.ensure_cass(fe_host)?;
+    println!("CASS at logical {cass}");
+    let mut rm = TdpHandle::init(&world, exec_host, ctx, "rm", Role::ResourceManager)?;
+    println!("LASS at logical {}", world.lass_addr(exec_host).unwrap());
+
+    // Local dissemination: RM → LASS → tool.
+    rm.put(names::PID, "4242")?;
+    let mut rt = TdpHandle::init(&world, exec_host, ctx, "rt", Role::Tool)?;
+    println!("tool read {} = {}", names::PID, rt.get(names::PID)?);
+
+    // Global dissemination through the CASS.
+    rm.connect_cass(cass)?;
+    rt.connect_cass(cass)?;
+    rm.put_central("job/status", "running")?;
+    println!(
+        "tool read central job/status = {}",
+        rt.get_central("job/status")?
+    );
+
+    // The locality rule holds over TCP: a client dialling from another
+    // logical host is rejected by the LASS itself (its identity travels
+    // in the transport handshake, not the socket address — every socket
+    // here is 127.0.0.1).
+    let lass = world.lass_addr(exec_host).unwrap();
+    let mut intruder = world.attr_connect(fe_host, lass)?;
+    match intruder.join(ctx) {
+        Err(e) => println!("remote LASS access rejected: {e}"),
+        Ok(_) => unreachable!("LASS must reject remote clients"),
+    }
+
+    rt.exit()?;
+    rm.exit()?;
+    println!("\ntrace:\n{}", world.trace().render());
+    Ok(())
+}

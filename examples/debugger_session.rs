@@ -42,7 +42,10 @@ fn main() {
     );
 
     let mut dbg = Tdb::launch(&world, host, ContextId(1), "/bin/payroll", &[]).unwrap();
-    println!("(tdb) file /bin/payroll   # symbols: {:?}", dbg.symbols().unwrap());
+    println!(
+        "(tdb) file /bin/payroll   # symbols: {:?}",
+        dbg.symbols().unwrap()
+    );
 
     println!("(tdb) break audit");
     dbg.breakpoint("audit").unwrap();
@@ -85,5 +88,8 @@ fn main() {
         }
     }
     let info = dbg.info().unwrap();
-    println!("final: compute_pay ran {} times", info.counts["compute_pay"]);
+    println!(
+        "final: compute_pay ran {} times",
+        info.counts["compute_pay"]
+    );
 }

@@ -21,15 +21,21 @@ fn main() {
     let pool = CondorPool::build(&world, 1).unwrap();
     pool.install_everywhere(
         "/bin/app",
-        ExecImage::new(["main", "work"], Arc::new(|_| {
-            fn_program(|ctx| {
-                ctx.call("main", |ctx| ctx.call("work", |ctx| ctx.compute(10)));
-                0
-            })
-        })),
+        ExecImage::new(
+            ["main", "work"],
+            Arc::new(|_| {
+                fn_program(|ctx| {
+                    ctx.call("main", |ctx| ctx.call("work", |ctx| ctx.compute(10)));
+                    0
+                })
+            }),
+        ),
     );
     for h in pool.exec_hosts() {
-        world.os().fs().install_exec(*h, "paradynd", paradynd_image(world.clone()));
+        world
+            .os()
+            .fs()
+            .install_exec(*h, "paradynd", paradynd_image(world.clone()));
     }
     let fe = ParadynFrontend::start(world.net(), pool.submit_host(), 2090, 2091).unwrap();
     let submit = format!(
@@ -41,10 +47,16 @@ fn main() {
     let job = pool.submit_str(&submit).unwrap();
     fe.wait_for_daemons(1, T).unwrap();
     fe.run_all().unwrap();
-    assert!(matches!(pool.wait_job(job, T).unwrap(), JobState::Completed(_)));
+    assert!(matches!(
+        pool.wait_job(job, T).unwrap(),
+        JobState::Completed(_)
+    ));
 
     println!("Figure 6, regenerated from the live run:\n");
-    println!("{}", world.trace().render_sequence(&["starter", "paradynd*"]));
+    println!(
+        "{}",
+        world.trace().render_sequence(&["starter", "paradynd*"])
+    );
     println!("(compare with the paper: starter tdp_init → create(AP, paused) →");
     println!(" create(paradynd) → put(pid); paradynd tdp_init → get(pid) →");
     println!(" tdp_attach → tdp_continue_process.)");

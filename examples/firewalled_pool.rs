@@ -35,17 +35,24 @@ fn main() {
     world.os().fs().install_exec(
         exec,
         "/bin/app",
-        ExecImage::new(["main"], Arc::new(|_| fn_program(|ctx| {
-            ctx.call("main", |ctx| ctx.compute(100));
-            0
-        }))),
+        ExecImage::new(
+            ["main"],
+            Arc::new(|_| {
+                fn_program(|ctx| {
+                    ctx.call("main", |ctx| ctx.compute(100));
+                    0
+                })
+            }),
+        ),
     );
 
     let ctx = ContextId::DEFAULT;
     let mut rm = TdpHandle::init(&world, exec, ctx, "rm", Role::ResourceManager).unwrap();
     rm.advertise_frontend(fe_addr).unwrap();
     rm.advertise_proxy(proxy.addr()).unwrap();
-    let app = rm.create_process(TdpCreate::new("/bin/app").paused()).unwrap();
+    let app = rm
+        .create_process(TdpCreate::new("/bin/app").paused())
+        .unwrap();
     rm.put(names::PID, &app.to_string()).unwrap();
 
     let mut tool = TdpHandle::init(&world, exec, ctx, "tool", Role::Tool).unwrap();

@@ -24,20 +24,26 @@ fn main() {
     let pool = Arc::new(CondorPool::build(&world, 2).unwrap());
     pool.install_everywhere(
         "/bin/climate",
-        ExecImage::new(["main", "advect", "radiate"], Arc::new(|_| {
-            fn_program(|ctx| {
-                ctx.call("main", |ctx| {
-                    for _ in 0..8 {
-                        ctx.call("advect", |ctx| ctx.compute(70));
-                        ctx.call("radiate", |ctx| ctx.compute(30));
-                    }
-                });
-                0
-            })
-        })),
+        ExecImage::new(
+            ["main", "advect", "radiate"],
+            Arc::new(|_| {
+                fn_program(|ctx| {
+                    ctx.call("main", |ctx| {
+                        for _ in 0..8 {
+                            ctx.call("advect", |ctx| ctx.compute(70));
+                            ctx.call("radiate", |ctx| ctx.compute(30));
+                        }
+                    });
+                    0
+                })
+            }),
+        ),
     );
     for h in pool.exec_hosts() {
-        world.os().fs().install_exec(*h, "paradynd", paradynd_image(world.clone()));
+        world
+            .os()
+            .fs()
+            .install_exec(*h, "paradynd", paradynd_image(world.clone()));
     }
     let head = world.add_host();
     let gk = Gatekeeper::start(&world, head, pool.clone()).unwrap();
@@ -56,8 +62,14 @@ fn main() {
     println!("\nsubmitting RSL:\n  {rsl}");
 
     // Authentication matters: a bad proxy is refused.
-    match GramClient::submit(&world, user_host, gk.addr(), "/O=Grid/OU=UW/CN=alice", "stolen", &rsl)
-    {
+    match GramClient::submit(
+        &world,
+        user_host,
+        gk.addr(),
+        "/O=Grid/OU=UW/CN=alice",
+        "stolen",
+        &rsl,
+    ) {
         Err(e) => println!("\nwith a bad proxy token: {e}"),
         Ok(_) => unreachable!(),
     }
@@ -71,7 +83,10 @@ fn main() {
         &rsl,
     )
     .unwrap();
-    println!("with the right proxy: accepted as {} on backend {}", client.job, client.backend);
+    println!(
+        "with the right proxy: accepted as {} on backend {}",
+        client.job, client.backend
+    );
 
     match client.wait(T).unwrap() {
         GramState::Done(done) => println!("job state: DONE {done:?}"),

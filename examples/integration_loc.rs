@@ -41,8 +41,14 @@ fn tdp_surface(text: &str) -> usize {
 fn main() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let files = [
-        ("condor starter (RM-side integration)", "crates/condor/src/starter.rs"),
-        ("paradynd (RT-side integration)", "crates/paradyn/src/daemon.rs"),
+        (
+            "condor starter (RM-side integration)",
+            "crates/condor/src/starter.rs",
+        ),
+        (
+            "paradynd (RT-side integration)",
+            "crates/paradyn/src/daemon.rs",
+        ),
     ];
     println!("{:<42} {:>8} {:>14}", "component", "SLOC", "TDP surface");
     println!("{}", "-".repeat(68));
@@ -62,7 +68,11 @@ fn main() {
     println!("paper (§4.3): total modification to Condor + Paradyn < 500 lines");
     println!(
         "measured:     TDP integration surface = {total_surface} lines ({})",
-        if total_surface < 500 { "within the paper's bound" } else { "EXCEEDS the bound" }
+        if total_surface < 500 {
+            "within the paper's bound"
+        } else {
+            "EXCEEDS the bound"
+        }
     );
     if total_surface >= 500 {
         std::process::exit(1);

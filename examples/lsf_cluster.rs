@@ -40,7 +40,10 @@ fn main() {
     for _ in 0..3 {
         let h = world.add_host();
         world.os().fs().install_exec(h, "/bin/render", app.clone());
-        world.os().fs().install_exec(h, "tracey", tracey_image(world.clone()));
+        world
+            .os()
+            .fs()
+            .install_exec(h, "tracey", tracey_image(world.clone()));
         sbds.push(cluster.add_host(h, 2).unwrap());
     }
     while cluster.bhosts().len() < 3 {
@@ -88,9 +91,16 @@ fn main() {
     reports.sort();
     println!("\nartifacts on the master host:");
     for f in &reports {
-        let len = world.os().fs().read_file(master, f).map(|d| d.len()).unwrap_or(0);
+        let len = world
+            .os()
+            .fs()
+            .read_file(master, f)
+            .map(|d| d.len())
+            .unwrap_or(0);
         println!("  {f} ({len} bytes)");
     }
     let coverage = reports.iter().filter(|f| f.ends_with(".coverage")).count();
-    println!("\n{coverage} coverage reports from 6 jobs across 3 hosts — zero Condor code involved.");
+    println!(
+        "\n{coverage} coverage reports from 6 jobs across 3 hosts — zero Condor code involved."
+    );
 }

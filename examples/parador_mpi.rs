@@ -24,7 +24,10 @@ fn main() {
     // residual reduction per iteration.
     pool.install_everywhere("stencil", apps::stencil(comm, 5, 60));
     for h in pool.exec_hosts() {
-        world.os().fs().install_exec(*h, "paradynd", paradynd_image(world.clone()));
+        world
+            .os()
+            .fs()
+            .install_exec(*h, "paradynd", paradynd_image(world.clone()));
     }
     let fe = ParadynFrontend::start(world.net(), pool.submit_host(), 2090, 2091).unwrap();
 
@@ -41,7 +44,10 @@ fn main() {
 
     // Stage 1: only the master process exists.
     let d0 = fe.wait_for_daemons(1, T).unwrap();
-    println!("rank 0 master created (pid {}), its paradynd is ready", d0[0].pid);
+    println!(
+        "rank 0 master created (pid {}), its paradynd is ready",
+        d0[0].pid
+    );
     std::thread::sleep(Duration::from_millis(100));
     println!("daemons before run command: {}", fe.daemons().len());
 

@@ -31,25 +31,34 @@ fn main() {
     // The application: a solver whose `relax` phase dominates.
     pool.install_everywhere(
         "/bin/solver",
-        ExecImage::new(["main", "setup", "relax", "checkpoint"], Arc::new(|_| {
-            fn_program(|ctx| {
-                let _ = ctx.read_stdin();
-                ctx.call("main", |ctx| {
-                    ctx.call("setup", |ctx| ctx.compute(40));
-                    for _ in 0..30 {
-                        ctx.call("relax", |ctx| ctx.compute(85));
-                        ctx.call("checkpoint", |ctx| ctx.compute(5));
-                    }
-                });
-                ctx.write_stdout(b"converged\n");
-                0
-            })
-        })),
+        ExecImage::new(
+            ["main", "setup", "relax", "checkpoint"],
+            Arc::new(|_| {
+                fn_program(|ctx| {
+                    let _ = ctx.read_stdin();
+                    ctx.call("main", |ctx| {
+                        ctx.call("setup", |ctx| ctx.compute(40));
+                        for _ in 0..30 {
+                            ctx.call("relax", |ctx| ctx.compute(85));
+                            ctx.call("checkpoint", |ctx| ctx.compute(5));
+                        }
+                    });
+                    ctx.write_stdout(b"converged\n");
+                    0
+                })
+            }),
+        ),
     );
     for h in pool.exec_hosts() {
-        world.os().fs().install_exec(*h, "paradynd", paradynd_image(world.clone()));
+        world
+            .os()
+            .fs()
+            .install_exec(*h, "paradynd", paradynd_image(world.clone()));
     }
-    world.os().fs().write_file(pool.submit_host(), "infile", b"grid 64x64\n");
+    world
+        .os()
+        .fs()
+        .write_file(pool.submit_host(), "infile", b"grid 64x64\n");
 
     // "In our tests, the Paradyn Front-end was started first. This step
     // was required because the front-end publishes two port numbers that
@@ -109,11 +118,23 @@ queue
         );
     }
 
-    let out = world.os().fs().read_file(pool.submit_host(), "outfile").unwrap();
+    let out = world
+        .os()
+        .fs()
+        .read_file(pool.submit_host(), "outfile")
+        .unwrap();
     println!("\nstaged back to submit machine:");
     println!("  outfile    = {:?}", String::from_utf8_lossy(&out));
     for f in ["daemon.out", "daemon.err"] {
-        println!("  {f:10} = {} bytes", world.os().fs().read_file(pool.submit_host(), f).map(|d| d.len()).unwrap_or(0));
+        println!(
+            "  {f:10} = {} bytes",
+            world
+                .os()
+                .fs()
+                .read_file(pool.submit_host(), f)
+                .map(|d| d.len())
+                .unwrap_or(0)
+        );
     }
     for f in world.os().fs().list(pool.submit_host(), "paradynd") {
         let data = world.os().fs().read_file(pool.submit_host(), &f).unwrap();
@@ -122,5 +143,8 @@ queue
 }
 
 fn textwrap(s: &str) -> String {
-    s.lines().map(|l| format!("      {l}")).collect::<Vec<_>>().join("\n")
+    s.lines()
+        .map(|l| format!("      {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
 }

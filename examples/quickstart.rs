@@ -23,25 +23,33 @@ fn main() {
     world.os().fs().install_exec(
         host,
         "/bin/fibber",
-        ExecImage::new(["main", "fib", "print"], Arc::new(|_| {
-            fn_program(|ctx| {
-                ctx.call("main", |ctx| {
-                    for n in 0..15u64 {
-                        ctx.call("fib", |ctx| ctx.compute(1 << (n / 3)));
-                    }
-                    ctx.call("print", |ctx| ctx.write_stdout(b"done\n"));
-                });
-                0
-            })
-        })),
+        ExecImage::new(
+            ["main", "fib", "print"],
+            Arc::new(|_| {
+                fn_program(|ctx| {
+                    ctx.call("main", |ctx| {
+                        for n in 0..15u64 {
+                            ctx.call("fib", |ctx| ctx.compute(1 << (n / 3)));
+                        }
+                        ctx.call("print", |ctx| ctx.write_stdout(b"done\n"));
+                    });
+                    0
+                })
+            }),
+        ),
     );
 
     // The resource manager side: tdp_init (starts the LASS), create the
     // application paused, publish its pid.
     let ctx = ContextId::DEFAULT;
     let mut rm = TdpHandle::init(&world, host, ctx, "rm", Role::ResourceManager).unwrap();
-    let app = rm.create_process(TdpCreate::new("/bin/fibber").paused()).unwrap();
-    println!("[rm]   created {app} paused at exec: status = {:?}", rm.process_status(app).unwrap());
+    let app = rm
+        .create_process(TdpCreate::new("/bin/fibber").paused())
+        .unwrap();
+    println!(
+        "[rm]   created {app} paused at exec: status = {:?}",
+        rm.process_status(app).unwrap()
+    );
     rm.put(names::PID, &app.to_string()).unwrap();
 
     // The tool side: tdp_init, blocking tdp_get of the pid, attach,
@@ -49,7 +57,10 @@ fn main() {
     let mut tool = TdpHandle::init(&world, host, ctx, "tool", Role::Tool).unwrap();
     let pid = Pid::parse(&tool.get(names::PID).unwrap()).unwrap();
     tool.attach(pid).unwrap();
-    println!("[tool] attached to {pid}; symbols = {:?}", tool.symbols(pid).unwrap());
+    println!(
+        "[tool] attached to {pid}; symbols = {:?}",
+        tool.symbols(pid).unwrap()
+    );
     tool.arm_probe(pid, "fib").unwrap();
     tool.arm_probe(pid, "print").unwrap();
     tool.continue_process(pid).unwrap();

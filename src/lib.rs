@@ -21,3 +21,4 @@ pub use tdp_paradyn as paradyn;
 pub use tdp_proto as proto;
 pub use tdp_simos as simos;
 pub use tdp_tools as tools;
+pub use tdp_wire as wire;

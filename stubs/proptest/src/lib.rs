@@ -1,0 +1,669 @@
+//! Offline shim for `proptest` (see `stubs/README.md`).
+//!
+//! Implements the strategy combinators this workspace uses —
+//! `any`, integer ranges, regex string literals, `prop_map`,
+//! `prop_oneof!`, `collection::vec`, `sample::select`, `option::of`,
+//! `Just` — over a deterministic splitmix/xorshift RNG, and a
+//! `proptest!` macro that runs each case seeded by
+//! `(module, test name, case index)`. No shrinking: a failing case
+//! panics via the normal assert machinery with the case number in the
+//! generated-value report left to the assertion message itself.
+
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+// ----------------------------------------------------------------- rng
+
+/// Deterministic xorshift64* generator used by the runner.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    pub fn deterministic(seed: u64) -> Self {
+        let mut z = seed.wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        TestRng((z ^ (z >> 31)) | 1)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform in `[0, n)`; `n == 0` returns 0.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+/// FNV-1a seed mix for (module path, test name, case index).
+pub fn seed_for(module: &str, name: &str, case: u32) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in module.bytes().chain(name.bytes()) {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100000001b3);
+    }
+    h ^ u64::from(case)
+}
+
+// ------------------------------------------------------------- config
+
+/// Runner configuration; only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+    /// Accepted for API compatibility; the shim does not shrink.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+// ----------------------------------------------------------- strategy
+
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map {
+            strategy: self,
+            map: f,
+        }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// Type-erased strategy, cheap to clone (used by `prop_oneof!`).
+pub struct BoxedStrategy<V>(Arc<dyn Strategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate(rng)
+    }
+}
+
+/// Uniform choice between boxed alternatives (`prop_oneof!`).
+pub struct OneOf<V>(Vec<BoxedStrategy<V>>);
+
+impl<V> Clone for OneOf<V> {
+    fn clone(&self) -> Self {
+        OneOf(self.0.clone())
+    }
+}
+
+impl<V> OneOf<V> {
+    pub fn new(alternatives: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(
+            !alternatives.is_empty(),
+            "prop_oneof! needs at least one arm"
+        );
+        OneOf(alternatives)
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].generate(rng)
+    }
+}
+
+#[derive(Clone)]
+pub struct Map<S, F> {
+    strategy: S,
+    map: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.strategy.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ------------------------------------------------- primitive sources
+
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        any_char(rng)
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                lo + rng.below(span.saturating_add(1)) as $t
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! srange_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64 - self.start as i64) as u64;
+                (self.start as i64 + rng.below(span) as i64) as $t
+            }
+        }
+    )*};
+}
+
+srange_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H)
+}
+
+// A bare string literal is a regex strategy, as in real proptest.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        match string::compile_regex(self) {
+            Ok(pat) => string::generate(&pat, rng),
+            Err(e) => panic!("bad regex strategy {self:?}: {e}"),
+        }
+    }
+}
+
+/// Character pool for `.`: mostly printable ASCII, salted with
+/// multi-byte unicode so UTF-8 handling gets exercised.
+fn any_char(rng: &mut TestRng) -> char {
+    const EXOTIC: &[char] = &['é', 'Ω', 'ß', '語', 'д', '\u{80}', '\u{2603}', '\u{1F680}'];
+    if rng.below(8) == 0 {
+        EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+    } else {
+        char::from(0x20 + rng.below(0x5F) as u8)
+    }
+}
+
+pub mod collection {
+    use super::*;
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `proptest::collection::vec`: a vector whose length is drawn from
+    /// `len` and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::*;
+
+    #[derive(Clone)]
+    pub struct Select<T>(Vec<T>);
+
+    /// Uniform choice from a fixed list.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select from empty list");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len() as u64) as usize].clone()
+        }
+    }
+}
+
+pub mod option {
+    use super::*;
+
+    #[derive(Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// `Some` three times out of four, like real proptest's default.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod string {
+    use super::*;
+
+    /// Error from regex compilation (shown via `unwrap()` in tests).
+    #[derive(Debug, Clone)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy(Vec<Piece>);
+
+    #[derive(Debug, Clone)]
+    pub(crate) struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    #[derive(Debug, Clone)]
+    pub(crate) enum Atom {
+        Literal(char),
+        AnyChar,
+        Class(Vec<(char, char)>),
+    }
+
+    /// Compiles the subset of regex syntax the workspace's strategies
+    /// use: literals, `.`, `[...]` classes with ranges, and the
+    /// quantifiers `{m,n}` / `{m}` / `{m,}` / `*` / `+` / `?`.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        compile_regex(pattern).map(RegexGeneratorStrategy)
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate(&self.0, rng)
+        }
+    }
+
+    pub(crate) fn generate(pieces: &[Piece], rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in pieces {
+            let span = (piece.max - piece.min) as u64;
+            let n = piece.min + rng.below(span.saturating_add(1)) as usize;
+            for _ in 0..n {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::AnyChar => out.push(any_char(rng)),
+                    Atom::Class(ranges) => {
+                        let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+                        let span = hi as u32 - lo as u32;
+                        let code = lo as u32 + rng.below(u64::from(span) + 1) as u32;
+                        out.push(char::from_u32(code).unwrap_or(lo));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    pub(crate) fn compile_regex(pattern: &str) -> Result<Vec<Piece>, Error> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut pieces = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Atom::AnyChar
+                }
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    if chars.get(i) == Some(&'^') {
+                        return Err(Error("negated classes unsupported".into()));
+                    }
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = if chars[i] == '\\' {
+                            i += 1;
+                            *chars
+                                .get(i)
+                                .ok_or_else(|| Error("dangling escape".into()))?
+                        } else {
+                            chars[i]
+                        };
+                        i += 1;
+                        if chars.get(i) == Some(&'-') && i + 1 < chars.len() && chars[i + 1] != ']'
+                        {
+                            let hi = chars[i + 1];
+                            if hi < lo {
+                                return Err(Error(format!("bad range {lo}-{hi}")));
+                            }
+                            ranges.push((lo, hi));
+                            i += 2;
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    if i >= chars.len() {
+                        return Err(Error("unterminated class".into()));
+                    }
+                    i += 1; // ']'
+                    if ranges.is_empty() {
+                        return Err(Error("empty class".into()));
+                    }
+                    Atom::Class(ranges)
+                }
+                '\\' => {
+                    i += 1;
+                    let c = *chars
+                        .get(i)
+                        .ok_or_else(|| Error("dangling escape".into()))?;
+                    i += 1;
+                    let lit = match c {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        other => other,
+                    };
+                    Atom::Literal(lit)
+                }
+                '(' | ')' | '|' => {
+                    return Err(Error(format!(
+                        "regex feature `{}` unsupported by the proptest shim",
+                        chars[i]
+                    )))
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            // Optional quantifier.
+            let (min, max) = match chars.get(i) {
+                Some('{') => {
+                    i += 1;
+                    let mut lo = String::new();
+                    while matches!(chars.get(i), Some(c) if c.is_ascii_digit()) {
+                        lo.push(chars[i]);
+                        i += 1;
+                    }
+                    let lo: usize = lo
+                        .parse()
+                        .map_err(|_| Error("bad {m,n} quantifier".into()))?;
+                    let hi = match chars.get(i) {
+                        Some(',') => {
+                            i += 1;
+                            let mut hi = String::new();
+                            while matches!(chars.get(i), Some(c) if c.is_ascii_digit()) {
+                                hi.push(chars[i]);
+                                i += 1;
+                            }
+                            if hi.is_empty() {
+                                lo + 8
+                            } else {
+                                hi.parse()
+                                    .map_err(|_| Error("bad {m,n} quantifier".into()))?
+                            }
+                        }
+                        _ => lo,
+                    };
+                    if chars.get(i) != Some(&'}') {
+                        return Err(Error("unterminated quantifier".into()));
+                    }
+                    i += 1;
+                    if hi < lo {
+                        return Err(Error("quantifier max below min".into()));
+                    }
+                    (lo, hi)
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        Ok(pieces)
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, BoxedStrategy,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+// -------------------------------------------------------------- macros
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::Strategy::boxed($s)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::TestRng::deterministic(
+                        $crate::seed_for(module_path!(), stringify!($name), __case),
+                    );
+                    $(let $arg = $crate::Strategy::generate(&{ $strat }, &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic(1);
+        for _ in 0..200 {
+            let v = (3u64..7).generate(&mut rng);
+            assert!((3..7).contains(&v));
+            let s = (-5i64..5).generate(&mut rng);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = TestRng::deterministic(2);
+        let pat = string::string_regex("[a-z]{1,8}").unwrap();
+        for _ in 0..100 {
+            let s = pat.generate(&mut rng);
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+        let any64 = ".{0,64}";
+        for _ in 0..100 {
+            let s = Strategy::generate(&any64, &mut rng);
+            assert!(s.chars().count() <= 64);
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let mut rng = TestRng::deterministic(3);
+        let s = prop_oneof![Just(1u8), 10u8..20, any::<u8>().prop_map(|v| v / 2)];
+        for _ in 0..100 {
+            let _ = s.generate(&mut rng);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_smoke(x in 0u32..10, flag in any::<bool>(), s in "[ab]{2}") {
+            prop_assert!(x < 10);
+            let _ = flag;
+            prop_assert_eq!(s.len(), 2);
+        }
+    }
+}

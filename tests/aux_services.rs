@@ -29,23 +29,29 @@ fn rm_launches_reduction_network_for_tool_daemons() {
         fe_host,
         &hosts,
         n_hosts,
-        TreeSpec { fanout: 2, op: ReduceOp::Sum },
+        TreeSpec {
+            fanout: 2,
+            op: ReduceOp::Sum,
+        },
     )
     .unwrap();
 
     // Per-host: an application + a miniature tool daemon that reports
     // its probe totals through the reduction network instead of a
     // point-to-point channel.
-    let app = ExecImage::new(["main", "work"], Arc::new(|_| {
-        fn_program(|ctx| {
-            ctx.call("main", |ctx| {
-                for _ in 0..10 {
-                    ctx.call("work", |ctx| ctx.compute(7));
-                }
-            });
-            0
-        })
-    }));
+    let app = ExecImage::new(
+        ["main", "work"],
+        Arc::new(|_| {
+            fn_program(|ctx| {
+                ctx.call("main", |ctx| {
+                    for _ in 0..10 {
+                        ctx.call("work", |ctx| ctx.compute(7));
+                    }
+                });
+                0
+            })
+        }),
+    );
     for (i, h) in hosts.iter().enumerate() {
         world.os().fs().install_exec(*h, "/bin/app", app.clone());
         let world2 = world.clone();
@@ -64,8 +70,8 @@ fn rm_launches_reduction_network_for_tool_daemons() {
                     tdp.attach(pid).expect("attach");
                     tdp.arm_probe(pid, "work").expect("arm");
                     // Join the reduction tree launched by the RM.
-                    let mut be =
-                        BackEnd::connect(world.net(), pctx.host(), attach_addr).expect("attach mrnet");
+                    let mut be = BackEnd::connect(world.net(), pctx.host(), attach_addr)
+                        .expect("attach mrnet");
                     // Wait for the collective start command.
                     let cmd = be.recv_multicast(T).expect("start cmd");
                     assert_eq!(cmd, b"start");
@@ -86,7 +92,9 @@ fn rm_launches_reduction_network_for_tool_daemons() {
     for h in &hosts {
         let ctx_id = ContextId(100 + h.0 as u64);
         let mut rm = TdpHandle::init(&world, *h, ctx_id, "rm", Role::ResourceManager).unwrap();
-        let app_pid = rm.create_process(TdpCreate::new("/bin/app").paused()).unwrap();
+        let app_pid = rm
+            .create_process(TdpCreate::new("/bin/app").paused())
+            .unwrap();
         let tool_pid = rm.create_process(TdpCreate::new("mrtool")).unwrap();
         rm.put(names::PID, &app_pid.to_string()).unwrap();
         rms.push((rm, app_pid, tool_pid));
@@ -100,7 +108,13 @@ fn rm_launches_reduction_network_for_tool_daemons() {
 
     for (rm, app_pid, tool_pid) in &rms {
         let _ = rm;
-        assert_eq!(world.os().wait_terminal(*app_pid, T).unwrap(), ProcStatus::Exited(0));
-        assert_eq!(world.os().wait_terminal(*tool_pid, T).unwrap(), ProcStatus::Exited(0));
+        assert_eq!(
+            world.os().wait_terminal(*app_pid, T).unwrap(),
+            ProcStatus::Exited(0)
+        );
+        assert_eq!(
+            world.os().wait_terminal(*tool_pid, T).unwrap(),
+            ProcStatus::Exited(0)
+        );
     }
 }

@@ -22,29 +22,32 @@ const UNITS: u64 = 10;
 /// every unit. `work_counter` counts units actually executed across
 /// all incarnations.
 fn resumable_app(work_counter: Arc<AtomicU64>) -> ExecImage {
-    ExecImage::new(["main", "unit"], Arc::new(move |_| {
-        let counter = work_counter.clone();
-        fn_program(move |ctx| {
-            let start: u64 = ctx
-                .fs()
-                .read("ckpt")
-                .ok()
-                .and_then(|d| String::from_utf8(d).ok())
-                .and_then(|s| s.trim().parse().ok())
-                .unwrap_or(0);
-            ctx.call("main", |ctx| {
-                for i in start..UNITS {
-                    ctx.call("unit", |ctx| {
-                        ctx.sleep(Duration::from_millis(20));
-                        counter.fetch_add(1, Ordering::SeqCst);
-                    });
-                    ctx.fs().write("ckpt", format!("{}", i + 1).as_bytes());
-                }
-            });
-            ctx.write_stdout(format!("finished at {UNITS}").as_bytes());
-            0
-        })
-    }))
+    ExecImage::new(
+        ["main", "unit"],
+        Arc::new(move |_| {
+            let counter = work_counter.clone();
+            fn_program(move |ctx| {
+                let start: u64 = ctx
+                    .fs()
+                    .read("ckpt")
+                    .ok()
+                    .and_then(|d| String::from_utf8(d).ok())
+                    .and_then(|s| s.trim().parse().ok())
+                    .unwrap_or(0);
+                ctx.call("main", |ctx| {
+                    for i in start..UNITS {
+                        ctx.call("unit", |ctx| {
+                            ctx.sleep(Duration::from_millis(20));
+                            counter.fetch_add(1, Ordering::SeqCst);
+                        });
+                        ctx.fs().write("ckpt", format!("{}", i + 1).as_bytes());
+                    }
+                });
+                ctx.write_stdout(format!("finished at {UNITS}").as_bytes());
+                0
+            })
+        }),
+    )
 }
 
 #[test]
@@ -64,7 +67,10 @@ fn vacated_job_resumes_from_checkpoint_on_another_machine() {
     // machine it runs on and take that machine out of the pool.
     let deadline = std::time::Instant::now() + T;
     while work.load(Ordering::SeqCst) < 3 {
-        assert!(std::time::Instant::now() < deadline, "job never made progress");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "job never made progress"
+        );
         std::thread::sleep(Duration::from_millis(5));
     }
     let victim = pool
@@ -82,12 +88,20 @@ fn vacated_job_resumes_from_checkpoint_on_another_machine() {
 
     // The job finished…
     assert_eq!(
-        world.os().fs().read_file(pool.submit_host(), "out").unwrap(),
+        world
+            .os()
+            .fs()
+            .read_file(pool.submit_host(), "out")
+            .unwrap(),
         format!("finished at {UNITS}").as_bytes()
     );
     // …the final checkpoint was staged back…
     assert_eq!(
-        world.os().fs().read_file(pool.submit_host(), "ckpt").unwrap(),
+        world
+            .os()
+            .fs()
+            .read_file(pool.submit_host(), "ckpt")
+            .unwrap(),
         format!("{UNITS}").as_bytes()
     );
     // …and the resume actually skipped completed work: total units
@@ -109,7 +123,9 @@ fn non_checkpointing_job_stays_killed_when_vacated() {
     let pool = CondorPool::build(&world, 2).unwrap();
     let work = Arc::new(AtomicU64::new(0));
     pool.install_everywhere("/bin/solver", resumable_app(work.clone()));
-    let job = pool.submit_str("executable = /bin/solver\nqueue\n").unwrap();
+    let job = pool
+        .submit_str("executable = /bin/solver\nqueue\n")
+        .unwrap();
     let deadline = std::time::Instant::now() + T;
     while work.load(Ordering::SeqCst) < 2 {
         assert!(std::time::Instant::now() < deadline);
@@ -125,7 +141,10 @@ fn non_checkpointing_job_stays_killed_when_vacated() {
         JobState::Completed(done) => assert_eq!(done[&0], ProcStatus::Killed(15)),
         other => panic!("{other:?}"),
     }
-    assert!(work.load(Ordering::SeqCst) < UNITS, "must not have been re-run");
+    assert!(
+        work.load(Ordering::SeqCst) < UNITS,
+        "must not have been re-run"
+    );
 }
 
 #[test]
@@ -152,7 +171,10 @@ fn checkpointing_survives_repeated_vacates() {
         let deadline = std::time::Instant::now() + T;
         let target = work.load(Ordering::SeqCst) + 2;
         while work.load(Ordering::SeqCst) < target.min(UNITS - 1) {
-            assert!(std::time::Instant::now() < deadline, "round {round}: no progress");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "round {round}: no progress"
+            );
             std::thread::sleep(Duration::from_millis(5));
         }
         if let Some(s) = pool.startds().iter().find(|s| s.is_busy()) {
@@ -164,5 +186,8 @@ fn checkpointing_survives_repeated_vacates() {
         other => panic!("{other:?}"),
     }
     let total = work.load(Ordering::SeqCst);
-    assert!((UNITS..=UNITS + 2).contains(&total), "units executed: {total}");
+    assert!(
+        (UNITS..=UNITS + 2).contains(&total),
+        "units executed: {total}"
+    );
 }

@@ -17,17 +17,20 @@ use tdp::simos::{fn_program, ExecImage};
 const T: Duration = Duration::from_secs(30);
 
 fn app_image() -> ExecImage {
-    ExecImage::new(["main", "kernel"], Arc::new(|_| {
-        fn_program(|ctx| {
-            let _ = ctx.read_stdin();
-            ctx.call("main", |ctx| {
-                for _ in 0..12 {
-                    ctx.call("kernel", |ctx| ctx.compute(10));
-                }
-            });
-            0
-        })
-    }))
+    ExecImage::new(
+        ["main", "kernel"],
+        Arc::new(|_| {
+            fn_program(|ctx| {
+                let _ = ctx.read_stdin();
+                ctx.call("main", |ctx| {
+                    for _ in 0..12 {
+                        ctx.call("kernel", |ctx| ctx.compute(10));
+                    }
+                });
+                0
+            })
+        }),
+    )
 }
 
 #[test]
@@ -36,7 +39,10 @@ fn condor_without_port_arguments() {
     let pool = CondorPool::build(&world, 2).unwrap();
     pool.install_everywhere("/bin/app", app_image());
     for h in pool.exec_hosts() {
-        world.os().fs().install_exec(*h, "paradynd", paradynd_image(world.clone()));
+        world
+            .os()
+            .fs()
+            .install_exec(*h, "paradynd", paradynd_image(world.clone()));
     }
     // The front-end publishes its ports into the global space instead
     // of the submit file.
@@ -57,7 +63,9 @@ fn condor_without_port_arguments() {
         other => panic!("{other:?}"),
     }
     fe.wait_done(1, T).unwrap();
-    let b = PerformanceConsultant::default().search(&fe.samples()).unwrap();
+    let b = PerformanceConsultant::default()
+        .search(&fe.samples())
+        .unwrap();
     assert_eq!(b.symbol, "kernel");
 }
 
@@ -69,7 +77,10 @@ fn lsf_without_port_arguments() {
     let master = world.add_host();
     let exec = world.add_host();
     world.os().fs().install_exec(exec, "/bin/app", app_image());
-    world.os().fs().install_exec(exec, "paradynd", paradynd_image(world.clone()));
+    world
+        .os()
+        .fs()
+        .install_exec(exec, "paradynd", paradynd_image(world.clone()));
     let cluster = LsfCluster::start(&world, master).unwrap();
     let _sbd = cluster.add_host(exec, 1).unwrap();
 
@@ -83,9 +94,15 @@ fn lsf_without_port_arguments() {
                 .tool("paradynd", vec!["-a%pid".into(), "-A".into()]),
         )
         .unwrap();
-    assert!(matches!(cluster.wait_job(job, T).unwrap(), LsfJobState::Done(_)));
+    assert!(matches!(
+        cluster.wait_job(job, T).unwrap(),
+        LsfJobState::Done(_)
+    ));
     fe.wait_done(1, T).unwrap();
-    assert!(fe.samples().iter().any(|s| s.symbol == "kernel" && s.count == 12));
+    assert!(fe
+        .samples()
+        .iter()
+        .any(|s| s.symbol == "kernel" && s.count == 12));
 }
 
 #[test]
@@ -95,12 +112,16 @@ fn daemon_fails_cleanly_without_any_dissemination() {
     let world = World::new();
     let host = world.add_host();
     world.os().fs().install_exec(host, "/bin/app", app_image());
-    world.os().fs().install_exec(host, "paradynd", paradynd_image(world.clone()));
+    world
+        .os()
+        .fs()
+        .install_exec(host, "paradynd", paradynd_image(world.clone()));
     use tdp::core::{Role, TdpCreate, TdpHandle};
     use tdp::proto::{names, ContextId};
-    let mut rm =
-        TdpHandle::init(&world, host, ContextId(1), "rm", Role::ResourceManager).unwrap();
-    let app = rm.create_process(TdpCreate::new("/bin/app").paused()).unwrap();
+    let mut rm = TdpHandle::init(&world, host, ContextId(1), "rm", Role::ResourceManager).unwrap();
+    let app = rm
+        .create_process(TdpCreate::new("/bin/app").paused())
+        .unwrap();
     let tool = rm
         .create_process(TdpCreate::new("paradynd").args(["-c1", "-a%pid"]))
         .unwrap();

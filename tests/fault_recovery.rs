@@ -20,16 +20,19 @@ fn world_with_app() -> (World, tdp::proto::HostId) {
     w.os().fs().install_exec(
         h,
         "/bin/app",
-        ExecImage::new(["main"], Arc::new(|_| {
-            fn_program(|ctx| {
-                ctx.call("main", |ctx| {
-                    for _ in 0..100 {
-                        ctx.sleep(Duration::from_millis(5));
-                    }
-                });
-                0
-            })
-        })),
+        ExecImage::new(
+            ["main"],
+            Arc::new(|_| {
+                fn_program(|ctx| {
+                    ctx.call("main", |ctx| {
+                        for _ in 0..100 {
+                            ctx.sleep(Duration::from_millis(5));
+                        }
+                    });
+                    0
+                })
+            }),
+        ),
     );
     (w, h)
 }
@@ -80,7 +83,9 @@ fn rt_crash_does_not_take_down_the_application() {
             }
         }),
     );
-    let rt = rm.create_process(TdpCreate::new("/bin/fragile_rt")).unwrap();
+    let rt = rm
+        .create_process(TdpCreate::new("/bin/fragile_rt"))
+        .unwrap();
     rm.put(names::PID, &app.to_string()).unwrap();
     assert_eq!(rm.wait_terminal(rt, T).unwrap(), ProcStatus::Killed(11));
     // The AP survived its tool.
@@ -104,7 +109,10 @@ fn lass_crash_fails_operations_cleanly() {
     // A fresh RM init restarts the LASS on the well-known port (empty:
     // the space died with the server).
     let mut rm2 = TdpHandle::init(&w, h, CTX, "rm2", Role::ResourceManager).unwrap();
-    assert!(matches!(rm2.try_get("k"), Err(TdpError::AttributeNotFound(_))));
+    assert!(matches!(
+        rm2.try_get("k"),
+        Err(TdpError::AttributeNotFound(_))
+    ));
     rm2.put("k", "v3").unwrap();
 }
 
@@ -116,10 +124,12 @@ fn host_failure_severs_everything_on_it() {
     w.os().fs().install_exec(
         exec,
         "/bin/app",
-        ExecImage::from_fn(|_| fn_program(|ctx| {
-            ctx.sleep(Duration::from_secs(60));
-            0
-        })),
+        ExecImage::from_fn(|_| {
+            fn_program(|ctx| {
+                ctx.sleep(Duration::from_secs(60));
+                0
+            })
+        }),
     );
     let mut rm = TdpHandle::init(&w, exec, CTX, "rm", Role::ResourceManager).unwrap();
     let _app = rm.create_process(TdpCreate::new("/bin/app")).unwrap();
@@ -176,10 +186,12 @@ fn schedd_requeues_rank_after_starter_failure() {
     w.os().fs().install_exec(
         good,
         "/bin/app",
-        ExecImage::from_fn(|_| fn_program(|ctx| {
-            ctx.call("main", |ctx| ctx.compute(5));
-            0
-        })),
+        ExecImage::from_fn(|_| {
+            fn_program(|ctx| {
+                ctx.call("main", |ctx| ctx.compute(5));
+                0
+            })
+        }),
     );
     let schedd = Schedd::start(&w, submit_host, mm.addr());
     let mut d = SubmitDescription::parse("executable = /bin/app\nrank = Prio\nqueue\n").unwrap();

@@ -37,16 +37,23 @@ fn fig1_remote_execution_behind_firewall() {
     world.os().fs().install_exec(
         remote,
         "/bin/app",
-        ExecImage::new(["main"], std::sync::Arc::new(|_| fn_program(|ctx| {
-            ctx.call("main", |ctx| ctx.compute(10));
-            0
-        }))),
+        ExecImage::new(
+            ["main"],
+            std::sync::Arc::new(|_| {
+                fn_program(|ctx| {
+                    ctx.call("main", |ctx| ctx.compute(10));
+                    0
+                })
+            }),
+        ),
     );
 
     // The RM daemon on the remote host: owns process creation (Fig 1
     // arrows RM→AP) and provides the proxy (RM→firewall→front-ends).
     let mut rm = TdpHandle::init(&world, remote, CTX, "rm", Role::ResourceManager).unwrap();
-    let app = rm.create_process(TdpCreate::new("/bin/app").paused()).unwrap();
+    let app = rm
+        .create_process(TdpCreate::new("/bin/app").paused())
+        .unwrap();
 
     // The RM's pre-existing authorized route + proxy (its own channel to
     // its front-end in the figure) runs on the gateway.
@@ -68,7 +75,10 @@ fn fig1_remote_execution_behind_firewall() {
     let chan = rt.open_tool_channel().unwrap();
     chan.send(b"rt->frontend through RM proxy").unwrap();
     let mut fe_session = rt_fe_listener.accept().unwrap();
-    assert_eq!(&fe_session.recv().unwrap()[..], b"rt->frontend through RM proxy");
+    assert_eq!(
+        &fe_session.recv().unwrap()[..],
+        b"rt->frontend through RM proxy"
+    );
 
     // RT operates on the AP (attach/continue) while the RM keeps
     // ownership of creation — the figure's separation of arrows.
@@ -99,10 +109,12 @@ fn fig1_stdio_forwarding_through_proxy() {
     world.os().fs().install_exec(
         remote,
         "/bin/chatty",
-        ExecImage::from_fn(|_| fn_program(|ctx| {
-            ctx.write_stdout(b"output line\n");
-            0
-        })),
+        ExecImage::from_fn(|_| {
+            fn_program(|ctx| {
+                ctx.write_stdout(b"output line\n");
+                0
+            })
+        }),
     );
     let mut rm = TdpHandle::init(&world, remote, CTX, "rm", Role::ResourceManager).unwrap();
     rm.advertise_proxy(proxy.addr()).unwrap();

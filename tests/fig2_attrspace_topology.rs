@@ -44,8 +44,11 @@ fn fig2_lass_per_host_cass_central() {
     // Global values travel through the CASS, visible from both hosts.
     rm_a.connect_cass(cass).unwrap();
     rm_b.connect_cass(cass).unwrap();
-    rm_a.put_central(names::TOOL_FRONTEND_ADDR, &Addr::new(fe_host, 2090).to_attr_value())
-        .unwrap();
+    rm_a.put_central(
+        names::TOOL_FRONTEND_ADDR,
+        &Addr::new(fe_host, 2090).to_attr_value(),
+    )
+    .unwrap();
     assert_eq!(
         rm_b.get_central(names::TOOL_FRONTEND_ADDR).unwrap(),
         Addr::new(fe_host, 2090).to_attr_value()

@@ -43,57 +43,88 @@ fn rt_image(world: World) -> ExecImage {
 }
 
 fn app_image(touched: Arc<AtomicBool>) -> ExecImage {
-    ExecImage::new(["main", "work"], Arc::new(move |_| {
-        let touched = touched.clone();
-        fn_program(move |ctx| {
-            touched.store(true, Ordering::SeqCst);
-            ctx.call("main", |ctx| {
-                for _ in 0..4 {
-                    ctx.call("work", |ctx| ctx.compute(5));
-                }
-            });
-            0
-        })
-    }))
+    ExecImage::new(
+        ["main", "work"],
+        Arc::new(move |_| {
+            let touched = touched.clone();
+            fn_program(move |ctx| {
+                touched.store(true, Ordering::SeqCst);
+                ctx.call("main", |ctx| {
+                    for _ in 0..4 {
+                        ctx.call("work", |ctx| ctx.compute(5));
+                    }
+                });
+                0
+            })
+        }),
+    )
 }
 
 fn run_create_scenario(rt_first: bool) {
     let world = World::new();
     let host = world.add_host();
     let touched = Arc::new(AtomicBool::new(false));
-    world.os().fs().install_exec(host, "/bin/app", app_image(touched.clone()));
-    world.os().fs().install_exec(host, "/bin/rt", rt_image(world.clone()));
+    world
+        .os()
+        .fs()
+        .install_exec(host, "/bin/app", app_image(touched.clone()));
+    world
+        .os()
+        .fs()
+        .install_exec(host, "/bin/rt", rt_image(world.clone()));
 
     // RM column of Figure 3A.
     let mut rm = TdpHandle::init(&world, host, CTX, "rm", Role::ResourceManager).unwrap();
     let (app, rt);
     if rt_first {
         rt = rm.create_process(TdpCreate::new("/bin/rt")).unwrap();
-        app = rm.create_process(TdpCreate::new("/bin/app").paused()).unwrap();
+        app = rm
+            .create_process(TdpCreate::new("/bin/app").paused())
+            .unwrap();
     } else {
-        app = rm.create_process(TdpCreate::new("/bin/app").paused()).unwrap();
+        app = rm
+            .create_process(TdpCreate::new("/bin/app").paused())
+            .unwrap();
         rt = rm.create_process(TdpCreate::new("/bin/rt")).unwrap();
     }
     // Not one instruction of the AP has run yet.
     std::thread::sleep(Duration::from_millis(50));
     assert_eq!(world.os().status(app).unwrap(), ProcStatus::Created);
-    assert!(!touched.load(Ordering::SeqCst), "paused AP must not have executed");
+    assert!(
+        !touched.load(Ordering::SeqCst),
+        "paused AP must not have executed"
+    );
 
     // RM → RT: the pid, via the attribute space.
     rm.put(names::PID, &app.to_string()).unwrap();
 
     // The RT attaches, initializes, continues; both processes finish.
-    assert_eq!(world.os().wait_terminal(app, T).unwrap(), ProcStatus::Exited(0));
+    assert_eq!(
+        world.os().wait_terminal(app, T).unwrap(),
+        ProcStatus::Exited(0)
+    );
     assert!(touched.load(Ordering::SeqCst));
     // RT saw all 4 instrumented calls: it attached *before* main ran.
-    assert_eq!(world.os().wait_terminal(rt, T).unwrap(), ProcStatus::Exited(4));
+    assert_eq!(
+        world.os().wait_terminal(rt, T).unwrap(),
+        ProcStatus::Exited(4)
+    );
 
     // The Figure 3A sequence, as recorded by the trace.
     let tr = world.trace();
-    tr.assert_order((Some("rm"), "tdp_init"), (Some("rm"), "tdp_create_process(/bin/app, paused)"));
-    tr.assert_order((Some("rm"), "tdp_init"), (Some("rm"), "tdp_create_process(/bin/rt, run)"));
+    tr.assert_order(
+        (Some("rm"), "tdp_init"),
+        (Some("rm"), "tdp_create_process(/bin/app, paused)"),
+    );
+    tr.assert_order(
+        (Some("rm"), "tdp_init"),
+        (Some("rm"), "tdp_create_process(/bin/rt, run)"),
+    );
     tr.assert_order((Some("rt"), "tdp_init"), (Some("rt"), "tdp_attach"));
-    tr.assert_order((Some("rt"), "tdp_attach"), (Some("rt"), "tdp_continue_process"));
+    tr.assert_order(
+        (Some("rt"), "tdp_attach"),
+        (Some("rt"), "tdp_continue_process"),
+    );
     // The attach can only follow the RM's put of the pid.
     tr.assert_order((Some("rm"), "tdp_put(pid)"), (Some("rt"), "tdp_attach"));
 }
@@ -119,16 +150,19 @@ fn fig3b_attach_to_running_process() {
     world.os().fs().install_exec(
         host,
         "/bin/server",
-        ExecImage::new(["main", "serve"], Arc::new(|_| {
-            fn_program(|ctx| {
-                ctx.call("main", |ctx| {
-                    for _ in 0..500 {
-                        ctx.call("serve", |ctx| ctx.sleep(Duration::from_millis(2)));
-                    }
-                });
-                0
-            })
-        })),
+        ExecImage::new(
+            ["main", "serve"],
+            Arc::new(|_| {
+                fn_program(|ctx| {
+                    ctx.call("main", |ctx| {
+                        for _ in 0..500 {
+                            ctx.call("serve", |ctx| ctx.sleep(Duration::from_millis(2)));
+                        }
+                    });
+                    0
+                })
+            }),
+        ),
     );
     let mut rm = TdpHandle::init(&world, host, CTX, "rm", Role::ResourceManager).unwrap();
     let app = rm.create_process(TdpCreate::new("/bin/server")).unwrap();
@@ -153,8 +187,7 @@ fn fig3b_attach_to_running_process() {
                     // will be stopped at some unknown point in its
                     // execution".
                     tdp.pause_process(pid).unwrap();
-                    let paused_ok =
-                        tdp.process_status(pid).unwrap() == ProcStatus::Stopped;
+                    let paused_ok = tdp.process_status(pid).unwrap() == ProcStatus::Stopped;
                     tdp.arm_probe(pid, "serve").unwrap();
                     tdp.continue_process(pid).unwrap();
                     // Observe a little, then let the RM clean up.
@@ -167,9 +200,15 @@ fn fig3b_attach_to_running_process() {
     );
     let rt = rm.create_process(TdpCreate::new("/bin/rt_attach")).unwrap();
     rm.put(names::PID, &app.to_string()).unwrap();
-    assert_eq!(world.os().wait_terminal(rt, T).unwrap(), ProcStatus::Exited(0));
+    assert_eq!(
+        world.os().wait_terminal(rt, T).unwrap(),
+        ProcStatus::Exited(0)
+    );
     rm.kill_process(app, 15).unwrap();
-    assert_eq!(world.os().wait_terminal(app, T).unwrap(), ProcStatus::Killed(15));
+    assert_eq!(
+        world.os().wait_terminal(app, T).unwrap(),
+        ProcStatus::Killed(15)
+    );
 
     let tr = world.trace();
     // In 3B the AP is created (run) before the RT exists at all.
@@ -177,6 +216,12 @@ fn fig3b_attach_to_running_process() {
         (Some("rm"), "tdp_create_process(/bin/server, run)"),
         (Some("rm"), "tdp_create_process(/bin/rt_attach, run)"),
     );
-    tr.assert_order((Some("rt"), "tdp_attach"), (Some("rt"), "tdp_pause_process"));
-    tr.assert_order((Some("rt"), "tdp_pause_process"), (Some("rt"), "tdp_continue_process"));
+    tr.assert_order(
+        (Some("rt"), "tdp_attach"),
+        (Some("rt"), "tdp_pause_process"),
+    );
+    tr.assert_order(
+        (Some("rt"), "tdp_pause_process"),
+        (Some("rt"), "tdp_continue_process"),
+    );
 }

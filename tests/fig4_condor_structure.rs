@@ -17,20 +17,23 @@ use tdp::simos::{fn_program, ExecImage};
 const T: Duration = Duration::from_secs(30);
 
 fn app() -> ExecImage {
-    ExecImage::new(["main"], Arc::new(|_| {
-        fn_program(|ctx| {
-            // Remote-syscall shape: read stdin (staged via the shadow),
-            // transform, write stdout (staged back via the shadow).
-            let mut data = Vec::new();
-            while let Ok(Some(chunk)) = ctx.read_stdin() {
-                data.extend_from_slice(&chunk);
-            }
-            ctx.call("main", |ctx| ctx.compute(10));
-            data.reverse();
-            ctx.write_stdout(&data);
-            0
-        })
-    }))
+    ExecImage::new(
+        ["main"],
+        Arc::new(|_| {
+            fn_program(|ctx| {
+                // Remote-syscall shape: read stdin (staged via the shadow),
+                // transform, write stdout (staged back via the shadow).
+                let mut data = Vec::new();
+                while let Ok(Some(chunk)) = ctx.read_stdin() {
+                    data.extend_from_slice(&chunk);
+                }
+                ctx.call("main", |ctx| ctx.compute(10));
+                data.reverse();
+                ctx.write_stdout(&data);
+                0
+            })
+        }),
+    )
 }
 
 #[test]
@@ -44,7 +47,10 @@ fn fig4_submission_flow_end_to_end() {
     assert_eq!(machines.len(), 2);
     assert!(machines.iter().all(|(_, a)| *a));
 
-    world.os().fs().write_file(pool.submit_host(), "infile", b"abcdef");
+    world
+        .os()
+        .fs()
+        .write_file(pool.submit_host(), "infile", b"abcdef");
     let job = pool
         .submit_str("executable = /bin/rev\ninput = infile\noutput = outfile\nqueue\n")
         .unwrap();
@@ -55,7 +61,14 @@ fn fig4_submission_flow_end_to_end() {
         other => panic!("{other:?}"),
     }
     // The shadow performed the remote I/O on the submit machine.
-    assert_eq!(world.os().fs().read_file(pool.submit_host(), "outfile").unwrap(), b"fedcba");
+    assert_eq!(
+        world
+            .os()
+            .fs()
+            .read_file(pool.submit_host(), "outfile")
+            .unwrap(),
+        b"fedcba"
+    );
 
     // The claimed machine was freed after completion (claiming protocol
     // completes its cycle).
@@ -65,7 +78,10 @@ fn fig4_submission_flow_end_to_end() {
         if machines.iter().all(|(_, a)| *a) {
             break;
         }
-        assert!(std::time::Instant::now() < deadline, "machines never freed: {machines:?}");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "machines never freed: {machines:?}"
+        );
         std::thread::sleep(Duration::from_millis(10));
     }
 }
@@ -87,14 +103,26 @@ fn fig4_claiming_protocol_either_party_may_refuse() {
 
     // First claim wins.
     let mut c1 = world.net().connect(client, startd.addr()).unwrap();
-    send_json(&c1, &ClaimMsg::RequestClaim { job: tdp::proto::JobId(1) }).unwrap();
+    send_json(
+        &c1,
+        &ClaimMsg::RequestClaim {
+            job: tdp::proto::JobId(1),
+        },
+    )
+    .unwrap();
     let r1: ClaimMsg = recv_json_timeout(&mut c1, T).unwrap();
     assert!(matches!(r1, ClaimMsg::ClaimAccepted { .. }));
     assert!(startd.is_busy());
 
     // Second claim refused.
     let mut c2 = world.net().connect(client, startd.addr()).unwrap();
-    send_json(&c2, &ClaimMsg::RequestClaim { job: tdp::proto::JobId(2) }).unwrap();
+    send_json(
+        &c2,
+        &ClaimMsg::RequestClaim {
+            job: tdp::proto::JobId(2),
+        },
+    )
+    .unwrap();
     let r2: ClaimMsg = recv_json_timeout(&mut c2, T).unwrap();
     assert!(matches!(r2, ClaimMsg::ClaimRejected { .. }));
 

@@ -39,13 +39,23 @@ fn fig5b_parses_to_the_expected_description() {
     assert_eq!(d.universe, Universe::Vanilla);
     assert_eq!(d.executable, "foo");
     assert_eq!(d.arguments, vec!["1", "2", "3"]);
-    assert!(d.suspend_job_at_exec, "+SuspendJobAtExec directive (line 7 of the figure)");
+    assert!(
+        d.suspend_job_at_exec,
+        "+SuspendJobAtExec directive (line 7 of the figure)"
+    );
     let tool = d.tool_daemon.as_ref().unwrap();
     assert_eq!(tool.cmd, "paradynd");
-    assert!(tool.args.contains(&"-a%pid".to_string()), "the %pid marker stays literal");
+    assert!(
+        tool.args.contains(&"-a%pid".to_string()),
+        "the %pid marker stays literal"
+    );
     assert_eq!(tool.output.as_deref(), Some("daemon.out"));
     assert_eq!(tool.error.as_deref(), Some("daemon.err"));
-    assert_eq!(d.transfer_input_files, vec!["paradynd"], "the daemon binary is shipped too");
+    assert_eq!(
+        d.transfer_input_files,
+        vec!["paradynd"],
+        "the daemon binary is shipped too"
+    );
 }
 
 #[test]
@@ -63,25 +73,39 @@ fn fig5a_daemon_structure_from_the_submit_file() {
     world.os().fs().install_exec(
         pool.submit_host(),
         "foo",
-        ExecImage::new(["main", "work"], Arc::new(|_| {
-            fn_program(|ctx| {
-                let _ = ctx.read_stdin();
-                ctx.call("main", |ctx| {
-                    for _ in 0..6 {
-                        ctx.call("work", |ctx| ctx.compute(10));
-                    }
-                });
-                ctx.write_stdout(b"done");
-                0
-            })
-        })),
+        ExecImage::new(
+            ["main", "work"],
+            Arc::new(|_| {
+                fn_program(|ctx| {
+                    let _ = ctx.read_stdin();
+                    ctx.call("main", |ctx| {
+                        for _ in 0..6 {
+                            ctx.call("work", |ctx| ctx.compute(10));
+                        }
+                    });
+                    ctx.write_stdout(b"done");
+                    0
+                })
+            }),
+        ),
     );
-    world.os().fs().install_exec(pool.submit_host(), "paradynd", paradynd_image(world.clone()));
-    world.os().fs().write_file(pool.submit_host(), "infile", b"in");
+    world.os().fs().install_exec(
+        pool.submit_host(),
+        "paradynd",
+        paradynd_image(world.clone()),
+    );
+    world
+        .os()
+        .fs()
+        .write_file(pool.submit_host(), "infile", b"in");
 
     let fe = ParadynFrontend::start(world.net(), pool.submit_host(), 2090, 2091).unwrap();
     let job = pool
-        .submit_str(&figure_5b(fe.host().0, fe.control_addr().port.0, fe.data_addr().port.0))
+        .submit_str(&figure_5b(
+            fe.host().0,
+            fe.control_addr().port.0,
+            fe.data_addr().port.0,
+        ))
         .unwrap();
 
     // The 5A structure materializes on the execution host: the paused
@@ -103,7 +127,14 @@ fn fig5a_daemon_structure_from_the_submit_file() {
     }
     // Figure 5's ToolDaemonOutput / ToolDaemonError files landed on the
     // submit machine, along with the job output.
-    assert_eq!(world.os().fs().read_file(pool.submit_host(), "outfile").unwrap(), b"done");
+    assert_eq!(
+        world
+            .os()
+            .fs()
+            .read_file(pool.submit_host(), "outfile")
+            .unwrap(),
+        b"done"
+    );
     assert!(world.os().fs().exists(pool.submit_host(), "daemon.out"));
     assert!(world.os().fs().exists(pool.submit_host(), "daemon.err"));
 }
@@ -117,18 +148,33 @@ fn fig5_without_suspend_runs_unmonitored() {
     world.os().fs().install_exec(
         pool.submit_host(),
         "foo",
-        ExecImage::from_fn(|_| fn_program(|ctx| {
-            let _ = ctx.read_stdin();
-            ctx.write_stdout(b"plain");
-            0
-        })),
+        ExecImage::from_fn(|_| {
+            fn_program(|ctx| {
+                let _ = ctx.read_stdin();
+                ctx.write_stdout(b"plain");
+                0
+            })
+        }),
     );
-    world.os().fs().write_file(pool.submit_host(), "infile", b"");
+    world
+        .os()
+        .fs()
+        .write_file(pool.submit_host(), "infile", b"");
     let job = pool
         .submit_str(
             "executable = foo\ninput = infile\noutput = outfile\ntransfer_files = always\nqueue\n",
         )
         .unwrap();
-    assert!(matches!(pool.wait_job(job, T).unwrap(), JobState::Completed(_)));
-    assert_eq!(world.os().fs().read_file(pool.submit_host(), "outfile").unwrap(), b"plain");
+    assert!(matches!(
+        pool.wait_job(job, T).unwrap(),
+        JobState::Completed(_)
+    ));
+    assert_eq!(
+        world
+            .os()
+            .fs()
+            .read_file(pool.submit_host(), "outfile")
+            .unwrap(),
+        b"plain"
+    );
 }

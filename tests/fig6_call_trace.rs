@@ -27,15 +27,21 @@ fn fig6_call_sequence_reproduced() {
     let pool = CondorPool::build(&world, 1).unwrap();
     pool.install_everywhere(
         "/bin/app",
-        ExecImage::new(["main", "work"], Arc::new(|_| {
-            fn_program(|ctx| {
-                ctx.call("main", |ctx| ctx.call("work", |ctx| ctx.compute(10)));
-                0
-            })
-        })),
+        ExecImage::new(
+            ["main", "work"],
+            Arc::new(|_| {
+                fn_program(|ctx| {
+                    ctx.call("main", |ctx| ctx.call("work", |ctx| ctx.compute(10)));
+                    0
+                })
+            }),
+        ),
     );
     for h in pool.exec_hosts() {
-        world.os().fs().install_exec(*h, "paradynd", paradynd_image(world.clone()));
+        world
+            .os()
+            .fs()
+            .install_exec(*h, "paradynd", paradynd_image(world.clone()));
     }
     let fe = ParadynFrontend::start(world.net(), pool.submit_host(), 2090, 2091).unwrap();
     let submit = format!(
@@ -47,12 +53,18 @@ fn fig6_call_sequence_reproduced() {
     let job = pool.submit_str(&submit).unwrap();
     fe.wait_for_daemons(1, T).unwrap();
     fe.run_all().unwrap();
-    assert!(matches!(pool.wait_job(job, T).unwrap(), JobState::Completed(_)));
+    assert!(matches!(
+        pool.wait_job(job, T).unwrap(),
+        JobState::Completed(_)
+    ));
 
     let tr = world.trace();
     let starter = Some("starter");
     // Step 1: tdp_init then create(AP, paused).
-    tr.assert_order((starter, "tdp_init"), (starter, "tdp_create_process(/bin/app, paused)"));
+    tr.assert_order(
+        (starter, "tdp_init"),
+        (starter, "tdp_create_process(/bin/app, paused)"),
+    );
     // Step 2: then create(paradynd, run).
     tr.assert_order(
         (starter, "tdp_create_process(/bin/app, paused)"),
@@ -63,7 +75,10 @@ fn fig6_call_sequence_reproduced() {
     // or after the starter's put is a legal race — the space's blocking
     // semantics make both interleavings equivalent — but the attach can
     // only ever happen after both.
-    tr.assert_order((starter, "tdp_create_process(paradynd, run)"), (None, "tdp_get(pid)"));
+    tr.assert_order(
+        (starter, "tdp_create_process(paradynd, run)"),
+        (None, "tdp_get(pid)"),
+    );
     tr.assert_order((starter, "tdp_put(pid)"), (None, "tdp_attach"));
     tr.assert_order((None, "tdp_get(pid)"), (None, "tdp_attach"));
     tr.assert_order((None, "tdp_attach"), (None, "tdp_continue_process"));
@@ -94,13 +109,21 @@ fn fig6_get_pid_blocks_until_put() {
     let pool = CondorPool::build(&world, 1).unwrap();
     pool.install_everywhere(
         "/bin/app",
-        ExecImage::new(["main"], Arc::new(|_| fn_program(|ctx| {
-            ctx.call("main", |ctx| ctx.compute(1));
-            0
-        }))),
+        ExecImage::new(
+            ["main"],
+            Arc::new(|_| {
+                fn_program(|ctx| {
+                    ctx.call("main", |ctx| ctx.compute(1));
+                    0
+                })
+            }),
+        ),
     );
     for h in pool.exec_hosts() {
-        world.os().fs().install_exec(*h, "paradynd", paradynd_image(world.clone()));
+        world
+            .os()
+            .fs()
+            .install_exec(*h, "paradynd", paradynd_image(world.clone()));
     }
     let fe = ParadynFrontend::start(world.net(), pool.submit_host(), 2090, 2091).unwrap();
     let submit = format!(
@@ -116,9 +139,14 @@ fn fig6_get_pid_blocks_until_put() {
 
     let tr = world.trace();
     let get_seq = tr.seq_of(None, "tdp_get(pid)").expect("get recorded");
-    let put_seq = tr.seq_of(Some("starter"), "tdp_put(pid)").expect("put recorded");
+    let put_seq = tr
+        .seq_of(Some("starter"), "tdp_put(pid)")
+        .expect("put recorded");
     let attach_seq = tr.seq_of(None, "tdp_attach").expect("attach recorded");
-    assert!(get_seq < put_seq || put_seq < get_seq, "both orders are legal for issue time");
+    assert!(
+        get_seq < put_seq || put_seq < get_seq,
+        "both orders are legal for issue time"
+    );
     assert!(attach_seq > put_seq, "attach cannot precede the pid put");
     assert!(attach_seq > get_seq, "attach follows the (satisfied) get");
 }

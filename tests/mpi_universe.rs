@@ -31,7 +31,10 @@ fn mpi_universe_staged_startup_with_tools() {
     let comm = MpiComm::new(n);
     pool.install_everywhere("stencil", apps::stencil(comm, 3, 50));
     for h in pool.exec_hosts() {
-        world.os().fs().install_exec(*h, "paradynd", paradynd_image(world.clone()));
+        world
+            .os()
+            .fs()
+            .install_exec(*h, "paradynd", paradynd_image(world.clone()));
     }
     let fe = ParadynFrontend::start(world.net(), pool.submit_host(), 2090, 2091).unwrap();
     let job = pool.submit_str(&submit_mpi(&fe, n)).unwrap();
@@ -62,7 +65,10 @@ fn mpi_universe_staged_startup_with_tools() {
     match pool.wait_job(job, T).unwrap() {
         JobState::Completed(done) => {
             assert_eq!(done.len(), n as usize);
-            assert!(done.values().all(|st| *st == ProcStatus::Exited(0)), "{done:?}");
+            assert!(
+                done.values().all(|st| *st == ProcStatus::Exited(0)),
+                "{done:?}"
+            );
         }
         other => panic!("{other:?}"),
     }

@@ -19,16 +19,19 @@ use tdp::simos::{fn_program, ExecImage};
 const T: Duration = Duration::from_secs(30);
 
 fn app_image() -> ExecImage {
-    ExecImage::new(["main", "work"], Arc::new(|_| {
-        fn_program(|ctx| {
-            ctx.call("main", |ctx| {
-                for _ in 0..8 {
-                    ctx.call("work", |ctx| ctx.compute(10));
-                }
-            });
-            0
-        })
-    }))
+    ExecImage::new(
+        ["main", "work"],
+        Arc::new(|_| {
+            fn_program(|ctx| {
+                ctx.call("main", |ctx| {
+                    for _ in 0..8 {
+                        ctx.call("work", |ctx| ctx.compute(10));
+                    }
+                });
+                0
+            })
+        }),
+    )
 }
 
 /// Tool #2: "tracey", a minimal coverage tool — counts calls of every
@@ -55,8 +58,11 @@ fn tracey_image(world: World) -> ExecImage {
             tdp.continue_process(pid).expect("continue");
             tdp.wait_terminal(pid, T).expect("app done");
             let snap = tdp.read_probes(pid).expect("probes");
-            let mut lines: Vec<String> =
-                snap.counts.iter().map(|(s, c)| format!("{s} {c}")).collect();
+            let mut lines: Vec<String> = snap
+                .counts
+                .iter()
+                .map(|(s, c)| format!("{s} {c}"))
+                .collect();
             lines.sort();
             world.os().fs().write_file(
                 pctx.host(),
@@ -80,7 +86,9 @@ fn minirm_run_with_tool(
     tool_args: Vec<String>,
 ) -> (Pid, Pid) {
     let mut rm = TdpHandle::init(world, host, ctx, "minirm", Role::ResourceManager).unwrap();
-    let app = rm.create_process(TdpCreate::new("/bin/app").paused()).unwrap();
+    let app = rm
+        .create_process(TdpCreate::new("/bin/app").paused())
+        .unwrap();
     let tool = rm
         .create_process(TdpCreate::new(tool_exe.to_string()).args(tool_args))
         .unwrap();
@@ -96,11 +104,20 @@ fn matrix_minirm_runs_tracey() {
     let world = World::new();
     let host = world.add_host();
     world.os().fs().install_exec(host, "/bin/app", app_image());
-    world.os().fs().install_exec(host, "tracey", tracey_image(world.clone()));
+    world
+        .os()
+        .fs()
+        .install_exec(host, "tracey", tracey_image(world.clone()));
     let ctx = ContextId(7);
     let (app, tool) = minirm_run_with_tool(&world, host, ctx, "tracey", vec!["-c7".into()]);
-    assert_eq!(world.os().wait_terminal(app, T).unwrap(), ProcStatus::Exited(0));
-    assert_eq!(world.os().wait_terminal(tool, T).unwrap(), ProcStatus::Exited(0));
+    assert_eq!(
+        world.os().wait_terminal(app, T).unwrap(),
+        ProcStatus::Exited(0)
+    );
+    assert_eq!(
+        world.os().wait_terminal(tool, T).unwrap(),
+        ProcStatus::Exited(0)
+    );
     let cov: Vec<String> = world
         .os()
         .fs()
@@ -119,7 +136,10 @@ fn matrix_minirm_runs_paradynd() {
     let host = world.add_host();
     let fe_host = world.add_host();
     world.os().fs().install_exec(host, "/bin/app", app_image());
-    world.os().fs().install_exec(host, "paradynd", paradynd_image(world.clone()));
+    world
+        .os()
+        .fs()
+        .install_exec(host, "paradynd", paradynd_image(world.clone()));
     let fe = ParadynFrontend::start(world.net(), fe_host, 2090, 2091).unwrap();
     let ctx = ContextId(9);
     let args = vec![
@@ -132,9 +152,18 @@ fn matrix_minirm_runs_paradynd() {
     let (app, tool) = minirm_run_with_tool(&world, host, ctx, "paradynd", args);
     fe.wait_for_daemons(1, T).unwrap();
     fe.run_all().unwrap();
-    assert_eq!(world.os().wait_terminal(app, T).unwrap(), ProcStatus::Exited(0));
-    assert_eq!(world.os().wait_terminal(tool, T).unwrap(), ProcStatus::Exited(0));
-    assert!(fe.samples().iter().any(|s| s.symbol == "work" && s.count == 8));
+    assert_eq!(
+        world.os().wait_terminal(app, T).unwrap(),
+        ProcStatus::Exited(0)
+    );
+    assert_eq!(
+        world.os().wait_terminal(tool, T).unwrap(),
+        ProcStatus::Exited(0)
+    );
+    assert!(fe
+        .samples()
+        .iter()
+        .any(|s| s.symbol == "work" && s.count == 8));
 }
 
 #[test]
@@ -143,7 +172,10 @@ fn matrix_condor_runs_paradynd() {
     let pool = CondorPool::build(&world, 1).unwrap();
     pool.install_everywhere("/bin/app", app_image());
     for h in pool.exec_hosts() {
-        world.os().fs().install_exec(*h, "paradynd", paradynd_image(world.clone()));
+        world
+            .os()
+            .fs()
+            .install_exec(*h, "paradynd", paradynd_image(world.clone()));
     }
     let fe = ParadynFrontend::start(world.net(), pool.submit_host(), 2090, 2091).unwrap();
     let submit = format!(
@@ -153,7 +185,10 @@ fn matrix_condor_runs_paradynd() {
     let job = pool.submit_str(&submit).unwrap();
     fe.wait_for_daemons(1, T).unwrap();
     fe.run_all().unwrap();
-    assert!(matches!(pool.wait_job(job, T).unwrap(), JobState::Completed(_)));
+    assert!(matches!(
+        pool.wait_job(job, T).unwrap(),
+        JobState::Completed(_)
+    ));
 }
 
 #[test]
@@ -165,7 +200,10 @@ fn matrix_condor_runs_tracey() {
     let pool = CondorPool::build(&world, 1).unwrap();
     pool.install_everywhere("/bin/app", app_image());
     for h in pool.exec_hosts() {
-        world.os().fs().install_exec(*h, "tracey", tracey_image(world.clone()));
+        world
+            .os()
+            .fs()
+            .install_exec(*h, "tracey", tracey_image(world.clone()));
     }
     let job = pool
         .submit_str(
@@ -208,7 +246,10 @@ fn full_matrix_two_schedulers_two_tool_images() {
             let pool = CondorPool::build(&world, 1).unwrap();
             pool.install_everywhere("/bin/app", app_image());
             for h in pool.exec_hosts() {
-                world.os().fs().install_exec(*h, tool_name, ctor(world.clone()));
+                world
+                    .os()
+                    .fs()
+                    .install_exec(*h, tool_name, ctor(world.clone()));
             }
             let submit = format!(
                 "executable = /bin/app\n+SuspendJobAtExec = True\n+ToolDaemonCmd = \"{tool_name}\"\n+ToolDaemonArgs = \"-i2\"\nqueue\n"
@@ -233,7 +274,10 @@ fn full_matrix_two_schedulers_two_tool_images() {
             let master = world.add_host();
             let exec = world.add_host();
             world.os().fs().install_exec(exec, "/bin/app", app_image());
-            world.os().fs().install_exec(exec, tool_name, ctor(world.clone()));
+            world
+                .os()
+                .fs()
+                .install_exec(exec, tool_name, ctor(world.clone()));
             let cluster = LsfCluster::start(&world, master).unwrap();
             let _sbd = cluster.add_host(exec, 1).unwrap();
             let job = cluster
@@ -287,17 +331,14 @@ fn legacy_point_solution_tool_conflicts_with_the_rm() {
             move |_| {
                 let world = world.clone();
                 tdp::simos::fn_program(move |pctx| {
-                    let mut tdp = TdpHandle::init(
-                        &world,
-                        pctx.host(),
-                        ContextId(42),
-                        "legacy",
-                        Role::Tool,
-                    )
-                    .unwrap();
+                    let mut tdp =
+                        TdpHandle::init(&world, pctx.host(), ContextId(42), "legacy", Role::Tool)
+                            .unwrap();
                     // Creates ITS OWN application process instead of
                     // attaching to the RM's.
-                    let own = tdp.create_process(TdpCreate::new("/bin/app").paused()).unwrap();
+                    let own = tdp
+                        .create_process(TdpCreate::new("/bin/app").paused())
+                        .unwrap();
                     tdp.attach(own).unwrap();
                     tdp.arm_probe(own, "work").unwrap();
                     tdp.continue_process(own).unwrap();
@@ -312,8 +353,14 @@ fn legacy_point_solution_tool_conflicts_with_the_rm() {
     let mut rm = TdpHandle::init(&world, host, ContextId(42), "rm", Role::ResourceManager).unwrap();
     let rm_app = rm.create_process(TdpCreate::new("/bin/app")).unwrap();
     let tool = rm.create_process(TdpCreate::new("legacy_tool")).unwrap();
-    assert_eq!(world.os().wait_terminal(rm_app, T).unwrap(), ProcStatus::Exited(0));
-    assert_eq!(world.os().wait_terminal(tool, T).unwrap(), ProcStatus::Exited(0));
+    assert_eq!(
+        world.os().wait_terminal(rm_app, T).unwrap(),
+        ProcStatus::Exited(0)
+    );
+    assert_eq!(
+        world.os().wait_terminal(tool, T).unwrap(),
+        ProcStatus::Exited(0)
+    );
 
     // The conflict, observed: two copies of the application ran, and
     // the one the RM submitted was never attached by any tool — it ran
@@ -324,12 +371,24 @@ fn legacy_point_solution_tool_conflicts_with_the_rm() {
         .iter()
         .filter(|e| e.call.contains("tdp_create_process(/bin/app"))
         .count();
-    assert_eq!(creates, 2, "the application was created twice — the §2 conflict");
+    assert_eq!(
+        creates, 2,
+        "the application was created twice — the §2 conflict"
+    );
     assert!(
-        trace.seq_of(None, &format!("tdp_attach({rm_app})")).is_none(),
+        trace
+            .seq_of(None, &format!("tdp_attach({rm_app})"))
+            .is_none(),
         "nobody ever attached to the RM's application — it ran unmonitored:\n{}",
         trace.render()
     );
-    let attaches = trace.events().iter().filter(|e| e.call.starts_with("tdp_attach")).count();
-    assert_eq!(attaches, 1, "the tool attached only to its own private copy");
+    let attaches = trace
+        .events()
+        .iter()
+        .filter(|e| e.call.starts_with("tdp_attach"))
+        .count();
+    assert_eq!(
+        attaches, 1,
+        "the tool attached only to its own private copy"
+    );
 }

@@ -19,16 +19,19 @@ use tdp::simos::{fn_program, ExecImage};
 const T: Duration = Duration::from_secs(30);
 
 fn slow_app() -> ExecImage {
-    ExecImage::new(["main", "tick"], Arc::new(|_| {
-        fn_program(|ctx| {
-            ctx.call("main", |ctx| {
-                for _ in 0..400 {
-                    ctx.call("tick", |ctx| ctx.sleep(Duration::from_millis(2)));
-                }
-            });
-            0
-        })
-    }))
+    ExecImage::new(
+        ["main", "tick"],
+        Arc::new(|_| {
+            fn_program(|ctx| {
+                ctx.call("main", |ctx| {
+                    for _ in 0..400 {
+                        ctx.call("tick", |ctx| ctx.sleep(Duration::from_millis(2)));
+                    }
+                });
+                0
+            })
+        }),
+    )
 }
 
 fn setup() -> (World, CondorPool, ParadynFrontend) {
@@ -36,7 +39,10 @@ fn setup() -> (World, CondorPool, ParadynFrontend) {
     let pool = CondorPool::build(&world, 1).unwrap();
     pool.install_everywhere("/bin/app", slow_app());
     for h in pool.exec_hosts() {
-        world.os().fs().install_exec(*h, "paradynd", paradynd_image(world.clone()));
+        world
+            .os()
+            .fs()
+            .install_exec(*h, "paradynd", paradynd_image(world.clone()));
     }
     let fe = ParadynFrontend::start(world.net(), pool.submit_host(), 2090, 2091).unwrap();
     (world, pool, fe)
@@ -62,7 +68,10 @@ fn strict_mode_routes_all_control_through_the_rm() {
     fe.run_all().unwrap();
     let deadline = std::time::Instant::now() + T;
     while world.os().status(app_pid).unwrap() == ProcStatus::Created {
-        assert!(std::time::Instant::now() < deadline, "starter never serviced Continue");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "starter never serviced Continue"
+        );
         std::thread::sleep(Duration::from_millis(10));
     }
 
@@ -70,7 +79,10 @@ fn strict_mode_routes_all_control_through_the_rm() {
     fe.pause_all().unwrap();
     let deadline = std::time::Instant::now() + T;
     while world.os().status(app_pid).unwrap() != ProcStatus::Stopped {
-        assert!(std::time::Instant::now() < deadline, "starter never serviced Pause");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "starter never serviced Pause"
+        );
         std::thread::sleep(Duration::from_millis(10));
     }
 
@@ -103,9 +115,15 @@ fn strict_mode_routes_all_control_through_the_rm() {
             );
         }
     }
-    assert!(tr.seq_of(Some(&daemon_actor), "tdp_request(continue)").is_some());
-    assert!(tr.seq_of(Some(&daemon_actor), "tdp_request(pause)").is_some());
-    assert!(tr.seq_of(Some(&daemon_actor), "tdp_request(kill:9)").is_some());
+    assert!(tr
+        .seq_of(Some(&daemon_actor), "tdp_request(continue)")
+        .is_some());
+    assert!(tr
+        .seq_of(Some(&daemon_actor), "tdp_request(pause)")
+        .is_some());
+    assert!(tr
+        .seq_of(Some(&daemon_actor), "tdp_request(kill:9)")
+        .is_some());
     assert!(tr.seq_of(Some("starter"), "tdp_continue_process").is_some());
     assert!(tr.seq_of(Some("starter"), "tdp_pause_process").is_some());
     assert!(tr.seq_of(Some("starter"), "tdp_kill").is_some());
@@ -120,7 +138,10 @@ fn default_mode_daemon_acts_directly() {
     fe.wait_for_daemons(1, T).unwrap();
     fe.run_all().unwrap();
     fe.kill_all().unwrap();
-    assert!(matches!(pool.wait_job(job, T).unwrap(), JobState::Completed(_)));
+    assert!(matches!(
+        pool.wait_job(job, T).unwrap(),
+        JobState::Completed(_)
+    ));
     let tr = world.trace();
     let daemon_actor = tr
         .events()
@@ -129,7 +150,8 @@ fn default_mode_daemon_acts_directly() {
         .map(|e| e.actor.clone())
         .unwrap();
     assert!(
-        tr.seq_of(Some(&daemon_actor), "tdp_continue_process").is_some(),
+        tr.seq_of(Some(&daemon_actor), "tdp_continue_process")
+            .is_some(),
         "default mode: the daemon continues the process directly"
     );
 }

@@ -15,34 +15,40 @@ const T: Duration = Duration::from_secs(30);
 /// configuration from the submit machine, computes, and writes partial
 /// results back remotely after every phase — all mid-run.
 fn standard_app(world: World) -> ExecImage {
-    ExecImage::new(["main", "phase"], Arc::new(move |_| {
-        let world = world.clone();
-        fn_program(move |ctx| {
-            let mut rfs = match RemoteFs::from_env(world.net(), ctx) {
-                Ok(r) => r,
-                Err(e) => {
-                    ctx.write_stderr(format!("syscall_lib: {e}\n").as_bytes());
-                    return 2;
-                }
-            };
-            // Remote read of the run configuration.
-            let phases: u64 = rfs
-                .read("config")
-                .ok()
-                .and_then(|d| String::from_utf8(d).ok())
-                .and_then(|s| s.trim().parse().ok())
-                .unwrap_or(0);
-            ctx.call("main", |ctx| {
-                for p in 0..phases {
-                    ctx.call("phase", |ctx| ctx.compute(10));
-                    // Remote write of a partial result after each phase.
-                    rfs.write(&format!("partial.{p}"), format!("phase {p} done").as_bytes())
+    ExecImage::new(
+        ["main", "phase"],
+        Arc::new(move |_| {
+            let world = world.clone();
+            fn_program(move |ctx| {
+                let mut rfs = match RemoteFs::from_env(world.net(), ctx) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        ctx.write_stderr(format!("syscall_lib: {e}\n").as_bytes());
+                        return 2;
+                    }
+                };
+                // Remote read of the run configuration.
+                let phases: u64 = rfs
+                    .read("config")
+                    .ok()
+                    .and_then(|d| String::from_utf8(d).ok())
+                    .and_then(|s| s.trim().parse().ok())
+                    .unwrap_or(0);
+                ctx.call("main", |ctx| {
+                    for p in 0..phases {
+                        ctx.call("phase", |ctx| ctx.compute(10));
+                        // Remote write of a partial result after each phase.
+                        rfs.write(
+                            &format!("partial.{p}"),
+                            format!("phase {p} done").as_bytes(),
+                        )
                         .expect("remote write");
-                }
-            });
-            0
-        })
-    }))
+                    }
+                });
+                0
+            })
+        }),
+    )
 }
 
 #[test]
@@ -50,7 +56,10 @@ fn standard_universe_remote_io_during_execution() {
     let world = World::new();
     let pool = CondorPool::build(&world, 1).unwrap();
     pool.install_everywhere("/bin/solver", standard_app(world.clone()));
-    world.os().fs().write_file(pool.submit_host(), "config", b"3");
+    world
+        .os()
+        .fs()
+        .write_file(pool.submit_host(), "config", b"3");
 
     let job = pool
         .submit_str("universe = Standard\nexecutable = /bin/solver\nqueue\n")
@@ -63,12 +72,20 @@ fn standard_universe_remote_io_during_execution() {
     // the shadow while the job ran on the execution machine.
     for p in 0..3 {
         assert_eq!(
-            world.os().fs().read_file(pool.submit_host(), &format!("partial.{p}")).unwrap(),
+            world
+                .os()
+                .fs()
+                .read_file(pool.submit_host(), &format!("partial.{p}"))
+                .unwrap(),
             format!("phase {p} done").as_bytes(),
         );
     }
     // Nothing of the sort ever existed on the execution host.
-    assert!(world.os().fs().list(pool.exec_hosts()[0], "partial").is_empty());
+    assert!(world
+        .os()
+        .fs()
+        .list(pool.exec_hosts()[0], "partial")
+        .is_empty());
 }
 
 #[test]
@@ -96,9 +113,15 @@ fn standard_universe_with_tool_daemon() {
     let pool = CondorPool::build(&world, 1).unwrap();
     pool.install_everywhere("/bin/solver", standard_app(world.clone()));
     for h in pool.exec_hosts() {
-        world.os().fs().install_exec(*h, "tracey", tracey_image(world.clone()));
+        world
+            .os()
+            .fs()
+            .install_exec(*h, "tracey", tracey_image(world.clone()));
     }
-    world.os().fs().write_file(pool.submit_host(), "config", b"4");
+    world
+        .os()
+        .fs()
+        .write_file(pool.submit_host(), "config", b"4");
     let job = pool
         .submit_str(
             "universe = Standard\nexecutable = /bin/solver\n+SuspendJobAtExec = True\n+ToolDaemonCmd = \"tracey\"\nqueue\n",
@@ -118,8 +141,13 @@ fn standard_universe_with_tool_daemon() {
         .into_iter()
         .filter(|f| f.ends_with(".coverage"))
         .collect();
-    let text =
-        String::from_utf8(world.os().fs().read_file(pool.exec_hosts()[0], &reports[0]).unwrap())
-            .unwrap();
+    let text = String::from_utf8(
+        world
+            .os()
+            .fs()
+            .read_file(pool.exec_hosts()[0], &reports[0])
+            .unwrap(),
+    )
+    .unwrap();
     assert!(text.contains("phase 4"), "{text}");
 }

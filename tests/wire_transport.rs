@@ -1,0 +1,207 @@
+//! The transport-equivalence suite: the Figure 2 (E2) and complete-
+//! framework (E11) scenarios run over **real loopback TCP sockets**
+//! (`World::new_tcp`) and produce the *same observable behaviour* — up
+//! to identical call traces — as the simulated fabric.
+
+use std::sync::Arc;
+use std::time::Duration;
+use tdp::condor::{CondorPool, JobState};
+use tdp::core::{Role, TdpHandle, TransportMode, World};
+use tdp::netsim::FirewallPolicy;
+use tdp::paradyn::{paradynd_image, ParadynFrontend, PerformanceConsultant};
+use tdp::proto::{names, Addr, ContextId, ProcStatus};
+use tdp::simos::{fn_program, ExecImage};
+
+const CTX: ContextId = ContextId(1);
+const T: Duration = Duration::from_secs(30);
+
+/// The E2 Figure-2 scenario body, transport-agnostic. Returns the
+/// rendered call trace.
+fn fig2_scenario(world: &World) -> String {
+    let fe_host = world.add_host();
+    let remote_a = world.add_host();
+    let remote_b = world.add_host();
+
+    let cass = world.ensure_cass(fe_host).unwrap();
+    let mut rm_a = TdpHandle::init(world, remote_a, CTX, "rm_a", Role::ResourceManager).unwrap();
+    let mut rm_b = TdpHandle::init(world, remote_b, CTX, "rm_b", Role::ResourceManager).unwrap();
+
+    rm_a.put(names::PID, "111").unwrap();
+    rm_b.put(names::PID, "222").unwrap();
+    let mut rt_a = TdpHandle::init(world, remote_a, CTX, "rt_a", Role::Tool).unwrap();
+    let mut rt_b = TdpHandle::init(world, remote_b, CTX, "rt_b", Role::Tool).unwrap();
+    assert_eq!(rt_a.get(names::PID).unwrap(), "111");
+    assert_eq!(rt_b.get(names::PID).unwrap(), "222");
+
+    // Cross-host LASS access is rejected by the server itself — over
+    // TCP the client's host identity travels in the Hello handshake.
+    let lass_a = world.lass_addr(remote_a).unwrap();
+    let mut intruder = world.attr_connect(remote_b, lass_a).unwrap();
+    assert!(
+        intruder.join(CTX).is_err(),
+        "a process cannot access the LASS of another node (§2.1)"
+    );
+
+    rm_a.connect_cass(cass).unwrap();
+    rm_b.connect_cass(cass).unwrap();
+    rm_a.put_central(
+        names::TOOL_FRONTEND_ADDR,
+        &Addr::new(fe_host, 2090).to_attr_value(),
+    )
+    .unwrap();
+    assert_eq!(
+        rm_b.get_central(names::TOOL_FRONTEND_ADDR).unwrap(),
+        Addr::new(fe_host, 2090).to_attr_value()
+    );
+    world.trace().render()
+}
+
+#[test]
+fn fig2_runs_over_tcp() {
+    let world = World::new_tcp();
+    assert_eq!(world.transport_mode(), TransportMode::Tcp);
+    fig2_scenario(&world);
+}
+
+#[test]
+fn fig2_trace_identical_across_transports() {
+    // Logical addresses are the same strings in both modes, so the call
+    // traces must match byte for byte.
+    let sim_trace = fig2_scenario(&World::new());
+    let tcp_trace = fig2_scenario(&World::new_tcp());
+    assert_eq!(sim_trace, tcp_trace);
+    assert!(!sim_trace.is_empty());
+}
+
+#[test]
+fn fig2_proxy_crossing_over_tcp() {
+    // The §2.4 firewall crossing, with a real byte-relay proxy: the
+    // direct dial is refused by the topology's firewall rules, the
+    // handle falls back to the RM's advertised proxy, and the relayed
+    // connection behaves like a direct one.
+    let world = World::new_tcp();
+    let fe_host = world.add_host();
+    let zone = world.add_private_zone(FirewallPolicy::STRICT);
+    let remote = world.add_host_in(zone);
+    let cass = world.ensure_cass(fe_host).unwrap();
+
+    world.net().authorize_route(remote, cass);
+    let proxy = world.spawn_proxy(remote, 9618).unwrap();
+    assert_eq!(
+        proxy,
+        Addr::new(remote, 9618),
+        "proxy keeps its logical address"
+    );
+
+    let mut rm = TdpHandle::init(&world, remote, CTX, "rm", Role::ResourceManager).unwrap();
+    rm.advertise_proxy(proxy).unwrap();
+    let mut rt = TdpHandle::init(&world, remote, CTX, "rt", Role::Tool).unwrap();
+    rt.connect_cass(cass).unwrap();
+    rt.put_central("announce", "rt alive").unwrap();
+    rm.connect_cass(cass).unwrap();
+    assert_eq!(rm.get_central("announce").unwrap(), "rt alive");
+}
+
+#[test]
+fn tcp_world_enforces_firewalls_without_a_proxy() {
+    // No proxy advertised: the firewalled connect must fail fast with
+    // the same error family as the simulated fabric, not hang on a
+    // socket that was never reachable.
+    let world = World::new_tcp();
+    let fe_host = world.add_host();
+    let zone = world.add_private_zone(FirewallPolicy::STRICT);
+    let remote = world.add_host_in(zone);
+    let cass = world.ensure_cass(fe_host).unwrap();
+    let err = match world.attr_connect(remote, cass) {
+        Err(e) => e,
+        Ok(_) => panic!("firewalled connect must fail"),
+    };
+    assert!(
+        matches!(err, tdp::proto::TdpError::BlockedByFirewall { .. }),
+        "{err}"
+    );
+}
+
+fn app_image() -> ExecImage {
+    ExecImage::new(
+        ["main", "kernel"],
+        Arc::new(|_| {
+            fn_program(|ctx| {
+                let _ = ctx.read_stdin();
+                ctx.call("main", |ctx| {
+                    for _ in 0..12 {
+                        ctx.call("kernel", |ctx| ctx.compute(10));
+                    }
+                });
+                0
+            })
+        }),
+    )
+}
+
+#[test]
+fn complete_framework_condor_over_tcp() {
+    // E11's "no port arguments anywhere" scenario with every
+    // attribute-space byte crossing real sockets.
+    let world = World::new_tcp();
+    let pool = CondorPool::build(&world, 2).unwrap();
+    pool.install_everywhere("/bin/app", app_image());
+    for h in pool.exec_hosts() {
+        world
+            .os()
+            .fs()
+            .install_exec(*h, "paradynd", paradynd_image(world.clone()));
+    }
+    let fe = ParadynFrontend::start(world.net(), pool.submit_host(), 0, 0).unwrap();
+    fe.advertise_via_cass(&world).unwrap();
+
+    let job = pool
+        .submit_str(
+            "executable = /bin/app\n+SuspendJobAtExec = True\n+ToolDaemonCmd = \"paradynd\"\n+ToolDaemonArgs = \"-zunix -a%pid\"\nqueue\n",
+        )
+        .unwrap();
+    let daemons = fe.wait_for_daemons(1, T).unwrap();
+    assert_eq!(daemons.len(), 1);
+    fe.run_all().unwrap();
+    match pool.wait_job(job, T).unwrap() {
+        JobState::Completed(done) => assert_eq!(done[&0], ProcStatus::Exited(0)),
+        other => panic!("{other:?}"),
+    }
+    fe.wait_done(1, T).unwrap();
+    let b = PerformanceConsultant::default()
+        .search(&fe.samples())
+        .unwrap();
+    assert_eq!(b.symbol, "kernel");
+}
+
+#[test]
+fn complete_framework_trace_identical_across_transports() {
+    fn scenario(world: &World) -> String {
+        let pool = CondorPool::build(world, 1).unwrap();
+        pool.install_everywhere("/bin/app", app_image());
+        for h in pool.exec_hosts() {
+            world
+                .os()
+                .fs()
+                .install_exec(*h, "paradynd", paradynd_image(world.clone()));
+        }
+        let fe = ParadynFrontend::start(world.net(), pool.submit_host(), 0, 0).unwrap();
+        fe.advertise_via_cass(world).unwrap();
+        let job = pool
+            .submit_str(
+                "executable = /bin/app\n+SuspendJobAtExec = True\n+ToolDaemonCmd = \"paradynd\"\n+ToolDaemonArgs = \"-zunix -a%pid\"\nqueue\n",
+            )
+            .unwrap();
+        fe.wait_for_daemons(1, T).unwrap();
+        fe.run_all().unwrap();
+        assert!(matches!(
+            pool.wait_job(job, T).unwrap(),
+            JobState::Completed(_)
+        ));
+        fe.wait_done(1, T).unwrap();
+        world.trace().render()
+    }
+    let sim = scenario(&World::new());
+    let tcp = scenario(&World::new_tcp());
+    assert_eq!(sim, tcp);
+}
