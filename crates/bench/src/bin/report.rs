@@ -92,8 +92,12 @@ fn b1_attrspace() {
 }
 
 fn b7_wire() {
-    header("B7 — Transport backends: netsim vs real TCP loopback");
-    for (name, world) in [("netsim", World::new()), ("tcp", World::new_tcp())] {
+    header("B7 — Transport backends: netsim vs TCP loopback vs epoll reactor");
+    for (name, world) in [
+        ("netsim", World::new()),
+        ("tcp", World::new_tcp()),
+        ("epoll", World::new_epoll()),
+    ] {
         let host = world.add_host();
         let mut rm =
             TdpHandle::init(&world, host, ContextId(1), "rm", Role::ResourceManager).unwrap();
@@ -114,6 +118,54 @@ fn b7_wire() {
             })),
         );
     }
+}
+
+fn b8_connection_scaling() {
+    header("B8 — Connection scaling: aggregate put rate × wire threads");
+    println!("  backend × sessions                             agg rate   latency    wire threads");
+    const TOTAL_OPS: usize = 2000;
+    for n in [1usize, 8, 100] {
+        for (name, world) in [
+            ("netsim", World::new()),
+            ("tcp", World::new_tcp()),
+            ("epoll", World::new_epoll()),
+        ] {
+            let host = world.add_host();
+            // The RM's init starts the LASS; sessions are Tool handles.
+            let _rm =
+                TdpHandle::init(&world, host, ContextId(1), "rm", Role::ResourceManager).unwrap();
+            let mut sessions: Vec<TdpHandle> = (0..n)
+                .map(|i| {
+                    TdpHandle::init(&world, host, ContextId(1), &format!("s{i}"), Role::Tool)
+                        .unwrap()
+                })
+                .collect();
+            let per_conn = TOTAL_OPS / n;
+            let t0 = std::time::Instant::now();
+            std::thread::scope(|s| {
+                for h in sessions.iter_mut() {
+                    s.spawn(move || {
+                        for i in 0..per_conn {
+                            h.put("k", &i.to_string()).unwrap();
+                        }
+                    });
+                }
+            });
+            let wall = t0.elapsed();
+            let rate = (per_conn * n) as f64 / wall.as_secs_f64();
+            let latency = fmt_dur(Duration::from_secs_f64(
+                wall.as_secs_f64() / per_conn.max(1) as f64,
+            ));
+            let threads = tdp_wire::wire_thread_count();
+            row(
+                &format!("{name} × {n} sessions"),
+                format!("{rate:>9.0}/s   {latency:>7}    {threads}"),
+            );
+        }
+    }
+    println!(
+        "  (latency = wall / per-session ops; epoll thread count stays flat as sessions grow)"
+    );
 }
 
 fn b2_process() {
@@ -363,6 +415,7 @@ fn main() {
     );
     b1_attrspace();
     b7_wire();
+    b8_connection_scaling();
     b2_process();
     b3_proxy();
     b4_parador();

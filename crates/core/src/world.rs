@@ -8,22 +8,27 @@
 //!
 //! # Transport modes
 //!
-//! A world runs its attribute-space traffic over one of two transports
-//! (see `tdp-wire`):
+//! A world runs its attribute-space traffic over one of three
+//! transports (see `tdp-wire`):
 //!
 //! * [`TransportMode::Netsim`] (the default): connections ride the
 //!   in-memory simulated fabric, with its latency model and firewall
 //!   enforcement on the connect path.
 //! * [`TransportMode::Tcp`] ([`World::new_tcp`]): connections are real
-//!   loopback TCP sockets. The netsim fabric is **kept** as the
-//!   topology/policy source of truth — every logical address stays a
-//!   `host:port` [`Addr`], and the world maintains a private map from
-//!   those virtual addresses to the ephemeral real sockets the servers
-//!   actually bound. Firewall rules are enforced by consulting
-//!   `Network::route_permitted` before dialling, so a blocked route
-//!   fails with the same `BlockedByFirewall` error — and the proxy
-//!   fallback engages identically. Traces are therefore byte-identical
-//!   across modes.
+//!   loopback TCP sockets, two OS threads per connection.
+//! * [`TransportMode::Epoll`] ([`World::new_epoll`]): the same loopback
+//!   sockets multiplexed onto one `epoll` reactor plus a small worker
+//!   pool, so thread count stays bounded as sessions scale.
+//!
+//! In both socket modes the netsim fabric is **kept** as the
+//! topology/policy source of truth — every logical address stays a
+//! `host:port` [`Addr`], and the world maintains a private map from
+//! those virtual addresses to the ephemeral real sockets the servers
+//! actually bound. Firewall rules are enforced by consulting
+//! `Network::route_permitted` before dialling, so a blocked route
+//! fails with the same `BlockedByFirewall` error — and the proxy
+//! fallback engages identically. Traces are therefore byte-identical
+//! across modes.
 
 use crate::trace::Trace;
 use crate::{CASS_PORT, LASS_PORT};
@@ -36,7 +41,7 @@ use tdp_netsim::{FirewallPolicy, Network, ZoneId};
 use tdp_proto::{Addr, HostId, TdpError, TdpResult};
 use tdp_simos::{Os, OsConfig};
 use tdp_wire::tcp::ProxyResolver;
-use tdp_wire::{TcpTransport, Transport};
+use tdp_wire::{EpollTransport, TcpTransport, Transport, WireConn};
 
 /// Which transport carries attribute-space traffic in this world.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,8 +49,53 @@ pub enum TransportMode {
     /// In-memory simulated fabric (default).
     Netsim,
     /// Real loopback TCP sockets; netsim keeps the topology/firewall
-    /// bookkeeping.
+    /// bookkeeping. Two OS threads per connection.
     Tcp,
+    /// Real loopback TCP sockets multiplexed onto a shared epoll
+    /// reactor; netsim keeps the topology/firewall bookkeeping. Thread
+    /// count stays O(worker pool), not O(connections).
+    Epoll,
+}
+
+/// The transport actually carrying attribute-space bytes. The two
+/// socket-backed variants share all of the world's plumbing (logical →
+/// real address map, firewall pre-check, relay proxy); they differ only
+/// in how a raw stream is driven.
+enum WireBackend {
+    Netsim,
+    Tcp(TcpTransport),
+    Epoll(EpollTransport),
+}
+
+impl WireBackend {
+    fn mode(&self) -> TransportMode {
+        match self {
+            WireBackend::Netsim => TransportMode::Netsim,
+            WireBackend::Tcp(_) => TransportMode::Tcp,
+            WireBackend::Epoll(_) => TransportMode::Epoll,
+        }
+    }
+
+    /// The socket-backed transport, when this is not the netsim mode.
+    fn socket(&self) -> Option<&dyn Transport> {
+        match self {
+            WireBackend::Netsim => None,
+            WireBackend::Tcp(t) => Some(t),
+            WireBackend::Epoll(t) => Some(t),
+        }
+    }
+
+    /// Socket-mode dial through the byte-relay proxy (`CONNECT`
+    /// exchange, then the backend's own `Hello`).
+    fn connect_via(&self, proxy: SocketAddr, target: Addr, from: HostId) -> TdpResult<WireConn> {
+        match self {
+            WireBackend::Netsim => Err(TdpError::Substrate(
+                "netsim mode has no socket proxy".into(),
+            )),
+            WireBackend::Tcp(t) => tdp_wire::tcp_connect_via(proxy, target, from, t.config()),
+            WireBackend::Epoll(t) => t.connect_via(proxy, target, from),
+        }
+    }
 }
 
 /// A live relay proxy, either backend (held so shutdown is tied to the
@@ -59,9 +109,8 @@ struct WorldInner {
     os: Os,
     net: Network,
     trace: Trace,
-    mode: TransportMode,
-    tcp: TcpTransport,
-    /// Virtual (logical) address → real bound socket, TCP mode only.
+    wire: WireBackend,
+    /// Virtual (logical) address → real bound socket, socket modes only.
     tcp_addrs: Arc<Mutex<HashMap<Addr, SocketAddr>>>,
     lass: Mutex<HashMap<HostId, AttrSpaceServer>>,
     cass: Mutex<Option<AttrSpaceServer>>,
@@ -85,9 +134,16 @@ impl World {
         World::with_config(OsConfig::default())
     }
 
-    /// A world whose attribute-space traffic rides real loopback TCP.
+    /// A world whose attribute-space traffic rides real loopback TCP
+    /// (two OS threads per connection).
     pub fn new_tcp() -> World {
         World::with_mode(OsConfig::default(), TransportMode::Tcp)
+    }
+
+    /// A world whose attribute-space traffic rides real loopback TCP
+    /// multiplexed onto a shared epoll reactor (bounded thread count).
+    pub fn new_epoll() -> World {
+        World::with_mode(OsConfig::default(), TransportMode::Epoll)
     }
 
     pub fn with_config(cfg: OsConfig) -> World {
@@ -95,13 +151,21 @@ impl World {
     }
 
     pub fn with_mode(cfg: OsConfig, mode: TransportMode) -> World {
+        let wire = match mode {
+            TransportMode::Netsim => WireBackend::Netsim,
+            TransportMode::Tcp => WireBackend::Tcp(TcpTransport::new()),
+            // Reactor startup only fails on fd/thread exhaustion, at
+            // which point this process is not running a world anyway.
+            TransportMode::Epoll => {
+                WireBackend::Epoll(EpollTransport::new().expect("start epoll reactor"))
+            }
+        };
         World {
             inner: Arc::new(WorldInner {
                 os: Os::with_config(cfg),
                 net: Network::new(),
                 trace: Trace::new(),
-                mode,
-                tcp: TcpTransport::new(),
+                wire,
                 tcp_addrs: Arc::new(Mutex::new(HashMap::new())),
                 lass: Mutex::new(HashMap::new()),
                 cass: Mutex::new(None),
@@ -127,7 +191,7 @@ impl World {
 
     /// Which transport this world's attribute-space traffic uses.
     pub fn transport_mode(&self) -> TransportMode {
-        self.inner.mode
+        self.inner.wire.mode()
     }
 
     /// Add a host on the public network.
@@ -153,40 +217,36 @@ impl World {
         port: u16,
         kind: ServerKind,
     ) -> TdpResult<AttrSpaceServer> {
-        match self.inner.mode {
-            TransportMode::Netsim => AttrSpaceServer::spawn(&self.inner.net, host, port, kind),
-            TransportMode::Tcp => {
-                // The host must exist on the topology even though the
-                // bytes flow elsewhere.
-                if !self.inner.net.host_alive(host) {
-                    return Err(TdpError::NoSuchHost(host));
-                }
-                let vaddr = Addr::new(host, port);
-                let listener = self.inner.tcp.listen(host, port)?;
-                let real = listener
-                    .local_endpoint()
-                    .as_tcp()
-                    .expect("tcp transport binds tcp endpoints");
-                let server = AttrSpaceServer::spawn_wire(listener, kind, vaddr)?;
-                self.inner.tcp_addrs.lock().insert(vaddr, real);
-                Ok(server)
-            }
+        let Some(transport) = self.inner.wire.socket() else {
+            return AttrSpaceServer::spawn(&self.inner.net, host, port, kind);
+        };
+        // The host must exist on the topology even though the bytes
+        // flow elsewhere.
+        if !self.inner.net.host_alive(host) {
+            return Err(TdpError::NoSuchHost(host));
         }
+        let vaddr = Addr::new(host, port);
+        let listener = transport.listen(host, port)?;
+        let real = listener
+            .local_endpoint()
+            .as_tcp()
+            .expect("socket transports bind tcp endpoints");
+        let server = AttrSpaceServer::spawn_wire(listener, kind, vaddr)?;
+        self.inner.tcp_addrs.lock().insert(vaddr, real);
+        Ok(server)
     }
 
     /// Open an attribute-space client from logical host `from` to the
     /// logical `server` address, over this world's transport. Firewall
     /// rules apply in both modes.
     pub fn attr_connect(&self, from: HostId, server: Addr) -> TdpResult<AttrClient> {
-        match self.inner.mode {
-            TransportMode::Netsim => AttrClient::connect(&self.inner.net, from, server),
-            TransportMode::Tcp => {
-                self.inner.net.route_permitted(from, server)?;
-                let real = self.resolve_tcp(server)?;
-                let conn = self.inner.tcp.connect(from, &real.into())?;
-                Ok(AttrClient::over_wire(conn))
-            }
-        }
+        let Some(transport) = self.inner.wire.socket() else {
+            return AttrClient::connect(&self.inner.net, from, server);
+        };
+        self.inner.net.route_permitted(from, server)?;
+        let real = self.resolve_tcp(server)?;
+        let conn = transport.connect(from, &real.into())?;
+        Ok(AttrClient::over_wire(conn))
     }
 
     /// Open an attribute-space client to `server` through the relay
@@ -197,18 +257,13 @@ impl World {
         proxy: Addr,
         server: Addr,
     ) -> TdpResult<AttrClient> {
-        match self.inner.mode {
-            TransportMode::Netsim => {
-                AttrClient::connect_via_proxy(&self.inner.net, from, proxy, server)
-            }
-            TransportMode::Tcp => {
-                self.inner.net.route_permitted(from, proxy)?;
-                let real_proxy = self.resolve_tcp(proxy)?;
-                let conn =
-                    tdp_wire::tcp_connect_via(real_proxy, server, from, self.inner.tcp.config())?;
-                Ok(AttrClient::over_wire(conn))
-            }
+        if self.inner.wire.socket().is_none() {
+            return AttrClient::connect_via_proxy(&self.inner.net, from, proxy, server);
         }
+        self.inner.net.route_permitted(from, proxy)?;
+        let real_proxy = self.resolve_tcp(proxy)?;
+        let conn = self.inner.wire.connect_via(real_proxy, server, from)?;
+        Ok(AttrClient::over_wire(conn))
     }
 
     /// Start a relay proxy on `(host, port)` over this world's
@@ -216,38 +271,37 @@ impl World {
     /// topology's firewall rules from its own host's point of view, in
     /// both modes.
     pub fn spawn_proxy(&self, host: HostId, port: u16) -> TdpResult<Addr> {
-        match self.inner.mode {
-            TransportMode::Netsim => {
-                let p = tdp_netsim::proxy::spawn(&self.inner.net, host, port)?;
-                let addr = p.addr();
-                self.inner.proxies.lock().push(ProxyHandle::Sim(p));
-                Ok(addr)
-            }
-            TransportMode::Tcp => {
-                if !self.inner.net.host_alive(host) {
-                    return Err(TdpError::NoSuchHost(host));
-                }
-                let net = self.inner.net.clone();
-                let map = self.inner.tcp_addrs.clone();
-                let resolver: ProxyResolver = Arc::new(move |target: Addr| {
-                    // The relay dials outward from its own host, so its
-                    // host's routes — not the original client's — decide.
-                    net.route_permitted(host, target)?;
-                    map.lock()
-                        .get(&target)
-                        .copied()
-                        .ok_or(TdpError::ConnectionRefused(target))
-                });
-                let p = tdp_wire::tcp::spawn_proxy(resolver)?;
-                let vaddr = Addr::new(host, port);
-                self.inner.tcp_addrs.lock().insert(vaddr, p.local_addr());
-                self.inner.proxies.lock().push(ProxyHandle::Tcp(p));
-                Ok(vaddr)
-            }
+        if self.inner.wire.socket().is_none() {
+            let p = tdp_netsim::proxy::spawn(&self.inner.net, host, port)?;
+            let addr = p.addr();
+            self.inner.proxies.lock().push(ProxyHandle::Sim(p));
+            return Ok(addr);
         }
+        // Both socket modes share the byte-relay proxy: it never frames
+        // messages, so which backend drives the endpoints is irrelevant.
+        if !self.inner.net.host_alive(host) {
+            return Err(TdpError::NoSuchHost(host));
+        }
+        let net = self.inner.net.clone();
+        let map = self.inner.tcp_addrs.clone();
+        let resolver: ProxyResolver = Arc::new(move |target: Addr| {
+            // The relay dials outward from its own host, so its host's
+            // routes — not the original client's — decide.
+            net.route_permitted(host, target)?;
+            map.lock()
+                .get(&target)
+                .copied()
+                .ok_or(TdpError::ConnectionRefused(target))
+        });
+        let p = tdp_wire::tcp::spawn_proxy(resolver)?;
+        let vaddr = Addr::new(host, port);
+        self.inner.tcp_addrs.lock().insert(vaddr, p.local_addr());
+        self.inner.proxies.lock().push(ProxyHandle::Tcp(p));
+        Ok(vaddr)
     }
 
-    /// Resolve a virtual address to the real bound socket (TCP mode).
+    /// Resolve a virtual address to the real bound socket (socket
+    /// modes).
     fn resolve_tcp(&self, addr: Addr) -> TdpResult<SocketAddr> {
         self.inner
             .tcp_addrs
@@ -364,6 +418,20 @@ mod tests {
         // The virtual address resolves to a real loopback socket.
         assert!(w.resolve_tcp(a).unwrap().ip().is_loopback());
         // Connecting through the logical address works end to end.
+        let mut c = w.attr_connect(h, a).unwrap();
+        c.join(tdp_proto::ContextId(7)).unwrap();
+        c.put(tdp_proto::ContextId(7), "k", "v").unwrap();
+        assert_eq!(c.get(tdp_proto::ContextId(7), "k").unwrap(), "v");
+    }
+
+    #[test]
+    fn epoll_world_uses_virtual_addrs() {
+        let w = World::new_epoll();
+        assert_eq!(w.transport_mode(), TransportMode::Epoll);
+        let h = w.add_host();
+        let a = w.ensure_lass(h).unwrap();
+        assert_eq!(a, Addr::new(h, LASS_PORT), "logical address is stable");
+        assert!(w.resolve_tcp(a).unwrap().ip().is_loopback());
         let mut c = w.attr_connect(h, a).unwrap();
         c.join(tdp_proto::ContextId(7)).unwrap();
         c.put(tdp_proto::ContextId(7), "k", "v").unwrap();

@@ -1,0 +1,462 @@
+//! Reactor backend: framed [`Message`] transport over loopback TCP,
+//! driven by a Linux `epoll` event loop instead of per-connection
+//! threads.
+//!
+//! The TCP backend ([`crate::tcp`]) spends two OS threads per
+//! connection — the blocking reader (the caller parked in `read`) plus
+//! the coalescing writer thread — which caps how many attribute-space
+//! sessions one process can hold long before the NIC is busy. This
+//! backend keeps the exact same observable contract (`Hello` handshake,
+//! streaming [`FrameDecoder`] reassembly, bounded-queue backpressure,
+//! fail-fast close, byte-relay proxy interop) but serves *all*
+//! connections from one reactor thread plus a small worker pool — see
+//! [`crate::reactor`] for the readiness model. Receivers park on a
+//! condvar fed by the reactor rather than in a socket read, so a
+//! process can hold thousands of sessions with a fixed thread budget.
+//!
+//! Listeners keep one blocking accept thread each (accept rates are
+//! tiny and a serial handshake keeps establishment ordered — the same
+//! trade the TCP backend makes); only per-connection threads are gone.
+
+use crate::reactor::{ConnState, ConnTuning, Reactor};
+use crate::tcp::{dial_via_proxy, read_hello, spawn_real_listener};
+use crate::{Endpoint, RxApi, Transport, TxApi, WireConn, WireListener, WireRx, WireTx};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tdp_proto::{encode_frame, Addr, FrameDecoder, HostId, Message, TdpError, TdpResult};
+
+/// Tunables for the epoll backend.
+#[derive(Debug, Clone)]
+pub struct EpollConfig {
+    /// Pool threads draining readiness waves (the reactor thread itself
+    /// handles lone events — the latency path). The whole transport
+    /// runs on `1 + workers` IO threads regardless of connection count.
+    pub workers: usize,
+    /// Default bound on a blocking `recv_msg` (`None` = wait forever).
+    pub read_timeout: Option<Duration>,
+    /// How long a backpressured `send_msg` may wait on a peer that has
+    /// stopped draining before the connection is killed.
+    pub write_timeout: Duration,
+    /// Dial timeout.
+    pub connect_timeout: Duration,
+    /// How long the accept side waits for the `Hello` frame.
+    pub handshake_timeout: Duration,
+    /// Inbound bound: decoded messages held per connection before
+    /// `EPOLLIN` is paused and TCP flow control pushes back on the peer.
+    pub inbox_messages: usize,
+    /// Outbound bound, in bytes. A full outbox blocks `send_msg`
+    /// (backpressure).
+    pub outbox_bytes: usize,
+}
+
+impl Default for EpollConfig {
+    fn default() -> EpollConfig {
+        EpollConfig {
+            workers: 2,
+            read_timeout: None,
+            write_timeout: Duration::from_secs(5),
+            connect_timeout: Duration::from_secs(2),
+            handshake_timeout: Duration::from_secs(2),
+            inbox_messages: 1024,
+            outbox_bytes: 256 * 1024,
+        }
+    }
+}
+
+struct EpollShared {
+    cfg: EpollConfig,
+    reactor: Arc<Reactor>,
+}
+
+impl Drop for EpollShared {
+    fn drop(&mut self) {
+        self.reactor.shutdown();
+    }
+}
+
+/// Transport over real loopback TCP sockets, multiplexed onto one
+/// epoll reactor. Cheap to clone; all clones share the reactor. Keep
+/// the transport alive while its connections are in use — connections
+/// outliving it stop receiving readiness service.
+#[derive(Clone)]
+pub struct EpollTransport {
+    shared: Arc<EpollShared>,
+}
+
+impl EpollTransport {
+    pub fn new() -> TdpResult<EpollTransport> {
+        EpollTransport::with_config(EpollConfig::default())
+    }
+
+    pub fn with_config(cfg: EpollConfig) -> TdpResult<EpollTransport> {
+        let reactor = Reactor::start(cfg.workers)?;
+        Ok(EpollTransport {
+            shared: Arc::new(EpollShared { cfg, reactor }),
+        })
+    }
+
+    pub fn config(&self) -> &EpollConfig {
+        &self.shared.cfg
+    }
+
+    fn tuning(&self) -> ConnTuning {
+        let cfg = &self.shared.cfg;
+        ConnTuning {
+            inbox_messages: cfg.inbox_messages.max(1),
+            outbox_bytes: cfg.outbox_bytes.max(1),
+            write_stall: cfg.write_timeout,
+            read_timeout: cfg.read_timeout,
+        }
+    }
+
+    /// Adopt an established, handshake-complete stream: register it
+    /// with the reactor and wrap it as a [`WireConn`]. `leftover` holds
+    /// bytes the handshake over-read past its frame.
+    fn adopt(
+        &self,
+        stream: TcpStream,
+        peer_host: Option<HostId>,
+        leftover: FrameDecoder,
+    ) -> TdpResult<WireConn> {
+        let sub = |e: std::io::Error| TdpError::Substrate(format!("epoll setup: {e}"));
+        stream.set_nodelay(true).map_err(sub)?;
+        let local = Endpoint::Tcp(stream.local_addr().map_err(sub)?);
+        let peer = Endpoint::Tcp(stream.peer_addr().map_err(sub)?);
+        let conn = self
+            .shared
+            .reactor
+            .register(stream, leftover, self.tuning())?;
+        Ok(WireConn::from_parts(
+            WireTx::new(Arc::new(EpollTx { conn: conn.clone() })),
+            WireRx::new(Box::new(EpollRx { conn })),
+            local,
+            peer,
+            peer_host,
+        ))
+    }
+
+    /// Finish the client side on an established stream: introduce
+    /// ourselves with `Hello` (still blocking — the socket goes
+    /// non-blocking when it joins the reactor), then adopt.
+    fn client_over(&self, stream: TcpStream, from: HostId) -> TdpResult<WireConn> {
+        stream
+            .set_write_timeout(Some(self.shared.cfg.write_timeout))
+            .map_err(|e| TdpError::Substrate(format!("epoll set timeout: {e}")))?;
+        use std::io::Write;
+        (&stream)
+            .write_all(&encode_frame(&Message::Hello { host: from }))
+            .map_err(|_| TdpError::Disconnected)?;
+        self.adopt(stream, None, FrameDecoder::new())
+    }
+
+    /// Open a reactor-managed [`WireConn`] to the logical `target`
+    /// through the byte-relay proxy at `proxy` (the §2.4 crossing —
+    /// same `CONNECT` protocol as [`crate::tcp_connect_via`]).
+    pub fn connect_via(
+        &self,
+        proxy: SocketAddr,
+        target: Addr,
+        from: HostId,
+    ) -> TdpResult<WireConn> {
+        let stream = dial_via_proxy(proxy, target, self.shared.cfg.connect_timeout)?;
+        self.client_over(stream, from)
+    }
+}
+
+impl Transport for EpollTransport {
+    /// Bind a loopback listener. Like the TCP backend, the logical
+    /// `port` is ignored — real ports are ephemeral and callers map
+    /// logical to real addresses.
+    fn listen(&self, _host: HostId, _port: u16) -> TdpResult<WireListener> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))
+            .map_err(|e| TdpError::Substrate(format!("epoll bind: {e}")))?;
+        let t = self.clone();
+        let handshake_timeout = self.shared.cfg.handshake_timeout;
+        spawn_real_listener(listener, "wire-epoll-accept", move |stream| {
+            let (host, leftover) = read_hello(&stream, handshake_timeout)?;
+            t.adopt(stream, Some(host), leftover)
+        })
+    }
+
+    fn connect(&self, from: HostId, to: &Endpoint) -> TdpResult<WireConn> {
+        let sa = to
+            .as_tcp()
+            .ok_or_else(|| TdpError::Substrate(format!("epoll transport cannot dial {to}")))?;
+        let stream = TcpStream::connect_timeout(&sa, self.shared.cfg.connect_timeout)
+            .map_err(|e| TdpError::Substrate(format!("epoll connect {sa}: {e}")))?;
+        self.client_over(stream, from)
+    }
+}
+
+// --------------------------------------------------------- API adapters
+
+struct EpollTx {
+    conn: Arc<ConnState>,
+}
+
+impl TxApi for EpollTx {
+    fn send_msg(&self, msg: &Message) -> TdpResult<()> {
+        self.conn.send(encode_frame(msg))
+    }
+
+    fn close(&self) {
+        self.conn.close();
+    }
+}
+
+impl Drop for EpollTx {
+    fn drop(&mut self) {
+        self.conn.handle_dropped();
+    }
+}
+
+struct EpollRx {
+    conn: Arc<ConnState>,
+}
+
+impl RxApi for EpollRx {
+    fn recv_msg_deadline(&mut self, deadline: Option<Instant>) -> TdpResult<Message> {
+        self.conn.recv(deadline)
+    }
+
+    fn try_recv_msg(&mut self) -> TdpResult<Option<Message>> {
+        self.conn.try_recv()
+    }
+}
+
+impl Drop for EpollRx {
+    fn drop(&mut self) {
+        self.conn.handle_dropped();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp::{spawn_proxy, ProxyResolver};
+    use crate::wire_thread_count;
+    use tdp_proto::ContextId;
+
+    fn transport() -> EpollTransport {
+        EpollTransport::new().unwrap()
+    }
+
+    fn pair(t: &EpollTransport) -> (WireConn, WireConn) {
+        let lis = t.listen(HostId(1), 0).unwrap();
+        let client = t.connect(HostId(0), &lis.local_endpoint()).unwrap();
+        let server = lis.accept().unwrap();
+        lis.close();
+        (client, server)
+    }
+
+    #[test]
+    fn hello_establishes_peer_host() {
+        let t = transport();
+        let (_client, server) = pair(&t);
+        assert_eq!(server.peer_host(), Some(HostId(0)));
+    }
+
+    #[test]
+    fn roundtrip_both_directions() {
+        let t = transport();
+        let (mut client, mut server) = pair(&t);
+        let m1 = Message::Join { ctx: ContextId(1) };
+        let m2 = Message::Reply(tdp_proto::Reply::Ok);
+        client.send_msg(&m1).unwrap();
+        assert_eq!(server.recv_msg().unwrap(), m1);
+        server.send_msg(&m2).unwrap();
+        assert_eq!(client.recv_msg().unwrap(), m2);
+    }
+
+    #[test]
+    fn many_messages_survive_streaming() {
+        let t = transport();
+        let (client, mut server) = pair(&t);
+        for i in 0..500u64 {
+            client
+                .send_msg(&Message::Put {
+                    ctx: ContextId(i),
+                    key: format!("k{i}"),
+                    value: "v".repeat((i % 97) as usize),
+                })
+                .unwrap();
+        }
+        for i in 0..500u64 {
+            match server.recv_msg().unwrap() {
+                Message::Put { ctx, key, .. } => {
+                    assert_eq!(ctx, ContextId(i));
+                    assert_eq!(key, format!("k{i}"));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn recv_timeout_fires() {
+        let t = transport();
+        let (_client, mut server) = pair(&t);
+        let t0 = Instant::now();
+        assert_eq!(
+            server.recv_msg_timeout(Duration::from_millis(50)),
+            Err(TdpError::Timeout)
+        );
+        assert!(t0.elapsed() >= Duration::from_millis(40));
+    }
+
+    #[test]
+    fn try_recv_msg_nonblocking() {
+        let t = transport();
+        let (client, mut server) = pair(&t);
+        assert_eq!(server.try_recv_msg().unwrap(), None);
+        let msg = Message::Leave { ctx: ContextId(5) };
+        client.send_msg(&msg).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            match server.try_recv_msg().unwrap() {
+                Some(m) => {
+                    assert_eq!(m, msg);
+                    break;
+                }
+                None if Instant::now() < deadline => {
+                    std::thread::park_timeout(Duration::from_millis(1))
+                }
+                None => panic!("message never arrived"),
+            }
+        }
+        client.send_msg(&msg).unwrap();
+        assert_eq!(server.recv_msg().unwrap(), msg);
+    }
+
+    #[test]
+    fn close_fails_fast_and_peer_sees_eof() {
+        let t = transport();
+        let (mut client, mut server) = pair(&t);
+        let m = Message::Join { ctx: ContextId(1) };
+        client.send_msg(&m).unwrap();
+        client.close();
+        assert_eq!(client.send_msg(&m), Err(TdpError::Disconnected));
+        // Queued frame flushed before EOF.
+        assert_eq!(server.recv_msg().unwrap(), m);
+        assert_eq!(
+            server.recv_msg_timeout(Duration::from_secs(2)),
+            Err(TdpError::Disconnected)
+        );
+        // The closing side's reader wakes too.
+        assert!(client.recv_msg_timeout(Duration::from_secs(2)).is_err());
+    }
+
+    #[test]
+    fn drop_releases_connection() {
+        let t = transport();
+        let (client, mut server) = pair(&t);
+        drop(client);
+        assert_eq!(
+            server.recv_msg_timeout(Duration::from_secs(2)),
+            Err(TdpError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn listener_close_unblocks_accept() {
+        let t = transport();
+        let lis = t.listen(HostId(0), 0).unwrap();
+        let l2 = lis.clone();
+        let (ready_tx, ready_rx) = crossbeam::channel::bounded::<()>(1);
+        let th = std::thread::spawn(move || {
+            let _ = ready_tx.send(());
+            l2.accept()
+        });
+        ready_rx.recv().unwrap();
+        lis.close();
+        assert!(th.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn proxy_relays_with_reactor_endpoints() {
+        let t = transport();
+        let lis = t.listen(HostId(9), 0).unwrap();
+        let real = lis.local_endpoint().as_tcp().unwrap();
+        let allowed = Addr::new(HostId(9), 7777);
+        let resolver: ProxyResolver = Arc::new(move |a: Addr| {
+            if a == allowed {
+                Ok(real)
+            } else {
+                Err(TdpError::BlockedByFirewall {
+                    from: HostId(0),
+                    to: a,
+                })
+            }
+        });
+        let proxy = spawn_proxy(resolver).unwrap();
+        let client = t
+            .connect_via(proxy.local_addr(), allowed, HostId(3))
+            .unwrap();
+        let mut server = lis.accept().unwrap();
+        assert_eq!(server.peer_host(), Some(HostId(3)));
+        let m = Message::Join { ctx: ContextId(4) };
+        client.send_msg(&m).unwrap();
+        assert_eq!(server.recv_msg().unwrap(), m);
+        let err = t
+            .connect_via(proxy.local_addr(), Addr::new(HostId(1), 1), HostId(3))
+            .unwrap_err();
+        assert!(matches!(err, TdpError::Substrate(_)), "{err}");
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn fifty_connections_share_the_thread_budget() {
+        let t = transport();
+        let lis = t.listen(HostId(1), 0).unwrap();
+        let ep = lis.local_endpoint();
+        let mut conns = Vec::new();
+        for i in 0..50u64 {
+            let client = t.connect(HostId(0), &ep).unwrap();
+            let mut server = lis.accept().unwrap();
+            let m = Message::Join { ctx: ContextId(i) };
+            client.send_msg(&m).unwrap();
+            assert_eq!(server.recv_msg().unwrap(), m);
+            conns.push((client, server));
+        }
+        // Reactor + workers + one accept thread — not 2 × 50.
+        let wire_threads = wire_thread_count();
+        assert!(
+            wire_threads <= 8,
+            "expected a bounded wire thread pool, found {wire_threads}"
+        );
+        // Every connection still works after the census.
+        for (i, (client, server)) in conns.iter_mut().enumerate() {
+            let m = Message::Leave {
+                ctx: ContextId(i as u64),
+            };
+            client.send_msg(&m).unwrap();
+            assert_eq!(server.recv_msg().unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn backpressure_bounds_the_outbox() {
+        // A tiny outbox against a reader that never drains: send_msg
+        // must block (bounded memory) and then fail fast once the stall
+        // exceeds the write budget — not wedge forever.
+        let t = EpollTransport::with_config(EpollConfig {
+            outbox_bytes: 4 * 1024,
+            write_timeout: Duration::from_millis(200),
+            ..EpollConfig::default()
+        })
+        .unwrap();
+        let lis = t.listen(HostId(1), 0).unwrap();
+        let client = t.connect(HostId(0), &lis.local_endpoint()).unwrap();
+        let _server = lis.accept().unwrap();
+        let big = Message::Put {
+            ctx: ContextId(1),
+            key: "k".into(),
+            value: "x".repeat(8 * 1024),
+        };
+        // Fill the socket buffer plus the outbox; eventually the stall
+        // trips and the connection dies instead of hanging.
+        let r = (0..10_000).try_for_each(|_| client.send_msg(&big));
+        assert_eq!(r, Err(TdpError::Disconnected));
+    }
+}

@@ -4,7 +4,7 @@
 //! servers and clients, `tdp-core`'s `TdpHandle`) exchanges framed
 //! [`Message`]s over an abstract connection. This crate defines that
 //! abstraction — [`WireConn`] / [`WireTx`] / [`WireRx`] /
-//! [`WireListener`], produced by a [`Transport`] — and ships two
+//! [`WireListener`], produced by a [`Transport`] — and ships three
 //! backends:
 //!
 //! * [`sim`] — an adapter over `tdp-netsim`'s in-memory fabric, keeping
@@ -13,16 +13,24 @@
 //!   incremental streaming decoder ([`tdp_proto::FrameDecoder`]),
 //!   per-connection write coalescing behind a bounded outbound queue
 //!   (backpressure), configurable read/write timeouts, and fail-fast
-//!   close semantics matching netsim's.
+//!   close semantics matching netsim's;
+//! * [`epoll`] — the same loopback sockets multiplexed onto a single
+//!   `epoll` reactor thread plus a small worker pool (see [`reactor`]),
+//!   so thread count stays O(pool size) instead of O(connections).
 //!
-//! The two backends are observably equivalent to the layers above: the
-//! same scenario driven over either produces the same TDP call trace.
+//! The backends are observably equivalent to the layers above: the
+//! same scenario driven over any of them produces the same TDP call
+//! trace.
 
 pub mod endpoint;
+pub mod epoll;
+pub(crate) mod reactor;
 pub mod sim;
+pub mod sys;
 pub mod tcp;
 
 pub use endpoint::Endpoint;
+pub use epoll::{EpollConfig, EpollTransport};
 pub use sim::SimTransport;
 pub use tcp::{tcp_connect_via, TcpConfig, TcpProxy, TcpTransport};
 
@@ -226,4 +234,26 @@ pub trait Transport: Send + Sync {
 
 pub(crate) fn protocol_err(e: tdp_proto::FrameError) -> TdpError {
     TdpError::Protocol(e.to_string())
+}
+
+/// Names of this process's live wire-layer OS threads (reactor,
+/// workers, TCP writers, accept threads, proxies — every thread this
+/// crate spawns is named `wire-…`). Linux-only by way of `/proc`; used
+/// by the scaling soak tests and the B8 bench to demonstrate that the
+/// epoll backend holds thread count at O(pool size) rather than
+/// O(connections). Note `/proc` truncates names to 15 bytes.
+pub fn wire_threads() -> Vec<String> {
+    let Ok(tasks) = std::fs::read_dir("/proc/self/task") else {
+        return Vec::new();
+    };
+    tasks
+        .filter_map(|t| std::fs::read_to_string(t.ok()?.path().join("comm")).ok())
+        .map(|comm| comm.trim_end().to_string())
+        .filter(|comm| comm.starts_with("wire-"))
+        .collect()
+}
+
+/// Count of live wire-layer OS threads — see [`wire_threads`].
+pub fn wire_thread_count() -> usize {
+    wire_threads().len()
 }

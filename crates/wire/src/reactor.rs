@@ -1,0 +1,584 @@
+//! The event loop behind the epoll backend: one reactor thread owning
+//! an epoll set, a small worker pool, and the per-connection state
+//! machine ([`ConnState`]) that turns readiness into framed messages.
+//!
+//! # Readiness model
+//!
+//! Every connection is a non-blocking socket registered `EPOLLONESHOT`:
+//! the kernel reports it at most once, a worker (or the reactor itself,
+//! for a single-event wake — the latency path) drains it under the
+//! connection's lock, and the registration is rearmed with the interest
+//! set the state machine currently wants:
+//!
+//! * `EPOLLIN` while the decoded-message inbox is below its bound —
+//!   above it, reads pause and TCP's window does the backpressure;
+//! * `EPOLLOUT` only while the bounded outbox holds bytes a previous
+//!   write could not push (`EWOULDBLOCK`) — senders write inline on the
+//!   fast path and only fall back to reactor-driven draining when the
+//!   socket buffer fills.
+//!
+//! Because both the IO and the rearm happen under the per-connection
+//! mutex, a duplicate readiness report (send racing a worker) is
+//! harmless — the second drain finds nothing to do.
+//!
+//! An [`EventFd`] registered level-triggered at token 0 kicks
+//! `epoll_wait` for shutdown; `epoll_ctl` changes need no kick, the
+//! kernel applies them to an in-progress wait.
+//!
+//! # Thread budget
+//!
+//! One reactor thread plus [`workers`](crate::EpollConfig::workers)
+//! pool threads serve *every* connection of the transport — O(pool),
+//! not O(connections), which is the point (ROADMAP's async-backend
+//! item).
+
+use crate::protocol_err;
+use crate::sys::{
+    Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLONESHOT, EPOLLOUT, EPOLLRDHUP,
+};
+use bytes::Bytes;
+use crossbeam::channel;
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread;
+use std::time::{Duration, Instant};
+use tdp_proto::{FrameDecoder, Message, TdpError, TdpResult};
+
+/// Per-connection tunables, derived from [`crate::EpollConfig`].
+#[derive(Debug, Clone)]
+pub(crate) struct ConnTuning {
+    /// Pause `EPOLLIN` while this many decoded messages are undelivered.
+    pub inbox_messages: usize,
+    /// `send_msg` blocks (backpressure) while the outbox holds this many
+    /// bytes.
+    pub outbox_bytes: usize,
+    /// How long a backpressured `send_msg` waits before declaring the
+    /// peer wedged and killing the connection (the TCP backend's
+    /// `write_timeout` analogue).
+    pub write_stall: Duration,
+    /// Default bound on a blocking `recv` (`None` = wait forever).
+    pub read_timeout: Option<Duration>,
+}
+
+// -------------------------------------------------------------- reactor
+
+pub(crate) struct Reactor {
+    ep: Epoll,
+    wake: EventFd,
+    conns: Mutex<HashMap<u64, Arc<ConnState>>>,
+    next_token: AtomicU64,
+    stop: AtomicBool,
+    threads: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+const WAKE_TOKEN: u64 = 0;
+
+impl Reactor {
+    /// Spawn the reactor thread plus `workers` pool threads.
+    pub fn start(workers: usize) -> TdpResult<Arc<Reactor>> {
+        let sub = |e: std::io::Error| TdpError::Substrate(format!("epoll reactor: {e}"));
+        let ep = Epoll::new().map_err(sub)?;
+        let wake = EventFd::new().map_err(sub)?;
+        ep.add(wake.fd(), EPOLLIN, WAKE_TOKEN).map_err(sub)?;
+        let reactor = Arc::new(Reactor {
+            ep,
+            wake,
+            conns: Mutex::new(HashMap::new()),
+            next_token: AtomicU64::new(1),
+            stop: AtomicBool::new(false),
+            threads: Mutex::new(Vec::new()),
+        });
+        let spawn_err = |e: std::io::Error| TdpError::Substrate(format!("spawn wire thread: {e}"));
+
+        // The reactor thread owns the only job `Sender`: when it exits,
+        // the workers' `recv` disconnects and they exit too.
+        let (jobs_tx, jobs_rx) = channel::unbounded::<(u64, u32)>();
+        let mut threads = reactor.threads.lock();
+        for i in 0..workers.max(1) {
+            let rx = jobs_rx.clone();
+            let r = reactor.clone();
+            threads.push(
+                thread::Builder::new()
+                    .name(format!("wire-epoll-{i}"))
+                    .spawn(move || {
+                        while let Ok((token, revents)) = rx.recv() {
+                            if let Some(conn) = r.lookup(token) {
+                                conn.handle_event(revents);
+                            }
+                        }
+                    })
+                    .map_err(spawn_err)?,
+            );
+        }
+        let r = reactor.clone();
+        threads.push(
+            thread::Builder::new()
+                .name("wire-reactor".into())
+                .spawn(move || r.run(jobs_tx))
+                .map_err(spawn_err)?,
+        );
+        drop(threads);
+        Ok(reactor)
+    }
+
+    fn run(&self, jobs: channel::Sender<(u64, u32)>) {
+        let mut buf = [EpollEvent {
+            events: 0,
+            token: 0,
+        }; 256];
+        // Loop until the epoll fd is torn down or shutdown is flagged.
+        while let Ok(ready) = self.ep.wait(&mut buf, -1) {
+            if self.stop.load(Ordering::Acquire) {
+                break;
+            }
+            // Copy out: `buf` is reused and (on x86-64) packed.
+            let events: Vec<(u64, u32)> = ready
+                .iter()
+                .map(|e| ({ e.token }, { e.events }))
+                .filter(|&(t, _)| t != WAKE_TOKEN)
+                .collect();
+            if events.len() < ready.len() {
+                self.wake.drain();
+            }
+            if let [(token, revents)] = events[..] {
+                // Latency path: a lone readiness report is handled on
+                // the reactor thread itself, skipping a dispatch hop.
+                if let Some(conn) = self.lookup(token) {
+                    conn.handle_event(revents);
+                }
+            } else {
+                // A wave: fan out so slow connections don't serialize.
+                for ev in events {
+                    if jobs.send(ev).is_err() {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn lookup(&self, token: u64) -> Option<Arc<ConnState>> {
+        self.conns.lock().get(&token).cloned()
+    }
+
+    /// Adopt an established, handshake-complete stream: make it
+    /// non-blocking, pump any bytes the handshake over-read, and start
+    /// watching it. Returns the shared connection state.
+    pub fn register(
+        self: &Arc<Reactor>,
+        stream: TcpStream,
+        leftover: FrameDecoder,
+        tuning: ConnTuning,
+    ) -> TdpResult<Arc<ConnState>> {
+        let sub = |e: std::io::Error| TdpError::Substrate(format!("epoll register: {e}"));
+        crate::sys::set_nonblocking(stream.as_raw_fd()).map_err(sub)?;
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        let conn = Arc::new(ConnState {
+            token,
+            stream,
+            reactor: Arc::downgrade(self),
+            tuning,
+            inner: Mutex::new(ConnInner {
+                dec: leftover,
+                inbox: VecDeque::new(),
+                rx_err: None,
+                read_open: true,
+                paused: false,
+                outbox: VecDeque::new(),
+                outbox_bytes: 0,
+                head_off: 0,
+                want_write: false,
+                flush_then_shutdown: false,
+                closed: false,
+            }),
+            rx_cv: Condvar::new(),
+            tx_cv: Condvar::new(),
+            handles: AtomicU64::new(2), // one Tx wrapper + one Rx wrapper
+        });
+        {
+            // Frames pipelined behind the handshake are already in the
+            // decoder; readiness will never re-report those bytes.
+            let mut inner = conn.inner.lock();
+            conn.pump_decoder(&mut inner);
+        }
+        self.conns.lock().insert(token, conn.clone());
+        if let Err(e) = self.ep.add(
+            conn.stream.as_raw_fd(),
+            EPOLLIN | EPOLLRDHUP | EPOLLONESHOT,
+            token,
+        ) {
+            self.conns.lock().remove(&token);
+            return Err(sub(e));
+        }
+        Ok(conn)
+    }
+
+    fn deregister(&self, token: u64, fd: i32) {
+        let _ = self.ep.delete(fd);
+        self.conns.lock().remove(&token);
+    }
+
+    /// Stop the loop and join every thread. Idempotent.
+    pub fn shutdown(&self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.wake.signal();
+        let handles: Vec<_> = self.threads.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+// ----------------------------------------------------- connection state
+
+/// Shared state of one reactor-managed connection. All socket IO and
+/// all interest changes happen under `inner`'s lock, so concurrent
+/// senders, the receiver, and pool workers serialize per connection
+/// while different connections proceed in parallel.
+pub(crate) struct ConnState {
+    token: u64,
+    stream: TcpStream,
+    reactor: Weak<Reactor>,
+    tuning: ConnTuning,
+    inner: Mutex<ConnInner>,
+    rx_cv: Condvar,
+    tx_cv: Condvar,
+    /// Live API handles (Tx + Rx wrappers); the last one out
+    /// deregisters and closes the socket.
+    handles: AtomicU64,
+}
+
+struct ConnInner {
+    // Receive side.
+    dec: FrameDecoder,
+    inbox: VecDeque<Message>,
+    /// Terminal receive condition, reported once the inbox drains.
+    rx_err: Option<TdpError>,
+    read_open: bool,
+    /// `EPOLLIN` withheld because the inbox is at its bound.
+    paused: bool,
+    // Send side.
+    outbox: VecDeque<Bytes>,
+    outbox_bytes: usize,
+    /// Partial-write offset into the front outbox frame.
+    head_off: usize,
+    /// `EPOLLOUT` armed: the reactor owes us a drain.
+    want_write: bool,
+    /// `close()` ran with frames still queued: half-close after flush.
+    flush_then_shutdown: bool,
+    /// Local close or fatal socket error: sends fail fast.
+    closed: bool,
+}
+
+impl ConnState {
+    // ---- interest -----------------------------------------------------
+
+    fn interest(inner: &ConnInner) -> u32 {
+        let mut mask = 0;
+        if inner.read_open && !inner.paused {
+            mask |= EPOLLIN | EPOLLRDHUP;
+        }
+        if inner.want_write {
+            mask |= EPOLLOUT;
+        }
+        mask
+    }
+
+    /// Rearm the (oneshot) registration to the current interest set.
+    fn rearm(&self, inner: &ConnInner) {
+        let mask = Self::interest(inner);
+        if mask == 0 {
+            return; // stay disarmed; a state change will rearm
+        }
+        if let Some(r) = self.reactor.upgrade() {
+            let _ =
+                r.ep.modify(self.stream.as_raw_fd(), mask | EPOLLONESHOT, self.token);
+        }
+    }
+
+    // ---- event handling (reactor / workers) ---------------------------
+
+    pub fn handle_event(&self, revents: u32) {
+        let mut inner = self.inner.lock();
+        if revents & (EPOLLIN | EPOLLRDHUP | EPOLLERR | EPOLLHUP) != 0 && inner.read_open {
+            self.drain_read(&mut inner);
+        }
+        if revents & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0
+            && (inner.want_write || inner.flush_then_shutdown)
+        {
+            self.drain_write(&mut inner);
+        }
+        self.rearm(&inner);
+    }
+
+    /// Read until `EWOULDBLOCK`, EOF, error, or the inbox bound.
+    fn drain_read(&self, inner: &mut ConnInner) {
+        let mut chunk = [0u8; 16 * 1024];
+        let mut delivered = false;
+        loop {
+            if inner.inbox.len() >= self.tuning.inbox_messages {
+                inner.paused = true; // consumer will unpause + rearm
+                break;
+            }
+            match (&self.stream).read(&mut chunk) {
+                Ok(0) => {
+                    inner.read_open = false;
+                    inner.rx_err.get_or_insert(TdpError::Disconnected);
+                    break;
+                }
+                Ok(n) => {
+                    inner.dec.feed(&chunk[..n]);
+                    if self.pump_decoder(inner) {
+                        delivered = true;
+                    }
+                    if !inner.read_open {
+                        break; // decoder hit a malformed frame
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // Hard socket error kills both directions.
+                    inner.read_open = false;
+                    inner.rx_err.get_or_insert(TdpError::Disconnected);
+                    inner.closed = true;
+                    self.tx_cv.notify_all();
+                    break;
+                }
+            }
+        }
+        if delivered || inner.rx_err.is_some() {
+            self.rx_cv.notify_all();
+        }
+    }
+
+    /// Move complete frames out of the decoder into the inbox. Returns
+    /// whether anything was delivered.
+    fn pump_decoder(&self, inner: &mut ConnInner) -> bool {
+        let mut delivered = false;
+        loop {
+            match inner.dec.next() {
+                Ok(Some(msg)) => {
+                    inner.inbox.push_back(msg);
+                    delivered = true;
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    inner.read_open = false;
+                    inner.rx_err.get_or_insert(protocol_err(e));
+                    break;
+                }
+            }
+        }
+        delivered
+    }
+
+    /// Write outbox frames until empty or `EWOULDBLOCK` (which arms
+    /// `EPOLLOUT` — interest re-registration — so the reactor resumes
+    /// the drain when the socket buffer empties).
+    fn drain_write(&self, inner: &mut ConnInner) {
+        while let Some(front) = inner.outbox.front() {
+            let from = inner.head_off;
+            match (&self.stream).write(&front[from..]) {
+                Ok(n) => {
+                    inner.outbox_bytes -= n;
+                    inner.head_off += n;
+                    if inner.head_off == front.len() {
+                        inner.outbox.pop_front();
+                        inner.head_off = 0;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    inner.want_write = true;
+                    return;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // Peer gone: fail fast, like the TCP writer thread.
+                    inner.closed = true;
+                    inner.want_write = false;
+                    inner.outbox.clear();
+                    inner.outbox_bytes = 0;
+                    inner.head_off = 0;
+                    let _ = self.stream.shutdown(Shutdown::Write);
+                    self.tx_cv.notify_all();
+                    return;
+                }
+            }
+        }
+        inner.want_write = false;
+        self.tx_cv.notify_all(); // backpressured senders may proceed
+        if inner.flush_then_shutdown {
+            inner.flush_then_shutdown = false;
+            let _ = self.stream.shutdown(Shutdown::Write);
+        }
+    }
+
+    // ---- send path ----------------------------------------------------
+
+    pub fn send(&self, frame: Bytes) -> TdpResult<()> {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return Err(TdpError::Disconnected);
+        }
+        // Backpressure: wait for outbox space (a lone oversized frame is
+        // admitted so progress is always possible). A peer that stops
+        // draining for `write_stall` kills the connection instead of
+        // wedging the sender — the TCP backend's write-timeout contract.
+        if inner.outbox_bytes + frame.len() > self.tuning.outbox_bytes && !inner.outbox.is_empty() {
+            let deadline = Instant::now() + self.tuning.write_stall;
+            while inner.outbox_bytes + frame.len() > self.tuning.outbox_bytes
+                && !inner.outbox.is_empty()
+                && !inner.closed
+            {
+                if self.tx_cv.wait_until(&mut inner, deadline).timed_out() {
+                    inner.closed = true;
+                    inner.read_open = false;
+                    inner.rx_err.get_or_insert(TdpError::Disconnected);
+                    let _ = self.stream.shutdown(Shutdown::Both);
+                    self.rx_cv.notify_all();
+                    self.tx_cv.notify_all();
+                    return Err(TdpError::Disconnected);
+                }
+            }
+            if inner.closed {
+                return Err(TdpError::Disconnected);
+            }
+        }
+        inner.outbox_bytes += frame.len();
+        inner.outbox.push_back(frame);
+        if !inner.want_write {
+            // Fast path: the socket was writable last we knew — drain
+            // inline, no reactor round trip. Falls back to EPOLLOUT on
+            // a partial write.
+            self.drain_write(&mut inner);
+            if inner.want_write {
+                self.rearm(&inner);
+            }
+        }
+        Ok(())
+    }
+
+    pub fn close(&self) {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return;
+        }
+        inner.closed = true;
+        // Local reads fail fast (after already-decoded frames drain),
+        // matching the TCP backend's immediate read-side shutdown.
+        inner.read_open = false;
+        inner.rx_err.get_or_insert(TdpError::Disconnected);
+        let _ = self.stream.shutdown(Shutdown::Read);
+        if inner.outbox.is_empty() {
+            let _ = self.stream.shutdown(Shutdown::Write);
+        } else {
+            // Queued frames flush first, then the peer sees EOF.
+            inner.flush_then_shutdown = true;
+            if !inner.want_write {
+                self.drain_write(&mut inner);
+                if inner.want_write {
+                    self.rearm(&inner);
+                }
+            }
+        }
+        self.rx_cv.notify_all();
+        self.tx_cv.notify_all();
+    }
+
+    // ---- receive path -------------------------------------------------
+
+    pub fn recv(&self, deadline: Option<Instant>) -> TdpResult<Message> {
+        let deadline = match deadline {
+            Some(d) => Some(d),
+            None => self.tuning.read_timeout.map(|t| Instant::now() + t),
+        };
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(msg) = self.pop_inbox(&mut inner) {
+                return Ok(msg);
+            }
+            if let Some(e) = inner.rx_err.clone() {
+                return Err(e);
+            }
+            match deadline {
+                None => self.rx_cv.wait(&mut inner),
+                Some(d) => {
+                    if self.rx_cv.wait_until(&mut inner, d).timed_out() {
+                        return Err(TdpError::Timeout);
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn try_recv(&self) -> TdpResult<Option<Message>> {
+        let mut inner = self.inner.lock();
+        if let Some(msg) = self.pop_inbox(&mut inner) {
+            return Ok(Some(msg));
+        }
+        match inner.rx_err.clone() {
+            Some(e) => Err(e),
+            None => Ok(None),
+        }
+    }
+
+    fn pop_inbox(&self, inner: &mut MutexGuard<'_, ConnInner>) -> Option<Message> {
+        let msg = inner.inbox.pop_front()?;
+        if inner.paused && inner.read_open && inner.inbox.len() * 2 <= self.tuning.inbox_messages {
+            inner.paused = false;
+            self.rearm(inner);
+        }
+        Some(msg)
+    }
+
+    // ---- lifecycle ----------------------------------------------------
+
+    /// Called when a Tx or Rx API wrapper drops; the last one releases
+    /// the connection.
+    pub fn handle_dropped(&self) {
+        if self.handles.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.release();
+        }
+    }
+
+    /// Deregister from the reactor; dropping the last `Arc` then closes
+    /// the socket (peer sees EOF). Frames still queued are flushed
+    /// synchronously first — the same guarantee the TCP writer thread
+    /// gives a dropped connection.
+    fn release(&self) {
+        {
+            let mut inner = self.inner.lock();
+            let flush = !inner.outbox.is_empty() && (!inner.closed || inner.flush_then_shutdown);
+            if flush {
+                let _ = self.stream.set_nonblocking(false);
+                let _ = self.stream.set_write_timeout(Some(self.tuning.write_stall));
+                let off = inner.head_off;
+                let mut first = true;
+                while let Some(front) = inner.outbox.pop_front() {
+                    let from = if first { off } else { 0 };
+                    first = false;
+                    if (&self.stream).write_all(&front[from..]).is_err() {
+                        break;
+                    }
+                }
+                inner.outbox_bytes = 0;
+                inner.head_off = 0;
+                if inner.flush_then_shutdown {
+                    inner.flush_then_shutdown = false;
+                    let _ = self.stream.shutdown(Shutdown::Write);
+                }
+            }
+        }
+        if let Some(r) = self.reactor.upgrade() {
+            r.deregister(self.token, self.stream.as_raw_fd());
+        }
+    }
+}

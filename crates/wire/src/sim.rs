@@ -159,8 +159,14 @@ mod tests {
         let t = SimTransport::new(net);
         let lis = t.listen(h, 7001).unwrap();
         let l2 = lis.clone();
-        let th = std::thread::spawn(move || l2.accept());
-        std::thread::sleep(std::time::Duration::from_millis(20));
+        // Synchronize on the acceptor running instead of sleeping; close
+        // must win whether it lands before or after the accept call.
+        let (ready_tx, ready_rx) = crossbeam::channel::bounded::<()>(1);
+        let th = std::thread::spawn(move || {
+            let _ = ready_tx.send(());
+            l2.accept()
+        });
+        ready_rx.recv().unwrap();
         lis.close();
         assert!(th.join().unwrap().is_err());
     }

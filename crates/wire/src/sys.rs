@@ -1,0 +1,236 @@
+//! Minimal unsafe FFI shim over the Linux syscalls the reactor backend
+//! needs: `epoll_create1` / `epoll_ctl` / `epoll_wait`, `eventfd` for
+//! cross-thread wakeups, and `fcntl` for `O_NONBLOCK`.
+//!
+//! This build environment has no crates.io access (see
+//! `stubs/README.md`), so instead of pulling in `libc`/`mio` we declare
+//! exactly the handful of symbols we use against the C library every
+//! Rust binary on linux-gnu already links. Everything unsafe lives in
+//! this module, behind the safe [`Epoll`] / [`EventFd`] wrappers;
+//! errors are surfaced as `std::io::Error` via `last_os_error`.
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+// ------------------------------------------------------------ constants
+//
+// Values are identical across the Linux architectures Rust supports
+// (asm-generic); x86_64 additionally packs `epoll_event` (see below).
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+pub const EPOLLONESHOT: u32 = 1 << 30;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
+const F_GETFL: i32 = 3;
+const F_SETFL: i32 = 4;
+const O_NONBLOCK: i32 = 0o4000;
+
+/// The kernel's `struct epoll_event`. x86-64 is the one Linux ABI where
+/// it is packed (a 32-bit-compat leftover); everywhere else it has
+/// natural alignment.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    pub events: u32,
+    /// User token; we never store pointers here, only plain ids.
+    pub token: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn close(fd: i32) -> i32;
+    fn read(fd: i32, buf: *mut core::ffi::c_void, count: usize) -> isize;
+    fn write(fd: i32, buf: *const core::ffi::c_void, count: usize) -> isize;
+    fn fcntl(fd: i32, cmd: i32, ...) -> i32;
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Put a descriptor into non-blocking mode via `fcntl(F_SETFL)`.
+pub fn set_nonblocking(fd: RawFd) -> io::Result<()> {
+    // SAFETY: fcntl with F_GETFL/F_SETFL reads/writes no memory.
+    unsafe {
+        let flags = cvt(fcntl(fd, F_GETFL))?;
+        cvt(fcntl(fd, F_SETFL, flags | O_NONBLOCK))?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------- epoll
+
+/// An owned epoll instance.
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    pub fn new() -> io::Result<Epoll> {
+        // SAFETY: plain fd-returning syscall.
+        let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent { events, token };
+        // SAFETY: `ev` outlives the call; the kernel copies it out.
+        cvt(unsafe { epoll_ctl(self.fd, op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Start watching `fd` for `events`, tagging readiness with `token`.
+    pub fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Change the interest set of an already-watched `fd` (also rearms
+    /// an `EPOLLONESHOT` registration that has fired).
+    pub fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Stop watching `fd`.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Block for readiness; `timeout_ms < 0` waits forever. Retries on
+    /// `EINTR`. Returns the filled prefix of `events`.
+    pub fn wait<'e>(
+        &self,
+        events: &'e mut [EpollEvent],
+        timeout_ms: i32,
+    ) -> io::Result<&'e [EpollEvent]> {
+        loop {
+            // SAFETY: the out-buffer is valid for `events.len()` entries.
+            let n = unsafe {
+                epoll_wait(
+                    self.fd,
+                    events.as_mut_ptr(),
+                    events.len().min(i32::MAX as usize) as i32,
+                    timeout_ms,
+                )
+            };
+            match cvt(n) {
+                Ok(n) => return Ok(&events[..n as usize]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: fd is owned and not used after this.
+        unsafe {
+            close(self.fd);
+        }
+    }
+}
+
+// -------------------------------------------------------------- eventfd
+
+/// A non-blocking eventfd used to kick `epoll_wait` from other threads
+/// (registration changes take effect on their own; this is for shutdown
+/// and deferred work).
+pub struct EventFd {
+    fd: RawFd,
+}
+
+impl EventFd {
+    pub fn new() -> io::Result<EventFd> {
+        // SAFETY: plain fd-returning syscall.
+        let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        Ok(EventFd { fd })
+    }
+
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Wake whoever has this eventfd in an epoll set. Saturation (the
+    /// counter at max) still leaves the fd readable, so failure to write
+    /// is not an error worth surfacing.
+    pub fn signal(&self) {
+        let one: u64 = 1;
+        // SAFETY: writes 8 bytes from a live stack slot.
+        unsafe {
+            write(self.fd, (&one as *const u64).cast(), 8);
+        }
+    }
+
+    /// Consume pending wakeups so level-triggered polling quiesces.
+    pub fn drain(&self) {
+        let mut buf = 0u64;
+        // SAFETY: reads 8 bytes into a live stack slot; EAGAIN is fine.
+        unsafe {
+            read(self.fd, (&mut buf as *mut u64).cast(), 8);
+        }
+    }
+}
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        // SAFETY: fd is owned and not used after this.
+        unsafe {
+            close(self.fd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eventfd_wakes_epoll() {
+        let ep = Epoll::new().unwrap();
+        let ev = EventFd::new().unwrap();
+        ep.add(ev.fd(), EPOLLIN, 7).unwrap();
+        let mut buf = [EpollEvent {
+            events: 0,
+            token: 0,
+        }; 8];
+        // Nothing signalled: times out empty.
+        assert!(ep.wait(&mut buf, 0).unwrap().is_empty());
+        ev.signal();
+        let ready = ep.wait(&mut buf, 1000).unwrap();
+        assert_eq!(ready.len(), 1);
+        assert_eq!({ ready[0].token }, 7);
+        ev.drain();
+        assert!(ep.wait(&mut buf, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn nonblocking_flag_sticks() {
+        let l = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        use std::os::unix::io::AsRawFd;
+        set_nonblocking(l.as_raw_fd()).unwrap();
+        // A non-blocking accept with no pending client returns WouldBlock.
+        match l.accept() {
+            Err(e) => assert_eq!(e.kind(), io::ErrorKind::WouldBlock),
+            Ok(_) => panic!("no client was connecting"),
+        }
+    }
+}

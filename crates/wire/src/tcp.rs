@@ -97,27 +97,11 @@ impl Transport for TcpTransport {
     fn listen(&self, host: HostId, _port: u16) -> TdpResult<WireListener> {
         let listener = TcpListener::bind(("127.0.0.1", 0))
             .map_err(|e| TdpError::Substrate(format!("tcp bind: {e}")))?;
-        let local = listener
-            .local_addr()
-            .map_err(|e| TdpError::Substrate(format!("tcp local_addr: {e}")))?;
-        let (tx, rx) = bounded::<WireConn>(64);
-        let closed = Arc::new(AtomicBool::new(false));
-        let accept_listener = listener
-            .try_clone()
-            .map_err(|e| TdpError::Substrate(format!("tcp listener clone: {e}")))?;
         let cfg = self.cfg.clone();
-        let closed2 = closed.clone();
-        let thread = thread::Builder::new()
-            .name(format!("wire-accept-{local}"))
-            .spawn(move || accept_loop(accept_listener, cfg, closed2, tx))
-            .map_err(|e| TdpError::Substrate(format!("spawn accept thread: {e}")))?;
         let _ = host; // identity is per-connection (Hello), not per-listener
-        Ok(WireListener::new(Arc::new(TcpListenerBackend {
-            local,
-            incoming: rx,
-            closed,
-            thread: parking_lot::Mutex::new(Some(thread)),
-        })))
+        spawn_real_listener(listener, "wire-accept", move |stream| {
+            accept_handshake(stream, &cfg)
+        })
     }
 
     fn connect(&self, from: HostId, to: &Endpoint) -> TdpResult<WireConn> {
@@ -337,14 +321,18 @@ impl RxApi for TcpRx {
     }
 }
 
-struct TcpListenerBackend {
+/// Listener scaffolding shared by both real-socket backends (TCP and
+/// epoll): a blocking accept thread feeding a bounded channel, with the
+/// self-connection trick to unblock `accept` on close. What differs per
+/// backend — handshake + connection wrapping — comes in as `upgrade`.
+pub(crate) struct RealListener {
     local: SocketAddr,
     incoming: Receiver<WireConn>,
     closed: Arc<AtomicBool>,
     thread: parking_lot::Mutex<Option<thread::JoinHandle<()>>>,
 }
 
-impl ListenerApi for TcpListenerBackend {
+impl ListenerApi for RealListener {
     fn accept(&self) -> TdpResult<WireConn> {
         self.incoming.recv().map_err(|_| TdpError::Disconnected)
     }
@@ -366,9 +354,37 @@ impl ListenerApi for TcpListenerBackend {
     }
 }
 
+/// Spawn the accept thread for a bound listener and wrap it as a
+/// [`WireListener`]. `upgrade` performs the backend's handshake and
+/// turns the raw stream into a [`WireConn`]; it runs inline on the
+/// accept thread — LASS/CASS accept rates are tiny and a serial
+/// handshake keeps connection establishment ordered.
+pub(crate) fn spawn_real_listener(
+    listener: TcpListener,
+    name: &str,
+    upgrade: impl Fn(TcpStream) -> TdpResult<WireConn> + Send + 'static,
+) -> TdpResult<WireListener> {
+    let local = listener
+        .local_addr()
+        .map_err(|e| TdpError::Substrate(format!("listener local_addr: {e}")))?;
+    let (tx, rx) = bounded::<WireConn>(64);
+    let closed = Arc::new(AtomicBool::new(false));
+    let closed2 = closed.clone();
+    let thread = thread::Builder::new()
+        .name(format!("{name}-{local}"))
+        .spawn(move || accept_loop(listener, upgrade, closed2, tx))
+        .map_err(|e| TdpError::Substrate(format!("spawn accept thread: {e}")))?;
+    Ok(WireListener::new(Arc::new(RealListener {
+        local,
+        incoming: rx,
+        closed,
+        thread: parking_lot::Mutex::new(Some(thread)),
+    })))
+}
+
 fn accept_loop(
     listener: TcpListener,
-    cfg: TcpConfig,
+    upgrade: impl Fn(TcpStream) -> TdpResult<WireConn>,
     closed: Arc<AtomicBool>,
     out: Sender<WireConn>,
 ) {
@@ -380,9 +396,7 @@ fn accept_loop(
         if closed.load(Ordering::Acquire) {
             break; // the wake-up self-connection
         }
-        // Handshake inline: LASS/CASS accept rates are tiny and a serial
-        // handshake keeps connection establishment ordered.
-        match accept_handshake(stream, &cfg) {
+        match upgrade(stream) {
             Ok(conn) => {
                 if out.send(conn).is_err() {
                     break;
@@ -393,16 +407,22 @@ fn accept_loop(
     }
 }
 
-/// Server side of connection establishment: read the `Hello` frame to
-/// learn the peer's logical host.
-fn accept_handshake(stream: TcpStream, cfg: &TcpConfig) -> TdpResult<WireConn> {
-    let sub = |e: std::io::Error| TdpError::Substrate(format!("tcp handshake: {e}"));
+/// Server side of connection establishment: consume the `Hello` frame
+/// and return the peer's logical host plus a decoder holding any bytes
+/// the client pipelined right behind its Hello. Shared by both
+/// real-socket backends; the stream is left in blocking mode with no
+/// read timeout.
+pub(crate) fn read_hello(
+    stream: &TcpStream,
+    handshake_timeout: Duration,
+) -> TdpResult<(HostId, FrameDecoder)> {
+    let sub = |e: std::io::Error| TdpError::Substrate(format!("handshake: {e}"));
     stream
-        .set_read_timeout(Some(cfg.handshake_timeout))
+        .set_read_timeout(Some(handshake_timeout))
         .map_err(sub)?;
     let mut dec = FrameDecoder::new();
     let mut chunk = [0u8; 1024];
-    let mut reader = stream.try_clone().map_err(sub)?;
+    let mut reader = stream;
     let host = loop {
         if let Some(msg) = dec.next().map_err(protocol_err)? {
             match msg {
@@ -418,7 +438,13 @@ fn accept_handshake(stream: TcpStream, cfg: &TcpConfig) -> TdpResult<WireConn> {
         }
     };
     stream.set_read_timeout(None).map_err(sub)?;
-    // Bytes the client pipelined right behind its Hello stay in `dec`.
+    Ok((host, dec))
+}
+
+/// TCP-backend accept handshake: read `Hello`, then wrap with a writer
+/// thread and blocking reader.
+fn accept_handshake(stream: TcpStream, cfg: &TcpConfig) -> TdpResult<WireConn> {
+    let (host, dec) = read_hello(&stream, cfg.handshake_timeout)?;
     conn_from_stream(stream, cfg, Some(host), dec)
 }
 
@@ -562,18 +588,18 @@ fn read_header_line(stream: &mut TcpStream) -> TdpResult<String> {
     }
 }
 
-/// Client side: open a [`WireConn`] to the logical `target` through the
-/// relay proxy at `proxy` (cf. `tdp_netsim::proxy::connect_via`).
-pub fn tcp_connect_via(
+/// Dial the logical `target` through the relay proxy at `proxy` and run
+/// the `CONNECT` exchange, returning the established raw stream (ready
+/// for the backend's `Hello`). Shared by both real-socket backends.
+pub(crate) fn dial_via_proxy(
     proxy: SocketAddr,
     target: Addr,
-    from: HostId,
-    cfg: &TcpConfig,
-) -> TdpResult<WireConn> {
-    let mut stream = TcpStream::connect_timeout(&proxy, cfg.connect_timeout)
+    connect_timeout: Duration,
+) -> TdpResult<TcpStream> {
+    let mut stream = TcpStream::connect_timeout(&proxy, connect_timeout)
         .map_err(|e| TdpError::Substrate(format!("tcp connect {proxy}: {e}")))?;
     stream
-        .set_read_timeout(Some(cfg.connect_timeout))
+        .set_read_timeout(Some(connect_timeout))
         .map_err(|e| TdpError::Substrate(format!("tcp set timeout: {e}")))?;
     stream
         .write_all(format!("CONNECT {}\n", target.to_attr_value()).as_bytes())
@@ -583,12 +609,24 @@ pub fn tcp_connect_via(
         stream
             .set_read_timeout(None)
             .map_err(|e| TdpError::Substrate(format!("tcp set timeout: {e}")))?;
-        client_conn_over(stream, from, cfg)
+        Ok(stream)
     } else if let Some(e) = reply.strip_prefix("ERR ") {
         Err(TdpError::Substrate(format!("proxy: {e}")))
     } else {
         Err(TdpError::Protocol(format!("bad proxy reply: {reply:?}")))
     }
+}
+
+/// Client side: open a [`WireConn`] to the logical `target` through the
+/// relay proxy at `proxy` (cf. `tdp_netsim::proxy::connect_via`).
+pub fn tcp_connect_via(
+    proxy: SocketAddr,
+    target: Addr,
+    from: HostId,
+    cfg: &TcpConfig,
+) -> TdpResult<WireConn> {
+    let stream = dial_via_proxy(proxy, target, cfg.connect_timeout)?;
+    client_conn_over(stream, from, cfg)
 }
 
 #[cfg(test)]
@@ -678,7 +716,11 @@ mod tests {
                     assert_eq!(m, msg);
                     break;
                 }
-                None if Instant::now() < deadline => std::thread::yield_now(),
+                None if Instant::now() < deadline => {
+                    // Parked wait, not a yield_now spin: poll cadence
+                    // without burning a core while the frame is in flight.
+                    std::thread::park_timeout(Duration::from_millis(1))
+                }
                 None => panic!("message never arrived"),
             }
         }
@@ -721,8 +763,15 @@ mod tests {
         let t = transport();
         let lis = t.listen(HostId(0), 0).unwrap();
         let l2 = lis.clone();
-        let th = std::thread::spawn(move || l2.accept());
-        std::thread::sleep(Duration::from_millis(30));
+        // Synchronize on the acceptor actually running (not a sleep):
+        // close() must unblock accept() whether it lands before or after
+        // the accept call itself, so entering the thread is enough.
+        let (ready_tx, ready_rx) = bounded::<()>(1);
+        let th = std::thread::spawn(move || {
+            let _ = ready_tx.send(());
+            l2.accept()
+        });
+        ready_rx.recv().unwrap();
         lis.close();
         assert!(th.join().unwrap().is_err());
     }

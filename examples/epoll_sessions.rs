@@ -1,0 +1,60 @@
+//! `epoll_sessions` — the reactor backend's scaling story: hold
+//! hundreds of live attribute-space sessions in one process and watch
+//! the wire-layer thread count stay flat.
+//!
+//! ```text
+//! cargo run -q --release --example epoll_sessions
+//! ```
+//!
+//! Over the plain TCP backend every connection costs a writer thread
+//! (plus the blocked reader), so 500 sessions is ~500 extra OS threads
+//! before the tool has done any work. Over `World::new_epoll` all
+//! sockets share one reactor thread and a small worker pool — the open
+//! item ROADMAP.md recorded after PR 1.
+
+use std::time::Instant;
+use tdp::core::World;
+use tdp::proto::ContextId;
+use tdp::wire::wire_threads;
+
+const SESSIONS: u64 = 500;
+
+fn census(label: &str) {
+    let threads = wire_threads();
+    println!("  {label:<28} {} wire threads: {threads:?}", threads.len());
+}
+
+fn main() {
+    let world = World::new_epoll();
+    let fe = world.add_host();
+    let cass = world.ensure_cass(fe).unwrap();
+    census("before any session");
+
+    let t0 = Instant::now();
+    let mut sessions = Vec::new();
+    for i in 0..SESSIONS {
+        let mut c = world.attr_connect(fe, cass).unwrap();
+        let ctx = ContextId(i);
+        c.join(ctx).unwrap();
+        c.put(ctx, "tool", &format!("daemon-{i}")).unwrap();
+        sessions.push((ctx, c));
+    }
+    println!(
+        "  opened {SESSIONS} sessions (join+put each) in {:.1?}",
+        t0.elapsed()
+    );
+    census(&format!("with {SESSIONS} live sessions"));
+
+    // Every session stays serviceable.
+    let t1 = Instant::now();
+    for (ctx, c) in sessions.iter_mut() {
+        assert_eq!(c.get(*ctx, "tool").unwrap(), format!("daemon-{}", ctx.0));
+    }
+    println!(
+        "  round-tripped all {SESSIONS} sessions in {:.1?}",
+        t1.elapsed()
+    );
+
+    drop(sessions);
+    println!("done: thread count stayed O(pool), not O(sessions)");
+}

@@ -1,6 +1,6 @@
 //! `wire_echo` — the transport abstraction in isolation: one echo
-//! server, one client, run back to back over **both** backends with the
-//! same code.
+//! server, one client, run back to back over **all three** backends
+//! with the same code.
 //!
 //! ```text
 //! cargo run -q --example wire_echo
@@ -8,7 +8,7 @@
 
 use tdp::netsim::Network;
 use tdp::proto::{Addr, ContextId, HostId, Message, TdpResult};
-use tdp::wire::{Endpoint, SimTransport, TcpTransport, Transport, WireListener};
+use tdp::wire::{Endpoint, EpollTransport, SimTransport, TcpTransport, Transport, WireListener};
 
 /// Serve one connection: echo every message back, then exit.
 fn echo_once(listener: WireListener) -> TdpResult<()> {
@@ -63,6 +63,11 @@ fn main() -> TdpResult<()> {
     // Backend 2: real loopback TCP. Identical driver code — the logical
     // hosts ride the Hello handshake instead of the address.
     run("tcp", &TcpTransport::new(), HostId(1), HostId(0))?;
+
+    // Backend 3: the same loopback sockets, but every connection is
+    // multiplexed onto one shared epoll reactor instead of owning
+    // threads.
+    run("epoll", &EpollTransport::new()?, HostId(1), HostId(0))?;
 
     // The endpoint types tell the two apart when it matters.
     let sim_ep = Endpoint::Sim(Addr::new(HostId(9), 7777));
