@@ -6,13 +6,13 @@
 //! and real TCP sockets.
 
 use crate::space::Space;
-use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 use std::thread;
 use tdp_netsim::Network;
 use tdp_proto::{Addr, HostId, Message, Reply, TdpError, TdpResult};
+use tdp_sync::atomic::{AtomicU64, Ordering};
+use tdp_sync::Arc;
+use tdp_sync::Mutex;
 use tdp_wire::{WireConn, WireListener, WireTx};
 
 /// Which flavour of attribute-space server this is.

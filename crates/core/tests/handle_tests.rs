@@ -2,13 +2,13 @@
 //! asynchronous events, process management, single-point control, tool
 //! channels and staging.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
 use std::time::Duration;
 use tdp_core::{Role, TdpCreate, TdpHandle, World};
 use tdp_netsim::FirewallPolicy;
 use tdp_proto::{names, Addr, ContextId, ProcRequest, ProcStatus, TdpError};
 use tdp_simos::{fn_program, ExecImage};
+use tdp_sync::atomic::{AtomicUsize, Ordering};
+use tdp_sync::{Arc, Mutex};
 
 const CTX: ContextId = ContextId(1);
 const T: Duration = Duration::from_secs(5);
@@ -89,10 +89,8 @@ fn async_get_callback_runs_at_service_point() {
     let mut rt = TdpHandle::init(&w, h, CTX, "rt", Role::Tool).unwrap();
     let got: Arc<Mutex<Vec<(String, String)>>> = Arc::new(Mutex::new(Vec::new()));
     let g2 = got.clone();
-    rt.async_get(names::PID, move |k, v| {
-        g2.lock().unwrap().push((k.into(), v.into()))
-    })
-    .unwrap();
+    rt.async_get(names::PID, move |k, v| g2.lock().push((k.into(), v.into())))
+        .unwrap();
     // Nothing yet: callback must not run before the put.
     assert_eq!(rt.service_events().unwrap(), 0);
     rm.put(names::PID, "55").unwrap();
@@ -100,7 +98,7 @@ fn async_get_callback_runs_at_service_point() {
     assert!(rt.has_events());
     assert_eq!(rt.service_events().unwrap(), 1);
     assert_eq!(
-        got.lock().unwrap().as_slice(),
+        got.lock().as_slice(),
         &[("pid".to_string(), "55".to_string())]
     );
     // One-shot: a second put does not re-fire.
@@ -151,10 +149,8 @@ fn watch_is_persistent_across_puts() {
     let mut rt = TdpHandle::init(&w, h, CTX, "rt", Role::Tool).unwrap();
     let seen: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
     let s2 = seen.clone();
-    rt.watch(names::AP_STATUS, move |_, v| {
-        s2.lock().unwrap().push(v.to_string())
-    })
-    .unwrap();
+    rt.watch(names::AP_STATUS, move |_, v| s2.lock().push(v.to_string()))
+        .unwrap();
     for st in ["running", "stopped", "exited:0"] {
         rm.put(names::AP_STATUS, st).unwrap();
         // Drain between puts: one-shot server subscriptions are
@@ -162,10 +158,7 @@ fn watch_is_persistent_across_puts() {
         // drain could coalesce.
         rt.wait_and_service(T).unwrap();
     }
-    assert_eq!(
-        seen.lock().unwrap().as_slice(),
-        &["running", "stopped", "exited:0"]
-    );
+    assert_eq!(seen.lock().as_slice(), &["running", "stopped", "exited:0"]);
 }
 
 #[test]

@@ -49,6 +49,15 @@ fn arb_message() -> impl Strategy<Value = Message> {
 }
 
 proptest! {
+    // Miri runs these same properties (the codec is pure, no FFI), but
+    // interprets ~100x slower than native; fewer cases keeps the
+    // sanitizer CI job inside its budget while still exercising the
+    // torn-read decoder paths byte-by-byte under the aliasing model.
+    #![proptest_config(ProptestConfig {
+        cases: if cfg!(miri) { 8 } else { 64 },
+        ..ProptestConfig::default()
+    })]
+
     #[test]
     fn encode_decode_roundtrip(msg in arb_message()) {
         let frame = encode_frame(&msg);

@@ -18,13 +18,14 @@
 //! tiny and a serial handshake keeps establishment ordered — the same
 //! trade the TCP backend makes); only per-connection threads are gone.
 
-use crate::reactor::{ConnState, ConnTuning, Reactor};
+use crate::flow::ConnTuning;
+use crate::reactor::{ConnState, Reactor};
 use crate::tcp::{dial_via_proxy, read_hello, spawn_real_listener};
 use crate::{Endpoint, RxApi, Transport, TxApi, WireConn, WireListener, WireRx, WireTx};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tdp_proto::{encode_frame, Addr, FrameDecoder, HostId, Message, TdpError, TdpResult};
+use tdp_sync::Arc;
 
 /// Tunables for the epoll backend.
 #[derive(Debug, Clone)]

@@ -1,0 +1,483 @@
+//! The per-connection state machine of the epoll backend, extracted
+//! from the reactor so it is generic over its IO — production wires it
+//! to a non-blocking `TcpStream` + `epoll_ctl` rearm
+//! (`reactor::SocketIo`); the `loom_` tests wire it to a scripted
+//! in-memory IO and drive every interleaving of senders, receivers,
+//! and pool workers through the exact code that ships.
+//!
+//! All synchronization goes through `tdp-sync`, so under
+//! `RUSTFLAGS="--cfg loom"` the mutex/condvars here are loom's
+//! instrumented ones. See DESIGN.md "Concurrency invariants" for the
+//! lock-ordering and state-machine rules this module must uphold.
+
+use crate::protocol_err;
+use bytes::Bytes;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+use tdp_proto::{FrameDecoder, Message, TdpError, TdpResult};
+use tdp_sync::{Condvar, Mutex};
+
+/// Per-connection tunables, derived from [`crate::EpollConfig`].
+#[derive(Debug, Clone)]
+pub(crate) struct ConnTuning {
+    /// Pause `EPOLLIN` while this many decoded messages are undelivered.
+    pub inbox_messages: usize,
+    /// `send_msg` blocks (backpressure) while the outbox holds this many
+    /// bytes.
+    pub outbox_bytes: usize,
+    /// How long a backpressured `send_msg` waits before declaring the
+    /// peer wedged and killing the connection (the TCP backend's
+    /// `write_timeout` analogue).
+    pub write_stall: Duration,
+    /// Default bound on a blocking `recv` (`None` = wait forever).
+    pub read_timeout: Option<Duration>,
+}
+
+/// The readiness the state machine currently wants from its IO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Interest {
+    pub read: bool,
+    pub write: bool,
+}
+
+/// What [`Flow`] needs from a transport endpoint. The real
+/// implementation is a non-blocking socket; the loom models script
+/// results. Every method is called *with the flow lock held*, so
+/// implementations must not block (beyond a non-blocking syscall) and
+/// must not call back into the flow.
+pub(crate) trait FlowIo {
+    /// Non-blocking read; `WouldBlock` when nothing is buffered.
+    fn read(&self, buf: &mut [u8]) -> std::io::Result<usize>;
+    /// Non-blocking write; `WouldBlock` when the send buffer is full.
+    fn write(&self, buf: &[u8]) -> std::io::Result<usize>;
+    /// Half-close the receive side (local reads fail fast).
+    fn shutdown_read(&self);
+    /// Half-close the send side (peer sees EOF).
+    fn shutdown_write(&self);
+    /// Tear down both directions (wedged-peer kill path).
+    fn shutdown_both(&self);
+    /// Re-register readiness interest. Only called with a non-empty
+    /// set; an empty interest leaves the registration disarmed until a
+    /// state change rearms it.
+    fn rearm(&self, interest: Interest);
+}
+
+pub(crate) struct Flow<IO> {
+    io: IO,
+    tuning: ConnTuning,
+    inner: Mutex<FlowInner>,
+    rx_cv: Condvar,
+    tx_cv: Condvar,
+}
+
+struct FlowInner {
+    // Receive side.
+    dec: FrameDecoder,
+    inbox: VecDeque<Message>,
+    /// Terminal receive condition, reported once the inbox drains.
+    rx_err: Option<TdpError>,
+    read_open: bool,
+    /// Read interest withheld because the inbox is at its bound.
+    paused: bool,
+    // Send side.
+    outbox: VecDeque<Bytes>,
+    outbox_bytes: usize,
+    /// Partial-write offset into the front outbox frame.
+    head_off: usize,
+    /// Write interest armed: the reactor owes us a drain.
+    want_write: bool,
+    /// `close()` ran with frames still queued: half-close after flush.
+    flush_then_shutdown: bool,
+    /// Local close or fatal socket error: sends fail fast.
+    closed: bool,
+}
+
+/// Outbox contents handed back by [`Flow::begin_release`] for the
+/// owner to flush synchronously (outside the flow lock).
+pub(crate) struct FlushPlan {
+    pub frames: VecDeque<Bytes>,
+    pub head_off: usize,
+    /// `close()` had requested a half-close once the queue drained.
+    pub shutdown_write_after: bool,
+}
+
+impl<IO: FlowIo> Flow<IO> {
+    /// Wrap an established endpoint. Frames the handshake over-read
+    /// (already sitting in `dec`) are pumped into the inbox here —
+    /// readiness will never re-report those bytes.
+    pub fn new(io: IO, tuning: ConnTuning, dec: FrameDecoder) -> Flow<IO> {
+        let flow = Flow {
+            io,
+            tuning,
+            inner: Mutex::new(FlowInner {
+                dec,
+                inbox: VecDeque::new(),
+                rx_err: None,
+                read_open: true,
+                paused: false,
+                outbox: VecDeque::new(),
+                outbox_bytes: 0,
+                head_off: 0,
+                want_write: false,
+                flush_then_shutdown: false,
+                closed: false,
+            }),
+            rx_cv: Condvar::new(),
+            tx_cv: Condvar::new(),
+        };
+        {
+            let mut inner = flow.inner.lock();
+            flow.pump_decoder(&mut inner);
+        }
+        flow
+    }
+
+    pub fn io(&self) -> &IO {
+        &self.io
+    }
+
+    pub fn tuning(&self) -> &ConnTuning {
+        &self.tuning
+    }
+
+    // ---- interest -----------------------------------------------------
+
+    fn interest(inner: &FlowInner) -> Interest {
+        Interest {
+            read: inner.read_open && !inner.paused,
+            write: inner.want_write,
+        }
+    }
+
+    /// Rearm the (oneshot) registration to the current interest set.
+    fn rearm(&self, inner: &FlowInner) {
+        let interest = Self::interest(inner);
+        if !interest.read && !interest.write {
+            return; // stay disarmed; a state change will rearm
+        }
+        self.io.rearm(interest);
+    }
+
+    // ---- event handling (reactor / workers) ---------------------------
+
+    /// One readiness report. Error/hangup conditions map to both flags:
+    /// the drains will surface the failure through the IO result.
+    pub fn on_ready(&self, readable: bool, writable: bool) {
+        let mut inner = self.inner.lock();
+        if readable && inner.read_open {
+            self.drain_read(&mut inner);
+        }
+        if writable && (inner.want_write || inner.flush_then_shutdown) {
+            self.drain_write(&mut inner);
+        }
+        self.rearm(&inner);
+    }
+
+    /// Read until `EWOULDBLOCK`, EOF, error, or the inbox bound.
+    fn drain_read(&self, inner: &mut FlowInner) {
+        let mut chunk = [0u8; 16 * 1024];
+        let mut delivered = false;
+        loop {
+            if inner.inbox.len() >= self.tuning.inbox_messages {
+                inner.paused = true; // consumer will unpause + rearm
+                break;
+            }
+            match self.io.read(&mut chunk) {
+                Ok(0) => {
+                    inner.read_open = false;
+                    inner.rx_err.get_or_insert(TdpError::Disconnected);
+                    break;
+                }
+                Ok(n) => {
+                    inner.dec.feed(&chunk[..n]);
+                    if self.pump_decoder(inner) {
+                        delivered = true;
+                    }
+                    if !inner.read_open {
+                        break; // decoder hit a malformed frame
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // Hard socket error kills both directions.
+                    inner.read_open = false;
+                    inner.rx_err.get_or_insert(TdpError::Disconnected);
+                    inner.closed = true;
+                    self.tx_cv.notify_all();
+                    break;
+                }
+            }
+        }
+        if delivered || inner.rx_err.is_some() {
+            self.rx_cv.notify_all();
+        }
+    }
+
+    /// Move complete frames out of the decoder into the inbox. Returns
+    /// whether anything was delivered.
+    fn pump_decoder(&self, inner: &mut FlowInner) -> bool {
+        let mut delivered = false;
+        loop {
+            match inner.dec.next() {
+                Ok(Some(msg)) => {
+                    inner.inbox.push_back(msg);
+                    delivered = true;
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    inner.read_open = false;
+                    inner.rx_err.get_or_insert(protocol_err(e));
+                    break;
+                }
+            }
+        }
+        delivered
+    }
+
+    /// Write outbox frames until empty or `EWOULDBLOCK` (which arms
+    /// write interest — so the reactor resumes the drain when the
+    /// socket buffer empties).
+    fn drain_write(&self, inner: &mut FlowInner) {
+        // Whether this drain freed any outbox space: backpressured
+        // senders must be woken even when the drain ends in
+        // `EWOULDBLOCK`, or a partial drain strands them until the
+        // write-stall timer kills the connection (found by the loom
+        // model `loom_outbox_partial_drain_wakes_sender`).
+        let mut freed = false;
+        while let Some(front) = inner.outbox.front() {
+            let from = inner.head_off;
+            match self.io.write(&front[from..]) {
+                Ok(n) => {
+                    inner.outbox_bytes -= n;
+                    inner.head_off += n;
+                    if n > 0 {
+                        freed = true;
+                    }
+                    if inner.head_off == front.len() {
+                        inner.outbox.pop_front();
+                        inner.head_off = 0;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    inner.want_write = true;
+                    if freed {
+                        self.tx_cv.notify_all();
+                    }
+                    return;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // Peer gone: fail fast, like the TCP writer thread.
+                    inner.closed = true;
+                    inner.want_write = false;
+                    inner.outbox.clear();
+                    inner.outbox_bytes = 0;
+                    inner.head_off = 0;
+                    self.io.shutdown_write();
+                    self.tx_cv.notify_all();
+                    return;
+                }
+            }
+        }
+        inner.want_write = false;
+        self.tx_cv.notify_all(); // backpressured senders may proceed
+        if inner.flush_then_shutdown {
+            inner.flush_then_shutdown = false;
+            self.io.shutdown_write();
+        }
+    }
+
+    // ---- send path ----------------------------------------------------
+
+    pub fn send(&self, frame: Bytes) -> TdpResult<()> {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return Err(TdpError::Disconnected);
+        }
+        // Backpressure: wait for outbox space (a lone oversized frame is
+        // admitted so progress is always possible). A peer that stops
+        // draining for `write_stall` kills the connection instead of
+        // wedging the sender — the TCP backend's write-timeout contract.
+        if inner.outbox_bytes + frame.len() > self.tuning.outbox_bytes && !inner.outbox.is_empty() {
+            let deadline = Instant::now() + self.tuning.write_stall;
+            while inner.outbox_bytes + frame.len() > self.tuning.outbox_bytes
+                && !inner.outbox.is_empty()
+                && !inner.closed
+            {
+                if self.tx_cv.wait_until(&mut inner, deadline).timed_out() {
+                    // The stall timer races the reactor's drain: space
+                    // may have been freed concurrently with the
+                    // deadline. Kill only if the stall is still real —
+                    // otherwise loop, recheck, and proceed (found by
+                    // the loom stall/kill model).
+                    if inner.outbox_bytes + frame.len() <= self.tuning.outbox_bytes
+                        || inner.outbox.is_empty()
+                        || inner.closed
+                    {
+                        continue;
+                    }
+                    inner.closed = true;
+                    inner.read_open = false;
+                    inner.rx_err.get_or_insert(TdpError::Disconnected);
+                    self.io.shutdown_both();
+                    self.rx_cv.notify_all();
+                    self.tx_cv.notify_all();
+                    return Err(TdpError::Disconnected);
+                }
+            }
+            if inner.closed {
+                return Err(TdpError::Disconnected);
+            }
+        }
+        inner.outbox_bytes += frame.len();
+        inner.outbox.push_back(frame);
+        if !inner.want_write {
+            // Fast path: the socket was writable last we knew — drain
+            // inline, no reactor round trip. Falls back to armed write
+            // interest on a partial write.
+            self.drain_write(&mut inner);
+            if inner.want_write {
+                self.rearm(&inner);
+            }
+        }
+        Ok(())
+    }
+
+    pub fn close(&self) {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return;
+        }
+        inner.closed = true;
+        // Local reads fail fast (after already-decoded frames drain),
+        // matching the TCP backend's immediate read-side shutdown.
+        inner.read_open = false;
+        inner.rx_err.get_or_insert(TdpError::Disconnected);
+        self.io.shutdown_read();
+        if inner.outbox.is_empty() {
+            self.io.shutdown_write();
+        } else {
+            // Queued frames flush first, then the peer sees EOF.
+            inner.flush_then_shutdown = true;
+            if !inner.want_write {
+                self.drain_write(&mut inner);
+                if inner.want_write {
+                    self.rearm(&inner);
+                }
+            }
+        }
+        self.rx_cv.notify_all();
+        self.tx_cv.notify_all();
+    }
+
+    // ---- receive path -------------------------------------------------
+
+    pub fn recv(&self, deadline: Option<Instant>) -> TdpResult<Message> {
+        let deadline = match deadline {
+            Some(d) => Some(d),
+            None => self.tuning.read_timeout.map(|t| Instant::now() + t),
+        };
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(msg) = self.pop_inbox(&mut inner) {
+                return Ok(msg);
+            }
+            if let Some(e) = inner.rx_err.clone() {
+                return Err(e);
+            }
+            match deadline {
+                None => self.rx_cv.wait(&mut inner),
+                Some(d) => {
+                    if self.rx_cv.wait_until(&mut inner, d).timed_out() {
+                        return Err(TdpError::Timeout);
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn try_recv(&self) -> TdpResult<Option<Message>> {
+        let mut inner = self.inner.lock();
+        if let Some(msg) = self.pop_inbox(&mut inner) {
+            return Ok(Some(msg));
+        }
+        match inner.rx_err.clone() {
+            Some(e) => Err(e),
+            None => Ok(None),
+        }
+    }
+
+    fn pop_inbox(&self, inner: &mut FlowInner) -> Option<Message> {
+        let msg = inner.inbox.pop_front()?;
+        if inner.paused && inner.read_open && inner.inbox.len() * 2 <= self.tuning.inbox_messages {
+            inner.paused = false;
+            self.rearm(inner);
+        }
+        Some(msg)
+    }
+
+    // ---- lifecycle ----------------------------------------------------
+
+    /// First half of tearing the connection down: quiesce the state
+    /// machine (stale readiness reports and senders become no-ops) and
+    /// hand any unflushed outbox back to the caller, which flushes it
+    /// synchronously *outside* the flow lock. Quiescing before the
+    /// owner flips the socket to blocking mode is load-bearing: a pool
+    /// worker holding a stale readiness event must find `read_open ==
+    /// false` here rather than enter `drain_read` on a now-blocking
+    /// socket and wedge its thread.
+    pub fn begin_release(&self) -> Option<FlushPlan> {
+        let mut inner = self.inner.lock();
+        let flush = !inner.outbox.is_empty() && (!inner.closed || inner.flush_then_shutdown);
+        inner.closed = true;
+        inner.read_open = false;
+        inner.paused = false;
+        inner.want_write = false;
+        inner.rx_err.get_or_insert(TdpError::Disconnected);
+        let shutdown_write_after = inner.flush_then_shutdown;
+        inner.flush_then_shutdown = false;
+        let frames = std::mem::take(&mut inner.outbox);
+        let head_off = std::mem::take(&mut inner.head_off);
+        inner.outbox_bytes = 0;
+        if !flush {
+            return None;
+        }
+        Some(FlushPlan {
+            frames,
+            head_off,
+            shutdown_write_after,
+        })
+    }
+
+    /// Test-only: block *untimed* on the same condvar and predicate as
+    /// `send`'s backpressure wait. The loom models use this to prove
+    /// the notify side of the protocol without the stall timeout as an
+    /// escape hatch — a drain that frees space but fails to notify
+    /// leaves this parked forever, which the checker reports as a
+    /// deadlock. Returns whether the connection was still open.
+    #[cfg(all(loom, test))]
+    pub fn await_outbox_space(&self, frame_len: usize) -> bool {
+        let mut inner = self.inner.lock();
+        while inner.outbox_bytes + frame_len > self.tuning.outbox_bytes
+            && !inner.outbox.is_empty()
+            && !inner.closed
+        {
+            self.tx_cv.wait(&mut inner);
+        }
+        !inner.closed
+    }
+
+    /// Test-only visibility into the state machine (loom assertions).
+    #[cfg(all(loom, test))]
+    pub fn snapshot(&self) -> (usize, bool, bool, bool, usize) {
+        let inner = self.inner.lock();
+        (
+            inner.inbox.len(),
+            inner.paused,
+            inner.want_write,
+            inner.closed,
+            inner.outbox_bytes,
+        )
+    }
+}

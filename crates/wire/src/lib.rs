@@ -22,8 +22,17 @@
 //! same scenario driven over any of them produces the same TDP call
 //! trace.
 
+// The only crate in the workspace allowed to use `unsafe` (the raw
+// epoll/eventfd/fcntl FFI in `sys`); every unsafe operation must be
+// explicit even inside unsafe fns, and every block carries a
+// `// SAFETY:` comment (clippy::undocumented_unsafe_blocks).
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod endpoint;
 pub mod epoll;
+pub(crate) mod flow;
+#[cfg(all(loom, test))]
+mod loom_models;
 pub(crate) mod reactor;
 pub mod sim;
 pub mod sys;
@@ -34,9 +43,9 @@ pub use epoll::{EpollConfig, EpollTransport};
 pub use sim::SimTransport;
 pub use tcp::{tcp_connect_via, TcpConfig, TcpProxy, TcpTransport};
 
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tdp_proto::{HostId, Message, TdpError, TdpResult};
+use tdp_sync::Arc;
 
 /// Send half of a connection. Object-safe; shared behind [`WireTx`].
 pub trait TxApi: Send + Sync {

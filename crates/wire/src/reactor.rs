@@ -1,6 +1,6 @@
 //! The event loop behind the epoll backend: one reactor thread owning
-//! an epoll set, a small worker pool, and the per-connection state
-//! machine ([`ConnState`]) that turns readiness into framed messages.
+//! an epoll set, a small worker pool, and per-connection state machines
+//! ([`crate::flow::Flow`]) that turn readiness into framed messages.
 //!
 //! # Readiness model
 //!
@@ -19,7 +19,10 @@
 //!
 //! Because both the IO and the rearm happen under the per-connection
 //! mutex, a duplicate readiness report (send racing a worker) is
-//! harmless — the second drain finds nothing to do.
+//! harmless — the second drain finds nothing to do. The state-machine
+//! half of this module lives in [`crate::flow`] so the loom models can
+//! drive the shipped protocol logic exhaustively; this file keeps the
+//! epoll plumbing.
 //!
 //! An [`EventFd`] registered level-triggered at token 0 kicks
 //! `epoll_wait` for shutdown; `epoll_ctl` changes need no kick, the
@@ -32,38 +35,21 @@
 //! not O(connections), which is the point (ROADMAP's async-backend
 //! item).
 
-use crate::protocol_err;
+use crate::flow::{ConnTuning, Flow, FlowIo, Interest};
 use crate::sys::{
     Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLONESHOT, EPOLLOUT, EPOLLRDHUP,
 };
 use bytes::Bytes;
 use crossbeam::channel;
-use parking_lot::{Condvar, Mutex, MutexGuard};
-use std::collections::{HashMap, VecDeque};
-use std::io::{Read, Write};
+use std::collections::HashMap;
+use std::io::Write;
 use std::net::{Shutdown, TcpStream};
 use std::os::unix::io::AsRawFd;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Weak};
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 use tdp_proto::{FrameDecoder, Message, TdpError, TdpResult};
-
-/// Per-connection tunables, derived from [`crate::EpollConfig`].
-#[derive(Debug, Clone)]
-pub(crate) struct ConnTuning {
-    /// Pause `EPOLLIN` while this many decoded messages are undelivered.
-    pub inbox_messages: usize,
-    /// `send_msg` blocks (backpressure) while the outbox holds this many
-    /// bytes.
-    pub outbox_bytes: usize,
-    /// How long a backpressured `send_msg` waits before declaring the
-    /// peer wedged and killing the connection (the TCP backend's
-    /// `write_timeout` analogue).
-    pub write_stall: Duration,
-    /// Default bound on a blocking `recv` (`None` = wait forever).
-    pub read_timeout: Option<Duration>,
-}
+use tdp_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use tdp_sync::{Arc, Mutex, Weak};
 
 // -------------------------------------------------------------- reactor
 
@@ -178,40 +164,24 @@ impl Reactor {
         let sub = |e: std::io::Error| TdpError::Substrate(format!("epoll register: {e}"));
         crate::sys::set_nonblocking(stream.as_raw_fd()).map_err(sub)?;
         let token = self.next_token.fetch_add(1, Ordering::Relaxed);
-        let conn = Arc::new(ConnState {
-            token,
+        let io = SocketIo {
             stream,
             reactor: Arc::downgrade(self),
-            tuning,
-            inner: Mutex::new(ConnInner {
-                dec: leftover,
-                inbox: VecDeque::new(),
-                rx_err: None,
-                read_open: true,
-                paused: false,
-                outbox: VecDeque::new(),
-                outbox_bytes: 0,
-                head_off: 0,
-                want_write: false,
-                flush_then_shutdown: false,
-                closed: false,
-            }),
-            rx_cv: Condvar::new(),
-            tx_cv: Condvar::new(),
+            token,
+        };
+        let conn = Arc::new(ConnState {
+            token,
+            // Frames pipelined behind the handshake are pumped out of
+            // `leftover` by `Flow::new`; readiness will never re-report
+            // those bytes.
+            flow: Flow::new(io, tuning, leftover),
             handles: AtomicU64::new(2), // one Tx wrapper + one Rx wrapper
         });
-        {
-            // Frames pipelined behind the handshake are already in the
-            // decoder; readiness will never re-report those bytes.
-            let mut inner = conn.inner.lock();
-            conn.pump_decoder(&mut inner);
-        }
         self.conns.lock().insert(token, conn.clone());
-        if let Err(e) = self.ep.add(
-            conn.stream.as_raw_fd(),
-            EPOLLIN | EPOLLRDHUP | EPOLLONESHOT,
-            token,
-        ) {
+        if let Err(e) = self
+            .ep
+            .add(conn.fd(), EPOLLIN | EPOLLRDHUP | EPOLLONESHOT, token)
+        {
             self.conns.lock().remove(&token);
             return Err(sub(e));
         }
@@ -236,307 +206,95 @@ impl Reactor {
     }
 }
 
-// ----------------------------------------------------- connection state
+// ------------------------------------------------------------ socket IO
 
-/// Shared state of one reactor-managed connection. All socket IO and
-/// all interest changes happen under `inner`'s lock, so concurrent
-/// senders, the receiver, and pool workers serialize per connection
-/// while different connections proceed in parallel.
-pub(crate) struct ConnState {
-    token: u64,
+/// The production [`FlowIo`]: a non-blocking socket whose readiness
+/// registration is rearmed through the owning reactor's epoll set.
+pub(crate) struct SocketIo {
     stream: TcpStream,
     reactor: Weak<Reactor>,
-    tuning: ConnTuning,
-    inner: Mutex<ConnInner>,
-    rx_cv: Condvar,
-    tx_cv: Condvar,
-    /// Live API handles (Tx + Rx wrappers); the last one out
-    /// deregisters and closes the socket.
-    handles: AtomicU64,
+    token: u64,
 }
 
-struct ConnInner {
-    // Receive side.
-    dec: FrameDecoder,
-    inbox: VecDeque<Message>,
-    /// Terminal receive condition, reported once the inbox drains.
-    rx_err: Option<TdpError>,
-    read_open: bool,
-    /// `EPOLLIN` withheld because the inbox is at its bound.
-    paused: bool,
-    // Send side.
-    outbox: VecDeque<Bytes>,
-    outbox_bytes: usize,
-    /// Partial-write offset into the front outbox frame.
-    head_off: usize,
-    /// `EPOLLOUT` armed: the reactor owes us a drain.
-    want_write: bool,
-    /// `close()` ran with frames still queued: half-close after flush.
-    flush_then_shutdown: bool,
-    /// Local close or fatal socket error: sends fail fast.
-    closed: bool,
-}
-
-impl ConnState {
-    // ---- interest -----------------------------------------------------
-
-    fn interest(inner: &ConnInner) -> u32 {
-        let mut mask = 0;
-        if inner.read_open && !inner.paused {
-            mask |= EPOLLIN | EPOLLRDHUP;
-        }
-        if inner.want_write {
-            mask |= EPOLLOUT;
-        }
-        mask
+impl FlowIo for SocketIo {
+    fn read(&self, buf: &mut [u8]) -> std::io::Result<usize> {
+        std::io::Read::read(&mut (&self.stream), buf)
     }
 
-    /// Rearm the (oneshot) registration to the current interest set.
-    fn rearm(&self, inner: &ConnInner) {
-        let mask = Self::interest(inner);
-        if mask == 0 {
-            return; // stay disarmed; a state change will rearm
+    fn write(&self, buf: &[u8]) -> std::io::Result<usize> {
+        std::io::Write::write(&mut (&self.stream), buf)
+    }
+
+    fn shutdown_read(&self) {
+        let _ = self.stream.shutdown(Shutdown::Read);
+    }
+
+    fn shutdown_write(&self) {
+        let _ = self.stream.shutdown(Shutdown::Write);
+    }
+
+    fn shutdown_both(&self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+
+    fn rearm(&self, interest: Interest) {
+        let mut mask = 0;
+        if interest.read {
+            mask |= EPOLLIN | EPOLLRDHUP;
+        }
+        if interest.write {
+            mask |= EPOLLOUT;
         }
         if let Some(r) = self.reactor.upgrade() {
             let _ =
                 r.ep.modify(self.stream.as_raw_fd(), mask | EPOLLONESHOT, self.token);
         }
     }
+}
 
-    // ---- event handling (reactor / workers) ---------------------------
+// ----------------------------------------------------- connection state
 
+/// Shared state of one reactor-managed connection: the generic flow
+/// state machine bound to its socket, plus handle accounting. All
+/// socket IO and all interest changes happen under the flow's lock, so
+/// concurrent senders, the receiver, and pool workers serialize per
+/// connection while different connections proceed in parallel.
+pub(crate) struct ConnState {
+    token: u64,
+    flow: Flow<SocketIo>,
+    /// Live API handles (Tx + Rx wrappers); the last one out
+    /// deregisters and closes the socket.
+    handles: AtomicU64,
+}
+
+impl ConnState {
+    fn fd(&self) -> i32 {
+        self.flow.io().stream.as_raw_fd()
+    }
+
+    /// Translate an epoll readiness report for the flow. Error/hangup
+    /// conditions count as both readable and writable so the drains
+    /// observe the failure.
     pub fn handle_event(&self, revents: u32) {
-        let mut inner = self.inner.lock();
-        if revents & (EPOLLIN | EPOLLRDHUP | EPOLLERR | EPOLLHUP) != 0 && inner.read_open {
-            self.drain_read(&mut inner);
-        }
-        if revents & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0
-            && (inner.want_write || inner.flush_then_shutdown)
-        {
-            self.drain_write(&mut inner);
-        }
-        self.rearm(&inner);
+        let readable = revents & (EPOLLIN | EPOLLRDHUP | EPOLLERR | EPOLLHUP) != 0;
+        let writable = revents & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0;
+        self.flow.on_ready(readable, writable);
     }
-
-    /// Read until `EWOULDBLOCK`, EOF, error, or the inbox bound.
-    fn drain_read(&self, inner: &mut ConnInner) {
-        let mut chunk = [0u8; 16 * 1024];
-        let mut delivered = false;
-        loop {
-            if inner.inbox.len() >= self.tuning.inbox_messages {
-                inner.paused = true; // consumer will unpause + rearm
-                break;
-            }
-            match (&self.stream).read(&mut chunk) {
-                Ok(0) => {
-                    inner.read_open = false;
-                    inner.rx_err.get_or_insert(TdpError::Disconnected);
-                    break;
-                }
-                Ok(n) => {
-                    inner.dec.feed(&chunk[..n]);
-                    if self.pump_decoder(inner) {
-                        delivered = true;
-                    }
-                    if !inner.read_open {
-                        break; // decoder hit a malformed frame
-                    }
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(_) => {
-                    // Hard socket error kills both directions.
-                    inner.read_open = false;
-                    inner.rx_err.get_or_insert(TdpError::Disconnected);
-                    inner.closed = true;
-                    self.tx_cv.notify_all();
-                    break;
-                }
-            }
-        }
-        if delivered || inner.rx_err.is_some() {
-            self.rx_cv.notify_all();
-        }
-    }
-
-    /// Move complete frames out of the decoder into the inbox. Returns
-    /// whether anything was delivered.
-    fn pump_decoder(&self, inner: &mut ConnInner) -> bool {
-        let mut delivered = false;
-        loop {
-            match inner.dec.next() {
-                Ok(Some(msg)) => {
-                    inner.inbox.push_back(msg);
-                    delivered = true;
-                }
-                Ok(None) => break,
-                Err(e) => {
-                    inner.read_open = false;
-                    inner.rx_err.get_or_insert(protocol_err(e));
-                    break;
-                }
-            }
-        }
-        delivered
-    }
-
-    /// Write outbox frames until empty or `EWOULDBLOCK` (which arms
-    /// `EPOLLOUT` — interest re-registration — so the reactor resumes
-    /// the drain when the socket buffer empties).
-    fn drain_write(&self, inner: &mut ConnInner) {
-        while let Some(front) = inner.outbox.front() {
-            let from = inner.head_off;
-            match (&self.stream).write(&front[from..]) {
-                Ok(n) => {
-                    inner.outbox_bytes -= n;
-                    inner.head_off += n;
-                    if inner.head_off == front.len() {
-                        inner.outbox.pop_front();
-                        inner.head_off = 0;
-                    }
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    inner.want_write = true;
-                    return;
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(_) => {
-                    // Peer gone: fail fast, like the TCP writer thread.
-                    inner.closed = true;
-                    inner.want_write = false;
-                    inner.outbox.clear();
-                    inner.outbox_bytes = 0;
-                    inner.head_off = 0;
-                    let _ = self.stream.shutdown(Shutdown::Write);
-                    self.tx_cv.notify_all();
-                    return;
-                }
-            }
-        }
-        inner.want_write = false;
-        self.tx_cv.notify_all(); // backpressured senders may proceed
-        if inner.flush_then_shutdown {
-            inner.flush_then_shutdown = false;
-            let _ = self.stream.shutdown(Shutdown::Write);
-        }
-    }
-
-    // ---- send path ----------------------------------------------------
 
     pub fn send(&self, frame: Bytes) -> TdpResult<()> {
-        let mut inner = self.inner.lock();
-        if inner.closed {
-            return Err(TdpError::Disconnected);
-        }
-        // Backpressure: wait for outbox space (a lone oversized frame is
-        // admitted so progress is always possible). A peer that stops
-        // draining for `write_stall` kills the connection instead of
-        // wedging the sender — the TCP backend's write-timeout contract.
-        if inner.outbox_bytes + frame.len() > self.tuning.outbox_bytes && !inner.outbox.is_empty() {
-            let deadline = Instant::now() + self.tuning.write_stall;
-            while inner.outbox_bytes + frame.len() > self.tuning.outbox_bytes
-                && !inner.outbox.is_empty()
-                && !inner.closed
-            {
-                if self.tx_cv.wait_until(&mut inner, deadline).timed_out() {
-                    inner.closed = true;
-                    inner.read_open = false;
-                    inner.rx_err.get_or_insert(TdpError::Disconnected);
-                    let _ = self.stream.shutdown(Shutdown::Both);
-                    self.rx_cv.notify_all();
-                    self.tx_cv.notify_all();
-                    return Err(TdpError::Disconnected);
-                }
-            }
-            if inner.closed {
-                return Err(TdpError::Disconnected);
-            }
-        }
-        inner.outbox_bytes += frame.len();
-        inner.outbox.push_back(frame);
-        if !inner.want_write {
-            // Fast path: the socket was writable last we knew — drain
-            // inline, no reactor round trip. Falls back to EPOLLOUT on
-            // a partial write.
-            self.drain_write(&mut inner);
-            if inner.want_write {
-                self.rearm(&inner);
-            }
-        }
-        Ok(())
+        self.flow.send(frame)
     }
 
     pub fn close(&self) {
-        let mut inner = self.inner.lock();
-        if inner.closed {
-            return;
-        }
-        inner.closed = true;
-        // Local reads fail fast (after already-decoded frames drain),
-        // matching the TCP backend's immediate read-side shutdown.
-        inner.read_open = false;
-        inner.rx_err.get_or_insert(TdpError::Disconnected);
-        let _ = self.stream.shutdown(Shutdown::Read);
-        if inner.outbox.is_empty() {
-            let _ = self.stream.shutdown(Shutdown::Write);
-        } else {
-            // Queued frames flush first, then the peer sees EOF.
-            inner.flush_then_shutdown = true;
-            if !inner.want_write {
-                self.drain_write(&mut inner);
-                if inner.want_write {
-                    self.rearm(&inner);
-                }
-            }
-        }
-        self.rx_cv.notify_all();
-        self.tx_cv.notify_all();
+        self.flow.close();
     }
 
-    // ---- receive path -------------------------------------------------
-
     pub fn recv(&self, deadline: Option<Instant>) -> TdpResult<Message> {
-        let deadline = match deadline {
-            Some(d) => Some(d),
-            None => self.tuning.read_timeout.map(|t| Instant::now() + t),
-        };
-        let mut inner = self.inner.lock();
-        loop {
-            if let Some(msg) = self.pop_inbox(&mut inner) {
-                return Ok(msg);
-            }
-            if let Some(e) = inner.rx_err.clone() {
-                return Err(e);
-            }
-            match deadline {
-                None => self.rx_cv.wait(&mut inner),
-                Some(d) => {
-                    if self.rx_cv.wait_until(&mut inner, d).timed_out() {
-                        return Err(TdpError::Timeout);
-                    }
-                }
-            }
-        }
+        self.flow.recv(deadline)
     }
 
     pub fn try_recv(&self) -> TdpResult<Option<Message>> {
-        let mut inner = self.inner.lock();
-        if let Some(msg) = self.pop_inbox(&mut inner) {
-            return Ok(Some(msg));
-        }
-        match inner.rx_err.clone() {
-            Some(e) => Err(e),
-            None => Ok(None),
-        }
-    }
-
-    fn pop_inbox(&self, inner: &mut MutexGuard<'_, ConnInner>) -> Option<Message> {
-        let msg = inner.inbox.pop_front()?;
-        if inner.paused && inner.read_open && inner.inbox.len() * 2 <= self.tuning.inbox_messages {
-            inner.paused = false;
-            self.rearm(inner);
-        }
-        Some(msg)
+        self.flow.try_recv()
     }
 
     // ---- lifecycle ----------------------------------------------------
@@ -552,33 +310,30 @@ impl ConnState {
     /// Deregister from the reactor; dropping the last `Arc` then closes
     /// the socket (peer sees EOF). Frames still queued are flushed
     /// synchronously first — the same guarantee the TCP writer thread
-    /// gives a dropped connection.
+    /// gives a dropped connection. The flow is quiesced *before* the
+    /// socket flips to blocking mode, so a worker holding a stale
+    /// readiness event cannot enter a drain and block a pool thread on
+    /// the now-blocking socket.
     fn release(&self) {
-        {
-            let mut inner = self.inner.lock();
-            let flush = !inner.outbox.is_empty() && (!inner.closed || inner.flush_then_shutdown);
-            if flush {
-                let _ = self.stream.set_nonblocking(false);
-                let _ = self.stream.set_write_timeout(Some(self.tuning.write_stall));
-                let off = inner.head_off;
-                let mut first = true;
-                while let Some(front) = inner.outbox.pop_front() {
-                    let from = if first { off } else { 0 };
-                    first = false;
-                    if (&self.stream).write_all(&front[from..]).is_err() {
-                        break;
-                    }
-                }
-                inner.outbox_bytes = 0;
-                inner.head_off = 0;
-                if inner.flush_then_shutdown {
-                    inner.flush_then_shutdown = false;
-                    let _ = self.stream.shutdown(Shutdown::Write);
+        let plan = self.flow.begin_release();
+        if let Some(plan) = plan {
+            let mut stream = &self.flow.io().stream;
+            let _ = stream.set_nonblocking(false);
+            let _ = stream.set_write_timeout(Some(self.flow.tuning().write_stall));
+            let mut first = true;
+            for front in plan.frames {
+                let from = if first { plan.head_off } else { 0 };
+                first = false;
+                if stream.write_all(&front[from..]).is_err() {
+                    break;
                 }
             }
+            if plan.shutdown_write_after {
+                let _ = stream.shutdown(Shutdown::Write);
+            }
         }
-        if let Some(r) = self.reactor.upgrade() {
-            r.deregister(self.token, self.stream.as_raw_fd());
+        if let Some(r) = self.flow.io().reactor.upgrade() {
+            r.deregister(self.token, self.fd());
         }
     }
 }

@@ -4,10 +4,10 @@
 use crate::{
     Endpoint, ListenerApi, RxApi, Transport, TxApi, WireConn, WireListener, WireRx, WireTx,
 };
-use std::sync::Arc;
 use std::time::Instant;
 use tdp_netsim::{Conn, ConnRx, ConnTx, Listener, Network};
 use tdp_proto::{HostId, Message, TdpError, TdpResult};
+use tdp_sync::Arc;
 
 /// Transport over the simulated fabric.
 #[derive(Clone)]
@@ -63,7 +63,7 @@ pub fn wrap_listener(net: Network, listener: Listener) -> WireListener {
     let addr = listener.local_addr();
     WireListener::new(Arc::new(SimListener {
         net,
-        listener: parking_lot::Mutex::new(listener),
+        listener: tdp_sync::Mutex::new(listener),
         addr: Endpoint::Sim(addr),
     }))
 }
@@ -106,7 +106,7 @@ impl RxApi for SimRx {
 
 struct SimListener {
     net: Network,
-    listener: parking_lot::Mutex<Listener>,
+    listener: tdp_sync::Mutex<Listener>,
     addr: Endpoint,
 }
 

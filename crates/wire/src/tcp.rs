@@ -28,11 +28,11 @@ use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 use tdp_proto::{encode_frame, Addr, FrameDecoder, HostId, Message, TdpError, TdpResult};
+use tdp_sync::atomic::{AtomicBool, Ordering};
+use tdp_sync::Arc;
 
 /// Tunables for the TCP backend.
 #[derive(Debug, Clone)]
@@ -329,7 +329,7 @@ pub(crate) struct RealListener {
     local: SocketAddr,
     incoming: Receiver<WireConn>,
     closed: Arc<AtomicBool>,
-    thread: parking_lot::Mutex<Option<thread::JoinHandle<()>>>,
+    thread: tdp_sync::Mutex<Option<thread::JoinHandle<()>>>,
 }
 
 impl ListenerApi for RealListener {
@@ -378,7 +378,7 @@ pub(crate) fn spawn_real_listener(
         local,
         incoming: rx,
         closed,
-        thread: parking_lot::Mutex::new(Some(thread)),
+        thread: tdp_sync::Mutex::new(Some(thread)),
     })))
 }
 

@@ -1,0 +1,49 @@
+//! Offline shim for `loom` (see `stubs/README.md`): a miniature
+//! systematic concurrency checker.
+//!
+//! The real `loom` replaces `std::sync` with instrumented versions and
+//! runs a closure under *every* meaningful thread interleaving,
+//! turning heisenbugs (lost wakeups, deadlocks, ordering races) into
+//! deterministic test failures. This shim implements the same idea
+//! with a much simpler engine, in the style of CHESS-like systematic
+//! testing:
+//!
+//! * Model threads are real OS threads, but only **one runs at a
+//!   time** — every synchronization operation (mutex acquire, condvar
+//!   wait/notify, atomic access) is a *scheduling point* where a
+//!   central scheduler picks which thread proceeds.
+//! * The scheduler explores the tree of scheduling decisions by
+//!   **depth-first search with replay**: each execution records the
+//!   decisions taken; the next execution replays the prefix and flips
+//!   the last decision that still has an untried alternative, until
+//!   the whole tree is exhausted.
+//! * A timed condvar wait stays *eligible for scheduling* while
+//!   parked: picking it means its timeout fired. Both the
+//!   timely-notify and the timeout interleavings are therefore
+//!   explored, like loom's spurious-timeout model.
+//! * If no thread is runnable and not all have finished, the execution
+//!   **deadlocked** — reported as a panic naming each thread's state.
+//!   Lost-wakeup bugs surface this way.
+//!
+//! Compared to the real crate: only sequentially-consistent atomics
+//! are modelled (no weak-memory reorderings, no partial-order
+//! reduction), so keep models small — a handful of threads, ≲10 lock
+//! operations each. Exploration is capped at `LOOM_MAX_ITERATIONS`
+//! executions (default 1,000,000); exceeding the cap fails the test
+//! rather than passing it silently.
+//!
+//! Outside of [`model`] the primitives degrade to their `std`
+//! behaviour, so code built with `--cfg loom` still runs normally when
+//! it is not under the checker.
+
+use std::sync::PoisonError;
+
+mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use rt::model;
+
+pub(crate) fn recover<T>(r: Result<T, PoisonError<T>>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
+}

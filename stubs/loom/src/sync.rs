@@ -1,0 +1,284 @@
+//! Model-aware `std::sync` lookalikes. Inside [`crate::model`] every
+//! operation routes through the scheduler; outside, they behave like
+//! the `std` primitives they wrap.
+
+use crate::{recover, rt};
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{self, LockResult};
+use std::time::Duration;
+
+pub use std::sync::{Arc, Weak};
+
+// ---------------------------------------------------------------- Mutex
+
+pub struct Mutex<T: ?Sized> {
+    id: u64,
+    os: sync::Mutex<T>,
+}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    /// Acquired through the model scheduler (vs. plain std fallback).
+    model: bool,
+    /// `Option` so `Condvar` can release and re-take the inner guard.
+    g: Option<sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            id: rt::next_object_id(),
+            os: sync::Mutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(recover(self.os.into_inner()))
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let model = rt::in_model();
+        if model {
+            rt::acquire(self.id);
+        }
+        // Model mode serializes access, so the inner lock is free.
+        let g = recover(self.os.lock());
+        Ok(MutexGuard {
+            lock: self,
+            model,
+            g: Some(g),
+        })
+    }
+
+    pub fn try_lock(&self) -> Result<MutexGuard<'_, T>, sync::TryLockError<MutexGuard<'_, T>>> {
+        let model = rt::in_model();
+        if model {
+            if !rt::try_acquire(self.id) {
+                return Err(sync::TryLockError::WouldBlock);
+            }
+            let g = recover(self.os.lock());
+            return Ok(MutexGuard {
+                lock: self,
+                model,
+                g: Some(g),
+            });
+        }
+        match self.os.try_lock() {
+            Ok(g) => Ok(MutexGuard {
+                lock: self,
+                model,
+                g: Some(g),
+            }),
+            Err(sync::TryLockError::Poisoned(e)) => Ok(MutexGuard {
+                lock: self,
+                model,
+                g: Some(e.into_inner()),
+            }),
+            Err(sync::TryLockError::WouldBlock) => Err(sync::TryLockError::WouldBlock),
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the data lock first, then the model-level hold.
+        self.g = None;
+        if self.model {
+            rt::release(self.lock.id);
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.g.as_ref().expect("guard taken")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.g.as_mut().expect("guard taken")
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("loom::Mutex")
+    }
+}
+
+// -------------------------------------------------------------- Condvar
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+pub struct Condvar {
+    id: u64,
+    os: sync::Condvar,
+}
+
+impl Condvar {
+    pub fn new() -> Condvar {
+        Condvar {
+            id: rt::next_object_id(),
+            os: sync::Condvar::new(),
+        }
+    }
+
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        if guard.model && rt::in_model() {
+            guard.g = None; // release the data lock while parked
+            rt::cv_wait(self.id, guard.lock.id, false);
+            guard.g = Some(recover(guard.lock.os.lock()));
+            return Ok(guard);
+        }
+        let g = guard.g.take().expect("guard taken");
+        guard.g = Some(recover(self.os.wait(g)));
+        Ok(guard)
+    }
+
+    /// Timed wait. Under the model the duration is ignored: the
+    /// timeout is a *nondeterministic event* the scheduler may fire at
+    /// any decision point while the thread is parked — so both the
+    /// notified and the timed-out path get explored.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        if guard.model && rt::in_model() {
+            guard.g = None;
+            let timed_out = rt::cv_wait(self.id, guard.lock.id, true);
+            guard.g = Some(recover(guard.lock.os.lock()));
+            return Ok((guard, WaitTimeoutResult(timed_out)));
+        }
+        let g = guard.g.take().expect("guard taken");
+        let (g, res) = match self.os.wait_timeout(g, timeout) {
+            Ok((g, res)) => (g, res),
+            Err(e) => e.into_inner(),
+        };
+        guard.g = Some(g);
+        Ok((guard, WaitTimeoutResult(res.timed_out())))
+    }
+
+    pub fn notify_one(&self) {
+        if rt::in_model() {
+            rt::notify(self.id, false);
+        } else {
+            self.os.notify_one();
+        }
+    }
+
+    pub fn notify_all(&self) {
+        if rt::in_model() {
+            rt::notify(self.id, true);
+        } else {
+            self.os.notify_all();
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("loom::Condvar")
+    }
+}
+
+// -------------------------------------------------------------- atomics
+
+pub mod atomic {
+    //! Sequentially-consistent model atomics: every access is a
+    //! scheduling point. Weak orderings are accepted but modelled as
+    //! SeqCst (the shim explores thread interleavings, not memory
+    //! reorderings).
+
+    use crate::rt;
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! atomic_common {
+        ($name:ident, $t:ty) => {
+            #[derive(Debug, Default)]
+            pub struct $name(std::sync::atomic::$name);
+
+            impl $name {
+                pub fn new(v: $t) -> $name {
+                    $name(std::sync::atomic::$name::new(v))
+                }
+
+                pub fn load(&self, order: Ordering) -> $t {
+                    rt::schedule_point();
+                    self.0.load(order)
+                }
+
+                pub fn store(&self, v: $t, order: Ordering) {
+                    rt::schedule_point();
+                    self.0.store(v, order);
+                }
+
+                pub fn swap(&self, v: $t, order: Ordering) -> $t {
+                    rt::schedule_point();
+                    self.0.swap(v, order)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    cur: $t,
+                    new: $t,
+                    ok: Ordering,
+                    err: Ordering,
+                ) -> Result<$t, $t> {
+                    rt::schedule_point();
+                    self.0.compare_exchange(cur, new, ok, err)
+                }
+
+                pub fn into_inner(self) -> $t {
+                    self.0.into_inner()
+                }
+            }
+        };
+    }
+
+    macro_rules! atomic_int {
+        ($name:ident, $t:ty) => {
+            atomic_common!($name, $t);
+
+            impl $name {
+                pub fn fetch_add(&self, v: $t, order: Ordering) -> $t {
+                    rt::schedule_point();
+                    self.0.fetch_add(v, order)
+                }
+
+                pub fn fetch_sub(&self, v: $t, order: Ordering) -> $t {
+                    rt::schedule_point();
+                    self.0.fetch_sub(v, order)
+                }
+            }
+        };
+    }
+
+    atomic_common!(AtomicBool, bool);
+    atomic_int!(AtomicU32, u32);
+    atomic_int!(AtomicU64, u64);
+    atomic_int!(AtomicUsize, usize);
+
+    pub fn fence(_order: Ordering) {
+        rt::schedule_point();
+        std::sync::atomic::fence(Ordering::SeqCst);
+    }
+}

@@ -1,0 +1,58 @@
+//! Model-aware `std::thread` lookalikes: spawned threads become model
+//! threads whose every synchronization operation is scheduled by
+//! [`crate::model`]'s DFS driver.
+
+use crate::rt;
+
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<Option<T>>,
+    tid: Option<usize>,
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some(tid) = self.tid {
+            // Model-level join first (a scheduling decision), then the
+            // OS-level join, which at that point cannot block long.
+            rt::join_thread(tid);
+        }
+        match self.inner.join() {
+            Ok(Some(v)) => Ok(v),
+            // The wrapper already recorded the panic in the execution;
+            // surface a placeholder payload to the joiner.
+            Ok(None) => Err(Box::new("loom (shim): model thread panicked")),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    if !rt::in_model() {
+        let inner = std::thread::spawn(move || Some(f()));
+        return JoinHandle { inner, tid: None };
+    }
+    // Register synchronously in the parent so tids are deterministic,
+    // then let the scheduler decide when the child first runs.
+    let tid = rt::register_thread();
+    let inner = std::thread::Builder::new()
+        .name(format!("loom-{tid}"))
+        .spawn(move || rt::run_thread(tid, f))
+        .expect("spawn loom thread");
+    rt::schedule_point();
+    JoinHandle {
+        inner,
+        tid: Some(tid),
+    }
+}
+
+pub fn yield_now() {
+    if rt::in_model() {
+        rt::schedule_point();
+    } else {
+        std::thread::yield_now();
+    }
+}
