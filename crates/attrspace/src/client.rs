@@ -6,12 +6,69 @@
 //! blocks the daemon, and asynchronous work is done with subscriptions
 //! whose notifications queue up until the daemon drains them from its
 //! central polling loop (`tdp_service_event`, §3.3).
+//!
+//! # Reconnect
+//!
+//! A dropped server connection is terminal by default. A client given a
+//! redial closure ([`AttrClient::set_redial`]) instead survives a
+//! server restart: on `Disconnected` it re-dials with jittered capped
+//! exponential backoff, replays its session state (joined contexts and
+//! live subscriptions), and retries the interrupted operation. Puts are
+//! last-writer-wins and gets are reads, so the retry is safe; replayed
+//! subscriptions re-deliver at-least-once (a notification can arrive
+//! twice across a reconnect — daemons key on the token, which stays
+//! stable). The space itself is *not* replayed — a restarted LASS comes
+//! back empty, exactly like the paper's model, and daemons re-put what
+//! they own.
 
-use std::collections::VecDeque;
-use std::time::Duration;
+use rand::SmallRng;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::time::{Duration, Instant};
 use tdp_netsim::{Conn, Network};
 use tdp_proto::{Addr, ContextId, HostId, Message, Reply, TdpError, TdpResult};
 use tdp_wire::WireConn;
+
+/// Re-dials the server. Called once per connection attempt, so it can
+/// (and should) re-resolve the server's address each time — a restarted
+/// server may listen on a different real socket behind the same logical
+/// address.
+pub type Dialer = Box<dyn FnMut() -> TdpResult<WireConn> + Send>;
+
+/// Backoff policy for [`AttrClient::set_redial`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReconnectPolicy {
+    /// First retry delay; doubles per failed attempt.
+    pub base: Duration,
+    /// Ceiling on a single delay.
+    pub cap: Duration,
+    /// Total time to keep trying before giving up with the dial error.
+    pub max_elapsed: Duration,
+    /// Seed for the jitter PRNG (deterministic tests inject their own).
+    pub seed: u64,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> ReconnectPolicy {
+        ReconnectPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(500),
+            max_elapsed: Duration::from_secs(10),
+            seed: 0x7d9_5eed,
+        }
+    }
+}
+
+struct Redial {
+    dial: Dialer,
+    policy: ReconnectPolicy,
+    rng: SmallRng,
+    /// Contexts this session has joined (replayed on reconnect).
+    joined: BTreeSet<ContextId>,
+    /// Live one-shot subscriptions by token (pruned when the
+    /// notification fires or the daemon unsubscribes).
+    subs: BTreeMap<u64, (ContextId, String, bool)>,
+    reconnects: u64,
+}
 
 /// A pending asynchronous notification, delivered by
 /// [`AttrClient::poll_notify`] / [`AttrClient::wait_notify`].
@@ -30,6 +87,8 @@ pub struct AttrClient {
     /// Replies we abandoned (timed-out blocking gets): the next this
     /// many non-notify replies are discarded to stay in sync.
     orphans: usize,
+    /// Reconnect machinery; `None` = dropped connection is terminal.
+    redial: Option<Redial>,
 }
 
 impl AttrClient {
@@ -63,17 +122,45 @@ impl AttrClient {
             conn,
             pending: VecDeque::new(),
             orphans: 0,
+            redial: None,
         }
+    }
+
+    /// Arm client-side reconnect: on a dropped connection, `dial` is
+    /// retried under `policy` and the session (joins, subscriptions) is
+    /// replayed — see the module docs for the exact semantics.
+    pub fn set_redial(&mut self, dial: Dialer, policy: ReconnectPolicy) {
+        self.redial = Some(Redial {
+            dial,
+            rng: SmallRng::seed_from_u64(policy.seed),
+            policy,
+            joined: BTreeSet::new(),
+            subs: BTreeMap::new(),
+            reconnects: 0,
+        });
+    }
+
+    /// How many times this session has successfully reconnected.
+    pub fn reconnects(&self) -> u64 {
+        self.redial.as_ref().map_or(0, |r| r.reconnects)
     }
 
     /// Join a context (`tdp_init`'s server half).
     pub fn join(&mut self, ctx: ContextId) -> TdpResult<()> {
-        self.expect_ok(Message::Join { ctx })
+        self.expect_ok(Message::Join { ctx })?;
+        if let Some(r) = self.redial.as_mut() {
+            r.joined.insert(ctx);
+        }
+        Ok(())
     }
 
     /// Leave a context (`tdp_exit`'s server half).
     pub fn leave(&mut self, ctx: ContextId) -> TdpResult<()> {
-        self.expect_ok(Message::Leave { ctx })
+        self.expect_ok(Message::Leave { ctx })?;
+        if let Some(r) = self.redial.as_mut() {
+            r.joined.remove(&ctx);
+        }
+        Ok(())
     }
 
     /// Blocking `tdp_put`.
@@ -114,12 +201,12 @@ impl AttrClient {
         blocking: bool,
         timeout: Option<Duration>,
     ) -> TdpResult<String> {
-        self.conn.send_msg(&Message::Get {
+        let msg = Message::Get {
             ctx,
             key: key.to_string(),
             blocking,
-        })?;
-        match self.read_reply(timeout) {
+        };
+        match self.request(&msg, timeout) {
             Ok(Reply::Value { value, .. }) => Ok(value),
             Ok(Reply::Err(e)) => Err(e),
             Ok(other) => Err(TdpError::Protocol(format!("unexpected reply: {other:?}"))),
@@ -155,21 +242,29 @@ impl AttrClient {
             key: key.to_string(),
             token,
             only_future,
-        })
+        })?;
+        if let Some(r) = self.redial.as_mut() {
+            r.subs.insert(token, (ctx, key.to_string(), only_future));
+        }
+        Ok(())
     }
 
     /// Cancel a subscription.
     pub fn unsubscribe(&mut self, ctx: ContextId, token: u64) -> TdpResult<()> {
-        self.expect_ok(Message::Unsubscribe { ctx, token })
+        self.expect_ok(Message::Unsubscribe { ctx, token })?;
+        if let Some(r) = self.redial.as_mut() {
+            r.subs.remove(&token);
+        }
+        Ok(())
     }
 
     /// Keys with a prefix.
     pub fn list_keys(&mut self, ctx: ContextId, prefix: &str) -> TdpResult<Vec<String>> {
-        self.conn.send_msg(&Message::ListKeys {
+        let msg = Message::ListKeys {
             ctx,
             prefix: prefix.to_string(),
-        })?;
-        match self.read_reply(None)? {
+        };
+        match self.request(&msg, None)? {
             Reply::Keys(keys) => Ok(keys),
             Reply::Err(e) => Err(e),
             other => Err(TdpError::Protocol(format!("unexpected reply: {other:?}"))),
@@ -185,6 +280,7 @@ impl AttrClient {
         loop {
             match self.conn.try_recv_msg() {
                 Ok(Some(Message::Reply(Reply::Notify { token, key, value }))) => {
+                    self.sub_fired(token);
                     return Some(Notification { token, key, value });
                 }
                 Ok(Some(Message::Reply(r))) if self.orphans > 0 => {
@@ -208,6 +304,7 @@ impl AttrClient {
                 .ok_or(TdpError::Timeout)?;
             match self.conn.recv_msg_timeout(remaining)? {
                 Message::Reply(Reply::Notify { token, key, value }) => {
+                    self.sub_fired(token);
                     return Ok(Notification { token, key, value });
                 }
                 Message::Reply(r) if self.orphans > 0 => {
@@ -234,11 +331,134 @@ impl AttrClient {
     }
 
     fn expect_ok(&mut self, msg: Message) -> TdpResult<()> {
-        self.conn.send_msg(&msg)?;
-        match self.read_reply(None)? {
+        match self.request(&msg, None)? {
             Reply::Ok => Ok(()),
             Reply::Err(e) => Err(e),
             other => Err(TdpError::Protocol(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// One request/reply round trip. On a dropped connection with
+    /// redial armed: reconnect (replaying session state) and retry the
+    /// request. Every request this client issues is safe to repeat —
+    /// puts are last-writer-wins, joins and subscribes are idempotent
+    /// on the server — so a reply lost in the crash costs a duplicate,
+    /// not corruption.
+    fn request(&mut self, msg: &Message, timeout: Option<Duration>) -> TdpResult<Reply> {
+        loop {
+            let res = self
+                .conn
+                .send_msg(msg)
+                .and_then(|()| self.read_reply(timeout));
+            match res {
+                Err(TdpError::Disconnected) if self.redial.is_some() => self.reconnect()?,
+                other => return other,
+            }
+        }
+    }
+
+    /// Dial until connected (or the policy's budget runs out), replay
+    /// the session, and install the new connection.
+    fn reconnect(&mut self) -> TdpResult<()> {
+        let mut r = self.redial.take().expect("reconnect without redial");
+        let out = match Self::dial_and_replay(&mut r) {
+            Ok((conn, notes)) => {
+                self.conn = conn;
+                // The old stream died with any orphaned replies on it.
+                self.orphans = 0;
+                self.pending.extend(notes);
+                r.reconnects += 1;
+                Ok(())
+            }
+            Err(e) => Err(e),
+        };
+        self.redial = Some(r);
+        out
+    }
+
+    fn dial_and_replay(r: &mut Redial) -> TdpResult<(WireConn, Vec<Notification>)> {
+        let start = Instant::now();
+        let mut delay = r.policy.base;
+        loop {
+            match (r.dial)().and_then(|conn| Self::replay_session(conn, &r.joined, &r.subs)) {
+                Ok((conn, notes)) => {
+                    for n in &notes {
+                        r.subs.remove(&n.token);
+                    }
+                    return Ok((conn, notes));
+                }
+                // Anything transport-shaped is worth retrying: the
+                // server may still be restarting (refused/timeout), the
+                // network healing (firewall/partition), or the real
+                // socket gone (substrate).
+                Err(
+                    e @ (TdpError::Disconnected
+                    | TdpError::ConnectionRefused(_)
+                    | TdpError::Timeout
+                    | TdpError::BlockedByFirewall { .. }
+                    | TdpError::Substrate(_)),
+                ) => {
+                    // Jittered backoff: uniform in [delay/2, delay].
+                    let half = delay / 2;
+                    let jitter =
+                        half + Duration::from_nanos(r.rng.gen_range(half.as_nanos() as u64 + 1));
+                    if start.elapsed() + jitter > r.policy.max_elapsed {
+                        return Err(e);
+                    }
+                    std::thread::sleep(jitter);
+                    delay = (delay * 2).min(r.policy.cap);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Replay joins and live subscriptions on a fresh connection.
+    /// Subscriptions are replayed with `only_future = false`: a value
+    /// put while we were away must still wake its subscriber. Notifies
+    /// that fire during the replay are collected for the pending queue.
+    fn replay_session(
+        mut conn: WireConn,
+        joined: &BTreeSet<ContextId>,
+        subs: &BTreeMap<u64, (ContextId, String, bool)>,
+    ) -> TdpResult<(WireConn, Vec<Notification>)> {
+        const REPLAY_TIMEOUT: Duration = Duration::from_secs(5);
+        let mut notes = Vec::new();
+        let mut roundtrip = |conn: &mut WireConn, msg: &Message| -> TdpResult<()> {
+            conn.send_msg(msg)?;
+            loop {
+                match conn.recv_msg_timeout(REPLAY_TIMEOUT)? {
+                    Message::Reply(Reply::Notify { token, key, value }) => {
+                        notes.push(Notification { token, key, value });
+                    }
+                    Message::Reply(Reply::Ok) => return Ok(()),
+                    Message::Reply(Reply::Err(e)) => return Err(e),
+                    other => {
+                        return Err(TdpError::Protocol(format!("unexpected message: {other:?}")))
+                    }
+                }
+            }
+        };
+        for ctx in joined {
+            roundtrip(&mut conn, &Message::Join { ctx: *ctx })?;
+        }
+        for (token, (ctx, key, _only_future)) in subs {
+            roundtrip(
+                &mut conn,
+                &Message::Subscribe {
+                    ctx: *ctx,
+                    key: key.clone(),
+                    token: *token,
+                    only_future: false,
+                },
+            )?;
+        }
+        Ok((conn, notes))
+    }
+
+    fn sub_fired(&mut self, token: u64) {
+        if let Some(r) = self.redial.as_mut() {
+            r.subs.remove(&token);
         }
     }
 
@@ -258,6 +478,7 @@ impl AttrClient {
             };
             match msg {
                 Message::Reply(Reply::Notify { token, key, value }) => {
+                    self.sub_fired(token);
                     self.pending.push_back(Notification { token, key, value });
                 }
                 Message::Reply(r) => {

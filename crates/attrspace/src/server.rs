@@ -124,6 +124,11 @@ impl AttrSpaceServer {
         self.shared.space.lock().context_count()
     }
 
+    /// Live client sessions (the ops KPI plane samples this).
+    pub fn client_count(&self) -> usize {
+        self.shared.clients.lock().len()
+    }
+
     /// Stop accepting new clients; existing sessions drain.
     pub fn shutdown(mut self) {
         self.stop();

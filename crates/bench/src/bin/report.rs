@@ -403,6 +403,20 @@ fn e10_matrix() {
     println!("  (paradynd × both schedulers and tdb × minirm are covered in the test suite)");
 }
 
+fn e18_ops() {
+    header("E18 — Supervision daemon (tdp-ops)");
+    // The same scripted scenario `tdp-ops --kpi-dump` runs: a
+    // supervised deployment, one LASS killed, recovery measured.
+    match tdp_ops::demo::kpi_dump() {
+        Ok(kpis) => {
+            for (k, v) in &kpis {
+                row(k, v);
+            }
+        }
+        Err(e) => row("ops demo", format!("FAIL: {e}")),
+    }
+}
+
 fn main() {
     println!("# TDP experiment report (regenerates EXPERIMENTS.md quantitative rows)");
     println!(
@@ -421,5 +435,6 @@ fn main() {
     b4_parador();
     b5_mrnet();
     e10_matrix();
+    e18_ops();
     println!("\ndone.");
 }

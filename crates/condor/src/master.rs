@@ -5,18 +5,18 @@
 //! of the RM ("the RM must be able to detect these failures and
 //! respond to them").
 
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
+use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tdp_core::World;
-use tdp_proto::{Addr, HostId, TdpResult};
+use tdp_proto::{Addr, HostId, TdpError, TdpResult};
 
 /// Supervises one daemon identified by its listening address.
 pub struct Master {
-    restarts: Arc<AtomicU64>,
-    stop: Arc<AtomicBool>,
+    restarts: Arc<(Mutex<u64>, Condvar)>,
+    stop_tx: Sender<()>,
     monitor: Option<thread::JoinHandle<()>>,
 }
 
@@ -33,17 +33,23 @@ impl Master {
         interval: Duration,
         restart: impl FnMut() -> TdpResult<Addr> + Send + 'static,
     ) -> Master {
-        let restarts = Arc::new(AtomicU64::new(0));
-        let stop = Arc::new(AtomicBool::new(false));
-        let (r2, s2) = (restarts.clone(), stop.clone());
+        let restarts: Arc<(Mutex<u64>, Condvar)> = Arc::new((Mutex::new(0), Condvar::new()));
+        // The stop channel doubles as the tick timer: a recv timeout is
+        // one probe interval, a received message (or a dropped sender)
+        // is shutdown — so shutdown never waits out a sleep.
+        let (stop_tx, stop_rx) = bounded::<()>(1);
+        let r2 = restarts.clone();
         let world = world.clone();
         let current = Arc::new(Mutex::new(addr));
         let monitor = thread::Builder::new()
             .name(format!("condor-master-{host}"))
             .spawn(move || {
                 let mut restart = restart;
-                while !s2.load(Ordering::SeqCst) {
-                    thread::sleep(interval);
+                loop {
+                    match stop_rx.recv_timeout(interval) {
+                        Err(RecvTimeoutError::Timeout) => {}
+                        _ => return,
+                    }
                     let target = *current.lock();
                     match world.net().connect(host, target) {
                         Ok(conn) => drop(conn), // alive; close the probe
@@ -51,7 +57,9 @@ impl Master {
                             // Daemon gone: bring up a replacement.
                             if let Ok(new_addr) = restart() {
                                 *current.lock() = new_addr;
-                                r2.fetch_add(1, Ordering::SeqCst);
+                                let (count, cv) = &*r2;
+                                *count.lock() += 1;
+                                cv.notify_all();
                             }
                         }
                     }
@@ -60,14 +68,29 @@ impl Master {
             .expect("spawn master monitor");
         Master {
             restarts,
-            stop,
+            stop_tx,
             monitor: Some(monitor),
         }
     }
 
     /// How many times the supervised daemon has been restarted.
     pub fn restart_count(&self) -> u64 {
-        self.restarts.load(Ordering::SeqCst)
+        *self.restarts.0.lock()
+    }
+
+    /// Block until at least `n` restarts have happened; returns the
+    /// count observed. Lets tests (and operators) wait on recovery
+    /// without polling.
+    pub fn wait_restarts(&self, n: u64, timeout: Duration) -> TdpResult<u64> {
+        let deadline = Instant::now() + timeout;
+        let (count, cv) = &*self.restarts;
+        let mut c = count.lock();
+        while *c < n {
+            if cv.wait_until(&mut c, deadline).timed_out() {
+                return Err(TdpError::Timeout);
+            }
+        }
+        Ok(*c)
     }
 
     /// Stop supervising.
@@ -76,7 +99,7 @@ impl Master {
     }
 
     fn stop_inner(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.stop_tx.try_send(());
         if let Some(h) = self.monitor.take() {
             let _ = h.join();
         }

@@ -3,11 +3,13 @@
 //! breaks ties (Figure 4's `match_maker`).
 
 use crate::classad::ClassAd;
-use crate::messages::{recv_json, send_json, MmMsg};
-use parking_lot::Mutex;
+use crate::messages::{recv_json, recv_json_timeout, send_json, MmMsg};
+use parking_lot::{Condvar, Mutex};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::thread;
+use std::time::{Duration, Instant};
+use tdp_core::Supervisable;
 use tdp_netsim::Network;
 use tdp_proto::{Addr, HostId, TdpError, TdpResult};
 
@@ -22,11 +24,15 @@ struct MachineEntry {
     available: bool,
 }
 
+/// Machine table plus a condvar notified on every change, so waiters
+/// (tests, the ops supervisor) can block instead of polling.
+type Machines = Arc<(Mutex<BTreeMap<String, MachineEntry>>, Condvar)>;
+
 /// The running matchmaker.
 pub struct Matchmaker {
     addr: Addr,
     net: Network,
-    machines: Arc<Mutex<BTreeMap<String, MachineEntry>>>,
+    machines: Machines,
     accept_thread: Option<thread::JoinHandle<()>>,
 }
 
@@ -35,8 +41,7 @@ impl Matchmaker {
     pub fn start(net: &Network, host: HostId) -> TdpResult<Matchmaker> {
         let listener = net.listen(host, MATCHMAKER_PORT)?;
         let addr = listener.local_addr();
-        let machines: Arc<Mutex<BTreeMap<String, MachineEntry>>> =
-            Arc::new(Mutex::new(BTreeMap::new()));
+        let machines: Machines = Arc::new((Mutex::new(BTreeMap::new()), Condvar::new()));
         let m2 = machines.clone();
         let accept_thread = thread::Builder::new()
             .name("condor-matchmaker".into())
@@ -72,10 +77,33 @@ impl Matchmaker {
     /// Registered machine names with availability (tests/diagnostics).
     pub fn machines(&self) -> Vec<(String, bool)> {
         self.machines
+            .0
             .lock()
             .iter()
             .map(|(n, e)| (n.clone(), e.available))
             .collect()
+    }
+
+    /// Block until the machine table satisfies `pred` (checked on every
+    /// register/update/unregister); returns the satisfying snapshot.
+    pub fn wait_machines(
+        &self,
+        timeout: Duration,
+        mut pred: impl FnMut(&[(String, bool)]) -> bool,
+    ) -> TdpResult<Vec<(String, bool)>> {
+        let deadline = Instant::now() + timeout;
+        let (lock, cv) = &*self.machines;
+        let mut m = lock.lock();
+        loop {
+            let snap: Vec<(String, bool)> =
+                m.iter().map(|(n, e)| (n.clone(), e.available)).collect();
+            if pred(&snap) {
+                return Ok(snap);
+            }
+            if cv.wait_until(&mut m, deadline).timed_out() {
+                return Err(TdpError::Timeout);
+            }
+        }
     }
 
     /// Stop accepting connections.
@@ -97,10 +125,24 @@ impl Drop for Matchmaker {
     }
 }
 
+impl Supervisable for Matchmaker {
+    fn ops_name(&self) -> String {
+        format!("condor.matchmaker.{}", self.addr.host.0)
+    }
+
+    fn ops_probe(&self) -> TdpResult<()> {
+        // Prove it still answers its protocol, not just accepts.
+        let mut conn = self.net.connect(self.addr.host, self.addr)?;
+        send_json(&conn, &MmMsg::QueryMachines)?;
+        recv_json_timeout::<MmMsg>(&mut conn, Duration::from_secs(5))?;
+        Ok(())
+    }
+}
+
 /// The matchmaking algorithm: among available, mutually-matching
 /// machines, pick the one the job ranks highest (ties: name order, for
 /// determinism).
-fn handle(machines: &Mutex<BTreeMap<String, MachineEntry>>, msg: MmMsg) -> MmMsg {
+fn handle(machines: &(Mutex<BTreeMap<String, MachineEntry>>, Condvar), msg: MmMsg) -> MmMsg {
     match msg {
         MmMsg::RegisterMachine {
             name,
@@ -108,7 +150,7 @@ fn handle(machines: &Mutex<BTreeMap<String, MachineEntry>>, msg: MmMsg) -> MmMsg
             startd,
             ad,
         } => {
-            machines.lock().insert(
+            machines.0.lock().insert(
                 name,
                 MachineEntry {
                     host,
@@ -117,20 +159,23 @@ fn handle(machines: &Mutex<BTreeMap<String, MachineEntry>>, msg: MmMsg) -> MmMsg
                     available: true,
                 },
             );
+            machines.1.notify_all();
             MmMsg::Ack
         }
         MmMsg::UpdateMachine { name, available } => {
-            if let Some(e) = machines.lock().get_mut(&name) {
+            if let Some(e) = machines.0.lock().get_mut(&name) {
                 e.available = available;
             }
+            machines.1.notify_all();
             MmMsg::Ack
         }
         MmMsg::UnregisterMachine { name } => {
-            machines.lock().remove(&name);
+            machines.0.lock().remove(&name);
+            machines.1.notify_all();
             MmMsg::Ack
         }
         MmMsg::Negotiate { job_ad, exclude } => {
-            let machines = machines.lock();
+            let machines = machines.0.lock();
             let best = machines
                 .iter()
                 .filter(|(name, e)| e.available && !exclude.contains(name) && job_ad.matches(&e.ad))
@@ -149,6 +194,7 @@ fn handle(machines: &Mutex<BTreeMap<String, MachineEntry>>, msg: MmMsg) -> MmMsg
         }
         MmMsg::QueryMachines => MmMsg::Machines(
             machines
+                .0
                 .lock()
                 .iter()
                 .map(|(n, e)| (n.clone(), e.available))

@@ -48,7 +48,13 @@ struct ScheddInner {
     cv: Condvar,
     next_job: AtomicU64,
     /// How long to keep renegotiating before failing a job.
-    negotiation_timeout: Duration,
+    negotiation_timeout: Mutex<Duration>,
+}
+
+impl ScheddInner {
+    fn negotiation_timeout(&self) -> Duration {
+        *self.negotiation_timeout.lock()
+    }
 }
 
 /// The running schedd. One per submit machine.
@@ -67,7 +73,7 @@ impl Schedd {
                 jobs: Mutex::new(HashMap::new()),
                 cv: Condvar::new(),
                 next_job: AtomicU64::new(1),
-                negotiation_timeout: Duration::from_secs(10),
+                negotiation_timeout: Mutex::new(Duration::from_secs(10)),
             }),
         }
     }
@@ -75,6 +81,24 @@ impl Schedd {
     /// Submit host (diagnostics).
     pub fn submit_host(&self) -> HostId {
         self.inner.submit_host
+    }
+
+    /// How long a job keeps renegotiating before failing. Raise this
+    /// when machines may be transiently unreachable (network faults)
+    /// rather than permanently unmatchable.
+    pub fn set_negotiation_timeout(&self, timeout: Duration) {
+        *self.inner.negotiation_timeout.lock() = timeout;
+    }
+
+    /// Jobs not yet in a terminal state (a queue-depth gauge for the
+    /// ops KPI loop).
+    pub fn queue_depth(&self) -> usize {
+        self.inner
+            .jobs
+            .lock()
+            .values()
+            .filter(|r| matches!(r.state, JobState::Idle | JobState::Running))
+            .count()
     }
 
     /// Submit a parsed description; returns the job id immediately. A
@@ -160,9 +184,95 @@ impl Schedd {
 
 struct Claim {
     machine: String,
+    host: HostId,
     conn: tdp_netsim::Conn,
     claim_id: u64,
 }
+
+/// Negotiate-and-claim one machine, retrying until `deadline`.
+fn claim_one(
+    inner: &ScheddInner,
+    job: JobId,
+    submit: &SubmitDescription,
+    exclude: &[String],
+    deadline: Instant,
+) -> TdpResult<Option<Claim>> {
+    loop {
+        if Instant::now() > deadline {
+            return Ok(None);
+        }
+        match negotiate(inner, submit, exclude.to_vec())? {
+            Some((name, host, startd)) => match try_claim(inner, job, startd) {
+                Ok((conn, claim_id)) => {
+                    return Ok(Some(Claim {
+                        machine: name,
+                        host,
+                        conn,
+                        claim_id,
+                    }))
+                }
+                Err(_) => thread::sleep(Duration::from_millis(10)),
+            },
+            None => thread::sleep(Duration::from_millis(15)),
+        }
+    }
+}
+
+/// Re-run one rank on a fresh machine after `error` (a starter-reported
+/// failure or a dead execution host): spend one unit of the requeue
+/// budget, avoid the machine it failed on, claim a replacement and
+/// activate there with an auto-running tool (re-runs never wait for
+/// another front-end run command).
+struct Requeue<'a> {
+    claims: &'a mut Vec<Claim>,
+    active: &'a mut HashMap<u32, (String, HostId)>,
+    avoid: &'a mut Vec<String>,
+    retries: &'a mut u32,
+}
+
+impl Requeue<'_> {
+    fn requeue(
+        &mut self,
+        inner: &ScheddInner,
+        job: JobId,
+        submit: &SubmitDescription,
+        rank: u32,
+        error: &str,
+        mut details: JobDetails,
+    ) -> TdpResult<()> {
+        *self.retries += 1;
+        if *self.retries > MAX_REQUEUES {
+            return Err(TdpError::Substrate(format!(
+                "{job} rank {rank} failed after {MAX_REQUEUES} requeues: {error}"
+            )));
+        }
+        // Avoid the machine the rank just failed on.
+        if let Some(name) = error.split(' ').next() {
+            self.avoid.push(name.to_string());
+        }
+        let deadline = Instant::now() + inner.negotiation_timeout();
+        let claim = claim_one(inner, job, submit, self.avoid, deadline)?.ok_or_else(|| {
+            TdpError::Substrate(format!(
+                "{job} rank {rank}: no replacement machine ({error})"
+            ))
+        })?;
+        self.active
+            .insert(rank, (claim.machine.clone(), claim.host));
+        self.claims.push(claim);
+        let idx = self.claims.len() - 1;
+        details.tool_auto_run = true;
+        activate(&mut self.claims[idx], details)
+    }
+}
+
+/// Granularity of the schedd's wait on the shadow: between slices it
+/// sweeps its active ranks for dead execution hosts, the one failure a
+/// starter cannot report (§4.1's "the RM must be able to detect these
+/// failures").
+const WAIT_SLICE: Duration = Duration::from_millis(250);
+
+/// Overall wall-clock budget for a job once activated.
+const JOB_DEADLINE: Duration = Duration::from_secs(600);
 
 /// The per-job scheduling flow.
 fn schedule_job(inner: &Arc<ScheddInner>, job: JobId, submit: SubmitDescription) -> TdpResult<()> {
@@ -175,31 +285,20 @@ fn schedule_job(inner: &Arc<ScheddInner>, job: JobId, submit: SubmitDescription)
     // application does not start until a suitable number of machines
     // are allocated by Condor." (§4.3)
     let mut claims: Vec<Claim> = Vec::new();
-    let deadline = Instant::now() + inner.negotiation_timeout;
+    let deadline = Instant::now() + inner.negotiation_timeout();
     while (claims.len() as u32) < n_ranks {
-        if Instant::now() > deadline {
-            let held = claims.len();
-            release_claims(&mut claims);
-            return Err(TdpError::Substrate(format!(
-                "no match for {job}: got {held}/{n_ranks} machines"
-            )));
-        }
         let exclude: Vec<String> = claims.iter().map(|c| c.machine.clone()).collect();
-        match negotiate(inner, &submit, exclude)? {
-            Some((name, host, startd)) => {
-                // Claiming protocol: "either party may decide not to
-                // complete the allocation" — the startd may reject.
-                let _ = host;
-                match try_claim(inner, job, startd) {
-                    Ok((conn, claim_id)) => claims.push(Claim {
-                        machine: name,
-                        conn,
-                        claim_id,
-                    }),
-                    Err(_) => thread::sleep(Duration::from_millis(10)),
-                }
+        // Claiming protocol: "either party may decide not to complete
+        // the allocation" — the startd may reject; keep negotiating.
+        match claim_one(inner, job, &submit, &exclude, deadline)? {
+            Some(claim) => claims.push(claim),
+            None => {
+                let held = claims.len();
+                release_claims(&mut claims);
+                return Err(TdpError::Substrate(format!(
+                    "no match for {job}: got {held}/{n_ranks} machines"
+                )));
             }
-            None => thread::sleep(Duration::from_millis(15)),
         }
     }
 
@@ -223,10 +322,18 @@ fn schedule_job(inner: &Arc<ScheddInner>, job: JobId, submit: SubmitDescription)
         tool_auto_run: auto,
     };
 
+    // Which machine each not-yet-done rank is running on, for the
+    // host-death sweep below.
+    let mut active: HashMap<u32, (String, HostId)> = HashMap::new();
+    // One budget covers activation retries and requeues alike.
+    let mut retries = 0u32;
+    let mut avoid: Vec<String> = Vec::new();
+
     match submit.universe {
         Universe::Mpi if n_ranks > 1 => {
             // Rank 0 (the "master process") first.
             activate(&mut claims[0], details(0, false))?;
+            active.insert(0, (claims[0].machine.clone(), claims[0].host));
             // Wait until rank 0 actually runs (the user issued the run
             // command through the tool front-end, or no tool is
             // involved and it started straight away).
@@ -251,20 +358,81 @@ fn schedule_job(inner: &Arc<ScheddInner>, job: JobId, submit: SubmitDescription)
             for rank in 1..n_ranks {
                 let d = details(rank, true);
                 activate(&mut claims[rank as usize], d)?;
+                let c = &claims[rank as usize];
+                active.insert(rank, (c.machine.clone(), c.host));
             }
         }
-        _ => {
-            activate(&mut claims[0], details(0, false))?;
-        }
+        _ => loop {
+            // A startd can die between claim and activation; claim a
+            // fresh machine and try again rather than failing the job.
+            let idx = claims.len() - 1;
+            match activate(&mut claims[idx], details(0, false)) {
+                Ok(()) => {
+                    let c = &claims[idx];
+                    active.insert(0, (c.machine.clone(), c.host));
+                    break;
+                }
+                Err(_) if retries < MAX_REQUEUES => {
+                    retries += 1;
+                    avoid.push(claims[idx].machine.clone());
+                    let deadline = Instant::now() + inner.negotiation_timeout();
+                    match claim_one(inner, job, &submit, &avoid, deadline)? {
+                        Some(c) => claims.push(c),
+                        None => {
+                            return Err(TdpError::Substrate(format!(
+                                "{job}: no machine after failed activation"
+                            )))
+                        }
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        },
     }
 
     // Wait for every rank to finish, requeueing ranks whose starter
     // failed outright (fault recovery: "the RM must be able to detect
-    // these failures [and] respond to them").
-    let mut retries = 0u32;
-    let mut avoid: Vec<String> = Vec::new();
+    // these failures [and] respond to them"). The wait is sliced so the
+    // schedd also notices *silent* failures — an execution host that
+    // dies takes its starter, and any failure report, with it.
+    let job_deadline = Instant::now() + JOB_DEADLINE;
     let done = loop {
-        match shadow.wait_outcome(n_ranks, Duration::from_secs(600))? {
+        let outcome = match shadow.wait_outcome(n_ranks, WAIT_SLICE) {
+            Ok(o) => o,
+            Err(TdpError::Timeout) => {
+                if Instant::now() > job_deadline {
+                    return Err(TdpError::Timeout);
+                }
+                // Host-death sweep: an active rank on a dead host will
+                // never report; requeue it like a starter failure.
+                let mut lost: Vec<(u32, String)> = Vec::new();
+                for (rank, (machine, host)) in &active {
+                    if shadow.done_of(*rank).is_none() && !inner.world.net().host_alive(*host) {
+                        lost.push((*rank, format!("{machine} on {host}: host failed")));
+                    }
+                }
+                for (rank, error) in lost {
+                    shadow.clear_rank(rank);
+                    Requeue {
+                        claims: &mut claims,
+                        active: &mut active,
+                        avoid: &mut avoid,
+                        retries: &mut retries,
+                    }
+                    .requeue(
+                        inner,
+                        job,
+                        &submit,
+                        rank,
+                        &error,
+                        details(rank, true),
+                    )?;
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        match outcome {
             Ok(done) => {
                 // Checkpointing jobs: a vacate (killed:15) is not a
                 // terminal outcome — requeue the rank; it resumes from
@@ -284,30 +452,15 @@ fn schedule_job(inner: &Arc<ScheddInner>, job: JobId, submit: SubmitDescription)
                         }
                         for rank in vacated {
                             shadow.clear_rank(rank);
-                            let redeadline = Instant::now() + inner.negotiation_timeout;
-                            let new_claim = loop {
-                                if Instant::now() > redeadline {
-                                    return Err(TdpError::Substrate(format!(
+                            let deadline = Instant::now() + inner.negotiation_timeout();
+                            let claim = claim_one(inner, job, &submit, &avoid, deadline)?
+                                .ok_or_else(|| {
+                                    TdpError::Substrate(format!(
                                         "{job} rank {rank}: no machine after vacate"
-                                    )));
-                                }
-                                match negotiate(inner, &submit, avoid.clone())? {
-                                    Some((name, _host, startd)) => {
-                                        match try_claim(inner, job, startd) {
-                                            Ok((conn, claim_id)) => {
-                                                break Claim {
-                                                    machine: name,
-                                                    conn,
-                                                    claim_id,
-                                                }
-                                            }
-                                            Err(_) => thread::sleep(Duration::from_millis(10)),
-                                        }
-                                    }
-                                    None => thread::sleep(Duration::from_millis(15)),
-                                }
-                            };
-                            claims.push(new_claim);
+                                    ))
+                                })?;
+                            active.insert(rank, (claim.machine.clone(), claim.host));
+                            claims.push(claim);
                             let idx = claims.len() - 1;
                             let mut d = details(rank, true);
                             d.tool_auto_run = true;
@@ -319,44 +472,13 @@ fn schedule_job(inner: &Arc<ScheddInner>, job: JobId, submit: SubmitDescription)
                 break done;
             }
             Err((rank, error)) => {
-                retries += 1;
-                if retries > MAX_REQUEUES {
-                    return Err(TdpError::Substrate(format!(
-                        "{job} rank {rank} failed after {MAX_REQUEUES} requeues: {error}"
-                    )));
+                Requeue {
+                    claims: &mut claims,
+                    active: &mut active,
+                    avoid: &mut avoid,
+                    retries: &mut retries,
                 }
-                // Avoid the machine the rank just failed on.
-                if let Some(name) = error.split(' ').next() {
-                    avoid.push(name.to_string());
-                }
-                // Find a replacement machine and re-activate there.
-                let redeadline = Instant::now() + inner.negotiation_timeout;
-                let new_claim = loop {
-                    if Instant::now() > redeadline {
-                        return Err(TdpError::Substrate(format!(
-                            "{job} rank {rank}: no replacement machine ({error})"
-                        )));
-                    }
-                    match negotiate(inner, &submit, avoid.clone())? {
-                        Some((name, _host, startd)) => match try_claim(inner, job, startd) {
-                            Ok((conn, claim_id)) => {
-                                break Claim {
-                                    machine: name,
-                                    conn,
-                                    claim_id,
-                                }
-                            }
-                            Err(_) => thread::sleep(Duration::from_millis(10)),
-                        },
-                        None => thread::sleep(Duration::from_millis(15)),
-                    }
-                };
-                claims.push(new_claim);
-                let idx = claims.len() - 1;
-                // Re-runs never wait for another front-end run command.
-                let mut d = details(rank, true);
-                d.tool_auto_run = true;
-                activate(&mut claims[idx], d)?;
+                .requeue(inner, job, &submit, rank, &error, details(rank, true))?;
             }
         }
     };

@@ -90,6 +90,13 @@ impl Shadow {
         self.state.0.lock().status.get(&rank).copied()
     }
 
+    /// Terminal status of a rank, if it has one — the schedd's
+    /// host-death sweep uses this to tell "still running on a dead
+    /// host" from "finished before the host died".
+    pub fn done_of(&self, rank: u32) -> Option<ProcStatus> {
+        self.state.0.lock().done.get(&rank).copied()
+    }
+
     /// Block until `ranks` ranks have reported terminal status; returns
     /// rank → status.
     pub fn wait_done(&self, ranks: u32, timeout: Duration) -> TdpResult<HashMap<u32, ProcStatus>> {

@@ -145,6 +145,20 @@ impl Startd {
     }
 }
 
+impl tdp_core::Supervisable for Startd {
+    fn ops_name(&self) -> String {
+        format!("condor.startd.{}", self.inner.host.0)
+    }
+
+    fn ops_probe(&self) -> TdpResult<()> {
+        // Same probe the condor_master uses: a connection to the
+        // well-known port (refused once `simulate_crash` unbinds it).
+        let conn = self.inner.world.net().connect(self.inner.host, self.addr)?;
+        drop(conn);
+        Ok(())
+    }
+}
+
 /// `run_starter` plus bookkeeping of the supervised app pid so the
 /// startd can vacate it.
 fn run_starter_tracked(

@@ -377,30 +377,16 @@ fn master_restarts_crashed_startd() {
 
     assert_eq!(master.restart_count(), 0);
     startd.simulate_crash();
-    let deadline = std::time::Instant::now() + T;
-    while master.restart_count() == 0 {
-        assert!(
-            std::time::Instant::now() < deadline,
-            "master never restarted the startd"
-        );
-        std::thread::sleep(Duration::from_millis(10));
-    }
+    master
+        .wait_restarts(1, T)
+        .expect("master never restarted the startd");
     // The replacement re-registered with the matchmaker.
-    let deadline = std::time::Instant::now() + T;
-    loop {
-        let machines = mm.machines();
-        if machines
+    mm.wait_machines(T, |machines| {
+        machines
             .iter()
             .any(|(name, _)| name.contains(&format!("host{}", exec.0)))
-        {
-            break;
-        }
-        assert!(
-            std::time::Instant::now() < deadline,
-            "machine never re-registered"
-        );
-        std::thread::sleep(Duration::from_millis(10));
-    }
+    })
+    .expect("machine never re-registered");
     master.shutdown();
 }
 

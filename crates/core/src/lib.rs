@@ -73,10 +73,12 @@
 //! ```
 
 pub mod handle;
+pub mod ops;
 pub mod trace;
 pub mod world;
 
 pub use handle::{Role, TdpCreate, TdpHandle, Token};
+pub use ops::{CassComponent, LassComponent, Supervisable};
 pub use trace::{Trace, TraceEvent};
 pub use world::{TransportMode, World};
 

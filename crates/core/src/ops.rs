@@ -1,0 +1,140 @@
+//! Operations hooks: what a component must expose to be watched by the
+//! `tdp-ops` supervisor daemon.
+//!
+//! The supervisor lives above every scheduler crate, so the contract
+//! sits here in `tdp-core`: a [`Supervisable`] component has a stable
+//! name (used in the `tdp.ops.live.<name>` / `tdp.ops.health.<name>`
+//! attribute conventions) and a cheap liveness probe. Restart is *not*
+//! part of the trait — how to respawn a dead component is knowledge the
+//! owner has (a closure handed to the supervisor at registration), not
+//! the component itself.
+//!
+//! This module also provides the world-level components the paper's
+//! topology always has: one [`LassComponent`] per execution host and
+//! one [`CassComponent`] on the front-end, probed *through the
+//! attribute space itself* and respawned via the world's
+//! `ensure_lass`/`ensure_cass` hooks.
+
+use crate::World;
+use tdp_proto::{names, Addr, HostId, TdpResult, OPS_CONTEXT};
+
+/// A component the ops supervisor can watch.
+pub trait Supervisable: Send + Sync {
+    /// Stable component name; becomes part of attribute names, so keep
+    /// it short and dot-free at the end (`lass.3`, `condor.startd.2`).
+    fn ops_name(&self) -> String;
+
+    /// Cheap liveness probe: `Ok` iff the component currently serves
+    /// its protocol. Called from the supervisor's heartbeat thread at
+    /// every tick, so it must be bounded (connect + one round trip, not
+    /// a full job).
+    fn ops_probe(&self) -> TdpResult<()>;
+}
+
+/// The LASS of one host, as a supervisable component. The probe is an
+/// attribute-space write: connect to the LASS and put a beat attribute
+/// into the ops context — liveness proven by the very protocol the
+/// server exists to speak.
+pub struct LassComponent {
+    world: World,
+    host: HostId,
+}
+
+impl LassComponent {
+    pub fn new(world: &World, host: HostId) -> LassComponent {
+        LassComponent {
+            world: world.clone(),
+            host,
+        }
+    }
+
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Respawn hook: restart the LASS on its well-known port (no-op if
+    /// it is already up). Fails while the host itself is down.
+    pub fn respawn(&self) -> TdpResult<Addr> {
+        self.world.ensure_lass(self.host)
+    }
+}
+
+impl Supervisable for LassComponent {
+    fn ops_name(&self) -> String {
+        format!("lass.{}", self.host.0)
+    }
+
+    fn ops_probe(&self) -> TdpResult<()> {
+        let addr = Addr::new(self.host, crate::LASS_PORT);
+        let mut c = self.world.attr_connect(self.host, addr)?;
+        c.join(OPS_CONTEXT)?;
+        c.put(OPS_CONTEXT, &names::ops_live(&self.ops_name()), "probe")?;
+        Ok(())
+    }
+}
+
+/// The CASS, as a supervisable component (same probe shape as
+/// [`LassComponent`], from the front-end host).
+pub struct CassComponent {
+    world: World,
+    host: HostId,
+}
+
+impl CassComponent {
+    pub fn new(world: &World, host: HostId) -> CassComponent {
+        CassComponent {
+            world: world.clone(),
+            host,
+        }
+    }
+
+    pub fn respawn(&self) -> TdpResult<Addr> {
+        self.world.ensure_cass(self.host)
+    }
+}
+
+impl Supervisable for CassComponent {
+    fn ops_name(&self) -> String {
+        "cass".to_string()
+    }
+
+    fn ops_probe(&self) -> TdpResult<()> {
+        let addr = Addr::new(self.host, crate::CASS_PORT);
+        let mut c = self.world.attr_connect(self.host, addr)?;
+        c.join(OPS_CONTEXT)?;
+        c.put(OPS_CONTEXT, &names::ops_live(&self.ops_name()), "probe")?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lass_component_probe_and_respawn() {
+        let w = World::new();
+        let h = w.add_host();
+        w.ensure_lass(h).unwrap();
+        let c = LassComponent::new(&w, h);
+        assert_eq!(c.ops_name(), format!("lass.{}", h.0));
+        c.ops_probe().unwrap();
+        w.kill_lass(h);
+        assert!(c.ops_probe().is_err(), "dead LASS must fail the probe");
+        c.respawn().unwrap();
+        c.ops_probe().unwrap();
+    }
+
+    #[test]
+    fn cass_component_probe_and_respawn() {
+        let w = World::new();
+        let fe = w.add_host();
+        w.ensure_cass(fe).unwrap();
+        let c = CassComponent::new(&w, fe);
+        c.ops_probe().unwrap();
+        w.kill_cass();
+        assert!(c.ops_probe().is_err());
+        c.respawn().unwrap();
+        c.ops_probe().unwrap();
+    }
+}

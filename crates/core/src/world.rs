@@ -36,8 +36,8 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::Arc;
-use tdp_attrspace::{AttrClient, AttrSpaceServer, ServerKind};
-use tdp_netsim::{FirewallPolicy, Network, ZoneId};
+use tdp_attrspace::{AttrClient, AttrSpaceServer, ReconnectPolicy, ServerKind};
+use tdp_netsim::{FaultEvent, FaultInjector, FaultSchedule, FirewallPolicy, Network, ZoneId};
 use tdp_proto::{Addr, HostId, TdpError, TdpResult};
 use tdp_simos::{Os, OsConfig};
 use tdp_wire::tcp::ProxyResolver;
@@ -240,13 +240,60 @@ impl World {
     /// logical `server` address, over this world's transport. Firewall
     /// rules apply in both modes.
     pub fn attr_connect(&self, from: HostId, server: Addr) -> TdpResult<AttrClient> {
+        Ok(AttrClient::over_wire(self.attr_dial(from, server)?))
+    }
+
+    /// One transport-level dial of `server` from `from`, re-resolving
+    /// the logical address — the primitive both [`World::attr_connect`]
+    /// and the redial closure of [`World::attr_connect_reliable`] use.
+    fn attr_dial(&self, from: HostId, server: Addr) -> TdpResult<WireConn> {
         let Some(transport) = self.inner.wire.socket() else {
-            return AttrClient::connect(&self.inner.net, from, server);
+            let conn = self.inner.net.connect(from, server)?;
+            return Ok(tdp_wire::sim::wrap_conn(conn));
         };
         self.inner.net.route_permitted(from, server)?;
+        // Resolved per dial: a restarted server rebinds the same
+        // logical address to a fresh real socket.
         let real = self.resolve_tcp(server)?;
-        let conn = transport.connect(from, &real.into())?;
-        Ok(AttrClient::over_wire(conn))
+        transport.connect(from, &real.into())
+    }
+
+    /// Like [`World::attr_connect`], but the session survives a server
+    /// restart: dropped connections are re-dialled under `policy` with
+    /// jittered exponential backoff and the session state (joins,
+    /// subscriptions) replayed. The initial dial retries under the same
+    /// policy, so a client racing a restarting server still comes up.
+    pub fn attr_connect_reliable(
+        &self,
+        from: HostId,
+        server: Addr,
+        policy: ReconnectPolicy,
+    ) -> TdpResult<AttrClient> {
+        let start = std::time::Instant::now();
+        let mut delay = policy.base;
+        let conn = loop {
+            match self.attr_dial(from, server) {
+                Ok(c) => break c,
+                Err(
+                    e @ (TdpError::Disconnected
+                    | TdpError::ConnectionRefused(_)
+                    | TdpError::Timeout
+                    | TdpError::BlockedByFirewall { .. }
+                    | TdpError::Substrate(_)),
+                ) => {
+                    if start.elapsed() + delay > policy.max_elapsed {
+                        return Err(e);
+                    }
+                    std::thread::sleep(delay);
+                    delay = (delay * 2).min(policy.cap);
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        let mut client = AttrClient::over_wire(conn);
+        let w = self.clone();
+        client.set_redial(Box::new(move || w.attr_dial(from, server)), policy);
+        Ok(client)
     }
 
     /// Open an attribute-space client to `server` through the relay
@@ -357,6 +404,82 @@ impl World {
                 .remove(&Addr::new(host, LASS_PORT));
             s.shutdown();
         }
+    }
+
+    /// Tear down the CASS (crash injection).
+    pub fn kill_cass(&self) {
+        if let Some(s) = self.inner.cass.lock().take() {
+            self.inner.tcp_addrs.lock().remove(&s.addr());
+            s.shutdown();
+        }
+    }
+
+    /// Hosts that currently run a LASS.
+    pub fn lass_hosts(&self) -> Vec<HostId> {
+        self.inner.lass.lock().keys().copied().collect()
+    }
+
+    /// Host the CASS runs on, if started.
+    pub fn cass_host(&self) -> Option<HostId> {
+        self.inner.cass.lock().as_ref().map(|s| s.addr().host)
+    }
+
+    /// Live attribute-space client sessions across every LASS plus the
+    /// CASS (the ops KPI plane's session gauge).
+    pub fn attr_session_count(&self) -> usize {
+        let lass: usize = self
+            .inner
+            .lass
+            .lock()
+            .values()
+            .map(|s| s.client_count())
+            .sum();
+        lass + self
+            .inner
+            .cass
+            .lock()
+            .as_ref()
+            .map_or(0, |s| s.client_count())
+    }
+
+    /// Kill a whole machine: the fabric severs everything touching it
+    /// (so condor/lsf/grid daemons there go dark), and any attribute-
+    /// space server processes it hosted die with it. In socket modes the
+    /// LASS/CASS listen on real sockets the fabric cannot sever, which
+    /// is why this lives on the world and not on [`Network`].
+    pub fn kill_host(&self, host: HostId) {
+        self.inner.net.kill_host(host);
+        self.kill_lass(host);
+        if self.cass_host() == Some(host) {
+            self.kill_cass();
+        }
+    }
+
+    /// Apply one fault event at world level. Network events gain their
+    /// process-level consequences ([`World::kill_host`]); the world also
+    /// interprets the custom events `kill-lass:<host>` and `kill-cass`
+    /// (a crash of just the server process, host still up).
+    pub fn apply_fault(&self, event: &FaultEvent) {
+        match event {
+            FaultEvent::KillHost(h) => self.kill_host(*h),
+            FaultEvent::Custom(s) => {
+                if let Some(h) = s.strip_prefix("kill-lass:") {
+                    if let Ok(n) = h.parse::<u32>() {
+                        self.kill_lass(HostId(n));
+                    }
+                } else if s == "kill-cass" {
+                    self.kill_cass();
+                }
+            }
+            other => self.inner.net.apply_fault(other),
+        }
+    }
+
+    /// Replay a fault schedule against this world on a background
+    /// thread (the chaos soak's injector).
+    pub fn inject_faults(&self, schedule: FaultSchedule) -> FaultInjector {
+        let w = self.clone();
+        FaultInjector::start(schedule, move |ev| w.apply_fault(ev))
     }
 }
 

@@ -184,6 +184,7 @@ pub enum GramState {
 
 /// The authenticating front door of a grid site.
 pub struct Gatekeeper {
+    world: World,
     addr: Addr,
     grid_map: Arc<Mutex<HashMap<String, String>>>,
 }
@@ -208,7 +209,11 @@ impl Gatekeeper {
                 }
             })
             .map_err(|e| TdpError::Substrate(format!("spawn gatekeeper: {e}")))?;
-        Ok(Gatekeeper { addr, grid_map })
+        Ok(Gatekeeper {
+            world: world.clone(),
+            addr,
+            grid_map,
+        })
     }
 
     /// Address clients submit to.
@@ -225,6 +230,20 @@ impl Gatekeeper {
     /// Remove a subject.
     pub fn revoke(&self, subject: &str) {
         self.grid_map.lock().remove(subject);
+    }
+}
+
+impl tdp_core::Supervisable for Gatekeeper {
+    fn ops_name(&self) -> String {
+        format!("grid.gatekeeper.{}", self.addr.host.0)
+    }
+
+    fn ops_probe(&self) -> TdpResult<()> {
+        // Connect-only probe: a full Submit would spawn a job manager
+        // session, so just prove the listener is bound and accepting.
+        let conn = self.world.net().connect(self.addr.host, self.addr)?;
+        drop(conn);
+        Ok(())
     }
 }
 

@@ -112,6 +112,9 @@ struct HostEntry {
     slots: u32,
     in_use: u32,
     tx: Arc<ConnTx>,
+    /// Tasks dispatched to this host and not yet reported, so a dead
+    /// sbatchd's work can be requeued instead of hanging its jobs.
+    running: Vec<(JobId, u32)>,
 }
 
 struct JobRec {
@@ -237,6 +240,12 @@ impl LsfCluster {
         self.inner.jobs.lock().get(&job).map(|r| r.state.clone())
     }
 
+    /// Tasks queued but not yet dispatched (a queue-depth gauge for
+    /// the ops KPI loop).
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue.lock().len()
+    }
+
     /// `bkill`: terminate a job. Pending tasks are dequeued; running
     /// tasks are killed on their hosts (they report `killed:9`).
     pub fn bkill(&self, job: JobId) -> TdpResult<()> {
@@ -279,6 +288,24 @@ impl LsfCluster {
     }
 }
 
+impl tdp_core::Supervisable for LsfCluster {
+    fn ops_name(&self) -> String {
+        format!("lsf.mbatchd.{}", self.inner.master.0)
+    }
+
+    fn ops_probe(&self) -> TdpResult<()> {
+        // Prove the listener is bound and accepting on the well-known
+        // port (gone if the master host died or the daemon was killed).
+        let conn = self
+            .inner
+            .world
+            .net()
+            .connect(self.inner.master, self.addr)?;
+        drop(conn);
+        Ok(())
+    }
+}
+
 impl Mbd {
     /// One sbatchd session: register, then stream task results.
     fn serve_sbatchd(self: Arc<Self>, conn: tdp_netsim::Conn) {
@@ -299,6 +326,7 @@ impl Mbd {
                         slots,
                         in_use: 0,
                         tx: tx.clone(),
+                        running: Vec::new(),
                     });
                     drop(hosts);
                     self.pump();
@@ -319,6 +347,7 @@ impl Mbd {
                         let mut hosts = self.hosts.lock();
                         if let Some(h) = hosts.get_mut(i) {
                             h.in_use = h.in_use.saturating_sub(1);
+                            h.running.retain(|t| *t != (job, task));
                         }
                     }
                     let mut jobs = self.jobs.lock();
@@ -331,13 +360,60 @@ impl Mbd {
                 }
             }
         }
-        // sbatchd gone: drop its slots so the dispatcher stops using it.
+        // sbatchd gone: drop its slots so the dispatcher stops using
+        // it, and requeue whatever it was running — a dead host must
+        // not take queued work with it.
         if let Some(i) = my_index {
-            let mut hosts = self.hosts.lock();
-            if let Some(h) = hosts.get_mut(i) {
-                h.slots = 0;
-            }
+            let orphans = {
+                let mut hosts = self.hosts.lock();
+                match hosts.get_mut(i) {
+                    Some(h) => {
+                        h.slots = 0;
+                        h.in_use = 0;
+                        std::mem::take(&mut h.running)
+                    }
+                    None => Vec::new(),
+                }
+            };
+            self.requeue(orphans);
         }
+    }
+
+    /// Put orphaned (job, task) pairs of still-live jobs back on the
+    /// queue, preserving priority order, and redispatch.
+    fn requeue(&self, orphans: Vec<(JobId, u32)>) {
+        if orphans.is_empty() {
+            return;
+        }
+        let revived: Vec<PendingTask> = {
+            let jobs = self.jobs.lock();
+            orphans
+                .into_iter()
+                .filter_map(|(job, task)| {
+                    let r = jobs.get(&job)?;
+                    match r.state {
+                        LsfJobState::Pending | LsfJobState::Running => Some(PendingTask {
+                            job,
+                            task,
+                            priority: r.req.priority,
+                            seq: job.0 * 10_000 + u64::from(task),
+                        }),
+                        _ => None,
+                    }
+                })
+                .collect()
+        };
+        if revived.is_empty() {
+            return;
+        }
+        {
+            let mut q = self.queue.lock();
+            q.extend(revived);
+            let mut v: Vec<PendingTask> = q.drain(..).collect();
+            v.sort_by_key(|t| (std::cmp::Reverse(t.priority), t.seq));
+            q.extend(v);
+        }
+        self.pump();
     }
 
     #[allow(clippy::too_many_arguments)] // one call site, mirrors the wire message
@@ -355,6 +431,7 @@ impl Mbd {
             let mut hosts = self.hosts.lock();
             if let Some(h) = hosts.get_mut(i) {
                 h.in_use = h.in_use.saturating_sub(1);
+                h.running.retain(|t| *t != (job, task));
             }
         }
         let st = ProcStatus::parse(status).unwrap_or(ProcStatus::Killed(-1));
@@ -438,6 +515,7 @@ impl Mbd {
                         let data = serde_json::to_vec(&MbdMsg::Dispatch(dispatch))
                             .expect("encode dispatch");
                         if h.tx.send(&data).is_ok() {
+                            h.running.push((next.job, next.task));
                             true
                         } else {
                             h.in_use -= 1;

@@ -23,9 +23,11 @@
 //! in-memory pipes guarded by `parking_lot` mutex/condvar, so blocking
 //! `recv` parks the calling thread exactly like a blocking `read(2)`.
 
+pub mod chaos;
 mod conn;
 mod network;
 pub mod proxy;
 
+pub use chaos::{FaultEvent, FaultInjector, FaultLogEntry, FaultSchedule};
 pub use conn::{Conn, ConnRx, ConnTx, Listener};
 pub use network::{FirewallPolicy, Latency, NetStats, Network, ZoneId};

@@ -1,0 +1,62 @@
+//! The `tdp-ops` binary: run the supervision demo and watch its KPIs.
+//!
+//! * `tdp-ops --kpi-dump` — one-shot: build the demo deployment, fail
+//!   and recover a LASS, print the final KPI table, exit.
+//! * `tdp-ops` — run the demo supervisor for a couple of seconds,
+//!   printing a KPI snapshot twice a second.
+
+use std::time::Duration;
+use tdp_ops::demo::{kpi_dump, Demo};
+use tdp_ops::{render_kpis, SupervisorConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("--kpi-dump") => dump(),
+        None => watch(),
+        Some(other) => {
+            eprintln!("unknown argument: {other}\nusage: tdp-ops [--kpi-dump]");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn dump() -> i32 {
+    match kpi_dump() {
+        Ok(rows) => {
+            print!("{}", render_kpis(&rows));
+            0
+        }
+        Err(e) => {
+            eprintln!("tdp-ops: {e}");
+            1
+        }
+    }
+}
+
+fn watch() -> i32 {
+    let demo = match Demo::build(SupervisorConfig::default()) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("tdp-ops: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "supervising {} hosts (front-end {}), {} client sessions",
+        demo.exec_hosts.len() + 1,
+        demo.fe,
+        demo.client_count()
+    );
+    if let Err(e) = demo.inject_lass_failure(Duration::from_secs(10)) {
+        eprintln!("tdp-ops: injected failure did not recover: {e}");
+        return 1;
+    }
+    for i in 0..4 {
+        std::thread::sleep(Duration::from_millis(500));
+        println!("--- snapshot {} ---", i + 1);
+        print!("{}", render_kpis(&demo.supervisor.kpi_snapshot_now()));
+    }
+    0
+}

@@ -1,0 +1,86 @@
+//! A self-contained supervised deployment, used by the `tdp-ops`
+//! binary and the bench report to demonstrate the ops plane: a
+//! front-end CASS plus per-host LASSes under supervision, live client
+//! sessions, and a scripted LASS failure the supervisor recovers from.
+
+use crate::supervisor::{Supervisor, SupervisorConfig};
+use std::sync::Arc;
+use std::time::Duration;
+use tdp_attrspace::AttrClient;
+use tdp_core::{CassComponent, LassComponent, Supervisable, World};
+use tdp_proto::{ContextId, HostId, TdpResult};
+
+/// Context the demo clients chat in (distinct from the ops context).
+const DEMO_CTX: ContextId = ContextId(7);
+
+pub struct Demo {
+    pub world: World,
+    pub fe: HostId,
+    pub exec_hosts: Vec<HostId>,
+    pub supervisor: Supervisor,
+    /// Live sessions, held open so the session-count KPI is non-zero.
+    clients: Vec<AttrClient>,
+}
+
+impl Demo {
+    /// Build the topology: front-end + 3 execution hosts, a LASS per
+    /// host and the CASS on the front-end, all under supervision, with
+    /// one live client session per LASS.
+    pub fn build(config: SupervisorConfig) -> TdpResult<Demo> {
+        let world = World::new();
+        let fe = world.add_host();
+        let exec_hosts: Vec<HostId> = (0..3).map(|_| world.add_host()).collect();
+        world.ensure_cass(fe)?;
+        let supervisor = Supervisor::start(&world, fe, config)?;
+
+        let cass = CassComponent::new(&world, fe);
+        supervisor.register(Arc::new(CassComponent::new(&world, fe)), move || {
+            cass.respawn().map(|_| ())
+        });
+        let mut clients = Vec::new();
+        for &h in &exec_hosts {
+            let lass = world.ensure_lass(h)?;
+            let comp = LassComponent::new(&world, h);
+            supervisor.register(Arc::new(LassComponent::new(&world, h)), move || {
+                comp.respawn().map(|_| ())
+            });
+            let mut c = world.attr_connect(h, lass)?;
+            c.join(DEMO_CTX)?;
+            c.put(DEMO_CTX, "demo.hello", &format!("host{}", h.0))?;
+            clients.push(c);
+        }
+        let n = clients.len() as u64;
+        supervisor.register_gauge("demo.clients", move || n);
+        Ok(Demo {
+            world,
+            fe,
+            exec_hosts,
+            supervisor,
+            clients,
+        })
+    }
+
+    /// Kill one LASS and block until the supervisor has restarted it
+    /// and seen it healthy again.
+    pub fn inject_lass_failure(&self, timeout: Duration) -> TdpResult<()> {
+        let victim = self.exec_hosts[0];
+        let name = LassComponent::new(&self.world, victim).ops_name();
+        self.world.kill_lass(victim);
+        self.supervisor.wait_restarts(&name, 1, timeout)?;
+        self.supervisor
+            .wait_health(&name, crate::supervisor::Health::Healthy, timeout)
+    }
+
+    /// Number of live demo client sessions.
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+}
+
+/// The full scripted demo: build, fail a LASS, wait for recovery, and
+/// return the resulting KPI rows (the `--kpi-dump` payload).
+pub fn kpi_dump() -> TdpResult<Vec<(String, String)>> {
+    let demo = Demo::build(SupervisorConfig::default())?;
+    demo.inject_lass_failure(Duration::from_secs(10))?;
+    Ok(demo.supervisor.kpi_snapshot_now())
+}

@@ -1,0 +1,50 @@
+//! KPI rendering: the snapshot the supervisor publishes as
+//! `tdp.ops.kpi.*` attributes, formatted as a markdown table for the
+//! `tdp-ops --kpi-dump` one-shot mode and the bench report.
+
+/// Render KPI rows as a two-column markdown table.
+pub fn render_kpis(rows: &[(String, String)]) -> String {
+    let key_w = rows
+        .iter()
+        .map(|(k, _)| k.len())
+        .chain(["kpi".len()])
+        .max()
+        .unwrap_or(3);
+    let val_w = rows
+        .iter()
+        .map(|(_, v)| v.len())
+        .chain(["value".len()])
+        .max()
+        .unwrap_or(5);
+    let mut out = String::new();
+    out.push_str(&format!("| {:key_w$} | {:val_w$} |\n", "kpi", "value"));
+    out.push_str(&format!(
+        "|{}|{}|\n",
+        "-".repeat(key_w + 2),
+        "-".repeat(val_w + 2)
+    ));
+    for (k, v) in rows {
+        out.push_str(&format!("| {k:key_w$} | {v:val_w$} |\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let rows = vec![
+            ("restarts".to_string(), "3".to_string()),
+            ("sessions".to_string(), "12".to_string()),
+        ];
+        let t = render_kpis(&rows);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("kpi") && lines[0].contains("value"));
+        assert!(lines[2].contains("restarts") && lines[2].contains("3"));
+        // All rows align to the same width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+}

@@ -1,0 +1,29 @@
+//! `tdp-ops` — continuous supervision for a TDP deployment.
+//!
+//! The paper's resource managers keep their own daemons alive ad hoc
+//! (the condor_master pattern). This crate generalizes that into one
+//! supervision daemon for the whole deployment: heartbeat every
+//! [`Supervisable`](tdp_core::Supervisable) component, restart failures
+//! under capped exponential backoff, escalate through a restart-budget
+//! circuit breaker instead of restart-looping, and publish both
+//! liveness and operational KPIs *into the attribute space* — the ops
+//! plane speaks the same protocol it supervises.
+//!
+//! Attribute conventions (all under `OPS_CONTEXT`):
+//!
+//! | attribute | value |
+//! |---|---|
+//! | `tdp.ops.live.<name>` | heartbeat counter |
+//! | `tdp.ops.health.<name>` | `healthy` \| `suspect` \| `restarting` \| `escalated` |
+//! | `tdp.ops.kpi.<field>` | gauge value (sessions, restarts, queue depths, …) |
+//! | `tdp.ops.escalation` | comma-joined names of escalated components |
+
+pub mod backoff;
+pub mod demo;
+pub mod kpi;
+pub mod supervisor;
+
+pub use backoff::{Backoff, RestartBudget};
+pub use demo::Demo;
+pub use kpi::render_kpis;
+pub use supervisor::{DaemonIntervals, Health, Supervisor, SupervisorConfig};

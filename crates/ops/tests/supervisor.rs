@@ -1,0 +1,204 @@
+//! Supervisor behaviour: heartbeat detection, budgeted restarts, the
+//! escalation circuit breaker, and KPI publication — all observed both
+//! through the supervisor API and through the attribute space itself.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tdp_core::{LassComponent, Supervisable, World};
+use tdp_ops::{Health, Supervisor, SupervisorConfig};
+use tdp_proto::{names, TdpError, TdpResult, OPS_CONTEXT};
+
+const T: Duration = Duration::from_secs(10);
+
+/// Tight intervals so tests converge in milliseconds.
+fn fast_config() -> SupervisorConfig {
+    SupervisorConfig {
+        intervals: tdp_ops::DaemonIntervals {
+            heartbeat: Duration::from_millis(10),
+            patrol: Duration::from_millis(5),
+            kpi: Duration::from_millis(25),
+        },
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(4),
+        restart_budget: 3,
+        restart_window: Duration::from_secs(60),
+        seed: 7,
+    }
+}
+
+/// A component whose health is a switch the test flips.
+struct Flaky {
+    name: &'static str,
+    broken: Arc<AtomicBool>,
+}
+
+impl Supervisable for Flaky {
+    fn ops_name(&self) -> String {
+        self.name.to_string()
+    }
+    fn ops_probe(&self) -> TdpResult<()> {
+        if self.broken.load(Ordering::SeqCst) {
+            Err(TdpError::Substrate("flaky: down".into()))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[test]
+fn breaker_escalates_always_crashing_component() {
+    let w = World::new();
+    let fe = w.add_host();
+    let sup = Supervisor::start(&w, fe, fast_config()).unwrap();
+    let broken = Arc::new(AtomicBool::new(true));
+    let restarts_issued = Arc::new(AtomicU64::new(0));
+    sup.register(
+        Arc::new(Flaky {
+            name: "crashy",
+            broken: broken.clone(),
+        }),
+        {
+            let n = restarts_issued.clone();
+            move || {
+                // The restart itself "succeeds" — the component just
+                // crashes again immediately (probe stays red).
+                n.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }
+        },
+    );
+    sup.wait_health("crashy", Health::Escalated, T).unwrap();
+    // Exactly the budget was spent, then the breaker opened.
+    assert_eq!(sup.restarts_of("crashy"), Some(3));
+    assert_eq!(restarts_issued.load(Ordering::SeqCst), 3);
+    assert_eq!(sup.escalated(), vec!["crashy".to_string()]);
+
+    // NOT restart-looped: many patrol intervals later the count is
+    // still frozen at the budget.
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(
+        restarts_issued.load(Ordering::SeqCst),
+        3,
+        "escalated component must not be restarted again"
+    );
+
+    // The escalation is visible in the attribute space.
+    let cass = w.ensure_cass(fe).unwrap();
+    let mut c = w.attr_connect(fe, cass).unwrap();
+    c.join(OPS_CONTEXT).unwrap();
+    assert_eq!(c.get(OPS_CONTEXT, names::OPS_ESCALATION).unwrap(), "crashy");
+    assert_eq!(
+        c.get(OPS_CONTEXT, &names::ops_health("crashy")).unwrap(),
+        "escalated"
+    );
+
+    // Escalation is sticky even if the component comes back by itself…
+    broken.store(false, Ordering::SeqCst);
+    std::thread::sleep(Duration::from_millis(50));
+    assert_eq!(sup.health_of("crashy"), Some(Health::Escalated));
+    // …until an operator resets it.
+    sup.reset_component("crashy");
+    sup.wait_health("crashy", Health::Healthy, T).unwrap();
+}
+
+#[test]
+fn dead_lass_is_restarted_and_recovery_latency_recorded() {
+    let w = World::new();
+    let fe = w.add_host();
+    let exec = w.add_host();
+    w.ensure_lass(exec).unwrap();
+    let sup = Supervisor::start(&w, fe, fast_config()).unwrap();
+    let comp = LassComponent::new(&w, exec);
+    let name = comp.ops_name();
+    sup.register(Arc::new(LassComponent::new(&w, exec)), move || {
+        comp.respawn().map(|_| ())
+    });
+
+    w.kill_lass(exec);
+    sup.wait_restarts(&name, 1, T).unwrap();
+    sup.wait_health(&name, Health::Healthy, T).unwrap();
+    // The patrol credits recovery; wait for two post-recovery
+    // heartbeats — the loop publishes tick N before counting tick N+1,
+    // so a non-zero beat attribute is then guaranteed to be in the
+    // space.
+    sup.wait_beats(&name, 2, T).unwrap();
+
+    // The replacement actually serves the protocol.
+    let lass = w.lass_addr(exec).unwrap();
+    let mut c = w.attr_connect(exec, lass).unwrap();
+    c.join(OPS_CONTEXT).unwrap();
+    c.put(OPS_CONTEXT, "post.recovery", "ok").unwrap();
+
+    // Detection→recovery latency was measured and is sane.
+    let lat = sup
+        .recovery_latencies()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, v)| v)
+        .unwrap();
+    assert!(!lat.is_empty(), "recovery latency must be recorded");
+    assert!(lat.iter().all(|d| *d < T), "{lat:?}");
+
+    // Liveness and health attributes are in the space, per convention.
+    let cass = w.ensure_cass(fe).unwrap();
+    let mut ops = w.attr_connect(fe, cass).unwrap();
+    ops.join(OPS_CONTEXT).unwrap();
+    assert_eq!(
+        ops.get(OPS_CONTEXT, &names::ops_health(&name)).unwrap(),
+        "healthy"
+    );
+    let beats: u64 = ops
+        .get(OPS_CONTEXT, &names::ops_live(&name))
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(beats > 0);
+}
+
+#[test]
+fn kpi_snapshot_reports_sessions_restarts_and_gauges() {
+    let w = World::new();
+    let fe = w.add_host();
+    let sup = Supervisor::start(&w, fe, fast_config()).unwrap();
+    sup.register_gauge("queue_depth", || 7);
+    let rows = sup.kpi_snapshot_now();
+    let get = |k: &str| {
+        rows.iter()
+            .find(|(name, _)| name == k)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| panic!("missing KPI {k} in {rows:?}"))
+    };
+    // The supervisor's own publisher session counts.
+    assert!(get("sessions").parse::<u64>().unwrap() >= 1);
+    assert_eq!(get("restarts"), "0");
+    assert_eq!(get("escalations"), "0");
+    assert_eq!(get("queue_depth"), "7");
+    get("stall_kills"); // present
+
+    // Published into the space under the KPI convention.
+    let cass = w.ensure_cass(fe).unwrap();
+    let mut c = w.attr_connect(fe, cass).unwrap();
+    c.join(OPS_CONTEXT).unwrap();
+    assert_eq!(
+        c.get(OPS_CONTEXT, &names::ops_kpi("queue_depth")).unwrap(),
+        "7"
+    );
+}
+
+#[test]
+fn demo_kpi_dump_exercises_a_full_recovery() {
+    let rows = tdp_ops::demo::kpi_dump().unwrap();
+    let get = |k: &str| {
+        rows.iter()
+            .find(|(name, _)| name == k)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| panic!("missing KPI {k} in {rows:?}"))
+    };
+    assert!(get("restarts").parse::<u64>().unwrap() >= 1);
+    assert_eq!(get("escalations"), "0");
+    assert_eq!(get("demo.clients"), "3");
+    get("recovery_ms_max");
+    let table = tdp_ops::render_kpis(&rows);
+    assert!(table.contains("restarts"));
+}

@@ -69,7 +69,45 @@ pub mod names {
     pub fn mpi_rank_pid(i: u32) -> String {
         format!("{MPI_RANK_PID_PREFIX}{i}")
     }
+
+    /// Liveness attribute for a supervised component, as
+    /// `tdp.ops.live.<component>`. The supervisor daemon writes a
+    /// monotonically increasing beat number here on every successful
+    /// probe; a stale or missing value means the component is down
+    /// (the continuous form of [`HEARTBEAT`]'s one-shot convention).
+    pub const OPS_LIVE_PREFIX: &str = "tdp.ops.live.";
+    /// Health-state attribute for a supervised component, as
+    /// `tdp.ops.health.<component>`: one of `healthy`, `suspect`,
+    /// `restarting`, `escalated`.
+    pub const OPS_HEALTH_PREFIX: &str = "tdp.ops.health.";
+    /// KPI snapshot field, as `tdp.ops.kpi.<field>` — the supervisor
+    /// publishes its counters into the space itself so tools can
+    /// introspect the system that serves them.
+    pub const OPS_KPI_PREFIX: &str = "tdp.ops.kpi.";
+    /// Written (value = component name) when the restart-budget circuit
+    /// breaker gives up on a component; operators subscribe to this key.
+    pub const OPS_ESCALATION: &str = "tdp.ops.escalation";
+
+    /// Liveness attribute name for a supervised component.
+    pub fn ops_live(component: &str) -> String {
+        format!("{OPS_LIVE_PREFIX}{component}")
+    }
+
+    /// Health-state attribute name for a supervised component.
+    pub fn ops_health(component: &str) -> String {
+        format!("{OPS_HEALTH_PREFIX}{component}")
+    }
+
+    /// KPI snapshot attribute name for a counter field.
+    pub fn ops_kpi(field: &str) -> String {
+        format!("{OPS_KPI_PREFIX}{field}")
+    }
 }
+
+/// The well-known context the supervisor publishes liveness and KPI
+/// attributes into. Ordinary tool sessions use low context ids; the ops
+/// plane keeps out of their way at the top of the range.
+pub const OPS_CONTEXT: crate::ContextId = crate::ContextId(u64::MAX - 1);
 
 /// Validate an attribute key: non-empty, no NUL bytes.
 pub fn validate_key(key: &str) -> TdpResult<()> {

@@ -19,7 +19,7 @@ pub mod frame;
 pub mod ids;
 pub mod message;
 
-pub use attr::{names, AttrKey, AttrValue};
+pub use attr::{names, AttrKey, AttrValue, OPS_CONTEXT};
 pub use error::{TdpError, TdpResult};
 pub use frame::{decode_frame, encode_frame, FrameDecoder, FrameError, MAX_FRAME};
 pub use ids::{Addr, ContextId, HostId, JobId, Pid, Port, Rank};

@@ -320,6 +320,7 @@ impl<IO: FlowIo> Flow<IO> {
                     inner.closed = true;
                     inner.read_open = false;
                     inner.rx_err.get_or_insert(TdpError::Disconnected);
+                    crate::record_stall_kill();
                     self.io.shutdown_both();
                     self.rx_cv.notify_all();
                     self.tx_cv.notify_all();

@@ -266,3 +266,18 @@ pub fn wire_threads() -> Vec<String> {
 pub fn wire_thread_count() -> usize {
     wire_threads().len()
 }
+
+static STALL_KILLS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+pub(crate) fn record_stall_kill() {
+    STALL_KILLS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Process-wide count of connections this crate has killed because a
+/// peer stopped draining for longer than the write-stall timeout (the
+/// epoll flow's outbox stall and the TCP writer's socket write
+/// timeout). A monotone counter, never reset: ops KPI consumers diff
+/// successive samples.
+pub fn stall_kill_count() -> u64 {
+    STALL_KILLS.load(std::sync::atomic::Ordering::Relaxed)
+}

@@ -230,8 +230,17 @@ fn writer_loop(mut stream: TcpStream, q: Receiver<WriteOp>, coalesce: usize) {
                         Err(_) => break,
                     }
                 }
-                if stream.write_all(&buf).is_err() {
-                    break 'outer; // peer gone or write timeout: fail fast
+                if let Err(e) = stream.write_all(&buf) {
+                    // Peer gone or write timeout: fail fast. A timeout
+                    // is specifically a stalled (undraining) peer —
+                    // count it for the ops KPI plane.
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) {
+                        crate::record_stall_kill();
+                    }
+                    break 'outer;
                 }
             }
         }

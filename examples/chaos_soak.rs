@@ -1,0 +1,122 @@
+//! A narrated chaos soak: a Condor pool under load while a fault
+//! schedule kills a host, crashes attribute-space servers, and the
+//! `tdp-ops` supervisor heals what the schedulers cannot. The
+//! integration-test version (`tests/chaos_soak.rs`) adds LSF, grid
+//! submission and a network partition; this is the readable tour.
+//!
+//! ```text
+//! cargo run --example chaos_soak
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+use tdp::condor::{CondorPool, JobState};
+use tdp::core::{CassComponent, LassComponent, Supervisable, World};
+use tdp::netsim::{FaultEvent, FaultSchedule};
+use tdp::ops::{render_kpis, Supervisor, SupervisorConfig};
+use tdp::simos::{fn_program, ExecImage};
+
+const T: Duration = Duration::from_secs(60);
+
+fn main() {
+    let w = World::new();
+
+    // The site: a 3-machine Condor pool.
+    let pool = CondorPool::build(&w, 3).unwrap();
+    pool.install_everywhere(
+        "/bin/app",
+        ExecImage::new(
+            ["main"],
+            Arc::new(|_| {
+                fn_program(|ctx| {
+                    ctx.call("main", |ctx| ctx.compute(5));
+                    0
+                })
+            }),
+        ),
+    );
+    pool.schedd()
+        .set_negotiation_timeout(Duration::from_secs(30));
+
+    // The ops plane: a supervisor on the central manager, watching the
+    // CASS and a LASS on a dedicated service host.
+    let lass_host = w.add_host();
+    w.ensure_lass(lass_host).unwrap();
+    let sup = Supervisor::start(
+        &w,
+        pool.central_manager(),
+        SupervisorConfig {
+            restart_budget: 100,
+            ..SupervisorConfig::default()
+        },
+    )
+    .unwrap();
+    let lass = LassComponent::new(&w, lass_host);
+    let lass_name = lass.ops_name();
+    sup.register(Arc::new(LassComponent::new(&w, lass_host)), move || {
+        lass.respawn().map(|_| ())
+    });
+    let cass = CassComponent::new(&w, pool.central_manager());
+    sup.register(
+        Arc::new(CassComponent::new(&w, pool.central_manager())),
+        move || cass.respawn().map(|_| ()),
+    );
+    {
+        let s = pool.schedd().clone();
+        sup.register_gauge("condor.queue_depth", move || s.queue_depth() as u64);
+    }
+
+    // The chaos: kill an execution host, crash both attribute-space
+    // servers, then repair the host late.
+    let victim = pool.exec_hosts()[1];
+    let schedule = FaultSchedule::new()
+        .at(Duration::from_millis(200), FaultEvent::KillHost(victim))
+        .at(
+            Duration::from_millis(400),
+            FaultEvent::Custom(format!("kill-lass:{}", lass_host.0)),
+        )
+        .at(
+            Duration::from_millis(600),
+            FaultEvent::Custom("kill-cass".into()),
+        )
+        .at(Duration::from_millis(1200), FaultEvent::ReviveHost(victim));
+    println!("injecting {} faults while 30 jobs run...\n", schedule.len());
+    let injector = w.inject_faults(schedule);
+
+    // The load: 30 paced jobs; every one must complete despite the
+    // chaos (dead-host ranks are requeued by the schedd).
+    let jobs: Vec<_> = (0..30)
+        .map(|_| {
+            std::thread::sleep(Duration::from_millis(60));
+            pool.submit_str("executable = /bin/app\nqueue\n").unwrap()
+        })
+        .collect();
+    let mut done = 0;
+    for j in jobs {
+        match pool.wait_job(j, T).unwrap() {
+            JobState::Completed(_) => done += 1,
+            other => panic!("job {j} lost: {other:?}"),
+        }
+    }
+
+    for (off, ev) in injector.join() {
+        println!("  t+{:>5}ms  {ev}", off.as_millis());
+    }
+    println!("\nall {done}/30 jobs completed — zero lost\n");
+
+    for (name, lats) in sup.recovery_latencies() {
+        if !lats.is_empty() {
+            println!(
+                "{name}: {} recover{}, worst {:?}",
+                lats.len(),
+                if lats.len() == 1 { "y" } else { "ies" },
+                lats.iter().max().unwrap()
+            );
+        }
+    }
+    assert!(sup.restarts_of(&lass_name).unwrap() >= 1);
+    assert!(sup.escalated().is_empty());
+
+    println!("\nfinal KPI snapshot (also published as tdp.ops.kpi.* attributes):");
+    print!("{}", render_kpis(&sup.kpi_snapshot_now()));
+}

@@ -17,6 +17,7 @@ pub use tdp_lsf as lsf;
 pub use tdp_mpi as mpi;
 pub use tdp_mrnet as mrnet;
 pub use tdp_netsim as netsim;
+pub use tdp_ops as ops;
 pub use tdp_paradyn as paradyn;
 pub use tdp_proto as proto;
 pub use tdp_simos as simos;

@@ -1,0 +1,423 @@
+//! **E18 — chaos soak**: jobs across condor + lsf + grid while a fault
+//! injector kills hosts, partitions the network, and crashes attribute
+//! space servers on a seeded schedule, with the `tdp-ops` supervisor
+//! healing what it can. The invariants:
+//!
+//! * **zero lost jobs** — every submitted job reaches a successful
+//!   terminal state despite the faults;
+//! * **bounded recovery** — supervised components come back within a
+//!   measured, bounded latency, and nothing is escalated;
+//! * **clean final state** — empty queues, live machines back in the
+//!   matchmaker, all fault classes actually exercised.
+//!
+//! `chaos_smoke` is the deterministic ~seconds version that runs in the
+//! tier-1 suite; `chaos_soak_full` is the multi-minute version the
+//! nightly workflow runs with `--ignored`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+use tdp::condor::{CondorPool, JobState};
+use tdp::core::{LassComponent, Supervisable, World};
+use tdp::grid::{Gatekeeper, GramClient, GramState};
+use tdp::lsf::{LsfCluster, LsfJobState, LsfRequest};
+use tdp::netsim::{FaultEvent, FaultSchedule, FirewallPolicy, ZoneId};
+use tdp::ops::{Health, Supervisor, SupervisorConfig};
+use tdp::proto::{ContextId, HostId};
+use tdp::simos::{fn_program, ExecImage};
+
+const T: Duration = Duration::from_secs(120);
+
+fn app_image() -> ExecImage {
+    ExecImage::new(
+        ["main"],
+        Arc::new(|_| {
+            fn_program(|ctx| {
+                ctx.call("main", |ctx| ctx.compute(5));
+                0
+            })
+        }),
+    )
+}
+
+/// Probe for a startd by address rather than handle: the original
+/// handle dies with its host; what the supervisor cares about is that
+/// *some* startd serves the machine's well-known port again.
+struct StartdProbe {
+    world: World,
+    host: HostId,
+    name: String,
+}
+
+impl Supervisable for StartdProbe {
+    fn ops_name(&self) -> String {
+        self.name.clone()
+    }
+    fn ops_probe(&self) -> tdp::proto::TdpResult<()> {
+        let addr = tdp::proto::Addr::new(self.host, tdp::condor::startd::STARTD_PORT);
+        self.world.net().connect(self.host, addr).map(drop)
+    }
+}
+
+/// Scale knobs: the smoke and the full soak are the same harness.
+struct SoakConfig {
+    condor_jobs: usize,
+    lsf_jobs: usize,
+    grid_jobs: usize,
+    attr_puts: usize,
+    /// Fault waves (each wave = host kill + LASS crash + CASS crash +
+    /// partition, interleaved with repairs).
+    waves: u32,
+    /// Gap between consecutive fault events.
+    step: Duration,
+}
+
+struct SoakOutcome {
+    fired: Vec<String>,
+    recovery_max: Duration,
+}
+
+/// The full topology: a condor pool (one exec host in a partitionable
+/// private zone), an LSF cluster, a grid gatekeeper fronting the pool,
+/// and the ops supervisor watching a LASS and the CASS.
+fn soak(cfg: SoakConfig) -> SoakOutcome {
+    let w = World::new();
+
+    // --- Condor: 3 exec hosts; the third sits behind a zone boundary
+    // so a partition can cut it off mid-soak.
+    let cut_zone = w.net().add_private_zone(FirewallPolicy::OPEN);
+    let cm = w.add_host();
+    let submit = w.add_host();
+    let exec: Vec<HostId> = vec![w.add_host(), w.add_host(), w.net().add_host_in(cut_zone)];
+    let pool = Arc::new(CondorPool::assemble(&w, cm, submit, exec.clone()).unwrap());
+    pool.install_everywhere("/bin/app", app_image());
+    // Partitions and dead hosts make individual claims fail; give the
+    // schedd room to keep renegotiating until the fabric heals.
+    pool.schedd()
+        .set_negotiation_timeout(Duration::from_secs(30));
+
+    // --- LSF: a master and two execution hosts.
+    let lsf_master = w.add_host();
+    let lsf_exec = [w.add_host(), w.add_host()];
+    let cluster = LsfCluster::start(&w, lsf_master).unwrap();
+    for h in lsf_exec {
+        w.os().fs().install_exec(h, "/bin/app", app_image());
+        cluster.add_host(h, 2).unwrap();
+    }
+
+    // --- Grid: a gatekeeper on its own head node, backed by the pool.
+    let head = w.add_host();
+    let gk = Gatekeeper::start(&w, head, pool.clone()).unwrap();
+    gk.authorize("/O=Grid/CN=soak", "proxy-soak");
+    let user = w.add_host();
+
+    // --- Ops: supervisor on the condor central manager; it watches a
+    // LASS on a dedicated host no scheduler runs jobs on (a starter's
+    // own `ensure_lass` would otherwise heal it first), plus the CASS.
+    let lass_host = w.add_host();
+    w.ensure_lass(lass_host).unwrap();
+    let sup = Supervisor::start(
+        &w,
+        cm,
+        SupervisorConfig {
+            // Transient outages are the whole point of the soak: a
+            // generous budget so only a genuinely stuck component
+            // would escalate.
+            restart_budget: 100,
+            ..SupervisorConfig::default()
+        },
+    )
+    .unwrap();
+    let lass_comp = LassComponent::new(&w, lass_host);
+    let lass_name = lass_comp.ops_name();
+    sup.register(Arc::new(LassComponent::new(&w, lass_host)), move || {
+        lass_comp.respawn().map(|_| ())
+    });
+    let cass_comp = tdp::core::CassComponent::new(&w, cm);
+    sup.register(Arc::new(tdp::core::CassComponent::new(&w, cm)), move || {
+        cass_comp.respawn().map(|_| ())
+    });
+    // The startd on the to-be-killed host: its machine ad goes stale in
+    // the matchmaker when the host dies; a supervised restart after the
+    // revive re-registers it (same name, same well-known port), putting
+    // the machine back into service.
+    let killed_exec = exec[1];
+    let startd_name = pool.startds()[1].ops_name();
+    {
+        let w2 = w.clone();
+        let mm = pool.matchmaker().addr();
+        let replacement: Arc<parking_lot::Mutex<Option<tdp::condor::startd::Startd>>> =
+            Arc::new(parking_lot::Mutex::new(None));
+        sup.register(
+            Arc::new(StartdProbe {
+                world: w.clone(),
+                host: killed_exec,
+                name: startd_name.clone(),
+            }),
+            move || {
+                let ad = tdp::condor::classad::ClassAd::new()
+                    .with_int("Memory", 1024)
+                    .with_int("Cpus", 1)
+                    .with_int("MachineId", 1)
+                    .with_bool("HasTdp", true)
+                    .with_str("Arch", "X86_64");
+                let s = tdp::condor::startd::Startd::start(&w2, killed_exec, ad, mm)?;
+                *replacement.lock() = Some(s);
+                Ok(())
+            },
+        );
+    }
+    {
+        let s = pool.schedd().clone();
+        sup.register_gauge("condor.queue_depth", move || s.queue_depth() as u64);
+    }
+    {
+        let c = cluster.clone();
+        sup.register_gauge("lsf.queue_depth", move || c.queue_depth() as u64);
+    }
+
+    // --- The fault schedule: every class, in waves. Within a wave:
+    // kill the second (public) condor exec host, crash the supervised
+    // LASS, crash the CASS, cut the private zone off, then repair in
+    // the same order. The second LSF host dies for good in wave one
+    // (its in-flight tasks must be requeued, not lost).
+    let step = cfg.step;
+    let mut sched = FaultSchedule::new();
+    let mut t = step;
+    for wave in 0..cfg.waves {
+        sched.push(t, FaultEvent::KillHost(exec[1]));
+        if wave == 0 {
+            sched.push(t, FaultEvent::KillHost(lsf_exec[1]));
+        }
+        sched.push(
+            t + step,
+            FaultEvent::Custom(format!("kill-lass:{}", lass_host.0)),
+        );
+        sched.push(t + 2 * step, FaultEvent::Custom("kill-cass".into()));
+        sched.push(
+            t + 3 * step,
+            FaultEvent::Partition(ZoneId::PUBLIC, cut_zone),
+        );
+        sched.push(t + 5 * step, FaultEvent::Heal(ZoneId::PUBLIC, cut_zone));
+        sched.push(t + 6 * step, FaultEvent::ReviveHost(exec[1]));
+        t += 8 * step;
+    }
+    let injector = w.inject_faults(sched);
+
+    // --- Drivers, one thread per scheduler. Jobs are submitted over
+    // the soak window and every one must succeed.
+    let condor_ok = Arc::new(AtomicUsize::new(0));
+    let condor_thread = {
+        let pool = pool.clone();
+        let ok = condor_ok.clone();
+        let n = cfg.condor_jobs;
+        let pace = cfg.step / 4;
+        thread::spawn(move || {
+            // Paced submissions, so the queue stays loaded across the
+            // whole fault window instead of draining before it opens.
+            let jobs: Vec<_> = (0..n)
+                .map(|_| {
+                    thread::sleep(pace);
+                    pool.submit_str("executable = /bin/app\nqueue\n").unwrap()
+                })
+                .collect();
+            for j in jobs {
+                match pool.wait_job(j, T).unwrap() {
+                    JobState::Completed(_) => {
+                        ok.fetch_add(1, Ordering::SeqCst);
+                    }
+                    other => panic!("condor job {j} lost: {other:?}"),
+                }
+            }
+        })
+    };
+    let lsf_ok = Arc::new(AtomicUsize::new(0));
+    let lsf_thread = {
+        let cluster = cluster.clone();
+        let ok = lsf_ok.clone();
+        let n = cfg.lsf_jobs;
+        let pace = cfg.step / 2;
+        thread::spawn(move || {
+            let jobs: Vec<_> = (0..n)
+                .map(|_| {
+                    thread::sleep(pace);
+                    cluster.bsub(LsfRequest::new("/bin/app").ntasks(2)).unwrap()
+                })
+                .collect();
+            for j in jobs {
+                match cluster.wait_job(j, T).unwrap() {
+                    LsfJobState::Done(_) => {
+                        ok.fetch_add(1, Ordering::SeqCst);
+                    }
+                    other => panic!("lsf job {j} lost: {other:?}"),
+                }
+            }
+        })
+    };
+    let grid_ok = Arc::new(AtomicUsize::new(0));
+    let grid_thread = {
+        let w = w.clone();
+        let addr = gk.addr();
+        let ok = grid_ok.clone();
+        let n = cfg.grid_jobs;
+        let pace = cfg.step;
+        thread::spawn(move || {
+            for _ in 0..n {
+                thread::sleep(pace);
+                let mut client = GramClient::submit(
+                    &w,
+                    user,
+                    addr,
+                    "/O=Grid/CN=soak",
+                    "proxy-soak",
+                    "&(executable=/bin/app)",
+                )
+                .unwrap();
+                match client.wait(T).unwrap() {
+                    GramState::Done(_) => {
+                        ok.fetch_add(1, Ordering::SeqCst);
+                    }
+                    other => panic!("grid job lost: {other:?}"),
+                }
+            }
+        })
+    };
+    // A raw attribute-space workload against the supervised LASS: the
+    // reconnecting client must ride through the injected LASS crashes
+    // without losing a single operation.
+    let attr_thread = {
+        let w = w.clone();
+        let lass = w.lass_addr(lass_host).unwrap();
+        let n = cfg.attr_puts;
+        let pace = cfg.step / 10;
+        thread::spawn(move || {
+            let mut c = w
+                .attr_connect_reliable(lass_host, lass, Default::default())
+                .unwrap();
+            let ctx = ContextId(42);
+            c.join(ctx).unwrap();
+            for i in 0..n {
+                c.put(ctx, "soak.seq", &i.to_string()).unwrap();
+                thread::sleep(pace);
+            }
+            assert_eq!(c.get(ctx, "soak.seq").unwrap(), (n - 1).to_string());
+        })
+    };
+
+    let t0 = std::time::Instant::now();
+    condor_thread.join().unwrap();
+    eprintln!("condor drained at {:?}", t0.elapsed());
+    lsf_thread.join().unwrap();
+    eprintln!("lsf drained at {:?}", t0.elapsed());
+    grid_thread.join().unwrap();
+    eprintln!("grid drained at {:?}", t0.elapsed());
+    attr_thread.join().unwrap();
+    eprintln!("attr drained at {:?}", t0.elapsed());
+    let log = injector.join();
+
+    // Zero lost jobs, across every driver.
+    assert_eq!(condor_ok.load(Ordering::SeqCst), cfg.condor_jobs);
+    assert_eq!(lsf_ok.load(Ordering::SeqCst), cfg.lsf_jobs);
+    assert_eq!(grid_ok.load(Ordering::SeqCst), cfg.grid_jobs);
+
+    // Every fault class actually fired.
+    let fired: Vec<String> = log.iter().map(|(_, e)| e.clone()).collect();
+    for class in [
+        "kill-host",
+        "custom kill-lass",
+        "custom kill-cass",
+        "partition",
+    ] {
+        assert!(
+            fired.iter().any(|e| e.starts_with(class)),
+            "fault class {class} never fired: {fired:?}"
+        );
+    }
+
+    // Supervised components recovered (never escalated), within bound.
+    // The killed exec host's startd must be back in service (its host
+    // was revived; the supervisor re-registered the machine).
+    sup.wait_health(&startd_name, Health::Healthy, T).unwrap();
+    assert_eq!(sup.escalated(), Vec::<String>::new());
+    assert!(
+        sup.restarts_of(&lass_name).unwrap() >= 1,
+        "LASS was never restarted"
+    );
+    assert!(
+        sup.restarts_of("cass").unwrap() >= 1,
+        "CASS was never restarted"
+    );
+    assert!(
+        sup.restarts_of(&startd_name).unwrap() >= 1,
+        "startd was never restarted"
+    );
+    let recovery_max = sup
+        .recovery_latencies()
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .max()
+        .expect("no recovery latency recorded");
+    assert!(
+        recovery_max < Duration::from_secs(10),
+        "recovery latency unbounded: {recovery_max:?} ({:?})",
+        sup.recovery_latencies()
+    );
+
+    // Clean final state: queues drained, KPI plane consistent.
+    assert_eq!(pool.schedd().queue_depth(), 0);
+    assert_eq!(cluster.queue_depth(), 0);
+    let kpis = sup.kpi_snapshot_now();
+    let kpi = |k: &str| {
+        kpis.iter()
+            .find(|(name, _)| name == k)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| panic!("missing KPI {k}"))
+    };
+    assert_eq!(kpi("escalations"), "0");
+    assert_eq!(kpi("condor.queue_depth"), "0");
+    assert_eq!(kpi("lsf.queue_depth"), "0");
+    assert!(kpi("restarts").parse::<u64>().unwrap() >= 2);
+
+    sup.shutdown();
+    SoakOutcome {
+        fired,
+        recovery_max,
+    }
+}
+
+/// Tier-1: deterministic, a handful of seconds.
+#[test]
+fn chaos_smoke() {
+    let out = soak(SoakConfig {
+        condor_jobs: 25,
+        lsf_jobs: 15,
+        grid_jobs: 5,
+        attr_puts: 40,
+        waves: 1,
+        step: Duration::from_millis(300),
+    });
+    assert!(out.fired.len() >= 7, "{:?}", out.fired);
+}
+
+/// Nightly: hundreds of jobs, repeated fault waves, minutes of wall
+/// clock. Run with `cargo test --release -- --ignored chaos_soak_full`.
+#[test]
+#[ignore = "multi-minute soak; nightly workflow runs it with --ignored"]
+fn chaos_soak_full() {
+    let out = soak(SoakConfig {
+        condor_jobs: 150,
+        lsf_jobs: 100,
+        grid_jobs: 25,
+        attr_puts: 400,
+        waves: 8,
+        step: Duration::from_millis(500),
+    });
+    // 6 events per wave plus the one-off LSF host kill.
+    assert!(out.fired.len() >= 49, "{:?}", out.fired);
+    println!(
+        "full soak: {} fault events, recovery max {:?}",
+        out.fired.len(),
+        out.recovery_max
+    );
+}

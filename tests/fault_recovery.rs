@@ -8,14 +8,24 @@
 use std::sync::Arc;
 use std::time::Duration;
 use tdp::core::{Role, TdpCreate, TdpHandle, World};
-use tdp::proto::{names, ContextId, ProcStatus, TdpError};
+use tdp::proto::{names, ContextId, HostId, ProcStatus, TdpError};
 use tdp::simos::{fn_program, ExecImage};
 
 const CTX: ContextId = ContextId(1);
 const T: Duration = Duration::from_secs(10);
 
-fn world_with_app() -> (World, tdp::proto::HostId) {
-    let w = World::new();
+/// Every transport backend: the recovery behaviour under test is
+/// transport-independent, so each scenario runs over all of them (the
+/// same parameterization as the wire-transport suite).
+fn worlds() -> Vec<(&'static str, World)> {
+    vec![
+        ("netsim", World::new()),
+        ("tcp", World::new_tcp()),
+        ("epoll", World::new_epoll()),
+    ]
+}
+
+fn add_app_host(w: &World) -> HostId {
     let h = w.add_host();
     w.os().fs().install_exec(
         h,
@@ -34,21 +44,27 @@ fn world_with_app() -> (World, tdp::proto::HostId) {
             }),
         ),
     );
-    (w, h)
+    h
 }
 
 #[test]
 fn ap_crash_is_observed_and_communicated() {
-    // The AP dies; the RM detects it via status monitoring and
-    // communicates it to the RT through the attribute space (§2.3).
-    let (w, h) = world_with_app();
+    for (_backend, w) in worlds() {
+        let h = add_app_host(&w);
+        ap_crash_scenario(&w, h);
+    }
+}
+
+/// The AP dies; the RM detects it via status monitoring and
+/// communicates it to the RT through the attribute space (§2.3).
+fn ap_crash_scenario(w: &World, h: HostId) {
     w.os().fs().install_exec(
         h,
         "/bin/crasher",
         ExecImage::from_fn(|_| fn_program(|_ctx| panic!("simulated fault"))),
     );
-    let mut rm = TdpHandle::init(&w, h, CTX, "rm", Role::ResourceManager).unwrap();
-    let mut rt = TdpHandle::init(&w, h, CTX, "rt", Role::Tool).unwrap();
+    let mut rm = TdpHandle::init(w, h, CTX, "rm", Role::ResourceManager).unwrap();
+    let mut rt = TdpHandle::init(w, h, CTX, "rt", Role::Tool).unwrap();
     let pid = rm.create_process(TdpCreate::new("/bin/crasher")).unwrap();
     let st = rm.wait_terminal(pid, T).unwrap();
     assert_eq!(st, ProcStatus::Killed(11));
@@ -58,11 +74,17 @@ fn ap_crash_is_observed_and_communicated() {
 
 #[test]
 fn rt_crash_does_not_take_down_the_application() {
-    // The tool daemon dies mid-run: the AP keeps running and the RM can
-    // attach a replacement tool (the tracer slot is freed when the dead
-    // daemon's handle drops).
-    let (w, h) = world_with_app();
-    let mut rm = TdpHandle::init(&w, h, CTX, "rm", Role::ResourceManager).unwrap();
+    for (_backend, w) in worlds() {
+        let h = add_app_host(&w);
+        rt_crash_scenario(&w, h);
+    }
+}
+
+/// The tool daemon dies mid-run: the AP keeps running and the RM can
+/// attach a replacement tool (the tracer slot is freed when the dead
+/// daemon's handle drops).
+fn rt_crash_scenario(w: &World, h: HostId) {
+    let mut rm = TdpHandle::init(w, h, CTX, "rm", Role::ResourceManager).unwrap();
     let app = rm.create_process(TdpCreate::new("/bin/app")).unwrap();
 
     // An RT that attaches then crashes.
@@ -92,7 +114,7 @@ fn rt_crash_does_not_take_down_the_application() {
     assert_eq!(w.os().status(app).unwrap(), ProcStatus::Running);
     // A replacement tool can attach (the crashed daemon's TraceHandle
     // was dropped during unwind).
-    let mut rt2 = TdpHandle::init(&w, h, CTX, "rt2", Role::Tool).unwrap();
+    let mut rt2 = TdpHandle::init(w, h, CTX, "rt2", Role::Tool).unwrap();
     rt2.attach(app).unwrap();
     rt2.kill_process(app, 9).unwrap();
 }
@@ -100,20 +122,22 @@ fn rt_crash_does_not_take_down_the_application() {
 #[test]
 fn lass_crash_fails_operations_cleanly() {
     // The attribute-space server dies: daemons get errors, not hangs.
-    let (w, h) = world_with_app();
-    let mut rm = TdpHandle::init(&w, h, CTX, "rm", Role::ResourceManager).unwrap();
-    rm.put("k", "v").unwrap();
-    w.kill_lass(h);
-    let err = rm.put("k2", "v2");
-    assert!(err.is_err(), "operations against a dead LASS must fail");
-    // A fresh RM init restarts the LASS on the well-known port (empty:
-    // the space died with the server).
-    let mut rm2 = TdpHandle::init(&w, h, CTX, "rm2", Role::ResourceManager).unwrap();
-    assert!(matches!(
-        rm2.try_get("k"),
-        Err(TdpError::AttributeNotFound(_))
-    ));
-    rm2.put("k", "v3").unwrap();
+    for (_backend, w) in worlds() {
+        let h = add_app_host(&w);
+        let mut rm = TdpHandle::init(&w, h, CTX, "rm", Role::ResourceManager).unwrap();
+        rm.put("k", "v").unwrap();
+        w.kill_lass(h);
+        let err = rm.put("k2", "v2");
+        assert!(err.is_err(), "operations against a dead LASS must fail");
+        // A fresh RM init restarts the LASS on the well-known port
+        // (empty: the space died with the server).
+        let mut rm2 = TdpHandle::init(&w, h, CTX, "rm2", Role::ResourceManager).unwrap();
+        assert!(matches!(
+            rm2.try_get("k"),
+            Err(TdpError::AttributeNotFound(_))
+        ));
+        rm2.put("k", "v3").unwrap();
+    }
 }
 
 #[test]
@@ -151,17 +175,20 @@ fn heartbeat_attribute_detects_silent_tool() {
     // The fault-model extension: the RT heartbeats through the space;
     // the RM notices staleness. (A crashed RT stops heartbeating even
     // though its process table entry may linger.)
-    let (w, h) = world_with_app();
-    let mut rm = TdpHandle::init(&w, h, CTX, "rm", Role::ResourceManager).unwrap();
-    let mut rt = TdpHandle::init(&w, h, CTX, "rt", Role::Tool).unwrap();
-    rt.put(names::HEARTBEAT, "1").unwrap();
-    assert_eq!(rm.get(names::HEARTBEAT).unwrap(), "1");
-    rt.put(names::HEARTBEAT, "2").unwrap();
-    assert_eq!(rm.get(names::HEARTBEAT).unwrap(), "2");
-    // RT "crashes" (drops without exit): the counter goes stale.
-    drop(rt);
-    std::thread::sleep(Duration::from_millis(50));
-    assert_eq!(rm.get(names::HEARTBEAT).unwrap(), "2", "no further beats");
+    for (_backend, w) in worlds() {
+        let h = add_app_host(&w);
+        let mut rm = TdpHandle::init(&w, h, CTX, "rm", Role::ResourceManager).unwrap();
+        let mut rt = TdpHandle::init(&w, h, CTX, "rt", Role::Tool).unwrap();
+        rt.put(names::HEARTBEAT, "1").unwrap();
+        assert_eq!(rm.get(names::HEARTBEAT).unwrap(), "1");
+        rt.put(names::HEARTBEAT, "2").unwrap();
+        assert_eq!(rm.get(names::HEARTBEAT).unwrap(), "2");
+        // RT "crashes" (drops without exit): beats are synchronous
+        // round trips, so once the handle is gone no further beat can
+        // be in flight — the counter is deterministically stale.
+        drop(rt);
+        assert_eq!(rm.get(names::HEARTBEAT).unwrap(), "2", "no further beats");
+    }
 }
 
 #[test]

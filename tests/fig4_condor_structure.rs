@@ -72,18 +72,9 @@ fn fig4_submission_flow_end_to_end() {
 
     // The claimed machine was freed after completion (claiming protocol
     // completes its cycle).
-    let deadline = std::time::Instant::now() + T;
-    loop {
-        let machines = pool.matchmaker().machines();
-        if machines.iter().all(|(_, a)| *a) {
-            break;
-        }
-        assert!(
-            std::time::Instant::now() < deadline,
-            "machines never freed: {machines:?}"
-        );
-        std::thread::sleep(Duration::from_millis(10));
-    }
+    pool.matchmaker()
+        .wait_machines(T, |machines| machines.iter().all(|(_, a)| *a))
+        .expect("machines never freed");
 }
 
 #[test]
