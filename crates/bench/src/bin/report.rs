@@ -403,6 +403,166 @@ fn e10_matrix() {
     println!("  (paradynd × both schedulers and tdb × minirm are covered in the test suite)");
 }
 
+fn b9_gateway() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+    use tdp_gateway::{install_daemon_image, Gateway, GatewayConfig, HttpRpcClient, Json};
+
+    header("B9 — Gateway load: HTTP fan-in over a fixed TDP bridge");
+    const CLIENTS: usize = 200;
+    const PER_CLIENT: usize = 20;
+
+    let world = World::new();
+    let gw_host = world.add_host();
+    install_daemon_image(&world, gw_host, "/bin/rtd");
+    let gw = Gateway::start(
+        &world,
+        gw_host,
+        GatewayConfig {
+            workers: 8,
+            pool_size: 8,
+            ..GatewayConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = gw.addr();
+
+    // A supervised RT daemon that will be murdered mid-load.
+    let mut admin = HttpRpcClient::connect(addr).unwrap();
+    admin
+        .call(
+            "proc.spawn",
+            Json::obj([
+                ("name", Json::from("rt-bench")),
+                ("host", Json::from(gw_host.0)),
+                ("executable", Json::from("/bin/rtd")),
+            ]),
+        )
+        .unwrap();
+
+    let start = Arc::new(Barrier::new(CLIENTS + 1));
+    let invoke_errors = Arc::new(AtomicUsize::new(0));
+    let list_failures = Arc::new(AtomicUsize::new(0));
+    let stop_lister = Arc::new(AtomicUsize::new(0));
+
+    // Background `proc.list` poller: must never fail, even while the
+    // daemon is down and the supervisor is mid-restart.
+    let lister = {
+        let (failures, stop) = (Arc::clone(&list_failures), Arc::clone(&stop_lister));
+        std::thread::spawn(move || {
+            let mut c = HttpRpcClient::connect(addr).unwrap();
+            let mut calls = 0usize;
+            while stop.load(Ordering::SeqCst) == 0 {
+                if c.call("proc.list", Json::Obj(Vec::new())).is_err() {
+                    failures.fetch_add(1, Ordering::SeqCst);
+                }
+                calls += 1;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            calls
+        })
+    };
+
+    // 200 concurrent HTTP clients: each alternates a timed `tool.invoke
+    // echo` with an attribute write through the bridge pool.
+    let mut handles = Vec::new();
+    for i in 0..CLIENTS {
+        let start = Arc::clone(&start);
+        let errors = Arc::clone(&invoke_errors);
+        handles.push(std::thread::spawn(move || {
+            let mut c = HttpRpcClient::connect(addr).unwrap();
+            let mut lat = Vec::with_capacity(PER_CLIENT);
+            start.wait();
+            for j in 0..PER_CLIENT {
+                let t = std::time::Instant::now();
+                if c.invoke("echo", Json::obj([("n", Json::from(j as u64))]))
+                    .is_err()
+                {
+                    errors.fetch_add(1, Ordering::SeqCst);
+                }
+                lat.push(t.elapsed());
+                if c.call(
+                    "attr.put",
+                    Json::obj([
+                        ("ctx", Json::Int(9)),
+                        ("key", Json::from(format!("client.{i}"))),
+                        ("value", Json::from(j.to_string())),
+                    ]),
+                )
+                .is_err()
+                {
+                    errors.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            lat
+        }));
+    }
+
+    let t0 = std::time::Instant::now();
+    start.wait();
+    // Mid-load chaos: kill the RT daemon's process and let the ops
+    // patrol loop respawn it while requests keep flowing.
+    std::thread::sleep(Duration::from_millis(50));
+    admin
+        .call("proc.crash", Json::obj([("name", Json::from("rt-bench"))]))
+        .unwrap();
+    let restart = gw
+        .core()
+        .supervisor()
+        .expect("bench gateway runs supervised")
+        .wait_restarts("gw.rt-bench", 1, Duration::from_secs(30));
+
+    let mut lat: Vec<Duration> = Vec::new();
+    for h in handles {
+        lat.extend(h.join().unwrap());
+    }
+    let wall = t0.elapsed();
+    stop_lister.store(1, Ordering::SeqCst);
+    let list_calls = lister.join().unwrap();
+
+    lat.sort();
+    let pct = |p: f64| lat[((lat.len() - 1) as f64 * p) as usize];
+    let total = CLIENTS * PER_CLIENT;
+    row(
+        &format!("{CLIENTS} clients × {PER_CLIENT} invokes"),
+        format!("{:.0}/s aggregate", (total * 2) as f64 / wall.as_secs_f64()),
+    );
+    row("invoke latency p50 / p99 / max", {
+        format!(
+            "{} / {} / {}",
+            fmt_dur(pct(0.50)),
+            fmt_dur(pct(0.99)),
+            fmt_dur(lat[lat.len() - 1])
+        )
+    });
+    row(
+        "TDP sessions under the fan-in",
+        format!(
+            "{} total = {} bridge pool + 1 ops publisher",
+            world.attr_session_count(),
+            gw.core().bridge().pool_size()
+        ),
+    );
+    row(
+        "daemon kill mid-load",
+        match restart {
+            Ok(_) => "restarted by supervisor".to_string(),
+            Err(e) => format!("FAIL: {e}"),
+        },
+    );
+    row(
+        "proc.list during restart",
+        format!(
+            "{list_calls} calls, {} failed",
+            list_failures.load(Ordering::SeqCst)
+        ),
+    );
+    row(
+        "invoke errors under chaos",
+        invoke_errors.load(Ordering::SeqCst),
+    );
+}
+
 fn e18_ops() {
     header("E18 — Supervision daemon (tdp-ops)");
     // The same scripted scenario `tdp-ops --kpi-dump` runs: a
@@ -435,6 +595,7 @@ fn main() {
     b4_parador();
     b5_mrnet();
     e10_matrix();
+    b9_gateway();
     e18_ops();
     println!("\ndone.");
 }

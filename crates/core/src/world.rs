@@ -199,6 +199,13 @@ impl World {
         self.inner.net.add_host()
     }
 
+    /// All currently-alive hosts, sorted by id. The inventory a layer
+    /// fronting this world (the gateway's `world.info` endpoint) hands
+    /// to external clients.
+    pub fn hosts(&self) -> Vec<HostId> {
+        self.inner.net.hosts()
+    }
+
     /// Add a host inside a private zone.
     pub fn add_host_in(&self, zone: ZoneId) -> HostId {
         self.inner.net.add_host_in(zone)

@@ -1,0 +1,154 @@
+//! Per-client API-key authentication with tool allowlists.
+//!
+//! The keyring maps an API key to a list of capability patterns. A
+//! request is authorised when the capability it needs matches at least
+//! one pattern of the presented key:
+//!
+//! * `tool.invoke` needs the **tool name** as the capability, so a key
+//!   can be scoped to exactly the tools it may run;
+//! * every other method needs its own **method name**.
+//!
+//! Patterns are exact strings or single-`*` globs (`*`, `attr.*`,
+//! `*.list`). The policy edges are deliberate:
+//!
+//! * an **empty keyring** means the gateway runs open — every request
+//!   is allowed (the zero-config lab default);
+//! * a key with an **empty allowlist** is valid but can do nothing —
+//!   registering a key is not granting it anything;
+//! * an **unknown key** is always rejected, even on an open method.
+//!
+//! The keyring is mutable at runtime behind an `RwLock`; a request
+//! checks the ring at dispatch time, so revoking a key cuts off the
+//! *next* request — calls already past the check complete (see the
+//! in-flight mutation test in `tests/gateway_tests.rs`).
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+use crate::rpc::RpcError;
+
+/// Runtime-mutable API-key → allowlist store.
+#[derive(Default)]
+pub struct ApiKeys {
+    ring: RwLock<HashMap<String, Vec<String>>>,
+}
+
+impl ApiKeys {
+    pub fn new() -> ApiKeys {
+        ApiKeys::default()
+    }
+
+    /// Insert or replace a key with its capability patterns.
+    pub fn grant(&self, key: impl Into<String>, patterns: &[&str]) {
+        self.ring
+            .write()
+            .insert(key.into(), patterns.iter().map(|p| p.to_string()).collect());
+    }
+
+    /// Remove a key. Returns whether it existed.
+    pub fn revoke(&self, key: &str) -> bool {
+        self.ring.write().remove(key).is_some()
+    }
+
+    /// Number of registered keys (0 ⇒ the gateway is open).
+    pub fn len(&self) -> usize {
+        self.ring.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ring.read().is_empty()
+    }
+
+    /// Authorise `capability` for the presented key, per the policy in
+    /// the module docs.
+    pub fn check(&self, key: Option<&str>, capability: &str) -> Result<(), RpcError> {
+        let ring = self.ring.read();
+        if ring.is_empty() {
+            return Ok(());
+        }
+        let key = key.ok_or_else(|| RpcError::unauthorized("missing API key"))?;
+        let Some(allow) = ring.get(key) else {
+            return Err(RpcError::unauthorized("unknown API key"));
+        };
+        if allow.iter().any(|p| glob_match(p, capability)) {
+            Ok(())
+        } else {
+            Err(RpcError::unauthorized(format!(
+                "key not allowed to use {capability}"
+            )))
+        }
+    }
+}
+
+/// Match `name` against `pattern`, where the pattern may contain at
+/// most one `*` wildcard spanning any run of characters. No `*` means
+/// exact match.
+pub fn glob_match(pattern: &str, name: &str) -> bool {
+    match pattern.split_once('*') {
+        None => pattern == name,
+        Some((prefix, suffix)) => {
+            name.len() >= prefix.len() + suffix.len()
+                && name.starts_with(prefix)
+                && name.ends_with(suffix)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rpc::codes;
+
+    #[test]
+    fn empty_keyring_is_open() {
+        let keys = ApiKeys::new();
+        assert!(keys.check(None, "anything").is_ok());
+        assert!(keys.check(Some("whatever"), "tool.list").is_ok());
+    }
+
+    #[test]
+    fn unknown_key_rejected_once_ring_nonempty() {
+        let keys = ApiKeys::new();
+        keys.grant("k1", &["*"]);
+        assert_eq!(
+            keys.check(Some("k2"), "tool.list").unwrap_err().code,
+            codes::UNAUTHORIZED
+        );
+        assert_eq!(
+            keys.check(None, "tool.list").unwrap_err().code,
+            codes::UNAUTHORIZED
+        );
+        assert!(keys.check(Some("k1"), "tool.list").is_ok());
+    }
+
+    #[test]
+    fn globs() {
+        assert!(glob_match("*", "x"));
+        assert!(glob_match("*", ""));
+        assert!(glob_match("attr.*", "attr.get"));
+        assert!(!glob_match("attr.*", "tool.list"));
+        assert!(glob_match("*.list", "tool.list"));
+        assert!(!glob_match("*.list", "tool.invoke"));
+        assert!(glob_match("echo", "echo"));
+        assert!(!glob_match("echo", "echo2"));
+        // Prefix and suffix may not overlap the same characters.
+        assert!(!glob_match("ab*ba", "aba"));
+        assert!(glob_match("ab*ba", "abba"));
+    }
+
+    #[test]
+    fn revoke_takes_effect() {
+        let keys = ApiKeys::new();
+        keys.grant("k", &["echo"]);
+        assert!(keys.check(Some("k"), "echo").is_ok());
+        assert!(keys.revoke("k"));
+        assert!(!keys.revoke("k"));
+        // Ring is empty again ⇒ open.
+        assert!(keys.check(Some("k"), "echo").is_ok());
+        keys.grant("other", &[]);
+        assert_eq!(
+            keys.check(Some("k"), "echo").unwrap_err().code,
+            codes::UNAUTHORIZED
+        );
+    }
+}

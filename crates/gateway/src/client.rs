@@ -1,0 +1,169 @@
+//! A minimal blocking JSON-RPC-over-HTTP client, used by the tests,
+//! the B9 bench, and the demo example. One keep-alive connection per
+//! client; requests are serialised on it (spin up more clients for
+//! concurrency — that is exactly what B9 does).
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::json::Json;
+use crate::rpc::RpcError;
+
+/// Blocking HTTP/1.1 JSON-RPC client.
+pub struct HttpRpcClient {
+    stream: TcpStream,
+    addr: SocketAddr,
+    api_key: Option<String>,
+    next_id: i64,
+    /// Read-side leftover between responses (keep-alive).
+    buf: Vec<u8>,
+}
+
+impl HttpRpcClient {
+    pub fn connect(addr: SocketAddr) -> std::io::Result<HttpRpcClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        Ok(HttpRpcClient {
+            stream,
+            addr,
+            api_key: None,
+            next_id: 0,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Present this API key (as the `x-api-key` header) on every call.
+    pub fn with_api_key(mut self, key: impl Into<String>) -> HttpRpcClient {
+        self.api_key = Some(key.into());
+        self
+    }
+
+    /// Call `method`; returns the `result` member or the error.
+    pub fn call(&mut self, method: &str, params: Json) -> Result<Json, RpcError> {
+        self.next_id += 1;
+        let req = Json::obj([
+            ("jsonrpc", Json::from("2.0")),
+            ("id", Json::Int(self.next_id)),
+            ("method", Json::from(method)),
+            ("params", params),
+        ])
+        .render();
+        let key_header = match &self.api_key {
+            Some(k) => format!("x-api-key: {k}\r\n"),
+            None => String::new(),
+        };
+        let http = format!(
+            "POST /rpc HTTP/1.1\r\ncontent-type: application/json\r\n{key_header}content-length: {}\r\n\r\n{req}",
+            req.len()
+        );
+        let body = self
+            .roundtrip(http.as_bytes())
+            .map_err(|e| RpcError::new(crate::rpc::codes::TDP_FAILURE, format!("http: {e}")))?;
+        let doc = Json::parse(&body).map_err(|e| {
+            RpcError::new(
+                crate::rpc::codes::TDP_FAILURE,
+                format!("bad response JSON: {e}"),
+            )
+        })?;
+        if let Some(err) = doc.get("error") {
+            return Err(RpcError::new(
+                err.get("code").and_then(Json::as_i64).unwrap_or(-1),
+                err.str_field("message").unwrap_or("unknown error"),
+            ));
+        }
+        Ok(doc.get("result").cloned().unwrap_or(Json::Null))
+    }
+
+    /// Shorthand: `tool.invoke` of `name` with `params`.
+    pub fn invoke(&mut self, name: &str, params: Json) -> Result<Json, RpcError> {
+        self.call(
+            "tool.invoke",
+            Json::obj([("name", Json::from(name)), ("params", params)]),
+        )
+    }
+
+    /// One write, then read exactly one HTTP response (headers +
+    /// content-length body) off the keep-alive stream. Reconnects once
+    /// if the server closed the idle connection under us.
+    fn roundtrip(&mut self, request: &[u8]) -> std::io::Result<String> {
+        match self.try_roundtrip(request) {
+            Ok(body) => Ok(body),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::UnexpectedEof | ErrorKind::BrokenPipe | ErrorKind::ConnectionReset
+                ) =>
+            {
+                self.stream = TcpStream::connect(self.addr)?;
+                self.stream.set_nodelay(true)?;
+                self.stream
+                    .set_read_timeout(Some(Duration::from_secs(60)))?;
+                self.buf.clear();
+                self.try_roundtrip(request)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn try_roundtrip(&mut self, request: &[u8]) -> std::io::Result<String> {
+        self.stream.write_all(request)?;
+        loop {
+            if let Some((body, consumed)) = split_response(&self.buf)? {
+                self.buf.drain(..consumed);
+                return Ok(body);
+            }
+            let mut chunk = [0u8; 8192];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "server closed connection mid-response",
+                ));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+/// If `buf` holds a complete response, return `(body, total_len)`.
+fn split_response(buf: &[u8]) -> std::io::Result<Option<(String, usize)>> {
+    let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") else {
+        return Ok(None);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| std::io::Error::new(ErrorKind::InvalidData, "non-UTF-8 response head"))?;
+    let mut content_length = 0usize;
+    for line in head.split("\r\n").skip(1) {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    std::io::Error::new(ErrorKind::InvalidData, "bad content-length")
+                })?;
+            }
+        }
+    }
+    let total = head_end + 4 + content_length;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let body = String::from_utf8_lossy(&buf[head_end + 4..total]).into_owned();
+    Ok(Some((body, total)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_responses_incrementally() {
+        let resp = b"HTTP/1.1 200 OK\r\ncontent-length: 4\r\n\r\nbodyNEXT";
+        // Partial: nothing yet.
+        assert!(split_response(&resp[..10]).unwrap().is_none());
+        assert!(split_response(&resp[..40]).unwrap().is_none());
+        let (body, consumed) = split_response(resp).unwrap().unwrap();
+        assert_eq!(body, "body");
+        assert_eq!(&resp[consumed..], b"NEXT");
+    }
+}

@@ -1,0 +1,607 @@
+//! A small HTTP/1.1 server on the wire crate's epoll machinery.
+//!
+//! One reactor thread owns the non-blocking listener and an
+//! [`Epoll`](tdp_wire::sys::Epoll) set; connections are registered
+//! `EPOLLONESHOT`, so a fired connection is exclusively the reactor's
+//! until it is re-armed. Complete requests are handed to a fixed worker
+//! pool over a crossbeam channel; the worker writes the response,
+//! drains any pipelined follow-up requests, and re-arms the connection
+//! itself (`epoll_ctl` is thread-safe, so no reactor round trip is
+//! needed). This is the same shape as the attrspace epoll backend, cut
+//! down to request/response instead of framed sessions.
+//!
+//! Scope: `POST` with `Content-Length` (JSON-RPC) and bare `GET`
+//! (health probes). No chunked transfer, no TLS — the gateway fronts a
+//! lab network, and clients are the bench harness, curl, and the
+//! example programs.
+
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
+use tdp_wire::sys::{Epoll, EventFd, EPOLLIN, EPOLLONESHOT, EPOLLRDHUP};
+
+/// Largest accepted head (request line + headers) in bytes.
+const MAX_HEAD: usize = 16 * 1024;
+/// Largest accepted body in bytes.
+const MAX_BODY: usize = 4 * 1024 * 1024;
+/// How long a worker keeps retrying a `WouldBlock` write before it
+/// declares the client stalled and drops the connection.
+const WRITE_STALL: Duration = Duration::from_secs(5);
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKEUP: u64 = 1;
+const TOKEN_FIRST_CONN: u64 = 2;
+
+/// One parsed inbound request.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    pub method: String,
+    pub path: String,
+    /// Header names lowercased; values trimmed.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// Case-insensitive header lookup (names are stored lowercased).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn body_str(&self) -> std::borrow::Cow<'_, str> {
+        String::from_utf8_lossy(&self.body)
+    }
+}
+
+/// The response a handler returns.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> HttpResponse {
+        HttpResponse {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> HttpResponse {
+        HttpResponse {
+            status,
+            content_type: "text/plain",
+            body: body.into(),
+        }
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            _ => "Error",
+        }
+    }
+
+    fn render(&self, keep_alive: bool) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.body.len() + 128);
+        out.extend_from_slice(
+            format!(
+                "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+                self.status,
+                self.reason(),
+                self.content_type,
+                self.body.len(),
+                if keep_alive { "keep-alive" } else { "close" },
+            )
+            .as_bytes(),
+        );
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// Request handler. Must be cheap to call concurrently; one invocation
+/// per in-flight request, from worker threads.
+pub type Handler = Arc<dyn Fn(&HttpRequest) -> HttpResponse + Send + Sync>;
+
+// ------------------------------------------------------------- parsing
+
+/// Outcome of trying to cut one request off the front of a read buffer.
+enum Parsed {
+    /// Not enough bytes yet.
+    Partial,
+    /// One full request; `consumed` bytes should be drained.
+    Done(HttpRequest, usize),
+    /// Unrecoverable framing problem; connection must close.
+    Bad(&'static str),
+}
+
+fn parse_one(buf: &[u8]) -> Parsed {
+    let head_end = match find_head_end(buf) {
+        Some(i) => i,
+        None if buf.len() > MAX_HEAD => return Parsed::Bad("header section too large"),
+        None => return Parsed::Partial,
+    };
+    let head = match std::str::from_utf8(&buf[..head_end]) {
+        Ok(h) => h,
+        Err(_) => return Parsed::Bad("non-UTF-8 header section"),
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m.to_string(), p.to_string()),
+        _ => return Parsed::Bad("malformed request line"),
+    };
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Parsed::Bad("malformed header line");
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            content_length = match value.parse() {
+                Ok(n) => n,
+                Err(_) => return Parsed::Bad("bad content-length"),
+            };
+        }
+        headers.push((name, value));
+    }
+    if content_length > MAX_BODY {
+        return Parsed::Bad("body too large");
+    }
+    let body_start = head_end + 4;
+    let total = body_start + content_length;
+    if buf.len() < total {
+        return Parsed::Partial;
+    }
+    let req = HttpRequest {
+        method,
+        path,
+        headers,
+        body: buf[body_start..total].to_vec(),
+    };
+    Parsed::Done(req, total)
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn wants_close(req: &HttpRequest) -> bool {
+    matches!(req.header("connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+}
+
+// ---------------------------------------------------------- connection
+
+struct Conn {
+    stream: TcpStream,
+    token: u64,
+    /// Bytes read off the socket but not yet consumed as requests.
+    buf: Mutex<Vec<u8>>,
+}
+
+impl Conn {
+    fn fd(&self) -> RawFd {
+        self.stream.as_raw_fd()
+    }
+}
+
+struct Shared {
+    epoll: Epoll,
+    wakeup: EventFd,
+    conns: Mutex<HashMap<u64, Arc<Conn>>>,
+    handler: Handler,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    fn close(&self, conn: &Conn) {
+        // Delete before dropping the map entry so the reactor can never
+        // see a readiness event for a token it just freed.
+        let _ = self.epoll.delete(conn.fd());
+        self.conns.lock().remove(&conn.token);
+    }
+
+    fn rearm(&self, conn: &Conn) {
+        if self
+            .epoll
+            .modify(conn.fd(), EPOLLIN | EPOLLRDHUP | EPOLLONESHOT, conn.token)
+            .is_err()
+        {
+            self.close(conn);
+        }
+    }
+}
+
+// -------------------------------------------------------------- server
+
+/// A running HTTP server; dropping it (or calling [`shutdown`]) stops
+/// the reactor and worker threads.
+///
+/// [`shutdown`]: HttpServer::shutdown
+pub struct HttpServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start the
+    /// reactor plus `workers` handler threads.
+    pub fn bind(addr: &str, workers: usize, handler: Handler) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            epoll: Epoll::new()?,
+            wakeup: EventFd::new()?,
+            conns: Mutex::new(HashMap::new()),
+            handler,
+            stop: AtomicBool::new(false),
+        });
+        shared
+            .epoll
+            .add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+        shared
+            .epoll
+            .add(shared.wakeup.fd(), EPOLLIN, TOKEN_WAKEUP)?;
+
+        let (tx, rx) = channel::unbounded::<Arc<Conn>>();
+        let mut threads = Vec::new();
+        for i in 0..workers.max(1) {
+            let rx: Receiver<Arc<Conn>> = rx.clone();
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("gw-http-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+                    .expect("spawn http worker"),
+            );
+        }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("gw-http-reactor".into())
+                    .spawn(move || reactor_loop(&shared, &listener, &tx))
+                    .expect("spawn http reactor"),
+            );
+        }
+        Ok(HttpServer {
+            addr,
+            shared,
+            threads,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of currently-open client connections.
+    pub fn open_connections(&self) -> usize {
+        self.shared.conns.lock().len()
+    }
+
+    /// Stop accepting, close all connections, join all threads.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.wakeup.signal();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        self.shared.conns.lock().clear();
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn reactor_loop(shared: &Shared, listener: &TcpListener, tx: &Sender<Arc<Conn>>) {
+    let mut next_token = TOKEN_FIRST_CONN;
+    let mut events = [tdp_wire::sys::EpollEvent {
+        events: 0,
+        token: 0,
+    }; 64];
+    while !shared.stop.load(Ordering::SeqCst) {
+        let ready = match shared.epoll.wait(&mut events, 200) {
+            Ok(r) => r,
+            Err(_) => break,
+        };
+        // Copy tokens out: handling may mutate the conn map.
+        let tokens: Vec<u64> = ready.iter().map(|e| e.token).collect();
+        for token in tokens {
+            match token {
+                TOKEN_WAKEUP => shared.wakeup.drain(),
+                TOKEN_LISTENER => accept_all(shared, listener, &mut next_token),
+                t => {
+                    let conn = shared.conns.lock().get(&t).cloned();
+                    if let Some(conn) = conn {
+                        pump_conn(shared, &conn, tx);
+                    }
+                }
+            }
+        }
+    }
+    // Closing the epoll fd (via Drop) detaches every registration; the
+    // conn sockets close when their Arcs drop with the map.
+}
+
+fn accept_all(shared: &Shared, listener: &TcpListener, next: &mut u64) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let token = *next;
+                *next += 1;
+                let conn = Arc::new(Conn {
+                    stream,
+                    token,
+                    buf: Mutex::new(Vec::new()),
+                });
+                shared.conns.lock().insert(token, Arc::clone(&conn));
+                if shared
+                    .epoll
+                    .add(conn.fd(), EPOLLIN | EPOLLRDHUP | EPOLLONESHOT, token)
+                    .is_err()
+                {
+                    shared.conns.lock().remove(&token);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+/// Read whatever the socket has, then either dispatch a complete
+/// request to the workers or re-arm and keep waiting. Runs on the
+/// reactor, with the oneshot registration quiesced, so it is the only
+/// thread touching this conn.
+fn pump_conn(shared: &Shared, conn: &Arc<Conn>, tx: &Sender<Arc<Conn>>) {
+    let mut eof = false;
+    {
+        let mut buf = conn.buf.lock();
+        let mut chunk = [0u8; 8192];
+        loop {
+            match (&conn.stream).read(&mut chunk) {
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    eof = true;
+                    break;
+                }
+            }
+        }
+    }
+    let complete = {
+        let buf = conn.buf.lock();
+        !buf.is_empty() && head_complete(&buf)
+    };
+    if complete {
+        // Hand the conn to a worker; it re-arms (or closes) when done.
+        if tx.send(Arc::clone(conn)).is_err() {
+            shared.close(conn);
+        }
+    } else if eof {
+        shared.close(conn);
+    } else {
+        shared.rearm(conn);
+    }
+}
+
+/// Cheap completeness probe: workers re-run the full parser, this only
+/// decides whether dispatching is worthwhile yet.
+fn head_complete(buf: &[u8]) -> bool {
+    match parse_one(buf) {
+        Parsed::Partial => false,
+        Parsed::Done(..) | Parsed::Bad(_) => true,
+    }
+}
+
+fn worker_loop(shared: &Shared, rx: &Receiver<Arc<Conn>>) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let conn = match rx.recv_timeout(Duration::from_millis(200)) {
+            Ok(c) => c,
+            Err(channel::RecvTimeoutError::Timeout) => continue,
+            Err(channel::RecvTimeoutError::Disconnected) => return,
+        };
+        serve_conn(shared, &conn);
+    }
+}
+
+/// Answer every complete request already buffered on `conn`, then
+/// re-arm it. The oneshot registration is quiescent for the whole call,
+/// so the worker has exclusive use of the connection.
+fn serve_conn(shared: &Shared, conn: &Arc<Conn>) {
+    loop {
+        let parsed = {
+            let mut buf = conn.buf.lock();
+            match parse_one(&buf) {
+                Parsed::Done(req, consumed) => {
+                    buf.drain(..consumed);
+                    Ok(req)
+                }
+                Parsed::Partial => {
+                    drop(buf);
+                    shared.rearm(conn);
+                    return;
+                }
+                Parsed::Bad(why) => Err(why),
+            }
+        };
+        match parsed {
+            Ok(req) => {
+                let resp = (shared.handler)(&req);
+                let close = wants_close(&req);
+                if !write_all(conn, &resp.render(!close)) || close {
+                    shared.close(conn);
+                    return;
+                }
+            }
+            Err(why) => {
+                let resp = HttpResponse::text(400, format!("bad request: {why}\n"));
+                let _ = write_all(conn, &resp.render(false));
+                shared.close(conn);
+                return;
+            }
+        }
+    }
+}
+
+/// Write the whole response, spinning briefly on `WouldBlock` (we never
+/// register for `EPOLLOUT`; responses are small and clients that stall
+/// a socket for [`WRITE_STALL`] get dropped).
+fn write_all(conn: &Conn, mut data: &[u8]) -> bool {
+    let deadline = Instant::now() + WRITE_STALL;
+    while !data.is_empty() {
+        match (&conn.stream).write(data) {
+            Ok(0) => return false,
+            Ok(n) => data = &data[n..],
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                if Instant::now() > deadline {
+                    return false;
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_server() -> HttpServer {
+        HttpServer::bind(
+            "127.0.0.1:0",
+            2,
+            Arc::new(|req: &HttpRequest| {
+                HttpResponse::json(200, format!("{{\"path\":\"{}\"}}", req.path))
+            }),
+        )
+        .unwrap()
+    }
+
+    fn raw_roundtrip(addr: SocketAddr, req: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(req.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let _ = s.read_to_string(&mut out);
+        out
+    }
+
+    #[test]
+    fn serves_get_and_post() {
+        let srv = echo_server();
+        let out = raw_roundtrip(
+            srv.addr(),
+            "GET /health HTTP/1.1\r\nconnection: close\r\n\r\n",
+        );
+        assert!(out.starts_with("HTTP/1.1 200 OK\r\n"), "{out}");
+        assert!(out.ends_with("{\"path\":\"/health\"}"), "{out}");
+
+        let body = r#"{"x":1}"#;
+        let out = raw_roundtrip(
+            srv.addr(),
+            &format!(
+                "POST /rpc HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+                body.len()
+            ),
+        );
+        assert!(out.contains("\"path\":\"/rpc\""), "{out}");
+    }
+
+    #[test]
+    fn keep_alive_serves_sequential_requests() {
+        let srv = echo_server();
+        let mut s = TcpStream::connect(srv.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        for i in 0..3 {
+            s.write_all(format!("GET /r{i} HTTP/1.1\r\n\r\n").as_bytes())
+                .unwrap();
+            let mut buf = [0u8; 4096];
+            let mut got = String::new();
+            while !got.contains(&format!("/r{i}")) {
+                let n = (&s).read(&mut buf).unwrap();
+                assert!(n > 0, "server closed mid-keep-alive");
+                got.push_str(&String::from_utf8_lossy(&buf[..n]));
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_all_answered() {
+        let srv = echo_server();
+        let mut s = TcpStream::connect(srv.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // Two requests in one write; second asks to close so
+        // read_to_string terminates.
+        s.write_all(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nconnection: close\r\n\r\n")
+            .unwrap();
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        assert!(out.contains("/a") && out.contains("/b"), "{out}");
+    }
+
+    #[test]
+    fn malformed_request_gets_400_and_close() {
+        let srv = echo_server();
+        let out = raw_roundtrip(srv.addr(), "NOT-HTTP\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+    }
+
+    #[test]
+    fn shutdown_joins_threads() {
+        let mut srv = echo_server();
+        let addr = srv.addr();
+        srv.shutdown();
+        // Listener is gone: connecting now fails or is refused quickly.
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err());
+    }
+}

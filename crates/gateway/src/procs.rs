@@ -1,0 +1,283 @@
+//! Process control: spawning, listing, and killing RT daemons on world
+//! hosts, with optional hand-off to the ops supervisor.
+//!
+//! A "daemon" here is a named simos process started from an installed
+//! [`ExecImage`]. When a spawn asks for supervision, the manager
+//! registers a [`DaemonComponent`] with the [`Supervisor`] whose probe
+//! is a live `Os::status` check and whose restart closure respawns the
+//! same spec — so a daemon dying under load comes back on the patrol
+//! loop without any HTTP client noticing beyond a latency blip.
+//!
+//! The pid lives behind `Arc<Mutex<Pid>>`, shared between the manager's
+//! table and the supervisor's restart closure: a restart updates the
+//! pid in place, so a concurrent `proc.list` never sees a dangling
+//! entry mid-restart (the B9 bench asserts exactly this).
+//!
+//! `kill` unregisters from the supervisor *before* signalling: an
+//! operator kill must not race the patrol loop into resurrecting the
+//! daemon it just removed.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use tdp_core::{ops::Supervisable, World};
+use tdp_ops::Supervisor;
+use tdp_proto::{HostId, Pid, ProcStatus, TdpError, TdpResult};
+use tdp_simos::{fn_program, ExecImage, ProcSpec};
+
+use std::time::Duration;
+
+/// Install the stock gateway daemon image at `path` on `host`: a
+/// process that idles forever (interruptibly, so kills are prompt) and
+/// exposes a couple of symbols for tools to instrument. The `serve`
+/// binary installs this on every host at startup; embedders with real
+/// workloads install their own images instead.
+pub fn install_daemon_image(world: &World, host: HostId, path: &str) {
+    let image = ExecImage::new(
+        ["main", "serve_loop"],
+        Arc::new(|_args| {
+            fn_program(|ctx| loop {
+                ctx.sleep(Duration::from_millis(50));
+            })
+        }),
+    );
+    world.os().fs().install_exec(host, path, image);
+}
+
+struct Entry {
+    host: HostId,
+    executable: String,
+    args: Vec<String>,
+    pid: Arc<Mutex<Pid>>,
+    supervised: bool,
+}
+
+/// One row of `proc.list`.
+#[derive(Debug, Clone)]
+pub struct DaemonInfo {
+    pub name: String,
+    pub pid: Pid,
+    pub host: HostId,
+    pub executable: String,
+    pub args: Vec<String>,
+    pub status: ProcStatus,
+    pub supervised: bool,
+}
+
+/// Named-daemon table fronting `Os::spawn`/`Os::kill`.
+pub struct ProcManager {
+    world: World,
+    daemons: Mutex<BTreeMap<String, Entry>>,
+}
+
+impl ProcManager {
+    pub fn new(world: &World) -> ProcManager {
+        ProcManager {
+            world: world.clone(),
+            daemons: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.daemons.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.daemons.lock().is_empty()
+    }
+
+    /// Spawn `executable` on `host` under `name`. With a supervisor,
+    /// the daemon is registered for auto-restart as `gw.<name>`.
+    pub fn spawn(
+        &self,
+        name: &str,
+        host: HostId,
+        executable: &str,
+        args: &[String],
+        supervisor: Option<&Supervisor>,
+    ) -> TdpResult<Pid> {
+        if name.is_empty() {
+            return Err(TdpError::Protocol("daemon name must be non-empty".into()));
+        }
+        {
+            let daemons = self.daemons.lock();
+            if daemons.contains_key(name) {
+                return Err(TdpError::Protocol(format!("daemon {name} already running")));
+            }
+        }
+        let spec = ProcSpec::new(host, executable).args(args.iter().cloned());
+        let pid = self.world.os().spawn(spec)?;
+        let pid_cell = Arc::new(Mutex::new(pid));
+        self.daemons.lock().insert(
+            name.to_string(),
+            Entry {
+                host,
+                executable: executable.to_string(),
+                args: args.to_vec(),
+                pid: Arc::clone(&pid_cell),
+                supervised: supervisor.is_some(),
+            },
+        );
+        if let Some(sup) = supervisor {
+            let component = Arc::new(DaemonComponent {
+                world: self.world.clone(),
+                name: name.to_string(),
+                pid: Arc::clone(&pid_cell),
+            });
+            let world = self.world.clone();
+            let executable = executable.to_string();
+            let args = args.to_vec();
+            sup.register(component, move || {
+                let spec = ProcSpec::new(host, executable.as_str()).args(args.iter().cloned());
+                let new_pid = world.os().spawn(spec)?;
+                *pid_cell.lock() = new_pid;
+                Ok(())
+            });
+        }
+        Ok(pid)
+    }
+
+    /// Current pid of a named daemon.
+    pub fn pid_of(&self, name: &str) -> Option<Pid> {
+        self.daemons.lock().get(name).map(|e| *e.pid.lock())
+    }
+
+    /// Snapshot every daemon, name-sorted, with live status. A daemon
+    /// mid-restart reports its old pid's terminal status rather than
+    /// erroring — `proc.list` must never fail because a restart is in
+    /// flight.
+    pub fn list(&self) -> Vec<DaemonInfo> {
+        let daemons = self.daemons.lock();
+        daemons
+            .iter()
+            .map(|(name, e)| {
+                let pid = *e.pid.lock();
+                let status = self
+                    .world
+                    .os()
+                    .status(pid)
+                    .unwrap_or(ProcStatus::Exited(-1));
+                DaemonInfo {
+                    name: name.clone(),
+                    pid,
+                    host: e.host,
+                    executable: e.executable.clone(),
+                    args: e.args.clone(),
+                    status,
+                    supervised: e.supervised,
+                }
+            })
+            .collect()
+    }
+
+    /// Kill a named daemon: unregister from the supervisor first (an
+    /// operator kill is not a crash), then signal, then drop the entry.
+    pub fn kill(&self, name: &str, sig: i32, supervisor: Option<&Supervisor>) -> TdpResult<Pid> {
+        let entry = self
+            .daemons
+            .lock()
+            .remove(name)
+            .ok_or_else(|| TdpError::Protocol(format!("no daemon named {name}")))?;
+        if entry.supervised {
+            if let Some(sup) = supervisor {
+                sup.unregister(&format!("gw.{name}"));
+            }
+        }
+        let pid = *entry.pid.lock();
+        // The process may already be dead (that's fine — the point was
+        // removal); surface only non-trivial failures.
+        match self.world.os().kill(pid, sig) {
+            Ok(()) | Err(TdpError::NoSuchProcess(_)) => Ok(pid),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Kill the daemon's *process* without touching the table or the
+    /// supervisor registration — the fault injection used by tests and
+    /// the B9 bench to exercise the restart path.
+    pub fn crash(&self, name: &str, sig: i32) -> TdpResult<Pid> {
+        let pid = self
+            .pid_of(name)
+            .ok_or_else(|| TdpError::Protocol(format!("no daemon named {name}")))?;
+        self.world.os().kill(pid, sig)?;
+        Ok(pid)
+    }
+}
+
+/// Supervisable view of one managed daemon: probe is "the current pid
+/// is non-terminal".
+pub struct DaemonComponent {
+    world: World,
+    name: String,
+    pid: Arc<Mutex<Pid>>,
+}
+
+impl Supervisable for DaemonComponent {
+    fn ops_name(&self) -> String {
+        format!("gw.{}", self.name)
+    }
+
+    fn ops_probe(&self) -> TdpResult<()> {
+        let pid = *self.pid.lock();
+        let status = self.world.os().status(pid)?;
+        if status.is_terminal() {
+            Err(TdpError::Protocol(format!(
+                "daemon {} pid {pid} is {status:?}",
+                self.name
+            )))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_list_kill_roundtrip() {
+        let world = World::new();
+        let host = world.add_host();
+        install_daemon_image(&world, host, "/bin/rtd");
+        let procs = ProcManager::new(&world);
+        let pid = procs.spawn("rt1", host, "/bin/rtd", &[], None).unwrap();
+        assert_eq!(procs.pid_of("rt1"), Some(pid));
+        let rows = procs.list();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].name, "rt1");
+        assert!(!rows[0].status.is_terminal());
+        assert!(!rows[0].supervised);
+        // Duplicate names refuse.
+        assert!(procs.spawn("rt1", host, "/bin/rtd", &[], None).is_err());
+        let killed = procs.kill("rt1", 9, None).unwrap();
+        assert_eq!(killed, pid);
+        assert!(procs.is_empty());
+        assert!(procs.kill("rt1", 9, None).is_err());
+    }
+
+    #[test]
+    fn probe_fails_after_crash() {
+        let world = World::new();
+        let host = world.add_host();
+        install_daemon_image(&world, host, "/bin/rtd");
+        let procs = ProcManager::new(&world);
+        procs.spawn("rt1", host, "/bin/rtd", &[], None).unwrap();
+        let comp = DaemonComponent {
+            world: world.clone(),
+            name: "rt1".into(),
+            pid: Arc::new(Mutex::new(procs.pid_of("rt1").unwrap())),
+        };
+        assert!(comp.ops_probe().is_ok());
+        procs.crash("rt1", 9).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while comp.ops_probe().is_ok() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "crashed daemon still probes healthy"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}

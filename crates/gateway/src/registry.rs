@@ -1,0 +1,220 @@
+//! The tool registry: named capabilities external clients can invoke
+//! through `tool.invoke`.
+//!
+//! One tool, one file (see `tools/`): a tool is a `Tool` impl with a
+//! stable name, a human description, and an `invoke` body that runs
+//! against the gateway core. Tools are also the unit of authorisation —
+//! an API key's allowlist names tools, not endpoints.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::json::Json;
+use crate::rpc::{codes, RpcError};
+use crate::server::GatewayCore;
+
+/// Alias-chain recursion limit for [`AliasTool`] (an alias whose target
+/// method is `tool.invoke` of another alias, and so on).
+pub const MAX_ALIAS_DEPTH: u32 = 8;
+
+/// A named capability invocable through the gateway.
+pub trait Tool: Send + Sync {
+    /// Stable registry name; also the capability an API key must hold.
+    fn name(&self) -> &str;
+
+    /// One-line human description, surfaced by `tool.list`.
+    fn description(&self) -> &str;
+
+    /// Run the tool. `depth` counts alias indirections and must be
+    /// passed through by tools that re-enter the dispatcher.
+    fn invoke(&self, core: &GatewayCore, params: &Json, depth: u32) -> Result<Json, RpcError>;
+}
+
+/// Concurrent name → tool map. `BTreeMap` so `tool.list` output is
+/// deterministic without a sort at read time.
+#[derive(Default)]
+pub struct ToolRegistry {
+    tools: RwLock<BTreeMap<String, Arc<dyn Tool>>>,
+}
+
+impl ToolRegistry {
+    pub fn new() -> ToolRegistry {
+        ToolRegistry::default()
+    }
+
+    /// Add a tool; name collisions are an error (re-registering under a
+    /// live gateway would silently change what clients invoke).
+    pub fn register(&self, tool: Arc<dyn Tool>) -> Result<(), RpcError> {
+        let name = tool.name().to_string();
+        if name.is_empty() {
+            return Err(RpcError::invalid_params("tool name must be non-empty"));
+        }
+        let mut tools = self.tools.write();
+        if tools.contains_key(&name) {
+            return Err(RpcError::new(
+                codes::ALREADY_EXISTS,
+                format!("tool {name} already registered"),
+            ));
+        }
+        tools.insert(name, tool);
+        Ok(())
+    }
+
+    /// Remove a tool by name.
+    pub fn unregister(&self, name: &str) -> bool {
+        self.tools.write().remove(name).is_some()
+    }
+
+    pub fn get(&self, name: &str) -> Option<Arc<dyn Tool>> {
+        self.tools.read().get(name).cloned()
+    }
+
+    /// `(name, description)` pairs, name-sorted.
+    pub fn list(&self) -> Vec<(String, String)> {
+        self.tools
+            .read()
+            .iter()
+            .map(|(n, t)| (n.clone(), t.description().to_string()))
+            .collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.tools.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tools.read().is_empty()
+    }
+}
+
+/// A closure-backed tool, for hosts embedding the gateway that don't
+/// want a struct per tool.
+pub struct FnTool<F> {
+    name: String,
+    description: String,
+    f: F,
+}
+
+impl<F> FnTool<F>
+where
+    F: Fn(&GatewayCore, &Json) -> Result<Json, RpcError> + Send + Sync,
+{
+    pub fn new(name: impl Into<String>, description: impl Into<String>, f: F) -> FnTool<F> {
+        FnTool {
+            name: name.into(),
+            description: description.into(),
+            f,
+        }
+    }
+}
+
+impl<F> Tool for FnTool<F>
+where
+    F: Fn(&GatewayCore, &Json) -> Result<Json, RpcError> + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn description(&self) -> &str {
+        &self.description
+    }
+
+    fn invoke(&self, core: &GatewayCore, params: &Json, _depth: u32) -> Result<Json, RpcError> {
+        (self.f)(core, params)
+    }
+}
+
+/// The tool `tool.register` creates over the wire: a new name bound to
+/// an existing gateway method with default params. Invocation params
+/// override the defaults key by key.
+pub struct AliasTool {
+    pub name: String,
+    pub description: String,
+    /// Target gateway method (`attr.put`, `proc.list`, `tool.invoke`…).
+    pub method: String,
+    /// Default params merged under the caller's.
+    pub defaults: Json,
+}
+
+impl Tool for AliasTool {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn description(&self) -> &str {
+        &self.description
+    }
+
+    fn invoke(&self, core: &GatewayCore, params: &Json, depth: u32) -> Result<Json, RpcError> {
+        if depth >= MAX_ALIAS_DEPTH {
+            return Err(RpcError::new(
+                codes::TOO_DEEP,
+                format!("alias chain deeper than {MAX_ALIAS_DEPTH}"),
+            ));
+        }
+        let merged = merge_params(&self.defaults, params);
+        // Aliases run with the authority of whoever could invoke the
+        // alias: the capability check happened on the alias name.
+        core.call_unchecked(&self.method, &merged, depth + 1)
+    }
+}
+
+/// Object merge: `over`'s keys win, `under` fills the gaps. Non-object
+/// `over` replaces `under` entirely.
+fn merge_params(under: &Json, over: &Json) -> Json {
+    match (under.as_obj(), over.as_obj()) {
+        (Some(u), Some(o)) => {
+            let mut out: Vec<(String, Json)> = o.to_vec();
+            for (k, v) in u {
+                if !out.iter().any(|(ok, _)| ok == k) {
+                    out.push((k.clone(), v.clone()));
+                }
+            }
+            Json::Obj(out)
+        }
+        _ => over.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_list_unregister() {
+        let reg = ToolRegistry::new();
+        reg.register(Arc::new(FnTool::new("b-tool", "second", |_, p| {
+            Ok(p.clone())
+        })))
+        .unwrap();
+        reg.register(Arc::new(FnTool::new("a-tool", "first", |_, p| {
+            Ok(p.clone())
+        })))
+        .unwrap();
+        assert_eq!(
+            reg.list().into_iter().map(|(n, _)| n).collect::<Vec<_>>(),
+            ["a-tool", "b-tool"],
+            "listing is name-sorted"
+        );
+        let dup = reg
+            .register(Arc::new(FnTool::new("a-tool", "dup", |_, p| Ok(p.clone()))))
+            .unwrap_err();
+        assert_eq!(dup.code, codes::ALREADY_EXISTS);
+        assert!(reg.unregister("a-tool"));
+        assert!(!reg.unregister("a-tool"));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn merge_prefers_caller_params() {
+        let under = Json::obj([("a", Json::Int(1)), ("b", Json::Int(2))]);
+        let over = Json::obj([("b", Json::Int(9)), ("c", Json::Int(3))]);
+        let m = merge_params(&under, &over);
+        assert_eq!(m.get("a").unwrap().as_i64(), Some(1));
+        assert_eq!(m.get("b").unwrap().as_i64(), Some(9));
+        assert_eq!(m.get("c").unwrap().as_i64(), Some(3));
+    }
+}

@@ -1,0 +1,202 @@
+//! JSON-RPC 2.0 envelope: request parsing, response building, and the
+//! gateway's error-code space.
+//!
+//! The gateway speaks standard JSON-RPC 2.0 over HTTP POST. Two
+//! extensions, both optional:
+//!
+//! * a top-level `"api_key"` member on the request object, for clients
+//!   that cannot set the `x-api-key` HTTP header;
+//! * TDP failures are mapped onto the implementation-defined code range
+//!   (`-32000` and below) with the `TdpError` rendered in `message`.
+
+use crate::json::Json;
+use tdp_proto::TdpError;
+
+/// JSON-RPC error codes the gateway emits.
+pub mod codes {
+    /// Body was not valid JSON.
+    pub const PARSE_ERROR: i64 = -32700;
+    /// Envelope was not a valid JSON-RPC request object.
+    pub const INVALID_REQUEST: i64 = -32600;
+    /// Unknown method.
+    pub const METHOD_NOT_FOUND: i64 = -32601;
+    /// Params failed validation.
+    pub const INVALID_PARAMS: i64 = -32602;
+    /// TDP-layer failure (connection, attribute, process errors).
+    pub const TDP_FAILURE: i64 = -32000;
+    /// Unknown API key, or key not allowed to use the tool.
+    pub const UNAUTHORIZED: i64 = -32001;
+    /// Name collision on `tool.register` / `proc.spawn`.
+    pub const ALREADY_EXISTS: i64 = -32002;
+    /// Alias chains recursing past the depth limit.
+    pub const TOO_DEEP: i64 = -32003;
+}
+
+/// A JSON-RPC failure on its way back to the client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RpcError {
+    pub code: i64,
+    pub message: String,
+}
+
+impl RpcError {
+    pub fn new(code: i64, message: impl Into<String>) -> RpcError {
+        RpcError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    pub fn invalid_params(message: impl Into<String>) -> RpcError {
+        RpcError::new(codes::INVALID_PARAMS, message)
+    }
+
+    pub fn unauthorized(message: impl Into<String>) -> RpcError {
+        RpcError::new(codes::UNAUTHORIZED, message)
+    }
+
+    pub fn method_not_found(method: &str) -> RpcError {
+        RpcError::new(codes::METHOD_NOT_FOUND, format!("unknown method {method}"))
+    }
+}
+
+impl From<TdpError> for RpcError {
+    fn from(e: TdpError) -> RpcError {
+        RpcError::new(codes::TDP_FAILURE, e.to_string())
+    }
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rpc error {}: {}", self.code, self.message)
+    }
+}
+
+/// A parsed JSON-RPC request.
+#[derive(Debug, Clone)]
+pub struct RpcRequest {
+    /// Echoed in the response; `Json::Null` for notifications.
+    pub id: Json,
+    pub method: String,
+    pub params: Json,
+    /// In-body API key (the `x-api-key` header wins when both present).
+    pub api_key: Option<String>,
+}
+
+/// Parse one request body.
+pub fn parse_request(body: &str) -> Result<RpcRequest, RpcError> {
+    let doc = Json::parse(body)
+        .map_err(|e| RpcError::new(codes::PARSE_ERROR, format!("bad JSON: {e}")))?;
+    if doc.as_obj().is_none() {
+        return Err(RpcError::new(
+            codes::INVALID_REQUEST,
+            "request must be a JSON object",
+        ));
+    }
+    if let Some(v) = doc.str_field("jsonrpc") {
+        if v != "2.0" {
+            return Err(RpcError::new(
+                codes::INVALID_REQUEST,
+                format!("unsupported jsonrpc version {v:?}"),
+            ));
+        }
+    }
+    let method = doc
+        .str_field("method")
+        .ok_or_else(|| RpcError::new(codes::INVALID_REQUEST, "missing method"))?
+        .to_string();
+    let id = doc.get("id").cloned().unwrap_or(Json::Null);
+    let params = doc.get("params").cloned().unwrap_or(Json::Obj(Vec::new()));
+    let api_key = doc.str_field("api_key").map(str::to_string);
+    Ok(RpcRequest {
+        id,
+        method,
+        params,
+        api_key,
+    })
+}
+
+/// Build a success response document.
+pub fn response_ok(id: &Json, result: Json) -> Json {
+    Json::obj([
+        ("jsonrpc", Json::from("2.0")),
+        ("id", id.clone()),
+        ("result", result),
+    ])
+}
+
+/// Build an error response document.
+pub fn response_err(id: &Json, err: &RpcError) -> Json {
+    Json::obj([
+        ("jsonrpc", Json::from("2.0")),
+        ("id", id.clone()),
+        (
+            "error",
+            Json::obj([
+                ("code", Json::Int(err.code)),
+                ("message", Json::from(err.message.clone())),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_request() {
+        let r = parse_request(r#"{"jsonrpc":"2.0","id":1,"method":"tool.list"}"#).unwrap();
+        assert_eq!(r.method, "tool.list");
+        assert_eq!(r.id, Json::Int(1));
+        assert_eq!(r.params, Json::Obj(vec![]));
+        assert_eq!(r.api_key, None);
+    }
+
+    #[test]
+    fn parses_params_and_body_key() {
+        let r = parse_request(
+            r#"{"id":"a","method":"tool.invoke","params":{"name":"echo"},"api_key":"k1"}"#,
+        )
+        .unwrap();
+        assert_eq!(r.params.str_field("name"), Some("echo"));
+        assert_eq!(r.api_key.as_deref(), Some("k1"));
+    }
+
+    #[test]
+    fn rejects_bad_envelopes() {
+        assert_eq!(
+            parse_request("[]").unwrap_err().code,
+            codes::INVALID_REQUEST
+        );
+        assert_eq!(parse_request("{nope").unwrap_err().code, codes::PARSE_ERROR);
+        assert_eq!(
+            parse_request(r#"{"id":1}"#).unwrap_err().code,
+            codes::INVALID_REQUEST
+        );
+        assert_eq!(
+            parse_request(r#"{"jsonrpc":"1.0","method":"x"}"#)
+                .unwrap_err()
+                .code,
+            codes::INVALID_REQUEST
+        );
+    }
+
+    #[test]
+    fn responses_echo_id() {
+        let ok = response_ok(&Json::Int(3), Json::from(true));
+        assert_eq!(ok.get("id").unwrap().as_i64(), Some(3));
+        assert_eq!(ok.get("result").unwrap().as_bool(), Some(true));
+        let err = response_err(&Json::from("x"), &RpcError::method_not_found("nope"));
+        assert_eq!(
+            err.get("error").unwrap().get("code").unwrap().as_i64(),
+            Some(codes::METHOD_NOT_FOUND)
+        );
+    }
+
+    #[test]
+    fn tdp_errors_map_to_the_implementation_range() {
+        let e: RpcError = TdpError::Timeout.into();
+        assert_eq!(e.code, codes::TDP_FAILURE);
+    }
+}

@@ -1,0 +1,35 @@
+//! `attr.keys`: list attribute keys in a context, optionally filtered
+//! by prefix. The read-only complement to the `attr.put` endpoint —
+//! what a monitoring client is typically granted when it may observe
+//! the space but not write it.
+
+use tdp_proto::ContextId;
+
+use crate::json::Json;
+use crate::registry::Tool;
+use crate::rpc::RpcError;
+use crate::server::GatewayCore;
+
+pub struct AttrKeysTool;
+
+impl Tool for AttrKeysTool {
+    fn name(&self) -> &str {
+        "attr.keys"
+    }
+
+    fn description(&self) -> &str {
+        "list attribute keys in a context (params: ctx, prefix?)"
+    }
+
+    fn invoke(&self, core: &GatewayCore, params: &Json, _depth: u32) -> Result<Json, RpcError> {
+        let ctx = ContextId(params.u64_field("ctx").unwrap_or(0));
+        let prefix = params.str_field("prefix").unwrap_or("").to_string();
+        let keys = core
+            .bridge()
+            .with_client(ctx, |c| c.list_keys(ctx, &prefix))?;
+        Ok(Json::obj([
+            ("ctx", Json::from(ctx.0)),
+            ("keys", Json::arr(keys.into_iter().map(Json::from))),
+        ]))
+    }
+}

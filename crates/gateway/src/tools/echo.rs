@@ -1,0 +1,40 @@
+//! `echo`: the liveness tool. Returns its params untouched, tagged
+//! with the tool name — the cheapest full round trip through HTTP,
+//! JSON-RPC, auth, and the registry, which makes it the unit of load
+//! for the B9 bench and the smoke tests.
+
+use crate::json::Json;
+use crate::registry::Tool;
+use crate::rpc::RpcError;
+use crate::server::GatewayCore;
+
+pub struct EchoTool;
+
+impl Tool for EchoTool {
+    fn name(&self) -> &str {
+        "echo"
+    }
+
+    fn description(&self) -> &str {
+        "return the given params unchanged (gateway round-trip probe)"
+    }
+
+    fn invoke(&self, _core: &GatewayCore, params: &Json, _depth: u32) -> Result<Json, RpcError> {
+        Ok(Json::obj([
+            ("tool", Json::from("echo")),
+            ("params", params.clone()),
+        ]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        // The name is an API-key capability; changing it is a breaking
+        // change for every deployed allowlist.
+        assert_eq!(EchoTool.name(), "echo");
+    }
+}

@@ -1,0 +1,13 @@
+//! Built-in tools, one per file. Each is a small [`Tool`] impl bound
+//! to the live world through the gateway core; together they are the
+//! out-of-the-box surface a fresh `tdp-gateway serve` exposes.
+//!
+//! [`Tool`]: crate::registry::Tool
+
+pub mod attr_keys;
+pub mod echo;
+pub mod world_health;
+
+pub use attr_keys::AttrKeysTool;
+pub use echo::EchoTool;
+pub use world_health::WorldHealthTool;

@@ -1,0 +1,54 @@
+//! `world.health`: one call answering "is the world I'm fronting OK?"
+//! — host inventory, which daemons are up, live session count, and the
+//! supervisor's restart totals. The tool a dashboard polls.
+
+use crate::json::Json;
+use crate::registry::Tool;
+use crate::rpc::RpcError;
+use crate::server::GatewayCore;
+
+pub struct WorldHealthTool;
+
+impl Tool for WorldHealthTool {
+    fn name(&self) -> &str {
+        "world.health"
+    }
+
+    fn description(&self) -> &str {
+        "world snapshot: hosts, LASS/CASS placement, sessions, restarts"
+    }
+
+    fn invoke(&self, core: &GatewayCore, _params: &Json, _depth: u32) -> Result<Json, RpcError> {
+        let world = core.world();
+        let mut fields = vec![
+            (
+                "hosts".to_string(),
+                Json::arr(world.hosts().into_iter().map(|h| Json::from(h.0))),
+            ),
+            (
+                "lass_hosts".to_string(),
+                Json::arr(world.lass_hosts().into_iter().map(|h| Json::from(h.0))),
+            ),
+            (
+                "cass_host".to_string(),
+                world
+                    .cass_host()
+                    .map(|h| Json::from(h.0))
+                    .unwrap_or(Json::Null),
+            ),
+            (
+                "attr_sessions".to_string(),
+                Json::from(world.attr_session_count()),
+            ),
+            ("daemons".to_string(), Json::from(core.procs().len())),
+        ];
+        if let Some(sup) = core.supervisor() {
+            fields.push(("restarts".to_string(), Json::from(sup.restart_total())));
+            fields.push((
+                "escalated".to_string(),
+                Json::arr(sup.escalated().into_iter().map(Json::from)),
+            ));
+        }
+        Ok(Json::Obj(fields))
+    }
+}

@@ -354,6 +354,21 @@ impl Network {
         self.inner.hosts.read().get(&host).is_some_and(|h| h.alive)
     }
 
+    /// All currently-alive hosts, sorted by id (stable output for
+    /// inventory endpoints and tests).
+    pub fn hosts(&self) -> Vec<HostId> {
+        let mut v: Vec<HostId> = self
+            .inner
+            .hosts
+            .read()
+            .iter()
+            .filter(|(_, h)| h.alive)
+            .map(|(id, _)| *id)
+            .collect();
+        v.sort();
+        v
+    }
+
     /// Partition two zones: no traffic between them, not even authorized
     /// routes, until [`Network::heal_partition`]. Existing connections
     /// are left untouched (half-open), as with a real route flap.

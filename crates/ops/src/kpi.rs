@@ -2,8 +2,13 @@
 //! `tdp.ops.kpi.*` attributes, formatted as a markdown table for the
 //! `tdp-ops --kpi-dump` one-shot mode and the bench report.
 
-/// Render KPI rows as a two-column markdown table.
+/// Render KPI rows as a two-column markdown table. Rows are rendered
+/// in key order regardless of input order, so two dumps of the same
+/// deployment diff cleanly (the chaos-soak harness compares successive
+/// `--kpi-dump` outputs line by line).
 pub fn render_kpis(rows: &[(String, String)]) -> String {
+    let mut rows: Vec<&(String, String)> = rows.iter().collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
     let key_w = rows
         .iter()
         .map(|(k, _)| k.len())
@@ -46,5 +51,34 @@ mod tests {
         assert!(lines[2].contains("restarts") && lines[2].contains("3"));
         // All rows align to the same width.
         assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    fn renders_in_key_order_regardless_of_input_order() {
+        let shuffled = vec![
+            ("sessions".to_string(), "12".to_string()),
+            ("escalations".to_string(), "0".to_string()),
+            ("restarts".to_string(), "3".to_string()),
+        ];
+        let mut sorted = shuffled.clone();
+        sorted.sort();
+        assert_eq!(
+            render_kpis(&shuffled),
+            render_kpis(&sorted),
+            "dump output must not depend on row production order"
+        );
+        let out = render_kpis(&shuffled);
+        let keys: Vec<String> = out
+            .lines()
+            .skip(2)
+            .map(|l| {
+                l.trim_start_matches("| ")
+                    .split(' ')
+                    .next()
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        assert_eq!(keys, ["escalations", "restarts", "sessions"]);
     }
 }

@@ -223,6 +223,22 @@ impl Supervisor {
         });
     }
 
+    /// Stop watching the component named `name`; returns whether it was
+    /// registered. The hand-off hook for owners that *intentionally*
+    /// tear a component down (the gateway's `proc.kill` endpoint): an
+    /// operator-requested kill must not look like a crash, or the patrol
+    /// loop would immediately resurrect what the operator just removed.
+    pub fn unregister(&self, name: &str) -> bool {
+        let (lock, cv) = &self.inner.components;
+        let mut comps = lock.lock();
+        let before = comps.len();
+        comps.retain(|c| c.name != name);
+        let removed = comps.len() != before;
+        drop(comps);
+        cv.notify_all();
+        removed
+    }
+
     /// Publish an extra numeric gauge as `tdp.ops.kpi.<name>` on every
     /// KPI tick (queue depths, in-flight counts, …).
     pub fn register_gauge(&self, name: impl Into<String>, f: impl Fn() -> u64 + Send + 'static) {

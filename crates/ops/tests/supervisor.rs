@@ -202,3 +202,48 @@ fn demo_kpi_dump_exercises_a_full_recovery() {
     let table = tdp_ops::render_kpis(&rows);
     assert!(table.contains("restarts"));
 }
+
+#[test]
+fn unregister_stops_supervision() {
+    let w = World::new();
+    let fe = w.add_host();
+    let sup = Supervisor::start(&w, fe, fast_config()).unwrap();
+    let broken = Arc::new(AtomicBool::new(false));
+    let restarts_issued = Arc::new(AtomicU64::new(0));
+    sup.register(
+        Arc::new(Flaky {
+            name: "leaving",
+            broken: broken.clone(),
+        }),
+        {
+            let n = restarts_issued.clone();
+            move || {
+                n.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }
+        },
+    );
+    sup.wait_beats("leaving", 2, T).unwrap();
+
+    // Intentional removal: the patrol must NOT resurrect it even though
+    // its probe goes red immediately afterwards.
+    assert!(sup.unregister("leaving"));
+    assert!(!sup.unregister("leaving"), "second unregister is a no-op");
+    broken.store(true, Ordering::SeqCst);
+    std::thread::sleep(Duration::from_millis(80));
+    assert_eq!(restarts_issued.load(Ordering::SeqCst), 0);
+    assert_eq!(sup.health_of("leaving"), None);
+    assert!(matches!(
+        sup.wait_health("leaving", Health::Healthy, Duration::from_millis(40)),
+        Err(TdpError::Substrate(_))
+    ));
+}
+
+#[test]
+fn kpi_snapshot_rows_are_sorted_by_key() {
+    let rows = tdp_ops::demo::kpi_dump().unwrap();
+    let keys: Vec<&String> = rows.iter().map(|(k, _)| k).collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "--kpi-dump rows must be key-sorted");
+}

@@ -1,0 +1,116 @@
+//! `gateway_demo` — start a world and a gateway in front of it,
+//! register two tools, then talk to the gateway the way an external
+//! client would: raw HTTP/1.1 on a plain `TcpStream` from a second
+//! thread, no gateway client library involved. Prints the traced round
+//! trip of every request.
+//!
+//! ```text
+//! cargo run -q --example gateway_demo
+//! ```
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+use tdp::core::World;
+use tdp::gateway::{install_daemon_image, FnTool, Gateway, GatewayConfig, Json, RpcError};
+use tdp::proto::ContextId;
+
+/// One raw JSON-RPC POST over a fresh TCP connection; returns the body.
+fn raw_rpc(addr: std::net::SocketAddr, body: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect to gateway");
+    let req = format!(
+        "POST /rpc HTTP/1.1\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    s.write_all(req.as_bytes()).expect("send request");
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).expect("read response");
+    resp.split("\r\n\r\n").nth(1).unwrap_or("").to_string()
+}
+
+fn main() {
+    // -- world + gateway ------------------------------------------------
+    let world = World::new();
+    let gw_host = world.add_host();
+    let worker = world.add_host();
+    install_daemon_image(&world, worker, "/bin/rtd");
+    let mut gw = Gateway::start(
+        &world,
+        gw_host,
+        GatewayConfig {
+            supervise: false,
+            ..GatewayConfig::default()
+        },
+    )
+    .expect("start gateway");
+    println!("gateway up on http://{}\n", gw.addr());
+
+    // -- register two tools (host side, one-tool-one-file style) --------
+    // `job.submit` fakes a submission by stamping attributes; `job.peek`
+    // reads them back. Together they show a tool pair sharing state
+    // through the bridged attribute space.
+    let ctx = ContextId(42);
+    gw.core()
+        .registry()
+        .register(Arc::new(FnTool::new(
+            "job.submit",
+            "record a job submission in the attribute space",
+            move |core, params: &Json| {
+                let name = params
+                    .str_field("job")
+                    .ok_or_else(|| RpcError::invalid_params("job.submit needs a job"))?;
+                core.bridge()
+                    .with_client(ctx, |c| c.put(ctx, &format!("job.{name}.state"), "queued"))?;
+                Ok(Json::obj([("submitted", Json::from(name))]))
+            },
+        )))
+        .expect("register job.submit");
+    gw.core()
+        .registry()
+        .register(Arc::new(FnTool::new(
+            "job.peek",
+            "read a submitted job's state",
+            move |core, params: &Json| {
+                let name = params
+                    .str_field("job")
+                    .ok_or_else(|| RpcError::invalid_params("job.peek needs a job"))?;
+                let state = core
+                    .bridge()
+                    .with_client(ctx, |c| c.try_get(ctx, &format!("job.{name}.state")))?;
+                Ok(Json::obj([
+                    ("job", Json::from(name)),
+                    ("state", Json::from(state)),
+                ]))
+            },
+        )))
+        .expect("register job.peek");
+
+    // -- drive it over raw HTTP from a second thread --------------------
+    let addr = gw.addr();
+    let client = std::thread::spawn(move || {
+        let calls = [
+            r#"{"jsonrpc":"2.0","id":1,"method":"tool.list"}"#.to_string(),
+            r#"{"jsonrpc":"2.0","id":2,"method":"tool.invoke","params":{"name":"job.submit","params":{"job":"render-7"}}}"#
+                .to_string(),
+            r#"{"jsonrpc":"2.0","id":3,"method":"tool.invoke","params":{"name":"job.peek","params":{"job":"render-7"}}}"#
+                .to_string(),
+            r#"{"jsonrpc":"2.0","id":4,"method":"gw.info"}"#.to_string(),
+        ];
+        for body in calls {
+            let t = Instant::now();
+            let resp = raw_rpc(addr, &body);
+            println!("--> {body}");
+            println!("<-- {resp}   ({:?})\n", t.elapsed());
+        }
+    });
+    client.join().expect("client thread");
+
+    println!(
+        "{} HTTP requests served over {} TDP bridge sessions",
+        4,
+        gw.core().bridge().pool_size()
+    );
+    gw.shutdown();
+}

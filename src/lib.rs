@@ -12,6 +12,7 @@
 pub use tdp_attrspace as attrspace;
 pub use tdp_condor as condor;
 pub use tdp_core as core;
+pub use tdp_gateway as gateway;
 pub use tdp_grid as grid;
 pub use tdp_lsf as lsf;
 pub use tdp_mpi as mpi;
