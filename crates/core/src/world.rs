@@ -146,6 +146,15 @@ impl World {
         World::with_mode(OsConfig::default(), TransportMode::Epoll)
     }
 
+    /// [`World::new_epoll`] with explicit transport tuning — reactor
+    /// shard count, worker threads, queue bounds (see
+    /// [`tdp_wire::EpollConfig`]). The scaling benches use this to
+    /// sweep shard counts.
+    pub fn new_epoll_with(wire_cfg: tdp_wire::EpollConfig) -> World {
+        let t = EpollTransport::with_config(wire_cfg).expect("start epoll reactors");
+        World::with_backend(OsConfig::default(), WireBackend::Epoll(t))
+    }
+
     pub fn with_config(cfg: OsConfig) -> World {
         World::with_mode(cfg, TransportMode::Netsim)
     }
@@ -160,6 +169,10 @@ impl World {
                 WireBackend::Epoll(EpollTransport::new().expect("start epoll reactor"))
             }
         };
+        World::with_backend(cfg, wire)
+    }
+
+    fn with_backend(cfg: OsConfig, wire: WireBackend) -> World {
         World {
             inner: Arc::new(WorldInner {
                 os: Os::with_config(cfg),

@@ -74,36 +74,161 @@ fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_slice(s.as_bytes());
 }
 
-fn get_str(buf: &mut Bytes) -> Result<String, FrameError> {
-    if buf.remaining() < 4 {
-        return Err(FrameError::Incomplete);
-    }
-    let len = buf.get_u32() as usize;
-    if len > MAX_FRAME {
-        return Err(FrameError::TooLarge(len));
-    }
-    if buf.remaining() < len {
-        return Err(FrameError::Incomplete);
-    }
-    let raw = buf.split_to(len);
-    String::from_utf8(raw.to_vec()).map_err(|_| FrameError::BadUtf8)
+// ------------------------------------------------------- decode scratch
+
+/// Bound on how many recycled strings a [`DecodeScratch`] retains, and
+/// on the capacity of any single retained string. Oversized or surplus
+/// strings just drop — the scratch is an allocation amortizer, not a
+/// cache.
+const SCRATCH_STRINGS: usize = 32;
+const SCRATCH_STRING_CAP: usize = 64 * 1024;
+
+/// Recycled string storage for the decode path.
+///
+/// Every string field of a decoded [`Message`] needs an owned `String`.
+/// A steady-state transport loop would pay one heap allocation per
+/// field per message; instead, callers hand finished messages back via
+/// [`DecodeScratch::recycle_message`] and the next decode reuses their
+/// capacity. A fresh (or empty) scratch behaves exactly like plain
+/// allocation, so the scratch is purely an optimization — never a
+/// correctness dependency.
+#[derive(Default)]
+pub struct DecodeScratch {
+    strings: Vec<String>,
 }
 
-fn get_ctx(buf: &mut Bytes) -> Result<ContextId, FrameError> {
-    if buf.remaining() < 8 {
-        return Err(FrameError::Incomplete);
+impl DecodeScratch {
+    pub fn new() -> DecodeScratch {
+        DecodeScratch::default()
     }
-    Ok(ContextId(buf.get_u64()))
+
+    /// Copy `bytes` into a (recycled, if available) `String`.
+    fn string_from(&mut self, bytes: &[u8]) -> Result<String, FrameError> {
+        let text = std::str::from_utf8(bytes).map_err(|_| FrameError::BadUtf8)?;
+        let mut s = self.strings.pop().unwrap_or_default();
+        s.clear();
+        s.push_str(text);
+        Ok(s)
+    }
+
+    /// Return one string's capacity to the pool.
+    pub fn recycle_string(&mut self, s: String) {
+        if self.strings.len() < SCRATCH_STRINGS && s.capacity() <= SCRATCH_STRING_CAP {
+            self.strings.push(s);
+        }
+    }
+
+    /// Tear a finished message apart and keep its strings' capacity for
+    /// future decodes.
+    pub fn recycle_message(&mut self, msg: Message) {
+        match msg {
+            Message::Put { key, value, .. } => {
+                self.recycle_string(key);
+                self.recycle_string(value);
+            }
+            Message::Get { key, .. } | Message::Remove { key, .. } => self.recycle_string(key),
+            Message::Subscribe { key, .. } => self.recycle_string(key),
+            Message::ListKeys { prefix, .. } => self.recycle_string(prefix),
+            Message::Reply(r) => self.recycle_reply(r),
+            Message::Unsubscribe { .. }
+            | Message::Join { .. }
+            | Message::Leave { .. }
+            | Message::Hello { .. } => {}
+        }
+    }
+
+    /// Reply half of [`DecodeScratch::recycle_message`].
+    pub fn recycle_reply(&mut self, r: Reply) {
+        match r {
+            Reply::Value { key, value } | Reply::Notify { key, value, .. } => {
+                self.recycle_string(key);
+                self.recycle_string(value);
+            }
+            Reply::Keys(keys) => {
+                for k in keys {
+                    self.recycle_string(k);
+                }
+            }
+            Reply::Ok | Reply::Err(_) => {}
+        }
+    }
+
+    /// Strings currently pooled (test visibility).
+    pub fn pooled(&self) -> usize {
+        self.strings.len()
+    }
+}
+
+// --------------------------------------------------------------- cursor
+
+/// A non-consuming read cursor over a complete frame body. Decoding
+/// borrows the receive buffer in place — no `split_to` copies, no
+/// `freeze` refcounts — and the buffer is advanced once, after the
+/// whole body parses.
+struct Cursor<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn remaining(&self) -> usize {
+        self.b.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        if self.remaining() < n {
+            return Err(FrameError::Incomplete);
+        }
+        let s = &self.b[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn get_u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn get_u32(&mut self) -> Result<u32, FrameError> {
+        let s = self.take(4)?;
+        Ok(u32::from_be_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn get_u64(&mut self) -> Result<u64, FrameError> {
+        let s = self.take(8)?;
+        Ok(u64::from_be_bytes([
+            s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+        ]))
+    }
+
+    fn get_str(&mut self, scratch: &mut DecodeScratch) -> Result<String, FrameError> {
+        let len = self.get_u32()? as usize;
+        if len > MAX_FRAME {
+            return Err(FrameError::TooLarge(len));
+        }
+        scratch.string_from(self.take(len)?)
+    }
+
+    fn get_ctx(&mut self) -> Result<ContextId, FrameError> {
+        Ok(ContextId(self.get_u64()?))
+    }
 }
 
 /// Encode a message as a length-prefixed frame.
 pub fn encode_frame(msg: &Message) -> Bytes {
-    let mut body = BytesMut::with_capacity(64);
-    encode_body(msg, &mut body);
-    let mut framed = BytesMut::with_capacity(body.len() + 4);
-    framed.put_u32(body.len() as u32);
-    framed.extend_from_slice(&body);
+    let mut framed = BytesMut::with_capacity(64);
+    encode_frame_into(msg, &mut framed);
     framed.freeze()
+}
+
+/// Encode a message as a length-prefixed frame into `out`, replacing
+/// its contents. The buffer's capacity is reused — a steady-state
+/// sender recycling one buffer allocates nothing here.
+pub fn encode_frame_into(msg: &Message, out: &mut BytesMut) {
+    out.clear();
+    out.put_u32(0); // length, patched below
+    encode_body(msg, out);
+    let body_len = (out.len() - 4) as u32;
+    out[..4].copy_from_slice(&body_len.to_be_bytes());
 }
 
 fn encode_body(msg: &Message, buf: &mut BytesMut) {
@@ -229,6 +354,17 @@ fn parse_error_code(code: &str, text: &str) -> TdpError {
 /// are consumed from `buf`. Returns `Err(FrameError::Incomplete)` without
 /// consuming anything when a full frame has not yet arrived.
 pub fn decode_frame(buf: &mut BytesMut) -> Result<Message, FrameError> {
+    decode_frame_with(buf, &mut DecodeScratch::new())
+}
+
+/// [`decode_frame`] with recycled-string storage: string fields of the
+/// decoded message reuse capacity previously returned through
+/// [`DecodeScratch::recycle_message`], so a steady-state receive loop
+/// performs no heap allocation here.
+pub fn decode_frame_with(
+    buf: &mut BytesMut,
+    scratch: &mut DecodeScratch,
+) -> Result<Message, FrameError> {
     if buf.len() < 4 {
         return Err(FrameError::Incomplete);
     }
@@ -239,20 +375,33 @@ pub fn decode_frame(buf: &mut BytesMut) -> Result<Message, FrameError> {
     if buf.len() < 4 + len {
         return Err(FrameError::Incomplete);
     }
-    buf.advance(4);
-    let mut body = buf.split_to(len).freeze();
-    // The whole declared body is in hand: a field that still runs out of
-    // bytes is corruption, not a torn read. Reporting it as `Incomplete`
-    // would make a streaming caller wait for bytes that can never help
-    // (the frame was already consumed) — a silent desync.
-    let msg = decode_body(&mut body).map_err(|e| match e {
-        FrameError::Incomplete => FrameError::Malformed,
-        other => other,
-    })?;
-    if body.has_remaining() {
-        return Err(FrameError::TrailingBytes(body.remaining()));
-    }
-    Ok(msg)
+    let res = {
+        let mut cur = Cursor {
+            b: &buf[4..4 + len],
+            pos: 0,
+        };
+        // The whole declared body is in hand: a field that still runs
+        // out of bytes is corruption, not a torn read. Reporting it as
+        // `Incomplete` would make a streaming caller wait for bytes
+        // that can never help (the frame is consumed below either way)
+        // — a silent desync.
+        let res = decode_body(&mut cur, scratch).map_err(|e| match e {
+            FrameError::Incomplete => FrameError::Malformed,
+            other => other,
+        });
+        match res {
+            Ok(msg) if cur.remaining() > 0 => {
+                let trailing = cur.remaining();
+                scratch.recycle_message(msg);
+                Err(FrameError::TrailingBytes(trailing))
+            }
+            other => other,
+        }
+    };
+    // Consumed on success *and* on body corruption — the length prefix
+    // was honest, so the stream position stays framed either way.
+    buf.advance(4 + len);
+    res
 }
 
 /// Incremental streaming decoder: feed byte chunks as they arrive off a
@@ -283,7 +432,16 @@ impl FrameDecoder {
     /// (framing lost).
     #[allow(clippy::should_implement_trait)] // fallible, not an Iterator
     pub fn next(&mut self) -> Result<Option<Message>, FrameError> {
-        match decode_frame(&mut self.buf) {
+        self.next_with(&mut DecodeScratch::new())
+    }
+
+    /// [`FrameDecoder::next`] decoding through a [`DecodeScratch`], so
+    /// string fields reuse recycled capacity.
+    pub fn next_with(
+        &mut self,
+        scratch: &mut DecodeScratch,
+    ) -> Result<Option<Message>, FrameError> {
+        match decode_frame_with(&mut self.buf, scratch) {
             Ok(msg) => Ok(Some(msg)),
             Err(FrameError::Incomplete) => Ok(None),
             Err(e) => Err(e),
@@ -301,40 +459,31 @@ impl FrameDecoder {
     }
 }
 
-fn decode_body(buf: &mut Bytes) -> Result<Message, FrameError> {
-    if !buf.has_remaining() {
-        return Err(FrameError::Incomplete);
-    }
-    let tag = buf.get_u8();
+fn decode_body(cur: &mut Cursor<'_>, scratch: &mut DecodeScratch) -> Result<Message, FrameError> {
+    let tag = cur.get_u8()?;
     match tag {
         T_PUT => {
-            let ctx = get_ctx(buf)?;
-            let key = get_str(buf)?;
-            let value = get_str(buf)?;
+            let ctx = cur.get_ctx()?;
+            let key = cur.get_str(scratch)?;
+            let value = cur.get_str(scratch)?;
             Ok(Message::Put { ctx, key, value })
         }
         T_GET => {
-            let ctx = get_ctx(buf)?;
-            let key = get_str(buf)?;
-            if !buf.has_remaining() {
-                return Err(FrameError::Incomplete);
-            }
-            let blocking = buf.get_u8() != 0;
+            let ctx = cur.get_ctx()?;
+            let key = cur.get_str(scratch)?;
+            let blocking = cur.get_u8()? != 0;
             Ok(Message::Get { ctx, key, blocking })
         }
         T_REMOVE => {
-            let ctx = get_ctx(buf)?;
-            let key = get_str(buf)?;
+            let ctx = cur.get_ctx()?;
+            let key = cur.get_str(scratch)?;
             Ok(Message::Remove { ctx, key })
         }
         T_SUBSCRIBE => {
-            let ctx = get_ctx(buf)?;
-            let key = get_str(buf)?;
-            if buf.remaining() < 9 {
-                return Err(FrameError::Incomplete);
-            }
-            let token = buf.get_u64();
-            let only_future = buf.get_u8() != 0;
+            let ctx = cur.get_ctx()?;
+            let key = cur.get_str(scratch)?;
+            let token = cur.get_u64()?;
+            let only_future = cur.get_u8()? != 0;
             Ok(Message::Subscribe {
                 ctx,
                 key,
@@ -343,72 +492,62 @@ fn decode_body(buf: &mut Bytes) -> Result<Message, FrameError> {
             })
         }
         T_UNSUBSCRIBE => {
-            let ctx = get_ctx(buf)?;
-            if buf.remaining() < 8 {
-                return Err(FrameError::Incomplete);
-            }
-            let token = buf.get_u64();
+            let ctx = cur.get_ctx()?;
+            let token = cur.get_u64()?;
             Ok(Message::Unsubscribe { ctx, token })
         }
         T_LISTKEYS => {
-            let ctx = get_ctx(buf)?;
-            let prefix = get_str(buf)?;
+            let ctx = cur.get_ctx()?;
+            let prefix = cur.get_str(scratch)?;
             Ok(Message::ListKeys { ctx, prefix })
         }
-        T_JOIN => Ok(Message::Join { ctx: get_ctx(buf)? }),
-        T_LEAVE => Ok(Message::Leave { ctx: get_ctx(buf)? }),
-        T_REPLY => Ok(Message::Reply(decode_reply(buf)?)),
-        T_HELLO => {
-            if buf.remaining() < 4 {
-                return Err(FrameError::Incomplete);
-            }
-            Ok(Message::Hello {
-                host: crate::ids::HostId(buf.get_u32()),
-            })
-        }
+        T_JOIN => Ok(Message::Join {
+            ctx: cur.get_ctx()?,
+        }),
+        T_LEAVE => Ok(Message::Leave {
+            ctx: cur.get_ctx()?,
+        }),
+        T_REPLY => Ok(Message::Reply(decode_reply(cur, scratch)?)),
+        T_HELLO => Ok(Message::Hello {
+            host: crate::ids::HostId(cur.get_u32()?),
+        }),
         t => Err(FrameError::BadTag(t)),
     }
 }
 
-fn decode_reply(buf: &mut Bytes) -> Result<Reply, FrameError> {
-    if !buf.has_remaining() {
-        return Err(FrameError::Incomplete);
-    }
-    let tag = buf.get_u8();
+fn decode_reply(cur: &mut Cursor<'_>, scratch: &mut DecodeScratch) -> Result<Reply, FrameError> {
+    let tag = cur.get_u8()?;
     match tag {
         R_OK => Ok(Reply::Ok),
         R_VALUE => {
-            let key = get_str(buf)?;
-            let value = get_str(buf)?;
+            let key = cur.get_str(scratch)?;
+            let value = cur.get_str(scratch)?;
             Ok(Reply::Value { key, value })
         }
         R_KEYS => {
-            if buf.remaining() < 4 {
-                return Err(FrameError::Incomplete);
-            }
-            let n = buf.get_u32() as usize;
+            let n = cur.get_u32()? as usize;
             if n > MAX_FRAME / 4 {
                 return Err(FrameError::TooLarge(n));
             }
             let mut keys = Vec::with_capacity(n.min(1024));
             for _ in 0..n {
-                keys.push(get_str(buf)?);
+                keys.push(cur.get_str(scratch)?);
             }
             Ok(Reply::Keys(keys))
         }
         R_NOTIFY => {
-            if buf.remaining() < 8 {
-                return Err(FrameError::Incomplete);
-            }
-            let token = buf.get_u64();
-            let key = get_str(buf)?;
-            let value = get_str(buf)?;
+            let token = cur.get_u64()?;
+            let key = cur.get_str(scratch)?;
+            let value = cur.get_str(scratch)?;
             Ok(Reply::Notify { token, key, value })
         }
         R_ERR => {
-            let code = get_str(buf)?;
-            let text = get_str(buf)?;
-            Ok(Reply::Err(parse_error_code(&code, &text)))
+            let code = cur.get_str(scratch)?;
+            let text = cur.get_str(scratch)?;
+            let err = parse_error_code(&code, &text);
+            scratch.recycle_string(code);
+            scratch.recycle_string(text);
+            Ok(Reply::Err(err))
         }
         t => Err(FrameError::BadTag(t)),
     }
@@ -631,6 +770,75 @@ mod tests {
         junk.put_u8(0xEE);
         dec.feed(&junk);
         assert_eq!(dec.next(), Err(FrameError::BadTag(0xEE)));
+    }
+
+    #[test]
+    fn encode_frame_into_reuses_buffer_and_matches_encode_frame() {
+        let m1 = Message::Put {
+            ctx: ContextId(9),
+            key: "a-long-key-name".into(),
+            value: "v".repeat(300),
+        };
+        let m2 = Message::Join { ctx: ContextId(2) };
+        let mut buf = BytesMut::new();
+        encode_frame_into(&m1, &mut buf);
+        assert_eq!(&buf[..], &encode_frame(&m1)[..]);
+        let cap = buf.capacity();
+        // Re-encoding a smaller frame replaces the contents in place.
+        encode_frame_into(&m2, &mut buf);
+        assert_eq!(&buf[..], &encode_frame(&m2)[..]);
+        assert!(buf.capacity() >= cap.min(buf.len()));
+    }
+
+    #[test]
+    fn scratch_recycles_string_capacity() {
+        let msg = Message::Put {
+            ctx: ContextId(1),
+            key: "some_key".into(),
+            value: "some_value".into(),
+        };
+        let frame = encode_frame(&msg);
+        let mut scratch = DecodeScratch::new();
+        let mut buf = BytesMut::from(&frame[..]);
+        let first = decode_frame_with(&mut buf, &mut scratch).unwrap();
+        assert_eq!(first, msg);
+        scratch.recycle_message(first);
+        assert_eq!(scratch.pooled(), 2);
+        // The second decode drains the pool instead of allocating.
+        let mut buf = BytesMut::from(&frame[..]);
+        let second = decode_frame_with(&mut buf, &mut scratch).unwrap();
+        assert_eq!(second, msg);
+        assert_eq!(scratch.pooled(), 0);
+    }
+
+    #[test]
+    fn scratch_decode_matches_plain_decode_for_all_variants() {
+        let mut scratch = DecodeScratch::new();
+        let msgs = vec![
+            Message::Put {
+                ctx: ContextId(7),
+                key: "k".into(),
+                value: "v".into(),
+            },
+            Message::Reply(Reply::Value {
+                key: "k".into(),
+                value: "v".into(),
+            }),
+            Message::Reply(Reply::Notify {
+                token: 3,
+                key: "k".into(),
+                value: "v".into(),
+            }),
+            Message::Reply(Reply::Err(TdpError::Timeout)),
+            Message::Reply(Reply::Keys(vec!["a".into(), "b".into()])),
+        ];
+        for msg in msgs {
+            let frame = encode_frame(&msg);
+            let mut buf = BytesMut::from(&frame[..]);
+            let got = decode_frame_with(&mut buf, &mut scratch).unwrap();
+            assert_eq!(got, msg);
+            scratch.recycle_message(got);
+        }
     }
 
     #[test]

@@ -21,6 +21,9 @@ pub mod message;
 
 pub use attr::{names, AttrKey, AttrValue, OPS_CONTEXT};
 pub use error::{TdpError, TdpResult};
-pub use frame::{decode_frame, encode_frame, FrameDecoder, FrameError, MAX_FRAME};
+pub use frame::{
+    decode_frame, decode_frame_with, encode_frame, encode_frame_into, DecodeScratch, FrameDecoder,
+    FrameError, MAX_FRAME,
+};
 pub use ids::{Addr, ContextId, HostId, JobId, Pid, Port, Rank};
 pub use message::{AsMessage, Message, ProcRequest, ProcStatus, Reply};

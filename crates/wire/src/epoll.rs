@@ -9,30 +9,46 @@
 //! backend keeps the exact same observable contract (`Hello` handshake,
 //! streaming [`FrameDecoder`] reassembly, bounded-queue backpressure,
 //! fail-fast close, byte-relay proxy interop) but serves *all*
-//! connections from one reactor thread plus a small worker pool — see
-//! [`crate::reactor`] for the readiness model. Receivers park on a
-//! condvar fed by the reactor rather than in a socket read, so a
-//! process can hold thousands of sessions with a fixed thread budget.
+//! connections from a set of reactor shards (each with its own epoll
+//! set, eventfd, and worker-pool slice; connections hashed to a shard
+//! at accept/dial) — see [`crate::reactor`] for the readiness model.
+//! Receivers either camp directly on their own fd or park on a condvar
+//! fed by the owning shard, so a process can hold thousands of
+//! sessions with a fixed, config-derived thread budget.
 //!
 //! Listeners keep one blocking accept thread each (accept rates are
 //! tiny and a serial handshake keeps establishment ordered — the same
 //! trade the TCP backend makes); only per-connection threads are gone.
 
 use crate::flow::ConnTuning;
-use crate::reactor::{ConnState, Reactor};
+use crate::pool::BufferPool;
+use crate::reactor::{ConnState, ReactorSet};
 use crate::tcp::{dial_via_proxy, read_hello, spawn_real_listener};
 use crate::{Endpoint, RxApi, Transport, TxApi, WireConn, WireListener, WireRx, WireTx};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::time::{Duration, Instant};
-use tdp_proto::{encode_frame, Addr, FrameDecoder, HostId, Message, TdpError, TdpResult};
+use tdp_proto::{
+    encode_frame, encode_frame_into, Addr, FrameDecoder, HostId, Message, TdpError, TdpResult,
+};
 use tdp_sync::Arc;
 
 /// Tunables for the epoll backend.
 #[derive(Debug, Clone)]
 pub struct EpollConfig {
-    /// Pool threads draining readiness waves (the reactor thread itself
-    /// handles lone events — the latency path). The whole transport
-    /// runs on `1 + workers` IO threads regardless of connection count.
+    /// Reactor shards. Each shard owns its own epoll set, wake eventfd,
+    /// worker-pool slice, and connection table; connections are hashed
+    /// to a shard at accept/dial time, so shards share no locks on the
+    /// put/get path and readiness scales across cores. Defaults to
+    /// `std::thread::available_parallelism()` (capped at 8); the
+    /// `TDP_WIRE_REACTORS` environment variable overrides the default
+    /// (CI uses it to exercise both the single- and multi-shard paths).
+    pub reactors: usize,
+    /// Pool threads draining readiness waves, split across the reactor
+    /// shards (each shard keeps at least one; the reactor threads
+    /// themselves handle lone events — the latency path). Defaults to
+    /// `available_parallelism()` clamped to `2..=8`. The whole
+    /// transport runs on `reactors + workers` IO threads regardless of
+    /// connection count.
     pub workers: usize,
     /// Default bound on a blocking `recv_msg` (`None` = wait forever).
     pub read_timeout: Option<Duration>,
@@ -53,8 +69,12 @@ pub struct EpollConfig {
 
 impl Default for EpollConfig {
     fn default() -> EpollConfig {
+        let parallelism = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         EpollConfig {
-            workers: 2,
+            reactors: reactors_from_env().unwrap_or(parallelism.min(8)),
+            workers: parallelism.clamp(2, 8),
             read_timeout: None,
             write_timeout: Duration::from_secs(5),
             connect_timeout: Duration::from_secs(2),
@@ -65,14 +85,25 @@ impl Default for EpollConfig {
     }
 }
 
+/// `TDP_WIRE_REACTORS` override for the default shard count.
+fn reactors_from_env() -> Option<usize> {
+    std::env::var("TDP_WIRE_REACTORS")
+        .ok()?
+        .trim()
+        .parse()
+        .ok()
+        .filter(|&n| n >= 1)
+}
+
 struct EpollShared {
     cfg: EpollConfig,
-    reactor: Arc<Reactor>,
+    reactors: ReactorSet,
+    pool: Arc<BufferPool>,
 }
 
 impl Drop for EpollShared {
     fn drop(&mut self) {
-        self.reactor.shutdown();
+        self.reactors.shutdown();
     }
 }
 
@@ -91,9 +122,14 @@ impl EpollTransport {
     }
 
     pub fn with_config(cfg: EpollConfig) -> TdpResult<EpollTransport> {
-        let reactor = Reactor::start(cfg.workers)?;
+        let reactors = ReactorSet::start(cfg.reactors.max(1), cfg.workers)?;
+        let pool = BufferPool::new();
         Ok(EpollTransport {
-            shared: Arc::new(EpollShared { cfg, reactor }),
+            shared: Arc::new(EpollShared {
+                cfg,
+                reactors,
+                pool,
+            }),
         })
     }
 
@@ -126,10 +162,13 @@ impl EpollTransport {
         let peer = Endpoint::Tcp(stream.peer_addr().map_err(sub)?);
         let conn = self
             .shared
-            .reactor
+            .reactors
             .register(stream, leftover, self.tuning())?;
         Ok(WireConn::from_parts(
-            WireTx::new(Arc::new(EpollTx { conn: conn.clone() })),
+            WireTx::new(Arc::new(EpollTx {
+                conn: conn.clone(),
+                pool: self.shared.pool.clone(),
+            })),
             WireRx::new(Box::new(EpollRx { conn })),
             local,
             peer,
@@ -194,11 +233,16 @@ impl Transport for EpollTransport {
 
 struct EpollTx {
     conn: Arc<ConnState>,
+    pool: Arc<BufferPool>,
 }
 
 impl TxApi for EpollTx {
     fn send_msg(&self, msg: &Message) -> TdpResult<()> {
-        self.conn.send(encode_frame(msg))
+        // Encode into a recycled buffer; the frame rides the outbox as a
+        // `PooledBuf` and returns to the pool when fully written.
+        let mut frame = self.pool.acquire();
+        encode_frame_into(msg, frame.buf_mut());
+        self.conn.send(frame)
     }
 
     fn close(&self) {
@@ -223,6 +267,10 @@ impl RxApi for EpollRx {
 
     fn try_recv_msg(&mut self) -> TdpResult<Option<Message>> {
         self.conn.try_recv()
+    }
+
+    fn recycle_msg(&mut self, msg: Message) {
+        self.conn.recycle(msg);
     }
 }
 
@@ -412,6 +460,7 @@ mod tests {
         let lis = t.listen(HostId(1), 0).unwrap();
         let ep = lis.local_endpoint();
         let mut conns = Vec::new();
+        let mut after_first = 0;
         for i in 0..50u64 {
             let client = t.connect(HostId(0), &ep).unwrap();
             let mut server = lis.accept().unwrap();
@@ -419,12 +468,21 @@ mod tests {
             client.send_msg(&m).unwrap();
             assert_eq!(server.recv_msg().unwrap(), m);
             conns.push((client, server));
+            if i == 0 {
+                // Shards, worker slices and the accept thread are all up
+                // once the first round trip completes.
+                after_first = wire_thread_count();
+            }
         }
-        // Reactor + workers + one accept thread — not 2 × 50.
+        // The thread budget is a function of the config, never of the
+        // connection count: 49 more connections grow it by zero. (The
+        // census is process-wide, so compare against the count at one
+        // connection rather than an absolute.)
         let wire_threads = wire_thread_count();
         assert!(
-            wire_threads <= 8,
-            "expected a bounded wire thread pool, found {wire_threads}"
+            wire_threads <= after_first,
+            "thread count grew with connections: {after_first} after one, \
+             {wire_threads} after fifty"
         );
         // Every connection still works after the census.
         for (i, (client, server)) in conns.iter_mut().enumerate() {
@@ -433,6 +491,34 @@ mod tests {
             };
             client.send_msg(&m).unwrap();
             assert_eq!(server.recv_msg().unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn sharded_reactors_route_connections_across_all_shards() {
+        let t = EpollTransport::with_config(EpollConfig {
+            reactors: 4,
+            ..EpollConfig::default()
+        })
+        .unwrap();
+        assert_eq!(t.shared.reactors.shard_count(), 4);
+        let lis = t.listen(HostId(1), 0).unwrap();
+        let ep = lis.local_endpoint();
+        // 8 sessions = 16 registered connections → every shard (ids are
+        // assigned round-robin) carries traffic.
+        let mut conns = Vec::new();
+        for i in 0..8u64 {
+            let client = t.connect(HostId(0), &ep).unwrap();
+            let server = lis.accept().unwrap();
+            conns.push((i, client, server));
+        }
+        for (i, client, server) in &mut conns {
+            let m = Message::Join { ctx: ContextId(*i) };
+            client.send_msg(&m).unwrap();
+            assert_eq!(server.recv_msg().unwrap(), m);
+            let r = Message::Reply(tdp_proto::Reply::Ok);
+            server.send_msg(&r).unwrap();
+            assert_eq!(client.recv_msg().unwrap(), r);
         }
     }
 

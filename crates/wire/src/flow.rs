@@ -10,12 +10,16 @@
 //! instrumented ones. See DESIGN.md "Concurrency invariants" for the
 //! lock-ordering and state-machine rules this module must uphold.
 
+use crate::pool::PooledBuf;
 use crate::protocol_err;
-use bytes::Bytes;
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
-use tdp_proto::{FrameDecoder, Message, TdpError, TdpResult};
+use tdp_proto::{DecodeScratch, FrameDecoder, Message, TdpError, TdpResult};
 use tdp_sync::{Condvar, Mutex};
+
+/// Cap on slices gathered per [`FlowIo::writev`] call (mirrors
+/// [`crate::sys::WRITEV_BATCH`] without depending on the FFI module).
+pub(crate) const WRITEV_BATCH: usize = 64;
 
 /// Per-connection tunables, derived from [`crate::EpollConfig`].
 #[derive(Debug, Clone)]
@@ -50,6 +54,18 @@ pub(crate) trait FlowIo {
     fn read(&self, buf: &mut [u8]) -> std::io::Result<usize>;
     /// Non-blocking write; `WouldBlock` when the send buffer is full.
     fn write(&self, buf: &[u8]) -> std::io::Result<usize>;
+    /// Non-blocking vectored write: push several frames in one syscall.
+    /// Returns bytes accepted (possibly a partial gather). The default
+    /// degenerates to a plain write of the first non-empty slice, so
+    /// scripted test IOs keep their one-write-per-step semantics.
+    fn writev(&self, bufs: &[&[u8]]) -> std::io::Result<usize> {
+        for b in bufs {
+            if !b.is_empty() {
+                return self.write(b);
+            }
+        }
+        Ok(0)
+    }
     /// Half-close the receive side (local reads fail fast).
     fn shutdown_read(&self);
     /// Half-close the send side (peer sees EOF).
@@ -60,6 +76,21 @@ pub(crate) trait FlowIo {
     /// set; an empty interest leaves the registration disarmed until a
     /// state change rearms it.
     fn rearm(&self, interest: Interest);
+    /// Whether a blocked receiver may take over the read side and wait
+    /// on the endpoint directly ([`FlowIo::wait_readable`]) instead of
+    /// parking on the reactor-fed condvar. `false` for scripted IOs.
+    fn supports_direct_read(&self) -> bool {
+        false
+    }
+    /// Block until the endpoint is readable (data, EOF, or error) or
+    /// `timeout_ms` elapses (`< 0` = forever); returns whether it was
+    /// reported ready. Unlike every other method, this is called
+    /// *without* the flow lock — it parks the calling thread. Only
+    /// called when [`FlowIo::supports_direct_read`] returns true.
+    fn wait_readable(&self, timeout_ms: i32) -> std::io::Result<bool> {
+        let _ = timeout_ms;
+        Ok(true)
+    }
 }
 
 pub(crate) struct Flow<IO> {
@@ -74,13 +105,21 @@ struct FlowInner {
     // Receive side.
     dec: FrameDecoder,
     inbox: VecDeque<Message>,
+    /// Recycled-string storage: decoded string fields reuse capacity of
+    /// messages the consumer handed back through [`Flow::recycle`].
+    scratch: DecodeScratch,
     /// Terminal receive condition, reported once the inbox drains.
     rx_err: Option<TdpError>,
     read_open: bool,
     /// Read interest withheld because the inbox is at its bound.
     paused: bool,
+    /// A consumer blocked in `recv` owns the read side: it waits on the
+    /// endpoint itself and drains in place, so readiness handlers must
+    /// neither read nor arm read interest (a reactor-side drain here
+    /// would strand the consumer in its endpoint wait — a lost wakeup).
+    direct_reader: bool,
     // Send side.
-    outbox: VecDeque<Bytes>,
+    outbox: VecDeque<PooledBuf>,
     outbox_bytes: usize,
     /// Partial-write offset into the front outbox frame.
     head_off: usize,
@@ -95,7 +134,7 @@ struct FlowInner {
 /// Outbox contents handed back by [`Flow::begin_release`] for the
 /// owner to flush synchronously (outside the flow lock).
 pub(crate) struct FlushPlan {
-    pub frames: VecDeque<Bytes>,
+    pub frames: VecDeque<PooledBuf>,
     pub head_off: usize,
     /// `close()` had requested a half-close once the queue drained.
     pub shutdown_write_after: bool,
@@ -112,9 +151,11 @@ impl<IO: FlowIo> Flow<IO> {
             inner: Mutex::new(FlowInner {
                 dec,
                 inbox: VecDeque::new(),
+                scratch: DecodeScratch::new(),
                 rx_err: None,
                 read_open: true,
                 paused: false,
+                direct_reader: false,
                 outbox: VecDeque::new(),
                 outbox_bytes: 0,
                 head_off: 0,
@@ -144,7 +185,10 @@ impl<IO: FlowIo> Flow<IO> {
 
     fn interest(inner: &FlowInner) -> Interest {
         Interest {
-            read: inner.read_open && !inner.paused,
+            // No read interest while a direct reader camps on the
+            // endpoint: it sees readability itself, and a racing
+            // reactor drain would strand it.
+            read: inner.read_open && !inner.paused && !inner.direct_reader,
             write: inner.want_write,
         }
     }
@@ -164,7 +208,7 @@ impl<IO: FlowIo> Flow<IO> {
     /// the drains will surface the failure through the IO result.
     pub fn on_ready(&self, readable: bool, writable: bool) {
         let mut inner = self.inner.lock();
-        if readable && inner.read_open {
+        if readable && inner.read_open && !inner.direct_reader {
             self.drain_read(&mut inner);
         }
         if writable && (inner.want_write || inner.flush_then_shutdown) {
@@ -219,7 +263,8 @@ impl<IO: FlowIo> Flow<IO> {
     fn pump_decoder(&self, inner: &mut FlowInner) -> bool {
         let mut delivered = false;
         loop {
-            match inner.dec.next() {
+            let FlowInner { dec, scratch, .. } = inner;
+            match dec.next_with(scratch) {
                 Ok(Some(msg)) => {
                     inner.inbox.push_back(msg);
                     delivered = true;
@@ -237,7 +282,9 @@ impl<IO: FlowIo> Flow<IO> {
 
     /// Write outbox frames until empty or `EWOULDBLOCK` (which arms
     /// write interest — so the reactor resumes the drain when the
-    /// socket buffer empties).
+    /// socket buffer empties). Queued frames are coalesced into
+    /// vectored writes: a burst of small puts leaves in one `writev`
+    /// instead of one syscall per frame.
     fn drain_write(&self, inner: &mut FlowInner) {
         // Whether this drain freed any outbox space: backpressured
         // senders must be woken even when the drain ends in
@@ -245,18 +292,40 @@ impl<IO: FlowIo> Flow<IO> {
         // write-stall timer kills the connection (found by the loom
         // model `loom_outbox_partial_drain_wakes_sender`).
         let mut freed = false;
-        while let Some(front) = inner.outbox.front() {
-            let from = inner.head_off;
-            match self.io.write(&front[from..]) {
-                Ok(n) => {
-                    inner.outbox_bytes -= n;
-                    inner.head_off += n;
-                    if n > 0 {
+        while !inner.outbox.is_empty() {
+            let res = {
+                let mut iovs: [&[u8]; WRITEV_BATCH] = [&[]; WRITEV_BATCH];
+                let mut n = 0;
+                for (slot, frame) in iovs.iter_mut().zip(inner.outbox.iter()) {
+                    *slot = if n == 0 {
+                        &frame[inner.head_off..]
+                    } else {
+                        frame
+                    };
+                    n += 1;
+                }
+                self.io.writev(&iovs[..n])
+            };
+            match res {
+                Ok(mut written) => {
+                    if written > 0 {
                         freed = true;
                     }
-                    if inner.head_off == front.len() {
-                        inner.outbox.pop_front();
-                        inner.head_off = 0;
+                    inner.outbox_bytes -= written;
+                    // Retire fully-written frames; a partial tail frame
+                    // keeps its offset for the next pass. Dropping a
+                    // retired frame returns its buffer to the pool.
+                    while written > 0 {
+                        let front_rem = inner.outbox.front().expect("bytes imply a frame").len()
+                            - inner.head_off;
+                        if written >= front_rem {
+                            written -= front_rem;
+                            inner.outbox.pop_front();
+                            inner.head_off = 0;
+                        } else {
+                            inner.head_off += written;
+                            written = 0;
+                        }
                     }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -290,7 +359,7 @@ impl<IO: FlowIo> Flow<IO> {
 
     // ---- send path ----------------------------------------------------
 
-    pub fn send(&self, frame: Bytes) -> TdpResult<()> {
+    pub fn send(&self, frame: PooledBuf) -> TdpResult<()> {
         let mut inner = self.inner.lock();
         if inner.closed {
             return Err(TdpError::Disconnected);
@@ -380,6 +449,9 @@ impl<IO: FlowIo> Flow<IO> {
             None => self.tuning.read_timeout.map(|t| Instant::now() + t),
         };
         let mut inner = self.inner.lock();
+        if self.io.supports_direct_read() && !inner.direct_reader {
+            return self.recv_direct(inner, deadline);
+        }
         loop {
             if let Some(msg) = self.pop_inbox(&mut inner) {
                 return Ok(msg);
@@ -398,8 +470,80 @@ impl<IO: FlowIo> Flow<IO> {
         }
     }
 
+    /// Blocking receive that owns the read side: instead of parking on
+    /// the condvar and paying a reactor wakeup plus a cross-thread
+    /// handoff per message, the consumer waits on the endpoint itself
+    /// (`poll(2)` on the production socket) and drains under the flow
+    /// lock. While `direct_reader` is set, readiness handlers skip the
+    /// read half entirely and the interest mask excludes reads — the
+    /// registration stays read-disarmed between camps, so a
+    /// request/reply loop never wakes the reactor at all. Data arriving
+    /// while nobody is receiving simply waits in the socket buffer
+    /// (TCP's window still backpressures the peer) until the next
+    /// `recv`/`try_recv` drains it.
+    fn recv_direct<'a>(
+        &'a self,
+        mut inner: tdp_sync::MutexGuard<'a, FlowInner>,
+        deadline: Option<Instant>,
+    ) -> TdpResult<Message> {
+        inner.direct_reader = true;
+        let res = loop {
+            if inner.read_open {
+                self.drain_read(&mut inner);
+            }
+            if let Some(msg) = self.pop_inbox(&mut inner) {
+                break Ok(msg);
+            }
+            if let Some(e) = inner.rx_err.clone() {
+                break Err(e);
+            }
+            let timeout_ms = match deadline {
+                None => -1,
+                Some(d) => {
+                    let now = Instant::now();
+                    if d <= now {
+                        break Err(TdpError::Timeout);
+                    }
+                    // Round up so the final wait cannot spin at 0 ms.
+                    d.duration_since(now)
+                        .as_millis()
+                        .saturating_add(1)
+                        .min(i32::MAX as u128) as i32
+                }
+            };
+            drop(inner);
+            let ready = self.io.wait_readable(timeout_ms);
+            inner = self.inner.lock();
+            match ready {
+                // Ready (or spurious): loop drains and re-checks.
+                Ok(true) => {}
+                // Timeout: loop re-checks the deadline (and anything a
+                // concurrent close delivered meanwhile).
+                Ok(false) => {}
+                Err(_) => {
+                    // A failing poll cannot make progress; surface it
+                    // as a dead connection rather than spinning.
+                    inner.read_open = false;
+                    inner.rx_err.get_or_insert(TdpError::Disconnected);
+                }
+            }
+        };
+        inner.direct_reader = false;
+        res
+    }
+
     pub fn try_recv(&self) -> TdpResult<Option<Message>> {
         let mut inner = self.inner.lock();
+        // With the registration read-disarmed between direct-read
+        // camps, arrived-but-unread bytes sit in the socket buffer; a
+        // non-blocking probe drains them here.
+        if inner.inbox.is_empty()
+            && inner.read_open
+            && !inner.direct_reader
+            && self.io.supports_direct_read()
+        {
+            self.drain_read(&mut inner);
+        }
         if let Some(msg) = self.pop_inbox(&mut inner) {
             return Ok(Some(msg));
         }
@@ -407,6 +551,12 @@ impl<IO: FlowIo> Flow<IO> {
             Some(e) => Err(e),
             None => Ok(None),
         }
+    }
+
+    /// Hand a finished message's string capacity back for future
+    /// decodes (the zero-alloc receive loop's other half).
+    pub fn recycle(&self, msg: Message) {
+        self.inner.lock().scratch.recycle_message(msg);
     }
 
     fn pop_inbox(&self, inner: &mut FlowInner) -> Option<Message> {
@@ -470,7 +620,7 @@ impl<IO: FlowIo> Flow<IO> {
     }
 
     /// Test-only visibility into the state machine (loom assertions).
-    #[cfg(all(loom, test))]
+    #[cfg(test)]
     pub fn snapshot(&self) -> (usize, bool, bool, bool, usize) {
         let inner = self.inner.lock();
         (
@@ -480,5 +630,172 @@ impl<IO: FlowIo> Flow<IO> {
             inner.closed,
             inner.outbox_bytes,
         )
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use crate::pool::BufferPool;
+    use proptest::prelude::*;
+    use std::sync::Mutex as StdMutex;
+    use tdp_proto::{encode_frame, ContextId, Reply};
+    use tdp_sync::Arc;
+
+    /// A scripted endpoint for the writev-coalescing property: each
+    /// `writev` call consumes one allowance from the script — `0` means
+    /// `EWOULDBLOCK`, `n` accepts up to `n` bytes gathered across the
+    /// iovec in order. Once the script runs dry the socket accepts
+    /// everything, so every run terminates with a full flush.
+    #[derive(Clone)]
+    struct GatherIo {
+        inner: Arc<StdMutex<GatherState>>,
+    }
+
+    struct GatherState {
+        allowances: VecDeque<usize>,
+        written: Vec<u8>,
+        /// writev calls that gathered more than one frame (coalescing
+        /// actually exercised, not just frame-at-a-time).
+        gathers: usize,
+    }
+
+    impl GatherIo {
+        fn new(allowances: Vec<usize>) -> GatherIo {
+            GatherIo {
+                inner: Arc::new(StdMutex::new(GatherState {
+                    allowances: allowances.into_iter().collect(),
+                    written: Vec::new(),
+                    gathers: 0,
+                })),
+            }
+        }
+
+        fn written(&self) -> Vec<u8> {
+            self.inner.lock().unwrap().written.clone()
+        }
+
+        fn gathers(&self) -> usize {
+            self.inner.lock().unwrap().gathers
+        }
+    }
+
+    impl FlowIo for GatherIo {
+        fn read(&self, _buf: &mut [u8]) -> std::io::Result<usize> {
+            Err(std::io::ErrorKind::WouldBlock.into())
+        }
+
+        fn write(&self, buf: &[u8]) -> std::io::Result<usize> {
+            self.writev(&[buf])
+        }
+
+        fn writev(&self, bufs: &[&[u8]]) -> std::io::Result<usize> {
+            let mut st = self.inner.lock().unwrap();
+            let mut allowance = match st.allowances.pop_front() {
+                Some(0) => return Err(std::io::ErrorKind::WouldBlock.into()),
+                Some(n) => n,
+                None => usize::MAX, // script exhausted: accept all
+            };
+            if bufs.iter().filter(|b| !b.is_empty()).count() > 1 {
+                st.gathers += 1;
+            }
+            let mut accepted = 0;
+            for b in bufs {
+                if allowance == 0 {
+                    break;
+                }
+                let n = b.len().min(allowance);
+                st.written.extend_from_slice(&b[..n]);
+                accepted += n;
+                allowance -= n;
+            }
+            Ok(accepted)
+        }
+
+        fn shutdown_read(&self) {}
+        fn shutdown_write(&self) {}
+        fn shutdown_both(&self) {}
+        fn rearm(&self, _interest: Interest) {}
+    }
+
+    fn arb_string() -> impl Strategy<Value = String> {
+        proptest::string::string_regex(".{0,64}").unwrap()
+    }
+
+    fn arb_message() -> impl Strategy<Value = Message> {
+        let ctx = any::<u64>().prop_map(ContextId);
+        prop_oneof![
+            (ctx.clone(), arb_string(), arb_string())
+                .prop_map(|(ctx, key, value)| { Message::Put { ctx, key, value } }),
+            (ctx.clone(), arb_string(), any::<bool>())
+                .prop_map(|(ctx, key, blocking)| { Message::Get { ctx, key, blocking } }),
+            ctx.prop_map(|ctx| Message::Join { ctx }),
+            Just(Message::Reply(Reply::Ok)),
+            (arb_string(), arb_string())
+                .prop_map(|(key, value)| Message::Reply(Reply::Value { key, value })),
+        ]
+    }
+
+    proptest! {
+        /// ISSUE 9: frames pushed through the pooled outbox and drained
+        /// by partial, gathering `writev` calls come out as the exact
+        /// byte stream of their individual encodings — and that stream
+        /// re-decodes to the original messages under arbitrary read
+        /// chunk boundaries.
+        #[test]
+        fn writev_coalesced_frames_decode_byte_identically(
+            msgs in proptest::collection::vec(arb_message(), 1..12),
+            allowances in proptest::collection::vec(0usize..48, 0..32),
+            cuts in proptest::collection::vec(1usize..17, 0..96),
+        ) {
+            let io = GatherIo::new(allowances.clone());
+            let pool = BufferPool::new();
+            let flow = Flow::new(
+                io.clone(),
+                ConnTuning {
+                    inbox_messages: 64,
+                    outbox_bytes: 1 << 20,
+                    write_stall: Duration::from_secs(5),
+                    read_timeout: None,
+                },
+                FrameDecoder::new(),
+            );
+
+            let mut expected = Vec::new();
+            for m in &msgs {
+                let frame = encode_frame(m);
+                expected.extend_from_slice(&frame);
+                flow.send(pool.pooled(&frame)).unwrap();
+            }
+            // Flush whatever the scripted EWOULDBLOCKs left queued; the
+            // exhausted script accepts everything, so this terminates.
+            for _ in 0..allowances.len() + 2 {
+                let (_, _, _, _, outbox_bytes) = flow.snapshot();
+                if outbox_bytes == 0 {
+                    break;
+                }
+                flow.on_ready(false, true);
+            }
+
+            let written = io.written();
+            prop_assert_eq!(&written, &expected, "byte stream diverged");
+            let _ = io.gathers(); // coalescing path is schedule-dependent
+
+            // Re-decode under unrelated chunk boundaries.
+            let mut dec = FrameDecoder::new();
+            let mut got = Vec::new();
+            let mut off = 0;
+            let mut cuts = cuts.into_iter();
+            while off < written.len() {
+                let n = cuts.next().unwrap_or(written.len()).min(written.len() - off);
+                dec.feed(&written[off..off + n]);
+                off += n;
+                while let Some(msg) = dec.next().expect("stream is well-formed") {
+                    got.push(msg);
+                }
+            }
+            prop_assert_eq!(&got, &msgs);
+            prop_assert_eq!(pool.live(), 0, "flushed frames must return to the pool");
+        }
     }
 }

@@ -14,9 +14,10 @@
 //!   per-connection write coalescing behind a bounded outbound queue
 //!   (backpressure), configurable read/write timeouts, and fail-fast
 //!   close semantics matching netsim's;
-//! * [`epoll`] — the same loopback sockets multiplexed onto a single
-//!   `epoll` reactor thread plus a small worker pool (see [`reactor`]),
-//!   so thread count stays O(pool size) instead of O(connections).
+//! * [`epoll`] — the same loopback sockets multiplexed onto sharded
+//!   `epoll` reactor threads plus a worker pool (see [`reactor`]),
+//!   with a buffer pool making steady-state put/get allocation-free,
+//!   so thread count stays O(shards + workers), not O(connections).
 //!
 //! The backends are observably equivalent to the layers above: the
 //! same scenario driven over any of them produces the same TDP call
@@ -33,6 +34,7 @@ pub mod epoll;
 pub(crate) mod flow;
 #[cfg(all(loom, test))]
 mod loom_models;
+pub(crate) mod pool;
 pub(crate) mod reactor;
 pub mod sim;
 pub mod sys;
@@ -64,6 +66,13 @@ pub trait RxApi: Send {
     /// Non-blocking framed receive: `Ok(None)` when no complete message
     /// has arrived yet.
     fn try_recv_msg(&mut self) -> TdpResult<Option<Message>>;
+    /// Hand a consumed message's string buffers back to the decoder's
+    /// scratch pool, so the next decode on this connection reuses them
+    /// instead of allocating. Purely an optimisation — backends without
+    /// a scratch pool just drop the message.
+    fn recycle_msg(&mut self, msg: Message) {
+        drop(msg);
+    }
 }
 
 /// A passive listener. Object-safe; shared behind [`WireListener`].
@@ -117,6 +126,12 @@ impl WireRx {
 
     pub fn try_recv_msg(&mut self) -> TdpResult<Option<Message>> {
         self.inner.try_recv_msg()
+    }
+
+    /// Return a consumed message's buffers for reuse — see
+    /// [`RxApi::recycle_msg`].
+    pub fn recycle_msg(&mut self, msg: Message) {
+        self.inner.recycle_msg(msg);
     }
 }
 

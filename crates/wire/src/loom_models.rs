@@ -20,14 +20,18 @@
 //!    `loom_close_races_send`)
 //!
 //! plus the regression model for the partial-drain lost-wakeup fix
-//! (`loom_outbox_partial_drain_wakes_sender`).
+//! (`loom_outbox_partial_drain_wakes_sender`), the shard-routing model
+//! (`loom_shard_routing`) and the buffer-pool accounting model
+//! (`loom_buffer_pool_stall_kill_vs_drain`) from ISSUE 9.
 
 use crate::flow::{ConnTuning, Flow, FlowIo, Interest};
-use std::collections::{HashSet, VecDeque};
+use crate::pool::{BufferPool, PooledBuf};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io;
 use std::sync::Mutex as StdMutex;
 use std::time::Duration;
 use tdp_proto::{encode_frame, ContextId, FrameDecoder, Message, TdpError};
+use tdp_sync::atomic::{AtomicU64, Ordering};
 use tdp_sync::{Arc, Condvar, Mutex};
 
 // ------------------------------------------------------------- fake IO
@@ -140,6 +144,13 @@ fn new_flow(io: Arc<FakeIo>, t: ConnTuning) -> Arc<Flow<Arc<FakeIo>>> {
     Arc::new(Flow::new(io, t, FrameDecoder::new()))
 }
 
+/// Wrap raw frame bytes as a [`PooledBuf`] the way the transports do
+/// (under loom the pool's thread-local layer is compiled out, so every
+/// acquire/release is a model-visible shared-lock interaction).
+fn pooled(pool: &Arc<BufferPool>, bytes: &[u8]) -> PooledBuf {
+    pool.pooled(bytes)
+}
+
 /// Leaked cross-execution outcome set, for asserting that a particular
 /// outcome is *reachable* (e.g. the notify path, not just the timeout
 /// path) once the checker has explored every schedule.
@@ -216,11 +227,12 @@ fn loom_outbox_stall_kill_vs_drain() {
         let f1 = frame(1);
         let f2 = frame(2);
         let io = FakeIo::new(vec![], 0);
+        let pool = BufferPool::new();
         let flow = new_flow(Arc::clone(&io), tuning(8, f2.len() + 1));
 
         // First frame is admitted unconditionally (lone oversized
         // frame rule) and arms write interest on EWOULDBLOCK.
-        flow.send(f1.clone().into()).unwrap();
+        flow.send(pooled(&pool, &f1)).unwrap();
 
         let w_flow = Arc::clone(&flow);
         let w_io = Arc::clone(&io);
@@ -232,7 +244,7 @@ fn loom_outbox_stall_kill_vs_drain() {
             w_flow.on_ready(false, true);
         });
 
-        match flow.send(f2.clone().into()) {
+        match flow.send(pooled(&pool, &f2)) {
             Ok(()) => {
                 seen.lock().unwrap().insert("ok");
                 let (_, _, _, closed, _) = flow.snapshot();
@@ -273,9 +285,10 @@ fn loom_outbox_partial_drain_wakes_sender() {
         let f1 = frame(1);
         let f2_len = frame(2).len();
         let io = FakeIo::new(vec![], 0);
+        let pool = BufferPool::new();
         let flow = new_flow(Arc::clone(&io), tuning(8, f2_len + 1));
 
-        flow.send(f1.clone().into()).unwrap(); // queued; write armed
+        flow.send(pooled(&pool, &f1)).unwrap(); // queued; write armed
 
         let w_flow = Arc::clone(&flow);
         let w_io = Arc::clone(&io);
@@ -305,11 +318,12 @@ fn loom_epollout_arm_vs_inline_write() {
         let f1 = frame(1);
         let f2 = frame(2);
         let io = FakeIo::new(vec![], f1.len()); // room for exactly f1
+        let pool = BufferPool::new();
         let flow = new_flow(Arc::clone(&io), tuning(8, 1024));
 
         // Inline fast path: the socket takes the whole frame, no
         // reactor round trip, no write interest.
-        flow.send(f1.clone().into()).unwrap();
+        flow.send(pooled(&pool, &f1)).unwrap();
 
         let w_flow = Arc::clone(&flow);
         let w_io = Arc::clone(&io);
@@ -322,7 +336,7 @@ fn loom_epollout_arm_vs_inline_write() {
         // Races the capacity top-up: either the inline write drains it
         // (worker's on_ready finds nothing) or it hits EWOULDBLOCK and
         // arms EPOLLOUT for the worker to finish.
-        flow.send(f2.clone().into()).unwrap();
+        flow.send(pooled(&pool, &f2)).unwrap();
         worker.join().unwrap();
 
         let mut expect = f1.clone();
@@ -376,12 +390,13 @@ fn loom_close_races_send() {
     loom::model(|| {
         let f1 = frame(1);
         let io = FakeIo::new(vec![], 1024);
+        let pool = BufferPool::new();
         let flow = new_flow(Arc::clone(&io), tuning(8, 1024));
 
         let c_flow = Arc::clone(&flow);
         let closer = loom::thread::spawn(move || c_flow.close());
 
-        let sent = flow.send(f1.clone().into());
+        let sent = flow.send(pooled(&pool, &f1));
         closer.join().unwrap();
 
         match sent {
@@ -396,5 +411,93 @@ fn loom_close_races_send() {
         assert_eq!(outbox_bytes, 0);
         // Close must half-close the write side so the peer sees EOF.
         assert!(io.shutdowns.lock().unwrap().contains(&"write"));
+    });
+}
+
+/// ISSUE 9 model: connection registration across reactor shards, over
+/// the exact primitives `ReactorSet::register` uses — a shared
+/// `fetch_add` id counter and `shard_index` (pure modulo) into
+/// per-shard connection maps. Two threads registering concurrently
+/// must get distinct ids, land each connection in exactly the shard
+/// its id computes to, and a concurrent deregister must find the entry
+/// in that same shard — no entry is ever visible from two shards and
+/// none is lost.
+#[test]
+fn loom_shard_routing() {
+    loom::model(|| {
+        use crate::reactor::shard_index;
+        const SHARDS: usize = 2;
+        let next = Arc::new(AtomicU64::new(0));
+        let maps: Arc<Vec<Mutex<HashMap<u64, u64>>>> =
+            Arc::new((0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect());
+
+        let handles: Vec<_> = (0..2u64)
+            .map(|tid| {
+                let next = Arc::clone(&next);
+                let maps = Arc::clone(&maps);
+                loom::thread::spawn(move || {
+                    let id = next.fetch_add(1, Ordering::Relaxed);
+                    let shard = shard_index(id, SHARDS);
+                    let prev = maps[shard].lock().insert(id, tid);
+                    assert!(prev.is_none(), "two connections mapped to one slot");
+                    id
+                })
+            })
+            .collect();
+        let ids: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+        assert_ne!(ids[0], ids[1], "id allocation must be unique");
+        for id in ids {
+            let shard = shard_index(id, SHARDS);
+            // Deregistration looks up the same pure function — the
+            // entry is in that shard and no other.
+            for (s, m) in maps.iter().enumerate() {
+                let found = m.lock().remove(&id).is_some();
+                assert_eq!(found, s == shard, "conn {id} visible from shard {s}");
+            }
+        }
+    });
+}
+
+/// ISSUE 9 model: buffer-pool accounting when a stall-kill (close
+/// clearing the outbox) races a worker's drain. Whichever side ends up
+/// dropping the queued frame's `PooledBuf`, the release happens exactly
+/// once: `live` returns to zero and a later acquire is served from the
+/// recycled buffer, not the allocator.
+#[test]
+fn loom_buffer_pool_stall_kill_vs_drain() {
+    loom::model(|| {
+        let f1 = frame(1);
+        let io = FakeIo::new(vec![], 0); // no capacity: frame queues
+        let pool = BufferPool::new();
+        let flow = new_flow(Arc::clone(&io), tuning(8, 1024));
+
+        flow.send(pooled(&pool, &f1)).unwrap();
+        assert_eq!(pool.live(), 1);
+
+        let c_flow = Arc::clone(&flow);
+        let closer = loom::thread::spawn(move || c_flow.close());
+
+        let w_flow = Arc::clone(&flow);
+        let w_io = Arc::clone(&io);
+        let n = f1.len();
+        let worker = loom::thread::spawn(move || {
+            w_io.add_write_capacity(n);
+            w_flow.on_ready(false, true);
+        });
+
+        closer.join().unwrap();
+        worker.join().unwrap();
+
+        // Exactly one release: a double release would leave `live` at
+        // u64::MAX (wrapping), a leak at 1.
+        assert_eq!(pool.live(), 0, "frame buffer leaked or double-released");
+        let fresh_before = pool.fresh_count();
+        drop(pool.acquire());
+        assert_eq!(
+            pool.fresh_count(),
+            fresh_before,
+            "released buffer must be reusable"
+        );
     });
 }

@@ -1,0 +1,324 @@
+//! Frame-buffer recycling for the socket backends.
+//!
+//! Every `send_msg` needs a byte buffer to encode into, and that buffer
+//! lives until the frame has fully left the socket — often on a
+//! different thread (a pool worker draining the outbox) than the one
+//! that allocated it. A [`BufferPool`] makes the steady state
+//! allocation-free: released buffers park on a small per-thread free
+//! list (no lock on the hit path) and overflow into a shared,
+//! mutex-protected spill list that any thread can refill from.
+//!
+//! Ownership rule: a [`PooledBuf`] *is* the buffer — release happens in
+//! `Drop`, exactly once, wherever the buffer dies (outbox drain,
+//! stall-kill clear, or the synchronous release flush). Nothing hands
+//! raw `BytesMut`s around, so use-after-release and double-release are
+//! unrepresentable; the loom model `loom_buffer_pool_stall_kill_vs_drain`
+//! checks the accounting stays balanced under races anyway.
+//!
+//! Under `--cfg loom` the thread-local layer is compiled out (models
+//! want every cross-thread interaction visible to the scheduler), so
+//! every acquire/release goes through the shared list.
+
+use bytes::BytesMut;
+use tdp_sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(loom))]
+use tdp_sync::Weak;
+use tdp_sync::{Arc, Mutex};
+
+/// Free buffers parked per thread (per pool) before spilling.
+#[cfg(not(loom))]
+const LOCAL_FREE_CAP: usize = 16;
+/// Distinct pools one thread tracks; beyond this the oldest entry is
+/// evicted and its buffers flushed back to the shared spill (a pool is
+/// per transport — more than a handful live at once means transports
+/// are being churned, where local caching is pointless anyway).
+#[cfg(not(loom))]
+const LOCAL_POOLS_CAP: usize = 4;
+/// Free buffers the shared spill list holds before releases just drop.
+const SHARED_SPILL_CAP: usize = 1024;
+/// Buffers that grew beyond this are not retained — one pathological
+/// frame must not pin its footprint forever.
+const MAX_RETAINED_CAP: usize = 64 * 1024;
+/// Starting capacity of a fresh buffer: covers every control-plane
+/// frame in one shot.
+const FRESH_CAP: usize = 256;
+
+#[cfg(not(loom))]
+thread_local! {
+    /// Per-thread free lists, one entry per pool this thread has
+    /// released into. The table's `Drop` (thread exit) and the eviction
+    /// path flush parked buffers back to their pool's shared list, so
+    /// short-lived threads don't strand recycled capacity.
+    static LOCAL_FREE: std::cell::RefCell<LocalTable> =
+        const { std::cell::RefCell::new(LocalTable(Vec::new())) };
+}
+
+#[cfg(not(loom))]
+struct LocalEntry {
+    /// The pool's `Arc` address — cheap identity for the hit-path scan.
+    key: usize,
+    /// Weak so a parked entry never keeps a dead transport's pool alive.
+    pool: Weak<BufferPool>,
+    bufs: Vec<BytesMut>,
+}
+
+#[cfg(not(loom))]
+impl LocalEntry {
+    /// Hand this entry's buffers back to the pool's shared spill (if
+    /// the pool is still alive).
+    fn flush(self) {
+        let Some(pool) = self.pool.upgrade() else {
+            return;
+        };
+        let mut shared = pool.shared.lock();
+        for b in self.bufs {
+            if shared.len() >= SHARED_SPILL_CAP {
+                break;
+            }
+            shared.push(b);
+        }
+    }
+}
+
+#[cfg(not(loom))]
+struct LocalTable(Vec<LocalEntry>);
+
+#[cfg(not(loom))]
+impl Drop for LocalTable {
+    fn drop(&mut self) {
+        for e in self.0.drain(..) {
+            e.flush();
+        }
+    }
+}
+
+/// Shared recycling pool for frame buffers. One per transport; cheap
+/// handles via `Arc`.
+pub(crate) struct BufferPool {
+    shared: Mutex<Vec<BytesMut>>,
+    /// Buffers created because no free one was available.
+    fresh: AtomicU64,
+    /// Acquires served from a free list.
+    reused: AtomicU64,
+    /// Buffers currently out (acquired, not yet released).
+    live: AtomicU64,
+}
+
+impl BufferPool {
+    pub fn new() -> Arc<BufferPool> {
+        Arc::new(BufferPool {
+            shared: Mutex::new(Vec::new()),
+            fresh: AtomicU64::new(0),
+            reused: AtomicU64::new(0),
+            live: AtomicU64::new(0),
+        })
+    }
+
+    #[cfg(not(loom))]
+    fn key(self: &Arc<Self>) -> usize {
+        Arc::as_ptr(self) as usize
+    }
+
+    /// Take a cleared buffer: thread-local free list, then the shared
+    /// spill, then a fresh allocation.
+    pub fn acquire(self: &Arc<Self>) -> PooledBuf {
+        self.live.fetch_add(1, Ordering::Relaxed);
+        if let Some(buf) = self.take_local().or_else(|| self.shared.lock().pop()) {
+            self.reused.fetch_add(1, Ordering::Relaxed);
+            return PooledBuf {
+                buf,
+                pool: self.clone(),
+            };
+        }
+        self.fresh.fetch_add(1, Ordering::Relaxed);
+        PooledBuf {
+            buf: BytesMut::with_capacity(FRESH_CAP),
+            pool: self.clone(),
+        }
+    }
+
+    /// Acquire and fill from a slice (tests and loom models).
+    #[cfg(any(test, loom))]
+    pub fn pooled(self: &Arc<Self>, bytes: &[u8]) -> PooledBuf {
+        let mut b = self.acquire();
+        b.buf_mut().extend_from_slice(bytes);
+        b
+    }
+
+    #[cfg(not(loom))]
+    fn take_local(self: &Arc<Self>) -> Option<BytesMut> {
+        let key = self.key();
+        LOCAL_FREE
+            .try_with(|cell| {
+                let mut table = cell.borrow_mut();
+                let entry = table.0.iter_mut().find(|e| e.key == key)?;
+                entry.bufs.pop()
+            })
+            .ok()
+            .flatten()
+    }
+
+    #[cfg(loom)]
+    fn take_local(self: &Arc<Self>) -> Option<BytesMut> {
+        None
+    }
+
+    fn release(self: &Arc<Self>, mut buf: BytesMut) {
+        self.live.fetch_sub(1, Ordering::Relaxed);
+        buf.clear();
+        if buf.capacity() > MAX_RETAINED_CAP {
+            return;
+        }
+        let Some(buf) = self.store_local(buf) else {
+            return;
+        };
+        let mut shared = self.shared.lock();
+        if shared.len() < SHARED_SPILL_CAP {
+            shared.push(buf);
+        }
+    }
+
+    /// Try to park `buf` on this thread's free list; hand it back for
+    /// the shared spill when the local list is full (or TLS is gone,
+    /// e.g. during thread teardown).
+    #[cfg(not(loom))]
+    fn store_local(self: &Arc<Self>, buf: BytesMut) -> Option<BytesMut> {
+        let key = self.key();
+        // `slot` survives the closure so the buffer is handed back for
+        // the shared spill both when the local list is full and when TLS
+        // is already torn down (`try_with` fails without running it).
+        let mut slot = Some(buf);
+        let evicted = LOCAL_FREE
+            .try_with(|cell| {
+                let buf = slot.take().expect("slot filled above");
+                let mut table = cell.borrow_mut();
+                if let Some(entry) = table.0.iter_mut().find(|e| e.key == key) {
+                    if entry.bufs.len() < LOCAL_FREE_CAP {
+                        entry.bufs.push(buf);
+                    } else {
+                        slot = Some(buf);
+                    }
+                    return None;
+                }
+                let evicted = if table.0.len() >= LOCAL_POOLS_CAP {
+                    // Evict the oldest pool's entry; its buffers go back
+                    // to that pool's shared spill outside the borrow.
+                    Some(table.0.remove(0))
+                } else {
+                    None
+                };
+                table.0.push(LocalEntry {
+                    key,
+                    pool: Arc::downgrade(self),
+                    bufs: vec![buf],
+                });
+                evicted
+            })
+            .ok()
+            .flatten();
+        if let Some(entry) = evicted {
+            entry.flush();
+        }
+        slot
+    }
+
+    #[cfg(loom)]
+    fn store_local(self: &Arc<Self>, buf: BytesMut) -> Option<BytesMut> {
+        Some(buf)
+    }
+
+    /// Buffers currently acquired and not yet released.
+    #[cfg(any(test, loom))]
+    pub fn live(&self) -> u64 {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// Buffers created fresh because no recycled one was free.
+    #[cfg(any(test, loom))]
+    pub fn fresh_count(&self) -> u64 {
+        self.fresh.load(Ordering::Relaxed)
+    }
+
+    /// Acquires served from a free list instead of the allocator.
+    #[cfg(all(test, not(loom)))]
+    pub fn reused_count(&self) -> u64 {
+        self.reused.load(Ordering::Relaxed)
+    }
+}
+
+/// An owned, recycled frame buffer. Dereferences to the encoded bytes;
+/// dropping it returns the backing storage to its pool.
+pub(crate) struct PooledBuf {
+    buf: BytesMut,
+    pool: Arc<BufferPool>,
+}
+
+impl PooledBuf {
+    /// The underlying buffer, for encoding into.
+    pub fn buf_mut(&mut self) -> &mut BytesMut {
+        &mut self.buf
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+impl std::ops::Deref for PooledBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        let buf = std::mem::take(&mut self.buf);
+        self.pool.release(buf);
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_reuses_capacity() {
+        let pool = BufferPool::new();
+        let mut a = pool.acquire();
+        a.buf_mut().extend_from_slice(&[7u8; 100]);
+        drop(a);
+        assert_eq!(pool.live(), 0);
+        let b = pool.acquire();
+        assert_eq!(b.len(), 0, "recycled buffer must come back cleared");
+        assert_eq!(pool.fresh_count(), 1);
+        assert_eq!(pool.reused_count(), 1);
+    }
+
+    #[test]
+    fn cross_thread_release_spills_to_shared() {
+        let pool = BufferPool::new();
+        // Fill this thread's local list past its cap from another
+        // thread's perspective: release LOCAL_FREE_CAP + 3 buffers on a
+        // worker thread, then verify this thread can still reuse the
+        // spilled ones.
+        let bufs: Vec<_> = (0..LOCAL_FREE_CAP + 3).map(|_| pool.acquire()).collect();
+        let p2 = pool.clone();
+        std::thread::spawn(move || drop(bufs)).join().unwrap();
+        assert_eq!(pool.live(), 0);
+        let before = p2.fresh_count();
+        let _again: Vec<_> = (0..LOCAL_FREE_CAP + 3).map(|_| p2.acquire()).collect();
+        assert_eq!(p2.fresh_count(), before, "all acquires served recycled");
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_retained() {
+        let pool = BufferPool::new();
+        let mut a = pool.acquire();
+        a.buf_mut()
+            .extend_from_slice(&vec![0u8; MAX_RETAINED_CAP + 1]);
+        drop(a);
+        let b = pool.acquire();
+        assert!(b.buf.capacity() <= MAX_RETAINED_CAP);
+    }
+}

@@ -36,10 +36,10 @@
 //! item).
 
 use crate::flow::{ConnTuning, Flow, FlowIo, Interest};
+use crate::pool::PooledBuf;
 use crate::sys::{
     Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLONESHOT, EPOLLOUT, EPOLLRDHUP,
 };
-use bytes::Bytes;
 use crossbeam::channel;
 use std::collections::HashMap;
 use std::io::Write;
@@ -50,6 +50,65 @@ use std::time::Instant;
 use tdp_proto::{FrameDecoder, Message, TdpError, TdpResult};
 use tdp_sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use tdp_sync::{Arc, Mutex, Weak};
+
+// ---------------------------------------------------------- reactor set
+
+/// The shard a connection lives on: plain modulo over the sequentially
+/// assigned connection id. Ids arrive round-robin, so shards stay
+/// balanced without coordination, and the mapping is a pure function of
+/// the id — nothing ever needs to look a connection's shard up.
+pub(crate) fn shard_index(conn_id: u64, nshards: usize) -> usize {
+    (conn_id % nshards.max(1) as u64) as usize
+}
+
+/// N independent reactors, each owning its own epoll set, wake eventfd,
+/// and worker-pool slice. A connection is hashed to a shard when it is
+/// registered (accept/dial time) and never migrates, so the whole
+/// put/get path — readiness, drains, rearms, wakeups — touches only
+/// shard-local state; no lock is shared between shards.
+pub(crate) struct ReactorSet {
+    shards: Vec<Arc<Reactor>>,
+    next_conn: AtomicU64,
+}
+
+impl ReactorSet {
+    /// Spawn `reactors` shards splitting `workers` pool threads between
+    /// them (each shard gets at least one).
+    pub fn start(reactors: usize, workers: usize) -> TdpResult<ReactorSet> {
+        let reactors = reactors.max(1);
+        let per_shard = workers.max(1).div_ceil(reactors);
+        let shards = (0..reactors)
+            .map(|i| Reactor::start(i, per_shard))
+            .collect::<TdpResult<Vec<_>>>()?;
+        Ok(ReactorSet {
+            shards,
+            next_conn: AtomicU64::new(0),
+        })
+    }
+
+    /// Hash the new connection to a shard and register it there.
+    pub fn register(
+        &self,
+        stream: TcpStream,
+        leftover: FrameDecoder,
+        tuning: ConnTuning,
+    ) -> TdpResult<Arc<ConnState>> {
+        let id = self.next_conn.fetch_add(1, Ordering::Relaxed);
+        self.shards[shard_index(id, self.shards.len())].register(stream, leftover, tuning)
+    }
+
+    #[cfg(test)]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Stop every shard and join its threads. Idempotent.
+    pub fn shutdown(&self) {
+        for s in &self.shards {
+            s.shutdown();
+        }
+    }
+}
 
 // -------------------------------------------------------------- reactor
 
@@ -65,8 +124,8 @@ pub(crate) struct Reactor {
 const WAKE_TOKEN: u64 = 0;
 
 impl Reactor {
-    /// Spawn the reactor thread plus `workers` pool threads.
-    pub fn start(workers: usize) -> TdpResult<Arc<Reactor>> {
+    /// Spawn shard `shard`'s reactor thread plus `workers` pool threads.
+    pub fn start(shard: usize, workers: usize) -> TdpResult<Arc<Reactor>> {
         let sub = |e: std::io::Error| TdpError::Substrate(format!("epoll reactor: {e}"));
         let ep = Epoll::new().map_err(sub)?;
         let wake = EventFd::new().map_err(sub)?;
@@ -82,7 +141,9 @@ impl Reactor {
         let spawn_err = |e: std::io::Error| TdpError::Substrate(format!("spawn wire thread: {e}"));
 
         // The reactor thread owns the only job `Sender`: when it exits,
-        // the workers' `recv` disconnects and they exit too.
+        // the workers' `recv` disconnects and they exit too. The
+        // channel (like everything else here) is per shard: a wave on
+        // one shard never contends with another shard's dispatch.
         let (jobs_tx, jobs_rx) = channel::unbounded::<(u64, u32)>();
         let mut threads = reactor.threads.lock();
         for i in 0..workers.max(1) {
@@ -90,7 +151,7 @@ impl Reactor {
             let r = reactor.clone();
             threads.push(
                 thread::Builder::new()
-                    .name(format!("wire-epoll-{i}"))
+                    .name(format!("wire-epoll-{shard}-{i}"))
                     .spawn(move || {
                         while let Ok((token, revents)) = rx.recv() {
                             if let Some(conn) = r.lookup(token) {
@@ -104,7 +165,7 @@ impl Reactor {
         let r = reactor.clone();
         threads.push(
             thread::Builder::new()
-                .name("wire-reactor".into())
+                .name(format!("wire-reactor-{shard}"))
                 .spawn(move || r.run(jobs_tx))
                 .map_err(spawn_err)?,
         );
@@ -117,21 +178,30 @@ impl Reactor {
             events: 0,
             token: 0,
         }; 256];
+        // Copied out of `buf` each wake: it is reused and (on x86-64)
+        // packed. A fixed array, not a `Vec` — the event loop allocates
+        // nothing in steady state.
+        let mut events = [(0u64, 0u32); 256];
         // Loop until the epoll fd is torn down or shutdown is flagged.
         while let Ok(ready) = self.ep.wait(&mut buf, -1) {
             if self.stop.load(Ordering::Acquire) {
                 break;
             }
-            // Copy out: `buf` is reused and (on x86-64) packed.
-            let events: Vec<(u64, u32)> = ready
-                .iter()
-                .map(|e| ({ e.token }, { e.events }))
-                .filter(|&(t, _)| t != WAKE_TOKEN)
-                .collect();
-            if events.len() < ready.len() {
+            let mut n = 0;
+            let mut woken = false;
+            for e in ready {
+                let (token, revents) = ({ e.token }, { e.events });
+                if token == WAKE_TOKEN {
+                    woken = true;
+                } else {
+                    events[n] = (token, revents);
+                    n += 1;
+                }
+            }
+            if woken {
                 self.wake.drain();
             }
-            if let [(token, revents)] = events[..] {
+            if let [(token, revents)] = events[..n] {
                 // Latency path: a lone readiness report is handled on
                 // the reactor thread itself, skipping a dispatch hop.
                 if let Some(conn) = self.lookup(token) {
@@ -139,8 +209,8 @@ impl Reactor {
                 }
             } else {
                 // A wave: fan out so slow connections don't serialize.
-                for ev in events {
-                    if jobs.send(ev).is_err() {
+                for ev in &events[..n] {
+                    if jobs.send(*ev).is_err() {
                         return;
                     }
                 }
@@ -225,6 +295,18 @@ impl FlowIo for SocketIo {
         std::io::Write::write(&mut (&self.stream), buf)
     }
 
+    fn writev(&self, bufs: &[&[u8]]) -> std::io::Result<usize> {
+        crate::sys::writev_fd(self.stream.as_raw_fd(), bufs)
+    }
+
+    fn supports_direct_read(&self) -> bool {
+        true
+    }
+
+    fn wait_readable(&self, timeout_ms: i32) -> std::io::Result<bool> {
+        crate::sys::poll_readable(self.stream.as_raw_fd(), timeout_ms)
+    }
+
     fn shutdown_read(&self) {
         let _ = self.stream.shutdown(Shutdown::Read);
     }
@@ -281,7 +363,7 @@ impl ConnState {
         self.flow.on_ready(readable, writable);
     }
 
-    pub fn send(&self, frame: Bytes) -> TdpResult<()> {
+    pub fn send(&self, frame: PooledBuf) -> TdpResult<()> {
         self.flow.send(frame)
     }
 
@@ -295,6 +377,10 @@ impl ConnState {
 
     pub fn try_recv(&self) -> TdpResult<Option<Message>> {
         self.flow.try_recv()
+    }
+
+    pub fn recycle(&self, msg: Message) {
+        self.flow.recycle(msg);
     }
 
     // ---- lifecycle ----------------------------------------------------

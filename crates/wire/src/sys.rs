@@ -48,6 +48,23 @@ pub struct EpollEvent {
     pub token: u64,
 }
 
+/// The kernel's `struct iovec` for [`writev`].
+#[repr(C)]
+struct IoVec {
+    iov_base: *const core::ffi::c_void,
+    iov_len: usize,
+}
+
+/// The kernel's `struct pollfd` for [`poll`].
+#[repr(C)]
+struct PollFd {
+    fd: i32,
+    events: i16,
+    revents: i16,
+}
+
+const POLLIN: i16 = 0x001;
+
 extern "C" {
     fn epoll_create1(flags: i32) -> i32;
     fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
@@ -56,6 +73,8 @@ extern "C" {
     fn close(fd: i32) -> i32;
     fn read(fd: i32, buf: *mut core::ffi::c_void, count: usize) -> isize;
     fn write(fd: i32, buf: *const core::ffi::c_void, count: usize) -> isize;
+    fn writev(fd: i32, iov: *const IoVec, iovcnt: i32) -> isize;
+    fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
     fn fcntl(fd: i32, cmd: i32, ...) -> i32;
 }
 
@@ -64,6 +83,65 @@ fn cvt(ret: i32) -> io::Result<i32> {
         Err(io::Error::last_os_error())
     } else {
         Ok(ret)
+    }
+}
+
+/// How many slices one [`writev_fd`] call gathers at most; callers
+/// batch in chunks of this size.
+pub const WRITEV_BATCH: usize = 64;
+
+/// Vectored write: push up to [`WRITEV_BATCH`] byte slices through one
+/// `writev(2)` syscall. Returns the number of bytes accepted (possibly
+/// a partial gather — the kernel stops wherever the socket buffer
+/// fills). Empty slices are legal and contribute nothing.
+pub fn writev_fd(fd: RawFd, bufs: &[&[u8]]) -> io::Result<usize> {
+    let mut iov = [const {
+        IoVec {
+            iov_base: std::ptr::null(),
+            iov_len: 0,
+        }
+    }; WRITEV_BATCH];
+    let n = bufs.len().min(WRITEV_BATCH);
+    for (slot, b) in iov.iter_mut().zip(bufs.iter()) {
+        slot.iov_base = b.as_ptr().cast();
+        slot.iov_len = b.len();
+    }
+    // SAFETY: `iov[..n]` points at live slices borrowed for this whole
+    // call; the kernel only reads from them.
+    let ret = unsafe { writev(fd, iov.as_ptr(), n as i32) };
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret as usize)
+    }
+}
+
+/// Block until `fd` is readable (or in an error/hangup state — those
+/// also wake the poll, and the subsequent read surfaces them), or until
+/// `timeout_ms` elapses (`< 0` waits forever). Returns whether the fd
+/// was reported ready. Retries on `EINTR` without re-extending the
+/// timeout beyond the caller's budget — callers pass deadlines, so they
+/// recompute on the retry path themselves if they need exactness.
+pub fn poll_readable(fd: RawFd, timeout_ms: i32) -> io::Result<bool> {
+    let mut pfd = PollFd {
+        fd,
+        events: POLLIN,
+        revents: 0,
+    };
+    loop {
+        // SAFETY: `pfd` is a live stack slot for the whole call.
+        let ret = unsafe { poll(&mut pfd, 1, timeout_ms) };
+        if ret < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                continue;
+            }
+            return Err(e);
+        }
+        // POLLERR/POLLHUP are delivered regardless of `events`; any
+        // non-zero revents means a read will make progress (data, EOF,
+        // or a hard error to surface).
+        return Ok(ret > 0);
     }
 }
 
@@ -220,6 +298,36 @@ mod tests {
         assert_eq!({ ready[0].token }, 7);
         ev.drain();
         assert!(ep.wait(&mut buf, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn writev_gathers_multiple_slices() {
+        use std::io::Read;
+        use std::os::unix::io::AsRawFd;
+        let l = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let a = std::net::TcpStream::connect(l.local_addr().unwrap()).unwrap();
+        let (mut b, _) = l.accept().unwrap();
+        let parts: [&[u8]; 4] = [b"he", b"", b"llo ", b"world"];
+        let n = writev_fd(a.as_raw_fd(), &parts).unwrap();
+        assert_eq!(n, 11);
+        let mut got = [0u8; 11];
+        b.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"hello world");
+    }
+
+    #[test]
+    fn poll_readable_times_out_then_wakes() {
+        use std::io::Write;
+        use std::os::unix::io::AsRawFd;
+        let l = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let mut a = std::net::TcpStream::connect(l.local_addr().unwrap()).unwrap();
+        let (b, _) = l.accept().unwrap();
+        assert!(!poll_readable(b.as_raw_fd(), 0).unwrap());
+        a.write_all(b"x").unwrap();
+        assert!(poll_readable(b.as_raw_fd(), 1000).unwrap());
+        // EOF also reads as ready.
+        drop(a);
+        assert!(poll_readable(b.as_raw_fd(), 1000).unwrap());
     }
 
     #[test]

@@ -20,17 +20,19 @@
 //!   dialling side's first frame is [`Message::Hello`]; the accept side
 //!   consumes it and records `peer_host` for the LASS locality rule.
 
+use crate::pool::{BufferPool, PooledBuf};
 use crate::{
     protocol_err, Endpoint, ListenerApi, RxApi, Transport, TxApi, WireConn, WireListener, WireRx,
     WireTx,
 };
-use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::thread;
 use std::time::{Duration, Instant};
-use tdp_proto::{encode_frame, Addr, FrameDecoder, HostId, Message, TdpError, TdpResult};
+use tdp_proto::{
+    encode_frame, encode_frame_into, Addr, FrameDecoder, HostId, Message, TdpError, TdpResult,
+};
 use tdp_sync::atomic::{AtomicBool, Ordering};
 use tdp_sync::Arc;
 
@@ -69,20 +71,30 @@ impl Default for TcpConfig {
 }
 
 /// Transport over real loopback TCP sockets.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct TcpTransport {
     cfg: TcpConfig,
+    /// Frame buffers recycled across every connection this transport
+    /// opens (same pool the epoll backend uses — see [`crate::pool`]).
+    pool: Arc<BufferPool>,
+}
+
+impl Default for TcpTransport {
+    fn default() -> TcpTransport {
+        TcpTransport::new()
+    }
 }
 
 impl TcpTransport {
     pub fn new() -> TcpTransport {
-        TcpTransport {
-            cfg: TcpConfig::default(),
-        }
+        TcpTransport::with_config(TcpConfig::default())
     }
 
     pub fn with_config(cfg: TcpConfig) -> TcpTransport {
-        TcpTransport { cfg }
+        TcpTransport {
+            cfg,
+            pool: BufferPool::new(),
+        }
     }
 
     pub fn config(&self) -> &TcpConfig {
@@ -98,9 +110,10 @@ impl Transport for TcpTransport {
         let listener = TcpListener::bind(("127.0.0.1", 0))
             .map_err(|e| TdpError::Substrate(format!("tcp bind: {e}")))?;
         let cfg = self.cfg.clone();
+        let pool = self.pool.clone();
         let _ = host; // identity is per-connection (Hello), not per-listener
         spawn_real_listener(listener, "wire-accept", move |stream| {
-            accept_handshake(stream, &cfg)
+            accept_handshake(stream, &cfg, &pool)
         })
     }
 
@@ -110,20 +123,25 @@ impl Transport for TcpTransport {
             .ok_or_else(|| TdpError::Substrate(format!("tcp transport cannot dial {to}")))?;
         let stream = TcpStream::connect_timeout(&sa, self.cfg.connect_timeout)
             .map_err(|e| TdpError::Substrate(format!("tcp connect {sa}: {e}")))?;
-        client_conn_over(stream, from, &self.cfg)
+        client_conn_over(stream, from, &self.cfg, &self.pool)
     }
 }
 
 /// Finish the client side of a connection on an established stream:
 /// introduce ourselves with `Hello`, then wrap.
-fn client_conn_over(mut stream: TcpStream, from: HostId, cfg: &TcpConfig) -> TdpResult<WireConn> {
+fn client_conn_over(
+    mut stream: TcpStream,
+    from: HostId,
+    cfg: &TcpConfig,
+    pool: &Arc<BufferPool>,
+) -> TdpResult<WireConn> {
     stream
         .set_write_timeout(Some(cfg.write_timeout))
         .map_err(|e| TdpError::Substrate(format!("tcp set timeout: {e}")))?;
     stream
         .write_all(&encode_frame(&Message::Hello { host: from }))
         .map_err(|_| TdpError::Disconnected)?;
-    conn_from_stream(stream, cfg, None, FrameDecoder::new())
+    conn_from_stream(stream, cfg, pool, None, FrameDecoder::new())
 }
 
 /// Wrap an established, handshake-complete stream as a [`WireConn`].
@@ -131,6 +149,7 @@ fn client_conn_over(mut stream: TcpStream, from: HostId, cfg: &TcpConfig) -> Tdp
 fn conn_from_stream(
     stream: TcpStream,
     cfg: &TcpConfig,
+    pool: &Arc<BufferPool>,
     peer_host: Option<HostId>,
     leftover: FrameDecoder,
 ) -> TdpResult<WireConn> {
@@ -147,6 +166,7 @@ fn conn_from_stream(
         q: q_tx,
         closed: AtomicBool::new(false),
         stream: stream.try_clone().map_err(sub)?,
+        pool: pool.clone(),
     });
     let coalesce = cfg.coalesce_bytes.max(1);
     thread::Builder::new()
@@ -169,7 +189,7 @@ fn conn_from_stream(
 }
 
 enum WriteOp {
-    Frame(Bytes),
+    Frame(PooledBuf),
     Shutdown,
 }
 
@@ -178,6 +198,7 @@ struct TcpTxShared {
     closed: AtomicBool,
     /// Kept only to force-shutdown the socket on fail-fast close.
     stream: TcpStream,
+    pool: Arc<BufferPool>,
 }
 
 impl TxApi for TcpTxShared {
@@ -185,10 +206,14 @@ impl TxApi for TcpTxShared {
         if self.closed.load(Ordering::Acquire) {
             return Err(TdpError::Disconnected);
         }
+        // Encode into a recycled buffer; the writer thread returns it to
+        // the pool once the frame has been coalesced into its write.
+        let mut frame = self.pool.acquire();
+        encode_frame_into(msg, frame.buf_mut());
         // Blocking send on the bounded queue = backpressure. Errors mean
         // the writer thread is gone (socket died).
         self.q
-            .send(WriteOp::Frame(encode_frame(msg)))
+            .send(WriteOp::Frame(frame))
             .map_err(|_| TdpError::Disconnected)
     }
 
@@ -452,9 +477,13 @@ pub(crate) fn read_hello(
 
 /// TCP-backend accept handshake: read `Hello`, then wrap with a writer
 /// thread and blocking reader.
-fn accept_handshake(stream: TcpStream, cfg: &TcpConfig) -> TdpResult<WireConn> {
+fn accept_handshake(
+    stream: TcpStream,
+    cfg: &TcpConfig,
+    pool: &Arc<BufferPool>,
+) -> TdpResult<WireConn> {
     let (host, dec) = read_hello(&stream, cfg.handshake_timeout)?;
-    conn_from_stream(stream, cfg, Some(host), dec)
+    conn_from_stream(stream, cfg, pool, Some(host), dec)
 }
 
 // ---------------------------------------------------------------- proxy
@@ -635,7 +664,9 @@ pub fn tcp_connect_via(
     cfg: &TcpConfig,
 ) -> TdpResult<WireConn> {
     let stream = dial_via_proxy(proxy, target, cfg.connect_timeout)?;
-    client_conn_over(stream, from, cfg)
+    // Standalone entry point (no transport in scope): a per-connection
+    // pool still recycles buffers across this connection's frames.
+    client_conn_over(stream, from, cfg, &BufferPool::new())
 }
 
 #[cfg(test)]
