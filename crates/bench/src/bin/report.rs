@@ -80,10 +80,13 @@ fn b1_attrspace() {
         let key = format!("wake{n}");
         let world2 = world.clone();
         let key2 = key.clone();
-        let waiter = std::thread::spawn(move || {
-            let mut w = TdpHandle::init(&world2, host, ContextId(1), "w", Role::Tool).unwrap();
-            w.get(&key2).unwrap()
-        });
+        let waiter = std::thread::Builder::new()
+            .name("bench-wake-waiter".into())
+            .spawn(move || {
+                let mut w = TdpHandle::init(&world2, host, ContextId(1), "w", Role::Tool).unwrap();
+                w.get(&key2).unwrap()
+            })
+            .expect("spawn waiter");
         std::thread::sleep(Duration::from_micros(200));
         rm.put(&key, "v").unwrap();
         waiter.join().unwrap();
@@ -196,7 +199,7 @@ fn b8_connection_scaling() {
                 })
                 .collect();
             let drivers = SWEEP_DRIVERS.min(n);
-            let barrier = &std::sync::Barrier::new(drivers + 1);
+            let barrier = &tdp_sync::Barrier::new(drivers + 1);
             let mut t0 = std::time::Instant::now();
             std::thread::scope(|s| {
                 for chunk in sessions.chunks_mut(n.div_ceil(drivers)) {
@@ -274,18 +277,24 @@ fn b3_proxy() {
     let fe_addr = Addr::new(fe, 2090);
     net.authorize_route(gw, fe_addr);
     let p = proxy::spawn(&net, gw, 9618).unwrap();
-    std::thread::spawn(move || {
-        while let Ok(conn) = listener.accept() {
-            std::thread::spawn(move || {
-                let (tx, mut rx) = conn.split();
-                while let Ok(chunk) = rx.recv() {
-                    if tx.send_bytes(chunk).is_err() {
-                        break;
-                    }
-                }
-            });
-        }
-    });
+    std::thread::Builder::new()
+        .name("bench-echo-accept".into())
+        .spawn(move || {
+            while let Ok(conn) = listener.accept() {
+                std::thread::Builder::new()
+                    .name("bench-echo-conn".into())
+                    .spawn(move || {
+                        let (tx, mut rx) = conn.split();
+                        while let Ok(chunk) = rx.recv() {
+                            if tx.send_bytes(chunk).is_err() {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("spawn echo conn");
+            }
+        })
+        .expect("spawn echo accept");
     let payload = vec![0u8; 256];
     let mut direct = net.connect(exec, fe_addr).unwrap();
     let d = median_time(2000, || {
@@ -472,8 +481,8 @@ fn e10_matrix() {
 
 fn b9_gateway() {
     use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Barrier;
     use tdp_gateway::{install_daemon_image, Gateway, GatewayConfig, HttpRpcClient, Json};
+    use tdp_sync::Barrier;
 
     header("B9 — Gateway load: HTTP fan-in over a fixed TDP bridge");
     const CLIENTS: usize = 200;
@@ -516,18 +525,21 @@ fn b9_gateway() {
     // daemon is down and the supervisor is mid-restart.
     let lister = {
         let (failures, stop) = (Arc::clone(&list_failures), Arc::clone(&stop_lister));
-        std::thread::spawn(move || {
-            let mut c = HttpRpcClient::connect(addr).unwrap();
-            let mut calls = 0usize;
-            while stop.load(Ordering::SeqCst) == 0 {
-                if c.call("proc.list", Json::Obj(Vec::new())).is_err() {
-                    failures.fetch_add(1, Ordering::SeqCst);
+        std::thread::Builder::new()
+            .name("bench-gw-lister".into())
+            .spawn(move || {
+                let mut c = HttpRpcClient::connect(addr).unwrap();
+                let mut calls = 0usize;
+                while stop.load(Ordering::SeqCst) == 0 {
+                    if c.call("proc.list", Json::Obj(Vec::new())).is_err() {
+                        failures.fetch_add(1, Ordering::SeqCst);
+                    }
+                    calls += 1;
+                    std::thread::sleep(Duration::from_millis(1));
                 }
-                calls += 1;
-                std::thread::sleep(Duration::from_millis(1));
-            }
-            calls
-        })
+                calls
+            })
+            .expect("spawn lister")
     };
 
     // 200 concurrent HTTP clients: each alternates a timed `tool.invoke
@@ -536,33 +548,37 @@ fn b9_gateway() {
     for i in 0..CLIENTS {
         let start = Arc::clone(&start);
         let errors = Arc::clone(&invoke_errors);
-        handles.push(std::thread::spawn(move || {
-            let mut c = HttpRpcClient::connect(addr).unwrap();
-            let mut lat = Vec::with_capacity(PER_CLIENT);
-            start.wait();
-            for j in 0..PER_CLIENT {
-                let t = std::time::Instant::now();
-                if c.invoke("echo", Json::obj([("n", Json::from(j as u64))]))
+        let worker = std::thread::Builder::new()
+            .name(format!("bench-gw-client-{i}"))
+            .spawn(move || {
+                let mut c = HttpRpcClient::connect(addr).unwrap();
+                let mut lat = Vec::with_capacity(PER_CLIENT);
+                start.wait();
+                for j in 0..PER_CLIENT {
+                    let t = std::time::Instant::now();
+                    if c.invoke("echo", Json::obj([("n", Json::from(j as u64))]))
+                        .is_err()
+                    {
+                        errors.fetch_add(1, Ordering::SeqCst);
+                    }
+                    lat.push(t.elapsed());
+                    if c.call(
+                        "attr.put",
+                        Json::obj([
+                            ("ctx", Json::Int(9)),
+                            ("key", Json::from(format!("client.{i}"))),
+                            ("value", Json::from(j.to_string())),
+                        ]),
+                    )
                     .is_err()
-                {
-                    errors.fetch_add(1, Ordering::SeqCst);
+                    {
+                        errors.fetch_add(1, Ordering::SeqCst);
+                    }
                 }
-                lat.push(t.elapsed());
-                if c.call(
-                    "attr.put",
-                    Json::obj([
-                        ("ctx", Json::Int(9)),
-                        ("key", Json::from(format!("client.{i}"))),
-                        ("value", Json::from(j.to_string())),
-                    ]),
-                )
-                .is_err()
-                {
-                    errors.fetch_add(1, Ordering::SeqCst);
-                }
-            }
-            lat
-        }));
+                lat
+            })
+            .expect("spawn client");
+        handles.push(worker);
     }
 
     let t0 = std::time::Instant::now();

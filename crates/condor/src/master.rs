@@ -6,12 +6,12 @@
 //! respond to them").
 
 use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
-use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 use tdp_core::World;
 use tdp_proto::{Addr, HostId, TdpError, TdpResult};
+use tdp_sync::{Condvar, Mutex};
 
 /// Supervises one daemon identified by its listening address.
 pub struct Master {

@@ -4,7 +4,6 @@
 
 use crate::classad::ClassAd;
 use crate::messages::{recv_json, recv_json_timeout, send_json, MmMsg};
-use parking_lot::{Condvar, Mutex};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::thread;
@@ -12,6 +11,7 @@ use std::time::{Duration, Instant};
 use tdp_core::Supervisable;
 use tdp_netsim::Network;
 use tdp_proto::{Addr, HostId, TdpError, TdpResult};
+use tdp_sync::{Condvar, Mutex};
 
 /// The matchmaker's well-known port on the central-manager host.
 pub const MATCHMAKER_PORT: u16 = 9618;

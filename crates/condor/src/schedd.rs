@@ -13,7 +13,6 @@
 use crate::messages::{recv_json_timeout, send_json, ClaimMsg, JobDetails, MmMsg};
 use crate::shadow::Shadow;
 use crate::submit::{SubmitDescription, Universe};
-use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -21,6 +20,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 use tdp_core::World;
 use tdp_proto::{Addr, HostId, JobId, ProcStatus, TdpError, TdpResult};
+use tdp_sync::{Condvar, Mutex};
 
 /// Queue state of a job.
 #[derive(Debug, Clone, PartialEq)]

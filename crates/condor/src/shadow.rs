@@ -11,13 +11,13 @@
 //! reports.
 
 use crate::messages::{recv_json, send_json, ShadowMsg};
-use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 use tdp_core::World;
 use tdp_proto::{Addr, HostId, JobId, ProcStatus, TdpError, TdpResult};
+use tdp_sync::{Condvar, Mutex};
 
 #[derive(Default)]
 struct ShadowState {

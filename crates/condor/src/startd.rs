@@ -4,13 +4,13 @@
 
 use crate::classad::ClassAd;
 use crate::messages::{recv_json, recv_json_timeout, send_json, ClaimMsg, MmMsg};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 use tdp_core::World;
 use tdp_proto::{Addr, HostId, TdpError, TdpResult};
+use tdp_sync::Mutex;
 
 /// The startd's well-known port on every execution host.
 pub const STARTD_PORT: u16 = 9620;

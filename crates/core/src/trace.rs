@@ -8,8 +8,8 @@
 //! explicitly free — "the creation of the application process and RT can
 //! occur in either order", Figure 3 caption).
 
-use parking_lot::Mutex;
 use std::sync::Arc;
+use tdp_sync::Mutex;
 
 /// One recorded TDP call.
 #[derive(Debug, Clone, PartialEq, Eq)]

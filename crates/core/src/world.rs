@@ -32,7 +32,6 @@
 
 use crate::trace::Trace;
 use crate::{CASS_PORT, LASS_PORT};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -40,6 +39,7 @@ use tdp_attrspace::{AttrClient, AttrSpaceServer, ReconnectPolicy, ServerKind};
 use tdp_netsim::{FaultEvent, FaultInjector, FaultSchedule, FirewallPolicy, Network, ZoneId};
 use tdp_proto::{Addr, HostId, TdpError, TdpResult};
 use tdp_simos::{Os, OsConfig};
+use tdp_sync::Mutex;
 use tdp_wire::tcp::ProxyResolver;
 use tdp_wire::{EpollTransport, TcpTransport, Transport, WireConn};
 

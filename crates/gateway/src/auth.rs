@@ -22,8 +22,8 @@
 //! *next* request — calls already past the check complete (see the
 //! in-flight mutation test in `tests/gateway_tests.rs`).
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
+use tdp_sync::RwLock;
 
 use crate::rpc::RpcError;
 

@@ -24,10 +24,10 @@ use std::collections::HashSet;
 use std::time::Duration;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
-use parking_lot::Mutex;
 use tdp_attrspace::{AttrClient, ReconnectPolicy};
 use tdp_core::World;
 use tdp_proto::{Addr, ContextId, TdpError, TdpResult};
+use tdp_sync::Mutex;
 
 /// How long a request waits for a pooled session before giving up
 /// (every session busy in a long blocking get ⇒ backpressure, not

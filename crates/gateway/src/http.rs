@@ -25,7 +25,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{self, Receiver, Sender};
-use parking_lot::Mutex;
+use tdp_sync::Mutex;
 use tdp_wire::sys::{Epoll, EventFd, EPOLLIN, EPOLLONESHOT, EPOLLRDHUP};
 
 /// Largest accepted head (request line + headers) in bytes.

@@ -20,11 +20,11 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use tdp_core::{ops::Supervisable, World};
 use tdp_ops::Supervisor;
 use tdp_proto::{HostId, Pid, ProcStatus, TdpError, TdpResult};
 use tdp_simos::{fn_program, ExecImage, ProcSpec};
+use tdp_sync::Mutex;
 
 use std::time::Duration;
 

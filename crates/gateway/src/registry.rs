@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use tdp_sync::RwLock;
 
 use crate::json::Json;
 use crate::rpc::{codes, RpcError};

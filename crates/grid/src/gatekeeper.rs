@@ -2,7 +2,6 @@
 //! the GRAM of our Globus-shaped layer.
 
 use crate::rsl::Rsl;
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -13,6 +12,7 @@ use tdp_core::World;
 use tdp_lsf::{LsfCluster, LsfJobState, LsfRequest};
 use tdp_netsim::Conn;
 use tdp_proto::{attr::split_multi_value, Addr, HostId, JobId, ProcStatus, TdpError, TdpResult};
+use tdp_sync::Mutex;
 
 /// The gatekeeper's well-known port (Globus's 2119).
 pub const GATEKEEPER_PORT: u16 = 2119;

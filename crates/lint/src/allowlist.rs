@@ -1,0 +1,112 @@
+//! The explicit allowlist: `lint.allow` at the workspace root.
+//!
+//! One entry per line:
+//!
+//! ```text
+//! <rule-id> <path> — <reason>
+//! ```
+//!
+//! `path` is workspace-relative; a trailing `/` allows a whole
+//! directory. Blank lines and `#` comments are ignored. Policy
+//! (DESIGN.md §12): every entry carries a reason, entries name the
+//! narrowest path that works, and an entry that no longer suppresses
+//! anything is reported by `tdp-lint` so the list cannot rot.
+
+use crate::diag::Finding;
+
+#[derive(Debug, Clone)]
+pub struct Entry {
+    pub rule: String,
+    pub path: String,
+    pub line: u32,
+}
+
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    pub entries: Vec<Entry>,
+}
+
+impl Allowlist {
+    pub fn parse(text: &str) -> Allowlist {
+        let mut entries = Vec::new();
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            if let (Some(rule), Some(path)) = (parts.next(), parts.next()) {
+                entries.push(Entry {
+                    rule: rule.to_string(),
+                    path: path.to_string(),
+                    line: n as u32 + 1,
+                });
+            }
+        }
+        Allowlist { entries }
+    }
+
+    fn matches(e: &Entry, f: &Finding) -> bool {
+        e.rule == f.rule
+            && (f.path == e.path || (e.path.ends_with('/') && f.path.starts_with(&e.path)))
+    }
+
+    /// Split findings into (kept, suppressed) and report entries that
+    /// suppressed nothing (stale — they should be deleted).
+    pub fn apply(&self, findings: Vec<Finding>) -> (Vec<Finding>, Vec<Finding>, Vec<&Entry>) {
+        let mut kept = Vec::new();
+        let mut suppressed = Vec::new();
+        let mut used = vec![false; self.entries.len()];
+        for f in findings {
+            match self.entries.iter().position(|e| Self::matches(e, &f)) {
+                Some(k) => {
+                    used[k] = true;
+                    suppressed.push(f);
+                }
+                None => kept.push(f),
+            }
+        }
+        let stale = self
+            .entries
+            .iter()
+            .zip(&used)
+            .filter(|(_, &u)| !u)
+            .map(|(e, _)| e)
+            .collect();
+        (kept, suppressed, stale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line: 1,
+            msg: String::new(),
+        }
+    }
+
+    #[test]
+    fn exact_and_dir_matches_and_stale() {
+        let al = Allowlist::parse(
+            "# comment\n\
+             unbounded-channel crates/a/src/x.rs — reason\n\
+             named-threads crates/b/src/ — whole dir\n\
+             lock-outside-sync crates/gone.rs — stale\n",
+        );
+        let fs = vec![
+            finding("unbounded-channel", "crates/a/src/x.rs"),
+            finding("unbounded-channel", "crates/a/src/y.rs"),
+            finding("named-threads", "crates/b/src/deep/z.rs"),
+        ];
+        let (kept, suppressed, stale) = al.apply(fs);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(suppressed.len(), 2);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].rule, "lock-outside-sync");
+    }
+}

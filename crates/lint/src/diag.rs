@@ -1,0 +1,23 @@
+//! Findings: one violation at one source line.
+
+use std::fmt;
+
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id, e.g. `lock-outside-sync`.
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    pub line: u32,
+    pub msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.msg
+        )
+    }
+}

@@ -1,0 +1,469 @@
+//! A minimal Rust lexer: just enough tokenization to walk source for
+//! invariant checks without a full parser.
+//!
+//! Comments vanish, string/char literals become opaque [`Kind::Lit`]
+//! tokens (so a banned identifier inside a string never matches), and
+//! `::` is fused into a single punct token because every rule matches
+//! on paths. Everything else — keywords included — is an ident or a
+//! one-character punct. Line numbers are tracked for diagnostics.
+//!
+//! [`strip_test_code`] additionally drops items gated behind
+//! `#[cfg(test)]` / `#[cfg(loom)]` / `#[test]`: the invariants bind
+//! *shipped* runtime code, while test bodies are exercised by loom and
+//! TSan instead (DESIGN.md §12). The stripper is conservative — any
+//! `not(...)` in the predicate keeps the item, so `#[cfg(not(loom))]`
+//! runtime code is always linted.
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    Ident,
+    Punct,
+    Lit,
+}
+
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: Kind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    pub fn is(&self, s: &str) -> bool {
+        self.text == s
+    }
+
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == Kind::Ident && self.text == s
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize `src`. Never fails: unrecognized bytes become one-char
+/// puncts, and unterminated literals simply run to end of file —
+/// garbage in, best-effort tokens out, which is the right trade for a
+/// linter that must not crash on the code it polices.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                // Keep the quoted text: a rule can match an exact
+                // literal (e.g. the `"C"` ABI), while the surrounding
+                // quotes guarantee string *contents* never collide with
+                // an ident pattern.
+                let start = line;
+                let from = i;
+                i = skip_string(&b, i, &mut line);
+                out.push(Tok {
+                    kind: Kind::Lit,
+                    text: b[from..i.min(b.len())].iter().collect(),
+                    line: start,
+                });
+            }
+            '\'' => {
+                // Char literal or lifetime. `'a'` / `'\n'` are chars;
+                // `'a` followed by a non-quote is a lifetime.
+                if b.get(i + 1) == Some(&'\\') {
+                    // Escaped char literal: skip to closing quote.
+                    let start = line;
+                    let mut j = i + 2;
+                    while j < b.len() && b[j] != '\'' {
+                        j += 1;
+                    }
+                    i = j + 1;
+                    out.push(Tok {
+                        kind: Kind::Lit,
+                        text: String::from("'\\…'"),
+                        line: start,
+                    });
+                } else if b.get(i + 1) != Some(&'\'') && b.get(i + 2) == Some(&'\'') {
+                    // Any single-char literal: 'a', '"', '{', …
+                    out.push(Tok {
+                        kind: Kind::Lit,
+                        text: b[i..=i + 2].iter().collect(),
+                        line,
+                    });
+                    i += 3;
+                } else {
+                    // Lifetime: consume `'ident`.
+                    let mut j = i + 1;
+                    while j < b.len() && is_ident_continue(b[j]) {
+                        j += 1;
+                    }
+                    out.push(Tok {
+                        kind: Kind::Lit,
+                        text: b[i..j].iter().collect(),
+                        line,
+                    });
+                    i = j;
+                }
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&b, i) => {
+                let start = line;
+                i = skip_raw_or_byte_string(&b, i, &mut line);
+                out.push(Tok {
+                    kind: Kind::Lit,
+                    text: String::from("\"…\""),
+                    line: start,
+                });
+            }
+            _ if is_ident_start(c) => {
+                let mut j = i + 1;
+                while j < b.len() && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                out.push(Tok {
+                    kind: Kind::Ident,
+                    text: b[i..j].iter().collect(),
+                    line,
+                });
+                i = j;
+            }
+            _ if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < b.len() && (is_ident_continue(b[j])) {
+                    j += 1;
+                }
+                out.push(Tok {
+                    kind: Kind::Lit,
+                    text: b[i..j].iter().collect(),
+                    line,
+                });
+                i = j;
+            }
+            ':' if b.get(i + 1) == Some(&':') => {
+                out.push(Tok {
+                    kind: Kind::Punct,
+                    text: String::from("::"),
+                    line,
+                });
+                i += 2;
+            }
+            _ => {
+                out.push(Tok {
+                    kind: Kind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Skip a `"…"` string starting at the opening quote; returns the index
+/// just past the closing quote.
+fn skip_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Does `r`/`b` at `i` begin a raw string (`r"`, `r#"`), byte string
+/// (`b"`), byte char (`b'`), or raw byte string (`br"`, `br#"`)?
+fn starts_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+        if b.get(j) == Some(&'\'') {
+            return true; // byte char
+        }
+    }
+    if b.get(j) == Some(&'r') {
+        j += 1;
+        while b.get(j) == Some(&'#') {
+            j += 1;
+        }
+    }
+    b.get(j) == Some(&'"') && j > i
+}
+
+fn skip_raw_or_byte_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    if b[i] == 'b' {
+        i += 1;
+        if b.get(i) == Some(&'\'') {
+            // Byte char literal: b'x' or b'\n'.
+            i += 1;
+            if b.get(i) == Some(&'\\') {
+                i += 1;
+            }
+            while i < b.len() && b[i] != '\'' {
+                i += 1;
+            }
+            return i + 1;
+        }
+    }
+    let mut hashes = 0usize;
+    if b.get(i) == Some(&'r') {
+        i += 1;
+        while b.get(i) == Some(&'#') {
+            hashes += 1;
+            i += 1;
+        }
+        debug_assert_eq!(b.get(i), Some(&'"'));
+        i += 1;
+        // Raw string: ends at `"` followed by `hashes` hash marks.
+        while i < b.len() {
+            if b[i] == '\n' {
+                *line += 1;
+            }
+            if b[i] == '"'
+                && b[i + 1..]
+                    .iter()
+                    .take(hashes)
+                    .filter(|&&c| c == '#')
+                    .count()
+                    == hashes
+            {
+                return i + 1 + hashes;
+            }
+            i += 1;
+        }
+        i
+    } else {
+        // Plain byte string b"…": escapes as in normal strings.
+        skip_string(b, i, line)
+    }
+}
+
+/// Find the matching close for the opener at `open` (`[`/`]`, `(`/`)`,
+/// `{`/`}` — counted jointly so mixed nesting works). Returns the index
+/// of the closing token, or `toks.len()` if unbalanced.
+pub fn matching_close(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == Kind::Punct {
+            match t.text.as_str() {
+                "[" | "(" | "{" => depth += 1,
+                "]" | ")" | "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return k;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    toks.len()
+}
+
+/// Does this attribute body (the tokens between `#[` and `]`) gate
+/// test-only or loom-only code? True when `test`/`loom` appears
+/// *outside* any `not(…)` group: `cfg(all(test, not(loom)))` gates
+/// test code, `cfg(not(loom))` gates runtime code.
+fn gates_test_code(attr: &[Tok]) -> bool {
+    let mut i = 0;
+    while i < attr.len() {
+        let t = &attr[i];
+        if t.is_ident("not") && attr.get(i + 1).map(|n| n.is("(")).unwrap_or(false) {
+            i = matching_close(attr, i + 1) + 1;
+            continue;
+        }
+        if t.is_ident("test") || t.is_ident("loom") {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Drop items gated behind `#[cfg(test)]` / `#[cfg(loom)]` / `#[test]`
+/// from the token stream (see module docs for why).
+pub fn strip_test_code(toks: &[Tok]) -> Vec<Tok> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is("#") && toks.get(i + 1).map(|t| t.is("[")).unwrap_or(false) {
+            let close = matching_close(toks, i + 1);
+            if close < toks.len() && gates_test_code(&toks[i + 2..close]) {
+                i = skip_attrs_and_item(toks, close + 1);
+                continue;
+            }
+            // Keep the attribute itself (it is inert for the rules).
+            out.extend_from_slice(&toks[i..=close.min(toks.len() - 1)]);
+            i = close + 1;
+            continue;
+        }
+        out.push(toks[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Starting just past a stripped attribute, skip any further attributes
+/// and then the single item they decorate: up to a `;` at depth 0, or
+/// through the matching `}` of the item's body.
+fn skip_attrs_and_item(toks: &[Tok], mut i: usize) -> usize {
+    // Further attributes on the same item.
+    while i < toks.len() && toks[i].is("#") && toks.get(i + 1).map(|t| t.is("[")).unwrap_or(false) {
+        i = matching_close(toks, i + 1) + 1;
+    }
+    let mut depth = 0usize;
+    let mut in_body = false;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == Kind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                "{" => {
+                    if depth == 0 {
+                        in_body = true;
+                    }
+                    depth += 1;
+                }
+                ")" | "]" => depth = depth.saturating_sub(1),
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 && in_body {
+                        return i + 1;
+                    }
+                }
+                ";" if depth == 0 => return i + 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// True when `toks[i..]` begins with exactly the texts in `pat`.
+pub fn seq(toks: &[Tok], i: usize, pat: &[&str]) -> bool {
+    pat.len() <= toks.len().saturating_sub(i)
+        && pat.iter().zip(&toks[i..]).all(|(p, t)| t.text == *p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_paths_and_strings() {
+        let t = texts(r#"use std::sync::Mutex; let s = "parking_lot";"#);
+        assert!(t.contains(&"Mutex".to_string()));
+        assert!(t.contains(&"::".to_string()));
+        // The banned name inside a string literal is opaque.
+        assert!(!t.contains(&"parking_lot".to_string()));
+    }
+
+    #[test]
+    fn comments_and_lifetimes_vanish() {
+        let t = texts("// parking_lot\n/* thread::spawn /* nested */ */ fn f<'a>(x: &'a u8) {}");
+        assert!(!t.contains(&"parking_lot".to_string()));
+        assert!(!t.contains(&"spawn".to_string()));
+        assert!(t.contains(&"fn".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_are_opaque() {
+        let t = texts(r##"let s = r#"thread::spawn("unbounded")"#; done()"##);
+        assert!(!t.contains(&"spawn".to_string()));
+        assert!(t.contains(&"done".to_string()));
+    }
+
+    #[test]
+    fn char_literals_do_not_eat_code() {
+        let t = texts("let c = 'x'; let n = '\\n'; spawn()");
+        assert!(t.contains(&"spawn".to_string()));
+    }
+
+    #[test]
+    fn quote_char_literal_does_not_open_a_string() {
+        // A `'"'` char literal must not start string mode — that would
+        // desync the lexer for the rest of the file.
+        let t = texts("let q = '\"'; real_ident()");
+        assert!(t.contains(&"real_ident".to_string()));
+        let t = texts("assert_eq!(b.get(i), Some(&'\"')); after()");
+        assert!(t.contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn strip_removes_cfg_test_items() {
+        let src = "fn live() { a(); } #[cfg(test)] mod tests { fn t() { banned(); } } fn more() {}";
+        let stripped = strip_test_code(&lex(src));
+        let t: Vec<_> = stripped.iter().map(|t| t.text.as_str()).collect();
+        assert!(t.contains(&"live"));
+        assert!(t.contains(&"more"));
+        assert!(!t.contains(&"banned"));
+    }
+
+    #[test]
+    fn strip_keeps_cfg_not_loom() {
+        let src = "#[cfg(not(loom))] fn runtime() { banned(); }";
+        let stripped = strip_test_code(&lex(src));
+        assert!(stripped.iter().any(|t| t.is_ident("banned")));
+    }
+
+    #[test]
+    fn strip_drops_test_even_with_inner_not() {
+        let src = "#[cfg(all(test, not(loom)))] mod tests { fn t() { banned(); } }";
+        let stripped = strip_test_code(&lex(src));
+        assert!(!stripped.iter().any(|t| t.is_ident("banned")));
+    }
+
+    #[test]
+    fn strip_handles_semicolon_items_and_stacked_attrs() {
+        let src = "#[cfg(test)] use foo::banned; #[test] #[ignore] fn t() { bad() } fn keep() {}";
+        let stripped = strip_test_code(&lex(src));
+        let t: Vec<_> = stripped.iter().map(|t| t.text.as_str()).collect();
+        assert!(!t.contains(&"banned"));
+        assert!(!t.contains(&"bad"));
+        assert!(t.contains(&"keep"));
+    }
+}

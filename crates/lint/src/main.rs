@@ -1,0 +1,80 @@
+//! `tdp-lint` binary: walk the workspace, apply the rules, honor the
+//! allowlist, exit non-zero on any finding (CI gates on this).
+//!
+//! ```text
+//! cargo run -p tdp-lint              # lint the workspace
+//! cargo run -p tdp-lint -- --list-rules
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tdp_lint::{allowlist::Allowlist, lint_workspace, rules};
+
+fn workspace_root() -> PathBuf {
+    // Compiled location first (`crates/lint` → two levels up), so the
+    // binary works regardless of the invoking directory; fall back to
+    // ascending from cwd for a relocated checkout.
+    let compiled = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    if let Some(root) = compiled.ancestors().nth(2) {
+        if root.join("Cargo.toml").exists() {
+            return root.to_path_buf();
+        }
+    }
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").is_dir() {
+            return dir;
+        }
+        if !dir.pop() {
+            panic!("workspace root not found");
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list-rules") {
+        for r in rules::all() {
+            println!("{:<22} {}", r.id(), r.explain());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = workspace_root();
+    let findings = match lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("tdp-lint: walk failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let allow_text = std::fs::read_to_string(root.join("lint.allow")).unwrap_or_default();
+    let allow = Allowlist::parse(&allow_text);
+    let (kept, suppressed, stale) = allow.apply(findings);
+
+    for f in &kept {
+        println!("{f}");
+    }
+    for e in &stale {
+        eprintln!(
+            "tdp-lint: stale allowlist entry (lint.allow:{}): `{} {}` suppresses nothing — delete it",
+            e.line, e.rule, e.path
+        );
+    }
+    let nrules = rules::all().len();
+    eprintln!(
+        "tdp-lint: {} finding(s), {} allowlisted, {} stale allowlist entr{} ({} rules)",
+        kept.len(),
+        suppressed.len(),
+        stale.len(),
+        if stale.len() == 1 { "y" } else { "ies" },
+        nrules,
+    );
+    if kept.is_empty() && stale.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,74 @@
+//! Rule `lock-outside-sync`: every lock comes from the `tdp-sync`
+//! facade.
+//!
+//! Naming `parking_lot` or `std::sync::{Mutex, RwLock, Condvar,
+//! Barrier, Once, OnceLock}` anywhere outside `crates/sync` bypasses
+//! the facade — which means the lock silently drops out of loom model
+//! checking and lockdep order verification. `std::sync::{Arc, Weak,
+//! atomic, mpsc}` stay legal: they are not blocking locks (unbounded
+//! `mpsc` channels are the `unbounded-channel` rule's business).
+
+use super::{Rule, SourceFile};
+use crate::diag::Finding;
+use crate::lexer::{seq, Kind};
+
+const BANNED_STD: &[&str] = &["Mutex", "RwLock", "Condvar", "Barrier", "Once", "OnceLock"];
+
+pub struct LockOutsideSync;
+
+impl Rule for LockOutsideSync {
+    fn id(&self) -> &'static str {
+        "lock-outside-sync"
+    }
+
+    fn explain(&self) -> &'static str {
+        "no std::sync/parking_lot lock types outside crates/sync — use the tdp-sync facade"
+    }
+
+    fn check(&self, f: &SourceFile) -> Vec<Finding> {
+        if f.path.starts_with("crates/sync/") {
+            return Vec::new();
+        }
+        let toks = &f.toks;
+        let mut out = Vec::new();
+        for (i, t) in toks.iter().enumerate() {
+            if t.is_ident("parking_lot") {
+                out.push(Finding {
+                    rule: self.id(),
+                    path: f.path.clone(),
+                    line: t.line,
+                    msg: "direct `parking_lot` use; take locks from the tdp-sync facade so \
+                          they stay visible to loom and lockdep"
+                        .into(),
+                });
+            } else if seq(toks, i, &["std", "::", "sync", "::"]) {
+                // `std::sync::Mutex` or `use std::sync::{.., Mutex, ..}`.
+                let rest = &toks[i + 4..];
+                let flagged: Vec<_> = if rest.first().map(|t| t.is("{")).unwrap_or(false) {
+                    let close = crate::lexer::matching_close(rest, 0);
+                    rest[..close.min(rest.len())]
+                        .iter()
+                        .filter(|t| t.kind == Kind::Ident && BANNED_STD.contains(&t.text.as_str()))
+                        .collect()
+                } else {
+                    rest.iter()
+                        .take(1)
+                        .filter(|t| t.kind == Kind::Ident && BANNED_STD.contains(&t.text.as_str()))
+                        .collect()
+                };
+                for b in flagged {
+                    out.push(Finding {
+                        rule: self.id(),
+                        path: f.path.clone(),
+                        line: b.line,
+                        msg: format!(
+                            "`std::sync::{}` outside crates/sync; use the tdp-sync facade",
+                            b.text
+                        ),
+                    });
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,54 @@
+//! Rule `pooledbuf-escape`: `PooledBuf` has exactly one release path.
+//!
+//! The wire buffer pool's accounting (loom model
+//! `loom_buffer_pool_stall_kill_vs_drain`) rests on `PooledBuf::drop`
+//! being the *only* way a buffer returns — `mem::forget` strands the
+//! buffer (pool shrinks forever), and an `into_inner`-style extraction
+//! would let the bytes outlive the recycling contract. Both are
+//! therefore banned in any file that touches `PooledBuf`, except the
+//! pool's own implementation (`crates/wire/src/pool.rs`).
+
+use super::{Rule, SourceFile};
+use crate::diag::Finding;
+use crate::lexer::seq;
+
+pub struct PooledBufEscape;
+
+impl Rule for PooledBufEscape {
+    fn id(&self) -> &'static str {
+        "pooledbuf-escape"
+    }
+
+    fn explain(&self) -> &'static str {
+        "no mem::forget / into_inner in files touching PooledBuf outside crates/wire/src/pool.rs"
+    }
+
+    fn check(&self, f: &SourceFile) -> Vec<Finding> {
+        if f.path.ends_with("wire/src/pool.rs") {
+            return Vec::new();
+        }
+        let toks = &f.toks;
+        if !toks.iter().any(|t| t.is_ident("PooledBuf")) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for i in 0..toks.len() {
+            let bad = if seq(toks, i, &["mem", "::", "forget"]) {
+                Some("`mem::forget` would strand a pooled buffer (Drop is the only release path)")
+            } else if seq(toks, i, &[".", "into_inner", "("]) {
+                Some("`into_inner` would let pooled bytes escape the recycling contract")
+            } else {
+                None
+            };
+            if let Some(msg) = bad {
+                out.push(Finding {
+                    rule: self.id(),
+                    path: f.path.clone(),
+                    line: toks[i].line,
+                    msg: msg.into(),
+                });
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,50 @@
+//! Workspace file discovery.
+//!
+//! The lint walks *runtime* sources: `crates/*/src/**/*.rs` and the
+//! root package's `src/**/*.rs`. Integration tests, benches and
+//! examples are deliberately out of scope — the invariants bind shipped
+//! code, and the test tree is covered by loom/TSan instead (DESIGN.md
+//! §12). `stubs/` (the offline dependency shims that *implement* the
+//! banned primitives) and `target/` are never visited.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// All lintable `.rs` files under `root`, as (absolute, workspace-
+/// relative) pairs, sorted for deterministic output.
+pub fn workspace_files(root: &Path) -> Vec<(PathBuf, String)> {
+    let mut out = Vec::new();
+    if let Ok(crates) = fs::read_dir(root.join("crates")) {
+        for c in crates.flatten() {
+            collect_rs(&c.path().join("src"), &mut out);
+        }
+    }
+    collect_rs(&root.join("src"), &mut out);
+    let mut pairs: Vec<(PathBuf, String)> = out
+        .into_iter()
+        .map(|p| {
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            (p, rel)
+        })
+        .collect();
+    pairs.sort_by(|a, b| a.1.cmp(&b.1));
+    pairs
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(rd) = fs::read_dir(dir) else { return };
+    for e in rd.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().map(|x| x == "rs").unwrap_or(false) {
+            out.push(p);
+        }
+    }
+}

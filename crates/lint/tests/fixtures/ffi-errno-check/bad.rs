@@ -1,0 +1,25 @@
+//! BAD: raw syscalls whose return value vanishes. An fd leak, a lost
+//! wakeup or an EBADF double-close all start exactly here.
+
+extern "C" {
+    fn close(fd: i32) -> i32;
+    fn write(fd: i32, buf: *const core::ffi::c_void, count: usize) -> isize;
+}
+
+pub struct OwnedFd(i32);
+
+impl Drop for OwnedFd {
+    fn drop(&mut self) {
+        // SAFETY: fd is owned.
+        unsafe {
+            close(self.0); // flagged: return value discarded
+        }
+    }
+}
+
+pub fn fire_and_forget(fd: i32, one: &u64) {
+    // SAFETY: writes 8 bytes from a live reference.
+    unsafe {
+        write(fd, (one as *const u64).cast(), 8); // flagged: no errno check
+    }
+}

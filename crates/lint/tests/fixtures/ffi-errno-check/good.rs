@@ -1,0 +1,41 @@
+//! GOOD: every raw syscall's return feeds a check — `cvt`, a 0/-1
+//! comparison, or `last_os_error` — within the evidence window.
+
+use std::io;
+
+extern "C" {
+    fn close(fd: i32) -> i32;
+    fn write(fd: i32, buf: *const core::ffi::c_void, count: usize) -> isize;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+pub fn make() -> io::Result<i32> {
+    // SAFETY: plain fd-returning syscall.
+    cvt(unsafe { eventfd(0, 0) })
+}
+
+pub fn close_checked(fd: i32) {
+    // SAFETY: callers own `fd`.
+    let ret = unsafe { close(fd) };
+    if ret < 0 {
+        let err = io::Error::last_os_error();
+        debug_assert!(false, "close({fd}) failed: {err}");
+    }
+}
+
+pub fn write_checked(fd: i32, one: &u64) -> io::Result<()> {
+    // SAFETY: writes 8 bytes from a live reference.
+    let n = unsafe { write(fd, (one as *const u64).cast(), 8) };
+    if n < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! BAD: names lock primitives directly instead of going through the
+//! tdp-sync facade. Each line here must be flagged.
+
+use parking_lot::Mutex;
+use std::sync::RwLock;
+
+struct State {
+    jobs: Mutex<Vec<u32>>,
+    hosts: RwLock<Vec<String>>,
+    gate: std::sync::Condvar,
+}
+
+fn init() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {});
+    let _b = std::sync::Barrier::new(2);
+}

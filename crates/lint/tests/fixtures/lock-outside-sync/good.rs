@@ -1,0 +1,29 @@
+//! GOOD: every primitive comes from the facade; `std::sync::Arc` and
+//! atomics are not lock primitives and stay legal.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use tdp_sync::{Condvar, Mutex, RwLock};
+
+struct State {
+    jobs: Mutex<Vec<u32>>,
+    hosts: RwLock<Vec<String>>,
+    cv: Condvar,
+    epoch: Arc<AtomicU32>,
+}
+
+fn bump(s: &State) {
+    s.epoch.fetch_add(1, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    // Test-only code is stripped before rules run: a std lock in a
+    // test is loom's/TSan's problem, not the linter's.
+    use std::sync::Mutex;
+
+    #[test]
+    fn scratch() {
+        let _ = Mutex::new(0);
+    }
+}

@@ -1,0 +1,12 @@
+//! BAD: defeating `PooledBuf`'s drop-returns-to-pool ownership
+//! discipline outside the pool's own implementation.
+
+use tdp_wire::pool::PooledBuf;
+
+fn leak_on_purpose(buf: PooledBuf) {
+    std::mem::forget(buf); // flagged: buffer never returns to the pool
+}
+
+fn steal_backing_storage(buf: PooledBuf) -> Vec<u8> {
+    buf.into_inner() // flagged: strips the return-to-pool guarantee
+}

@@ -1,0 +1,23 @@
+//! GOOD: `PooledBuf` used as designed — borrow the bytes, let drop
+//! return the buffer. `into_inner` on *other* types stays legal.
+
+use tdp_wire::pool::PooledBuf;
+
+fn use_and_release(buf: PooledBuf) -> usize {
+    let n = buf.len();
+    drop(buf); // returns to the pool
+    n
+}
+
+fn inspect(buf: &PooledBuf) -> Option<u8> {
+    buf.first().copied()
+}
+
+fn other_types_unrestricted(cell: std::cell::RefCell<u32>) -> u32 {
+    // `.into_inner()` is only banned in a file that handles PooledBuf…
+    // on the pooled type itself; a RefCell's is unrelated. This file
+    // mentions PooledBuf, so the *lexical* rule would flag a pooled
+    // `.into_inner(` — a RefCell consumed in a PooledBuf-free helper
+    // module is out of scope by design.
+    cell.replace(0)
+}

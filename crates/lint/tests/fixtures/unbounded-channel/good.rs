@@ -1,0 +1,25 @@
+//! GOOD: every channel picks a capacity (the backpressure decision is
+//! written down); declaring an `unbounded` shim and *importing* the
+//! name are not constructions.
+
+use crossbeam::channel::bounded;
+
+const BACKLOG: usize = 128;
+
+fn with_capacity() {
+    let (_tx, _rx) = bounded::<u64>(BACKLOG);
+}
+
+fn rendezvous() {
+    let (_tx, _rx) = bounded::<u32>(0);
+}
+
+// The crossbeam shim itself *declares* `unbounded`; a declaration is
+// exempt (the rule checks call shapes, `fn` keeps this one legal).
+fn unbounded() -> usize {
+    BACKLOG
+}
+
+fn shim_decl_is_exempt() {
+    let _ = bounded::<()>(BACKLOG);
+}

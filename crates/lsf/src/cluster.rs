@@ -4,7 +4,6 @@
 
 use crate::messages::{Dispatch, MbdMsg, SbdMsg, ToolSpecWire};
 use crate::sbatchd::{self, Sbatchd};
-use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -13,6 +12,7 @@ use std::time::{Duration, Instant};
 use tdp_core::World;
 use tdp_netsim::ConnTx;
 use tdp_proto::{Addr, HostId, JobId, ProcStatus, TdpError, TdpResult};
+use tdp_sync::{Condvar, Mutex};
 
 /// mbatchd's well-known port on the master host.
 pub const MBD_PORT: u16 = 6878;
@@ -505,26 +505,34 @@ impl Mbd {
                     }),
                 }
             };
-            // Find a free slot, FIFO host order.
-            let sent = {
+            // Find a free slot, FIFO host order. Reserve it under the
+            // lock but send outside it: a slow sbatchd link must not
+            // stall registrations and completion reports on `hosts`.
+            let reserved = {
                 let mut hosts = self.hosts.lock();
-                let slot = hosts.iter_mut().find(|h| h.in_use < h.slots);
-                match slot {
-                    Some(h) => {
-                        h.in_use += 1;
-                        let data = serde_json::to_vec(&MbdMsg::Dispatch(dispatch))
-                            .expect("encode dispatch");
-                        if h.tx.send(&data).is_ok() {
-                            h.running.push((next.job, next.task));
-                            true
-                        } else {
-                            h.in_use -= 1;
-                            h.slots = 0; // dead sbatchd
-                            false
-                        }
+                hosts.iter_mut().position(|h| h.in_use < h.slots).map(|i| {
+                    hosts[i].in_use += 1;
+                    (i, hosts[i].tx.clone())
+                })
+            };
+            let sent = match reserved {
+                // Hosts are append-only (dead ones keep their entry with
+                // slots=0), so the index stays valid across the unlock.
+                Some((i, tx)) => {
+                    let data =
+                        serde_json::to_vec(&MbdMsg::Dispatch(dispatch)).expect("encode dispatch");
+                    let ok = tx.send(&data).is_ok();
+                    let mut hosts = self.hosts.lock();
+                    let h = &mut hosts[i];
+                    if ok {
+                        h.running.push((next.job, next.task));
+                    } else {
+                        h.in_use -= 1;
+                        h.slots = 0; // dead sbatchd
                     }
-                    None => false,
+                    ok
                 }
+                None => false,
             };
             if sent {
                 let mut jobs = self.jobs.lock();

@@ -2,7 +2,6 @@
 //! (LSF's `res`), with this scheduler's own TDP integration.
 
 use crate::messages::{Dispatch, MbdMsg, SbdMsg};
-use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::thread;
@@ -12,6 +11,7 @@ use tdp_netsim::ConnTx;
 use tdp_proto::{names, Addr, ContextId, HostId, TdpError, TdpResult};
 use tdp_proto::{JobId, Pid};
 use tdp_simos::Sink;
+use tdp_sync::Mutex;
 
 /// A running sbatchd. Dropping it does not stop in-flight tasks (they
 /// finish and report); it only stops accepting dispatches (the conn

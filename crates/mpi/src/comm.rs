@@ -1,11 +1,11 @@
 //! The communicator: tagged point-to-point messaging and collectives.
 
-use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
 use tdp_proto::{Rank, TdpError, TdpResult};
 use tdp_simos::ProcCtx;
+use tdp_sync::{Condvar, Mutex};
 
 /// A message in flight between ranks.
 struct Envelope {

@@ -1,13 +1,13 @@
 //! Tree construction and node runtime.
 
 use crate::packet::{Packet, ReduceOp};
-use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 use tdp_netsim::{Conn, ConnRx, ConnTx, Network};
 use tdp_proto::{Addr, HostId, TdpError, TdpResult};
+use tdp_sync::{Condvar, Mutex};
 
 /// Shape of the reduction tree.
 #[derive(Debug, Clone, Copy)]
@@ -94,7 +94,7 @@ fn split_groups(n: usize, fanout: usize) -> Vec<usize> {
 /// The tool front-end's root of the tree.
 pub struct FrontEnd {
     addr: Addr,
-    children: Arc<(Mutex<Vec<ConnTx>>, Condvar)>,
+    children: Arc<(Mutex<Vec<Arc<ConnTx>>>, Condvar)>,
     expected_children: usize,
     acc: Arc<Accumulator>,
     n_leaves: u32,
@@ -155,7 +155,7 @@ impl FrontEnd {
                     let (tx, rx) = conn.split();
                     {
                         let (lock, cv) = &*children2;
-                        lock.lock().push(tx);
+                        lock.lock().push(Arc::new(tx));
                         cv.notify_all();
                     }
                     let acc = acc2.clone();
@@ -206,8 +206,13 @@ impl FrontEnd {
                 return Err(TdpError::Timeout);
             }
         }
+        // Snapshot the senders and release the lock before touching the
+        // network: a child applying netsim latency/backpressure must not
+        // stall concurrent `attach` notifications or other multicasters.
+        let txs: Vec<Arc<ConnTx>> = kids.clone();
+        drop(kids);
         let pkt = Packet::Multicast(data.to_vec()).encode();
-        for tx in kids.iter() {
+        for tx in &txs {
             tx.send(&pkt)?;
         }
         Ok(())
@@ -275,17 +280,18 @@ fn spawn_node_runtime(
 ) {
     let (utx, urx) = upstream.split();
     let acc = Accumulator::new(op, leaf_count);
-    let child_txs: Arc<Mutex<Vec<ConnTx>>> = Arc::new(Mutex::new(Vec::new()));
-    let txs2 = child_txs.clone();
     thread::Builder::new()
         .name("mrnet-node".to_string())
         .spawn(move || {
-            // Phase 1: collect children.
+            // Phase 1: collect children. The sender list is only ever
+            // touched from this thread (accept here, forward in phase
+            // 3), so it needs no lock at all.
+            let mut child_txs: Vec<ConnTx> = Vec::new();
             let mut rxs = Vec::new();
             for _ in 0..expected_children {
                 let Ok(conn) = listener.accept() else { return };
                 let (tx, rx) = conn.split();
-                txs2.lock().push(tx);
+                child_txs.push(tx);
                 rxs.push(rx);
             }
             // Phase 2: per-child upstream reduction readers.
@@ -323,7 +329,7 @@ fn spawn_node_runtime(
                             match Packet::decode(&mut buf) {
                                 Ok(Some(p @ Packet::Multicast(_))) => {
                                     let enc = p.encode();
-                                    for tx in txs2.lock().iter() {
+                                    for tx in &child_txs {
                                         let _ = tx.send(&enc);
                                     }
                                 }
@@ -334,7 +340,7 @@ fn spawn_node_runtime(
                     }
                     Err(_) => {
                         // Parent gone: propagate EOF downstream.
-                        for tx in txs2.lock().iter() {
+                        for tx in &child_txs {
                             tx.close();
                         }
                         return;

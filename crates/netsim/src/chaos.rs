@@ -13,12 +13,12 @@
 
 use crate::network::{Network, ZoneId};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
 use std::fmt;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tdp_proto::HostId;
+use tdp_sync::Mutex;
 
 /// One injected fault (or repair). `Custom` strings are interpreted by
 /// whatever `apply` callback the injector was started with; by

@@ -2,12 +2,12 @@
 //! semantics matching a TCP socket.
 
 use bytes::{Bytes, BytesMut};
-use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tdp_proto::{decode_frame, encode_frame, Addr, FrameError, Message, TdpError, TdpResult};
+use tdp_sync::{Condvar, Mutex};
 
 /// One direction of a connection: a queue of byte chunks with a
 /// delivery timestamp (for latency simulation) and an EOF flag.

@@ -20,7 +20,7 @@
 //!   **latency model** for benchmarks.
 //!
 //! Everything is synchronous and thread-based: a connection is a pair of
-//! in-memory pipes guarded by `parking_lot` mutex/condvar, so blocking
+//! in-memory pipes guarded by `tdp-sync` mutex/condvar, so blocking
 //! `recv` parks the calling thread exactly like a blocking `read(2)`.
 
 pub mod chaos;

@@ -3,12 +3,16 @@
 
 use crate::conn::{Conn, Listener, Pipe};
 use crossbeam::channel::Sender;
-use parking_lot::RwLock;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 use tdp_proto::{Addr, HostId, Port, TdpError, TdpResult};
+use tdp_sync::RwLock;
+
+/// Per-listener accept backlog (the simulated SOMAXCONN). `connect`
+/// returns `ConnectionRefused` once it fills.
+const BACKLOG: usize = 128;
 
 /// A network zone. Zone 0 is the public network; every
 /// [`Network::add_private_zone`] call creates a firewalled private
@@ -217,7 +221,10 @@ impl Network {
                 "port {port} already bound on {host}"
             )));
         }
-        let (tx, rx) = crossbeam::channel::unbounded();
+        // Accept backlog is bounded like a real kernel's (SOMAXCONN):
+        // `connect` refuses once it fills rather than queueing
+        // connections an unresponsive accept loop will never take.
+        let (tx, rx) = crossbeam::channel::bounded(BACKLOG);
         entry.listeners.insert(port, tx);
         Ok(Listener {
             addr: Addr { host, port },
@@ -319,8 +326,10 @@ impl Network {
             src.pipes.push(p2);
         }
         drop(hosts);
+        // A full backlog refuses like a closed port — never blocks the
+        // dialer on a listener that has stopped accepting.
         accept_tx
-            .send(server)
+            .try_send(server)
             .map_err(|_| TdpError::ConnectionRefused(to))?;
         self.inner.stats.write().connections_opened += 1;
         Ok(client)

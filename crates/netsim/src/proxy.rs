@@ -102,7 +102,10 @@ fn relay_session(net: Network, proxy_host: HostId, mut client: Conn) {
     }
     let (ctx, crx) = client.split();
     let (utx, urx) = upstream.split();
-    let pump_up = thread::spawn(move || pump(crx, utx));
+    let pump_up = thread::Builder::new()
+        .name("netsim-proxy-pump".into())
+        .spawn(move || pump(crx, utx))
+        .expect("spawn proxy pump");
     pump(urx, ctx);
     let _ = pump_up.join();
 }

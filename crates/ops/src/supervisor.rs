@@ -17,7 +17,6 @@
 
 use crate::backoff::{Backoff, RestartBudget};
 use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
-use parking_lot::{Condvar, Mutex};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::thread;
@@ -25,6 +24,7 @@ use std::time::{Duration, Instant};
 use tdp_attrspace::{AttrClient, ReconnectPolicy};
 use tdp_core::{Supervisable, World};
 use tdp_proto::{names, HostId, TdpError, TdpResult, OPS_CONTEXT};
+use tdp_sync::{Condvar, Mutex};
 
 /// How often each daemon loop runs.
 #[derive(Debug, Clone, Copy)]

@@ -6,7 +6,6 @@
 //! samples, and feeds the Performance Consultant.
 
 use crate::msg::{parse_line, render_line, LineBuf, ToolMsg};
-use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread;
@@ -15,6 +14,7 @@ use tdp_attrspace::AttrClient;
 use tdp_netsim::{ConnTx, Network};
 use tdp_proto::{names, ContextId};
 use tdp_proto::{Addr, HostId, Pid, ProcStatus, TdpError, TdpResult};
+use tdp_sync::{Condvar, Mutex};
 
 /// A daemon registered with the front-end.
 #[derive(Debug, Clone)]
@@ -236,9 +236,15 @@ impl ParadynFrontend {
 
     fn send_all(&self, msg: &ToolMsg) -> TdpResult<usize> {
         let line = format!("{}\n", render_line(msg));
-        let s = self.state.0.lock();
+        // Snapshot the control channels and release the state lock
+        // before writing: a daemon exercising netsim latency must not
+        // block sample ingestion or `wait_done` wakeups.
+        let txs: Vec<_> = {
+            let s = self.state.0.lock();
+            s.controls.values().cloned().collect()
+        };
         let mut sent = 0;
-        for tx in s.controls.values() {
+        for tx in &txs {
             if tx.send(line.as_bytes()).is_ok() {
                 sent += 1;
             }
@@ -264,10 +270,13 @@ impl ParadynFrontend {
     /// Send a command to one daemon.
     pub fn send_to(&self, daemon: &str, msg: &ToolMsg) -> TdpResult<()> {
         let line = format!("{}\n", render_line(msg));
-        let s = self.state.0.lock();
-        let tx = s
+        let tx = self
+            .state
+            .0
+            .lock()
             .controls
             .get(daemon)
+            .cloned()
             .ok_or_else(|| TdpError::Substrate(format!("unknown daemon {daemon}")))?;
         tx.send(line.as_bytes())
     }

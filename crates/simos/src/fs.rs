@@ -6,10 +6,10 @@
 //! execution nodes after the application completes" (§2).
 
 use crate::program::ExecImage;
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 use tdp_proto::{HostId, TdpError, TdpResult};
+use tdp_sync::RwLock;
 
 /// A filesystem entry.
 #[derive(Clone)]

@@ -3,13 +3,18 @@
 
 use crate::fs::HostFs;
 use crate::process::{self, KillUnwind, Pcb, ProbeSnapshot, ProcCtx, ProcState, Sink, StartMode};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Mutex, RwLock};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tdp_proto::{HostId, Pid, ProcStatus, TdpError, TdpResult};
+use tdp_sync::{Mutex, RwLock};
+
+/// Capacity of each watcher / breakpoint-subscriber queue. Delivery
+/// uses `try_send` (see [`Kernel::emit`]): a subscriber this many
+/// events behind is dropped rather than allowed to wedge the kernel.
+const EVENT_QUEUE_CAP: usize = 1024;
 
 /// Who receives a process's *termination* status. Models the OS-variant
 /// behaviour §2.3 cites as the reason to centralize process control:
@@ -355,7 +360,7 @@ impl Os {
     /// [`Routing`] policy.
     pub fn watch(&self, pid: Pid, role: Role) -> TdpResult<Receiver<ProcEvent>> {
         self.pcb(pid)?; // validate existence
-        let (tx, rx) = unbounded();
+        let (tx, rx) = bounded(EVENT_QUEUE_CAP);
         self.inner
             .watchers
             .lock()
@@ -461,10 +466,16 @@ impl Os {
     }
 
     /// Deliver a non-terminal transition to every watcher.
+    ///
+    /// `try_send` on a bounded queue keeps delivery non-blocking while
+    /// the `watchers` lock is held: a watcher that has fallen
+    /// [`EVENT_QUEUE_CAP`] events behind is treated exactly like a
+    /// disconnected one and dropped, instead of stalling every status
+    /// transition in the kernel behind its full queue.
     fn emit(&self, pid: Pid, status: ProcStatus) {
         let mut watchers = self.inner.watchers.lock();
         if let Some(list) = watchers.get_mut(&pid) {
-            list.retain(|w| w.tx.send(ProcEvent { pid, status }).is_ok());
+            list.retain(|w| w.tx.try_send(ProcEvent { pid, status }).is_ok());
         }
     }
 
@@ -489,7 +500,7 @@ impl Os {
                 };
                 !deliver
                     || w.tx
-                        .send(ProcEvent {
+                        .try_send(ProcEvent {
                             pid: pcb.pid,
                             status,
                         })
@@ -591,7 +602,7 @@ impl TraceHandle {
     /// Subscribe to breakpoint hits: one message (the symbol) per stop.
     pub fn breakpoint_events(&self) -> TdpResult<Receiver<String>> {
         self.check()?;
-        let (tx, rx) = unbounded();
+        let (tx, rx) = bounded(EVENT_QUEUE_CAP);
         self.pcb.bp_subs.lock().push(tx);
         Ok(rx)
     }
@@ -650,7 +661,7 @@ impl Drop for TraceHandle {
 /// hook must stay quiet about it. Installed once, delegating everything
 /// else to the pre-existing hook.
 fn install_kill_unwind_hook() {
-    static ONCE: std::sync::Once = std::sync::Once::new();
+    static ONCE: tdp_sync::Once = tdp_sync::Once::new();
     ONCE.call_once(|| {
         let previous = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {

@@ -2,11 +2,11 @@
 //! the per-process syscall interface [`ProcCtx`].
 
 use crate::fs::HostFs;
-use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tdp_proto::{HostId, Pid, TdpError, TdpResult};
+use tdp_sync::{Condvar, Mutex};
 
 /// Re-export: process states are exactly the wire-level statuses the RM
 /// publishes in the attribute space.
@@ -312,10 +312,14 @@ impl ProcCtx {
                     ctl.state = ProcState::Stopped;
                 }
             }
+            // Non-blocking delivery under the subscriber lock: a
+            // subscriber whose bounded queue is full has stopped
+            // draining breakpoint stops and is dropped like a
+            // disconnected one (see `Kernel::emit`).
             self.pcb
                 .bp_subs
                 .lock()
-                .retain(|tx| tx.send(sym.to_string()).is_ok());
+                .retain(|tx| tx.try_send(sym.to_string()).is_ok());
             self.pcb.gate();
         }
         if track {

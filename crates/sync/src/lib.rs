@@ -19,7 +19,15 @@
 //!   *nondeterministic event*: the checker explores both the notified
 //!   and the timed-out path regardless of the numeric value.
 
-#[cfg(not(loom))]
+// Third backend: `--features lockdep` swaps in order-checked wrappers
+// around the parking_lot types (see `lockdep.rs`). Zero cost when off —
+// this default branch stays a pure re-export.
+#[cfg(all(not(loom), feature = "lockdep"))]
+mod lockdep;
+#[cfg(all(not(loom), feature = "lockdep"))]
+use lockdep as imp;
+
+#[cfg(all(not(loom), not(feature = "lockdep")))]
 mod imp {
     pub use parking_lot::{
         Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
@@ -235,6 +243,13 @@ pub use imp::{
     atomic, Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
     WaitTimeoutResult, Weak,
 };
+
+// One-shot/rendezvous primitives have no loom model and no lockdep
+// story (they express no ordering a cycle could invert), so they are
+// plain std re-exports and only exist in non-loom builds. Code that is
+// loom-modelled must not use them.
+#[cfg(not(loom))]
+pub use std::sync::{Barrier, BarrierWaitResult, Once};
 
 #[cfg(test)]
 mod tests {

@@ -86,6 +86,24 @@ fn cvt(ret: i32) -> io::Result<i32> {
     }
 }
 
+const EINTR: i32 = 4;
+const EAGAIN: i32 = 11;
+
+/// Close an owned fd, checking the return. `EINTR` is deliberately not
+/// retried: on Linux the descriptor is released even when `close`
+/// reports it, and a retry could close an unrelated recycled fd. Any
+/// other failure (`EBADF` above all) means fd bookkeeping is corrupt —
+/// debug builds assert, release builds drop the error the way `File`'s
+/// own `Drop` does.
+fn close_fd(fd: RawFd) {
+    // SAFETY: callers own `fd` and never use it after this call.
+    let ret = unsafe { close(fd) };
+    if ret < 0 {
+        let err = io::Error::last_os_error();
+        debug_assert_eq!(err.raw_os_error(), Some(EINTR), "close({fd}) failed: {err}");
+    }
+}
+
 /// How many slices one [`writev_fd`] call gathers at most; callers
 /// batch in chunks of this size.
 pub const WRITEV_BATCH: usize = 64;
@@ -220,10 +238,7 @@ impl Epoll {
 
 impl Drop for Epoll {
     fn drop(&mut self) {
-        // SAFETY: fd is owned and not used after this.
-        unsafe {
-            close(self.fd);
-        }
+        close_fd(self.fd);
     }
 }
 
@@ -247,33 +262,56 @@ impl EventFd {
         self.fd
     }
 
-    /// Wake whoever has this eventfd in an epoll set. Saturation (the
-    /// counter at max) still leaves the fd readable, so failure to write
-    /// is not an error worth surfacing.
+    /// Wake whoever has this eventfd in an epoll set. `EAGAIN` means
+    /// the counter is saturated — the fd is already readable, so the
+    /// wakeup is delivered and the error is not worth surfacing. Any
+    /// other failure is a bookkeeping bug and asserts in debug builds.
     pub fn signal(&self) {
         let one: u64 = 1;
-        // SAFETY: writes 8 bytes from a live stack slot.
-        unsafe {
-            write(self.fd, (&one as *const u64).cast(), 8);
+        loop {
+            // SAFETY: writes 8 bytes from a live stack slot.
+            let n = unsafe { write(self.fd, (&one as *const u64).cast(), 8) };
+            if n >= 0 {
+                return;
+            }
+            let err = io::Error::last_os_error();
+            match err.raw_os_error() {
+                Some(EINTR) => continue,
+                Some(EAGAIN) => return, // counter saturated: still readable
+                _ => {
+                    debug_assert!(false, "eventfd write failed: {err}");
+                    return;
+                }
+            }
         }
     }
 
     /// Consume pending wakeups so level-triggered polling quiesces.
+    /// `EAGAIN` (nothing pending) is the expected no-op case.
     pub fn drain(&self) {
         let mut buf = 0u64;
-        // SAFETY: reads 8 bytes into a live stack slot; EAGAIN is fine.
-        unsafe {
-            read(self.fd, (&mut buf as *mut u64).cast(), 8);
+        loop {
+            // SAFETY: reads 8 bytes into a live stack slot.
+            let n = unsafe { read(self.fd, (&mut buf as *mut u64).cast(), 8) };
+            if n >= 0 {
+                return;
+            }
+            let err = io::Error::last_os_error();
+            match err.raw_os_error() {
+                Some(EINTR) => continue,
+                Some(EAGAIN) => return, // already drained
+                _ => {
+                    debug_assert!(false, "eventfd read failed: {err}");
+                    return;
+                }
+            }
         }
     }
 }
 
 impl Drop for EventFd {
     fn drop(&mut self) {
-        // SAFETY: fd is owned and not used after this.
-        unsafe {
-            close(self.fd);
-        }
+        close_fd(self.fd);
     }
 }
 

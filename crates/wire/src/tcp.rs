@@ -590,7 +590,10 @@ fn relay_session(mut client: TcpStream, resolver: ProxyResolver) {
     let (Ok(c2), Ok(u2)) = (client.try_clone(), upstream.try_clone()) else {
         return;
     };
-    let up = thread::spawn(move || pump(client, upstream));
+    let up = thread::Builder::new()
+        .name("tdp-tcp-pump".into())
+        .spawn(move || pump(client, upstream))
+        .expect("spawn tcp pump");
     pump(u2, c2);
     let _ = up.join();
 }

@@ -147,8 +147,8 @@ fn soak(cfg: SoakConfig) -> SoakOutcome {
     {
         let w2 = w.clone();
         let mm = pool.matchmaker().addr();
-        let replacement: Arc<parking_lot::Mutex<Option<tdp::condor::startd::Startd>>> =
-            Arc::new(parking_lot::Mutex::new(None));
+        let replacement: Arc<tdp_sync::Mutex<Option<tdp::condor::startd::Startd>>> =
+            Arc::new(tdp_sync::Mutex::new(None));
         sup.register(
             Arc::new(StartdProbe {
                 world: w.clone(),
